@@ -1,0 +1,57 @@
+// §3.4 implications for 5G: the same mobility design under 5G NR
+// numerologies (15/30/60/120 kHz subcarrier spacing) and carriers up to
+// mmWave. Wider subcarriers shorten symbols and buy OFDM some Doppler
+// robustness, but coherence time shrinks with carrier frequency faster
+// than numerology can recover — while OTFS stays flat.
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "phy/link.hpp"
+
+#include <cstdio>
+
+using namespace rem;
+
+int main() {
+  std::printf("5G implications: coherence time vs carrier (350 km/h)\n");
+  std::printf("  %10s %14s\n", "carrier", "Tc");
+  for (double fc : {2.0e9, 3.5e9, 28e9, 39e9}) {
+    std::printf("  %7.1f GHz %11.3f ms\n", fc / 1e9,
+                1e3 * common::coherence_time_s(common::kmh_to_mps(350.0),
+                                               fc));
+  }
+
+  std::printf("\nCoded BLER at 6 dB SNR, 350 km/h, by numerology and "
+              "carrier (120 blocks each)\n");
+  std::printf("  %10s %10s %12s %12s\n", "carrier", "SCS", "OFDM", "OTFS");
+  common::Rng rng(5);
+  for (double fc : {3.5e9, 28e9}) {
+    for (double scs : {15e3, 30e3, 60e3, 120e3}) {
+      channel::ChannelDrawConfig draw;
+      draw.profile = channel::Profile::kHST350;
+      draw.speed_mps = common::kmh_to_mps(350.0);
+      draw.carrier_hz = fc;
+
+      phy::LinkConfig cfg;
+      cfg.num.num_subcarriers = 12;
+      cfg.num.num_symbols = 14;
+      cfg.num.subcarrier_spacing_hz = scs;
+      cfg.num.cp_len = 1;
+      cfg.mod = phy::Modulation::kQPSK;
+      cfg.snr_db = 6.0;
+
+      cfg.waveform = phy::Waveform::kOFDM;
+      const auto ofdm =
+          phy::LinkSimulator(cfg).measure_bler(draw, 120, rng);
+      cfg.waveform = phy::Waveform::kOTFS;
+      const auto otfs =
+          phy::LinkSimulator(cfg).measure_bler(draw, 120, rng);
+      std::printf("  %7.1f GHz %7.0fkHz %11.1f%% %11.1f%%\n", fc / 1e9,
+                  scs / 1e3, 100.0 * ofdm.bler, 100.0 * otfs.bler);
+    }
+  }
+  std::printf(
+      "\nPaper §3.4: 5G keeps 4G's handover design while mmWave multiplies "
+      "the Doppler —\nreliable extreme mobility gets harder, not easier; "
+      "REM's overlay applies unchanged.\n");
+  return 0;
+}

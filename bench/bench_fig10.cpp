@@ -1,0 +1,52 @@
+// Fig. 10: REM's error reduction for signaling — coded BLER vs SNR for
+// legacy OFDM and REM's OTFS overlay, on (a) the high-speed-rail channel at
+// 350 km/h and (b) the low-mobility EVA channel. Full link simulation
+// (QPSK, rate-1/2 TBCC, 12x14 subframe).
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "phy/link.hpp"
+
+#include <cstdio>
+
+using namespace rem;
+
+namespace {
+
+void sweep(const char* label, channel::Profile profile, double speed_kmh,
+           std::uint64_t seed) {
+  channel::ChannelDrawConfig draw;
+  draw.profile = profile;
+  draw.speed_mps = common::kmh_to_mps(speed_kmh);
+  draw.carrier_hz = 2.0e9;
+
+  const std::vector<double> snrs = {-20, -15, -10, -5, 0, 5, 10, 15, 20,
+                                    25, 30};
+  phy::LinkConfig cfg;
+  cfg.num = phy::Numerology::lte(12, 14);
+  cfg.mod = phy::Modulation::kQPSK;
+
+  std::printf("\nFig. 10 (%s, %s at %.0f km/h)\n", label,
+              channel::profile_name(profile).c_str(), speed_kmh);
+  std::printf("  %8s %12s %12s\n", "SNR(dB)", "Legacy/OFDM", "REM/OTFS");
+  common::Rng rng(seed);
+  cfg.waveform = phy::Waveform::kOFDM;
+  const auto ofdm = phy::LinkSimulator(cfg).bler_curve(draw, snrs, 120, rng);
+  cfg.waveform = phy::Waveform::kOTFS;
+  const auto otfs = phy::LinkSimulator(cfg).bler_curve(draw, snrs, 120, rng);
+  for (std::size_t i = 0; i < snrs.size(); ++i)
+    std::printf("  %8.0f %11.1f%% %11.1f%%\n", snrs[i],
+                100.0 * ofdm[i].bler, 100.0 * otfs[i].bler);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 10: block error rate vs SNR, coded link simulation\n");
+  sweep("a: high-speed rails", channel::Profile::kHST350, 350.0, 1);
+  sweep("b: low mobility", channel::Profile::kEVA, 60.0, 2);
+  std::printf(
+      "\nPaper reference (Fig. 10): OTFS needs several dB less SNR than "
+      "OFDM under HSR\nDoppler and avoids OFDM's high-Doppler error floor; "
+      "the two are close at low mobility.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Fig. 11: stabilized delay-Doppler domain — delivered signaling SNR over
+// time. Legacy signaling occupies a narrowband slice whose gain rides the
+// fading process; REM's OTFS overlay spreads every signaling symbol over
+// the full grid, so it sees the grid-average gain.
+#include "channel/profiles.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace rem;
+
+namespace {
+
+void trace_snr(const char* label, channel::Profile profile,
+               double speed_kmh, std::uint64_t seed) {
+  common::Rng rng(seed);
+  channel::ChannelDrawConfig draw;
+  draw.profile = profile;
+  draw.speed_mps = common::kmh_to_mps(speed_kmh);
+  draw.carrier_hz = 2.0e9;
+  const auto ch = channel::draw_channel(draw, rng);
+
+  const double df = 15e3;
+  const double symbol_t = 1.0 / df;
+  const double base_snr_db = 18.0;
+  const std::size_t m = 1200;  // 20 MHz grid: full frequency diversity
+  const std::size_t per_subframe = 14;
+
+  std::printf("\nFig. 11 (%s): delivered signaling SNR over 1 s\n", label);
+  std::printf("  %7s %12s %12s\n", "t(s)", "Legacy(dB)", "REM/OTFS(dB)");
+  common::Summary legacy_s, rem_s;
+  for (std::size_t sf = 0; sf < 100; ++sf) {
+    const double t0 = static_cast<double>(sf * per_subframe) * symbol_t;
+    const double g_leg = std::norm(ch.tf_response(t0, 5.0 * df));
+    double g_avg = 0.0;
+    for (std::size_t mm = 0; mm < m; mm += 100)
+      for (std::size_t nn = 0; nn < per_subframe; ++nn)
+        g_avg += std::norm(ch.tf_response(
+            t0 + static_cast<double>(nn) * symbol_t,
+            static_cast<double>(mm) * df));
+    g_avg /= static_cast<double>((m / 100) * per_subframe);
+    const double leg_db =
+        base_snr_db + 10.0 * std::log10(std::max(g_leg, 1e-9));
+    const double rem_db =
+        base_snr_db + 10.0 * std::log10(std::max(g_avg, 1e-9));
+    legacy_s.add(leg_db);
+    rem_s.add(rem_db);
+    if (sf % 10 == 0)
+      std::printf("  %7.2f %12.1f %12.1f\n", t0, leg_db, rem_db);
+  }
+  std::printf("  std dev: legacy %.2f dB vs REM %.2f dB\n",
+              legacy_s.stddev(), rem_s.stddev());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 11: SNR stability, legacy narrowband vs REM overlay\n");
+  trace_snr("a: high-speed rails, 350 km/h", channel::Profile::kHST350,
+            350.0, 3);
+  trace_snr("b: low mobility, EVA", channel::Profile::kEVA, 60.0, 4);
+  std::printf(
+      "\nPaper reference (Fig. 11): legacy OFDM SNR swings by several dB "
+      "while REM's\ndelay-Doppler SNR stays nearly flat in both regimes.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Fig. 12: viability of REM's cross-band estimation — SNR estimation error
+// CDF and handover decision precision over three channel regimes (a
+// USRP-like static lab channel, the HSR channel, and driving).
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "crossband/metrics.hpp"
+#include "crossband/rem_svd.hpp"
+
+#include <cstdio>
+
+using namespace rem;
+
+namespace {
+
+crossband::EvalConfig make_cfg(channel::Profile profile, double speed_kmh,
+                               std::size_t trials) {
+  crossband::EvalConfig cfg;
+  cfg.draw.profile = profile;
+  cfg.draw.speed_mps = common::kmh_to_mps(speed_kmh);
+  cfg.draw.carrier_hz = 1.88e9;
+  cfg.num.num_subcarriers = 64;
+  cfg.num.num_symbols = 16;
+  cfg.num.cp_len = 16;
+  cfg.f1_hz = 1.88e9;
+  cfg.f2_hz = 2.6e9;
+  cfg.trials = trials;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  struct Case {
+    const char* label;
+    channel::Profile profile;
+    double speed_kmh;
+  };
+  const Case cases[] = {
+      {"USRP (static lab)", channel::Profile::kEPA, 3.0},
+      {"HSR (350 km/h)", channel::Profile::kHST350, 350.0},
+      {"Driving (60 km/h)", channel::Profile::kEVA, 60.0},
+  };
+
+  std::printf("Fig. 12: REM cross-band estimation accuracy\n");
+  std::printf("  %-20s %10s %10s %10s %10s\n", "scenario", "mean err",
+              "p90 err", "precision", "agreement");
+  common::Rng rng(11);
+  for (const auto& c : cases) {
+    crossband::RemSvdEstimator est;
+    const auto cfg = make_cfg(c.profile, c.speed_kmh, 150);
+    const auto res = crossband::evaluate_estimator(est, cfg, rng);
+    std::printf("  %-20s %8.2fdB %8.2fdB %9.2f %10.2f\n", c.label,
+                res.mean_snr_error_db, res.p90_snr_error_db,
+                res.decision_precision, res.decision_agreement);
+  }
+
+  // Error CDF for the HSR case.
+  crossband::RemSvdEstimator est;
+  const auto res = crossband::evaluate_estimator(
+      est, make_cfg(channel::Profile::kHST350, 350.0, 200), rng);
+  const auto cdf = common::empirical_cdf(res.snr_error_db, 10);
+  std::printf("\n  HSR SNR-error CDF:\n  err(dB)  CDF\n");
+  for (const auto& p : cdf)
+    std::printf("  %7.2f  %4.2f\n", p.value, p.fraction);
+  std::printf(
+      "\nPaper reference (Fig. 12): <= 2 dB error for >= 90%% of "
+      "measurements; >= 0.93\ndecision precision in all three regimes.\n");
+  return 0;
+}

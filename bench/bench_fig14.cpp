@@ -1,0 +1,51 @@
+// Fig. 14a: feedback delay reduction — CDF of measurement feedback latency
+// under legacy sequential measurement vs REM cross-band estimation, from
+// the full network simulation plus the analytic measurement model.
+#include "mobility/measurement.hpp"
+#include "scenario_runner.hpp"
+
+#include <cstdio>
+
+using namespace rem;
+
+int main() {
+  // ---- From the full simulator ----
+  const auto run = bench::run_route(trace::Route::kBeijingShanghai, 300.0,
+                                    2000.0, {31, 32, 33});
+  std::printf("Fig. 14a: measurement feedback latency (network sim, "
+              "300 km/h)\n");
+  std::printf("  %-8s %10s %10s %10s\n", "", "mean", "p50", "p90");
+  const auto& lg = run.legacy.feedback_delay_s;
+  const auto& rm = run.rem.feedback_delay_s;
+  std::printf("  %-8s %8.1fms %8.1fms %8.1fms\n", "Legacy",
+              1e3 * lg.mean(), 1e3 * lg.percentile(50),
+              1e3 * lg.percentile(90));
+  std::printf("  %-8s %8.1fms %8.1fms %8.1fms\n", "REM", 1e3 * rm.mean(),
+              1e3 * rm.percentile(50), 1e3 * rm.percentile(90));
+
+  std::printf("\n  delay CDF:\n  %8s %8s %8s\n", "delay(s)", "Legacy",
+              "REM");
+  for (double d = 0.0; d <= 3.0; d += 0.25)
+    std::printf("  %8.2f %8.2f %8.2f\n", d, lg.cdf_at(d), rm.cdf_at(d));
+
+  // ---- Analytic model across neighbor-set sizes ----
+  std::printf("\n  analytic model (sites on the route, half with a second "
+              "co-located cell):\n");
+  std::printf("  %6s %12s %12s\n", "sites", "Legacy", "REM");
+  mobility::MeasurementConfig mc;
+  mc.crossband_runtime_s = 0.020;
+  for (int sites = 1; sites <= 6; ++sites) {
+    std::vector<mobility::MeasureTask> tasks;
+    for (int s = 0; s < sites; ++s) {
+      tasks.push_back({{s * 2, s, 10}, true});
+      if (s % 2 == 0) tasks.push_back({{s * 2 + 1, s, 20}, false});
+    }
+    std::printf("  %6d %10.1fms %10.1fms\n", sites,
+                1e3 * mobility::legacy_feedback_delay_s(tasks, mc, 1),
+                1e3 * mobility::rem_feedback_delay_s(tasks, mc));
+  }
+  std::printf(
+      "\nPaper reference (Fig. 14a): average feedback latency drops from "
+      "802.5 ms to 242.4 ms.\n");
+  return 0;
+}

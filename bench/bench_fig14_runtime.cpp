@@ -1,0 +1,83 @@
+// Fig. 14b: cross-band estimation runtime — google-benchmark timing of
+// REM's SVD estimation vs the R2F2 nonlinear fit and OptML inference on
+// the same measurement grid.
+#include "common/units.hpp"
+#include "crossband/metrics.hpp"
+#include "crossband/optml.hpp"
+#include "crossband/r2f2.hpp"
+#include "crossband/rem_svd.hpp"
+#include "phy/channel_est.hpp"
+
+#include <benchmark/benchmark.h>
+
+using namespace rem;
+
+namespace {
+
+crossband::CrossbandInput make_input(std::uint64_t seed) {
+  common::Rng rng(seed);
+  channel::ChannelDrawConfig draw;
+  draw.profile = channel::Profile::kHST350;
+  draw.speed_mps = common::kmh_to_mps(350.0);
+  draw.carrier_hz = 1.88e9;
+  const auto ch = channel::draw_channel(draw, rng);
+
+  crossband::CrossbandInput in;
+  in.num.num_subcarriers = 64;
+  in.num.num_symbols = 16;
+  in.num.cp_len = 16;
+  in.f1_hz = 1.88e9;
+  in.f2_hz = 2.6e9;
+  phy::DdChannelEstimator dd(in.num);
+  in.h1_dd = dd.estimate(ch, 20.0, rng).h;
+  in.h1_tf = crossband::measure_tf(ch, in.num, 20.0, rng);
+  return in;
+}
+
+void BM_RemSvd(benchmark::State& state) {
+  const auto in = make_input(1);
+  crossband::RemSvdEstimator est;
+  for (auto _ : state) benchmark::DoNotOptimize(est.estimate(in));
+}
+BENCHMARK(BM_RemSvd)->Unit(benchmark::kMillisecond);
+
+void BM_R2f2(benchmark::State& state) {
+  const auto in = make_input(2);
+  crossband::R2f2Estimator est;  // default slow cold-start config
+  for (auto _ : state) benchmark::DoNotOptimize(est.estimate(in));
+}
+BENCHMARK(BM_R2f2)->Unit(benchmark::kMillisecond);
+
+void BM_OptMl(benchmark::State& state) {
+  const auto in = make_input(3);
+  crossband::OptMlEstimator est;
+  crossband::EvalConfig cfg;
+  cfg.draw.profile = channel::Profile::kHST350;
+  cfg.draw.speed_mps = common::kmh_to_mps(350.0);
+  cfg.num = in.num;
+  common::Rng rng(4);
+  crossband::train_optml(est, cfg, 600, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(est.estimate(in));
+}
+BENCHMARK(BM_OptMl)->Unit(benchmark::kMillisecond);
+
+// The delay-Doppler pilot processing itself (SFFT/ISFFT + grid handling).
+void BM_DdChannelEstimation(benchmark::State& state) {
+  common::Rng rng(5);
+  channel::ChannelDrawConfig draw;
+  draw.profile = channel::Profile::kHST350;
+  draw.speed_mps = common::kmh_to_mps(350.0);
+  const auto ch = channel::draw_channel(draw, rng);
+  phy::Numerology num;
+  num.num_subcarriers = 64;
+  num.num_symbols = 16;
+  num.cp_len = 16;
+  phy::DdChannelEstimator est(num);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(est.estimate(ch, 20.0, rng));
+}
+BENCHMARK(BM_DdChannelEstimation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

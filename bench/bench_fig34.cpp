@@ -1,0 +1,150 @@
+// Fig. 3 & 4: two-cell policy-conflict oscillations.
+//  Fig. 3: load balancing (A4 vs A5) between a 5 MHz and a 20 MHz cell.
+//  Fig. 4: failure-induced proactive A3-A3 conflict.
+// Each micro-scenario replays a 10-15 s RSRP window inside the conflict
+// region with the legacy manager and reports the resulting ping-pong.
+#include "core/legacy_manager.hpp"
+#include "mobility/conflict.hpp"
+#include "phy/bler_model.hpp"
+
+#include <cstdio>
+
+using namespace rem;
+
+namespace {
+
+struct TwoCellReplay {
+  mobility::CellPolicy policy1, policy2;
+  mobility::CellId id1{1, 1, 10}, id2{2, 2, 20};
+  // RSRP processes: slowly varying around the conflict region.
+  double base1, base2, wobble;
+};
+
+int replay_handovers(const TwoCellReplay& r, double duration_s,
+                     std::uint64_t seed) {
+  core::LegacyConfig cfg;
+  cfg.policies[r.id1.cell] = r.policy1;
+  cfg.policies[r.id2.cell] = r.policy2;
+  cfg.measurement.inter_ttt_s = 0.128;  // operator-shortened
+  core::LegacyManager mgr(cfg);
+
+  common::Rng rng(seed);
+  int serving = 1;
+  mgr.on_serving_changed(0.0, 0);
+  int handovers = 0;
+  double pending_until = -1.0;
+  int pending_target = -1;
+
+  for (double t = 0.0; t < duration_s; t += 0.01) {
+    const double r1 = r.base1 + r.wobble * std::sin(t * 0.7) +
+                      rng.gaussian(0, 0.5);
+    const double r2 = r.base2 + r.wobble * std::cos(t * 0.5) +
+                      rng.gaussian(0, 0.5);
+    if (pending_until >= 0.0 && t >= pending_until) {
+      serving = pending_target;
+      ++handovers;
+      mgr.on_serving_changed(t, serving == 1 ? 0 : 1);
+      pending_until = -1.0;
+    }
+    if (pending_until >= 0.0) continue;
+
+    sim::ServingState sv;
+    sv.cell_idx = serving == 1 ? 0 : 1;
+    sv.id = serving == 1 ? r.id1 : r.id2;
+    sv.rsrp_dbm = serving == 1 ? r1 : r2;
+    sv.dd_snr_db = sv.rsrp_dbm + 101.0;
+    sv.snr_db = sv.dd_snr_db;
+    sim::Observation o;
+    o.cell_idx = serving == 1 ? 1 : 0;
+    o.id = serving == 1 ? r.id2 : r.id1;
+    o.rsrp_dbm = serving == 1 ? r2 : r1;
+    o.dd_snr_db = o.rsrp_dbm + 101.0;
+    const auto d = mgr.update(t, sv, {o});
+    if (d) {
+      pending_target = serving == 1 ? 2 : 1;
+      pending_until = t + 0.10;  // report + command + execution
+    }
+  }
+  return handovers;
+}
+
+}  // namespace
+
+int main() {
+  // ---- Fig. 3: load-balancing A4/A5 conflict ----
+  TwoCellReplay fig3;
+  {
+    // Cell 1 (5 MHz) pushes to cell 2 (20 MHz) when RSRP2 > -110 (A4).
+    mobility::PolicyRule r1;
+    r1.event = {mobility::EventType::kA4, -110, 0, 0, 0, 0.128};
+    r1.channel = 20;
+    fig3.policy1.rules.push_back(r1);
+    // Cell 2 pushes back when RSRP2 < -95 and RSRP1 > -100 (A5).
+    mobility::PolicyRule r2;
+    r2.event = {mobility::EventType::kA5, -95, -100, 0, 0, 0.128};
+    r2.channel = 10;
+    fig3.policy2.rules.push_back(r2);
+    fig3.base1 = -96.0;   // RSRP1 > -100
+    fig3.base2 = -102.0;  // RSRP2 in (-110, -95): both triggers armed
+    fig3.wobble = 1.5;
+  }
+  // Confirm the analyzer flags the pair, then replay.
+  {
+    std::vector<mobility::PolicyCell> pcs(2);
+    pcs[0].id = fig3.id1;
+    pcs[0].policy = fig3.policy1;
+    pcs[1].id = fig3.id2;
+    pcs[1].policy = fig3.policy2;
+    const auto conflicts = mobility::find_two_cell_conflicts(pcs);
+    std::printf("Fig. 3: load-balancing conflict (5 MHz vs 20 MHz cell)\n");
+    std::printf("  analyzer: %s (witness RSRP1=%.1f, RSRP2=%.1f)\n",
+                conflicts.empty() ? "NO conflict" : "conflict detected",
+                conflicts.empty() ? 0.0 : conflicts[0].witness_ri,
+                conflicts.empty() ? 0.0 : conflicts[0].witness_rj);
+    const int hos = replay_handovers(fig3, 15.0, 5);
+    std::printf("  replay: %d handovers in 15 s (paper: 8 in 15 s)\n\n",
+                hos);
+  }
+
+  // ---- Fig. 4: proactive A3-A3 conflict ----
+  TwoCellReplay fig4;
+  {
+    fig4.id1 = {3, 3, 15};
+    fig4.id2 = {4, 4, 15};  // same channel: intra-frequency
+    mobility::PolicyRule r1;
+    r1.event = {mobility::EventType::kA3, 0, 0, -3.0, 0, 0.040};
+    fig4.policy1.rules.push_back(r1);
+    mobility::PolicyRule r2;
+    r2.event = {mobility::EventType::kA3, 0, 0, -1.0, 0, 0.040};
+    fig4.policy2.rules.push_back(r2);
+    fig4.base1 = -91.0;
+    fig4.base2 = -92.0;  // inside the (-3, +1) dB conflict window
+    fig4.wobble = 1.0;
+  }
+  {
+    std::vector<mobility::PolicyCell> pcs(2);
+    pcs[0].id = fig4.id1;
+    pcs[0].policy = fig4.policy1;
+    pcs[1].id = fig4.id2;
+    pcs[1].policy = fig4.policy2;
+    const auto conflicts = mobility::find_two_cell_conflicts(pcs);
+    std::printf("Fig. 4: failure-induced proactive A3-A3 conflict\n");
+    std::printf("  analyzer: %s, Delta sum = -4 dB < 0 violates Theorem 2\n",
+                conflicts.empty() ? "NO conflict" : "conflict detected");
+    const int hos = replay_handovers(fig4, 10.0, 7);
+    std::printf("  replay: %d handovers in 10 s\n", hos);
+    // Repair per Theorem 2 and replay again.
+    auto repaired = mobility::repair_theorem2({{0, -3}, {-1, 0}});
+    TwoCellReplay fixed = fig4;
+    fixed.policy1.rules[0].event.offset = repaired[0][1];
+    fixed.policy2.rules[0].event.offset = repaired[1][0];
+    const int hos_fixed = replay_handovers(fixed, 10.0, 7);
+    std::printf("  after Theorem-2 repair (offsets %.1f / %.1f): %d "
+                "handovers in 10 s\n",
+                repaired[0][1], repaired[1][0], hos_fixed);
+  }
+  std::printf(
+      "\nPaper reference: both conflicts produce sustained ping-pong "
+      "(e.g. 8 handovers/15 s)\nuntil the thresholds satisfy Theorem 2.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Table 3: Two-cell policy conflicts by type in the HSR policy sets.
+//
+// Synthesizes the per-route operator policy mixes and runs the exact
+// pairwise conflict analyzer; prints the Table 3 histogram (counts and
+// percentages per event-type pair, split intra/inter-frequency).
+#include "mobility/conflict.hpp"
+#include "trace/scenario.hpp"
+
+#include <cstdio>
+
+using namespace rem;
+
+namespace {
+
+void analyze(const char* label, trace::Route route, double speed_kmh,
+             std::uint64_t seed) {
+  const auto sc = trace::make_scenario(route, speed_kmh, 4000.0);
+  common::Rng rng(seed);
+  const auto cells = sim::make_rail_deployment(sc.deployment, rng);
+  auto policies = trace::synthesize_policies(cells, sc.policy_mix, rng);
+  const auto pcs = trace::to_policy_cells(cells, policies);
+  // Only cells covering the same area can loop a client between them
+  // (Table 3 counts neighbors, not the whole route).
+  const double reach = 2.0 * sc.deployment.site_spacing_mean_m;
+  const auto neighbors = [&](std::size_t i, std::size_t j) {
+    return std::abs(cells[i].site_pos_m - cells[j].site_pos_m) <= reach;
+  };
+  const auto conflicts =
+      mobility::find_two_cell_conflicts(pcs, {}, neighbors);
+
+  int intra = 0;
+  for (const auto& c : conflicts) intra += c.inter_frequency ? 0 : 1;
+
+  std::printf("\n%s: %zu cells, %zu two-cell conflicts (%d intra-, %d "
+              "inter-frequency)\n",
+              label, cells.size(), conflicts.size(), intra,
+              static_cast<int>(conflicts.size()) - intra);
+  std::printf("  %-8s %-16s %8s %8s\n", "Type", "Frequency", "count", "%");
+  const auto hist = mobility::conflict_histogram(conflicts);
+  for (const auto& [type, count] : hist) {
+    // Determine the dominant frequency relationship for this type.
+    int type_intra = 0, type_total = 0;
+    for (const auto& c : conflicts) {
+      if (mobility::conflict_type_label(c.event_i, c.event_j) != type)
+        continue;
+      ++type_total;
+      type_intra += c.inter_frequency ? 0 : 1;
+    }
+    std::printf("  %-8s %-16s %8d %7.1f%%\n", type.c_str(),
+                type_intra * 2 > type_total ? "intra-frequency"
+                                            : "inter-frequency",
+                count,
+                conflicts.empty()
+                    ? 0.0
+                    : 100.0 * count / static_cast<double>(conflicts.size()));
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 3: Two-cell policy conflicts in HSR policy sets\n");
+  analyze("Beijing-Taiyuan", trace::Route::kBeijingTaiyuan, 250.0, 7);
+  analyze("Beijing-Shanghai", trace::Route::kBeijingShanghai, 300.0, 9);
+  std::printf(
+      "\nPaper reference (Table 3): A3-A3 dominates (92.8%% / 55.9%%), with "
+      "A3-A4 and A4-A4\ninter-frequency conflicts the next largest classes "
+      "on Beijing-Shanghai.\n");
+  return 0;
+}

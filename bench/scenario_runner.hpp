@@ -1,0 +1,145 @@
+// Shared helper for the table/figure benches: build a scenario, run both
+// managers over several seeds, aggregate statistics.
+#pragma once
+
+#include "common/stats.hpp"
+#include "core/legacy_manager.hpp"
+#include "core/rem_manager.hpp"
+#include "mobility/conflict.hpp"
+#include "phy/bler_model.hpp"
+#include "trace/scenario.hpp"
+
+#include <functional>
+#include <set>
+#include <vector>
+
+namespace rem::bench {
+
+struct AggregateStats {
+  int handovers = 0;
+  int failures = 0;
+  std::map<sim::FailureCause, int> by_cause;
+  int loop_episodes = 0;
+  int loop_handovers = 0;
+  int conflict_loop_episodes = 0;
+  int conflict_loop_handovers = 0;
+  int intra_freq_conflict_loops = 0;
+  double sim_time_s = 0.0;
+  common::Summary handover_interval_s;
+  common::Summary feedback_delay_s;
+  std::vector<double> outage_durations_s;
+  std::vector<double> pre_failure_snrs_db;
+  common::Summary throughput_bps;
+  common::Summary downtime_fraction;
+
+  void add(const sim::SimStats& s) {
+    pre_failure_snrs_db.insert(pre_failure_snrs_db.end(),
+                               s.pre_failure_snrs_db.begin(),
+                               s.pre_failure_snrs_db.end());
+    throughput_bps.add(s.mean_throughput_bps);
+    downtime_fraction.add(s.downtime_fraction);
+    handovers += s.handovers;
+    failures += s.failures;
+    for (const auto& [c, n] : s.failures_by_cause) by_cause[c] += n;
+    loop_episodes += s.loop_episodes;
+    loop_handovers += s.loop_handovers;
+    conflict_loop_episodes += s.conflict_loop_episodes;
+    conflict_loop_handovers += s.conflict_loop_handovers;
+    intra_freq_conflict_loops += s.intra_freq_conflict_loops;
+    sim_time_s += s.sim_time_s;
+    if (s.avg_handover_interval_s > 0)
+      handover_interval_s.add(s.avg_handover_interval_s);
+    feedback_delay_s.add_all(s.feedback_delays_s);
+    outage_durations_s.insert(outage_durations_s.end(),
+                              s.outage_durations_s.begin(),
+                              s.outage_durations_s.end());
+  }
+
+  double failure_ratio() const {
+    const int den = handovers + failures;
+    return den > 0 ? static_cast<double>(failures) / den : 0.0;
+  }
+  double cause_ratio(sim::FailureCause c) const {
+    const int den = handovers + failures;
+    const auto it = by_cause.find(c);
+    return den > 0 && it != by_cause.end()
+               ? static_cast<double>(it->second) / den
+               : 0.0;
+  }
+  double failure_ratio_excluding_holes() const {
+    return failure_ratio() - cause_ratio(sim::FailureCause::kCoverageHole);
+  }
+};
+
+struct ScenarioRun {
+  AggregateStats legacy;
+  AggregateStats rem;
+  /// Static two-cell conflicts of the synthesized legacy policy set
+  /// (aggregated over seeds).
+  std::map<std::string, int> conflict_histogram;
+  int total_conflicts = 0;
+};
+
+inline ScenarioRun run_route(trace::Route route, double speed_kmh,
+                             double duration_s,
+                             const std::vector<std::uint64_t>& seeds,
+                             bool run_rem = true) {
+  ScenarioRun out;
+  phy::LogisticBlerModel bler;
+  for (const auto seed : seeds) {
+    const auto sc = trace::make_scenario(route, speed_kmh, duration_s);
+    common::Rng rng(seed);
+    auto cells = sim::make_rail_deployment(sc.deployment, rng);
+    auto holes = sim::make_hole_segments(sc.deployment, rng);
+    sim::RadioEnv env(cells, sc.propagation, rng.fork(), holes);
+    auto policies = trace::synthesize_policies(cells, sc.policy_mix, rng);
+
+    // Exact pairwise conflict predicate for loop attribution, restricted
+    // to cells that actually cover common ground.
+    const auto pcs = trace::to_policy_cells(cells, policies);
+    const double reach = 2.0 * sc.deployment.site_spacing_mean_m;
+    const auto neighbor_filter = [&](std::size_t i, std::size_t j) {
+      return std::abs(cells[i].site_pos_m - cells[j].site_pos_m) <= reach;
+    };
+    const auto conflicts =
+        mobility::find_two_cell_conflicts(pcs, {}, neighbor_filter);
+    out.total_conflicts += static_cast<int>(conflicts.size());
+    for (const auto& [label, n] : mobility::conflict_histogram(conflicts))
+      out.conflict_histogram[label] += n;
+    std::set<std::pair<int, int>> pairs;
+    for (const auto& c : conflicts) {
+      pairs.insert({c.cell_i, c.cell_j});
+      pairs.insert({c.cell_j, c.cell_i});
+    }
+    const auto pair_fn = [&pairs](int a, int b) {
+      return pairs.count({a, b}) > 0;
+    };
+
+    core::LegacyConfig lc;
+    lc.policies = policies;
+    lc.measurement.intra_ttt_s = sc.policy_mix.intra_ttt_s;
+    lc.measurement.inter_ttt_s = sc.policy_mix.inter_ttt_s;
+    core::LegacyManager legacy(lc);
+    sim::Simulator s1(env, sc.sim, bler, rng.fork());
+    out.legacy.add(s1.run(legacy, pair_fn));
+
+    if (run_rem) {
+      core::RemManager remm(core::RemConfig{}, rng.fork());
+      sim::Simulator s2(env, sc.sim, bler, rng.fork());
+      // REM's coordinated policy is conflict-free by Theorem 2.
+      out.rem.add(s2.run(remm, [](int, int) { return false; }));
+    }
+  }
+  return out;
+}
+
+inline double pct(double x) { return 100.0 * x; }
+
+/// "a x" reduction factor epsilon = (legacy - rem) / rem, as the paper
+/// defines it; returns -1 when rem is zero (infinite reduction).
+inline double reduction_factor(double legacy, double rem) {
+  if (rem <= 0.0) return -1.0;
+  return (legacy - rem) / rem;
+}
+
+}  // namespace rem::bench

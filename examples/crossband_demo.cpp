@@ -1,0 +1,78 @@
+// Cross-band estimation walk-through (Algorithm 1).
+//
+// Measures one cell of a base station on f1, factorizes its delay-Doppler
+// channel with SVD, retargets the Doppler factor to f2, and compares the
+// predicted co-located cell against direct measurement.
+//
+//   ./examples/crossband_demo
+#include "common/units.hpp"
+#include "crossband/rem_svd.hpp"
+#include "crossband/metrics.hpp"
+#include "phy/channel_est.hpp"
+
+#include <cstdio>
+
+using namespace rem;
+
+int main() {
+  common::Rng rng(99);
+
+  // The physical channel a 350 km/h client sees from one site.
+  channel::ChannelDrawConfig draw;
+  draw.profile = channel::Profile::kHST350;
+  draw.speed_mps = common::kmh_to_mps(350.0);
+  draw.carrier_hz = 1.88e9;
+  const auto ch1 = channel::draw_channel(draw, rng);
+
+  // The co-located cell on 2.6 GHz shares delays and attenuations; its
+  // Dopplers scale by f2/f1.
+  const double f1 = 1.88e9, f2 = 2.6e9;
+  const auto ch2 = ch1.with_doppler_scaled(f2 / f1);
+
+  std::printf("Cross-band estimation demo (Algorithm 1)\n");
+  std::printf("physical paths of the site:\n");
+  for (const auto& p : ch1.paths())
+    std::printf("  |h|=%.3f  tau=%7.1f ns  nu(f1)=%8.1f Hz  nu(f2)=%8.1f "
+                "Hz\n",
+                std::abs(p.gain), p.delay_s * 1e9, p.doppler_hz,
+                p.doppler_hz * f2 / f1);
+
+  // Step 1: measure cell 1 in the delay-Doppler domain (noisy pilot).
+  phy::Numerology num;
+  num.num_subcarriers = 64;
+  num.num_symbols = 16;
+  num.cp_len = 16;
+  phy::DdChannelEstimator dd(num);
+  crossband::CrossbandInput in;
+  in.num = num;
+  in.f1_hz = f1;
+  in.f2_hz = f2;
+  in.h1_dd = dd.estimate(ch1, 20.0, rng).h;
+  in.h1_tf = crossband::measure_tf(ch1, num, 20.0, rng);
+
+  // Step 2: SVD factorization + Doppler rescaling.
+  crossband::RemSvdEstimator est;
+  const auto out = est.estimate(in);
+  std::printf("\nSVD-extracted paths (band-2 Dopplers):\n");
+  for (const auto& p : est.last_paths())
+    std::printf("  sigma=%.3f  tau=%7.1f ns  nu(f2)=%8.1f Hz\n",
+                p.attenuation, p.delay_s * 1e9, p.doppler_hz);
+
+  // Step 3: compare against a direct (never performed in REM) measurement.
+  const auto truth = dd.estimate_noiseless(ch2);
+  const double rel = (out.h2 - truth.h).frobenius_norm() /
+                     truth.h.frobenius_norm();
+  const double pred_gain_db = 10.0 * std::log10(out.mean_gain);
+  const double true_gain_db =
+      10.0 * std::log10(phy::mean_channel_gain(truth.h));
+  std::printf("\npredicted band-2 channel: %.1f%% relative error\n",
+              100.0 * rel);
+  std::printf("predicted mean gain %.2f dB vs true %.2f dB (error %.2f "
+              "dB)\n",
+              pred_gain_db, true_gain_db,
+              std::abs(pred_gain_db - true_gain_db));
+  std::printf("\nREM never spent a measurement gap on the 2.6 GHz cell — "
+              "its quality came from\nthe 1.88 GHz measurement alone "
+              "(paper §5.2, Fig. 12).\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Movement tracking demo (§10 future work: delay-Doppler localization).
+//
+// A train passes a base station on the geometric channel model; at each
+// position REM estimates the delay-Doppler channel, factorizes it
+// (Algorithm 1), and recovers the client's speed and approach/recede state
+// from the extracted path parameters — no GPS, just the pilot signals.
+//
+//   ./examples/movement_tracking
+#include "channel/geometry.hpp"
+#include "common/units.hpp"
+#include "crossband/movement.hpp"
+#include "crossband/rem_svd.hpp"
+#include "phy/channel_est.hpp"
+
+#include <cstdio>
+
+using namespace rem;
+
+int main() {
+  common::Rng rng(42);
+  channel::GeometryConfig geo;
+  geo.bs_x_m = 1500.0;
+  geo.bs_y_m = 200.0;
+  geo.carrier_hz = 1.88e9;
+  geo.speed_mps = common::kmh_to_mps(330.0);
+  geo.scatterers = channel::make_scatterer_field(geo.bs_x_m, 4, rng);
+  const channel::GeometricHstChannel track(geo);
+
+  phy::Numerology num;
+  num.num_subcarriers = 64;
+  num.num_symbols = 32;
+  num.cp_len = 16;
+  phy::DdChannelEstimator dd(num);
+
+  std::printf("Movement tracking along a %0.f km/h pass-by "
+              "(BS abeam at x=%.0f m)\n\n",
+              common::mps_to_kmh(geo.speed_mps), geo.bs_x_m);
+  std::printf("  %8s %14s %14s %12s %10s\n", "x (m)", "true LOS nu",
+              "est. speed", "true speed", "heading");
+
+  for (double x = 0.0; x <= 3000.0; x += 300.0) {
+    const auto snapshot = track.snapshot(x);
+    crossband::CrossbandInput in;
+    in.num = num;
+    in.f1_hz = geo.carrier_hz;
+    in.f2_hz = geo.carrier_hz;
+    in.h1_dd = dd.estimate(snapshot, 25.0, rng).h;
+    in.h1_tf = dsp::Matrix(num.num_subcarriers, num.num_symbols);
+    crossband::RemSvdEstimator est;
+    est.estimate(in);
+    const auto mv = crossband::estimate_movement(est.last_paths(),
+                                                 geo.carrier_hz);
+    std::printf("  %8.0f %11.0f Hz %11.1f m/s %9.1f m/s %10s\n", x,
+                track.los_doppler_hz(x),
+                mv ? mv->speed_mps : 0.0, geo.speed_mps,
+                mv && mv->heading_sign > 0 ? "approach" : "recede");
+  }
+
+  std::printf("\nNear the site the LOS Doppler sweeps through zero "
+              "(geometry), so the speed\nestimate dips abeam and recovers "
+              "— the inertial signature the paper proposes\nexploiting "
+              "for movement-based management.\n");
+  return 0;
+}

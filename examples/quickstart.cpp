@@ -1,0 +1,66 @@
+// Quickstart: send signaling over REM's delay-Doppler overlay.
+//
+// Builds a high-speed-rail channel, pushes a measurement report and a
+// handover command through the scheduling-based OTFS overlay, and compares
+// delivery against legacy OFDM signaling at the same SNR.
+//
+//   ./examples/quickstart
+#include "channel/profiles.hpp"
+#include "common/units.hpp"
+#include "core/overlay.hpp"
+
+#include <cstdio>
+
+using namespace rem;
+
+int main() {
+  common::Rng rng(2024);
+
+  // A 350 km/h high-speed-rail channel at 2 GHz.
+  channel::ChannelDrawConfig draw;
+  draw.profile = channel::Profile::kHST350;
+  draw.speed_mps = common::kmh_to_mps(350.0);
+  draw.carrier_hz = 2.0e9;
+
+  std::printf("REM quickstart: OTFS signaling overlay vs legacy OFDM\n");
+  std::printf("channel: %s, %0.f km/h, max Doppler %.0f Hz, coherence "
+              "time %.2f ms\n\n",
+              channel::profile_name(draw.profile).c_str(), 350.0,
+              common::max_doppler_hz(draw.speed_mps, draw.carrier_hz),
+              1e3 * common::coherence_time_s(draw.speed_mps,
+                                             draw.carrier_hz));
+
+  const double snr_db = 4.0;  // the rough SNR where handovers happen
+  const int subframes = 200;
+
+  for (bool legacy : {false, true}) {
+    core::OverlayConfig cfg;
+    cfg.legacy_ofdm = legacy;
+    int delivered = 0, lost = 0;
+    for (int i = 0; i < subframes; ++i) {
+      core::SignalingOverlay overlay(cfg);
+      // Typical RRC sizes: measurement report ~30 B, HO command ~60 B.
+      overlay.enqueue_signaling(1, 30);
+      overlay.enqueue_signaling(2, 60);
+      overlay.enqueue_data(100, 200);
+      const auto ch = channel::draw_channel(draw, rng);
+      while (overlay.signaling_backlog_bytes() > 0) {
+        const auto out = overlay.transmit_subframe(ch, snr_db, rng);
+        delivered += static_cast<int>(out.delivered_signaling_ids.size());
+        lost += static_cast<int>(out.lost_signaling_ids.size());
+        if (out.delivered_signaling_ids.empty() &&
+            out.lost_signaling_ids.empty())
+          break;  // nothing scheduled (shouldn't happen)
+      }
+    }
+    std::printf("%-12s delivered %4d / lost %4d signaling messages "
+                "(loss %.1f%%)\n",
+                legacy ? "legacy OFDM" : "REM OTFS", delivered, lost,
+                100.0 * lost / std::max(delivered + lost, 1));
+  }
+
+  std::printf("\nThe OTFS overlay rides the full time-frequency diversity "
+              "of the grid, so the same\nSNR delivers far more of the "
+              "handover-critical signaling (paper Fig. 10).\n");
+  return 0;
+}

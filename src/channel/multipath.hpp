@@ -1,0 +1,79 @@
+// Delay-Doppler multipath channel (Eq. 1):
+//   h(tau, nu) = sum_p h_p delta(tau - tau_p) delta(nu - nu_p)
+//
+// The same path set induces the time-frequency response
+//   H(t, f) = sum_p h_p e^{j 2 pi (t nu_p - f tau_p)}
+// and the windowed delay-Doppler samples h_w(k dtau, l dnu) of Eq. 5.
+//
+// The channel is applied to time-domain sample streams exactly (per-path
+// fractional delay via DFT phase ramp + per-sample Doppler rotation), which
+// reproduces inter-carrier interference for OFDM and the full diversity
+// behaviour for OTFS without any narrowband approximation.
+#pragma once
+
+#include "channel/path.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/matrix.hpp"
+
+namespace rem::channel {
+
+class MultipathChannel {
+ public:
+  MultipathChannel() = default;
+  explicit MultipathChannel(PathList paths) : paths_(std::move(paths)) {}
+
+  const PathList& paths() const { return paths_; }
+  std::size_t num_paths() const { return paths_.size(); }
+
+  /// Normalize total path power sum |h_p|^2 to 1.
+  void normalize_power();
+
+  /// Total path power sum |h_p|^2.
+  double total_power() const;
+
+  /// Time-frequency response H(t, f) where `f` is the offset from the
+  /// carrier the path Dopplers were computed for.
+  std::complex<double> tf_response(double t, double f) const;
+
+  /// Sampled time-frequency channel over an M x N OFDM grid: entry (m, n) is
+  /// H(n * symbol_duration, m * subcarrier_spacing). Rows index frequency,
+  /// columns index time.
+  dsp::Matrix tf_matrix(std::size_t num_subcarriers, std::size_t num_symbols,
+                        double subcarrier_spacing_hz,
+                        double symbol_duration_s) const;
+
+  /// Windowed delay-Doppler channel samples h_w(k dtau, l dnu) per Eq. 5,
+  /// with dtau = 1/(M df) and dnu = 1/(N T). Entry (k, l). The 1/(MN)
+  /// normalization of Eq. 5 is applied, matching what LS channel estimation
+  /// over the grid recovers.
+  ///
+  /// `cp_len` (samples at M df) enables the CP-OFDM correction the pure
+  /// Eq. 5 model omits: each path is additionally rotated/attenuated by its
+  /// intra-symbol Doppler average and the phase advance across the cyclic
+  /// prefix. Pass the modem's CP length to match what a real receiver
+  /// estimates; leave 0 for the idealized textbook samples.
+  dsp::Matrix dd_matrix(std::size_t num_subcarriers, std::size_t num_symbols,
+                        double subcarrier_spacing_hz,
+                        double symbol_duration_s,
+                        std::size_t cp_len = 0) const;
+
+  /// Pass `tx` (complex baseband at `sample_rate_hz`) through the channel:
+  /// r[i] = sum_p h_p * delay(tx, tau_p)[i] * e^{j 2 pi nu_p i / fs}.
+  /// Delay is circular (callers insert a cyclic prefix).
+  dsp::CVec apply_to_signal(const dsp::CVec& tx, double sample_rate_hz) const;
+
+  /// A copy of this channel with every Doppler scaled by `factor` —
+  /// the physical relation nu2/nu1 = f2/f1 between co-located cells on
+  /// different carriers (§5.2). Delays and gains are carrier-independent.
+  MultipathChannel with_doppler_scaled(double factor) const;
+
+  /// A copy advanced by `dt` seconds: each path gain picks up its Doppler
+  /// phase e^{j 2 pi nu_p dt}. First-order path geometry evolution
+  /// (Appendix A: delays/Dopplers themselves drift far slower).
+  MultipathChannel advanced_by(double dt) const;
+
+ private:
+  PathList paths_;
+};
+
+}  // namespace rem::channel

@@ -1,0 +1,28 @@
+// Additive white Gaussian noise helpers.
+#pragma once
+
+#include "common/rng.hpp"
+#include "dsp/fft.hpp"
+
+namespace rem::channel {
+
+/// Add complex AWGN with per-sample variance `noise_power` to `signal`.
+inline void add_awgn(dsp::CVec& signal, double noise_power,
+                     common::Rng& rng) {
+  for (auto& x : signal) x += rng.complex_gaussian(noise_power);
+}
+
+/// Noise power for a desired SNR (dB) given unit-power signal samples.
+inline double noise_power_for_snr_db(double snr_db) {
+  return std::pow(10.0, -snr_db / 10.0);
+}
+
+/// Measured average sample power of a signal.
+inline double mean_power(const dsp::CVec& signal) {
+  if (signal.empty()) return 0.0;
+  double p = 0.0;
+  for (const auto& x : signal) p += std::norm(x);
+  return p / static_cast<double>(signal.size());
+}
+
+}  // namespace rem::channel

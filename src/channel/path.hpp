@@ -1,0 +1,19 @@
+// A single propagation path in the delay-Doppler domain (Eq. 1 of the
+// paper): complex attenuation h_p, propagation delay tau_p, Doppler shift
+// nu_p.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace rem::channel {
+
+struct Path {
+  std::complex<double> gain;  ///< h_p, complex attenuation (includes phase)
+  double delay_s = 0.0;       ///< tau_p [s]
+  double doppler_hz = 0.0;    ///< nu_p [Hz]
+};
+
+using PathList = std::vector<Path>;
+
+}  // namespace rem::channel

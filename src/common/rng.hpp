@@ -1,0 +1,74 @@
+// Deterministic random number generation.
+//
+// All stochastic components (channel fading, shadowing, message loss, trace
+// synthesis) draw from an explicitly seeded Rng so that every experiment in
+// bench/ is exactly reproducible. Components never construct their own
+// std::random_device.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <complex>
+#include <vector>
+
+namespace rem::common {
+
+/// Thin wrapper over a 64-bit Mersenne Twister with typed draw helpers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Standard normal scaled to `stddev`.
+  double gaussian(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Circularly-symmetric complex Gaussian with total variance
+  /// `variance` (i.e. E[|x|^2] = variance).
+  std::complex<double> complex_gaussian(double variance = 1.0) {
+    const double s = std::sqrt(variance / 2.0);
+    return {gaussian(0.0, s), gaussian(0.0, s)};
+  }
+
+  /// Bernoulli trial.
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Exponential with mean `mean`.
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Poisson with mean `mean`.
+  int poisson(double mean) {
+    return std::poisson_distribution<int>(mean)(engine_);
+  }
+
+  /// Pick an index in [0, weights.size()) proportionally to weights.
+  std::size_t discrete(const std::vector<double>& weights) {
+    return std::discrete_distribution<std::size_t>(weights.begin(),
+                                                   weights.end())(engine_);
+  }
+
+  /// Derive an independent child stream; used to give each subsystem its
+  /// own stream so adding draws in one does not perturb another.
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace rem::common

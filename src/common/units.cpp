@@ -1,0 +1,31 @@
+#include "common/units.hpp"
+
+#include <limits>
+
+namespace rem::common {
+
+double lin_to_db(double linear) { return 10.0 * std::log10(linear); }
+
+double db_to_lin(double db) { return std::pow(10.0, db / 10.0); }
+
+double watt_to_dbm(double watt) { return lin_to_db(watt) + 30.0; }
+
+double dbm_to_watt(double dbm) { return db_to_lin(dbm - 30.0); }
+
+double max_doppler_hz(double speed_mps, double carrier_hz) {
+  return speed_mps * carrier_hz / kSpeedOfLight;
+}
+
+double coherence_time_s(double speed_mps, double carrier_hz) {
+  const double nu_max = max_doppler_hz(speed_mps, carrier_hz);
+  if (nu_max <= 0.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / nu_max;
+}
+
+double wavelength_m(double carrier_hz) { return kSpeedOfLight / carrier_hz; }
+
+double shannon_capacity_bps(double bandwidth_hz, double snr_linear) {
+  return bandwidth_hz * std::log2(1.0 + snr_linear);
+}
+
+}  // namespace rem::common

@@ -1,0 +1,50 @@
+// Physical units and dB arithmetic used across REM.
+//
+// Everything in the library stores SI units (Hz, seconds, meters, watts).
+// dB/dBm are *presentation* and *configuration* forms, converted at the edge
+// through the helpers here. Keeping one conversion point avoids the classic
+// power-vs-amplitude factor-of-2 bugs.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace rem::common {
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Convert a linear power ratio to decibels.
+double lin_to_db(double linear);
+
+/// Convert decibels to a linear power ratio.
+double db_to_lin(double db);
+
+/// Convert a power in watts to dBm.
+double watt_to_dbm(double watt);
+
+/// Convert dBm to watts.
+double dbm_to_watt(double dbm);
+
+/// Convert km/h to m/s.
+constexpr double kmh_to_mps(double kmh) { return kmh / 3.6; }
+
+/// Convert m/s to km/h.
+constexpr double mps_to_kmh(double mps) { return mps * 3.6; }
+
+/// Maximum Doppler shift [Hz] for a client moving at `speed_mps` under
+/// carrier frequency `carrier_hz` (nu_max = v*f/c, §2 of the paper).
+double max_doppler_hz(double speed_mps, double carrier_hz);
+
+/// OFDM coherence time approximation Tc ≈ 1/nu_max [s] (§2). Returns +inf
+/// for a static client.
+double coherence_time_s(double speed_mps, double carrier_hz);
+
+/// Carrier wavelength [m].
+double wavelength_m(double carrier_hz);
+
+/// Shannon capacity C = B log2(1 + SNR) [bit/s]; `snr_linear` is a power
+/// ratio. Used by REM's SNR-based load-balancing replacement (§5.3).
+double shannon_capacity_bps(double bandwidth_hz, double snr_linear);
+
+}  // namespace rem::common

@@ -1,0 +1,139 @@
+#include "core/legacy_manager.hpp"
+
+namespace rem::core {
+
+namespace rm = rem::mobility;
+
+LegacyManager::LegacyManager(LegacyConfig cfg) : cfg_(std::move(cfg)) {}
+
+const rm::CellPolicy& LegacyManager::serving_policy() const {
+  const auto it = cfg_.policies.find(serving_id_.cell);
+  return it != cfg_.policies.end() ? it->second : cfg_.default_policy;
+}
+
+bool LegacyManager::rule_matches(const rm::PolicyRule& rule,
+                                 const rm::CellId& serving,
+                                 const rm::CellId& target) const {
+  if (rule.channel == rm::PolicyRule::kAnyChannel) return true;
+  if (rule.channel == rm::PolicyRule::kServingChannel)
+    return target.channel == serving.channel;
+  if (rule.channel == rm::PolicyRule::kOtherChannels)
+    return target.channel != serving.channel;
+  return rule.channel == target.channel;
+}
+
+void LegacyManager::on_serving_changed(double /*t*/, std::size_t new_idx) {
+  serving_cell_ = static_cast<int>(new_idx);
+  stage_ = 0;
+  reconfigurations_ = 0;
+  pending_stage_ = -1;
+  stage_change_due_ = -1.0;
+  monitors_.clear();
+  visible_.clear();
+  last_decision_t_ = -1e9;
+}
+
+std::optional<sim::HandoverDecision> LegacyManager::update(
+    double t, const sim::ServingState& serving,
+    const std::vector<sim::Observation>& neighbors) {
+  serving_id_ = serving.id;
+  const auto& policy = serving_policy();
+  if (stage_ == 0) stage_ = policy.initial_stage;
+
+  // A pending reconfiguration takes effect after its round trip.
+  if (pending_stage_ >= 0 && t >= stage_change_due_) {
+    stage_ = pending_stage_;
+    pending_stage_ = -1;
+    ++reconfigurations_;
+    // New measurement configuration resets the neighbor monitors (the
+    // serving-only guards stay armed).
+    for (auto& [k, mon] : monitors_) {
+      if (mon.config().type != rm::EventType::kA1 &&
+          mon.config().type != rm::EventType::kA2)
+        mon.reset();
+    }
+  }
+
+  // Track what this stage can see (for missed-cell classification) and
+  // build the measurement task list that sets the feedback delay. The
+  // monitored set is bounded: only the strongest cells get measured.
+  visible_.clear();
+  std::vector<std::pair<double, const sim::Observation*>> candidates;
+  const auto stage_rules = policy.rules_in_stage(stage_);
+  for (const auto& o : neighbors) {
+    for (const auto* rule : stage_rules) {
+      if (rule->event.type == rm::EventType::kA1 ||
+          rule->event.type == rm::EventType::kA2)
+        continue;  // serving-only
+      if (!rule_matches(*rule, serving.id, o.id)) continue;
+      candidates.push_back({-o.rsrp_dbm, &o});
+      break;
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  if (candidates.size() > cfg_.max_monitored_cells)
+    candidates.resize(cfg_.max_monitored_cells);
+  std::vector<rm::MeasureTask> tasks;
+  for (const auto& [neg, o] : candidates) {
+    visible_.insert(o->cell_idx);
+    tasks.push_back({o->id, o->id.channel == serving.id.channel});
+  }
+
+  std::optional<sim::HandoverDecision> decision;
+  for (std::size_t r = 0; r < policy.rules.size(); ++r) {
+    const auto& rule = policy.rules[r];
+    if (rule.stage != stage_) continue;
+    const bool serving_only = rule.event.type == rm::EventType::kA1 ||
+                              rule.event.type == rm::EventType::kA2;
+    // During the re-fire hold-off the reporting machinery is busy; freeze
+    // the handover triggers (not the reconfiguration guards) so a held
+    // fire is not silently consumed.
+    if (rule.action == rm::PolicyAction::kHandover &&
+        t - last_decision_t_ < cfg_.refire_interval_s)
+      continue;
+    // Evaluate against each applicable neighbor (or once for A1/A2).
+    const auto eval_one = [&](int neighbor_cell, double neighbor_metric,
+                              std::size_t target_idx) {
+      const auto key = std::make_pair(static_cast<int>(r), neighbor_cell);
+      auto [it, inserted] =
+          monitors_.try_emplace(key, rm::EventMonitor(rule.event));
+      if (!it->second.update(t, serving.rsrp_dbm, neighbor_metric)) return;
+      if (rule.action == rm::PolicyAction::kReconfigure) {
+        if (rule.next_stage != stage_ && pending_stage_ < 0) {
+          // Feedback + reconfiguration command round trip before the new
+          // measurement configuration is active (§3.2's extra delay).
+          pending_stage_ = rule.next_stage;
+          stage_change_due_ = t + cfg_.measurement.reconfigure_rtt_s +
+                              cfg_.measurement.report_latency_s;
+        }
+        return;
+      }
+      if (decision) return;  // first firing rule wins this tick
+      sim::HandoverDecision d;
+      d.target_idx = target_idx;
+      d.feedback_delay_s = rm::legacy_feedback_delay_s(
+          tasks, cfg_.measurement, reconfigurations_);
+      decision = d;
+    };
+
+    if (serving_only) {
+      eval_one(-1, 0.0, 0);
+      continue;
+    }
+    for (const auto& o : neighbors) {
+      if (visible_.count(o.cell_idx) == 0) continue;  // not monitored
+      if (!rule_matches(rule, serving.id, o.id)) continue;
+      eval_one(o.id.cell, o.rsrp_dbm, o.cell_idx);
+    }
+  }
+
+  if (decision) {
+    last_decision_t_ = t;
+    // A decision re-arms the triggers so a lost report can re-fire after
+    // the re-fire interval.
+    for (auto& [k, mon] : monitors_) mon.reset();
+  }
+  return decision;
+}
+
+}  // namespace rem::core

@@ -1,0 +1,66 @@
+// Legacy 4G/5G mobility management (the baseline REM is compared against):
+// wireless-signal-strength input with fast fading, per-cell multi-stage
+// policies (Fig. 1b), sequential measurement with gaps and long
+// inter-frequency TimeToTrigger, OFDM signaling.
+#pragma once
+
+#include "mobility/measurement.hpp"
+#include "mobility/policy.hpp"
+#include "sim/simulator.hpp"
+
+#include <map>
+
+namespace rem::core {
+
+struct LegacyConfig {
+  /// Per-cell policies, keyed by CellId::cell. Cells without an entry get
+  /// `default_policy`.
+  std::map<int, mobility::CellPolicy> policies;
+  mobility::CellPolicy default_policy;
+  mobility::MeasurementConfig measurement;
+  /// After an emitted decision, how long before the (still satisfied)
+  /// trigger may re-fire a report (RLC ARQ + reporting interval).
+  double refire_interval_s = 0.24;
+  /// Bounded monitored set: strongest cells measured per stage.
+  std::size_t max_monitored_cells = 8;
+};
+
+class LegacyManager final : public sim::MobilityManager {
+ public:
+  explicit LegacyManager(LegacyConfig cfg);
+
+  std::string name() const override { return "Legacy"; }
+  phy::Waveform waveform() const override { return phy::Waveform::kOFDM; }
+  std::optional<sim::HandoverDecision> update(
+      double t, const sim::ServingState& serving,
+      const std::vector<sim::Observation>& neighbors) override;
+  std::set<std::size_t> visible_cells() const override {
+    return visible_;
+  }
+  void on_serving_changed(double t, std::size_t new_idx) override;
+
+  int current_stage() const { return stage_; }
+  int reconfigurations() const { return reconfigurations_; }
+
+ private:
+  const mobility::CellPolicy& serving_policy() const;
+  bool rule_matches(const mobility::PolicyRule& rule,
+                    const mobility::CellId& serving,
+                    const mobility::CellId& target) const;
+
+  LegacyConfig cfg_;
+  int serving_cell_ = -1;
+  mobility::CellId serving_id_;
+  int stage_ = 0;
+  int reconfigurations_ = 0;  ///< since last serving change
+  /// A fired reconfiguration takes a round trip to take effect; until
+  /// `stage_change_due_` the client still measures the old stage's cells.
+  int pending_stage_ = -1;
+  double stage_change_due_ = -1.0;
+  double last_decision_t_ = -1e9;
+  /// TTT monitors keyed by (rule index, neighbor cell id).
+  std::map<std::pair<int, int>, mobility::EventMonitor> monitors_;
+  std::set<std::size_t> visible_;
+};
+
+}  // namespace rem::core

@@ -1,0 +1,142 @@
+#include "core/rrc_codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rem::core {
+namespace {
+
+constexpr std::uint8_t kMagicReport = 0xA3;
+constexpr std::uint8_t kMagicCommand = 0xC7;
+constexpr std::size_t kMaxNeighbors = 64;
+
+void put_u8(Bytes& b, std::uint8_t v) { b.push_back(v); }
+void put_u16(Bytes& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+void put_u32(Bytes& b, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    b.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+void put_i32(Bytes& b, std::int32_t v) {
+  put_u32(b, static_cast<std::uint32_t>(v));
+}
+// dB value quantized to 0.25 dB in a signed 16-bit field.
+void put_db(Bytes& b, double db) {
+  const double q = std::clamp(db * 4.0, -32768.0, 32767.0);
+  put_u16(b, static_cast<std::uint16_t>(
+                 static_cast<std::int16_t>(std::lround(q))));
+}
+
+class Reader {
+ public:
+  explicit Reader(const Bytes& b) : b_(b) {}
+  bool ok() const { return ok_; }
+  std::uint8_t u8() { return ok_ && pos_ < b_.size() ? b_[pos_++] : fail(); }
+  std::uint16_t u16() {
+    const std::uint16_t lo = u8();
+    const std::uint16_t hi = u8();
+    return static_cast<std::uint16_t>(lo | (hi << 8));
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double db() {
+    return static_cast<std::int16_t>(u16()) / 4.0;
+  }
+  bool at_end() const { return pos_ == b_.size(); }
+
+ private:
+  std::uint8_t fail() {
+    ok_ = false;
+    return 0;
+  }
+  const Bytes& b_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+Bytes encode(const MeasurementReport& report) {
+  Bytes b;
+  put_u8(b, kMagicReport);
+  put_u16(b, report.report_id);
+  put_i32(b, report.serving_cell);
+  put_db(b, report.serving_metric_db);
+  put_u8(b, static_cast<std::uint8_t>(
+                std::min(report.neighbors.size(), kMaxNeighbors)));
+  std::size_t count = 0;
+  for (const auto& n : report.neighbors) {
+    if (count++ == kMaxNeighbors) break;
+    put_i32(b, n.cell_id);
+    put_db(b, n.metric_db);
+    put_u8(b, n.cross_band_estimated ? 1 : 0);
+  }
+  return b;
+}
+
+Bytes encode(const HandoverCommand& cmd) {
+  Bytes b;
+  put_u8(b, kMagicCommand);
+  put_u16(b, cmd.command_id);
+  put_i32(b, cmd.source_cell);
+  put_i32(b, cmd.target_cell);
+  put_u32(b, cmd.target_channel);
+  put_u16(b, cmd.new_crnti);
+  // Execution offset in 0.1 ms units (16 bit, saturating).
+  const double q = std::clamp(cmd.time_to_execute_s * 1e4, 0.0, 65535.0);
+  put_u16(b, static_cast<std::uint16_t>(std::lround(q)));
+  return b;
+}
+
+std::optional<MeasurementReport> decode_report(const Bytes& wire) {
+  Reader r(wire);
+  if (r.u8() != kMagicReport) return std::nullopt;
+  MeasurementReport out;
+  out.report_id = r.u16();
+  out.serving_cell = r.i32();
+  out.serving_metric_db = r.db();
+  const std::uint8_t n = r.u8();
+  if (!r.ok() || n > kMaxNeighbors) return std::nullopt;
+  out.neighbors.reserve(n);
+  for (std::uint8_t i = 0; i < n; ++i) {
+    MeasEntry e;
+    e.cell_id = r.i32();
+    e.metric_db = r.db();
+    const std::uint8_t flag = r.u8();
+    if (flag > 1) return std::nullopt;
+    e.cross_band_estimated = flag == 1;
+    out.neighbors.push_back(e);
+  }
+  if (!r.ok() || !r.at_end()) return std::nullopt;
+  return out;
+}
+
+std::optional<HandoverCommand> decode_command(const Bytes& wire) {
+  Reader r(wire);
+  if (r.u8() != kMagicCommand) return std::nullopt;
+  HandoverCommand out;
+  out.command_id = r.u16();
+  out.source_cell = r.i32();
+  out.target_cell = r.i32();
+  out.target_channel = r.u32();
+  out.new_crnti = r.u16();
+  out.time_to_execute_s = r.u16() / 1e4;
+  if (!r.ok() || !r.at_end()) return std::nullopt;
+  return out;
+}
+
+MessageType peek_type(const Bytes& wire) {
+  if (wire.empty()) return MessageType::kUnknown;
+  if (wire[0] == kMagicReport) return MessageType::kMeasurementReport;
+  if (wire[0] == kMagicCommand) return MessageType::kHandoverCommand;
+  return MessageType::kUnknown;
+}
+
+}  // namespace rem::core

@@ -1,0 +1,64 @@
+// Compact binary codec for the RRC-style signaling messages the overlay
+// carries: measurement reports (client -> base station) and handover
+// commands (base station -> client). Mirrors the shape (not the ASN.1
+// encoding) of TS 36.331 MeasurementReport / RRCConnectionReconfiguration
+// with mobilityControlInfo.
+//
+// The wire format is deliberately simple and versioned: little-endian
+// fixed-width integers, dB quantities quantized to 0.25 dB steps, length-
+// prefixed lists. decode() validates everything and throws on corruption —
+// the overlay's block errors must surface as decode failures, never UB.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace rem::core {
+
+/// One measured/estimated cell inside a measurement report.
+struct MeasEntry {
+  std::int32_t cell_id = 0;
+  double metric_db = 0.0;     ///< RSRP (legacy) or delay-Doppler SNR (REM)
+  bool cross_band_estimated = false;
+
+  bool operator==(const MeasEntry&) const = default;
+};
+
+struct MeasurementReport {
+  std::uint16_t report_id = 0;
+  std::int32_t serving_cell = 0;
+  double serving_metric_db = 0.0;
+  std::vector<MeasEntry> neighbors;
+
+  bool operator==(const MeasurementReport&) const = default;
+};
+
+struct HandoverCommand {
+  std::uint16_t command_id = 0;
+  std::int32_t source_cell = 0;
+  std::int32_t target_cell = 0;
+  std::uint32_t target_channel = 0;   ///< EARFCN-like
+  std::uint16_t new_crnti = 0;        ///< identity on the target
+  double time_to_execute_s = 0.0;
+
+  bool operator==(const HandoverCommand&) const = default;
+};
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Encode to the wire format. Metric values outside [-127.75, 127.75] dB
+/// saturate (quantized to 0.25 dB).
+Bytes encode(const MeasurementReport& report);
+Bytes encode(const HandoverCommand& cmd);
+
+/// Decode; returns nullopt on any corruption (bad magic, truncated body,
+/// out-of-range list length).
+std::optional<MeasurementReport> decode_report(const Bytes& wire);
+std::optional<HandoverCommand> decode_command(const Bytes& wire);
+
+/// Message type sniffing for a received blob.
+enum class MessageType { kMeasurementReport, kHandoverCommand, kUnknown };
+MessageType peek_type(const Bytes& wire);
+
+}  // namespace rem::core

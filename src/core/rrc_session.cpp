@@ -1,0 +1,53 @@
+#include "core/rrc_session.hpp"
+
+namespace rem::core {
+
+void RrcSession::send(const MeasurementReport& report) {
+  const auto wire = encode(report);
+  const auto id = next_id_++;
+  in_flight_[id] = wire;
+  overlay_.enqueue_signaling(id, wire.size());
+}
+
+void RrcSession::send(const HandoverCommand& cmd) {
+  const auto wire = encode(cmd);
+  const auto id = next_id_++;
+  in_flight_[id] = wire;
+  overlay_.enqueue_signaling(id, wire.size());
+}
+
+RrcTransmitOutcome RrcSession::transmit_subframe(
+    const channel::MultipathChannel& ch, double snr_db, common::Rng& rng) {
+  RrcTransmitOutcome out;
+  auto sub = overlay_.transmit_subframe(ch, snr_db, rng);
+  out.allocation = std::move(sub.allocation);
+  for (const auto id : sub.delivered_signaling_ids) {
+    const auto it = in_flight_.find(id);
+    if (it == in_flight_.end()) continue;
+    switch (peek_type(it->second)) {
+      case MessageType::kMeasurementReport:
+        if (auto r = decode_report(it->second))
+          out.delivered.emplace_back(std::move(*r));
+        else
+          ++out.lost;  // should not happen on a clean block
+        break;
+      case MessageType::kHandoverCommand:
+        if (auto c = decode_command(it->second))
+          out.delivered.emplace_back(std::move(*c));
+        else
+          ++out.lost;
+        break;
+      case MessageType::kUnknown:
+        ++out.lost;
+        break;
+    }
+    in_flight_.erase(it);
+  }
+  for (const auto id : sub.lost_signaling_ids) {
+    ++out.lost;
+    in_flight_.erase(id);
+  }
+  return out;
+}
+
+}  // namespace rem::core

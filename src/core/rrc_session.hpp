@@ -1,0 +1,46 @@
+// Typed RRC signaling over the delay-Doppler overlay: encodes measurement
+// reports / handover commands with the rrc_codec, ships them through the
+// scheduling-based OTFS overlay, and decodes whatever survives the channel.
+// Block errors surface as decode failures — exactly the loss process the
+// network simulator abstracts with BlerModel.
+#pragma once
+
+#include "core/overlay.hpp"
+#include "core/rrc_codec.hpp"
+
+#include <map>
+#include <variant>
+
+namespace rem::core {
+
+using RrcMessage = std::variant<MeasurementReport, HandoverCommand>;
+
+struct RrcTransmitOutcome {
+  std::vector<RrcMessage> delivered;
+  std::size_t lost = 0;
+  phy::SubframeAllocation allocation;
+};
+
+class RrcSession {
+ public:
+  explicit RrcSession(OverlayConfig cfg) : overlay_(cfg) {}
+
+  /// Queue a message for the next subframe(s).
+  void send(const MeasurementReport& report);
+  void send(const HandoverCommand& cmd);
+
+  std::size_t backlog_bytes() const {
+    return overlay_.signaling_backlog_bytes();
+  }
+
+  /// Transmit one subframe over `ch` at `snr_db` and decode the survivors.
+  RrcTransmitOutcome transmit_subframe(const channel::MultipathChannel& ch,
+                                       double snr_db, common::Rng& rng);
+
+ private:
+  SignalingOverlay overlay_;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, Bytes> in_flight_;
+};
+
+}  // namespace rem::core

@@ -1,0 +1,53 @@
+// Common interface for cross-band channel estimators (§5.2).
+//
+// A client measures one cell of a base station on carrier f1 and wants the
+// channel of a co-located cell on carrier f2 without measuring it. Path
+// delays and attenuations are carrier-independent; Dopplers scale by f2/f1.
+//
+// REM operates on the delay-Doppler estimate; the R2F2/OptML baselines
+// operate on the time-frequency estimate (as the original systems do).
+#pragma once
+
+#include "dsp/matrix.hpp"
+#include "phy/numerology.hpp"
+
+#include <string>
+
+namespace rem::crossband {
+
+struct CrossbandInput {
+  /// Band-1 delay-Doppler channel samples (M x N) from DdChannelEstimator.
+  dsp::Matrix h1_dd;
+  /// Band-1 time-frequency channel samples (M x N), rows = subcarriers.
+  dsp::Matrix h1_tf;
+  /// Grid parameters the estimates were taken with.
+  phy::Numerology num;
+  /// Carrier frequencies [Hz].
+  double f1_hz = 2.0e9;
+  double f2_hz = 2.6e9;
+};
+
+struct CrossbandOutput {
+  /// Predicted band-2 channel in the estimator's native domain.
+  dsp::Matrix h2;
+  /// True if `h2` is delay-Doppler samples; false if time-frequency.
+  bool is_delay_doppler = true;
+  /// Predicted mean per-RE channel power gain of band 2 (domain-agnostic).
+  double mean_gain = 0.0;
+};
+
+class CrossbandEstimator {
+ public:
+  virtual ~CrossbandEstimator() = default;
+  virtual CrossbandOutput estimate(const CrossbandInput& in) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Mean per-RE gain of a TF channel sample matrix.
+double mean_gain_tf(const dsp::Matrix& h_tf);
+
+/// Convert a predicted channel to time-frequency samples regardless of the
+/// estimator's native domain (DD estimates are SFFT'd back).
+dsp::Matrix output_as_tf(const CrossbandOutput& out);
+
+}  // namespace rem::crossband

@@ -1,0 +1,16 @@
+#include "crossband/mimo.hpp"
+
+namespace rem::crossband {
+
+MimoOutput MimoRemEstimator::estimate(const MimoInput& in) {
+  MimoOutput out;
+  out.per_antenna.reserve(in.antennas.size());
+  for (const auto& ant : in.antennas) {
+    RemSvdEstimator est(cfg_);
+    out.per_antenna.push_back(est.estimate(ant));
+    out.mrc_gain += out.per_antenna.back().mean_gain;
+  }
+  return out;
+}
+
+}  // namespace rem::crossband

@@ -1,0 +1,38 @@
+// Multi-antenna cross-band estimation (§5.2: "Algorithm 1 supports
+// multi-antenna systems such as MIMO and beamforming, by running it on
+// each antenna").
+//
+// Each receive antenna sees the same physical paths with its own complex
+// per-path weights, so the SVD factorization runs per antenna and the
+// results combine: per-antenna band-2 predictions, plus a joint wideband
+// gain (sum over antennas) for MRC-style SNR.
+#pragma once
+
+#include "crossband/rem_svd.hpp"
+
+#include <vector>
+
+namespace rem::crossband {
+
+struct MimoInput {
+  /// One CrossbandInput per receive antenna (same grid/carrier config).
+  std::vector<CrossbandInput> antennas;
+};
+
+struct MimoOutput {
+  std::vector<CrossbandOutput> per_antenna;
+  /// Maximum-ratio-combined mean gain across antennas.
+  double mrc_gain = 0.0;
+};
+
+class MimoRemEstimator {
+ public:
+  explicit MimoRemEstimator(RemSvdConfig cfg = {}) : cfg_(cfg) {}
+
+  MimoOutput estimate(const MimoInput& in);
+
+ private:
+  RemSvdConfig cfg_;
+};
+
+}  // namespace rem::crossband

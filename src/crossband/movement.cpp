@@ -1,0 +1,38 @@
+#include "crossband/movement.hpp"
+
+#include "common/units.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rem::crossband {
+
+std::optional<MovementEstimate> estimate_movement(
+    const std::vector<ExtractedPath>& paths, double carrier_hz) {
+  if (paths.empty() || carrier_hz <= 0.0) return std::nullopt;
+
+  MovementEstimate est;
+  double max_abs_nu = 0.0;
+  double min_nu = std::numeric_limits<double>::infinity();
+  double max_nu = -std::numeric_limits<double>::infinity();
+  double min_tau = std::numeric_limits<double>::infinity();
+  double max_tau = -std::numeric_limits<double>::infinity();
+  double strongest = -1.0;
+  for (const auto& p : paths) {
+    max_abs_nu = std::max(max_abs_nu, std::abs(p.doppler_hz));
+    min_nu = std::min(min_nu, p.doppler_hz);
+    max_nu = std::max(max_nu, p.doppler_hz);
+    min_tau = std::min(min_tau, p.delay_s);
+    max_tau = std::max(max_tau, p.delay_s);
+    if (p.attenuation > strongest) {
+      strongest = p.attenuation;
+      est.heading_sign = p.doppler_hz >= 0.0 ? 1.0 : -1.0;
+    }
+  }
+  est.speed_mps = max_abs_nu * common::kSpeedOfLight / carrier_hz;
+  est.delay_spread_m = (max_tau - min_tau) * common::kSpeedOfLight;
+  est.doppler_spread_hz = max_nu - min_nu;
+  return est;
+}
+
+}  // namespace rem::crossband

@@ -1,0 +1,37 @@
+// Movement estimation from the delay-Doppler factorization (§10 "beyond
+// reliability": delay-Doppler based localization / client movement
+// insights).
+//
+// The paths REM extracts for cross-band estimation carry physics: each
+// Doppler nu_p = v f cos(theta_p) / c and each delay tau_p is an excess
+// path length. The strongest (LOS-like) path bounds the client speed from
+// below, and the Doppler *spread* across paths reveals how much of the
+// environment is scattered around versus ahead.
+#pragma once
+
+#include "crossband/rem_svd.hpp"
+
+#include <optional>
+
+namespace rem::crossband {
+
+struct MovementEstimate {
+  /// Lower-bound speed estimate [m/s]: max |nu| * c / f. Equals the true
+  /// speed when some path is aligned with the motion (cos theta = 1),
+  /// which the HSR LOS geometry approximates.
+  double speed_mps = 0.0;
+  /// Positive = approaching the dominant scatterer/site, negative =
+  /// receding (sign of the strongest path's Doppler).
+  double heading_sign = 0.0;
+  /// Excess path-length spread [m]: (max tau - min tau) * c.
+  double delay_spread_m = 0.0;
+  /// Doppler spread across paths [Hz].
+  double doppler_spread_hz = 0.0;
+};
+
+/// Estimate client movement from extracted paths at carrier `carrier_hz`.
+/// Returns nullopt when no usable paths exist.
+std::optional<MovementEstimate> estimate_movement(
+    const std::vector<ExtractedPath>& paths, double carrier_hz);
+
+}  // namespace rem::crossband

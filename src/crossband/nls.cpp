@@ -1,0 +1,107 @@
+#include "crossband/nls.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+namespace rem::crossband {
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+using cd = std::complex<double>;
+}  // namespace
+
+std::vector<cd> nls_steering(double tau, std::size_t m, double df) {
+  std::vector<cd> v(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    const double ang = -kTwoPi * static_cast<double>(k) * df * tau;
+    v[k] = cd(std::cos(ang), std::sin(ang));
+  }
+  return v;
+}
+
+std::vector<NlsPath> nls_matching_pursuit(const std::vector<cd>& h,
+                                          double df, std::size_t max_paths,
+                                          std::size_t oversample) {
+  const std::size_t m = h.size();
+  std::vector<NlsPath> paths;
+  std::vector<cd> residual = h;
+  const std::size_t grid_points = m * oversample;
+  const double tau_max = 1.0 / df;
+  for (std::size_t p = 0; p < max_paths; ++p) {
+    double best_tau = 0.0;
+    cd best_a(0, 0);
+    double best_score = -1.0;
+    for (std::size_t g = 0; g < grid_points; ++g) {
+      const double tau = tau_max * static_cast<double>(g) /
+                         static_cast<double>(grid_points);
+      const auto s = nls_steering(tau, m, df);
+      cd corr(0, 0);
+      for (std::size_t k = 0; k < m; ++k)
+        corr += residual[k] * std::conj(s[k]);
+      if (std::norm(corr) > best_score) {
+        best_score = std::norm(corr);
+        best_tau = tau;
+        best_a = corr / static_cast<double>(m);
+      }
+    }
+    if (std::abs(best_a) < 1e-6) break;
+    paths.push_back({best_a, best_tau});
+    const auto s = nls_steering(best_tau, m, df);
+    for (std::size_t k = 0; k < m; ++k) residual[k] -= best_a * s[k];
+  }
+  return paths;
+}
+
+void nls_refine(std::vector<NlsPath>& paths, const std::vector<cd>& h,
+                double df, std::size_t iters, std::size_t oversample) {
+  if (paths.empty()) return;
+  const std::size_t m = h.size();
+  const double tau_max = 1.0 / df;
+  const double tau_step0 =
+      tau_max / static_cast<double>(m * oversample);
+  for (std::size_t it = 0; it < iters; ++it) {
+    const std::size_t p = it % paths.size();
+    std::vector<cd> r = h;
+    for (std::size_t q = 0; q < paths.size(); ++q) {
+      if (q == p) continue;
+      const auto s = nls_steering(paths[q].delay_s, m, df);
+      for (std::size_t k = 0; k < m; ++k) r[k] -= paths[q].amplitude * s[k];
+    }
+    const double step =
+        tau_step0 / (1.0 + static_cast<double>(it) /
+                               static_cast<double>(paths.size()));
+    double best_tau = paths[p].delay_s;
+    cd best_a = paths[p].amplitude;
+    double best_err = std::numeric_limits<double>::infinity();
+    for (int d = -2; d <= 2; ++d) {
+      double tau = paths[p].delay_s + static_cast<double>(d) * step;
+      if (tau < 0) tau += tau_max;
+      if (tau >= tau_max) tau -= tau_max;
+      const auto s = nls_steering(tau, m, df);
+      cd corr(0, 0);
+      for (std::size_t k = 0; k < m; ++k) corr += r[k] * std::conj(s[k]);
+      const cd a = corr / static_cast<double>(m);
+      double err = 0.0;
+      for (std::size_t k = 0; k < m; ++k) err += std::norm(r[k] - a * s[k]);
+      if (err < best_err) {
+        best_err = err;
+        best_tau = tau;
+        best_a = a;
+      }
+    }
+    paths[p].delay_s = best_tau;
+    paths[p].amplitude = best_a;
+  }
+}
+
+std::vector<cd> nls_evaluate(const std::vector<NlsPath>& paths,
+                             std::size_t m, double df) {
+  std::vector<cd> h(m, cd(0, 0));
+  for (const auto& p : paths) {
+    const auto s = nls_steering(p.delay_s, m, df);
+    for (std::size_t k = 0; k < m; ++k) h[k] += p.amplitude * s[k];
+  }
+  return h;
+}
+
+}  // namespace rem::crossband

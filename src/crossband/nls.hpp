@@ -1,0 +1,39 @@
+// Shared nonlinear-least-squares path fitting for the time-frequency
+// domain baselines. R2F2 runs it from a matching-pursuit cold start with
+// many iterations; OptML runs the same refinement seeded by its learned
+// prediction with fewer iterations (ML-seeded optimization, as in the
+// original system).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace rem::crossband {
+
+struct NlsPath {
+  std::complex<double> amplitude;
+  double delay_s = 0.0;
+};
+
+/// Model response e^{-j 2 pi k df tau} on subcarriers k = 0..m-1.
+std::vector<std::complex<double>> nls_steering(double tau, std::size_t m,
+                                               double df);
+
+/// Greedy matching pursuit of up to `max_paths` paths over a delay grid of
+/// `m * oversample` points.
+std::vector<NlsPath> nls_matching_pursuit(
+    const std::vector<std::complex<double>>& h, double df,
+    std::size_t max_paths, std::size_t oversample);
+
+/// Coordinate-wise NLS refinement: `iters` rounds of re-fitting one path
+/// (local delay search + amplitude re-solve) against the residual of the
+/// others. Mutates `paths` in place.
+void nls_refine(std::vector<NlsPath>& paths,
+                const std::vector<std::complex<double>>& h, double df,
+                std::size_t iters, std::size_t oversample);
+
+/// Evaluate the fitted model on m subcarriers.
+std::vector<std::complex<double>> nls_evaluate(
+    const std::vector<NlsPath>& paths, std::size_t m, double df);
+
+}  // namespace rem::crossband

@@ -1,0 +1,47 @@
+// R2F2-style cross-band estimation baseline (Vasisht et al., SIGCOMM'16).
+//
+// Works in the time-frequency domain under a *static* channel assumption:
+// average the measured response over time, fit a sparse path model
+//   H(f) = sum_p a_p e^{-j 2 pi f tau_p}
+// by greedy matching pursuit over an oversampled delay grid followed by
+// iterative nonlinear least-squares refinement (the expensive part the
+// paper criticizes), and re-evaluate the model for the other band.
+//
+// Deliberately Doppler-blind, as the original: under extreme mobility the
+// time average blurs the channel and the prediction degrades — this is the
+// Fig. 13 comparison point.
+#pragma once
+
+#include "crossband/estimator.hpp"
+
+#include <complex>
+#include <vector>
+
+namespace rem::crossband {
+
+struct R2f2Config {
+  std::size_t max_paths = 6;         ///< paper's empirically optimal setting
+  std::size_t delay_oversample = 16; ///< matching-pursuit grid density
+  std::size_t refine_iters = 800;    ///< cold-start NLS refinement steps
+};
+
+class R2f2Estimator final : public CrossbandEstimator {
+ public:
+  explicit R2f2Estimator(R2f2Config cfg = {}) : cfg_(cfg) {}
+
+  CrossbandOutput estimate(const CrossbandInput& in) override;
+  std::string name() const override { return "R2F2"; }
+
+  /// Fitted (complex amplitude, delay) pairs from the last call.
+  struct FittedPath {
+    std::complex<double> amplitude;
+    double delay_s;
+  };
+  const std::vector<FittedPath>& last_paths() const { return paths_; }
+
+ private:
+  R2f2Config cfg_;
+  std::vector<FittedPath> paths_;
+};
+
+}  // namespace rem::crossband

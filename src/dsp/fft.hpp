@@ -1,0 +1,30 @@
+// Discrete Fourier transforms.
+//
+// The OFDM/OTFS modems need forward/inverse DFTs of arbitrary length (LTE
+// grids are e.g. 1200x14, neither dimension a power of two), so we provide
+// an iterative radix-2 Cooley-Tukey fast path and a Bluestein chirp-z
+// fallback for other lengths. Both are O(n log n).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace rem::dsp {
+
+using cd = std::complex<double>;
+using CVec = std::vector<cd>;
+
+/// In-place forward DFT: X[k] = sum_n x[n] e^{-j 2 pi k n / N}. Any length.
+void fft(CVec& data);
+
+/// In-place inverse DFT with 1/N normalization.
+void ifft(CVec& data);
+
+/// Out-of-place convenience wrappers.
+CVec fft_copy(const CVec& data);
+CVec ifft_copy(const CVec& data);
+
+/// True if n is a power of two (and > 0).
+bool is_pow2(std::size_t n);
+
+}  // namespace rem::dsp

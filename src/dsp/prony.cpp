@@ -1,0 +1,200 @@
+#include "dsp/prony.hpp"
+
+#include "dsp/matrix.hpp"
+#include "dsp/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace rem::dsp {
+namespace {
+
+using std::complex;
+
+// Solve the small (n <= 4) linear system A x = b by Gaussian elimination
+// with partial pivoting. A is n x n complex, row-major.
+std::vector<cd> solve_small(std::vector<cd> a, std::vector<cd> b,
+                            std::size_t n) {
+  for (std::size_t col = 0; col < n; ++col) {
+    // Pivot.
+    std::size_t piv = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(a[r * n + col]) > std::abs(a[piv * n + col])) piv = r;
+    if (std::abs(a[piv * n + col]) < 1e-14) return {};  // singular
+    if (piv != col) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(a[col * n + c], a[piv * n + c]);
+      std::swap(b[col], b[piv]);
+    }
+    const cd inv = cd(1, 0) / a[col * n + col];
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const cd f = a[r * n + col] * inv;
+      if (f == cd(0, 0)) continue;
+      for (std::size_t c = col; c < n; ++c) a[r * n + c] -= f * a[col * n + c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<cd> x(n);
+  for (std::size_t row = n; row-- > 0;) {
+    cd s = b[row];
+    for (std::size_t c = row + 1; c < n; ++c) s -= a[row * n + c] * x[c];
+    x[row] = s / a[row * n + row];
+  }
+  return x;
+}
+
+// Eigenvalues of a k x k complex matrix for k <= 3 via the characteristic
+// polynomial (closed forms).
+std::vector<cd> small_eigenvalues(const Matrix& m) {
+  const std::size_t k = m.rows();
+  if (k == 1) return {m(0, 0)};
+  if (k == 2) {
+    const cd tr = m(0, 0) + m(1, 1);
+    const cd det = m(0, 0) * m(1, 1) - m(0, 1) * m(1, 0);
+    const cd disc = std::sqrt(tr * tr - 4.0 * det);
+    return {(tr + disc) / 2.0, (tr - disc) / 2.0};
+  }
+  // k == 3: lambda^3 - c2 lambda^2 + c1 lambda - c0 = 0.
+  const cd a = m(0, 0), b = m(0, 1), c = m(0, 2);
+  const cd d = m(1, 0), e = m(1, 1), f = m(1, 2);
+  const cd g = m(2, 0), h = m(2, 1), i = m(2, 2);
+  const cd c2 = a + e + i;
+  const cd c1 = a * e + a * i + e * i - b * d - c * g - f * h;
+  const cd c0 = a * (e * i - f * h) - b * (d * i - f * g) +
+                c * (d * h - e * g);
+  // Depressed cubic: lambda = t + c2/3.
+  const cd p = c1 - c2 * c2 / 3.0;
+  const cd q = -c0 + c1 * c2 / 3.0 - 2.0 * c2 * c2 * c2 / 27.0;
+  // t^3 + p t + q = 0; Cardano with complex arithmetic.
+  const cd sq = std::sqrt(q * q / 4.0 + p * p * p / 27.0);
+  cd u3 = -q / 2.0 + sq;
+  if (std::abs(u3) < 1e-18) u3 = -q / 2.0 - sq;
+  const cd u = std::pow(u3, 1.0 / 3.0);
+  const cd omega(-0.5, std::sqrt(3.0) / 2.0);
+  std::vector<cd> roots;
+  for (int r = 0; r < 3; ++r) {
+    const cd ur = u * std::pow(omega, r);
+    const cd t = std::abs(ur) > 1e-18 ? ur - p / (3.0 * ur) : cd(0, 0);
+    roots.push_back(t + c2 / 3.0);
+  }
+  return roots;
+}
+
+// Least-squares amplitudes for x[c] ~= sum a_p z_p^c (Vandermonde fit).
+std::vector<cd> fit_amplitudes(const std::vector<cd>& seq,
+                               const std::vector<cd>& poles) {
+  const std::size_t n = seq.size();
+  const std::size_t k = poles.size();
+  // Normal equations: (V* V) a = V* x, V[c][p] = z_p^c.
+  std::vector<cd> vtv(k * k, cd(0, 0)), vtx(k, cd(0, 0));
+  std::vector<cd> pw(k, cd(1, 0));
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t p = 0; p < k; ++p) {
+      vtx[p] += std::conj(pw[p]) * seq[c];
+      for (std::size_t q = 0; q < k; ++q)
+        vtv[p * k + q] += std::conj(pw[p]) * pw[q];
+    }
+    for (std::size_t p = 0; p < k; ++p) pw[p] *= poles[p];
+  }
+  auto a = solve_small(std::move(vtv), std::move(vtx), k);
+  if (a.empty()) a.assign(k, cd(0, 0));
+  return a;
+}
+
+}  // namespace
+
+std::vector<ExponentialComponent> fit_exponentials(
+    const std::vector<cd>& seq, std::size_t max_components,
+    double rel_threshold) {
+  const std::size_t n = seq.size();
+  std::vector<ExponentialComponent> out;
+  if (n == 0) return out;
+  if (n < 4 || max_components == 1) {
+    // Weighted single-ratio fallback.
+    cd acc(0, 0);
+    for (std::size_t c = 0; c + 1 < n; ++c)
+      acc += seq[c + 1] * std::conj(seq[c]);
+    cd pole = std::abs(acc) > 1e-15 ? acc / std::abs(acc) : cd(1, 0);
+    const auto amps = fit_amplitudes(seq, {pole});
+    out.push_back({amps[0], pole});
+    return out;
+  }
+
+  // Matrix pencil: Hankel Y (rows x (L+1)), signal subspace from SVD.
+  const std::size_t max_k = std::min<std::size_t>(max_components, 3);
+  const std::size_t l = std::min(n / 2, max_k + 2);  // pencil parameter
+  const std::size_t rows = n - l;
+  Matrix y(rows, l + 1);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c <= l; ++c) y(r, c) = seq[r + c];
+  const auto s = svd(y);
+  std::size_t k = 0;
+  while (k < s.sigma.size() && k < max_k &&
+         s.sigma[k] > rel_threshold * s.sigma[0])
+    ++k;
+  if (k == 0) k = 1;
+
+  // V1 = V_s without last row, V2 = V_s without first row; poles are the
+  // eigenvalues of pinv(V1) V2.
+  // Normal equations: (V1* V1) F = V1* V2, F is k x k.
+  std::vector<cd> v1tv1(k * k, cd(0, 0));
+  Matrix f(k, k);
+  for (std::size_t p = 0; p < k; ++p)
+    for (std::size_t q = 0; q < k; ++q) {
+      cd acc(0, 0);
+      for (std::size_t r = 0; r < l; ++r)
+        acc += std::conj(s.v(r, p)) * s.v(r, q);
+      v1tv1[p * k + q] = acc;
+    }
+  for (std::size_t col = 0; col < k; ++col) {
+    std::vector<cd> rhs(k, cd(0, 0));
+    for (std::size_t p = 0; p < k; ++p) {
+      cd acc(0, 0);
+      for (std::size_t r = 0; r < l; ++r)
+        acc += std::conj(s.v(r, p)) * s.v(r + 1, col);
+      rhs[p] = acc;
+    }
+    auto x = solve_small(v1tv1, std::move(rhs), k);
+    if (x.empty()) x.assign(k, cd(0, 0));
+    for (std::size_t p = 0; p < k; ++p) f(p, col) = x[p];
+  }
+  auto poles = small_eigenvalues(f);
+  poles.resize(k);
+  // Y(r,c) = sum u_r sigma v*_c, so V's columns carry conj(z)^c and the
+  // pencil eigenvalues come out conjugated — undo that.
+  for (auto& z : poles) z = std::conj(z);
+  // Clamp pole magnitudes near the unit circle (oscillations, not decays;
+  // keeps the band-2 extrapolation stable).
+  for (auto& z : poles) {
+    const double mag = std::abs(z);
+    if (mag > 1e-12) z *= std::clamp(mag, 0.8, 1.2) / mag;
+  }
+
+  const auto amps = fit_amplitudes(seq, poles);
+  for (std::size_t p = 0; p < k; ++p) out.push_back({amps[p], poles[p]});
+  std::sort(out.begin(), out.end(),
+            [](const ExponentialComponent& a, const ExponentialComponent& b) {
+              return std::abs(a.amplitude) > std::abs(b.amplitude);
+            });
+  return out;
+}
+
+std::vector<cd> eval_exponentials(
+    const std::vector<ExponentialComponent>& comps, std::size_t n,
+    double angle_scale) {
+  std::vector<cd> seq(n, cd(0, 0));
+  for (const auto& comp : comps) {
+    const double mag = std::abs(comp.pole);
+    const double ang = std::arg(comp.pole) * angle_scale;
+    const cd z = mag * cd(std::cos(ang), std::sin(ang));
+    cd pw(1, 0);
+    for (std::size_t c = 0; c < n; ++c) {
+      seq[c] += comp.amplitude * pw;
+      pw *= z;
+    }
+  }
+  return seq;
+}
+
+}  // namespace rem::dsp

@@ -1,0 +1,31 @@
+// Cell and base-station identities shared by the mobility and simulation
+// layers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace rem::mobility {
+
+/// EARFCN-style frequency channel number. Cells on the same channel are
+/// "intra-frequency" neighbors; others require inter-frequency measurement
+/// (gaps) under the legacy design.
+using ChannelId = int;
+
+struct CellId {
+  int cell = -1;      ///< globally unique cell index (ECI-like)
+  int base_station = -1;  ///< physical site (cells sharing it share paths)
+  ChannelId channel = -1;
+
+  bool valid() const { return cell >= 0; }
+  friend bool operator==(const CellId&, const CellId&) = default;
+};
+
+}  // namespace rem::mobility
+
+template <>
+struct std::hash<rem::mobility::CellId> {
+  std::size_t operator()(const rem::mobility::CellId& c) const noexcept {
+    return std::hash<int>()(c.cell);
+  }
+};

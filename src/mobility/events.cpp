@@ -1,0 +1,54 @@
+#include "mobility/events.hpp"
+
+namespace rem::mobility {
+
+std::string event_name(EventType t) {
+  switch (t) {
+    case EventType::kA1: return "A1";
+    case EventType::kA2: return "A2";
+    case EventType::kA3: return "A3";
+    case EventType::kA4: return "A4";
+    case EventType::kA5: return "A5";
+  }
+  return "?";
+}
+
+bool event_condition(const EventConfig& cfg, double serving,
+                     double neighbor) {
+  switch (cfg.type) {
+    case EventType::kA1:
+      return serving > cfg.threshold1 + cfg.hysteresis;
+    case EventType::kA2:
+      return serving < cfg.threshold1 - cfg.hysteresis;
+    case EventType::kA3:
+      return neighbor > serving + cfg.offset + cfg.hysteresis;
+    case EventType::kA4:
+      return neighbor > cfg.threshold1 + cfg.hysteresis;
+    case EventType::kA5:
+      return serving < cfg.threshold1 - cfg.hysteresis &&
+             neighbor > cfg.threshold2 + cfg.hysteresis;
+  }
+  return false;
+}
+
+bool EventMonitor::update(double t, double serving, double neighbor) {
+  if (!event_condition(cfg_, serving, neighbor)) {
+    entered_at_.reset();
+    fired_ = false;
+    return false;
+  }
+  if (!entered_at_) entered_at_ = t;
+  if (fired_) return false;  // report once per entry
+  if (t - *entered_at_ + 1e-12 >= cfg_.time_to_trigger_s) {
+    fired_ = true;
+    return true;
+  }
+  return false;
+}
+
+void EventMonitor::reset() {
+  entered_at_.reset();
+  fired_ = false;
+}
+
+}  // namespace rem::mobility

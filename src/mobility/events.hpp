@@ -1,0 +1,60 @@
+// 4G/5G measurement-report triggering events (Table 1) with hysteresis and
+// TimeToTrigger semantics per TS 36.331 / 38.331.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace rem::mobility {
+
+enum class EventType { kA1, kA2, kA3, kA4, kA5 };
+
+std::string event_name(EventType t);
+
+/// One configured triggering event. Thresholds/offsets are in dB(m) of
+/// whatever metric drives the policy (RSRP for legacy, delay-Doppler SNR
+/// for REM — the criteria are metric-agnostic).
+struct EventConfig {
+  EventType type = EventType::kA3;
+  /// A1/A2/A4: the threshold. A5: serving-cell threshold (Delta_A5_1).
+  double threshold1 = 0.0;
+  /// A5: neighbor-cell threshold (Delta_A5_2). Unused otherwise.
+  double threshold2 = 0.0;
+  /// A3: the offset Delta_A3 (can be negative for proactive policies).
+  double offset = 0.0;
+  /// Entering hysteresis, applied to the deciding comparison.
+  double hysteresis = 0.0;
+  /// TimeToTrigger: the condition must hold this long before reporting.
+  double time_to_trigger_s = 0.0;
+};
+
+/// Instantaneous entering condition (Table 1), before TimeToTrigger.
+/// `serving` / `neighbor` are the metric values; neighbor is ignored for
+/// A1/A2.
+bool event_condition(const EventConfig& cfg, double serving,
+                     double neighbor);
+
+/// Tracks a single (event, neighbor) pair across time and applies
+/// TimeToTrigger: fires once the entering condition has held continuously
+/// for time_to_trigger_s. Re-arms after the condition lapses.
+class EventMonitor {
+ public:
+  explicit EventMonitor(EventConfig cfg) : cfg_(cfg) {}
+
+  const EventConfig& config() const { return cfg_; }
+
+  /// Feed one measurement sample at time `t`; returns true when the event
+  /// fires (first sample at which the condition has held for TTT).
+  bool update(double t, double serving, double neighbor);
+
+  /// Forget any partially elapsed trigger (e.g. after reconfiguration).
+  void reset();
+
+ private:
+  EventConfig cfg_;
+  std::optional<double> entered_at_;
+  bool fired_ = false;
+};
+
+}  // namespace rem::mobility

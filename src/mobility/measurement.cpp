@@ -1,0 +1,82 @@
+#include "mobility/measurement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace rem::mobility {
+namespace {
+
+// Wall-clock time needed to accumulate `needed` seconds of in-gap
+// measurement under the gap schedule.
+double gap_time(double needed, const MeasurementConfig& cfg) {
+  if (needed <= 0.0) return 0.0;
+  const double gaps = std::ceil(needed / cfg.gap_length_s);
+  // The last gap may be partially used; earlier gaps are fully spaced.
+  return (gaps - 1.0) * cfg.gap_period_s +
+         (needed - (gaps - 1.0) * cfg.gap_length_s);
+}
+
+}  // namespace
+
+double legacy_feedback_delay_s(const std::vector<MeasureTask>& tasks,
+                               const MeasurementConfig& cfg,
+                               int reconfigurations) {
+  // Head-of-line blocking: every cell is measured one after another, the
+  // report leaves only after the slowest TTT-gated cell.
+  double intra_time = 0.0;
+  double inter_acquire = 0.0;
+  bool any_intra = false, any_inter = false;
+  for (const auto& t : tasks) {
+    if (t.intra_frequency) {
+      intra_time += cfg.intra_measure_s;
+      any_intra = true;
+    } else {
+      inter_acquire += cfg.inter_acquire_s;
+      any_inter = true;
+    }
+  }
+  double delay = intra_time + gap_time(inter_acquire, cfg);
+  if (any_inter)
+    delay += cfg.inter_ttt_s;
+  else if (any_intra)
+    delay += cfg.intra_ttt_s;
+  delay += cfg.report_latency_s;
+  delay += reconfigurations * cfg.reconfigure_rtt_s;
+  return delay;
+}
+
+double rem_feedback_delay_s(const std::vector<MeasureTask>& tasks,
+                            const MeasurementConfig& cfg) {
+  // Group by base station; measure one cell per site (intra preferred).
+  std::map<int, bool> site_has_intra;
+  for (const auto& t : tasks) {
+    auto [it, inserted] =
+        site_has_intra.try_emplace(t.cell.base_station, t.intra_frequency);
+    if (!inserted) it->second = it->second || t.intra_frequency;
+  }
+  double intra_time = 0.0;
+  double inter_acquire = 0.0;
+  std::size_t sites = 0;
+  for (const auto& [site, has_intra] : site_has_intra) {
+    ++sites;
+    if (has_intra)
+      intra_time += cfg.intra_measure_s;
+    else
+      inter_acquire += cfg.inter_acquire_s;
+  }
+  double delay = intra_time + gap_time(inter_acquire, cfg);
+  // Stable delay-Doppler metrics let REM use the short (intra) TTT for
+  // everything; cross-band estimation adds its runtime per site.
+  delay += cfg.intra_ttt_s;
+  delay += cfg.crossband_runtime_s * static_cast<double>(sites);
+  delay += cfg.report_latency_s;
+  return delay;
+}
+
+double gap_spectrum_overhead(const MeasurementConfig& cfg, bool gaps_active) {
+  if (!gaps_active) return 0.0;
+  return cfg.gap_length_s / cfg.gap_period_s;
+}
+
+}  // namespace rem::mobility

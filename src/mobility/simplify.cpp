@@ -1,0 +1,84 @@
+#include "mobility/simplify.hpp"
+
+#include <set>
+
+namespace rem::mobility {
+
+CellPolicy simplify_policy(const CellPolicy& legacy,
+                           double a4_default_offset, SimplifyStats* stats) {
+  SimplifyStats local;
+  CellPolicy out;
+  out.initial_stage = 0;
+  std::set<int> stages;
+  for (const auto& rule : legacy.rules) {
+    stages.insert(rule.stage);
+    if (rule.action == PolicyAction::kReconfigure) {
+      ++local.removed_a1_a2;  // reconfiguration guards are A1/A2 by design
+      continue;
+    }
+    PolicyRule nr;
+    nr.stage = 0;
+    nr.channel = PolicyRule::kAnyChannel;  // cross-band covers all channels
+    nr.action = PolicyAction::kHandover;
+    nr.event.type = EventType::kA3;
+    nr.event.hysteresis = rule.event.hysteresis;
+    nr.event.time_to_trigger_s = rule.event.time_to_trigger_s;
+    switch (rule.event.type) {
+      case EventType::kA1:
+      case EventType::kA2:
+        ++local.removed_a1_a2;
+        continue;  // serving-only guards are gone with the multi-stage
+      case EventType::kA3:
+        nr.event.offset = rule.event.offset;
+        ++local.kept_a3;
+        break;
+      case EventType::kA5:
+        // A5 (Rs < t1, Rn > t2) implies Rn > Rs + (t2 - t1).
+        nr.event.offset = rule.event.threshold2 - rule.event.threshold1;
+        ++local.a5_to_a3;
+        break;
+      case EventType::kA4:
+        // Load-balancing A4 becomes a capacity comparison via A3.
+        nr.event.offset = a4_default_offset;
+        ++local.a4_to_a3;
+        break;
+    }
+    out.rules.push_back(nr);
+  }
+  local.removed_stages = static_cast<int>(stages.size()) - 1;
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+void coordinate_offsets(std::vector<PolicyCell>& cells) {
+  const std::size_t n = cells.size();
+  std::vector<std::vector<double>> deltas(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const auto off = cells[i].policy.a3_offset_for(
+          cells[j].id.channel, cells[i].id.channel);
+      deltas[i][j] = off.value_or(0.0);
+    }
+  }
+  const auto repaired = repair_theorem2(std::move(deltas));
+  for (std::size_t i = 0; i < n; ++i) {
+    // The per-cell policy keeps a single A3 rule; set its offset to the
+    // max repaired outgoing offset so every triple constraint holds.
+    double max_off = 0.0;
+    bool any = false;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (!any || repaired[i][j] > max_off) {
+        max_off = repaired[i][j];
+        any = true;
+      }
+    }
+    for (auto& rule : cells[i].policy.rules) {
+      if (rule.event.type == EventType::kA3 && any)
+        rule.event.offset = std::max(rule.event.offset, max_off);
+    }
+  }
+}
+
+}  // namespace rem::mobility

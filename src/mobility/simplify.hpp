@@ -1,0 +1,38 @@
+// REM's policy simplification (§5.3, Fig. 8): transform a legacy
+// wireless-signal-strength policy into a single-stage, A3-only,
+// delay-Doppler-SNR policy, then coordinate the A3 offsets to satisfy
+// Theorem 2 (conflict freedom).
+#pragma once
+
+#include "mobility/conflict.hpp"
+#include "mobility/policy.hpp"
+
+namespace rem::mobility {
+
+struct SimplifyStats {
+  int removed_a1_a2 = 0;   ///< multi-stage guards dropped
+  int a5_to_a3 = 0;        ///< A5 rewritten as A3 (offset = t2 - t1)
+  int a4_to_a3 = 0;        ///< A4 rewritten as A3
+  int kept_a3 = 0;
+  int removed_stages = 0;  ///< stages collapsed into one
+};
+
+/// Step 1-3 of Fig. 8 for one cell:
+///  * drop A1/A2 and every reconfiguration (cross-band estimation replaces
+///    inter-frequency measurement, so all rules live in a single stage);
+///  * rewrite A5(t1, t2) as A3 with offset t2 - t1;
+///  * rewrite A4(t) as A3 with offset `a4_default_offset` (load-balancing
+///    capacity comparison, §5.3 step 3);
+///  * keep A3 rules, retargeted to all channels.
+/// Non-SNR policies (priorities, access control) are outside the event set
+/// and unaffected (step 4).
+CellPolicy simplify_policy(const CellPolicy& legacy,
+                           double a4_default_offset = 0.0,
+                           SimplifyStats* stats = nullptr);
+
+/// Step "Theorem 2": given simplified per-cell policies, extract the A3
+/// offset matrix over a neighbor set, repair it, and write the repaired
+/// offsets back. `cells` index both the rows and columns of the matrix.
+void coordinate_offsets(std::vector<PolicyCell>& cells);
+
+}  // namespace rem::mobility

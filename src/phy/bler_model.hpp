@@ -1,0 +1,72 @@
+// Link abstraction: maps (waveform, Doppler regime, SNR) to a block error
+// probability so the network-level simulator does not run the full coded
+// link per signaling message. Two implementations:
+//  * LogisticBlerModel — parametric curves with defaults calibrated against
+//    this repo's LinkSimulator (bench_fig10 regenerates the raw curves);
+//  * TableBlerModel    — interpolates measured (snr, bler) points, e.g.
+//    produced online by LinkSimulator::bler_curve.
+#pragma once
+
+#include "phy/link.hpp"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace rem::phy {
+
+/// Doppler regime seen by the signaling link.
+enum class DopplerRegime { kLow, kHigh };
+
+class BlerModel {
+ public:
+  virtual ~BlerModel() = default;
+  /// Block error probability in [0,1].
+  virtual double bler(Waveform w, DopplerRegime d, double snr_db) const = 0;
+};
+
+/// Parametric logistic BLER with an optional high-Doppler error floor:
+///   bler = floor + (1 - floor) / (1 + exp(slope * (snr - mid)))
+struct LogisticCurve {
+  double mid_db = 0.0;
+  double slope = 1.0;
+  double floor = 0.0;
+
+  double eval(double snr_db) const;
+};
+
+class LogisticBlerModel final : public BlerModel {
+ public:
+  /// Defaults reproduce the qualitative Fig. 10 relationship: at high
+  /// Doppler, OFDM needs several dB more SNR and keeps a residual error
+  /// floor from inter-carrier interference, while OTFS rides the full
+  /// time-frequency diversity.
+  LogisticBlerModel();
+
+  void set_curve(Waveform w, DopplerRegime d, LogisticCurve c);
+  double bler(Waveform w, DopplerRegime d, double snr_db) const override;
+
+ private:
+  LogisticCurve curves_[2][2];
+};
+
+class TableBlerModel final : public BlerModel {
+ public:
+  /// Register a measured curve (points sorted by SNR internally).
+  void set_points(Waveform w, DopplerRegime d, std::vector<BlerPoint> pts);
+  /// Linear interpolation in SNR; clamped at the ends. Missing curves
+  /// return 1.0 (conservative).
+  double bler(Waveform w, DopplerRegime d, double snr_db) const override;
+
+ private:
+  std::map<std::pair<int, int>, std::vector<BlerPoint>> tables_;
+};
+
+/// Calibrate a TableBlerModel by running the link simulator on the given
+/// profiles (convenience used by tests/benches).
+TableBlerModel calibrate_bler_model(const Numerology& num, Modulation mod,
+                                    const std::vector<double>& snrs_db,
+                                    std::size_t blocks_per_point,
+                                    common::Rng& rng);
+
+}  // namespace rem::phy

@@ -1,0 +1,58 @@
+#include "phy/channel_est.hpp"
+
+#include "channel/noise.hpp"
+#include "phy/otfs.hpp"
+
+#include <cmath>
+
+namespace rem::phy {
+
+DdEstimate DdChannelEstimator::run(const channel::MultipathChannel& ch,
+                                   double noise_power,
+                                   common::Rng* rng) const {
+  const std::size_t m = num_.num_subcarriers;
+  const std::size_t n = num_.num_symbols;
+  OtfsModem modem(num_);
+  // Impulse pilot at DD bin (0,0), amplitude sqrt(MN) so the time-domain
+  // waveform has unit average power like a fully loaded data grid.
+  const double amp = std::sqrt(static_cast<double>(m * n));
+  dsp::Matrix pilot(m, n);
+  pilot(0, 0) = dsp::cd(amp, 0);
+
+  dsp::CVec tx = modem.modulate(pilot);
+  dsp::CVec rx = ch.apply_to_signal(tx, num_.sample_rate_hz());
+  if (rng != nullptr && noise_power > 0.0)
+    channel::add_awgn(rx, noise_power, *rng);
+  dsp::Matrix y = modem.demodulate(rx);
+  // y[k,l] = amp * h_w_normalized[k,l] (+ noise); undo the amplitude.
+  y *= dsp::cd(1.0 / amp, 0.0);
+
+  DdEstimate est;
+  est.h = std::move(y);
+  est.noise_power = noise_power;
+  return est;
+}
+
+DdEstimate DdChannelEstimator::estimate(const channel::MultipathChannel& ch,
+                                        double snr_db,
+                                        common::Rng& rng) const {
+  return run(ch, channel::noise_power_for_snr_db(snr_db), &rng);
+}
+
+DdEstimate DdChannelEstimator::estimate_noiseless(
+    const channel::MultipathChannel& ch) const {
+  return run(ch, 0.0, nullptr);
+}
+
+double mean_channel_gain(const dsp::Matrix& dd_h) {
+  const double f = dd_h.frobenius_norm();
+  return f * f;
+}
+
+double snr_db_from_dd(const dsp::Matrix& dd_h, double tx_power,
+                      double noise_power) {
+  const double g = mean_channel_gain(dd_h);
+  return 10.0 * std::log10(g * tx_power / noise_power);
+}
+
+}  // namespace rem::phy

@@ -1,0 +1,55 @@
+// Delay-Doppler channel estimation (§5.2, Fig. 7).
+//
+// REM reuses the cell's reference signals but pre/post-processes them in the
+// delay-Doppler domain: a pilot impulse in the DD grid passes through the
+// real OFDM waveform + multipath channel, and the received DD grid is (up to
+// noise and windowing) the sampled channel h_w(k dtau, l dnu) of Eq. 5.
+#pragma once
+
+#include "channel/multipath.hpp"
+#include "common/rng.hpp"
+#include "dsp/matrix.hpp"
+#include "phy/numerology.hpp"
+
+namespace rem::phy {
+
+/// Result of a delay-Doppler estimation pass.
+struct DdEstimate {
+  dsp::Matrix h;           ///< estimated h_w samples, shape M x N
+  double noise_power = 0;  ///< per-RE noise power used for the run
+};
+
+class DdChannelEstimator {
+ public:
+  explicit DdChannelEstimator(Numerology num) : num_(num) {}
+
+  /// Run the full pilot chain: DD impulse pilot -> OTFS -> channel -> AWGN
+  /// at `snr_db` -> OTFS demod -> channel samples. This is what a client
+  /// does for the one measured cell per base station.
+  DdEstimate estimate(const channel::MultipathChannel& ch, double snr_db,
+                      common::Rng& rng) const;
+
+  /// Noise-free variant (used by tests to check the estimator against the
+  /// analytic dd_matrix()).
+  DdEstimate estimate_noiseless(const channel::MultipathChannel& ch) const;
+
+  const Numerology& numerology() const { return num_; }
+
+ private:
+  DdEstimate run(const channel::MultipathChannel& ch, double noise_power,
+                 common::Rng* rng) const;
+
+  Numerology num_;
+};
+
+/// Mean per-RE channel power gain implied by a DD channel sample matrix
+/// (Parseval: equals the Frobenius norm squared of the 1/(MN)-normalized
+/// DD samples).
+double mean_channel_gain(const dsp::Matrix& dd_h);
+
+/// Wideband SNR [dB] a cell would deliver given its DD channel samples,
+/// per-RE transmit power `tx_power` and per-RE noise power `noise_power`.
+double snr_db_from_dd(const dsp::Matrix& dd_h, double tx_power,
+                      double noise_power);
+
+}  // namespace rem::phy

@@ -1,0 +1,104 @@
+#include "phy/coding.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+namespace rem::phy {
+namespace {
+
+constexpr std::size_t kStates = 1u << ConvolutionalCode::kMemory;
+
+// Output pair (c0, c1) for input bit `in` from state `state` (state = last
+// kMemory input bits, most recent in the LSB).
+inline std::pair<std::uint8_t, std::uint8_t> outputs(std::uint32_t state,
+                                                     std::uint8_t in) {
+  const std::uint32_t reg = (state << 1) | in;  // constraint-length window
+  const auto parity = [](std::uint32_t v) {
+    return static_cast<std::uint8_t>(std::popcount(v) & 1u);
+  };
+  return {parity(reg & ConvolutionalCode::kG0),
+          parity(reg & ConvolutionalCode::kG1)};
+}
+
+inline std::uint32_t next_state(std::uint32_t state, std::uint8_t in) {
+  return ((state << 1) | in) & (kStates - 1);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> ConvolutionalCode::encode(
+    const std::vector<std::uint8_t>& bits) {
+  std::vector<std::uint8_t> out;
+  out.reserve(coded_length(bits.size()));
+  std::uint32_t state = 0;
+  const auto push = [&](std::uint8_t in) {
+    const auto [c0, c1] = outputs(state, in);
+    out.push_back(c0);
+    out.push_back(c1);
+    state = next_state(state, in);
+  };
+  for (std::uint8_t b : bits) push(b & 1u);
+  for (std::size_t i = 0; i < kMemory; ++i) push(0);  // terminate
+  return out;
+}
+
+std::vector<std::uint8_t> ConvolutionalCode::decode(
+    const std::vector<double>& llrs) {
+  if (llrs.size() % 2 != 0)
+    throw std::invalid_argument("Viterbi: odd LLR count");
+  const std::size_t steps = llrs.size() / 2;
+  if (steps < kMemory) throw std::invalid_argument("Viterbi: input too short");
+  const double kInf = std::numeric_limits<double>::infinity();
+
+  // Path metrics; trellis starts and ends in state 0 (terminated).
+  std::vector<double> metric(kStates, kInf);
+  metric[0] = 0.0;
+  // survivors[t][s] = input bit that led into state s at step t (plus the
+  // predecessor implied by the shift register structure).
+  std::vector<std::vector<std::uint8_t>> survivor_bit(
+      steps, std::vector<std::uint8_t>(kStates, 0));
+
+  std::vector<double> next(kStates, kInf);
+  for (std::size_t t = 0; t < steps; ++t) {
+    const double l0 = llrs[2 * t];
+    const double l1 = llrs[2 * t + 1];
+    std::fill(next.begin(), next.end(), kInf);
+    for (std::uint32_t s = 0; s < kStates; ++s) {
+      if (metric[s] == kInf) continue;
+      for (std::uint8_t in = 0; in <= 1; ++in) {
+        const auto [c0, c1] = outputs(s, in);
+        // LLR convention: positive favors bit 0. Cost of hypothesizing a
+        // transmitted bit b given llr l is l * b (up to a constant).
+        const double branch = l0 * c0 + l1 * c1;
+        const std::uint32_t ns = next_state(s, in);
+        const double cand = metric[s] + branch;
+        if (cand < next[ns]) {
+          next[ns] = cand;
+          survivor_bit[t][ns] = static_cast<std::uint8_t>((in << 1) |
+                                                          (s >> (kMemory - 1)));
+        }
+      }
+    }
+    metric.swap(next);
+  }
+
+  // Trace back from state 0.
+  std::vector<std::uint8_t> decoded(steps);
+  std::uint32_t state = 0;
+  for (std::size_t t = steps; t-- > 0;) {
+    const std::uint8_t packed = survivor_bit[t][state];
+    const std::uint8_t in = packed >> 1;
+    const std::uint8_t oldest = packed & 1u;  // MSB of predecessor state
+    decoded[t] = in;
+    // Predecessor: shift the input bit out, restore the dropped MSB.
+    state = ((state >> 1) | (static_cast<std::uint32_t>(oldest)
+                             << (kMemory - 1))) &
+            (kStates - 1);
+  }
+  decoded.resize(steps - kMemory);  // drop tail
+  return decoded;
+}
+
+}  // namespace rem::phy

@@ -1,0 +1,35 @@
+// Rate-1/2 convolutional code (K = 7, generators 171/133 octal — the
+// standard LTE control-channel TBCC polynomials) with a soft-decision
+// Viterbi decoder. Signaling blocks in the link simulator are protected by
+// this code; a block errors out if any payload bit decodes incorrectly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rem::phy {
+
+class ConvolutionalCode {
+ public:
+  static constexpr std::size_t kConstraint = 7;
+  static constexpr std::size_t kMemory = kConstraint - 1;
+  static constexpr std::uint32_t kG0 = 0171;  // octal
+  static constexpr std::uint32_t kG1 = 0133;  // octal
+
+  /// Encode `bits` (0/1 values), appending kMemory zero tail bits to
+  /// terminate the trellis. Output length = 2 * (bits.size() + kMemory).
+  static std::vector<std::uint8_t> encode(
+      const std::vector<std::uint8_t>& bits);
+
+  /// Soft-decision Viterbi decode. `llrs` holds one LLR per coded bit
+  /// (positive = bit 0 likelier), length must be even and correspond to a
+  /// terminated encode. Returns the payload bits (tail removed).
+  static std::vector<std::uint8_t> decode(const std::vector<double>& llrs);
+
+  /// Number of coded bits produced for `payload_bits` payload bits.
+  static std::size_t coded_length(std::size_t payload_bits) {
+    return 2 * (payload_bits + kMemory);
+  }
+};
+
+}  // namespace rem::phy

@@ -1,0 +1,123 @@
+#include "phy/embedded_pilot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rem::phy {
+namespace {
+
+// The zero (guard) box around the pilot: delay within +/- guard_delay,
+// Doppler within +/- 2*guard_doppler (double width so shifted data cannot
+// leak into the observation half-box).
+bool in_guard_box(std::size_t k, std::size_t l, std::size_t m,
+                  std::size_t n, const EmbeddedPilotConfig& cfg) {
+  const auto wrap_dist = [](std::size_t a, std::size_t b,
+                            std::size_t mod) {
+    const std::size_t d = (a + mod - b) % mod;
+    return std::min(d, mod - d);
+  };
+  return wrap_dist(k, cfg.pilot_delay_bin, m) <= cfg.guard_delay &&
+         wrap_dist(l, cfg.pilot_doppler_bin, n) <= 2 * cfg.guard_doppler;
+}
+
+double pilot_amplitude(const EmbeddedPilotConfig& cfg) {
+  return std::pow(10.0, cfg.pilot_boost_db / 20.0);
+}
+
+}  // namespace
+
+std::size_t embedded_data_capacity(std::size_t m, std::size_t n,
+                                   const EmbeddedPilotConfig& cfg) {
+  std::size_t guard = 0;
+  for (std::size_t l = 0; l < n; ++l)
+    for (std::size_t k = 0; k < m; ++k)
+      guard += in_guard_box(k, l, m, n, cfg);
+  return m * n - guard;
+}
+
+EmbeddedFrame build_embedded_frame(std::size_t m, std::size_t n,
+                                   const std::vector<cd>& data_symbols,
+                                   const EmbeddedPilotConfig& cfg) {
+  if (data_symbols.size() != embedded_data_capacity(m, n, cfg))
+    throw std::invalid_argument(
+        "embedded frame: data symbol count must equal capacity");
+  EmbeddedFrame frame;
+  frame.grid = dsp::Matrix(m, n);
+  std::size_t next = 0;
+  for (std::size_t l = 0; l < n; ++l) {
+    for (std::size_t k = 0; k < m; ++k) {
+      if (in_guard_box(k, l, m, n, cfg)) continue;
+      frame.grid(k, l) = data_symbols[next];
+      frame.data_positions.push_back(l * m + k);
+      ++next;
+    }
+  }
+  frame.grid(cfg.pilot_delay_bin, cfg.pilot_doppler_bin) =
+      cd(pilot_amplitude(cfg), 0);
+  return frame;
+}
+
+std::vector<DdTap> estimate_taps_from_pilot(const dsp::Matrix& y,
+                                            const EmbeddedPilotConfig& cfg) {
+  const std::size_t m = y.rows();
+  const std::size_t n = y.cols();
+  const double amp = pilot_amplitude(cfg);
+  std::vector<DdTap> taps;
+  double strongest = 0.0;
+  // Observation half-box: delay shifts are causal (>= 0), Doppler shifts
+  // run both ways.
+  for (std::size_t dk = 0; dk <= cfg.guard_delay; ++dk) {
+    for (int dl = -static_cast<int>(cfg.guard_doppler);
+         dl <= static_cast<int>(cfg.guard_doppler); ++dl) {
+      const std::size_t k = (cfg.pilot_delay_bin + dk) % m;
+      const std::size_t l =
+          (cfg.pilot_doppler_bin + static_cast<std::size_t>(
+                                       dl + static_cast<int>(n))) %
+          n;
+      const cd gain = y(k, l) / amp;
+      strongest = std::max(strongest, std::abs(gain));
+      taps.push_back(
+          {dk, static_cast<std::size_t>((dl + static_cast<int>(n))) % n,
+           gain});
+    }
+  }
+  // Threshold against the strongest observed response.
+  std::vector<DdTap> kept;
+  for (const auto& t : taps)
+    if (std::abs(t.gain) >= cfg.tap_threshold * strongest)
+      kept.push_back(t);
+  std::sort(kept.begin(), kept.end(), [](const DdTap& a, const DdTap& b) {
+    return std::abs(a.gain) > std::abs(b.gain);
+  });
+  return kept;
+}
+
+EmbeddedRxResult embedded_receive(const dsp::Matrix& y,
+                                  const EmbeddedPilotConfig& cfg,
+                                  Modulation mod, double noise_power) {
+  const std::size_t m = y.rows();
+  const std::size_t n = y.cols();
+  EmbeddedRxResult out;
+  out.taps = estimate_taps_from_pilot(y, cfg);
+
+  // Cancel the pilot's known contribution before detection.
+  dsp::Matrix y_data = y;
+  const double amp = pilot_amplitude(cfg);
+  for (const auto& tap : out.taps) {
+    const std::size_t k = (cfg.pilot_delay_bin + tap.delay_bin) % m;
+    const std::size_t l = (cfg.pilot_doppler_bin + tap.doppler_bin) % n;
+    y_data(k, l) -= tap.gain * amp;
+  }
+
+  const auto mp = mp_detect(y_data, out.taps, mod, noise_power);
+
+  // Read out the data positions (same layout as build_embedded_frame).
+  for (std::size_t l = 0; l < n; ++l)
+    for (std::size_t k = 0; k < m; ++k)
+      if (!in_guard_box(k, l, m, n, cfg))
+        out.data_symbols.push_back(mp.symbols[l * m + k]);
+  return out;
+}
+
+}  // namespace rem::phy

@@ -1,0 +1,67 @@
+// Embedded pilot-aided channel estimation for OTFS (Raviteja et al., the
+// paper's reference [49]).
+//
+// Instead of a dedicated pilot grid, one delay-Doppler frame multiplexes a
+// single pilot impulse, a guard region sized to the channel's maximum
+// delay/Doppler spread, and data symbols everywhere else. The receiver
+// reads the channel taps directly out of the guard box (each tap shows up
+// as the pilot shifted by its delay/Doppler) and hands the data region to
+// a detector. This is what makes REM's overlay self-contained: every
+// signaling frame carries its own channel sounding.
+#pragma once
+
+#include "dsp/matrix.hpp"
+#include "phy/mp_detector.hpp"
+#include "phy/qam.hpp"
+
+#include <vector>
+
+namespace rem::phy {
+
+struct EmbeddedPilotConfig {
+  /// Pilot placement (delay bin, Doppler bin).
+  std::size_t pilot_delay_bin = 0;
+  std::size_t pilot_doppler_bin = 0;
+  /// Guard half-widths: taps with delay shift in [0, guard_delay] and
+  /// Doppler shift in [-guard_doppler, +guard_doppler] are observable.
+  std::size_t guard_delay = 3;
+  std::size_t guard_doppler = 2;
+  /// Pilot power boost over data symbols (dB). Higher pilots estimate
+  /// better but cost PAPR; [49] uses similar boosts.
+  double pilot_boost_db = 10.0;
+  /// Taps below this fraction of the pilot response are noise, not paths.
+  double tap_threshold = 0.08;
+};
+
+struct EmbeddedFrame {
+  dsp::Matrix grid;                  ///< DD grid with pilot+guard+data
+  std::vector<std::size_t> data_positions;  ///< flat col-major indices
+};
+
+/// Number of data symbols an M x N frame carries under this config.
+std::size_t embedded_data_capacity(std::size_t m, std::size_t n,
+                                   const EmbeddedPilotConfig& cfg);
+
+/// Build a frame: pilot impulse + zero guard + data symbols (in the order
+/// of `data_symbols`, filling data_positions). `data_symbols` must match
+/// embedded_data_capacity.
+EmbeddedFrame build_embedded_frame(std::size_t m, std::size_t n,
+                                   const std::vector<cd>& data_symbols,
+                                   const EmbeddedPilotConfig& cfg);
+
+/// Estimate channel taps from the guard region of a received frame.
+std::vector<DdTap> estimate_taps_from_pilot(const dsp::Matrix& y,
+                                            const EmbeddedPilotConfig& cfg);
+
+/// Full receiver: estimate taps from the pilot region, MP-detect the data
+/// region, return the recovered data symbols (posterior means) in
+/// transmit order.
+struct EmbeddedRxResult {
+  std::vector<cd> data_symbols;
+  std::vector<DdTap> taps;
+};
+EmbeddedRxResult embedded_receive(const dsp::Matrix& y,
+                                  const EmbeddedPilotConfig& cfg,
+                                  Modulation mod, double noise_power);
+
+}  // namespace rem::phy

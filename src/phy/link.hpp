@@ -1,0 +1,72 @@
+// End-to-end coded link simulation: bits -> convolutional code -> QAM ->
+// {OFDM | OTFS} -> multipath channel -> AWGN -> equalization -> soft demap
+// -> Viterbi -> bits. Used to regenerate Fig. 2b, Fig. 10 (BLER vs SNR per
+// waveform) and Fig. 11 (per-slot SNR stability).
+#pragma once
+
+#include "channel/multipath.hpp"
+#include "channel/profiles.hpp"
+#include "common/rng.hpp"
+#include "phy/numerology.hpp"
+#include "phy/qam.hpp"
+
+#include <vector>
+
+namespace rem::phy {
+
+enum class Waveform { kOFDM, kOTFS };
+
+std::string waveform_name(Waveform w);
+
+struct LinkConfig {
+  Numerology num = Numerology::lte(12, 14);
+  Waveform waveform = Waveform::kOFDM;
+  Modulation mod = Modulation::kQPSK;
+  double snr_db = 10.0;
+};
+
+struct BlockResult {
+  bool block_error = false;
+  std::size_t bit_errors = 0;
+  std::size_t payload_bits = 0;
+  /// Post-equalization SNR per OFDM symbol (column), dB. For OTFS this is
+  /// measured on the delay-Doppler grid, i.e. what the signaling decoder
+  /// experiences per slot.
+  std::vector<double> per_slot_snr_db;
+};
+
+struct BlerPoint {
+  double snr_db;
+  double bler;
+  std::size_t blocks;
+};
+
+class LinkSimulator {
+ public:
+  explicit LinkSimulator(LinkConfig cfg) : cfg_(cfg) {}
+
+  const LinkConfig& config() const { return cfg_; }
+
+  /// Payload bits that fit one grid with the configured modulation and the
+  /// rate-1/2 terminated code.
+  std::size_t payload_bits_per_grid() const;
+
+  /// Simulate one coded block over a fixed channel realization.
+  BlockResult run_block(const channel::MultipathChannel& ch,
+                        common::Rng& rng) const;
+
+  /// BLER over `blocks` independent channel draws from `draw_cfg`.
+  BlerPoint measure_bler(const channel::ChannelDrawConfig& draw_cfg,
+                         std::size_t blocks, common::Rng& rng) const;
+
+  /// Sweep SNR values; returns one BlerPoint per SNR.
+  std::vector<BlerPoint> bler_curve(
+      const channel::ChannelDrawConfig& draw_cfg,
+      const std::vector<double>& snrs_db, std::size_t blocks_per_point,
+      common::Rng& rng) const;
+
+ private:
+  LinkConfig cfg_;
+};
+
+}  // namespace rem::phy

@@ -1,0 +1,57 @@
+// OFDM numerology: grid dimensions and sampling intervals shared by the
+// OFDM/OTFS modems and the channel-estimation code.
+#pragma once
+
+#include <cstddef>
+
+namespace rem::phy {
+
+/// Describes an M x N OFDM resource grid (M subcarriers x N symbols) and
+/// its time/frequency sampling. The delay-Doppler grid quantization follows
+/// (Fig. 6a): dtau = 1/(M df), dnu = 1/(N T).
+struct Numerology {
+  std::size_t num_subcarriers = 12;   ///< M
+  std::size_t num_symbols = 14;       ///< N
+  double subcarrier_spacing_hz = 15e3;  ///< df (LTE: 15 kHz)
+  std::size_t cp_len = 0;             ///< cyclic prefix length in samples
+
+  /// Baseband sample rate = M * df.
+  double sample_rate_hz() const {
+    return static_cast<double>(num_subcarriers) * subcarrier_spacing_hz;
+  }
+  /// Useful (FFT) symbol duration 1/df.
+  double useful_symbol_s() const { return 1.0 / subcarrier_spacing_hz; }
+  /// Total symbol duration including CP — the grid's time step T.
+  double symbol_duration_s() const {
+    return (static_cast<double>(num_subcarriers + cp_len)) /
+           sample_rate_hz();
+  }
+  /// Delay resolution dtau = 1/(M df).
+  double delay_res_s() const {
+    return 1.0 / (static_cast<double>(num_subcarriers) *
+                  subcarrier_spacing_hz);
+  }
+  /// Doppler resolution dnu = 1/(N T).
+  double doppler_res_hz() const {
+    return 1.0 / (static_cast<double>(num_symbols) * symbol_duration_s());
+  }
+  /// Total samples for the whole grid.
+  std::size_t total_samples() const {
+    return (num_subcarriers + cp_len) * num_symbols;
+  }
+  /// Resource elements in the grid.
+  std::size_t total_res() const { return num_subcarriers * num_symbols; }
+
+  /// LTE-like defaults: normal CP approximated as 1/4 of the FFT length
+  /// was historically extended CP; we use ~7% (rounded up) like normal CP.
+  static Numerology lte(std::size_t m, std::size_t n) {
+    Numerology num;
+    num.num_subcarriers = m;
+    num.num_symbols = n;
+    num.subcarrier_spacing_hz = 15e3;
+    num.cp_len = (m + 13) / 14;  // ceil(M/14) ~ 7%
+    return num;
+  }
+};
+
+}  // namespace rem::phy

@@ -1,0 +1,49 @@
+#include "phy/ofdm.hpp"
+
+#include "dsp/fft.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rem::phy {
+
+dsp::CVec OfdmModem::modulate(const dsp::Matrix& grid) const {
+  const std::size_t m = num_.num_subcarriers;
+  const std::size_t n = num_.num_symbols;
+  if (grid.rows() != m || grid.cols() != n)
+    throw std::invalid_argument("OFDM modulate: grid shape mismatch");
+  const double scale = std::sqrt(static_cast<double>(m));  // unitary IFFT
+  dsp::CVec out;
+  out.reserve(num_.total_samples());
+  for (std::size_t sym = 0; sym < n; ++sym) {
+    dsp::CVec freq = grid.col(sym);
+    dsp::ifft(freq);
+    for (auto& x : freq) x *= scale;
+    // Cyclic prefix: copy of the tail.
+    for (std::size_t i = 0; i < num_.cp_len; ++i)
+      out.push_back(freq[m - num_.cp_len + i]);
+    out.insert(out.end(), freq.begin(), freq.end());
+  }
+  return out;
+}
+
+dsp::Matrix OfdmModem::demodulate(const dsp::CVec& samples) const {
+  const std::size_t m = num_.num_subcarriers;
+  const std::size_t n = num_.num_symbols;
+  if (samples.size() != num_.total_samples())
+    throw std::invalid_argument("OFDM demodulate: sample count mismatch");
+  const double scale = 1.0 / std::sqrt(static_cast<double>(m));
+  dsp::Matrix grid(m, n);
+  std::size_t pos = 0;
+  for (std::size_t sym = 0; sym < n; ++sym) {
+    pos += num_.cp_len;  // skip CP
+    dsp::CVec time(samples.begin() + static_cast<std::ptrdiff_t>(pos),
+                   samples.begin() + static_cast<std::ptrdiff_t>(pos + m));
+    dsp::fft(time);
+    for (std::size_t k = 0; k < m; ++k) grid(k, sym) = time[k] * scale;
+    pos += m;
+  }
+  return grid;
+}
+
+}  // namespace rem::phy

@@ -1,0 +1,31 @@
+// CP-OFDM modulator/demodulator over an M x N resource grid.
+//
+// The grid is a dsp::Matrix with rows = subcarriers (M), cols = symbols (N).
+// The transforms are unitary (norm preserving) so SNR bookkeeping is exact
+// across the whole chain.
+#pragma once
+
+#include "dsp/fft.hpp"
+#include "dsp/matrix.hpp"
+#include "phy/numerology.hpp"
+
+namespace rem::phy {
+
+class OfdmModem {
+ public:
+  explicit OfdmModem(Numerology num) : num_(num) {}
+
+  const Numerology& numerology() const { return num_; }
+
+  /// Grid -> time samples. Per symbol: unitary IFFT across subcarriers,
+  /// then cyclic prefix of cp_len samples.
+  dsp::CVec modulate(const dsp::Matrix& grid) const;
+
+  /// Time samples -> grid. Drops CPs, unitary FFT per symbol.
+  dsp::Matrix demodulate(const dsp::CVec& samples) const;
+
+ private:
+  Numerology num_;
+};
+
+}  // namespace rem::phy

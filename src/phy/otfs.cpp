@@ -1,0 +1,57 @@
+#include "phy/otfs.hpp"
+
+#include "dsp/fft.hpp"
+
+#include <cmath>
+
+namespace rem::phy {
+namespace {
+
+// Apply forward (invert=false) or inverse (invert=true) unitary DFT to every
+// row of the matrix.
+void dft_rows(dsp::Matrix& m, bool invert) {
+  const double scale = invert ? std::sqrt(static_cast<double>(m.cols()))
+                              : 1.0 / std::sqrt(static_cast<double>(m.cols()));
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    dsp::CVec row = m.row(r);
+    if (invert)
+      dsp::ifft(row);
+    else
+      dsp::fft(row);
+    for (std::size_t c = 0; c < m.cols(); ++c) m(r, c) = row[c] * scale;
+  }
+}
+
+void dft_cols(dsp::Matrix& m, bool invert) {
+  const double scale = invert ? std::sqrt(static_cast<double>(m.rows()))
+                              : 1.0 / std::sqrt(static_cast<double>(m.rows()));
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    dsp::CVec col = m.col(c);
+    if (invert)
+      dsp::ifft(col);
+    else
+      dsp::fft(col);
+    for (std::size_t r = 0; r < m.rows(); ++r) m(r, c) = col[r] * scale;
+  }
+}
+
+}  // namespace
+
+// Eq. 2: X[n,m] = sum_{k,l} x[k,l] e^{-j2pi(mk/M - nl/N)}
+//   = forward DFT along delay (k -> m), inverse DFT along Doppler (l -> n),
+// here in the unitary convention.
+dsp::Matrix sfft(const dsp::Matrix& dd_grid) {
+  dsp::Matrix tf = dd_grid;   // rows: k -> m, cols: l -> n
+  dft_cols(tf, false);        // delay axis (rows index) forward DFT
+  dft_rows(tf, true);         // Doppler axis inverse DFT
+  return tf;
+}
+
+dsp::Matrix isfft(const dsp::Matrix& tf_grid) {
+  dsp::Matrix dd = tf_grid;
+  dft_rows(dd, false);
+  dft_cols(dd, true);
+  return dd;
+}
+
+}  // namespace rem::phy

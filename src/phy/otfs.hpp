@@ -1,0 +1,46 @@
+// OTFS pre/post-coding on top of OFDM: the (inverse) symplectic finite
+// Fourier transform between the delay-Doppler grid x[k,l] and the
+// time-frequency grid X[n,m] (Eq. 2-3 of the paper).
+//
+// We use the unitary convention (both directions scaled by 1/sqrt(MN)) so
+// power is preserved; this differs from Eq. 2/3 only by a constant factor
+// and keeps SNR accounting across the overlay exact.
+#pragma once
+
+#include "dsp/matrix.hpp"
+#include "phy/numerology.hpp"
+#include "phy/ofdm.hpp"
+
+namespace rem::phy {
+
+/// Delay-Doppler grid (rows = delay bins k, cols = Doppler bins l) to
+/// time-frequency grid (rows = subcarriers m, cols = symbols n).
+dsp::Matrix sfft(const dsp::Matrix& dd_grid);
+
+/// Time-frequency grid to delay-Doppler grid (inverse of sfft).
+dsp::Matrix isfft(const dsp::Matrix& tf_grid);
+
+/// OTFS modem = SFFT precoding + the OFDM modem.
+class OtfsModem {
+ public:
+  explicit OtfsModem(Numerology num) : ofdm_(num) {}
+
+  const Numerology& numerology() const { return ofdm_.numerology(); }
+
+  /// Delay-Doppler grid -> time samples.
+  dsp::CVec modulate(const dsp::Matrix& dd_grid) const {
+    return ofdm_.modulate(sfft(dd_grid));
+  }
+
+  /// Time samples -> delay-Doppler grid.
+  dsp::Matrix demodulate(const dsp::CVec& samples) const {
+    return isfft(ofdm_.demodulate(samples));
+  }
+
+  const OfdmModem& ofdm() const { return ofdm_; }
+
+ private:
+  OfdmModem ofdm_;
+};
+
+}  // namespace rem::phy

@@ -1,0 +1,100 @@
+#include "phy/scheduler.hpp"
+
+#include "phy/coding.hpp"
+
+#include <algorithm>
+
+namespace rem::phy {
+
+bool GridRect::overlaps(const GridRect& o) const {
+  const bool sc = first_subcarrier < o.first_subcarrier + o.num_subcarriers &&
+                  o.first_subcarrier < first_subcarrier + num_subcarriers;
+  const bool sym = first_symbol < o.first_symbol + o.num_symbols &&
+                   o.first_symbol < first_symbol + num_symbols;
+  return sc && sym;
+}
+
+std::size_t res_for_bytes(std::size_t bytes, Modulation mod) {
+  const std::size_t payload_bits = bytes * 8;
+  const std::size_t coded = ConvolutionalCode::coded_length(payload_bits);
+  const std::size_t bps = bits_per_symbol(mod);
+  return (coded + bps - 1) / bps;
+}
+
+void SignalingScheduler::enqueue(PendingMessage msg) {
+  if (msg.is_signaling)
+    srb_.push_back(msg);
+  else
+    drb_.push_back(msg);
+}
+
+std::size_t SignalingScheduler::signaling_backlog_bytes() const {
+  std::size_t total = 0;
+  for (const auto& m : srb_) total += m.bytes;
+  return total;
+}
+
+std::size_t SignalingScheduler::data_backlog_bytes() const {
+  std::size_t total = 0;
+  for (const auto& m : drb_) total += m.bytes;
+  return total;
+}
+
+SubframeAllocation SignalingScheduler::schedule_subframe() {
+  SubframeAllocation alloc;
+  const std::size_t m = num_.num_subcarriers;
+  const std::size_t n = num_.num_symbols;
+  const std::size_t grid_res = m * n;
+
+  // --- Signaling: pop whole messages while they fit the grid ---
+  std::size_t sig_res = 0;
+  while (!srb_.empty()) {
+    const std::size_t need =
+        res_for_bytes(srb_.front().bytes, signaling_mod_);
+    if (sig_res + need > grid_res) break;
+    sig_res += need;
+    alloc.served_signaling_ids.push_back(srb_.front().id);
+    srb_.pop_front();
+  }
+
+  std::size_t sig_symbols = 0;
+  if (sig_res > 0) {
+    // Column-first growth: a signaling subgrid of M x N' full symbols.
+    // OTFS requires the rectangle to be contiguous; using full symbols
+    // matches the LTE scheduler granularity and maximizes the delay
+    // resolution M' = M of the overlay.
+    sig_symbols = (sig_res + m - 1) / m;
+    sig_symbols = std::min(sig_symbols, n);
+    GridRect rect;
+    rect.first_subcarrier = 0;
+    rect.first_symbol = 0;
+    rect.num_subcarriers = m;
+    rect.num_symbols = sig_symbols;
+    alloc.signaling = rect;
+    alloc.unused_res = rect.res() - sig_res;
+  }
+
+  // --- Data: the remaining symbols ---
+  std::size_t data_res_available = (n - sig_symbols) * m;
+  if (data_res_available > 0) {
+    GridRect rect;
+    rect.first_subcarrier = 0;
+    rect.first_symbol = sig_symbols;
+    rect.num_subcarriers = m;
+    rect.num_symbols = n - sig_symbols;
+    alloc.data.push_back(rect);
+    // Serve data messages into the leftover capacity (same MCS model).
+    std::size_t used = 0;
+    while (!drb_.empty()) {
+      const std::size_t need =
+          res_for_bytes(drb_.front().bytes, signaling_mod_);
+      if (used + need > data_res_available) break;
+      used += need;
+      alloc.served_data_ids.push_back(drb_.front().id);
+      drb_.pop_front();
+    }
+  }
+  return alloc;
+}
+
+}  // namespace rem::phy

@@ -1,0 +1,88 @@
+// Scheduling-based OTFS (§5.1, Fig. 6).
+//
+// OTFS needs a *contiguous* M' x N' sub-grid of the OFDM resource grid.
+// 4G/5G already prioritizes signaling radio bearers over data, so the
+// scheduler first carves one contiguous rectangle for all pending signaling
+// (sized to the queue), then fills the remaining resource elements with
+// OFDM data. No extra delay or spectral cost is added for data.
+#pragma once
+
+#include "phy/numerology.hpp"
+#include "phy/qam.hpp"
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rem::phy {
+
+/// A rectangular region of the resource grid: subcarriers
+/// [first_subcarrier, first_subcarrier+num_subcarriers) x symbols
+/// [first_symbol, first_symbol+num_symbols).
+struct GridRect {
+  std::size_t first_subcarrier = 0;
+  std::size_t first_symbol = 0;
+  std::size_t num_subcarriers = 0;
+  std::size_t num_symbols = 0;
+
+  std::size_t res() const { return num_subcarriers * num_symbols; }
+  bool contains(std::size_t subcarrier, std::size_t symbol) const {
+    return subcarrier >= first_subcarrier &&
+           subcarrier < first_subcarrier + num_subcarriers &&
+           symbol >= first_symbol && symbol < first_symbol + num_symbols;
+  }
+  bool overlaps(const GridRect& o) const;
+};
+
+/// A queued message. Signaling messages (SRB) always outrank data (DRB).
+struct PendingMessage {
+  std::uint64_t id = 0;
+  std::size_t bytes = 0;
+  bool is_signaling = false;
+};
+
+/// Result of scheduling one subframe.
+struct SubframeAllocation {
+  /// Contiguous sub-grid for OTFS signaling; nullopt when no signaling was
+  /// pending. Always anchored at (0, 0).
+  std::optional<GridRect> signaling;
+  /// Remaining region(s) given to OFDM data (may be empty).
+  std::vector<GridRect> data;
+  /// Messages actually served this subframe, in order.
+  std::vector<std::uint64_t> served_signaling_ids;
+  std::vector<std::uint64_t> served_data_ids;
+  /// Resource elements left idle (signaling rounding waste).
+  std::size_t unused_res = 0;
+};
+
+/// Resource elements needed to carry `bytes` of payload with the rate-1/2
+/// convolutional code and the given modulation.
+std::size_t res_for_bytes(std::size_t bytes, Modulation mod);
+
+class SignalingScheduler {
+ public:
+  SignalingScheduler(Numerology num, Modulation signaling_mod)
+      : num_(num), signaling_mod_(signaling_mod) {}
+
+  /// Enqueue a message; signaling goes to the SRB queue, data to the DRB
+  /// queue.
+  void enqueue(PendingMessage msg);
+
+  std::size_t signaling_backlog_bytes() const;
+  std::size_t data_backlog_bytes() const;
+
+  /// Schedule one subframe: serve as much of the SRB queue as fits into a
+  /// contiguous subgrid (grown column-first, matching how LTE schedules
+  /// full symbols), then pack DRB data into the remainder.
+  SubframeAllocation schedule_subframe();
+
+ private:
+  Numerology num_;
+  Modulation signaling_mod_;
+  std::deque<PendingMessage> srb_;
+  std::deque<PendingMessage> drb_;
+};
+
+}  // namespace rem::phy

@@ -1,0 +1,34 @@
+// Signaling event records — the simulator's equivalent of the paper's
+// MobileInsight captures: one timestamped row per control-plane event,
+// exportable as CSV (trace/eventlog.hpp) for offline analysis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rem::sim {
+
+enum class EventKind {
+  kMeasurementTriggered,  ///< policy fired, feedback generation started
+  kReportDelivered,       ///< measurement report reached the base station
+  kReportLost,            ///< report ARQ exhausted
+  kHoCommandDelivered,    ///< handover command reached the client
+  kHoCommandLost,         ///< command lost in delivery
+  kHandoverComplete,      ///< client connected to the target
+  kRadioLinkFailure,      ///< Qout sustained, connectivity lost
+  kReestablished,         ///< connection re-established after RLF
+};
+
+std::string event_kind_name(EventKind k);
+
+struct SignalingEvent {
+  double t_s = 0.0;
+  EventKind kind = EventKind::kMeasurementTriggered;
+  int serving_cell = -1;
+  int target_cell = -1;      ///< -1 when not applicable
+  double serving_snr_db = 0.0;
+};
+
+using EventLog = std::vector<SignalingEvent>;
+
+}  // namespace rem::sim

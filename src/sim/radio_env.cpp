@@ -1,0 +1,201 @@
+#include "sim/radio_env.hpp"
+
+#include "common/units.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace rem::sim {
+namespace {
+
+std::vector<double> ar1_grid(std::size_t steps, double sigma, double decorr,
+                             double step_m, common::Rng& rng) {
+  const double rho = std::exp(-step_m / decorr);
+  const double innov = sigma * std::sqrt(1.0 - rho * rho);
+  std::vector<double> grid(steps);
+  double x = rng.gaussian(0.0, sigma);
+  for (std::size_t i = 0; i < steps; ++i) {
+    grid[i] = x;
+    x = rho * x + rng.gaussian(0.0, innov);
+  }
+  return grid;
+}
+
+}  // namespace
+
+RadioEnv::RadioEnv(std::vector<Cell> cells, PropagationConfig cfg,
+                   common::Rng rng, std::vector<HoleSegment> holes)
+    : cells_(std::move(cells)), cfg_(cfg), holes_(std::move(holes)) {
+  for (const auto& c : cells_)
+    track_len_m_ = std::max(track_len_m_, c.site_pos_m + 5000.0);
+  const auto steps =
+      static_cast<std::size_t>(track_len_m_ / kShadowStep_m) + 2;
+
+  // One shared shadowing process per physical site, plus a small
+  // frequency-dependent residual per cell. Co-sited cells thus see nearly
+  // identical large-scale dynamics — the physical basis of cross-band
+  // estimation (§3.1's shared multipath).
+  std::map<int, std::size_t> site_grid_index;
+  cell_site_grid_.resize(cells_.size());
+  cell_shadow_grids_.resize(cells_.size());
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const int site = cells_[i].id.base_station;
+    auto [it, inserted] =
+        site_grid_index.try_emplace(site, site_shadow_grids_.size());
+    if (inserted) {
+      site_shadow_grids_.push_back(ar1_grid(steps, cfg_.shadowing_sigma_db,
+                                            cfg_.shadowing_decorr_m,
+                                            kShadowStep_m, rng));
+    }
+    cell_site_grid_[i] = it->second;
+    cell_shadow_grids_[i] =
+        ar1_grid(steps, cfg_.per_cell_shadow_sigma_db,
+                 cfg_.per_cell_shadow_decorr_m, kShadowStep_m, rng);
+  }
+}
+
+double RadioEnv::sample_grid(const std::vector<double>& grid,
+                             double track_pos_m) const {
+  const double f = std::clamp(track_pos_m / kShadowStep_m, 0.0,
+                              static_cast<double>(grid.size() - 1));
+  const auto i0 = static_cast<std::size_t>(f);
+  const auto i1 = std::min(i0 + 1, grid.size() - 1);
+  const double frac = f - static_cast<double>(i0);
+  return grid[i0] * (1.0 - frac) + grid[i1] * frac;
+}
+
+double RadioEnv::shadowing_db(std::size_t cell_idx,
+                              double track_pos_m) const {
+  return sample_grid(site_shadow_grids_[cell_site_grid_[cell_idx]],
+                     track_pos_m) +
+         sample_grid(cell_shadow_grids_[cell_idx], track_pos_m);
+}
+
+bool RadioEnv::position_in_hole(double track_pos_m) const {
+  for (const auto& h : holes_) {
+    if (track_pos_m >= h.start_m && track_pos_m < h.start_m + h.length_m)
+      return true;
+  }
+  return false;
+}
+
+double RadioEnv::mean_rsrp_dbm(std::size_t cell_idx,
+                               double track_pos_m) const {
+  const Cell& c = cells_[cell_idx];
+  const double dx = track_pos_m - c.site_pos_m;
+  const double d = std::max(
+      std::sqrt(dx * dx + c.site_offset_m * c.site_offset_m), 1.0);
+  // Log-distance with a mild frequency term (higher carriers lose more).
+  double pl = cfg_.ref_loss_db +
+              10.0 * cfg_.pathloss_exponent * std::log10(d) +
+              20.0 * std::log10(c.carrier_hz / 2.0e9);
+  if (position_in_hole(track_pos_m)) pl += cfg_.hole_extra_loss_db;
+  return c.tx_power_dbm - pl + shadowing_db(cell_idx, track_pos_m);
+}
+
+double RadioEnv::instant_rsrp_dbm(std::size_t cell_idx, double track_pos_m,
+                                  common::Rng& rng) const {
+  return mean_rsrp_dbm(cell_idx, track_pos_m) +
+         rng.gaussian(0.0, cfg_.fading_sigma_db);
+}
+
+double RadioEnv::dd_snr_db(std::size_t cell_idx, double track_pos_m,
+                           common::Rng& rng) const {
+  const double rsrp = mean_rsrp_dbm(cell_idx, track_pos_m) +
+                      rng.gaussian(0.0, cfg_.dd_residual_sigma_db);
+  return snr_db_from_rsrp(rsrp);
+}
+
+double RadioEnv::snr_db_from_rsrp(double rsrp_dbm) const {
+  return rsrp_dbm - cfg_.noise_floor_dbm;
+}
+
+int RadioEnv::best_cell(double track_pos_m, double min_rsrp_dbm) const {
+  int best = -1;
+  double best_rsrp = min_rsrp_dbm;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const double r = mean_rsrp_dbm(i, track_pos_m);
+    if (r > best_rsrp) {
+      best_rsrp = r;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+std::vector<Cell> make_rail_deployment(const DeploymentConfig& cfg,
+                                       common::Rng& rng) {
+  std::vector<Cell> cells;
+  int next_cell_id = 0;
+  int next_site_id = 0;
+  double pos = cfg.site_spacing_mean_m / 2.0;
+  while (pos < cfg.route_len_m) {
+    const int site = next_site_id++;
+    const double offset =
+        rng.uniform(cfg.site_offset_min_m, cfg.site_offset_max_m);
+    // The rail corridor is covered by a dedicated layer on the first
+    // channel (intra-frequency A3 dominates handovers, as in the HSR
+    // datasets); extra co-located cells use the other carriers. A few
+    // sites lack the corridor layer entirely — the cells legacy
+    // multi-stage policies tend to miss.
+    const std::size_t primary =
+        (cfg.channels.size() > 1 && rng.bernoulli(cfg.primary_missing_prob))
+            ? 1 + static_cast<std::size_t>(rng.uniform_int(
+                      0, static_cast<std::int64_t>(cfg.channels.size()) - 2))
+            : 0;
+
+    Cell c;
+    c.id = {next_cell_id++, site, cfg.channels[primary].first};
+    c.site_pos_m = pos;
+    c.site_offset_m = offset;
+    c.carrier_hz = cfg.channels[primary].second;
+    c.tx_power_dbm = cfg.tx_power_dbm;
+    c.bandwidth_hz = primary == 0 ? cfg.primary_bandwidth_hz
+                                  : cfg.secondary_bandwidths_hz[
+                                        static_cast<std::size_t>(
+                                            rng.uniform_int(
+                                                0,
+                                                static_cast<std::int64_t>(
+                                                    cfg.secondary_bandwidths_hz
+                                                        .size()) -
+                                                    1))];
+    cells.push_back(c);
+
+    if (cfg.channels.size() > 1 && primary == 0 &&
+        rng.bernoulli(cfg.colocated_second_cell_prob)) {
+      std::size_t secondary = primary;
+      while (secondary == primary) {
+        secondary = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(cfg.channels.size()) - 1));
+      }
+      Cell c2 = c;
+      c2.id = {next_cell_id++, site, cfg.channels[secondary].first};
+      c2.carrier_hz = cfg.channels[secondary].second;
+      c2.bandwidth_hz = cfg.secondary_bandwidths_hz[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(
+                                 cfg.secondary_bandwidths_hz.size()) -
+                                 1))];
+      cells.push_back(c2);
+    }
+    pos += cfg.site_spacing_mean_m +
+           rng.uniform(-cfg.site_spacing_jitter_m, cfg.site_spacing_jitter_m);
+  }
+  return cells;
+}
+
+std::vector<HoleSegment> make_hole_segments(const DeploymentConfig& cfg,
+                                            common::Rng& rng) {
+  std::vector<HoleSegment> holes;
+  const double km = cfg.route_len_m / 1000.0;
+  const int count = rng.poisson(cfg.holes_per_km * km);
+  for (int i = 0; i < count; ++i) {
+    HoleSegment h;
+    h.start_m = rng.uniform(0.0, cfg.route_len_m);
+    h.length_m = rng.uniform(cfg.hole_len_min_m, cfg.hole_len_max_m);
+    holes.push_back(h);
+  }
+  return holes;
+}
+
+}  // namespace rem::sim

@@ -1,0 +1,323 @@
+#include "sim/simulator.hpp"
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rem::sim {
+
+std::string event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kMeasurementTriggered: return "measurement_triggered";
+    case EventKind::kReportDelivered: return "report_delivered";
+    case EventKind::kReportLost: return "report_lost";
+    case EventKind::kHoCommandDelivered: return "ho_command_delivered";
+    case EventKind::kHoCommandLost: return "ho_command_lost";
+    case EventKind::kHandoverComplete: return "handover_complete";
+    case EventKind::kRadioLinkFailure: return "radio_link_failure";
+    case EventKind::kReestablished: return "reestablished";
+  }
+  return "?";
+}
+
+std::string failure_cause_name(FailureCause c) {
+  switch (c) {
+    case FailureCause::kFeedbackDelayLoss: return "feedback delay/loss";
+    case FailureCause::kMissedCell: return "missed cell";
+    case FailureCause::kHoCommandLoss: return "handover cmd. loss";
+    case FailureCause::kCoverageHole: return "coverage hole";
+  }
+  return "?";
+}
+
+double SimStats::failure_ratio_excluding_holes() const {
+  const auto it = failures_by_cause.find(FailureCause::kCoverageHole);
+  const int holes = it != failures_by_cause.end() ? it->second : 0;
+  const int denom = handovers + failures;
+  return denom > 0 ? static_cast<double>(failures - holes) / denom : 0.0;
+}
+
+Simulator::Simulator(const RadioEnv& env, const SimConfig& cfg,
+                     const phy::BlerModel& bler, common::Rng rng)
+    : env_(env), cfg_(cfg), bler_(bler), rng_(std::move(rng)) {}
+
+phy::DopplerRegime Simulator::regime() const {
+  return cfg_.speed_kmh >= 150.0 ? phy::DopplerRegime::kHigh
+                                 : phy::DopplerRegime::kLow;
+}
+
+bool Simulator::deliver(double snr_db, int attempts, phy::Waveform w) {
+  for (int a = 0; a < attempts; ++a) {
+    const double p = bler_.bler(w, regime(), snr_db);
+    if (!rng_.bernoulli(p)) return true;
+  }
+  return false;
+}
+
+SimStats Simulator::run(MobilityManager& manager,
+                        const std::function<bool(int, int)>& pair_conflicts) {
+  SimStats stats;
+  const double speed = common::kmh_to_mps(cfg_.speed_kmh);
+  const double dt = cfg_.tick_s;
+
+  // Initial attach: strongest cell at the start.
+  double pos = 0.0;
+  int serving = env_.best_cell(pos, cfg_.min_coverage_rsrp_dbm);
+  if (serving < 0) serving = 0;
+  manager.on_serving_changed(0.0, static_cast<std::size_t>(serving));
+
+  std::optional<PendingHandover> pending;
+  double qout_since = -1.0;          // when serving went below Qout
+  double outage_started = -1.0;      // RLF time (in outage if >= 0)
+  double last_report_loss_t = -1e9;  // recent ARQ-exhausted feedback
+  double last_cmd_loss_t = -1e9;     // recent lost handover command
+  double suppress_until = 0.0;       // post-handover decision blanking
+  constexpr double kLossMemory_s = 1.5;
+  std::deque<std::pair<double, int>> recent_serving;  // (time, cell idx)
+  std::vector<double> ho_times;
+  bool current_loop_episode = false;
+  double throughput_sum_bps = 0.0;
+  std::size_t ticks = 0, outage_ticks = 0;
+
+  // Rolling 5 s window of serving SNR for the Fig. 2b analysis.
+  std::deque<std::pair<double, double>> snr_window;  // (t, snr)
+
+  const auto log_event = [&](double t, EventKind kind, int srv, int tgt,
+                             double snr) {
+    if (!cfg_.record_events) return;
+    stats.events.push_back({t, kind, srv, tgt, snr});
+  };
+
+  const auto record_failure = [&](double t, FailureCause cause) {
+    ++stats.failures;
+    ++stats.failures_by_cause[cause];
+    // Dump the pre-failure SNR window, decimated to ~10 samples.
+    const std::size_t stride = std::max<std::size_t>(
+        snr_window.size() / 10, 1);
+    for (std::size_t i = 0; i < snr_window.size(); i += stride)
+      stats.pre_failure_snrs_db.push_back(snr_window[i].second);
+    snr_window.clear();
+    outage_started = t;
+    pending.reset();
+    qout_since = -1.0;
+  };
+
+  for (double t = 0.0; t < cfg_.duration_s; t += dt) {
+    pos = speed * t;
+    ++ticks;
+
+    // ---- Outage / re-establishment ----
+    if (outage_started >= 0.0) {
+      ++outage_ticks;
+      if (t - outage_started >= cfg_.reestablish_s) {
+        // Camp only on a cell comfortably above Qout (Qin-style margin),
+        // otherwise keep searching — reconnecting into a dying cell just
+        // repeats the failure.
+        const double qin_rsrp = env_.config().noise_floor_dbm +
+                                cfg_.qout_snr_db + 3.0;
+        const int target = env_.best_cell(
+            pos, std::max(cfg_.min_coverage_rsrp_dbm, qin_rsrp));
+        if (target >= 0) {
+          stats.outage_durations_s.push_back(t - outage_started);
+          serving = target;
+          outage_started = -1.0;
+          last_report_loss_t = last_cmd_loss_t = -1e9;
+          manager.on_serving_changed(t, static_cast<std::size_t>(serving));
+          log_event(t, EventKind::kReestablished, serving, -1, 0.0);
+          recent_serving.push_back({t, serving});
+        }
+        // else: still in a hole; keep searching.
+      }
+      continue;
+    }
+
+    // ---- Radio state ----
+    ServingState sv;
+    sv.cell_idx = static_cast<std::size_t>(serving);
+    sv.id = env_.cells()[sv.cell_idx].id;
+    sv.rsrp_dbm = env_.instant_rsrp_dbm(sv.cell_idx, pos, rng_);
+    sv.dd_snr_db = env_.dd_snr_db(sv.cell_idx, pos, rng_);
+    sv.snr_db = env_.snr_db_from_rsrp(sv.rsrp_dbm);
+    sv.bandwidth_hz = env_.cells()[sv.cell_idx].bandwidth_hz;
+    throughput_sum_bps += common::shannon_capacity_bps(
+        sv.bandwidth_hz, common::db_to_lin(sv.snr_db));
+    snr_window.push_back({t, sv.snr_db});
+    while (!snr_window.empty() && t - snr_window.front().first > 5.0)
+      snr_window.pop_front();
+
+    // ---- Radio link failure detection (Qout) ----
+    if (sv.snr_db < cfg_.qout_snr_db) {
+      if (qout_since < 0.0) qout_since = t;
+      if (t - qout_since >= cfg_.qout_s) {
+        // Classify the failure (Table 2 taxonomy). Lost-signaling
+        // evidence is kept for a short memory window because a failed
+        // attempt is usually replaced by a retry before the RLF lands.
+        FailureCause cause;
+        const int best = env_.best_cell(pos, cfg_.min_coverage_rsrp_dbm);
+        if (best < 0) {
+          cause = FailureCause::kCoverageHole;
+        } else if ((pending && pending->command_lost) ||
+                   t - last_cmd_loss_t < kLossMemory_s) {
+          cause = FailureCause::kHoCommandLoss;
+        } else if (pending && pending->report_delivered) {
+          cause = FailureCause::kHoCommandLoss;  // command still in flight
+        } else if ((pending && (pending->report_lost ||
+                                !pending->report_delivered)) ||
+                   t - last_report_loss_t < kLossMemory_s) {
+          cause = FailureCause::kFeedbackDelayLoss;  // lost or too slow
+        } else if (best == serving) {
+          // Nothing better exists: a deep fade of the only covering cell
+          // is effectively a (soft) coverage hole.
+          cause = FailureCause::kCoverageHole;
+        } else {
+          // No decision was ever made: was the best candidate invisible?
+          const auto visible = manager.visible_cells();
+          cause = visible.count(static_cast<std::size_t>(best)) == 0
+                      ? FailureCause::kMissedCell
+                      : FailureCause::kFeedbackDelayLoss;
+        }
+        log_event(t, EventKind::kRadioLinkFailure, serving, -1, sv.snr_db);
+        record_failure(t, cause);
+        continue;
+      }
+    } else {
+      qout_since = -1.0;
+    }
+
+    // ---- Pending handover progress ----
+    if (pending) {
+      if (!pending->report_delivered && !pending->report_lost &&
+          t >= pending->report_due_s) {
+        if (deliver(sv.snr_db, cfg_.uplink_attempts, manager.waveform())) {
+          pending->report_delivered = true;
+          pending->command_due_s =
+              t + cfg_.decision_proc_s +
+              cfg_.retry_spacing_s;  // BS decision + scheduling
+          stats.feedback_delays_s.push_back(t - pending->decided_at_s);
+          log_event(t, EventKind::kReportDelivered, serving,
+                    static_cast<int>(pending->target_idx), sv.snr_db);
+        } else {
+          pending->report_lost = true;  // ARQ exhausted
+          last_report_loss_t = t;
+          log_event(t, EventKind::kReportLost, serving,
+                    static_cast<int>(pending->target_idx), sv.snr_db);
+        }
+      }
+      if (pending->report_delivered && !pending->command_lost &&
+          t >= pending->command_due_s) {
+        if (deliver(sv.snr_db, cfg_.downlink_attempts,
+                    manager.waveform())) {
+          // ---- Execution ----
+          log_event(t, EventKind::kHoCommandDelivered, serving,
+                    static_cast<int>(pending->target_idx), sv.snr_db);
+          ++stats.handovers;
+          const std::size_t target = pending->target_idx;
+          const double tgt_rsrp = env_.mean_rsrp_dbm(target, pos);
+          const double tgt_snr = env_.snr_db_from_rsrp(tgt_rsrp);
+          if (tgt_snr >= cfg_.min_connect_snr_db) {
+            ++stats.successful_handovers;
+            serving = static_cast<int>(target);
+            manager.on_serving_changed(t, target);
+            qout_since = -1.0;
+            last_report_loss_t = last_cmd_loss_t = -1e9;
+            suppress_until = t + cfg_.post_ho_suppress_s;
+            log_event(t, EventKind::kHandoverComplete,
+                      static_cast<int>(sv.cell_idx), serving, sv.snr_db);
+            ho_times.push_back(t);
+            // Loop bookkeeping: returning to a recently-serving cell.
+            bool is_loop = false;
+            for (const auto& [ts, idx] : recent_serving) {
+              if (t - ts <= cfg_.loop_window_s &&
+                  idx == static_cast<int>(target)) {
+                is_loop = true;
+                break;
+              }
+            }
+            recent_serving.push_back({t, serving});
+            while (!recent_serving.empty() &&
+                   t - recent_serving.front().first > cfg_.loop_window_s)
+              recent_serving.pop_front();
+            if (is_loop) {
+              ++stats.loop_handovers;
+              const auto& tgt_cell = env_.cells()[target];
+              const auto& prev_cell = env_.cells()[sv.cell_idx];
+              const bool conflict =
+                  pair_conflicts &&
+                  pair_conflicts(tgt_cell.id.cell, prev_cell.id.cell);
+              if (conflict) ++stats.conflict_loop_handovers;
+              if (!current_loop_episode) {
+                ++stats.loop_episodes;
+                if (tgt_cell.id.channel == prev_cell.id.channel)
+                  ++stats.intra_freq_loop_episodes;
+                if (conflict) {
+                  ++stats.conflict_loop_episodes;
+                  if (tgt_cell.id.channel == prev_cell.id.channel)
+                    ++stats.intra_freq_conflict_loops;
+                }
+                current_loop_episode = true;
+              }
+            } else {
+              current_loop_episode = false;
+            }
+          } else {
+            // Target evaporated before execution completed.
+            record_failure(t, FailureCause::kFeedbackDelayLoss);
+            continue;
+          }
+          pending.reset();
+        } else {
+          pending->command_lost = true;
+          last_cmd_loss_t = t;
+          log_event(t, EventKind::kHoCommandLost, serving,
+                    static_cast<int>(pending->target_idx), sv.snr_db);
+        }
+      }
+    }
+
+    // ---- Manager policy evaluation ----
+    if (t >= suppress_until &&
+        (!pending || pending->report_lost || pending->command_lost)) {
+      std::vector<Observation> obs;
+      for (std::size_t i = 0; i < env_.cells().size(); ++i) {
+        if (i == sv.cell_idx) continue;
+        const double mean = env_.mean_rsrp_dbm(i, pos);
+        if (mean < cfg_.min_coverage_rsrp_dbm - 10.0) continue;
+        Observation o;
+        o.cell_idx = i;
+        o.id = env_.cells()[i].id;
+        o.rsrp_dbm = env_.instant_rsrp_dbm(i, pos, rng_);
+        o.dd_snr_db = env_.dd_snr_db(i, pos, rng_);
+        o.bandwidth_hz = env_.cells()[i].bandwidth_hz;
+        obs.push_back(o);
+      }
+      const auto decision = manager.update(t, sv, obs);
+      if (decision) {
+        log_event(t, EventKind::kMeasurementTriggered, serving,
+                  static_cast<int>(decision->target_idx), sv.snr_db);
+        PendingHandover ph;
+        ph.target_idx = decision->target_idx;
+        ph.decided_at_s = t;
+        ph.report_due_s = t + decision->feedback_delay_s;
+        pending = ph;
+      }
+    }
+  }
+
+  stats.sim_time_s = cfg_.duration_s;
+  if (ticks > 0) {
+    stats.mean_throughput_bps =
+        throughput_sum_bps / static_cast<double>(ticks);
+    stats.downtime_fraction =
+        static_cast<double>(outage_ticks) / static_cast<double>(ticks);
+  }
+  if (ho_times.size() >= 2) {
+    stats.avg_handover_interval_s =
+        (ho_times.back() - ho_times.front()) /
+        static_cast<double>(ho_times.size() - 1);
+  }
+  return stats;
+}
+
+}  // namespace rem::sim

@@ -1,0 +1,178 @@
+// Trace-style network simulator: a client rides a rail line through the
+// deployment while a pluggable mobility manager (legacy 4G/5G or REM) runs
+// triggering, decision, and execution. The simulator owns the parts both
+// designs share — radio dynamics, signaling transport with HARQ/ARQ
+// attempts, radio-link-failure detection, re-establishment — and classifies
+// every failure into the Table 2 taxonomy.
+#pragma once
+
+#include "phy/bler_model.hpp"
+#include "sim/events.hpp"
+#include "sim/radio_env.hpp"
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace rem::sim {
+
+/// What the manager sees about one candidate cell this tick.
+struct Observation {
+  std::size_t cell_idx = 0;
+  mobility::CellId id;
+  double rsrp_dbm = -160.0;   ///< instantaneous (fast-fading) RSRP
+  double dd_snr_db = -40.0;   ///< stable delay-Doppler SNR
+  double bandwidth_hz = 20e6; ///< cell bandwidth (capacity-based policies)
+};
+
+struct ServingState {
+  std::size_t cell_idx = 0;
+  mobility::CellId id;
+  double rsrp_dbm = -160.0;
+  double dd_snr_db = -40.0;
+  double snr_db = -40.0;      ///< instantaneous link SNR (drives BLER)
+  double bandwidth_hz = 20e6;
+};
+
+/// A manager's handover decision: measured/estimated feedback is ready
+/// `feedback_delay_s` after the triggering tick.
+struct HandoverDecision {
+  std::size_t target_idx = 0;
+  double feedback_delay_s = 0.0;
+};
+
+/// The pluggable mobility management design under test.
+class MobilityManager {
+ public:
+  virtual ~MobilityManager() = default;
+  virtual std::string name() const = 0;
+  /// Waveform carrying this design's signaling (sets its loss behaviour).
+  virtual phy::Waveform waveform() const = 0;
+  /// Per-tick policy evaluation. Returns a decision at most once per
+  /// handover attempt; the simulator handles delivery and execution.
+  virtual std::optional<HandoverDecision> update(
+      double t, const ServingState& serving,
+      const std::vector<Observation>& neighbors) = 0;
+  /// Cells the manager is currently able to measure/estimate (classifies
+  /// "missed cell" failures). Indices into RadioEnv::cells().
+  virtual std::set<std::size_t> visible_cells() const = 0;
+  /// Serving cell changed (handover completed or re-established).
+  virtual void on_serving_changed(double t, std::size_t new_idx) = 0;
+};
+
+enum class FailureCause {
+  kFeedbackDelayLoss,  ///< feedback too slow or lost in delivery (§3.1)
+  kMissedCell,         ///< viable cell invisible to the decision (§3.2)
+  kHoCommandLoss,      ///< handover command lost in delivery (§3.3)
+  kCoverageHole,       ///< nothing to hand over to
+};
+
+std::string failure_cause_name(FailureCause c);
+
+struct SimConfig {
+  double speed_kmh = 300.0;
+  double duration_s = 2000.0;
+  double tick_s = 0.010;
+  /// Radio link failure: serving SNR below `qout_snr_db` for `qout_s`.
+  double qout_snr_db = -7.0;
+  double qout_s = 0.5;
+  /// Minimum mean RSRP for a cell to count as coverage.
+  double min_coverage_rsrp_dbm = -120.0;
+  /// Minimum SNR for a handover execution to succeed at the target.
+  double min_connect_snr_db = -6.0;
+  /// Re-establishment after RLF: search + connect time.
+  double reestablish_s = 0.8;
+  /// Signaling transport: attempts (HARQ/ARQ) and per-attempt spacing.
+  int uplink_attempts = 2;
+  int downlink_attempts = 1;  // commands are time-critical (no ARQ window)
+  double retry_spacing_s = 0.008;
+  /// Base-station processing between feedback arrival and HO command.
+  double decision_proc_s = 0.050;
+  /// Execution interruption (detach + random access on target).
+  double ho_interruption_s = 0.050;
+  /// Ping-pong window: A->B->A within this window counts as a loop.
+  double loop_window_s = 15.0;
+  /// After a completed handover, suppress new decisions briefly (standard
+  /// post-handover measurement blanking).
+  double post_ho_suppress_s = 0.3;
+  /// Record a per-event signaling log (SimStats::events) — the simulated
+  /// analogue of the paper's MobileInsight captures.
+  bool record_events = false;
+};
+
+struct SimStats {
+  double sim_time_s = 0.0;
+  int handovers = 0;              ///< attempts (success + failure)
+  int successful_handovers = 0;
+  int failures = 0;               ///< network failures (RLF events)
+  std::map<FailureCause, int> failures_by_cause;
+  int loop_handovers = 0;         ///< handovers that are part of a loop
+  int loop_episodes = 0;
+  int intra_freq_loop_episodes = 0;
+  /// Loop episodes whose cell pair has a *policy conflict* (per the exact
+  /// analyzer) — the paper's "handovers in conflicts" metric. Requires a
+  /// pair_conflicts predicate at run() time.
+  int conflict_loop_episodes = 0;
+  int conflict_loop_handovers = 0;
+  int intra_freq_conflict_loops = 0;
+  double avg_handover_interval_s = 0.0;
+  std::vector<double> outage_durations_s;  ///< per RLF, until re-established
+  std::vector<double> feedback_delays_s;
+  /// Data-plane accounting (§8 "On data speed"): Shannon capacity of the
+  /// serving link averaged over the whole run (zero while in outage) and
+  /// the fraction of time without radio connectivity.
+  double mean_throughput_bps = 0.0;
+  double downtime_fraction = 0.0;
+  /// Serving-link SNR samples from the 5 s windows preceding each failure
+  /// (decimated) — the Fig. 2b signaling-loss analysis window.
+  std::vector<double> pre_failure_snrs_db;
+  /// Per-event signaling log (only when SimConfig::record_events).
+  EventLog events;
+
+  double failure_ratio() const {
+    const int denom = handovers + failures;
+    return denom > 0 ? static_cast<double>(failures) / denom : 0.0;
+  }
+  double failure_ratio_excluding_holes() const;
+  double loop_frequency_s() const {
+    return loop_episodes > 0 ? sim_time_s / loop_episodes : 0.0;
+  }
+};
+
+class Simulator {
+ public:
+  Simulator(const RadioEnv& env, const SimConfig& cfg,
+            const phy::BlerModel& bler, common::Rng rng);
+
+  /// Run the full scenario with the given manager and return statistics.
+  /// `pair_conflicts(cell_a, cell_b)` (CellId::cell values) marks loop
+  /// episodes caused by policy conflicts; pass an empty function to skip.
+  SimStats run(MobilityManager& manager,
+               const std::function<bool(int, int)>& pair_conflicts = {});
+
+ private:
+  struct PendingHandover {
+    std::size_t target_idx = 0;
+    double report_due_s = 0.0;     ///< feedback arrives at the BS
+    double command_due_s = 0.0;    ///< command reaches the UE (if set)
+    bool report_delivered = false;
+    bool report_lost = false;
+    bool command_lost = false;
+    double decided_at_s = 0.0;
+  };
+
+  bool deliver(double snr_db, int attempts, phy::Waveform w);
+  phy::DopplerRegime regime() const;
+
+  const RadioEnv& env_;
+  SimConfig cfg_;
+  const phy::BlerModel& bler_;
+  common::Rng rng_;
+};
+
+}  // namespace rem::sim

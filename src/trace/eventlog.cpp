@@ -1,0 +1,108 @@
+#include "trace/eventlog.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace rem::trace {
+namespace {
+
+const std::map<std::string, sim::EventKind>& kind_by_name() {
+  static const std::map<std::string, sim::EventKind> m = {
+      {"measurement_triggered", sim::EventKind::kMeasurementTriggered},
+      {"report_delivered", sim::EventKind::kReportDelivered},
+      {"report_lost", sim::EventKind::kReportLost},
+      {"ho_command_delivered", sim::EventKind::kHoCommandDelivered},
+      {"ho_command_lost", sim::EventKind::kHoCommandLost},
+      {"handover_complete", sim::EventKind::kHandoverComplete},
+      {"radio_link_failure", sim::EventKind::kRadioLinkFailure},
+      {"reestablished", sim::EventKind::kReestablished},
+  };
+  return m;
+}
+
+}  // namespace
+
+void write_event_csv(const sim::EventLog& log, std::ostream& os) {
+  os << "t_s,kind,serving_cell,target_cell,serving_snr_db\n";
+  for (const auto& e : log) {
+    os << e.t_s << ',' << sim::event_kind_name(e.kind) << ','
+       << e.serving_cell << ',' << e.target_cell << ',' << e.serving_snr_db
+       << '\n';
+  }
+}
+
+void write_event_csv_file(const sim::EventLog& log,
+                          const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path + " for writing");
+  write_event_csv(log, f);
+}
+
+sim::EventLog read_event_csv(std::istream& is) {
+  sim::EventLog log;
+  std::string line;
+  if (!std::getline(is, line))
+    throw std::runtime_error("event CSV: empty input");
+  if (line.rfind("t_s,", 0) != 0)
+    throw std::runtime_error("event CSV: missing header");
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string field;
+    sim::SignalingEvent e;
+    try {
+      std::getline(row, field, ',');
+      e.t_s = std::stod(field);
+      std::getline(row, field, ',');
+      const auto it = kind_by_name().find(field);
+      if (it == kind_by_name().end())
+        throw std::runtime_error("unknown kind '" + field + "'");
+      e.kind = it->second;
+      std::getline(row, field, ',');
+      e.serving_cell = std::stoi(field);
+      std::getline(row, field, ',');
+      e.target_cell = std::stoi(field);
+      std::getline(row, field, ',');
+      e.serving_snr_db = std::stod(field);
+    } catch (const std::exception& ex) {
+      throw std::runtime_error("event CSV line " +
+                               std::to_string(line_no) + ": " + ex.what());
+    }
+    log.push_back(e);
+  }
+  return log;
+}
+
+sim::EventLog read_event_csv_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return read_event_csv(f);
+}
+
+LogSummary summarize_event_log(const sim::EventLog& log) {
+  LogSummary s;
+  double first_ho = -1.0, last_ho = -1.0;
+  for (const auto& e : log) {
+    switch (e.kind) {
+      case sim::EventKind::kHandoverComplete:
+        ++s.handovers;
+        if (first_ho < 0) first_ho = e.t_s;
+        last_ho = e.t_s;
+        break;
+      case sim::EventKind::kRadioLinkFailure: ++s.failures; break;
+      case sim::EventKind::kReportLost: ++s.report_losses; break;
+      case sim::EventKind::kHoCommandLost: ++s.command_losses; break;
+      default: break;
+    }
+  }
+  if (s.handovers >= 2)
+    s.mean_handover_interval_s =
+        (last_ho - first_ho) / static_cast<double>(s.handovers - 1);
+  return s;
+}
+
+}  // namespace rem::trace

@@ -1,0 +1,34 @@
+// CSV export/import of simulated signaling event logs — the repo's
+// equivalent of the operational datasets in Table 4. One row per
+// control-plane event: time, kind, serving cell, target cell, serving SNR.
+#pragma once
+
+#include "sim/events.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace rem::trace {
+
+/// Serialize an event log as CSV (with a header row).
+void write_event_csv(const sim::EventLog& log, std::ostream& os);
+void write_event_csv_file(const sim::EventLog& log,
+                          const std::string& path);
+
+/// Parse an event log written by write_event_csv. Throws
+/// std::runtime_error on malformed input.
+sim::EventLog read_event_csv(std::istream& is);
+sim::EventLog read_event_csv_file(const std::string& path);
+
+/// Summary statistics straight from a log (handover interval, failure
+/// counts) — the first-pass analysis the paper runs over its captures.
+struct LogSummary {
+  std::size_t handovers = 0;
+  std::size_t failures = 0;
+  std::size_t report_losses = 0;
+  std::size_t command_losses = 0;
+  double mean_handover_interval_s = 0.0;
+};
+LogSummary summarize_event_log(const sim::EventLog& log);
+
+}  // namespace rem::trace

@@ -1,0 +1,80 @@
+// Synthetic dataset / scenario generation.
+//
+// The paper evaluates against operational LTE captures (Table 4:
+// Beijing-Taiyuan, Beijing-Shanghai, LA driving). Those traces are not
+// redistributable, so this module synthesizes scenarios calibrated to the
+// published statistics: handover intervals per speed bucket (Table 2),
+// cell/site ratios and carrier plans (Table 4), operator policy mixes
+// (multi-stage + proactive A3 + load-balancing A4/A5, §3.2). The
+// simulator then exercises exactly the code paths the real traces would.
+#pragma once
+
+#include "common/rng.hpp"
+#include "mobility/conflict.hpp"
+#include "mobility/policy.hpp"
+#include "sim/radio_env.hpp"
+#include "sim/simulator.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rem::trace {
+
+enum class Route {
+  kLowMobilityLA,     ///< 0-100 km/h driving baseline
+  kBeijingTaiyuan,    ///< fine-grained HSR, 200-300 km/h
+  kBeijingShanghai,   ///< coarse-grained HSR, 200-350 km/h
+};
+
+std::string route_name(Route r);
+
+/// How operator policies are sampled (§3.2 behaviours).
+struct PolicyMix {
+  /// Fraction of cells with a *proactive* intra-frequency A3 (offset < 0,
+  /// the failure-mitigation practice that amplifies conflicts, Fig. 4).
+  double proactive_a3_prob = 0.5;
+  double proactive_offset_lo = -3.0;  ///< sampled offset range when proactive
+  double proactive_offset_hi = -0.5;
+  double normal_offset_lo = 1.0;
+  double normal_offset_hi = 3.0;
+  /// Fraction of cells with a load-balancing direct A4 toward another
+  /// channel (the Fig. 3 conflict source).
+  double load_balance_a4_prob = 0.25;
+  double a4_threshold_lo = -112.0;
+  double a4_threshold_hi = -104.0;
+  /// Multi-stage: A2 guard threshold range and inter-frequency A5 pairs.
+  double a2_guard_lo = -114.0;
+  double a2_guard_hi = -106.0;
+  double intra_ttt_s = 0.040;   ///< operator-shortened HSR values (§3.1)
+  double inter_ttt_s = 0.640;
+};
+
+struct Scenario {
+  Route route;
+  double speed_kmh;
+  sim::DeploymentConfig deployment;
+  sim::PropagationConfig propagation;
+  PolicyMix policy_mix;
+  sim::SimConfig sim;
+};
+
+/// Preset scenario for a route at a given speed bucket (speed in km/h is
+/// the bucket midpoint; deployment density scales so handover intervals
+/// land in Table 2's range).
+Scenario make_scenario(Route route, double speed_kmh,
+                       double duration_s = 2000.0);
+
+/// Sample legacy multi-stage policies for every cell of a deployment
+/// (Fig. 1b shape + §3.2 proactive/load-balancing behaviours).
+std::map<int, mobility::CellPolicy> synthesize_policies(
+    const std::vector<sim::Cell>& cells, const PolicyMix& mix,
+    common::Rng& rng);
+
+/// Mobility::PolicyCell view of a deployment + policy map (input to the
+/// conflict analyzer, Table 3).
+std::vector<mobility::PolicyCell> to_policy_cells(
+    const std::vector<sim::Cell>& cells,
+    const std::map<int, mobility::CellPolicy>& policies);
+
+}  // namespace rem::trace

@@ -1,0 +1,114 @@
+#include "common/rng.hpp"
+#include "phy/coding.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rp = rem::phy;
+using Code = rp::ConvolutionalCode;
+
+namespace {
+std::vector<std::uint8_t> random_bits(std::size_t n, rem::common::Rng& rng) {
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = rng.bernoulli(0.5) ? 1 : 0;
+  return bits;
+}
+
+std::vector<double> to_llrs(const std::vector<std::uint8_t>& coded,
+                            double magnitude = 4.0) {
+  std::vector<double> llrs(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i)
+    llrs[i] = coded[i] ? -magnitude : magnitude;
+  return llrs;
+}
+}  // namespace
+
+TEST(ConvCode, CodedLength) {
+  EXPECT_EQ(Code::coded_length(10), 2 * (10 + 6));
+  EXPECT_EQ(Code::coded_length(0), 12u);
+}
+
+TEST(ConvCode, NoiselessRoundTrip) {
+  rem::common::Rng rng(1);
+  for (std::size_t len : {1u, 7u, 40u, 100u, 333u}) {
+    const auto bits = random_bits(len, rng);
+    const auto coded = Code::encode(bits);
+    EXPECT_EQ(coded.size(), Code::coded_length(len));
+    const auto decoded = Code::decode(to_llrs(coded));
+    EXPECT_EQ(decoded, bits) << "len=" << len;
+  }
+}
+
+TEST(ConvCode, AllZeroInputGivesAllZeroOutput) {
+  const std::vector<std::uint8_t> bits(20, 0);
+  const auto coded = Code::encode(bits);
+  for (auto c : coded) EXPECT_EQ(c, 0);
+}
+
+TEST(ConvCode, CorrectsScatteredHardErrors) {
+  // Free distance of (171,133) is 10: flipping a few well-separated coded
+  // bits must be correctable.
+  rem::common::Rng rng(2);
+  const auto bits = random_bits(120, rng);
+  auto coded = Code::encode(bits);
+  coded[10] ^= 1;
+  coded[60] ^= 1;
+  coded[130] ^= 1;
+  coded[200] ^= 1;
+  const auto decoded = Code::decode(to_llrs(coded));
+  EXPECT_EQ(decoded, bits);
+}
+
+TEST(ConvCode, SoftInformationBeatsErasures) {
+  // Zero-LLR (erased) positions should be bridged by the code.
+  rem::common::Rng rng(3);
+  const auto bits = random_bits(100, rng);
+  const auto coded = Code::encode(bits);
+  auto llrs = to_llrs(coded);
+  for (std::size_t i = 20; i < 28; ++i) llrs[i] = 0.0;  // 8-bit erasure burst
+  const auto decoded = Code::decode(llrs);
+  EXPECT_EQ(decoded, bits);
+}
+
+TEST(ConvCode, GaussianChannelLowErrorAtHighSnr) {
+  rem::common::Rng rng(4);
+  int block_errors = 0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    const auto bits = random_bits(200, rng);
+    const auto coded = Code::encode(bits);
+    std::vector<double> llrs(coded.size());
+    // BPSK over AWGN at ~4 dB Eb/N0: LLR = 2r/sigma^2.
+    const double sigma = 0.6;
+    for (std::size_t i = 0; i < coded.size(); ++i) {
+      const double tx = coded[i] ? -1.0 : 1.0;
+      const double r = tx + rng.gaussian(0, sigma);
+      llrs[i] = 2.0 * r / (sigma * sigma);
+    }
+    const auto decoded = Code::decode(llrs);
+    if (decoded != bits) ++block_errors;
+  }
+  EXPECT_LE(block_errors, 2);
+}
+
+TEST(ConvCode, DecodeRejectsOddLlrCount) {
+  std::vector<double> llrs(13, 1.0);
+  EXPECT_THROW(Code::decode(llrs), std::invalid_argument);
+}
+
+TEST(ConvCode, EncodeDeterministic) {
+  const std::vector<std::uint8_t> bits = {1, 0, 1, 1, 0, 0, 1};
+  EXPECT_EQ(Code::encode(bits), Code::encode(bits));
+}
+
+class ConvCodeLengths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ConvCodeLengths, RoundTripAcrossSizes) {
+  rem::common::Rng rng(GetParam());
+  const auto bits = random_bits(GetParam(), rng);
+  const auto decoded = Code::decode(to_llrs(Code::encode(bits)));
+  EXPECT_EQ(decoded, bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ConvCodeLengths,
+                         ::testing::Values(1, 2, 5, 6, 7, 8, 16, 31, 64, 127,
+                                           256, 1000));

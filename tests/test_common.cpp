@@ -1,0 +1,127 @@
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rc = rem::common;
+
+TEST(Units, DbRoundTrip) {
+  for (double db : {-30.0, -3.0, 0.0, 3.0, 10.0, 20.0}) {
+    EXPECT_NEAR(rc::lin_to_db(rc::db_to_lin(db)), db, 1e-12);
+  }
+}
+
+TEST(Units, DbmWatt) {
+  EXPECT_NEAR(rc::dbm_to_watt(0.0), 1e-3, 1e-12);
+  EXPECT_NEAR(rc::dbm_to_watt(30.0), 1.0, 1e-12);
+  EXPECT_NEAR(rc::watt_to_dbm(1e-3), 0.0, 1e-9);
+}
+
+TEST(Units, SpeedConversions) {
+  EXPECT_NEAR(rc::kmh_to_mps(360.0), 100.0, 1e-12);
+  EXPECT_NEAR(rc::mps_to_kmh(100.0), 360.0, 1e-12);
+}
+
+TEST(Units, DopplerMatchesPaperNumbers) {
+  // §2: Tc ≈ 20 ms for a vehicle at 60 km/h under 900 MHz.
+  const double tc =
+      rc::coherence_time_s(rc::kmh_to_mps(60.0), 900e6);
+  EXPECT_NEAR(tc * 1e3, 20.0, 1.0);
+  // §3.1: Tc in [1.16 ms, 6.18 ms] for f in [874.2, 2665] MHz and
+  // v in [200, 350] km/h.
+  const double tc_min =
+      rc::coherence_time_s(rc::kmh_to_mps(350.0), 2665e6);
+  const double tc_max =
+      rc::coherence_time_s(rc::kmh_to_mps(200.0), 874.2e6);
+  EXPECT_NEAR(tc_min * 1e3, 1.16, 0.05);
+  EXPECT_NEAR(tc_max * 1e3, 6.18, 0.05);
+}
+
+TEST(Units, StaticClientHasInfiniteCoherence) {
+  EXPECT_TRUE(std::isinf(rc::coherence_time_s(0.0, 2e9)));
+}
+
+TEST(Units, ShannonCapacity) {
+  EXPECT_NEAR(rc::shannon_capacity_bps(1.0, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(rc::shannon_capacity_bps(20e6, 3.0), 40e6, 1.0);
+}
+
+TEST(Rng, Deterministic) {
+  rc::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+}
+
+TEST(Rng, ComplexGaussianVariance) {
+  rc::Rng rng(7);
+  double p = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) p += std::norm(rng.complex_gaussian(2.0));
+  EXPECT_NEAR(p / n, 2.0, 0.1);
+}
+
+TEST(Rng, ForkIndependence) {
+  rc::Rng a(1);
+  rc::Rng child = a.fork();
+  // Child stream differs from parent's continued stream.
+  EXPECT_NE(child.uniform(0, 1), a.uniform(0, 1));
+}
+
+TEST(Rng, BernoulliRate) {
+  rc::Rng rng(3);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Summary, BasicStats) {
+  rc::Summary s;
+  s.add_all({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.5), 1e-12);
+}
+
+TEST(Summary, PercentileInterpolation) {
+  rc::Summary s;
+  s.add_all({0, 10});
+  EXPECT_DOUBLE_EQ(s.percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 10.0);
+}
+
+TEST(Summary, CdfAt) {
+  rc::Summary s;
+  s.add_all({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.cdf_at(10.0), 1.0);
+}
+
+TEST(Summary, EmpiricalCdfMonotone) {
+  std::vector<double> xs;
+  rc::Rng rng(9);
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.gaussian());
+  const auto cdf = rc::empirical_cdf(xs, 20);
+  ASSERT_EQ(cdf.size(), 20u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].fraction, cdf[i].fraction);
+    EXPECT_LT(cdf[i - 1].value, cdf[i].value);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+}
+
+TEST(Summary, EmptyInputs) {
+  rc::Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_THROW(s.percentile(50), std::runtime_error);
+  EXPECT_TRUE(rc::empirical_cdf({}, 10).empty());
+}

@@ -1,0 +1,192 @@
+#include "channel/profiles.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "crossband/metrics.hpp"
+#include "crossband/optml.hpp"
+#include "crossband/r2f2.hpp"
+#include "crossband/rem_svd.hpp"
+#include "phy/channel_est.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cb = rem::crossband;
+namespace rch = rem::channel;
+namespace rp = rem::phy;
+using rem::dsp::Matrix;
+using rem::dsp::cd;
+
+namespace {
+rp::Numerology grid_cfg() {
+  rp::Numerology num;
+  num.num_subcarriers = 64;
+  num.num_symbols = 16;
+  num.subcarrier_spacing_hz = 15e3;
+  num.cp_len = 16;
+  return num;
+}
+
+cb::EvalConfig hsr_eval(std::size_t trials) {
+  cb::EvalConfig cfg;
+  cfg.draw.profile = rch::Profile::kHST350;
+  cfg.draw.speed_mps = rem::common::kmh_to_mps(350);
+  cfg.draw.carrier_hz = 1.88e9;
+  cfg.num = grid_cfg();
+  cfg.f1_hz = 1.88e9;
+  cfg.f2_hz = 2.6e9;
+  cfg.trials = trials;
+  return cfg;
+}
+}  // namespace
+
+TEST(RemSvd, RecoversSinglePathParameters) {
+  const auto num = grid_cfg();
+  rch::Path p;
+  p.gain = cd(0.8, 0.2);
+  p.delay_s = 2.0 * num.delay_res_s();
+  p.doppler_hz = 3.0 * num.doppler_res_hz();
+  rch::MultipathChannel ch({p});
+
+  rp::DdChannelEstimator dd(num);
+  cb::CrossbandInput in;
+  in.num = num;
+  in.f1_hz = 1.88e9;
+  in.f2_hz = 2.6e9;
+  in.h1_dd = dd.estimate_noiseless(ch).h;
+  in.h1_tf = ch.tf_matrix(num.num_subcarriers, num.num_symbols,
+                          num.subcarrier_spacing_hz,
+                          num.symbol_duration_s());
+
+  cb::RemSvdEstimator est;
+  const auto out = est.estimate(in);
+  ASSERT_FALSE(est.last_paths().empty());
+  const auto& path = est.last_paths()[0];
+  EXPECT_NEAR(path.delay_s, p.delay_s, 0.05 * num.delay_res_s());
+  EXPECT_NEAR(path.doppler_hz, p.doppler_hz * 2.6 / 1.88,
+              0.05 * num.doppler_res_hz());
+  EXPECT_NEAR(path.attenuation, std::abs(p.gain), 0.05);
+  EXPECT_TRUE(out.is_delay_doppler);
+}
+
+TEST(RemSvd, PredictedBand2MatchesTruthSinglePath) {
+  const auto num = grid_cfg();
+  rch::Path p;
+  p.gain = cd(0.7, -0.4);
+  p.delay_s = 1.0 * num.delay_res_s();
+  p.doppler_hz = 2.0 * num.doppler_res_hz();
+  rch::MultipathChannel ch1({p});
+  const double ratio = 2.6 / 1.88;
+  const auto ch2 = ch1.with_doppler_scaled(ratio);
+
+  rp::DdChannelEstimator dd(num);
+  cb::CrossbandInput in;
+  in.num = num;
+  in.f1_hz = 1.88e9;
+  in.f2_hz = 2.6e9;
+  in.h1_dd = dd.estimate_noiseless(ch1).h;
+  in.h1_tf = Matrix(num.num_subcarriers, num.num_symbols);
+
+  cb::RemSvdEstimator est;
+  const auto out = est.estimate(in);
+  const auto truth = dd.estimate_noiseless(ch2).h;
+  const double rel = (out.h2 - truth).frobenius_norm() /
+                     truth.frobenius_norm();
+  EXPECT_LT(rel, 0.15) << "relative DD prediction error " << rel;
+}
+
+TEST(RemSvd, MultipathHsrSnrErrorSmall) {
+  rem::common::Rng rng(11);
+  cb::RemSvdEstimator est;
+  auto cfg = hsr_eval(60);
+  const auto res = cb::evaluate_estimator(est, cfg, rng);
+  // Fig. 12: <= 2 dB error for >= 90% of measurements.
+  EXPECT_LT(res.p90_snr_error_db, 2.0)
+      << "p90 error " << res.p90_snr_error_db;
+  EXPECT_GT(res.decision_agreement, 0.85);
+}
+
+TEST(RemSvd, HandlesNoisyMeasurement) {
+  rem::common::Rng rng(13);
+  cb::RemSvdEstimator est;
+  auto cfg = hsr_eval(40);
+  cfg.measure_snr_db = 10.0;  // poorer pilot SNR
+  const auto res = cb::evaluate_estimator(est, cfg, rng);
+  EXPECT_LT(res.mean_snr_error_db, 3.0);
+}
+
+TEST(R2f2, GoodOnStaticChannel) {
+  rem::common::Rng rng(17);
+  cb::R2f2Estimator est;
+  auto cfg = hsr_eval(40);
+  cfg.draw.profile = rch::Profile::kEVA;
+  cfg.draw.speed_mps = 0.0;  // static: R2F2's home turf
+  const auto res = cb::evaluate_estimator(est, cfg, rng);
+  EXPECT_LT(res.mean_snr_error_db, 1.5)
+      << "static mean error " << res.mean_snr_error_db;
+}
+
+TEST(R2f2, DegradesUnderDoppler) {
+  rem::common::Rng rng(19);
+  cb::R2f2Estimator fast{cb::R2f2Config{6, 4, 40}};
+  auto cfg_static = hsr_eval(30);
+  cfg_static.draw.profile = rch::Profile::kEVA;
+  cfg_static.draw.speed_mps = 0.0;
+  const auto rs = cb::evaluate_estimator(fast, cfg_static, rng);
+  auto cfg_fast = hsr_eval(30);
+  const auto rf = cb::evaluate_estimator(fast, cfg_fast, rng);
+  EXPECT_GT(rf.mean_snr_error_db, rs.mean_snr_error_db);
+}
+
+TEST(OptMl, RequiresTraining) {
+  cb::OptMlEstimator est;
+  cb::CrossbandInput in;
+  in.num = grid_cfg();
+  in.h1_tf = Matrix(64, 16);
+  in.h1_dd = Matrix(64, 16);
+  EXPECT_THROW(est.estimate(in), std::runtime_error);
+}
+
+TEST(OptMl, LearnsHsrStatistics) {
+  rem::common::Rng rng(23);
+  cb::OptMlEstimator est;
+  auto cfg = hsr_eval(40);
+  cb::train_optml(est, cfg, 160, rng);  // 80/20 split
+  EXPECT_EQ(est.training_size(), 160u);
+  const auto res = cb::evaluate_estimator(est, cfg, rng);
+  EXPECT_LT(res.mean_snr_error_db, 4.0);
+}
+
+TEST(Ordering, RemBeatsBaselinesOnHsr) {
+  // Fig. 13's headline: REM < OptML < R2F2 mean SNR error on HSR channels.
+  rem::common::Rng rng(29);
+  auto cfg = hsr_eval(50);
+
+  cb::RemSvdEstimator rem_est;
+  const auto r_rem = cb::evaluate_estimator(rem_est, cfg, rng);
+
+  cb::OptMlEstimator optml;
+  cb::train_optml(optml, cfg, 200, rng);
+  const auto r_optml = cb::evaluate_estimator(optml, cfg, rng);
+
+  cb::R2f2Estimator r2f2{cb::R2f2Config{6, 4, 60}};
+  const auto r_r2f2 = cb::evaluate_estimator(r2f2, cfg, rng);
+
+  EXPECT_LT(r_rem.mean_snr_error_db, r_optml.mean_snr_error_db)
+      << "REM " << r_rem.mean_snr_error_db << " OptML "
+      << r_optml.mean_snr_error_db;
+  EXPECT_LT(r_optml.mean_snr_error_db, r_r2f2.mean_snr_error_db)
+      << "OptML " << r_optml.mean_snr_error_db << " R2F2 "
+      << r_r2f2.mean_snr_error_db;
+}
+
+TEST(Metrics, MeasureTfShape) {
+  rem::common::Rng rng(31);
+  rch::ChannelDrawConfig draw;
+  draw.profile = rch::Profile::kEVA;
+  const auto ch = rch::draw_channel(draw, rng);
+  const auto num = grid_cfg();
+  const auto h = cb::measure_tf(ch, num, 20.0, rng);
+  EXPECT_EQ(h.rows(), num.num_subcarriers);
+  EXPECT_EQ(h.cols(), num.num_symbols);
+}

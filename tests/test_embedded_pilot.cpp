@@ -1,0 +1,163 @@
+#include "channel/multipath.hpp"
+#include "channel/noise.hpp"
+#include "common/rng.hpp"
+#include "phy/embedded_pilot.hpp"
+#include "phy/otfs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rp = rem::phy;
+namespace rch = rem::channel;
+using rem::dsp::Matrix;
+using rem::dsp::cd;
+
+namespace {
+
+rp::Numerology grid16x8() {
+  rp::Numerology num;
+  num.num_subcarriers = 16;
+  num.num_symbols = 8;
+  num.cp_len = 4;
+  return num;
+}
+
+rp::EmbeddedPilotConfig centered_cfg() {
+  rp::EmbeddedPilotConfig cfg;
+  cfg.pilot_delay_bin = 4;
+  cfg.pilot_doppler_bin = 4;
+  cfg.guard_delay = 2;
+  cfg.guard_doppler = 1;
+  return cfg;
+}
+
+std::vector<cd> random_qpsk(std::size_t count, rem::common::Rng& rng) {
+  std::vector<std::uint8_t> bits(count * 2);
+  for (auto& b : bits) b = rng.bernoulli(0.5) ? 1 : 0;
+  return rp::qam_modulate(bits, rp::Modulation::kQPSK);
+}
+
+}  // namespace
+
+TEST(EmbeddedPilot, CapacityAccountsForGuardBox) {
+  const auto cfg = centered_cfg();
+  // Guard box: (2*2+1) delay x (2*2*1+1) Doppler = 5 x 5 = 25 bins.
+  EXPECT_EQ(rp::embedded_data_capacity(16, 8, cfg), 16u * 8u - 25u);
+}
+
+TEST(EmbeddedPilot, FrameLayoutInvariants) {
+  rem::common::Rng rng(1);
+  const auto cfg = centered_cfg();
+  const auto cap = rp::embedded_data_capacity(16, 8, cfg);
+  const auto frame =
+      rp::build_embedded_frame(16, 8, random_qpsk(cap, rng), cfg);
+  EXPECT_EQ(frame.data_positions.size(), cap);
+  // Pilot sits at its bin with the boost amplitude.
+  EXPECT_NEAR(std::abs(frame.grid(4, 4)),
+              std::pow(10.0, cfg.pilot_boost_db / 20.0), 1e-12);
+  // Guard bins (other than the pilot) are zero.
+  EXPECT_EQ(frame.grid(5, 4), cd(0, 0));
+  EXPECT_EQ(frame.grid(3, 5), cd(0, 0));
+  // Wrong data count throws.
+  EXPECT_THROW(rp::build_embedded_frame(16, 8, random_qpsk(cap - 1, rng),
+                                        cfg),
+               std::invalid_argument);
+}
+
+TEST(EmbeddedPilot, TapEstimationOnGridChannel) {
+  rem::common::Rng rng(2);
+  const auto num = grid16x8();
+  const auto cfg = centered_cfg();
+  rch::Path p1, p2;
+  p1.gain = cd(0.9, 0.0);
+  p2.gain = cd(0.35, 0.2);
+  p2.delay_s = 1.0 * num.delay_res_s();
+  p2.doppler_hz = -1.0 * num.doppler_res_hz();
+  rch::MultipathChannel ch({p1, p2});
+
+  const auto cap = rp::embedded_data_capacity(16, 8, cfg);
+  const auto frame =
+      rp::build_embedded_frame(16, 8, random_qpsk(cap, rng), cfg);
+  rp::OtfsModem modem(num);
+  const auto rx =
+      ch.apply_to_signal(modem.modulate(frame.grid), num.sample_rate_hz());
+  const auto y = modem.demodulate(rx);
+
+  const auto taps = rp::estimate_taps_from_pilot(y, cfg);
+  ASSERT_GE(taps.size(), 2u);
+  // Strongest tap: (0, 0) with ~p1.gain. Second: (1, N-1) with ~p2.gain.
+  EXPECT_EQ(taps[0].delay_bin, 0u);
+  EXPECT_EQ(taps[0].doppler_bin, 0u);
+  EXPECT_LT(std::abs(taps[0].gain - p1.gain), 0.12);
+  EXPECT_EQ(taps[1].delay_bin, 1u);
+  EXPECT_EQ(taps[1].doppler_bin, 7u);  // -1 mod 8
+  EXPECT_LT(std::abs(std::abs(taps[1].gain) - std::abs(p2.gain)), 0.12);
+}
+
+TEST(EmbeddedPilot, EndToEndRecoversData) {
+  rem::common::Rng rng(3);
+  const auto num = grid16x8();
+  const auto cfg = centered_cfg();
+  rch::Path p1, p2;
+  p1.gain = cd(0.9, 0.1);
+  p2.gain = cd(0.3, -0.2);
+  p2.delay_s = 2.0 * num.delay_res_s();
+  p2.doppler_hz = 1.0 * num.doppler_res_hz();
+  rch::MultipathChannel ch({p1, p2});
+  ch.normalize_power();
+
+  const auto cap = rp::embedded_data_capacity(16, 8, cfg);
+  const auto tx = random_qpsk(cap, rng);
+  const auto frame = rp::build_embedded_frame(16, 8, tx, cfg);
+  rp::OtfsModem modem(num);
+  auto rx =
+      ch.apply_to_signal(modem.modulate(frame.grid), num.sample_rate_hz());
+  const double noise = rch::noise_power_for_snr_db(22.0);
+  rch::add_awgn(rx, noise, rng);
+  const auto y = modem.demodulate(rx);
+
+  const auto res = rp::embedded_receive(y, cfg, rp::Modulation::kQPSK,
+                                        noise);
+  ASSERT_EQ(res.data_symbols.size(), cap);
+  const auto& constel = rp::constellation(rp::Modulation::kQPSK);
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < cap; ++i) {
+    std::size_t best = 0;
+    double bd = 1e18;
+    for (std::size_t s = 0; s < constel.size(); ++s) {
+      const double d = std::norm(res.data_symbols[i] - constel[s]);
+      if (d < bd) {
+        bd = d;
+        best = s;
+      }
+    }
+    errors += std::abs(constel[best] - tx[i]) > 1e-9;
+  }
+  EXPECT_LE(errors, cap / 25) << errors << " of " << cap;
+}
+
+TEST(EmbeddedPilot, SelfContainedFramesAcrossChannels) {
+  // Property: the same frame layout works for any channel within the
+  // guard budget — each frame carries its own sounding.
+  rem::common::Rng rng(4);
+  const auto num = grid16x8();
+  const auto cfg = centered_cfg();
+  const auto cap = rp::embedded_data_capacity(16, 8, cfg);
+  for (int trial = 0; trial < 5; ++trial) {
+    rch::Path p;
+    p.gain = cd(1, 0);
+    p.delay_s = static_cast<double>(trial % 3) * num.delay_res_s();
+    p.doppler_hz =
+        static_cast<double>((trial % 3) - 1) * num.doppler_res_hz();
+    rch::MultipathChannel ch({p});
+    const auto tx = random_qpsk(cap, rng);
+    const auto frame = rp::build_embedded_frame(16, 8, tx, cfg);
+    rp::OtfsModem modem(num);
+    const auto rx = ch.apply_to_signal(modem.modulate(frame.grid),
+                                       num.sample_rate_hz());
+    const auto res = rp::embedded_receive(modem.demodulate(rx), cfg,
+                                          rp::Modulation::kQPSK, 1e-4);
+    ASSERT_FALSE(res.taps.empty()) << "trial " << trial;
+    EXPECT_EQ(res.taps[0].delay_bin,
+              static_cast<std::size_t>(trial % 3));
+  }
+}

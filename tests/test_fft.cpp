@@ -1,0 +1,134 @@
+#include "common/rng.hpp"
+#include "dsp/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+using rem::dsp::CVec;
+using rem::dsp::cd;
+
+namespace {
+
+CVec random_vec(std::size_t n, rem::common::Rng& rng) {
+  CVec v(n);
+  for (auto& x : v) x = rng.complex_gaussian(1.0);
+  return v;
+}
+
+double max_err(const CVec& a, const CVec& b) {
+  double m = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+// Direct O(n^2) DFT as the reference.
+CVec dft_ref(const CVec& x) {
+  const std::size_t n = x.size();
+  CVec out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    cd sum(0, 0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double ang = -2.0 * std::numbers::pi *
+                         static_cast<double>(k * t) / static_cast<double>(n);
+      sum += x[t] * cd(std::cos(ang), std::sin(ang));
+    }
+    out[k] = sum;
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(Fft, IsPow2) {
+  EXPECT_TRUE(rem::dsp::is_pow2(1));
+  EXPECT_TRUE(rem::dsp::is_pow2(1024));
+  EXPECT_FALSE(rem::dsp::is_pow2(0));
+  EXPECT_FALSE(rem::dsp::is_pow2(12));
+  EXPECT_FALSE(rem::dsp::is_pow2(1023));
+}
+
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, InverseRecoversInput) {
+  rem::common::Rng rng(GetParam());
+  const CVec x = random_vec(GetParam(), rng);
+  CVec y = x;
+  rem::dsp::fft(y);
+  rem::dsp::ifft(y);
+  EXPECT_LT(max_err(x, y), 1e-9) << "n=" << GetParam();
+}
+
+TEST_P(FftRoundTrip, MatchesDirectDft) {
+  if (GetParam() > 512) GTEST_SKIP() << "reference DFT too slow";
+  rem::common::Rng rng(GetParam() + 1);
+  const CVec x = random_vec(GetParam(), rng);
+  const CVec ref = dft_ref(x);
+  CVec y = x;
+  rem::dsp::fft(y);
+  EXPECT_LT(max_err(ref, y), 1e-7) << "n=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 13, 14,
+                                           16, 60, 64, 100, 128, 360, 512,
+                                           1200, 2048));
+
+TEST(Fft, ParsevalPow2) {
+  rem::common::Rng rng(11);
+  const CVec x = random_vec(256, rng);
+  CVec y = x;
+  rem::dsp::fft(y);
+  double ex = 0, ey = 0;
+  for (const auto& v : x) ex += std::norm(v);
+  for (const auto& v : y) ey += std::norm(v);
+  EXPECT_NEAR(ey, ex * 256.0, 1e-6 * ex * 256.0);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  CVec x(64, cd(0, 0));
+  x[0] = cd(1, 0);
+  rem::dsp::fft(x);
+  for (const auto& v : x) EXPECT_NEAR(std::abs(v), 1.0, 1e-12);
+}
+
+TEST(Fft, SingleToneLandsOnBin) {
+  const std::size_t n = 48;  // non-power-of-two (Bluestein path)
+  CVec x(n);
+  const std::size_t bin = 5;
+  for (std::size_t t = 0; t < n; ++t) {
+    const double ang = 2.0 * std::numbers::pi * static_cast<double>(bin * t) /
+                       static_cast<double>(n);
+    x[t] = cd(std::cos(ang), std::sin(ang));
+  }
+  rem::dsp::fft(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == bin)
+      EXPECT_NEAR(std::abs(x[k]), static_cast<double>(n), 1e-7);
+    else
+      EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-7);
+  }
+}
+
+TEST(Fft, EmptyInputIsNoop) {
+  CVec x;
+  rem::dsp::fft(x);
+  rem::dsp::ifft(x);
+  EXPECT_TRUE(x.empty());
+}
+
+TEST(Fft, LinearityBluestein) {
+  rem::common::Rng rng(13);
+  const std::size_t n = 50;
+  const CVec a = random_vec(n, rng);
+  const CVec b = random_vec(n, rng);
+  CVec sum(n);
+  for (std::size_t i = 0; i < n; ++i) sum[i] = a[i] + cd(2, -1) * b[i];
+  CVec fa = rem::dsp::fft_copy(a);
+  CVec fb = rem::dsp::fft_copy(b);
+  CVec fsum = rem::dsp::fft_copy(sum);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_LT(std::abs(fsum[i] - (fa[i] + cd(2, -1) * fb[i])), 1e-8);
+}

@@ -1,0 +1,100 @@
+#include "channel/geometry.hpp"
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rch = rem::channel;
+
+namespace {
+rch::GeometryConfig base_cfg() {
+  rch::GeometryConfig cfg;
+  cfg.bs_x_m = 1000.0;
+  cfg.bs_y_m = 150.0;
+  cfg.carrier_hz = 2.0e9;
+  cfg.speed_mps = rem::common::kmh_to_mps(350.0);
+  return cfg;
+}
+}  // namespace
+
+TEST(Geometry, LosDopplerSignFlipsAtSite) {
+  const rch::GeometricHstChannel ch(base_cfg());
+  EXPECT_GT(ch.los_doppler_hz(0.0), 0.0);      // approaching
+  EXPECT_LT(ch.los_doppler_hz(2000.0), 0.0);   // receding
+  EXPECT_NEAR(ch.los_doppler_hz(1000.0), 0.0, 1.0);  // abeam
+}
+
+TEST(Geometry, LosDopplerApproachesNuMax) {
+  const auto cfg = base_cfg();
+  const rch::GeometricHstChannel ch(cfg);
+  const double nu_max =
+      rem::common::max_doppler_hz(cfg.speed_mps, cfg.carrier_hz);
+  // Far from the site the LOS is nearly aligned with the track.
+  EXPECT_NEAR(ch.los_doppler_hz(-5000.0), nu_max, nu_max * 0.01);
+  EXPECT_NEAR(ch.los_doppler_hz(7000.0), -nu_max, nu_max * 0.01);
+}
+
+TEST(Geometry, LosDelayMinimalAbeam) {
+  const rch::GeometricHstChannel ch(base_cfg());
+  const double at_site = ch.los_delay_s(1000.0);
+  EXPECT_LT(at_site, ch.los_delay_s(0.0));
+  EXPECT_LT(at_site, ch.los_delay_s(2000.0));
+  EXPECT_NEAR(at_site * rem::common::kSpeedOfLight, 150.0, 0.5);
+}
+
+TEST(Geometry, SnapshotIsNormalizedMultipath) {
+  auto cfg = base_cfg();
+  rem::common::Rng rng(3);
+  cfg.scatterers = rch::make_scatterer_field(cfg.bs_x_m, 6, rng);
+  const rch::GeometricHstChannel ch(cfg);
+  const auto snap = ch.snapshot(600.0);
+  EXPECT_EQ(snap.num_paths(), 7u);  // LOS + 6 scatterers
+  EXPECT_NEAR(snap.total_power(), 1.0, 1e-9);
+}
+
+TEST(Geometry, ConsecutiveSnapshotsEvolveSlowly) {
+  // Appendix A: path delays/Dopplers drift slowly under inertia. Over
+  // 10 ms at 350 km/h (~1 m of travel), the LOS Doppler changes by well
+  // under 1% of nu_max, and the delay by nanoseconds.
+  auto cfg = base_cfg();
+  const rch::GeometricHstChannel ch(cfg);
+  const double nu_max =
+      rem::common::max_doppler_hz(cfg.speed_mps, cfg.carrier_hz);
+  for (double x : {0.0, 500.0, 900.0, 1500.0}) {
+    const double dx = cfg.speed_mps * 0.010;
+    EXPECT_LT(std::abs(ch.los_doppler_hz(x + dx) - ch.los_doppler_hz(x)),
+              0.01 * nu_max)
+        << "x=" << x;
+    EXPECT_LT(std::abs(ch.los_delay_s(x + dx) - ch.los_delay_s(x)), 5e-9);
+  }
+}
+
+TEST(Geometry, SnapshotPhasesAreCoherent) {
+  // Moving half a wavelength toward the BS should rotate the LOS phase by
+  // ~pi (path shortens by ~cos(theta) * dx); verify the phase evolves
+  // continuously rather than randomly.
+  auto cfg = base_cfg();
+  const rch::GeometricHstChannel ch(cfg);
+  const double x0 = 0.0;  // LOS nearly along track: cos ~ 0.989
+  const auto s0 = ch.snapshot(x0);
+  const double lam = rem::common::wavelength_m(cfg.carrier_hz);
+  const auto s1 = ch.snapshot(x0 + lam / 8.0);
+  const double dphi = std::arg(s1.paths()[0].gain /
+                               s0.paths()[0].gain);
+  // Path shortens by ~cos(theta)*lam/8 -> phase increases ~2pi/8*cos.
+  EXPECT_NEAR(dphi, 2.0 * M_PI / 8.0 * 0.989, 0.05);
+}
+
+TEST(Geometry, ScattererFieldWithinBounds) {
+  rem::common::Rng rng(5);
+  const auto field = rch::make_scatterer_field(2000.0, 50, rng);
+  EXPECT_EQ(field.size(), 50u);
+  for (const auto& s : field) {
+    EXPECT_GE(s.x_m, 1200.0);
+    EXPECT_LE(s.x_m, 2800.0);
+    EXPECT_GE(std::abs(s.y_m), 20.0);
+    EXPECT_LE(std::abs(s.y_m), 400.0);
+    EXPECT_LE(s.gain_db, -6.0);
+  }
+}

@@ -1,0 +1,133 @@
+#include "common/rng.hpp"
+#include "dsp/matrix.hpp"
+#include "dsp/svd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using rem::dsp::Matrix;
+using rem::dsp::cd;
+
+namespace {
+Matrix random_matrix(std::size_t r, std::size_t c, rem::common::Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.complex_gaussian(1.0);
+  return m;
+}
+}  // namespace
+
+TEST(Matrix, IdentityProduct) {
+  rem::common::Rng rng(1);
+  const Matrix a = random_matrix(4, 4, rng);
+  const Matrix i = Matrix::identity(4);
+  EXPECT_LT(Matrix::max_abs_diff(a * i, a), 1e-12);
+  EXPECT_LT(Matrix::max_abs_diff(i * a, a), 1e-12);
+}
+
+TEST(Matrix, AdjointInvolution) {
+  rem::common::Rng rng(2);
+  const Matrix a = random_matrix(3, 5, rng);
+  EXPECT_LT(Matrix::max_abs_diff(a.adjoint().adjoint(), a), 1e-12);
+}
+
+TEST(Matrix, ProductShapeMismatchThrows) {
+  Matrix a(2, 3), b(4, 2);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  Matrix a(2, 2);
+  a(0, 0) = cd(3, 0);
+  a(1, 1) = cd(0, 4);
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+}
+
+TEST(Matrix, DiagonalFactory) {
+  const Matrix d = Matrix::diagonal({1, 2, 3}, 4, 3);
+  EXPECT_EQ(d.rows(), 4u);
+  EXPECT_EQ(d.cols(), 3u);
+  EXPECT_EQ(d(1, 1), cd(2, 0));
+  EXPECT_EQ(d(3, 0), cd(0, 0));
+}
+
+class SvdShapes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(SvdShapes, ReconstructionAndOrthonormality) {
+  const auto [r, c] = GetParam();
+  rem::common::Rng rng(r * 100 + c);
+  const Matrix a = random_matrix(r, c, rng);
+  const auto s = rem::dsp::svd(a);
+
+  // Reconstruction.
+  EXPECT_LT(Matrix::max_abs_diff(s.reconstruct(), a), 1e-8)
+      << r << "x" << c;
+
+  // Orthonormal columns of U and V.
+  const Matrix utu = s.u.adjoint() * s.u;
+  const Matrix vtv = s.v.adjoint() * s.v;
+  EXPECT_LT(Matrix::max_abs_diff(utu, Matrix::identity(utu.rows())), 1e-8);
+  EXPECT_LT(Matrix::max_abs_diff(vtv, Matrix::identity(vtv.rows())), 1e-8);
+
+  // Singular values descending and non-negative.
+  for (std::size_t i = 1; i < s.sigma.size(); ++i)
+    EXPECT_LE(s.sigma[i], s.sigma[i - 1] + 1e-12);
+  for (double v : s.sigma) EXPECT_GE(v, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SvdShapes,
+    ::testing::Values(std::make_pair<std::size_t, std::size_t>(4, 4),
+                      std::make_pair<std::size_t, std::size_t>(8, 3),
+                      std::make_pair<std::size_t, std::size_t>(3, 8),
+                      std::make_pair<std::size_t, std::size_t>(12, 14),
+                      std::make_pair<std::size_t, std::size_t>(16, 16),
+                      std::make_pair<std::size_t, std::size_t>(32, 7),
+                      std::make_pair<std::size_t, std::size_t>(1, 5),
+                      std::make_pair<std::size_t, std::size_t>(5, 1)));
+
+TEST(Svd, LowRankDetection) {
+  // Build a rank-2 matrix; the SVD should find exactly 2 significant
+  // singular values.
+  rem::common::Rng rng(5);
+  const Matrix u = random_matrix(10, 2, rng);
+  const Matrix v = random_matrix(2, 8, rng);
+  const Matrix a = u * v;
+  const auto s = rem::dsp::svd(a);
+  ASSERT_GE(s.sigma.size(), 2u);
+  EXPECT_GT(s.sigma[1], 1e-8);
+  for (std::size_t i = 2; i < s.sigma.size(); ++i)
+    EXPECT_LT(s.sigma[i], s.sigma[0] * 1e-8);
+  EXPECT_LT(Matrix::max_abs_diff(s.reconstruct(), a), 1e-8);
+}
+
+TEST(Svd, RankLimitTruncates) {
+  rem::common::Rng rng(6);
+  const Matrix a = random_matrix(6, 6, rng);
+  const auto s = rem::dsp::svd(a, 3);
+  EXPECT_EQ(s.sigma.size(), 3u);
+  EXPECT_EQ(s.u.cols(), 3u);
+  EXPECT_EQ(s.v.cols(), 3u);
+}
+
+TEST(Svd, SingularValuesMatchKnownMatrix) {
+  // diag(3, 4) embedded: singular values are {4, 3}.
+  Matrix a(2, 2);
+  a(0, 0) = cd(3, 0);
+  a(1, 1) = cd(4, 0);
+  const auto s = rem::dsp::svd(a);
+  ASSERT_EQ(s.sigma.size(), 2u);
+  EXPECT_NEAR(s.sigma[0], 4.0, 1e-10);
+  EXPECT_NEAR(s.sigma[1], 3.0, 1e-10);
+}
+
+TEST(Svd, FrobeniusEqualsSigmaNorm) {
+  rem::common::Rng rng(7);
+  const Matrix a = random_matrix(9, 5, rng);
+  const auto s = rem::dsp::svd(a);
+  double sum2 = 0;
+  for (double v : s.sigma) sum2 += v * v;
+  EXPECT_NEAR(std::sqrt(sum2), a.frobenius_norm(), 1e-8);
+}

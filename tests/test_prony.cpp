@@ -1,0 +1,131 @@
+#include "common/rng.hpp"
+#include "dsp/matrix.hpp"
+#include "dsp/prony.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+using rem::dsp::cd;
+namespace rd = rem::dsp;
+
+namespace {
+
+std::vector<cd> make_seq(const std::vector<rd::ExponentialComponent>& comps,
+                         std::size_t n) {
+  return rd::eval_exponentials(comps, n, 1.0);
+}
+
+cd pole(double cycles_per_sample) {
+  const double ang = 2.0 * std::numbers::pi * cycles_per_sample;
+  return {std::cos(ang), std::sin(ang)};
+}
+
+}  // namespace
+
+TEST(Prony, SingleExponentialExact) {
+  const std::vector<rd::ExponentialComponent> truth = {
+      {cd(0.8, 0.3), pole(0.07)}};
+  const auto seq = make_seq(truth, 16);
+  const auto fit = rd::fit_exponentials(seq, 3);
+  ASSERT_GE(fit.size(), 1u);
+  EXPECT_LT(std::abs(fit[0].pole - truth[0].pole), 1e-6);
+  EXPECT_LT(std::abs(fit[0].amplitude - truth[0].amplitude), 1e-6);
+}
+
+TEST(Prony, TwoExponentialsSeparated) {
+  const std::vector<rd::ExponentialComponent> truth = {
+      {cd(1.0, 0.0), pole(0.05)}, {cd(0.4, 0.2), pole(-0.12)}};
+  const auto seq = make_seq(truth, 24);
+  const auto fit = rd::fit_exponentials(seq, 3);
+  ASSERT_GE(fit.size(), 2u);
+  // Sorted by |amplitude|: strongest first.
+  EXPECT_LT(std::abs(fit[0].pole - truth[0].pole), 1e-5);
+  EXPECT_LT(std::abs(fit[1].pole - truth[1].pole), 1e-5);
+}
+
+TEST(Prony, ThreeExponentials) {
+  const std::vector<rd::ExponentialComponent> truth = {
+      {cd(1.0, 0), pole(0.06)},
+      {cd(0.6, 0), pole(-0.09)},
+      {cd(0.3, 0), pole(0.21)}};
+  const auto seq = make_seq(truth, 32);
+  const auto fit = rd::fit_exponentials(seq, 3, 0.01);
+  ASSERT_EQ(fit.size(), 3u);
+  const auto recon = rd::eval_exponentials(fit, 32, 1.0);
+  double err = 0, ref = 0;
+  for (std::size_t i = 0; i < 32; ++i) {
+    err += std::norm(recon[i] - seq[i]);
+    ref += std::norm(seq[i]);
+  }
+  EXPECT_LT(err / ref, 1e-6);
+}
+
+TEST(Prony, NoisyRecovery) {
+  rem::common::Rng rng(5);
+  const std::vector<rd::ExponentialComponent> truth = {
+      {cd(1.0, 0.0), pole(0.08)}};
+  auto seq = make_seq(truth, 16);
+  for (auto& x : seq) x += rng.complex_gaussian(0.01);  // 20 dB SNR
+  const auto fit = rd::fit_exponentials(seq, 2);
+  ASSERT_GE(fit.size(), 1u);
+  EXPECT_LT(std::abs(std::arg(fit[0].pole) - std::arg(truth[0].pole)),
+            0.03);
+}
+
+TEST(Prony, AngleScalingRetargetsFrequency) {
+  const std::vector<rd::ExponentialComponent> comps = {
+      {cd(1.0, 0.0), pole(0.05)}};
+  const double scale = 1.4;
+  const auto scaled = rd::eval_exponentials(comps, 20, scale);
+  // The scaled sequence should be a pure exponential at 0.07 cyc/sample.
+  const cd expect = pole(0.05 * scale);
+  for (std::size_t c = 1; c < scaled.size(); ++c) {
+    const cd ratio = scaled[c] / scaled[c - 1];
+    EXPECT_LT(std::abs(ratio - expect), 1e-9);
+  }
+}
+
+TEST(Prony, ShortSequenceFallback) {
+  const std::vector<rd::ExponentialComponent> truth = {
+      {cd(0.9, 0.1), pole(0.1)}};
+  const auto seq = make_seq(truth, 3);
+  const auto fit = rd::fit_exponentials(seq, 3);
+  ASSERT_EQ(fit.size(), 1u);
+  EXPECT_LT(std::abs(fit[0].pole - truth[0].pole), 1e-6);
+}
+
+TEST(Prony, EmptyInput) {
+  EXPECT_TRUE(rd::fit_exponentials({}, 3).empty());
+}
+
+class PronySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PronySweep, RecoversFrequencyAcrossRange) {
+  // Property: for any frequency inside (-0.5, 0.5) cyc/sample away from the
+  // edges, a clean single exponential is recovered to high precision.
+  const double f = GetParam();
+  const std::vector<rd::ExponentialComponent> truth = {
+      {cd(1.0, -0.5), pole(f)}};
+  const auto seq = make_seq(truth, 16);
+  const auto fit = rd::fit_exponentials(seq, 3);
+  ASSERT_GE(fit.size(), 1u);
+  EXPECT_NEAR(std::arg(fit[0].pole), std::arg(truth[0].pole), 1e-6)
+      << "f=" << f;
+}
+
+INSTANTIATE_TEST_SUITE_P(Frequencies, PronySweep,
+                         ::testing::Values(-0.45, -0.3, -0.17, -0.05, 0.0,
+                                           0.03, 0.11, 0.25, 0.38, 0.45));
+
+TEST(Prony, PoleMagnitudeClamped) {
+  // Strongly decaying sequences have poles pulled toward the unit circle
+  // (the library models oscillations, not decay).
+  std::vector<cd> seq(16);
+  for (std::size_t c = 0; c < 16; ++c)
+    seq[c] = std::pow(0.5, static_cast<double>(c));
+  const auto fit = rd::fit_exponentials(seq, 1);
+  ASSERT_GE(fit.size(), 1u);
+  EXPECT_GE(std::abs(fit[0].pole), 0.8 - 1e-9);
+}

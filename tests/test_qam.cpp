@@ -1,0 +1,107 @@
+#include "common/rng.hpp"
+#include "phy/qam.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rp = rem::phy;
+
+class QamRoundTrip : public ::testing::TestWithParam<rp::Modulation> {};
+
+TEST_P(QamRoundTrip, HardDecisionRecoversBits) {
+  rem::common::Rng rng(7);
+  const std::size_t bps = rp::bits_per_symbol(GetParam());
+  std::vector<std::uint8_t> bits(bps * 200);
+  for (auto& b : bits) b = rng.bernoulli(0.5) ? 1 : 0;
+  const auto syms = rp::qam_modulate(bits, GetParam());
+  const auto rec = rp::qam_demodulate_hard(syms, GetParam());
+  EXPECT_EQ(rec, bits);
+}
+
+TEST_P(QamRoundTrip, UnitAveragePower) {
+  // Average over the whole constellation must be 1.
+  const auto& pts = rp::constellation(GetParam());
+  double p = 0;
+  for (const auto& s : pts) p += std::norm(s);
+  EXPECT_NEAR(p / static_cast<double>(pts.size()), 1.0, 1e-12);
+}
+
+TEST_P(QamRoundTrip, LlrSignMatchesHardDecision) {
+  rem::common::Rng rng(9);
+  const auto mod = GetParam();
+  const std::size_t bps = rp::bits_per_symbol(mod);
+  std::vector<std::uint8_t> bits(bps * 64);
+  for (auto& b : bits) b = rng.bernoulli(0.5) ? 1 : 0;
+  const auto syms = rp::qam_modulate(bits, mod);
+  const std::vector<double> nv(syms.size(), 0.01);
+  const auto llrs = rp::qam_demodulate_llr(syms, mod, nv);
+  ASSERT_EQ(llrs.size(), bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] == 0)
+      EXPECT_GT(llrs[i], 0.0) << "bit " << i;
+    else
+      EXPECT_LT(llrs[i], 0.0) << "bit " << i;
+  }
+}
+
+TEST_P(QamRoundTrip, NoisyLlrMostlyCorrect) {
+  rem::common::Rng rng(11);
+  const auto mod = GetParam();
+  const std::size_t bps = rp::bits_per_symbol(mod);
+  std::vector<std::uint8_t> bits(bps * 500);
+  for (auto& b : bits) b = rng.bernoulli(0.5) ? 1 : 0;
+  auto syms = rp::qam_modulate(bits, mod);
+  for (auto& s : syms) s += rng.complex_gaussian(0.01);  // 20 dB SNR
+  const std::vector<double> nv(syms.size(), 0.01);
+  const auto llrs = rp::qam_demodulate_llr(syms, mod, nv);
+  std::size_t wrong = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    if ((llrs[i] < 0) != (bits[i] == 1)) ++wrong;
+  EXPECT_LT(static_cast<double>(wrong) / static_cast<double>(bits.size()),
+            0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModulations, QamRoundTrip,
+                         ::testing::Values(rp::Modulation::kBPSK,
+                                           rp::Modulation::kQPSK,
+                                           rp::Modulation::kQAM16,
+                                           rp::Modulation::kQAM64));
+
+TEST(Qam, BitsPerSymbol) {
+  EXPECT_EQ(rp::bits_per_symbol(rp::Modulation::kBPSK), 1u);
+  EXPECT_EQ(rp::bits_per_symbol(rp::Modulation::kQPSK), 2u);
+  EXPECT_EQ(rp::bits_per_symbol(rp::Modulation::kQAM16), 4u);
+  EXPECT_EQ(rp::bits_per_symbol(rp::Modulation::kQAM64), 6u);
+}
+
+TEST(Qam, RejectsMisalignedBitCount) {
+  std::vector<std::uint8_t> bits(3, 0);
+  EXPECT_THROW(rp::qam_modulate(bits, rp::Modulation::kQPSK),
+               std::invalid_argument);
+}
+
+TEST(Qam, GrayNeighborsDifferByOneBit) {
+  // Adjacent I-levels of 16QAM should map to bit groups at Hamming
+  // distance 1 (Gray property) — this is what makes soft decoding strong.
+  const auto mod = rp::Modulation::kQAM16;
+  // Collect (I level -> bits) for symbols with identical Q bits.
+  std::vector<std::pair<double, int>> ilevels;
+  for (int v = 0; v < 16; ++v) {
+    std::vector<std::uint8_t> bits = {
+        static_cast<std::uint8_t>((v >> 3) & 1),
+        static_cast<std::uint8_t>((v >> 2) & 1),
+        static_cast<std::uint8_t>((v >> 1) & 1),
+        static_cast<std::uint8_t>(v & 1)};
+    if (bits[2] != 0 || bits[3] != 0) continue;  // fix Q bits to 00
+    const auto s = rp::qam_modulate(bits, mod)[0];
+    ilevels.push_back({s.real(), (bits[0] << 1) | bits[1]});
+  }
+  std::sort(ilevels.begin(), ilevels.end());
+  ASSERT_EQ(ilevels.size(), 4u);
+  for (std::size_t i = 1; i < ilevels.size(); ++i) {
+    const int diff = ilevels[i - 1].second ^ ilevels[i].second;
+    EXPECT_EQ(__builtin_popcount(static_cast<unsigned>(diff)), 1)
+        << "levels " << i - 1 << "," << i;
+  }
+}

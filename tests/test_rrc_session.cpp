@@ -1,0 +1,124 @@
+#include "channel/profiles.hpp"
+#include "common/units.hpp"
+#include "core/rrc_session.hpp"
+#include "crossband/mimo.hpp"
+#include "phy/channel_est.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rc = rem::core;
+namespace rch = rem::channel;
+
+namespace {
+rch::MultipathChannel clean_channel() {
+  rch::Path p;
+  p.gain = {1, 0};
+  return rch::MultipathChannel({p});
+}
+}  // namespace
+
+TEST(RrcSession, DeliversTypedMessagesAtGoodSnr) {
+  rc::RrcSession sess{rc::OverlayConfig{}};
+  rc::MeasurementReport r;
+  r.report_id = 5;
+  r.serving_cell = 10;
+  r.serving_metric_db = 7.25;
+  r.neighbors = {{11, 9.0, true}};
+  sess.send(r);
+  rc::HandoverCommand cmd;
+  cmd.command_id = 6;
+  cmd.target_cell = 11;
+  cmd.target_channel = 2452;
+  sess.send(cmd);
+
+  rem::common::Rng rng(1);
+  const auto ch = clean_channel();
+  std::vector<rc::RrcMessage> got;
+  for (int i = 0; i < 4 && got.size() < 2; ++i) {
+    auto out = sess.transmit_subframe(ch, 25.0, rng);
+    for (auto& m : out.delivered) got.push_back(std::move(m));
+  }
+  ASSERT_EQ(got.size(), 2u);
+  const auto* rep = std::get_if<rc::MeasurementReport>(&got[0]);
+  ASSERT_NE(rep, nullptr);
+  EXPECT_EQ(*rep, r);
+  const auto* hc = std::get_if<rc::HandoverCommand>(&got[1]);
+  ASSERT_NE(hc, nullptr);
+  EXPECT_EQ(hc->target_cell, 11);
+}
+
+TEST(RrcSession, LosesMessagesAtTerribleSnr) {
+  rc::RrcSession sess{rc::OverlayConfig{}};
+  rc::MeasurementReport r;
+  r.report_id = 1;
+  sess.send(r);
+  rem::common::Rng rng(2);
+  const auto out = sess.transmit_subframe(clean_channel(), -20.0, rng);
+  EXPECT_TRUE(out.delivered.empty());
+  EXPECT_EQ(out.lost, 1u);
+}
+
+TEST(RrcSession, OtfsDeliversMoreThanOfdmOnHsr) {
+  rem::common::Rng rng(3);
+  rch::ChannelDrawConfig draw;
+  draw.profile = rch::Profile::kHST350;
+  draw.speed_mps = rem::common::kmh_to_mps(350.0);
+  draw.carrier_hz = 2.0e9;
+
+  int delivered_otfs = 0, delivered_ofdm = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto ch = rch::draw_channel(draw, rng);
+    for (bool legacy : {false, true}) {
+      rc::OverlayConfig cfg;
+      cfg.legacy_ofdm = legacy;
+      rc::RrcSession sess(cfg);
+      rc::HandoverCommand cmd;
+      cmd.command_id = static_cast<std::uint16_t>(trial);
+      sess.send(cmd);
+      const auto out = sess.transmit_subframe(ch, 4.0, rng);
+      (legacy ? delivered_ofdm : delivered_otfs) +=
+          static_cast<int>(out.delivered.size());
+    }
+  }
+  EXPECT_GT(delivered_otfs, delivered_ofdm);
+}
+
+TEST(MimoCrossband, MrcGainCombines) {
+  rem::common::Rng rng(7);
+  rch::ChannelDrawConfig draw;
+  draw.profile = rch::Profile::kHST350;
+  draw.speed_mps = rem::common::kmh_to_mps(350.0);
+  draw.carrier_hz = 1.88e9;
+
+  rem::phy::Numerology num;
+  num.num_subcarriers = 32;
+  num.num_symbols = 16;
+  num.cp_len = 8;
+  rem::phy::DdChannelEstimator dd(num);
+
+  rem::crossband::MimoInput in;
+  double sum_single = 0.0;
+  for (int ant = 0; ant < 2; ++ant) {
+    const auto ch = rch::draw_channel(draw, rng);  // independent antennas
+    rem::crossband::CrossbandInput a;
+    a.num = num;
+    a.f1_hz = 1.88e9;
+    a.f2_hz = 2.6e9;
+    a.h1_dd = dd.estimate(ch, 20.0, rng).h;
+    a.h1_tf = rem::dsp::Matrix(32, 16);
+    in.antennas.push_back(std::move(a));
+  }
+  rem::crossband::MimoRemEstimator est;
+  const auto out = est.estimate(in);
+  ASSERT_EQ(out.per_antenna.size(), 2u);
+  for (const auto& o : out.per_antenna) sum_single += o.mean_gain;
+  EXPECT_NEAR(out.mrc_gain, sum_single, 1e-12);
+  EXPECT_GT(out.mrc_gain, out.per_antenna[0].mean_gain);
+}
+
+TEST(MimoCrossband, EmptyInput) {
+  rem::crossband::MimoRemEstimator est;
+  const auto out = est.estimate({});
+  EXPECT_TRUE(out.per_antenna.empty());
+  EXPECT_DOUBLE_EQ(out.mrc_gain, 0.0);
+}

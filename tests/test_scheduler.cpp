@@ -1,0 +1,120 @@
+#include "phy/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rp = rem::phy;
+
+namespace {
+rp::SignalingScheduler make_sched() {
+  return rp::SignalingScheduler(rp::Numerology::lte(12, 14),
+                                rp::Modulation::kQPSK);
+}
+}  // namespace
+
+TEST(GridRect, ContainsAndOverlaps) {
+  rp::GridRect a{0, 0, 12, 4};
+  rp::GridRect b{0, 4, 12, 10};
+  rp::GridRect c{0, 2, 12, 4};
+  EXPECT_TRUE(a.contains(0, 0));
+  EXPECT_TRUE(a.contains(11, 3));
+  EXPECT_FALSE(a.contains(11, 4));
+  EXPECT_FALSE(a.overlaps(b));
+  EXPECT_TRUE(a.overlaps(c));
+  EXPECT_TRUE(b.overlaps(c));
+  EXPECT_EQ(a.res(), 48u);
+}
+
+TEST(Scheduler, ResForBytes) {
+  // 10 bytes = 80 bits -> coded 2*(80+6) = 172 -> /2 bits per QPSK sym = 86.
+  EXPECT_EQ(rp::res_for_bytes(10, rp::Modulation::kQPSK), 86u);
+  // 64QAM packs 3x more per RE (ceil(172/6) = 29).
+  EXPECT_EQ(rp::res_for_bytes(10, rp::Modulation::kQAM64), 29u);
+}
+
+TEST(Scheduler, NoSignalingMeansAllData) {
+  auto s = make_sched();
+  s.enqueue({1, 15, false});  // 126 REs, fits the 168-RE grid
+  const auto alloc = s.schedule_subframe();
+  EXPECT_FALSE(alloc.signaling.has_value());
+  ASSERT_EQ(alloc.data.size(), 1u);
+  EXPECT_EQ(alloc.data[0].res(), 12u * 14u);
+  EXPECT_EQ(alloc.served_data_ids, std::vector<std::uint64_t>{1});
+}
+
+TEST(Scheduler, SignalingGetsContiguousSubgridFirst) {
+  auto s = make_sched();
+  s.enqueue({7, 10, true});   // 86 REs
+  s.enqueue({8, 500, false});
+  const auto alloc = s.schedule_subframe();
+  ASSERT_TRUE(alloc.signaling.has_value());
+  const auto rect = *alloc.signaling;
+  // 86 REs need ceil(86/12) = 8 symbols.
+  EXPECT_EQ(rect.num_symbols, 8u);
+  EXPECT_EQ(rect.num_subcarriers, 12u);
+  EXPECT_EQ(rect.first_symbol, 0u);
+  EXPECT_EQ(alloc.served_signaling_ids, std::vector<std::uint64_t>{7});
+  // Data gets the remaining symbols and must not overlap signaling.
+  ASSERT_EQ(alloc.data.size(), 1u);
+  EXPECT_FALSE(alloc.data[0].overlaps(rect));
+  EXPECT_EQ(alloc.data[0].res() + rect.res(), 12u * 14u);
+  EXPECT_EQ(alloc.unused_res, rect.res() - 86u);
+}
+
+TEST(Scheduler, MultipleSignalingMessagesShareSubgrid) {
+  auto s = make_sched();
+  s.enqueue({1, 5, true});  // 2*(40+6)/2 = 46 REs
+  s.enqueue({2, 5, true});
+  const auto alloc = s.schedule_subframe();
+  ASSERT_TRUE(alloc.signaling.has_value());
+  EXPECT_EQ(alloc.served_signaling_ids.size(), 2u);
+  EXPECT_GE(alloc.signaling->res(), 2u * 46u);
+}
+
+TEST(Scheduler, OversizedSignalingWaitsForNextSubframe) {
+  auto s = make_sched();
+  s.enqueue({1, 30, true});  // 246 REs > 168: never fits a single grid
+  const auto alloc = s.schedule_subframe();
+  EXPECT_TRUE(alloc.served_signaling_ids.empty());
+  EXPECT_EQ(s.signaling_backlog_bytes(), 30u);
+}
+
+TEST(Scheduler, BacklogDrainsAcrossSubframes) {
+  auto s = make_sched();
+  for (std::uint64_t i = 0; i < 6; ++i) s.enqueue({i, 10, true});  // 86 REs ea
+  // 168-RE grid fits one 86-RE message per subframe (2*86 > 168).
+  std::size_t served = 0;
+  for (int sub = 0; sub < 6; ++sub)
+    served += s.schedule_subframe().served_signaling_ids.size();
+  EXPECT_EQ(served, 6u);
+  EXPECT_EQ(s.signaling_backlog_bytes(), 0u);
+}
+
+TEST(Scheduler, SignalingPreemptsData) {
+  auto s = make_sched();
+  // Saturate with data first, then a signaling message arrives.
+  for (std::uint64_t i = 0; i < 10; ++i) s.enqueue({100 + i, 20, false});
+  s.enqueue({1, 10, true});
+  const auto alloc = s.schedule_subframe();
+  ASSERT_TRUE(alloc.signaling.has_value());
+  EXPECT_EQ(alloc.served_signaling_ids, std::vector<std::uint64_t>{1});
+}
+
+TEST(Scheduler, FifoOrderWithinClass) {
+  auto s = make_sched();
+  s.enqueue({1, 2, true});
+  s.enqueue({2, 2, true});
+  s.enqueue({3, 2, true});
+  const auto alloc = s.schedule_subframe();
+  EXPECT_EQ(alloc.served_signaling_ids,
+            (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(Scheduler, DataRespectsRemainingCapacity) {
+  auto s = make_sched();
+  s.enqueue({1, 10, true});            // 86 REs -> 8 symbols -> 96 REs
+  s.enqueue({2, 8, false});            // 70 REs: fits in remaining 72
+  s.enqueue({3, 8, false});            // does not fit anymore
+  const auto alloc = s.schedule_subframe();
+  EXPECT_EQ(alloc.served_data_ids, std::vector<std::uint64_t>{2});
+  EXPECT_EQ(s.data_backlog_bytes(), 8u);
+}
