@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2.cpp" "bench/CMakeFiles/bench_fig2.dir/bench_fig2.cpp.o" "gcc" "bench/CMakeFiles/bench_fig2.dir/bench_fig2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rem_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rem_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/crossband/CMakeFiles/rem_crossband.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/rem_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/rem_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/rem_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/rem_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

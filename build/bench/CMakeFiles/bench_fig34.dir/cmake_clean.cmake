@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig34.dir/bench_fig34.cpp.o"
+  "CMakeFiles/bench_fig34.dir/bench_fig34.cpp.o.d"
+  "bench_fig34"
+  "bench_fig34.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig34.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table14.dir/bench_table14.cpp.o"
+  "CMakeFiles/bench_table14.dir/bench_table14.cpp.o.d"
+  "bench_table14"
+  "bench_table14.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table14.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossband_demo.dir/crossband_demo.cpp.o"
+  "CMakeFiles/crossband_demo.dir/crossband_demo.cpp.o.d"
+  "crossband_demo"
+  "crossband_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossband_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsr_handover.dir/hsr_handover.cpp.o"
+  "CMakeFiles/hsr_handover.dir/hsr_handover.cpp.o.d"
+  "hsr_handover"
+  "hsr_handover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsr_handover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

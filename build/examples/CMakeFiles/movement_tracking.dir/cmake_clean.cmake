@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movement_tracking.dir/movement_tracking.cpp.o"
+  "CMakeFiles/movement_tracking.dir/movement_tracking.cpp.o.d"
+  "movement_tracking"
+  "movement_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movement_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

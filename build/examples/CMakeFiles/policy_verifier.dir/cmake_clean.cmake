@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_verifier.dir/policy_verifier.cpp.o"
+  "CMakeFiles/policy_verifier.dir/policy_verifier.cpp.o.d"
+  "policy_verifier"
+  "policy_verifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

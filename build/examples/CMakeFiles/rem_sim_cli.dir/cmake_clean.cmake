@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rem_sim_cli.dir/rem_sim_cli.cpp.o"
+  "CMakeFiles/rem_sim_cli.dir/rem_sim_cli.cpp.o.d"
+  "rem_sim_cli"
+  "rem_sim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rem_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

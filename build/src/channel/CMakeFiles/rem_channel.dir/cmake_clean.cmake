@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rem_channel.dir/geometry.cpp.o"
+  "CMakeFiles/rem_channel.dir/geometry.cpp.o.d"
+  "CMakeFiles/rem_channel.dir/multipath.cpp.o"
+  "CMakeFiles/rem_channel.dir/multipath.cpp.o.d"
+  "CMakeFiles/rem_channel.dir/profiles.cpp.o"
+  "CMakeFiles/rem_channel.dir/profiles.cpp.o.d"
+  "librem_channel.a"
+  "librem_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rem_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

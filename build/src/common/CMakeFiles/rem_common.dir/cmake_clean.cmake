@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rem_common.dir/logging.cpp.o"
+  "CMakeFiles/rem_common.dir/logging.cpp.o.d"
+  "CMakeFiles/rem_common.dir/stats.cpp.o"
+  "CMakeFiles/rem_common.dir/stats.cpp.o.d"
+  "CMakeFiles/rem_common.dir/units.cpp.o"
+  "CMakeFiles/rem_common.dir/units.cpp.o.d"
+  "librem_common.a"
+  "librem_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rem_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rem_core.dir/legacy_manager.cpp.o"
+  "CMakeFiles/rem_core.dir/legacy_manager.cpp.o.d"
+  "CMakeFiles/rem_core.dir/overlay.cpp.o"
+  "CMakeFiles/rem_core.dir/overlay.cpp.o.d"
+  "CMakeFiles/rem_core.dir/rem_manager.cpp.o"
+  "CMakeFiles/rem_core.dir/rem_manager.cpp.o.d"
+  "CMakeFiles/rem_core.dir/rrc_codec.cpp.o"
+  "CMakeFiles/rem_core.dir/rrc_codec.cpp.o.d"
+  "CMakeFiles/rem_core.dir/rrc_session.cpp.o"
+  "CMakeFiles/rem_core.dir/rrc_session.cpp.o.d"
+  "librem_core.a"
+  "librem_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rem_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librem_core.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crossband/metrics.cpp" "src/crossband/CMakeFiles/rem_crossband.dir/metrics.cpp.o" "gcc" "src/crossband/CMakeFiles/rem_crossband.dir/metrics.cpp.o.d"
+  "/root/repo/src/crossband/mimo.cpp" "src/crossband/CMakeFiles/rem_crossband.dir/mimo.cpp.o" "gcc" "src/crossband/CMakeFiles/rem_crossband.dir/mimo.cpp.o.d"
+  "/root/repo/src/crossband/movement.cpp" "src/crossband/CMakeFiles/rem_crossband.dir/movement.cpp.o" "gcc" "src/crossband/CMakeFiles/rem_crossband.dir/movement.cpp.o.d"
+  "/root/repo/src/crossband/nls.cpp" "src/crossband/CMakeFiles/rem_crossband.dir/nls.cpp.o" "gcc" "src/crossband/CMakeFiles/rem_crossband.dir/nls.cpp.o.d"
+  "/root/repo/src/crossband/optml.cpp" "src/crossband/CMakeFiles/rem_crossband.dir/optml.cpp.o" "gcc" "src/crossband/CMakeFiles/rem_crossband.dir/optml.cpp.o.d"
+  "/root/repo/src/crossband/r2f2.cpp" "src/crossband/CMakeFiles/rem_crossband.dir/r2f2.cpp.o" "gcc" "src/crossband/CMakeFiles/rem_crossband.dir/r2f2.cpp.o.d"
+  "/root/repo/src/crossband/rem_svd.cpp" "src/crossband/CMakeFiles/rem_crossband.dir/rem_svd.cpp.o" "gcc" "src/crossband/CMakeFiles/rem_crossband.dir/rem_svd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rem_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/rem_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/rem_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/rem_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

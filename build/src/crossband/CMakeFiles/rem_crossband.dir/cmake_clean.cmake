@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rem_crossband.dir/metrics.cpp.o"
+  "CMakeFiles/rem_crossband.dir/metrics.cpp.o.d"
+  "CMakeFiles/rem_crossband.dir/mimo.cpp.o"
+  "CMakeFiles/rem_crossband.dir/mimo.cpp.o.d"
+  "CMakeFiles/rem_crossband.dir/movement.cpp.o"
+  "CMakeFiles/rem_crossband.dir/movement.cpp.o.d"
+  "CMakeFiles/rem_crossband.dir/nls.cpp.o"
+  "CMakeFiles/rem_crossband.dir/nls.cpp.o.d"
+  "CMakeFiles/rem_crossband.dir/optml.cpp.o"
+  "CMakeFiles/rem_crossband.dir/optml.cpp.o.d"
+  "CMakeFiles/rem_crossband.dir/r2f2.cpp.o"
+  "CMakeFiles/rem_crossband.dir/r2f2.cpp.o.d"
+  "CMakeFiles/rem_crossband.dir/rem_svd.cpp.o"
+  "CMakeFiles/rem_crossband.dir/rem_svd.cpp.o.d"
+  "librem_crossband.a"
+  "librem_crossband.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rem_crossband.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

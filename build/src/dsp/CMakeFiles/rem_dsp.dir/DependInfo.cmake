@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/rem_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/rem_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/matrix.cpp" "src/dsp/CMakeFiles/rem_dsp.dir/matrix.cpp.o" "gcc" "src/dsp/CMakeFiles/rem_dsp.dir/matrix.cpp.o.d"
+  "/root/repo/src/dsp/prony.cpp" "src/dsp/CMakeFiles/rem_dsp.dir/prony.cpp.o" "gcc" "src/dsp/CMakeFiles/rem_dsp.dir/prony.cpp.o.d"
+  "/root/repo/src/dsp/svd.cpp" "src/dsp/CMakeFiles/rem_dsp.dir/svd.cpp.o" "gcc" "src/dsp/CMakeFiles/rem_dsp.dir/svd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rem_dsp.dir/fft.cpp.o"
+  "CMakeFiles/rem_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/rem_dsp.dir/matrix.cpp.o"
+  "CMakeFiles/rem_dsp.dir/matrix.cpp.o.d"
+  "CMakeFiles/rem_dsp.dir/prony.cpp.o"
+  "CMakeFiles/rem_dsp.dir/prony.cpp.o.d"
+  "CMakeFiles/rem_dsp.dir/svd.cpp.o"
+  "CMakeFiles/rem_dsp.dir/svd.cpp.o.d"
+  "librem_dsp.a"
+  "librem_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rem_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/conflict.cpp" "src/mobility/CMakeFiles/rem_mobility.dir/conflict.cpp.o" "gcc" "src/mobility/CMakeFiles/rem_mobility.dir/conflict.cpp.o.d"
+  "/root/repo/src/mobility/events.cpp" "src/mobility/CMakeFiles/rem_mobility.dir/events.cpp.o" "gcc" "src/mobility/CMakeFiles/rem_mobility.dir/events.cpp.o.d"
+  "/root/repo/src/mobility/measurement.cpp" "src/mobility/CMakeFiles/rem_mobility.dir/measurement.cpp.o" "gcc" "src/mobility/CMakeFiles/rem_mobility.dir/measurement.cpp.o.d"
+  "/root/repo/src/mobility/policy.cpp" "src/mobility/CMakeFiles/rem_mobility.dir/policy.cpp.o" "gcc" "src/mobility/CMakeFiles/rem_mobility.dir/policy.cpp.o.d"
+  "/root/repo/src/mobility/simplify.cpp" "src/mobility/CMakeFiles/rem_mobility.dir/simplify.cpp.o" "gcc" "src/mobility/CMakeFiles/rem_mobility.dir/simplify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rem_mobility.dir/conflict.cpp.o"
+  "CMakeFiles/rem_mobility.dir/conflict.cpp.o.d"
+  "CMakeFiles/rem_mobility.dir/events.cpp.o"
+  "CMakeFiles/rem_mobility.dir/events.cpp.o.d"
+  "CMakeFiles/rem_mobility.dir/measurement.cpp.o"
+  "CMakeFiles/rem_mobility.dir/measurement.cpp.o.d"
+  "CMakeFiles/rem_mobility.dir/policy.cpp.o"
+  "CMakeFiles/rem_mobility.dir/policy.cpp.o.d"
+  "CMakeFiles/rem_mobility.dir/simplify.cpp.o"
+  "CMakeFiles/rem_mobility.dir/simplify.cpp.o.d"
+  "librem_mobility.a"
+  "librem_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rem_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/bler_model.cpp" "src/phy/CMakeFiles/rem_phy.dir/bler_model.cpp.o" "gcc" "src/phy/CMakeFiles/rem_phy.dir/bler_model.cpp.o.d"
+  "/root/repo/src/phy/channel_est.cpp" "src/phy/CMakeFiles/rem_phy.dir/channel_est.cpp.o" "gcc" "src/phy/CMakeFiles/rem_phy.dir/channel_est.cpp.o.d"
+  "/root/repo/src/phy/coding.cpp" "src/phy/CMakeFiles/rem_phy.dir/coding.cpp.o" "gcc" "src/phy/CMakeFiles/rem_phy.dir/coding.cpp.o.d"
+  "/root/repo/src/phy/embedded_pilot.cpp" "src/phy/CMakeFiles/rem_phy.dir/embedded_pilot.cpp.o" "gcc" "src/phy/CMakeFiles/rem_phy.dir/embedded_pilot.cpp.o.d"
+  "/root/repo/src/phy/link.cpp" "src/phy/CMakeFiles/rem_phy.dir/link.cpp.o" "gcc" "src/phy/CMakeFiles/rem_phy.dir/link.cpp.o.d"
+  "/root/repo/src/phy/mp_detector.cpp" "src/phy/CMakeFiles/rem_phy.dir/mp_detector.cpp.o" "gcc" "src/phy/CMakeFiles/rem_phy.dir/mp_detector.cpp.o.d"
+  "/root/repo/src/phy/ofdm.cpp" "src/phy/CMakeFiles/rem_phy.dir/ofdm.cpp.o" "gcc" "src/phy/CMakeFiles/rem_phy.dir/ofdm.cpp.o.d"
+  "/root/repo/src/phy/otfs.cpp" "src/phy/CMakeFiles/rem_phy.dir/otfs.cpp.o" "gcc" "src/phy/CMakeFiles/rem_phy.dir/otfs.cpp.o.d"
+  "/root/repo/src/phy/qam.cpp" "src/phy/CMakeFiles/rem_phy.dir/qam.cpp.o" "gcc" "src/phy/CMakeFiles/rem_phy.dir/qam.cpp.o.d"
+  "/root/repo/src/phy/scheduler.cpp" "src/phy/CMakeFiles/rem_phy.dir/scheduler.cpp.o" "gcc" "src/phy/CMakeFiles/rem_phy.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rem_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/rem_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/rem_channel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rem_phy.dir/bler_model.cpp.o"
+  "CMakeFiles/rem_phy.dir/bler_model.cpp.o.d"
+  "CMakeFiles/rem_phy.dir/channel_est.cpp.o"
+  "CMakeFiles/rem_phy.dir/channel_est.cpp.o.d"
+  "CMakeFiles/rem_phy.dir/coding.cpp.o"
+  "CMakeFiles/rem_phy.dir/coding.cpp.o.d"
+  "CMakeFiles/rem_phy.dir/embedded_pilot.cpp.o"
+  "CMakeFiles/rem_phy.dir/embedded_pilot.cpp.o.d"
+  "CMakeFiles/rem_phy.dir/link.cpp.o"
+  "CMakeFiles/rem_phy.dir/link.cpp.o.d"
+  "CMakeFiles/rem_phy.dir/mp_detector.cpp.o"
+  "CMakeFiles/rem_phy.dir/mp_detector.cpp.o.d"
+  "CMakeFiles/rem_phy.dir/ofdm.cpp.o"
+  "CMakeFiles/rem_phy.dir/ofdm.cpp.o.d"
+  "CMakeFiles/rem_phy.dir/otfs.cpp.o"
+  "CMakeFiles/rem_phy.dir/otfs.cpp.o.d"
+  "CMakeFiles/rem_phy.dir/qam.cpp.o"
+  "CMakeFiles/rem_phy.dir/qam.cpp.o.d"
+  "CMakeFiles/rem_phy.dir/scheduler.cpp.o"
+  "CMakeFiles/rem_phy.dir/scheduler.cpp.o.d"
+  "librem_phy.a"
+  "librem_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rem_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

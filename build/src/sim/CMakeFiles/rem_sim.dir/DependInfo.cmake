@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/radio_env.cpp" "src/sim/CMakeFiles/rem_sim.dir/radio_env.cpp.o" "gcc" "src/sim/CMakeFiles/rem_sim.dir/radio_env.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/rem_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/rem_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/tcp.cpp" "src/sim/CMakeFiles/rem_sim.dir/tcp.cpp.o" "gcc" "src/sim/CMakeFiles/rem_sim.dir/tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rem_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/rem_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/rem_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/rem_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/rem_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rem_sim.dir/radio_env.cpp.o"
+  "CMakeFiles/rem_sim.dir/radio_env.cpp.o.d"
+  "CMakeFiles/rem_sim.dir/simulator.cpp.o"
+  "CMakeFiles/rem_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/rem_sim.dir/tcp.cpp.o"
+  "CMakeFiles/rem_sim.dir/tcp.cpp.o.d"
+  "librem_sim.a"
+  "librem_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rem_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rem_trace.dir/eventlog.cpp.o"
+  "CMakeFiles/rem_trace.dir/eventlog.cpp.o.d"
+  "CMakeFiles/rem_trace.dir/scenario.cpp.o"
+  "CMakeFiles/rem_trace.dir/scenario.cpp.o.d"
+  "librem_trace.a"
+  "librem_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rem_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

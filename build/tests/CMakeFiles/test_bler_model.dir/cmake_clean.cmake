@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bler_model.dir/test_bler_model.cpp.o"
+  "CMakeFiles/test_bler_model.dir/test_bler_model.cpp.o.d"
+  "test_bler_model"
+  "test_bler_model.pdb"
+  "test_bler_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bler_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

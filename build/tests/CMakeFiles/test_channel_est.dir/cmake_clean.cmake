@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_channel_est.dir/test_channel_est.cpp.o"
+  "CMakeFiles/test_channel_est.dir/test_channel_est.cpp.o.d"
+  "test_channel_est"
+  "test_channel_est.pdb"
+  "test_channel_est[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_channel_est.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crossband.dir/test_crossband.cpp.o"
+  "CMakeFiles/test_crossband.dir/test_crossband.cpp.o.d"
+  "test_crossband"
+  "test_crossband.pdb"
+  "test_crossband[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crossband.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_embedded_pilot.dir/test_embedded_pilot.cpp.o"
+  "CMakeFiles/test_embedded_pilot.dir/test_embedded_pilot.cpp.o.d"
+  "test_embedded_pilot"
+  "test_embedded_pilot.pdb"
+  "test_embedded_pilot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_embedded_pilot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ofdm_otfs.dir/test_ofdm_otfs.cpp.o"
+  "CMakeFiles/test_ofdm_otfs.dir/test_ofdm_otfs.cpp.o.d"
+  "test_ofdm_otfs"
+  "test_ofdm_otfs.pdb"
+  "test_ofdm_otfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ofdm_otfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

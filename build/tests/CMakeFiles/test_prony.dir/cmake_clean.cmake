@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prony.dir/test_prony.cpp.o"
+  "CMakeFiles/test_prony.dir/test_prony.cpp.o.d"
+  "test_prony"
+  "test_prony.pdb"
+  "test_prony[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prony.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

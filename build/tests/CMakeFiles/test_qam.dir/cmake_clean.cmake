@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qam.dir/test_qam.cpp.o"
+  "CMakeFiles/test_qam.dir/test_qam.cpp.o.d"
+  "test_qam"
+  "test_qam.pdb"
+  "test_qam[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

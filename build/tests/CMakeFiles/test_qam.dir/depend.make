@@ -1,0 +1,2 @@
+# Empty dependencies file for test_qam.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rrc_codec.dir/test_rrc_codec.cpp.o"
+  "CMakeFiles/test_rrc_codec.dir/test_rrc_codec.cpp.o.d"
+  "test_rrc_codec"
+  "test_rrc_codec.pdb"
+  "test_rrc_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rrc_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rrc_session.dir/test_rrc_session.cpp.o"
+  "CMakeFiles/test_rrc_session.dir/test_rrc_session.cpp.o.d"
+  "test_rrc_session"
+  "test_rrc_session.pdb"
+  "test_rrc_session[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rrc_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_matrix_svd[1]_include.cmake")
+include("/root/repo/build/tests/test_channel[1]_include.cmake")
+include("/root/repo/build/tests/test_qam[1]_include.cmake")
+include("/root/repo/build/tests/test_coding[1]_include.cmake")
+include("/root/repo/build/tests/test_ofdm_otfs[1]_include.cmake")
+include("/root/repo/build/tests/test_channel_est[1]_include.cmake")
+include("/root/repo/build/tests/test_link[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_crossband[1]_include.cmake")
+include("/root/repo/build/tests/test_mobility[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_prony[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_geometry[1]_include.cmake")
+include("/root/repo/build/tests/test_rrc_codec[1]_include.cmake")
+include("/root/repo/build/tests/test_mp_detector[1]_include.cmake")
+include("/root/repo/build/tests/test_rrc_session[1]_include.cmake")
+include("/root/repo/build/tests/test_embedded_pilot[1]_include.cmake")
+include("/root/repo/build/tests/test_bler_model[1]_include.cmake")
