@@ -1,0 +1,297 @@
+// DSP/runner performance trajectory: times the FFT plan cache against the
+// pre-cache implementation (re-deriving twiddles and Bluestein kernels per
+// call, as fft.cpp did before the plan cache), the in-place strided
+// SFFT/ISFFT against the old copy-per-row/column version, and the
+// seed-parallel scenario runner against the serial one. Results go to
+// BENCH_DSP.json (or argv[1]) so future PRs can track the numbers.
+//
+// Usage: bench_perf [output.json]   (run from the repo root so the JSON
+// lands next to README.md)
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/fft_plan.hpp"
+#include "phy/otfs.hpp"
+#include "scenario_runner.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <numbers>
+#include <string>
+#include <vector>
+
+namespace baseline {
+
+// The seed-tree FFT, verbatim: per-call twiddle recurrence and per-call
+// Bluestein chirp/kernel construction. Kept here as the timing baseline.
+using rem::dsp::cd;
+using rem::dsp::CVec;
+
+constexpr double kPi = std::numbers::pi;
+
+void fft_pow2(CVec& a, bool invert) {
+  const std::size_t n = a.size();
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = 2.0 * kPi / static_cast<double>(len) *
+                       (invert ? 1.0 : -1.0);
+    const cd wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      cd w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cd u = a[i + k];
+        const cd v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_bluestein(CVec& a, bool invert) {
+  const std::size_t n = a.size();
+  const double sign = invert ? 1.0 : -1.0;
+  CVec w(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t k2 = (k * k) % (2 * n);
+    const double ang = sign * kPi * static_cast<double>(k2) /
+                       static_cast<double>(n);
+    w[k] = cd(std::cos(ang), std::sin(ang));
+  }
+  const std::size_t m = next_pow2(2 * n - 1);
+  CVec fa(m, cd(0, 0)), fb(m, cd(0, 0));
+  for (std::size_t k = 0; k < n; ++k) fa[k] = a[k] * w[k];
+  fb[0] = std::conj(w[0]);
+  for (std::size_t k = 1; k < n; ++k)
+    fb[k] = fb[m - k] = std::conj(w[k]);
+  fft_pow2(fa, false);
+  fft_pow2(fb, false);
+  for (std::size_t k = 0; k < m; ++k) fa[k] *= fb[k];
+  fft_pow2(fa, true);
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (std::size_t k = 0; k < n; ++k) a[k] = fa[k] * inv_m * w[k];
+}
+
+void fft(CVec& a) {
+  if (a.empty()) return;
+  if (rem::dsp::is_pow2(a.size()))
+    fft_pow2(a, false);
+  else
+    fft_bluestein(a, false);
+}
+
+void ifft(CVec& a) {
+  if (a.empty()) return;
+  if (rem::dsp::is_pow2(a.size()))
+    fft_pow2(a, true);
+  else
+    fft_bluestein(a, true);
+  const double inv_n = 1.0 / static_cast<double>(a.size());
+  for (auto& x : a) x *= inv_n;
+}
+
+// The old copy-based SFFT: a fresh CVec per row and per column.
+void dft_rows(rem::dsp::Matrix& m, bool invert) {
+  const double scale = invert ? std::sqrt(static_cast<double>(m.cols()))
+                              : 1.0 / std::sqrt(static_cast<double>(m.cols()));
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    CVec row = m.row(r);
+    if (invert)
+      ifft(row);
+    else
+      fft(row);
+    for (std::size_t c = 0; c < m.cols(); ++c) m(r, c) = row[c] * scale;
+  }
+}
+
+void dft_cols(rem::dsp::Matrix& m, bool invert) {
+  const double scale = invert ? std::sqrt(static_cast<double>(m.rows()))
+                              : 1.0 / std::sqrt(static_cast<double>(m.rows()));
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    CVec col = m.col(c);
+    if (invert)
+      ifft(col);
+    else
+      fft(col);
+    for (std::size_t r = 0; r < m.rows(); ++r) m(r, c) = col[r] * scale;
+  }
+}
+
+rem::dsp::Matrix sfft(const rem::dsp::Matrix& dd_grid) {
+  rem::dsp::Matrix tf = dd_grid;
+  dft_cols(tf, false);
+  dft_rows(tf, true);
+  return tf;
+}
+
+}  // namespace baseline
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double time_ns_per_op(std::size_t iters, const std::function<void()>& fn) {
+  fn();  // warm-up (also primes the plan cache for the cached variants)
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < iters; ++i) fn();
+  const auto t1 = Clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+         static_cast<double>(iters);
+}
+
+rem::dsp::CVec random_vec(std::size_t n, rem::common::Rng& rng) {
+  rem::dsp::CVec v(n);
+  for (auto& x : v) x = rng.complex_gaussian(1.0);
+  return v;
+}
+
+rem::dsp::Matrix random_grid(std::size_t m, std::size_t n,
+                             rem::common::Rng& rng) {
+  rem::dsp::Matrix g(m, n);
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t c = 0; c < n; ++c) g(r, c) = rng.complex_gaussian(1.0);
+  return g;
+}
+
+struct Entry {
+  std::string name;
+  double baseline_ns;
+  double cached_ns;
+  double speedup() const { return baseline_ns / cached_ns; }
+};
+
+bool runs_equal(const rem::bench::ScenarioRun& a,
+                const rem::bench::ScenarioRun& b) {
+  return a.legacy.handovers == b.legacy.handovers &&
+         a.legacy.failures == b.legacy.failures &&
+         a.rem.handovers == b.rem.handovers &&
+         a.rem.failures == b.rem.failures &&
+         a.legacy.by_cause == b.legacy.by_cause &&
+         a.rem.by_cause == b.rem.by_cause &&
+         a.legacy.feedback_delay_s.samples() ==
+             b.legacy.feedback_delay_s.samples() &&
+         a.rem.feedback_delay_s.samples() ==
+             b.rem.feedback_delay_s.samples() &&
+         a.conflict_histogram == b.conflict_histogram &&
+         a.total_conflicts == b.total_conflicts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_DSP.json";
+  rem::common::Rng rng(7);
+  std::vector<Entry> entries;
+
+  // --- FFT: cached plan vs per-call rebuild -------------------------------
+  struct FftCase {
+    std::string name;
+    std::size_t n;
+    std::size_t iters;
+  };
+  const std::vector<FftCase> cases = {
+      {"fft_pow2_2048", 2048, 2000},
+      {"fft_pow2_65536", 65536, 50},
+      {"fft_bluestein_1200", 1200, 300},
+      {"fft_bluestein_1499_prime", 1499, 200},
+      {"fft_bluestein_600", 600, 500},
+  };
+  for (const auto& c : cases) {
+    const auto x = random_vec(c.n, rng);
+    const double base_ns = time_ns_per_op(c.iters, [&] {
+      rem::dsp::CVec v = x;
+      baseline::fft(v);
+    });
+    const double cached_ns = time_ns_per_op(c.iters, [&] {
+      rem::dsp::CVec v = x;
+      rem::dsp::fft(v);
+    });
+    entries.push_back({c.name, base_ns, cached_ns});
+    std::printf("%-28s baseline %10.0f ns  cached %10.0f ns  %5.2fx\n",
+                c.name.c_str(), base_ns, cached_ns,
+                base_ns / cached_ns);
+  }
+
+  // --- SFFT: in-place strided vs copy-per-row/column ----------------------
+  struct GridCase {
+    std::string name;
+    std::size_t m, n, iters;
+  };
+  const std::vector<GridCase> grids = {
+      {"sfft_64x16", 64, 16, 400},
+      {"sfft_600x14", 600, 14, 60},
+      {"sfft_1200x14_lte", 1200, 14, 30},
+  };
+  for (const auto& g : grids) {
+    const auto grid = random_grid(g.m, g.n, rng);
+    const double base_ns = time_ns_per_op(g.iters, [&] {
+      auto tf = baseline::sfft(grid);
+      (void)tf;
+    });
+    const double cached_ns = time_ns_per_op(g.iters, [&] {
+      auto tf = rem::phy::sfft(grid);
+      (void)tf;
+    });
+    entries.push_back({g.name, base_ns, cached_ns});
+    std::printf("%-28s baseline %10.0f ns  cached %10.0f ns  %5.2fx\n",
+                g.name.c_str(), base_ns, cached_ns, base_ns / cached_ns);
+  }
+
+  // --- Scenario runner: serial vs seed-parallel ---------------------------
+  const std::vector<std::uint64_t> seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+  const double duration_s = 150.0;
+  const auto t0 = Clock::now();
+  const auto serial = rem::bench::run_route(
+      rem::trace::Route::kBeijingShanghai, 300.0, duration_s, seeds);
+  const auto t1 = Clock::now();
+  const auto par = rem::bench::run_route_parallel(
+      rem::trace::Route::kBeijingShanghai, 300.0, duration_s, seeds, true, 4);
+  const auto t2 = Clock::now();
+  const double serial_s = std::chrono::duration<double>(t1 - t0).count();
+  const double par_s = std::chrono::duration<double>(t2 - t1).count();
+  const bool identical = runs_equal(serial, par);
+  std::printf(
+      "run_route 8 seeds: serial %.2f s, 4 threads %.2f s (%.2fx), "
+      "identical=%s, hw threads=%zu\n",
+      serial_s, par_s, serial_s / par_s, identical ? "true" : "false",
+      rem::common::ThreadPool::default_threads());
+
+  // --- JSON ---------------------------------------------------------------
+  std::ofstream js(out_path);
+  js << "{\n";
+  js << "  \"hardware_threads\": "
+     << rem::common::ThreadPool::default_threads() << ",\n";
+  js << "  \"fft\": {\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    js << "    \"" << e.name << "\": {\"baseline_ns\": " << e.baseline_ns
+       << ", \"cached_ns\": " << e.cached_ns
+       << ", \"speedup\": " << e.speedup() << "}"
+       << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  js << "  },\n";
+  js << "  \"run_route\": {\"seeds\": " << seeds.size()
+     << ", \"duration_s\": " << duration_s
+     << ", \"serial_wall_s\": " << serial_s
+     << ", \"parallel4_wall_s\": " << par_s
+     << ", \"speedup\": " << serial_s / par_s
+     << ", \"bit_identical\": " << (identical ? "true" : "false") << "}\n";
+  js << "}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return identical ? 0 : 1;
+}

@@ -1,16 +1,26 @@
 // Shared helper for the table/figure benches: build a scenario, run both
 // managers over several seeds, aggregate statistics.
+//
+// Seeds are independent by construction — every stochastic component draws
+// from common::Rng(seed) forks — so `run_route_parallel` farms one seed per
+// thread-pool job and then merges the per-seed results *in seed order*. The
+// serial and parallel paths share run_seed() and merge_seed_results(), so
+// their output is bit-identical for the same seed list regardless of thread
+// count.
 #pragma once
 
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 #include "core/legacy_manager.hpp"
 #include "core/rem_manager.hpp"
 #include "mobility/conflict.hpp"
 #include "phy/bler_model.hpp"
 #include "trace/scenario.hpp"
 
+#include <cstdlib>
 #include <functional>
 #include <set>
+#include <string>
 #include <vector>
 
 namespace rem::bench {
@@ -80,57 +90,121 @@ struct ScenarioRun {
   int total_conflicts = 0;
 };
 
+/// Everything one seed contributes to a ScenarioRun, kept separate so seeds
+/// can run on any thread and be merged deterministically afterwards.
+struct SeedRunResult {
+  sim::SimStats legacy;
+  sim::SimStats rem;
+  bool has_rem = false;
+  std::map<std::string, int> conflict_histogram;
+  int total_conflicts = 0;
+};
+
+/// Simulate a single seed (legacy manager, and REM when `run_rem`).
+/// Thread-safe: all state derives from the seed; `bler` is read-only.
+inline SeedRunResult run_seed(trace::Route route, double speed_kmh,
+                              double duration_s, std::uint64_t seed,
+                              bool run_rem, const phy::BlerModel& bler) {
+  SeedRunResult out;
+  const auto sc = trace::make_scenario(route, speed_kmh, duration_s);
+  common::Rng rng(seed);
+  auto cells = sim::make_rail_deployment(sc.deployment, rng);
+  auto holes = sim::make_hole_segments(sc.deployment, rng);
+  sim::RadioEnv env(cells, sc.propagation, rng.fork(), holes);
+  auto policies = trace::synthesize_policies(cells, sc.policy_mix, rng);
+
+  // Exact pairwise conflict predicate for loop attribution, restricted
+  // to cells that actually cover common ground.
+  const auto pcs = trace::to_policy_cells(cells, policies);
+  const double reach = 2.0 * sc.deployment.site_spacing_mean_m;
+  const auto neighbor_filter = [&](std::size_t i, std::size_t j) {
+    return std::abs(cells[i].site_pos_m - cells[j].site_pos_m) <= reach;
+  };
+  const auto conflicts =
+      mobility::find_two_cell_conflicts(pcs, {}, neighbor_filter);
+  out.total_conflicts = static_cast<int>(conflicts.size());
+  for (const auto& [label, n] : mobility::conflict_histogram(conflicts))
+    out.conflict_histogram[label] += n;
+  std::set<std::pair<int, int>> pairs;
+  for (const auto& c : conflicts) {
+    pairs.insert({c.cell_i, c.cell_j});
+    pairs.insert({c.cell_j, c.cell_i});
+  }
+  const auto pair_fn = [&pairs](int a, int b) {
+    return pairs.count({a, b}) > 0;
+  };
+
+  core::LegacyConfig lc;
+  lc.policies = policies;
+  lc.measurement.intra_ttt_s = sc.policy_mix.intra_ttt_s;
+  lc.measurement.inter_ttt_s = sc.policy_mix.inter_ttt_s;
+  core::LegacyManager legacy(lc);
+  sim::Simulator s1(env, sc.sim, bler, rng.fork());
+  out.legacy = s1.run(legacy, pair_fn);
+
+  if (run_rem) {
+    core::RemManager remm(core::RemConfig{}, rng.fork());
+    sim::Simulator s2(env, sc.sim, bler, rng.fork());
+    // REM's coordinated policy is conflict-free by Theorem 2.
+    out.rem = s2.run(remm, [](int, int) { return false; });
+    out.has_rem = true;
+  }
+  return out;
+}
+
+/// Fold per-seed results in the order given. Seed order — not completion
+/// order — fixes every floating-point accumulation, which is what makes the
+/// parallel runner's output independent of thread count.
+inline ScenarioRun merge_seed_results(const std::vector<SeedRunResult>& rs) {
+  ScenarioRun out;
+  for (const auto& r : rs) {
+    out.total_conflicts += r.total_conflicts;
+    for (const auto& [label, n] : r.conflict_histogram)
+      out.conflict_histogram[label] += n;
+    out.legacy.add(r.legacy);
+    if (r.has_rem) out.rem.add(r.rem);
+  }
+  return out;
+}
+
 inline ScenarioRun run_route(trace::Route route, double speed_kmh,
                              double duration_s,
                              const std::vector<std::uint64_t>& seeds,
                              bool run_rem = true) {
-  ScenarioRun out;
   phy::LogisticBlerModel bler;
-  for (const auto seed : seeds) {
-    const auto sc = trace::make_scenario(route, speed_kmh, duration_s);
-    common::Rng rng(seed);
-    auto cells = sim::make_rail_deployment(sc.deployment, rng);
-    auto holes = sim::make_hole_segments(sc.deployment, rng);
-    sim::RadioEnv env(cells, sc.propagation, rng.fork(), holes);
-    auto policies = trace::synthesize_policies(cells, sc.policy_mix, rng);
+  std::vector<SeedRunResult> rs;
+  rs.reserve(seeds.size());
+  for (const auto seed : seeds)
+    rs.push_back(run_seed(route, speed_kmh, duration_s, seed, run_rem, bler));
+  return merge_seed_results(rs);
+}
 
-    // Exact pairwise conflict predicate for loop attribution, restricted
-    // to cells that actually cover common ground.
-    const auto pcs = trace::to_policy_cells(cells, policies);
-    const double reach = 2.0 * sc.deployment.site_spacing_mean_m;
-    const auto neighbor_filter = [&](std::size_t i, std::size_t j) {
-      return std::abs(cells[i].site_pos_m - cells[j].site_pos_m) <= reach;
-    };
-    const auto conflicts =
-        mobility::find_two_cell_conflicts(pcs, {}, neighbor_filter);
-    out.total_conflicts += static_cast<int>(conflicts.size());
-    for (const auto& [label, n] : mobility::conflict_histogram(conflicts))
-      out.conflict_histogram[label] += n;
-    std::set<std::pair<int, int>> pairs;
-    for (const auto& c : conflicts) {
-      pairs.insert({c.cell_i, c.cell_j});
-      pairs.insert({c.cell_j, c.cell_i});
-    }
-    const auto pair_fn = [&pairs](int a, int b) {
-      return pairs.count({a, b}) > 0;
-    };
-
-    core::LegacyConfig lc;
-    lc.policies = policies;
-    lc.measurement.intra_ttt_s = sc.policy_mix.intra_ttt_s;
-    lc.measurement.inter_ttt_s = sc.policy_mix.inter_ttt_s;
-    core::LegacyManager legacy(lc);
-    sim::Simulator s1(env, sc.sim, bler, rng.fork());
-    out.legacy.add(s1.run(legacy, pair_fn));
-
-    if (run_rem) {
-      core::RemManager remm(core::RemConfig{}, rng.fork());
-      sim::Simulator s2(env, sc.sim, bler, rng.fork());
-      // REM's coordinated policy is conflict-free by Theorem 2.
-      out.rem.add(s2.run(remm, [](int, int) { return false; }));
-    }
+/// Worker count for parallel benches: the REM_BENCH_THREADS environment
+/// variable when set (>= 1), otherwise the hardware thread count.
+inline std::size_t bench_threads() {
+  if (const char* env = std::getenv("REM_BENCH_THREADS")) {
+    const long v = std::atol(env);
+    if (v >= 1) return static_cast<std::size_t>(v);
   }
-  return out;
+  return common::ThreadPool::default_threads();
+}
+
+/// Seed-parallel run_route: each seed's legacy+REM simulation runs as one
+/// thread-pool job; results merge in seed order, so the output is
+/// bit-identical to run_route() for any num_threads. num_threads == 0 reads
+/// REM_BENCH_THREADS / hardware concurrency via bench_threads().
+inline ScenarioRun run_route_parallel(trace::Route route, double speed_kmh,
+                                      double duration_s,
+                                      const std::vector<std::uint64_t>& seeds,
+                                      bool run_rem = true,
+                                      std::size_t num_threads = 0) {
+  if (num_threads == 0) num_threads = bench_threads();
+  phy::LogisticBlerModel bler;
+  std::vector<SeedRunResult> rs(seeds.size());
+  common::parallel_for(seeds.size(), num_threads, [&](std::size_t i) {
+    rs[i] = run_seed(route, speed_kmh, duration_s, seeds[i], run_rem, bler);
+  });
+  return merge_seed_results(rs);
 }
 
 inline double pct(double x) { return 100.0 * x; }

@@ -1,10 +1,13 @@
 #include "common/logging.hpp"
 
+#include <atomic>
 #include <iostream>
 
 namespace rem::common {
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// Atomic so parallel scenario workers can read the level while a test or
+// bench main() adjusts it, without a data race.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -18,12 +21,20 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& msg) {
-  if (level < g_level) return;
-  std::cerr << "[" << level_name(level) << "] " << msg << "\n";
+  if (level < log_level()) return;
+  // Build the full line first so concurrent writers cannot interleave
+  // mid-line on stderr.
+  std::string line;
+  line.reserve(msg.size() + 16);
+  line.append("[").append(level_name(level)).append("] ").append(msg).append(
+      "\n");
+  std::cerr << line;
 }
 
 }  // namespace rem::common

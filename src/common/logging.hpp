@@ -1,8 +1,10 @@
 // Minimal leveled logger.
 //
 // The simulator and benches are chatty only when asked; default level is
-// kWarn so test output stays clean. Not thread-safe by design — all library
-// components run single-threaded per simulation instance.
+// kWarn so test output stays clean. The level is atomic and lines are
+// emitted with a single stream write, so parallel scenario workers may log
+// concurrently (lines never interleave mid-line, but their order across
+// threads is unspecified).
 #pragma once
 
 #include <sstream>

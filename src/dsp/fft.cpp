@@ -1,74 +1,15 @@
 #include "dsp/fft.hpp"
 
-#include <cmath>
-#include <numbers>
-#include <stdexcept>
+#include "dsp/fft_plan.hpp"
 
 namespace rem::dsp {
 namespace {
 
-constexpr double kPi = std::numbers::pi;
-
-// Iterative radix-2 Cooley-Tukey; `invert` selects the inverse transform
-// (without normalization — callers normalize).
-void fft_pow2(CVec& a, bool invert) {
-  const std::size_t n = a.size();
-  // Bit-reversal permutation.
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(a[i], a[j]);
-  }
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double ang = 2.0 * kPi / static_cast<double>(len) *
-                       (invert ? 1.0 : -1.0);
-    const cd wlen(std::cos(ang), std::sin(ang));
-    for (std::size_t i = 0; i < n; i += len) {
-      cd w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const cd u = a[i + k];
-        const cd v = a[i + k + len / 2] * w;
-        a[i + k] = u + v;
-        a[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
-  }
-}
-
-std::size_t next_pow2(std::size_t n) {
-  std::size_t p = 1;
-  while (p < n) p <<= 1;
-  return p;
-}
-
-// Bluestein chirp-z: express a length-n DFT as a convolution, evaluated with
-// power-of-two FFTs. Handles arbitrary n.
-void fft_bluestein(CVec& a, bool invert) {
-  const std::size_t n = a.size();
-  const double sign = invert ? 1.0 : -1.0;
-  // Chirp factors w[k] = e^{sign * j * pi * k^2 / n}. Use k^2 mod 2n to keep
-  // the angle argument bounded (avoids precision loss for large k).
-  CVec w(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    const std::size_t k2 = (k * k) % (2 * n);
-    const double ang = sign * kPi * static_cast<double>(k2) /
-                       static_cast<double>(n);
-    w[k] = cd(std::cos(ang), std::sin(ang));
-  }
-  const std::size_t m = next_pow2(2 * n - 1);
-  CVec fa(m, cd(0, 0)), fb(m, cd(0, 0));
-  for (std::size_t k = 0; k < n; ++k) fa[k] = a[k] * w[k];
-  fb[0] = std::conj(w[0]);
-  for (std::size_t k = 1; k < n; ++k)
-    fb[k] = fb[m - k] = std::conj(w[k]);
-  fft_pow2(fa, false);
-  fft_pow2(fb, false);
-  for (std::size_t k = 0; k < m; ++k) fa[k] *= fb[k];
-  fft_pow2(fa, true);
-  const double inv_m = 1.0 / static_cast<double>(m);
-  for (std::size_t k = 0; k < n; ++k) a[k] = fa[k] * inv_m * w[k];
+// Per-thread workspace so the free-function API stays allocation-free on
+// the steady state without threading a scratch through every caller.
+FftScratch& tls_scratch() {
+  thread_local FftScratch scratch;
+  return scratch;
 }
 
 }  // namespace
@@ -77,20 +18,14 @@ bool is_pow2(std::size_t n) { return n > 0 && (n & (n - 1)) == 0; }
 
 void fft(CVec& data) {
   if (data.empty()) return;
-  if (is_pow2(data.size()))
-    fft_pow2(data, false);
-  else
-    fft_bluestein(data, false);
+  FftPlan::get(data.size())->transform(data.data(), 1, false, 1.0,
+                                       tls_scratch());
 }
 
 void ifft(CVec& data) {
   if (data.empty()) return;
-  if (is_pow2(data.size()))
-    fft_pow2(data, true);
-  else
-    fft_bluestein(data, true);
-  const double inv_n = 1.0 / static_cast<double>(data.size());
-  for (auto& x : data) x *= inv_n;
+  FftPlan::get(data.size())->transform(data.data(), 1, true, 1.0,
+                                       tls_scratch());
 }
 
 CVec fft_copy(const CVec& data) {

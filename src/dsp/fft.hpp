@@ -4,6 +4,11 @@
 // grids are e.g. 1200x14, neither dimension a power of two), so we provide
 // an iterative radix-2 Cooley-Tukey fast path and a Bluestein chirp-z
 // fallback for other lengths. Both are O(n log n).
+//
+// These free functions are thin wrappers over the size-keyed plan cache in
+// dsp/fft_plan.hpp (precomputed twiddles, bit-reversal, Bluestein kernels);
+// hot loops that transform many rows/columns of one size should fetch an
+// FftPlan directly and reuse an FftScratch.
 #pragma once
 
 #include <complex>

@@ -1,6 +1,6 @@
 #include "phy/ofdm.hpp"
 
-#include "dsp/fft.hpp"
+#include "dsp/fft_plan.hpp"
 
 #include <cmath>
 #include <stdexcept>
@@ -12,13 +12,16 @@ dsp::CVec OfdmModem::modulate(const dsp::Matrix& grid) const {
   const std::size_t n = num_.num_symbols;
   if (grid.rows() != m || grid.cols() != n)
     throw std::invalid_argument("OFDM modulate: grid shape mismatch");
-  const double scale = std::sqrt(static_cast<double>(m));  // unitary IFFT
+  // The plan's inverse includes 1/M; sqrt(M) on top gives the unitary IFFT.
+  const double scale = std::sqrt(static_cast<double>(m));
+  const auto plan = dsp::FftPlan::get(m);
+  dsp::FftScratch scratch;
+  dsp::CVec freq(m);
   dsp::CVec out;
   out.reserve(num_.total_samples());
   for (std::size_t sym = 0; sym < n; ++sym) {
-    dsp::CVec freq = grid.col(sym);
-    dsp::ifft(freq);
-    for (auto& x : freq) x *= scale;
+    for (std::size_t k = 0; k < m; ++k) freq[k] = grid(k, sym);
+    plan->transform(freq.data(), 1, true, scale, scratch);
     // Cyclic prefix: copy of the tail.
     for (std::size_t i = 0; i < num_.cp_len; ++i)
       out.push_back(freq[m - num_.cp_len + i]);
@@ -33,14 +36,16 @@ dsp::Matrix OfdmModem::demodulate(const dsp::CVec& samples) const {
   if (samples.size() != num_.total_samples())
     throw std::invalid_argument("OFDM demodulate: sample count mismatch");
   const double scale = 1.0 / std::sqrt(static_cast<double>(m));
+  const auto plan = dsp::FftPlan::get(m);
+  dsp::FftScratch scratch;
+  dsp::CVec time(m);
   dsp::Matrix grid(m, n);
   std::size_t pos = 0;
   for (std::size_t sym = 0; sym < n; ++sym) {
     pos += num_.cp_len;  // skip CP
-    dsp::CVec time(samples.begin() + static_cast<std::ptrdiff_t>(pos),
-                   samples.begin() + static_cast<std::ptrdiff_t>(pos + m));
-    dsp::fft(time);
-    for (std::size_t k = 0; k < m; ++k) grid(k, sym) = time[k] * scale;
+    for (std::size_t k = 0; k < m; ++k) time[k] = samples[pos + k];
+    plan->transform(time.data(), 1, false, scale, scratch);
+    for (std::size_t k = 0; k < m; ++k) grid(k, sym) = time[k];
     pos += m;
   }
   return grid;

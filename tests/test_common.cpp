@@ -1,10 +1,14 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 #include "common/units.hpp"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <stdexcept>
+#include <vector>
 
 namespace rc = rem::common;
 
@@ -124,4 +128,57 @@ TEST(Summary, EmptyInputs) {
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
   EXPECT_THROW(s.percentile(50), std::runtime_error);
   EXPECT_TRUE(rc::empirical_cdf({}, 10).empty());
+}
+
+TEST(ThreadPool, RunsAllSubmittedJobs) {
+  std::atomic<int> count{0};
+  {
+    rc::ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i)
+      pool.submit([&count] { count.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 100);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    rc::ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i)
+      pool.submit([&count] { count.fetch_add(1); });
+    // No wait_idle: join-on-destruction must still run everything queued.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  const std::size_t n = 257;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  rc::parallel_for(n, 8, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, SerialFallbackRunsOnCallingThread) {
+  const auto caller = std::this_thread::get_id();
+  rc::parallel_for(4, 1, [&caller](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      rc::parallel_for(16, 4,
+                       [&completed](std::size_t i) {
+                         if (i == 5) throw std::runtime_error("boom");
+                         completed.fetch_add(1);
+                       }),
+      std::runtime_error);
+  EXPECT_EQ(completed.load(), 15);  // all non-throwing indices still ran
+}
+
+TEST(ParallelFor, ZeroItemsIsNoop) {
+  rc::parallel_for(0, 4, [](std::size_t) { FAIL() << "must not be called"; });
 }

@@ -1,0 +1,126 @@
+// The in-place strided SFFT/ISFFT must agree with the old copy-based
+// implementation (a fresh CVec per row/column through fft_copy/ifft_copy),
+// round-trip exactly, and stay unitary on awkward non-square grids.
+#include "common/rng.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/matrix.hpp"
+#include "phy/otfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using rem::dsp::cd;
+using rem::dsp::CVec;
+using rem::dsp::Matrix;
+
+namespace {
+
+Matrix random_grid(std::size_t m, std::size_t n, rem::common::Rng& rng) {
+  Matrix g(m, n);
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t c = 0; c < n; ++c) g(r, c) = rng.complex_gaussian(1.0);
+  return g;
+}
+
+// Reference implementation: the pre-refactor copy-based unitary DFTs.
+void ref_dft_rows(Matrix& m, bool invert) {
+  const double scale = invert ? std::sqrt(static_cast<double>(m.cols()))
+                              : 1.0 / std::sqrt(static_cast<double>(m.cols()));
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    CVec row = m.row(r);
+    if (invert)
+      row = rem::dsp::ifft_copy(row);
+    else
+      row = rem::dsp::fft_copy(row);
+    for (std::size_t c = 0; c < m.cols(); ++c) m(r, c) = row[c] * scale;
+  }
+}
+
+void ref_dft_cols(Matrix& m, bool invert) {
+  const double scale = invert ? std::sqrt(static_cast<double>(m.rows()))
+                              : 1.0 / std::sqrt(static_cast<double>(m.rows()));
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    CVec col = m.col(c);
+    if (invert)
+      col = rem::dsp::ifft_copy(col);
+    else
+      col = rem::dsp::fft_copy(col);
+    for (std::size_t r = 0; r < m.rows(); ++r) m(r, c) = col[r] * scale;
+  }
+}
+
+Matrix ref_sfft(const Matrix& dd) {
+  Matrix tf = dd;
+  ref_dft_cols(tf, false);
+  ref_dft_rows(tf, true);
+  return tf;
+}
+
+Matrix ref_isfft(const Matrix& tf) {
+  Matrix dd = tf;
+  ref_dft_rows(dd, false);
+  ref_dft_cols(dd, true);
+  return dd;
+}
+
+}  // namespace
+
+// Non-square grids, mixing power-of-two and Bluestein dimensions.
+class OtfsStrided
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(OtfsStrided, RoundTripRecoversGrid) {
+  const auto [m, n] = GetParam();
+  rem::common::Rng rng(m * 131 + n);
+  const Matrix x = random_grid(m, n, rng);
+  const Matrix back = rem::phy::isfft(rem::phy::sfft(x));
+  EXPECT_LT(Matrix::max_abs_diff(x, back), 1e-10) << m << "x" << n;
+}
+
+TEST_P(OtfsStrided, SfftIsUnitary) {
+  const auto [m, n] = GetParam();
+  rem::common::Rng rng(m * 17 + n);
+  const Matrix x = random_grid(m, n, rng);
+  const Matrix tf = rem::phy::sfft(x);
+  EXPECT_NEAR(tf.frobenius_norm(), x.frobenius_norm(),
+              1e-9 * x.frobenius_norm())
+      << m << "x" << n;
+  const Matrix dd = rem::phy::isfft(x);
+  EXPECT_NEAR(dd.frobenius_norm(), x.frobenius_norm(),
+              1e-9 * x.frobenius_norm())
+      << m << "x" << n;
+}
+
+TEST_P(OtfsStrided, MatchesCopyBasedReference) {
+  const auto [m, n] = GetParam();
+  rem::common::Rng rng(m * 7 + n);
+  const Matrix x = random_grid(m, n, rng);
+  EXPECT_LT(Matrix::max_abs_diff(rem::phy::sfft(x), ref_sfft(x)), 1e-10)
+      << m << "x" << n;
+  EXPECT_LT(Matrix::max_abs_diff(rem::phy::isfft(x), ref_isfft(x)), 1e-10)
+      << m << "x" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, OtfsStrided,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{3, 5},
+                      std::pair<std::size_t, std::size_t>{12, 7},
+                      std::pair<std::size_t, std::size_t>{16, 9},
+                      std::pair<std::size_t, std::size_t>{60, 14},
+                      std::pair<std::size_t, std::size_t>{64, 16},
+                      std::pair<std::size_t, std::size_t>{600, 14},
+                      std::pair<std::size_t, std::size_t>{1, 4}));
+
+TEST(OtfsStrided, SingleDdImpulseSpreadsFlat) {
+  // An impulse at DD bin (0,0) must map to a constant-magnitude TF grid —
+  // the full-diversity property the overlay relies on.
+  const std::size_t m = 12, n = 7;
+  Matrix x(m, n);
+  x(0, 0) = cd(1.0, 0.0);
+  const Matrix tf = rem::phy::sfft(x);
+  const double expect = 1.0 / std::sqrt(static_cast<double>(m * n));
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      EXPECT_NEAR(std::abs(tf(r, c)), expect, 1e-12);
+}
