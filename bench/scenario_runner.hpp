@@ -41,6 +41,13 @@ struct AggregateStats {
   std::vector<double> pre_failure_snrs_db;
   common::Summary throughput_bps;
   common::Summary downtime_fraction;
+  // Recovery-path accounting (fault injection / hardened FSM).
+  int report_retransmits = 0;
+  int t304_expiries = 0;
+  int t304_fallback_success = 0;
+  int duplicate_commands = 0;
+  int degraded_enters = 0;
+  double degraded_time_s = 0.0;
 
   void add(const sim::SimStats& s) {
     pre_failure_snrs_db.insert(pre_failure_snrs_db.end(),
@@ -57,6 +64,12 @@ struct AggregateStats {
     conflict_loop_handovers += s.conflict_loop_handovers;
     intra_freq_conflict_loops += s.intra_freq_conflict_loops;
     sim_time_s += s.sim_time_s;
+    report_retransmits += s.report_retransmits;
+    t304_expiries += s.t304_expiries;
+    t304_fallback_success += s.t304_fallback_success;
+    duplicate_commands += s.duplicate_commands;
+    degraded_enters += s.degraded_enters;
+    degraded_time_s += s.degraded_time_s;
     if (s.avg_handover_interval_s > 0)
       handover_interval_s.add(s.avg_handover_interval_s);
     feedback_delay_s.add_all(s.feedback_delays_s);
@@ -102,11 +115,16 @@ struct SeedRunResult {
 
 /// Simulate a single seed (legacy manager, and REM when `run_rem`).
 /// Thread-safe: all state derives from the seed; `bler` is read-only.
+/// `faults` (optional) is applied to both managers' simulations; the
+/// schedule itself is seeded from the per-seed Rng, so runs stay
+/// bit-identical for the same (seed, faults) pair.
 inline SeedRunResult run_seed(trace::Route route, double speed_kmh,
                               double duration_s, std::uint64_t seed,
-                              bool run_rem, const phy::BlerModel& bler) {
+                              bool run_rem, const phy::BlerModel& bler,
+                              const sim::FaultConfig& faults = {}) {
   SeedRunResult out;
-  const auto sc = trace::make_scenario(route, speed_kmh, duration_s);
+  auto sc = trace::make_scenario(route, speed_kmh, duration_s);
+  sc.sim.faults = faults;
   common::Rng rng(seed);
   auto cells = sim::make_rail_deployment(sc.deployment, rng);
   auto holes = sim::make_hole_segments(sc.deployment, rng);
@@ -170,12 +188,14 @@ inline ScenarioRun merge_seed_results(const std::vector<SeedRunResult>& rs) {
 inline ScenarioRun run_route(trace::Route route, double speed_kmh,
                              double duration_s,
                              const std::vector<std::uint64_t>& seeds,
-                             bool run_rem = true) {
+                             bool run_rem = true,
+                             const sim::FaultConfig& faults = {}) {
   phy::LogisticBlerModel bler;
   std::vector<SeedRunResult> rs;
   rs.reserve(seeds.size());
   for (const auto seed : seeds)
-    rs.push_back(run_seed(route, speed_kmh, duration_s, seed, run_rem, bler));
+    rs.push_back(run_seed(route, speed_kmh, duration_s, seed, run_rem, bler,
+                          faults));
   return merge_seed_results(rs);
 }
 
@@ -197,12 +217,14 @@ inline ScenarioRun run_route_parallel(trace::Route route, double speed_kmh,
                                       double duration_s,
                                       const std::vector<std::uint64_t>& seeds,
                                       bool run_rem = true,
-                                      std::size_t num_threads = 0) {
+                                      std::size_t num_threads = 0,
+                                      const sim::FaultConfig& faults = {}) {
   if (num_threads == 0) num_threads = bench_threads();
   phy::LogisticBlerModel bler;
   std::vector<SeedRunResult> rs(seeds.size());
   common::parallel_for(seeds.size(), num_threads, [&](std::size_t i) {
-    rs[i] = run_seed(route, speed_kmh, duration_s, seeds[i], run_rem, bler);
+    rs[i] = run_seed(route, speed_kmh, duration_s, seeds[i], run_rem, bler,
+                     faults);
   });
   return merge_seed_results(rs);
 }

@@ -16,6 +16,16 @@ void RemManager::on_serving_changed(double /*t*/, std::size_t /*new_idx*/) {
 std::optional<sim::HandoverDecision> RemManager::update(
     double t, const sim::ServingState& serving,
     const std::vector<sim::Observation>& neighbors) {
+  // Graceful degradation: when the delay-Doppler estimates behind the
+  // observations are staler than the threshold (pilot outage), bypass
+  // cross-band estimation and fall back to direct time-frequency
+  // measurement — fresh but noisy beats stale and corrupted.
+  double max_age = 0.0;
+  for (const auto& o : neighbors)
+    max_age = std::max(max_age, o.estimate_age_s);
+  degraded_ = max_age > cfg_.estimate_staleness_s;
+  const bool crossband = cfg_.use_crossband && !degraded_;
+
   // One measurement per base station; co-located cells are estimated via
   // cross-band SVD, others measured directly. Every candidate is visible —
   // there is no multi-stage gating to miss a cell behind. Only the
@@ -41,7 +51,7 @@ std::optional<sim::HandoverDecision> RemManager::update(
   std::set<int> task_sites;
   for (const auto& o : neighbors) {
     if (measured.count(o.id.base_station) == 0) continue;
-    if (cfg_.use_crossband) {
+    if (crossband) {
       // One measurement per site; siblings are estimated.
       if (task_sites.insert(o.id.base_station).second)
         tasks.push_back({o.id, o.id.channel == serving.id.channel});
@@ -61,20 +71,22 @@ std::optional<sim::HandoverDecision> RemManager::update(
         bandwidth_hz, common::db_to_lin(snr_db));
     return 10.0 * std::log10(std::max(cap, 1.0));
   };
-  const double serving_metric =
-      policy_metric(serving.dd_snr_db, serving.bandwidth_hz);
+  const double serving_metric = policy_metric(
+      degraded_ ? serving.snr_db : serving.dd_snr_db, serving.bandwidth_hz);
   std::optional<std::size_t> best_target;
   double best_metric = -1e9;
   std::map<int, int> site_direct;  // site -> cell idx measured directly
   for (const auto& o : neighbors) {
     auto [it, inserted] =
         site_direct.try_emplace(o.id.base_station, static_cast<int>(o.cell_idx));
-    double snr = o.dd_snr_db;
+    // Degraded mode swaps the stale delay-Doppler estimate for the fresh
+    // direct measurement of the same cell.
+    double snr = degraded_ ? o.snr_db : o.dd_snr_db;
     // A sibling of the measured cell is estimated (cross-band error);
     // with the ablation every monitored cell is measured directly, which
     // removed the error but paid per-cell measurement time above.
     const bool is_estimated =
-        cfg_.use_crossband && it->second != static_cast<int>(o.cell_idx);
+        crossband && it->second != static_cast<int>(o.cell_idx);
     if (is_estimated)
       snr += rng_.gaussian(0.0, cfg_.crossband_error_sigma_db);
     const double metric = policy_metric(snr, o.bandwidth_hz);
@@ -98,12 +110,12 @@ std::optional<sim::HandoverDecision> RemManager::update(
 
   sim::HandoverDecision d;
   d.target_idx = *best_target;
-  // Without cross-band estimation every monitored cell is measured the
-  // legacy way (sequentially, with gaps for inter-frequency cells).
+  // Without cross-band estimation (ablation or degraded fallback) every
+  // monitored cell is measured the legacy way (sequentially, with gaps
+  // for inter-frequency cells).
   d.feedback_delay_s =
-      cfg_.use_crossband
-          ? mobility::rem_feedback_delay_s(tasks, cfg_.measurement)
-          : mobility::legacy_feedback_delay_s(tasks, cfg_.measurement);
+      crossband ? mobility::rem_feedback_delay_s(tasks, cfg_.measurement)
+                : mobility::legacy_feedback_delay_s(tasks, cfg_.measurement);
   return d;
 }
 

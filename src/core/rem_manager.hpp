@@ -25,6 +25,11 @@ struct RemConfig {
   double crossband_error_sigma_db = 1.0;
   /// Re-fire interval after an emitted decision (lost-report retry).
   double refire_interval_s = 0.12;
+  /// Degrade to direct (time-frequency) measurement when the delay-Doppler
+  /// estimates behind the observations are staler than this (pilot
+  /// outage): acting on faulted cross-band estimates is worse than paying
+  /// the legacy measurement delay. Exits as soon as pilots are fresh.
+  double estimate_staleness_s = 0.20;
   /// Strongest sites measured per cycle (one pilot each; co-located cells
   /// come free via cross-band estimation).
   std::size_t max_measured_sites = 4;
@@ -59,10 +64,14 @@ class RemManager final : public sim::MobilityManager {
       const std::vector<sim::Observation>& neighbors) override;
   std::set<std::size_t> visible_cells() const override { return visible_; }
   void on_serving_changed(double t, std::size_t new_idx) override;
+  /// True while stale cross-band estimates forced the fallback to direct
+  /// measurement (temporary use_crossband bypass).
+  bool degraded_mode() const override { return degraded_; }
 
  private:
   RemConfig cfg_;
   common::Rng rng_;
+  bool degraded_ = false;
   double last_decision_t_ = -1e9;
   /// A3 entry timestamps per neighbor cell (TTT tracking).
   std::map<int, double> entered_;

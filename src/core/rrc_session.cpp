@@ -29,23 +29,38 @@ RrcTransmitOutcome RrcSession::transmit_subframe(
         if (auto r = decode_report(it->second))
           out.delivered.emplace_back(std::move(*r));
         else
-          ++out.lost;  // should not happen on a clean block
+          ++out.lost, ++out.dropped;  // undecodable: retrying cannot help
         break;
       case MessageType::kHandoverCommand:
         if (auto c = decode_command(it->second))
           out.delivered.emplace_back(std::move(*c));
         else
-          ++out.lost;
+          ++out.lost, ++out.dropped;
         break;
       case MessageType::kUnknown:
-        ++out.lost;
+        ++out.lost, ++out.dropped;
         break;
     }
     in_flight_.erase(it);
+    retries_.erase(id);
   }
   for (const auto id : sub.lost_signaling_ids) {
     ++out.lost;
-    in_flight_.erase(id);
+    // Block error: re-enqueue for another subframe until the retry
+    // budget is exhausted, then drop (the seed erased unconditionally,
+    // silently losing signaling the ARQ layer would have recovered).
+    const auto it = in_flight_.find(id);
+    if (it == in_flight_.end()) continue;
+    int& used = retries_[id];
+    if (used < max_retries_) {
+      ++used;
+      ++out.retransmitted;
+      overlay_.enqueue_signaling(id, it->second.size());
+    } else {
+      ++out.dropped;
+      in_flight_.erase(it);
+      retries_.erase(id);
+    }
   }
   return out;
 }

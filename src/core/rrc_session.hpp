@@ -17,13 +17,22 @@ using RrcMessage = std::variant<MeasurementReport, HandoverCommand>;
 
 struct RrcTransmitOutcome {
   std::vector<RrcMessage> delivered;
+  /// Blocks lost to channel errors *this subframe* (a lost message that is
+  /// re-enqueued still counts here — it is gone from this subframe).
   std::size_t lost = 0;
+  /// Lost messages re-enqueued for another subframe (bounded retries).
+  std::size_t retransmitted = 0;
+  /// Messages permanently dropped after exhausting their retry budget.
+  std::size_t dropped = 0;
   phy::SubframeAllocation allocation;
 };
 
 class RrcSession {
  public:
-  explicit RrcSession(OverlayConfig cfg) : overlay_(cfg) {}
+  /// `max_retries`: how many extra subframe attempts a lost message gets
+  /// before it is dropped (0 = the seed behaviour, lose on first error).
+  explicit RrcSession(OverlayConfig cfg, int max_retries = 2)
+      : overlay_(cfg), max_retries_(max_retries) {}
 
   /// Queue a message for the next subframe(s).
   void send(const MeasurementReport& report);
@@ -39,8 +48,10 @@ class RrcSession {
 
  private:
   SignalingOverlay overlay_;
+  int max_retries_ = 2;
   std::uint64_t next_id_ = 1;
   std::map<std::uint64_t, Bytes> in_flight_;
+  std::map<std::uint64_t, int> retries_;  ///< attempts consumed per message
 };
 
 }  // namespace rem::core

@@ -11,14 +11,23 @@ namespace rem::sim {
 enum class EventKind {
   kMeasurementTriggered,  ///< policy fired, feedback generation started
   kReportDelivered,       ///< measurement report reached the base station
-  kReportLost,            ///< report ARQ exhausted
+  kReportLost,            ///< report retransmissions exhausted
   kHoCommandDelivered,    ///< handover command reached the client
   kHoCommandLost,         ///< command lost in delivery
   kHandoverComplete,      ///< client connected to the target
-  kRadioLinkFailure,      ///< Qout sustained, connectivity lost
+  kRadioLinkFailure,      ///< T310 expired, connectivity lost
   kReestablished,         ///< connection re-established after RLF
+  kFaultStart,            ///< fault window opened (target_cell = FaultKind)
+  kFaultEnd,              ///< fault window closed (target_cell = FaultKind)
+  kReportRetransmit,      ///< lost report re-sent (bounded backoff)
+  kT304Expiry,            ///< handover execution failed at the target
+  kHoCommandDuplicate,    ///< stale duplicate command executed instead
+  kDegradedEnter,         ///< manager fell back to direct measurement
+  kDegradedExit,          ///< manager resumed cross-band estimation
 };
 
+/// Stable identifier used in CSV logs. Throws std::invalid_argument on a
+/// value outside the enum instead of returning a placeholder.
 std::string event_kind_name(EventKind k);
 
 struct SignalingEvent {

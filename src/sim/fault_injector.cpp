@@ -1,0 +1,64 @@
+#include "sim/fault_injector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rem::sim {
+
+std::string fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kSignalingLoss: return "signaling_burst_loss";
+    case FaultKind::kPilotOutage: return "pilot_outage";
+    case FaultKind::kProcessingStall: return "processing_stall";
+    case FaultKind::kCoverageBlackout: return "coverage_blackout";
+    case FaultKind::kCommandDuplication: return "command_duplication";
+  }
+  throw std::invalid_argument("fault_kind_name: invalid FaultKind value " +
+                              std::to_string(static_cast<int>(k)));
+}
+
+FaultInjector::FaultInjector(const FaultConfig& cfg, double horizon_s,
+                             common::Rng rng) {
+  windows_ = cfg.windows;
+  for (const auto& spec : cfg.random) {
+    if (spec.mean_gap_s <= 0.0)
+      throw std::invalid_argument("RandomFaultSpec(" +
+                                  fault_kind_name(spec.kind) +
+                                  "): mean_gap_s must be > 0");
+    if (spec.duration_hi_s < spec.duration_lo_s ||
+        spec.magnitude_hi < spec.magnitude_lo)
+      throw std::invalid_argument("RandomFaultSpec(" +
+                                  fault_kind_name(spec.kind) +
+                                  "): inverted lo/hi range");
+    double t = rng.exponential(spec.mean_gap_s);
+    while (t < horizon_s) {
+      FaultWindow w;
+      w.kind = spec.kind;
+      w.start_s = t;
+      w.duration_s = spec.duration_lo_s == spec.duration_hi_s
+                         ? spec.duration_lo_s
+                         : rng.uniform(spec.duration_lo_s, spec.duration_hi_s);
+      w.magnitude = spec.magnitude_lo == spec.magnitude_hi
+                        ? spec.magnitude_lo
+                        : rng.uniform(spec.magnitude_lo, spec.magnitude_hi);
+      windows_.push_back(w);
+      t = w.end_s() + rng.exponential(spec.mean_gap_s);
+    }
+  }
+  std::sort(windows_.begin(), windows_.end(),
+            [](const FaultWindow& a, const FaultWindow& b) {
+              if (a.start_s != b.start_s) return a.start_s < b.start_s;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+}
+
+double FaultInjector::magnitude(FaultKind kind, double t) const {
+  double worst = 0.0;
+  for (const auto& w : windows_) {
+    if (w.start_s > t) break;  // sorted by start; nothing later can contain t
+    if (w.kind == kind && w.contains(t)) worst = std::max(worst, w.magnitude);
+  }
+  return worst;
+}
+
+}  // namespace rem::sim

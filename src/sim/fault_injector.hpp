@@ -1,0 +1,96 @@
+// Deterministic fault injection for the network simulator (§3's stress
+// modes made reproducible): seeded schedules of fault windows — scripted
+// or RNG-generated — that the simulator consults every tick to distort
+// signaling delivery, measurement pilots, base-station processing, radio
+// coverage, and handover-command ordering. A FaultInjector is immutable
+// after construction, so identical (config, seed) pairs always replay the
+// exact same fault timeline, including under the seed-parallel runner.
+#pragma once
+
+#include "common/rng.hpp"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rem::sim {
+
+/// The five fault classes of the chaos harness (bench_chaos).
+enum class FaultKind {
+  kSignalingLoss,      ///< burst signaling loss overriding per-attempt BLER
+  kPilotOutage,        ///< measurement pilots absent: stale/corrupt estimates
+  kProcessingStall,    ///< base-station decision processing spike
+  kCoverageBlackout,   ///< tunnel-style blanket attenuation of every cell
+  kCommandDuplication, ///< duplicated/reordered handover commands
+};
+
+constexpr std::size_t kNumFaultKinds = 5;
+
+/// Stable identifier used in logs/JSON. Throws std::invalid_argument on a
+/// value outside the enum (corrupted input), never returns a placeholder.
+std::string fault_kind_name(FaultKind k);
+
+/// One active fault interval. `magnitude` is kind-specific:
+///   kSignalingLoss      per-attempt loss probability floor in [0, 1]
+///   kPilotOutage        corruption sigma (dB) added to stale estimates
+///   kProcessingStall    extra decision processing time (seconds)
+///   kCoverageBlackout   extra attenuation on every cell (dB)
+///   kCommandDuplication probability a delivered command is a stale
+///                       duplicate of the previous one in [0, 1]
+struct FaultWindow {
+  FaultKind kind = FaultKind::kSignalingLoss;
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  double magnitude = 1.0;
+
+  double end_s() const { return start_s + duration_s; }
+  bool contains(double t) const { return t >= start_s && t < end_s(); }
+};
+
+/// RNG-driven window generation: windows of one kind arrive with
+/// exponential gaps (mean `mean_gap_s`) and uniformly drawn duration and
+/// magnitude. Materialized once at FaultInjector construction, so the
+/// schedule depends only on (spec, seed, horizon).
+struct RandomFaultSpec {
+  FaultKind kind = FaultKind::kSignalingLoss;
+  double mean_gap_s = 60.0;
+  double duration_lo_s = 1.0;
+  double duration_hi_s = 5.0;
+  double magnitude_lo = 1.0;
+  double magnitude_hi = 1.0;
+};
+
+struct FaultConfig {
+  std::vector<FaultWindow> windows;     ///< scripted schedule
+  std::vector<RandomFaultSpec> random;  ///< generated at construction
+
+  bool empty() const { return windows.empty() && random.empty(); }
+};
+
+class FaultInjector {
+ public:
+  /// No faults: every query returns inactive/zero.
+  FaultInjector() = default;
+
+  /// Scripted windows are kept verbatim; random specs are expanded over
+  /// [0, horizon_s) with draws from `rng` (deterministic per seed).
+  FaultInjector(const FaultConfig& cfg, double horizon_s, common::Rng rng);
+
+  bool any() const { return !windows_.empty(); }
+
+  /// Strongest magnitude among windows of `kind` active at `t`; 0.0 when
+  /// none is active (overlapping windows do not stack, the worst wins).
+  double magnitude(FaultKind kind, double t) const;
+
+  bool active(FaultKind kind, double t) const {
+    return magnitude(kind, t) > 0.0;
+  }
+
+  /// Full materialized schedule (scripted + generated), sorted by start.
+  const std::vector<FaultWindow>& windows() const { return windows_; }
+
+ private:
+  std::vector<FaultWindow> windows_;
+};
+
+}  // namespace rem::sim

@@ -4,7 +4,10 @@
 #include "common/units.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 namespace rem::sim {
 
@@ -18,8 +21,16 @@ std::string event_kind_name(EventKind k) {
     case EventKind::kHandoverComplete: return "handover_complete";
     case EventKind::kRadioLinkFailure: return "radio_link_failure";
     case EventKind::kReestablished: return "reestablished";
+    case EventKind::kFaultStart: return "fault_start";
+    case EventKind::kFaultEnd: return "fault_end";
+    case EventKind::kReportRetransmit: return "report_retransmit";
+    case EventKind::kT304Expiry: return "t304_expiry";
+    case EventKind::kHoCommandDuplicate: return "ho_command_duplicate";
+    case EventKind::kDegradedEnter: return "degraded_enter";
+    case EventKind::kDegradedExit: return "degraded_exit";
   }
-  return "?";
+  throw std::invalid_argument("event_kind_name: invalid EventKind value " +
+                              std::to_string(static_cast<int>(k)));
 }
 
 std::string failure_cause_name(FailureCause c) {
@@ -29,7 +40,9 @@ std::string failure_cause_name(FailureCause c) {
     case FailureCause::kHoCommandLoss: return "handover cmd. loss";
     case FailureCause::kCoverageHole: return "coverage hole";
   }
-  return "?";
+  throw std::invalid_argument(
+      "failure_cause_name: invalid FailureCause value " +
+      std::to_string(static_cast<int>(c)));
 }
 
 double SimStats::failure_ratio_excluding_holes() const {
@@ -48,9 +61,13 @@ phy::DopplerRegime Simulator::regime() const {
                                  : phy::DopplerRegime::kLow;
 }
 
-bool Simulator::deliver(double snr_db, int attempts, phy::Waveform w) {
+bool Simulator::deliver(double t, double snr_db, int attempts,
+                        phy::Waveform w) {
+  // A signaling-loss fault raises the per-attempt loss probability floor.
+  const double floor = faults_.magnitude(FaultKind::kSignalingLoss, t);
   for (int a = 0; a < attempts; ++a) {
-    const double p = bler_.bler(w, regime(), snr_db);
+    const double p =
+        std::min(1.0, std::max(bler_.bler(w, regime(), snr_db), floor));
     if (!rng_.bernoulli(p)) return true;
   }
   return false;
@@ -62,6 +79,12 @@ SimStats Simulator::run(MobilityManager& manager,
   const double speed = common::kmh_to_mps(cfg_.speed_kmh);
   const double dt = cfg_.tick_s;
 
+  // Materialize the fault schedule. The no-fault path must not fork the
+  // RNG, so a fault-free config leaves every downstream draw untouched.
+  faults_ = cfg_.faults.empty()
+                ? FaultInjector()
+                : FaultInjector(cfg_.faults, cfg_.duration_s, rng_.fork());
+
   // Initial attach: strongest cell at the start.
   double pos = 0.0;
   int serving = env_.best_cell(pos, cfg_.min_coverage_rsrp_dbm);
@@ -69,10 +92,18 @@ SimStats Simulator::run(MobilityManager& manager,
   manager.on_serving_changed(0.0, static_cast<std::size_t>(serving));
 
   std::optional<PendingHandover> pending;
-  double qout_since = -1.0;          // when serving went below Qout
+  std::optional<Execution> exec;
+  // RLF detection state: consecutive out-of-sync ticks arm T310;
+  // consecutive in-sync ticks during T310 disarm it.
+  int oos_count = 0;
+  int is_count = 0;
+  double t310_started = -1.0;
   double outage_started = -1.0;      // RLF time (in outage if >= 0)
-  double last_report_loss_t = -1e9;  // recent ARQ-exhausted feedback
+  double outage_reestablish_s = cfg_.reestablish_s;
+  int preferred_target = -1;         // prepared target for T304 fallback
+  double last_report_loss_t = -1e9;  // recent retransmit-exhausted feedback
   double last_cmd_loss_t = -1e9;     // recent lost handover command
+  int last_cmd_target = -1;          // previous delivered command's target
   double suppress_until = 0.0;       // post-handover decision blanking
   constexpr double kLossMemory_s = 1.5;
   std::deque<std::pair<double, int>> recent_serving;  // (time, cell idx)
@@ -80,6 +111,13 @@ SimStats Simulator::run(MobilityManager& manager,
   bool current_loop_episode = false;
   double throughput_sum_bps = 0.0;
   std::size_t ticks = 0, outage_ticks = 0;
+  // Pilot-outage staleness: last fresh delay-Doppler SNR per cell, and
+  // when pilots were last fresh.
+  std::vector<double> last_dd(env_.cells().size(),
+                              std::numeric_limits<double>::quiet_NaN());
+  double pilot_fresh_t = 0.0;
+  std::array<bool, kNumFaultKinds> fault_was_active{};
+  bool degraded_prev = false;
 
   // Rolling 5 s window of serving SNR for the Fig. 2b analysis.
   std::deque<std::pair<double, double>> snr_window;  // (t, snr)
@@ -100,62 +138,204 @@ SimStats Simulator::run(MobilityManager& manager,
       stats.pre_failure_snrs_db.push_back(snr_window[i].second);
     snr_window.clear();
     outage_started = t;
+    outage_reestablish_s = cfg_.reestablish_s;
+    preferred_target = -1;
     pending.reset();
-    qout_since = -1.0;
+    oos_count = is_count = 0;
+    t310_started = -1.0;
+  };
+
+  const auto camp_on = [&](double t, int target) {
+    stats.outage_durations_s.push_back(t - outage_started);
+    serving = target;
+    outage_started = -1.0;
+    preferred_target = -1;
+    outage_reestablish_s = cfg_.reestablish_s;
+    last_report_loss_t = last_cmd_loss_t = -1e9;
+    manager.on_serving_changed(t, static_cast<std::size_t>(serving));
+    log_event(t, EventKind::kReestablished, serving, -1, 0.0);
+    recent_serving.push_back({t, serving});
   };
 
   for (double t = 0.0; t < cfg_.duration_s; t += dt) {
     pos = speed * t;
     ++ticks;
 
+    // ---- Fault-window transitions (event log only) ----
+    if (cfg_.record_events && faults_.any()) {
+      for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
+        const auto kind = static_cast<FaultKind>(k);
+        const bool act = faults_.active(kind, t);
+        if (act != fault_was_active[k]) {
+          log_event(t, act ? EventKind::kFaultStart : EventKind::kFaultEnd,
+                    serving, static_cast<int>(k),
+                    faults_.magnitude(kind, t));
+          fault_was_active[k] = act;
+        }
+      }
+    }
+
+    const bool blackout = faults_.active(FaultKind::kCoverageBlackout, t);
+    const double blackout_db =
+        faults_.magnitude(FaultKind::kCoverageBlackout, t);
+
     // ---- Outage / re-establishment ----
     if (outage_started >= 0.0) {
       ++outage_ticks;
-      if (t - outage_started >= cfg_.reestablish_s) {
+      if (t - outage_started >= outage_reestablish_s && !blackout) {
         // Camp only on a cell comfortably above Qout (Qin-style margin),
         // otherwise keep searching — reconnecting into a dying cell just
         // repeats the failure.
         const double qin_rsrp = env_.config().noise_floor_dbm +
                                 cfg_.qout_snr_db + 3.0;
-        const int target = env_.best_cell(
-            pos, std::max(cfg_.min_coverage_rsrp_dbm, qin_rsrp));
-        if (target >= 0) {
-          stats.outage_durations_s.push_back(t - outage_started);
-          serving = target;
-          outage_started = -1.0;
-          last_report_loss_t = last_cmd_loss_t = -1e9;
-          manager.on_serving_changed(t, static_cast<std::size_t>(serving));
-          log_event(t, EventKind::kReestablished, serving, -1, 0.0);
-          recent_serving.push_back({t, serving});
+        if (preferred_target >= 0) {
+          // T304 fallback: the prepared target holds the UE context, so
+          // re-establishment there skips the full cell search.
+          const double rsrp = env_.mean_rsrp_dbm(
+              static_cast<std::size_t>(preferred_target), pos);
+          if (rsrp >= std::max(cfg_.min_coverage_rsrp_dbm, qin_rsrp)) {
+            ++stats.t304_fallback_success;
+            camp_on(t, preferred_target);
+            continue;
+          }
+          // Prepared target is gone too: full RLF re-establishment.
+          preferred_target = -1;
+          outage_reestablish_s = cfg_.reestablish_s;
         }
-        // else: still in a hole; keep searching.
+        if (t - outage_started >= outage_reestablish_s) {
+          const int target = env_.best_cell(
+              pos, std::max(cfg_.min_coverage_rsrp_dbm, qin_rsrp));
+          if (target >= 0) camp_on(t, target);
+          // else: still in a hole; keep searching.
+        }
       }
       continue;
     }
 
     // ---- Radio state ----
+    const bool pilot_out = faults_.active(FaultKind::kPilotOutage, t);
+    const double pilot_sigma =
+        faults_.magnitude(FaultKind::kPilotOutage, t);
     ServingState sv;
     sv.cell_idx = static_cast<std::size_t>(serving);
     sv.id = env_.cells()[sv.cell_idx].id;
-    sv.rsrp_dbm = env_.instant_rsrp_dbm(sv.cell_idx, pos, rng_);
-    sv.dd_snr_db = env_.dd_snr_db(sv.cell_idx, pos, rng_);
+    sv.rsrp_dbm = env_.instant_rsrp_dbm(sv.cell_idx, pos, rng_) - blackout_db;
+    sv.dd_snr_db = env_.dd_snr_db(sv.cell_idx, pos, rng_) - blackout_db;
     sv.snr_db = env_.snr_db_from_rsrp(sv.rsrp_dbm);
     sv.bandwidth_hz = env_.cells()[sv.cell_idx].bandwidth_hz;
+    if (pilot_out) {
+      // Pilots are gone: the delay-Doppler estimate freezes at its last
+      // fresh value and accumulates corruption.
+      if (!std::isnan(last_dd[sv.cell_idx]))
+        sv.dd_snr_db = last_dd[sv.cell_idx] - blackout_db;
+      sv.dd_snr_db += rng_.gaussian(0.0, pilot_sigma);
+    } else {
+      last_dd[sv.cell_idx] = sv.dd_snr_db + blackout_db;
+      pilot_fresh_t = t;
+    }
     throughput_sum_bps += common::shannon_capacity_bps(
         sv.bandwidth_hz, common::db_to_lin(sv.snr_db));
     snr_window.push_back({t, sv.snr_db});
     while (!snr_window.empty() && t - snr_window.front().first > 5.0)
       snr_window.pop_front();
 
-    // ---- Radio link failure detection (Qout) ----
-    if (sv.snr_db < cfg_.qout_snr_db) {
-      if (qout_since < 0.0) qout_since = t;
-      if (t - qout_since >= cfg_.qout_s) {
+    // ---- Handover execution completion (T304 window) ----
+    if (exec && t >= exec->started_s + cfg_.ho_interruption_s) {
+      const std::size_t target = exec->target_idx;
+      const double tgt_rsrp = env_.mean_rsrp_dbm(target, pos) - blackout_db;
+      const double tgt_snr = env_.snr_db_from_rsrp(tgt_rsrp);
+      if (tgt_snr >= cfg_.min_connect_snr_db) {
+        ++stats.successful_handovers;
+        const int prev = serving;
+        serving = static_cast<int>(target);
+        manager.on_serving_changed(t, target);
+        oos_count = is_count = 0;
+        t310_started = -1.0;
+        last_report_loss_t = last_cmd_loss_t = -1e9;
+        suppress_until = t + cfg_.post_ho_suppress_s;
+        log_event(t, EventKind::kHandoverComplete, prev, serving, sv.snr_db);
+        ho_times.push_back(t);
+        // Loop bookkeeping: returning to a recently-serving cell.
+        bool is_loop = false;
+        for (const auto& [ts, idx] : recent_serving) {
+          if (t - ts <= cfg_.loop_window_s &&
+              idx == static_cast<int>(target)) {
+            is_loop = true;
+            break;
+          }
+        }
+        recent_serving.push_back({t, serving});
+        while (!recent_serving.empty() &&
+               t - recent_serving.front().first > cfg_.loop_window_s)
+          recent_serving.pop_front();
+        if (is_loop) {
+          ++stats.loop_handovers;
+          const auto& tgt_cell = env_.cells()[target];
+          const auto& prev_cell = env_.cells()[static_cast<std::size_t>(prev)];
+          const bool conflict =
+              pair_conflicts &&
+              pair_conflicts(tgt_cell.id.cell, prev_cell.id.cell);
+          if (conflict) ++stats.conflict_loop_handovers;
+          if (!current_loop_episode) {
+            ++stats.loop_episodes;
+            if (tgt_cell.id.channel == prev_cell.id.channel)
+              ++stats.intra_freq_loop_episodes;
+            if (conflict) {
+              ++stats.conflict_loop_episodes;
+              if (tgt_cell.id.channel == prev_cell.id.channel)
+                ++stats.intra_freq_conflict_loops;
+            }
+            current_loop_episode = true;
+          }
+        } else {
+          current_loop_episode = false;
+        }
+        exec.reset();
+      } else {
+        // T304 expiry: the target evaporated during execution. Fall back
+        // to re-establishment on the prepared target instead of a silent
+        // success or a bare RLF search.
+        ++stats.t304_expiries;
+        log_event(t, EventKind::kT304Expiry, serving,
+                  static_cast<int>(target), tgt_snr);
+        record_failure(t, FailureCause::kFeedbackDelayLoss);
+        outage_reestablish_s = cfg_.t304_reestablish_s;
+        preferred_target = static_cast<int>(exec->prepared_idx);
+        exec.reset();
+        continue;
+      }
+    }
+
+    // ---- Radio link failure detection (N310/T310/N311) ----
+    if (!exec) {
+      if (t310_started >= 0.0) {
+        if (sv.snr_db >= cfg_.qout_snr_db + cfg_.qin_margin_db) {
+          if (++is_count >= cfg_.n311) {
+            // Recovered: N311 consecutive in-sync indications stop T310.
+            t310_started = -1.0;
+            oos_count = is_count = 0;
+          }
+        } else {
+          is_count = 0;
+        }
+      } else {
+        if (sv.snr_db < cfg_.qout_snr_db) {
+          if (++oos_count >= cfg_.n310) {
+            t310_started = t;
+            is_count = 0;
+          }
+        } else {
+          oos_count = 0;
+        }
+      }
+      if (t310_started >= 0.0 && t - t310_started >= cfg_.t310_s) {
         // Classify the failure (Table 2 taxonomy). Lost-signaling
         // evidence is kept for a short memory window because a failed
         // attempt is usually replaced by a retry before the RLF lands.
         FailureCause cause;
-        const int best = env_.best_cell(pos, cfg_.min_coverage_rsrp_dbm);
+        const int best =
+            blackout ? -1
+                     : env_.best_cell(pos, cfg_.min_coverage_rsrp_dbm);
         if (best < 0) {
           cause = FailureCause::kCoverageHole;
         } else if ((pending && pending->command_lost) ||
@@ -182,24 +362,36 @@ SimStats Simulator::run(MobilityManager& manager,
         record_failure(t, cause);
         continue;
       }
-    } else {
-      qout_since = -1.0;
     }
 
     // ---- Pending handover progress ----
-    if (pending) {
+    if (pending && !exec) {
       if (!pending->report_delivered && !pending->report_lost &&
           t >= pending->report_due_s) {
-        if (deliver(sv.snr_db, cfg_.uplink_attempts, manager.waveform())) {
+        if (deliver(t, sv.snr_db, cfg_.uplink_attempts,
+                    manager.waveform())) {
           pending->report_delivered = true;
+          // A processing-stall fault spikes the base station's decision
+          // time on top of the configured budget.
+          const double stall =
+              faults_.magnitude(FaultKind::kProcessingStall, t);
           pending->command_due_s =
-              t + cfg_.decision_proc_s +
+              t + cfg_.decision_proc_s + stall +
               cfg_.retry_spacing_s;  // BS decision + scheduling
           stats.feedback_delays_s.push_back(t - pending->decided_at_s);
           log_event(t, EventKind::kReportDelivered, serving,
                     static_cast<int>(pending->target_idx), sv.snr_db);
+        } else if (pending->report_retries < cfg_.report_max_retries) {
+          // Bounded exponential backoff instead of giving up at once.
+          ++pending->report_retries;
+          ++stats.report_retransmits;
+          pending->report_due_s =
+              t + cfg_.report_retry_backoff_s *
+                      static_cast<double>(1 << (pending->report_retries - 1));
+          log_event(t, EventKind::kReportRetransmit, serving,
+                    static_cast<int>(pending->target_idx), sv.snr_db);
         } else {
-          pending->report_lost = true;  // ARQ exhausted
+          pending->report_lost = true;  // retransmissions exhausted
           last_report_loss_t = t;
           log_event(t, EventKind::kReportLost, serving,
                     static_cast<int>(pending->target_idx), sv.snr_db);
@@ -207,66 +399,31 @@ SimStats Simulator::run(MobilityManager& manager,
       }
       if (pending->report_delivered && !pending->command_lost &&
           t >= pending->command_due_s) {
-        if (deliver(sv.snr_db, cfg_.downlink_attempts,
+        if (deliver(t, sv.snr_db, cfg_.downlink_attempts,
                     manager.waveform())) {
-          // ---- Execution ----
-          log_event(t, EventKind::kHoCommandDelivered, serving,
-                    static_cast<int>(pending->target_idx), sv.snr_db);
-          ++stats.handovers;
-          const std::size_t target = pending->target_idx;
-          const double tgt_rsrp = env_.mean_rsrp_dbm(target, pos);
-          const double tgt_snr = env_.snr_db_from_rsrp(tgt_rsrp);
-          if (tgt_snr >= cfg_.min_connect_snr_db) {
-            ++stats.successful_handovers;
-            serving = static_cast<int>(target);
-            manager.on_serving_changed(t, target);
-            qout_since = -1.0;
-            last_report_loss_t = last_cmd_loss_t = -1e9;
-            suppress_until = t + cfg_.post_ho_suppress_s;
-            log_event(t, EventKind::kHandoverComplete,
-                      static_cast<int>(sv.cell_idx), serving, sv.snr_db);
-            ho_times.push_back(t);
-            // Loop bookkeeping: returning to a recently-serving cell.
-            bool is_loop = false;
-            for (const auto& [ts, idx] : recent_serving) {
-              if (t - ts <= cfg_.loop_window_s &&
-                  idx == static_cast<int>(target)) {
-                is_loop = true;
-                break;
-              }
-            }
-            recent_serving.push_back({t, serving});
-            while (!recent_serving.empty() &&
-                   t - recent_serving.front().first > cfg_.loop_window_s)
-              recent_serving.pop_front();
-            if (is_loop) {
-              ++stats.loop_handovers;
-              const auto& tgt_cell = env_.cells()[target];
-              const auto& prev_cell = env_.cells()[sv.cell_idx];
-              const bool conflict =
-                  pair_conflicts &&
-                  pair_conflicts(tgt_cell.id.cell, prev_cell.id.cell);
-              if (conflict) ++stats.conflict_loop_handovers;
-              if (!current_loop_episode) {
-                ++stats.loop_episodes;
-                if (tgt_cell.id.channel == prev_cell.id.channel)
-                  ++stats.intra_freq_loop_episodes;
-                if (conflict) {
-                  ++stats.conflict_loop_episodes;
-                  if (tgt_cell.id.channel == prev_cell.id.channel)
-                    ++stats.intra_freq_conflict_loops;
-                }
-                current_loop_episode = true;
-              }
-            } else {
-              current_loop_episode = false;
-            }
-          } else {
-            // Target evaporated before execution completed.
-            record_failure(t, FailureCause::kFeedbackDelayLoss);
-            continue;
+          std::size_t target = pending->target_idx;
+          // A duplication fault reorders commands: a stale duplicate of
+          // the previous command can arrive (and execute) first.
+          const double dup_p =
+              faults_.magnitude(FaultKind::kCommandDuplication, t);
+          if (dup_p > 0.0 && last_cmd_target >= 0 &&
+              last_cmd_target != static_cast<int>(target) &&
+              rng_.bernoulli(std::min(1.0, dup_p))) {
+            ++stats.duplicate_commands;
+            log_event(t, EventKind::kHoCommandDuplicate, serving,
+                      last_cmd_target, sv.snr_db);
+            target = static_cast<std::size_t>(last_cmd_target);
           }
+          log_event(t, EventKind::kHoCommandDelivered, serving,
+                    static_cast<int>(target), sv.snr_db);
+          ++stats.handovers;
+          last_cmd_target = static_cast<int>(pending->target_idx);
+          // Execution: detach + random access, completes (or T304-fails)
+          // after the interruption window.
+          exec = Execution{target, pending->target_idx, t};
           pending.reset();
+          oos_count = is_count = 0;
+          t310_started = -1.0;
         } else {
           pending->command_lost = true;
           last_cmd_loss_t = t;
@@ -277,7 +434,7 @@ SimStats Simulator::run(MobilityManager& manager,
     }
 
     // ---- Manager policy evaluation ----
-    if (t >= suppress_until &&
+    if (!exec && t >= suppress_until &&
         (!pending || pending->report_lost || pending->command_lost)) {
       std::vector<Observation> obs;
       for (std::size_t i = 0; i < env_.cells().size(); ++i) {
@@ -287,8 +444,17 @@ SimStats Simulator::run(MobilityManager& manager,
         Observation o;
         o.cell_idx = i;
         o.id = env_.cells()[i].id;
-        o.rsrp_dbm = env_.instant_rsrp_dbm(i, pos, rng_);
-        o.dd_snr_db = env_.dd_snr_db(i, pos, rng_);
+        o.rsrp_dbm = env_.instant_rsrp_dbm(i, pos, rng_) - blackout_db;
+        o.snr_db = env_.snr_db_from_rsrp(o.rsrp_dbm);
+        o.dd_snr_db = env_.dd_snr_db(i, pos, rng_) - blackout_db;
+        if (pilot_out) {
+          if (!std::isnan(last_dd[i])) o.dd_snr_db = last_dd[i] - blackout_db;
+          o.dd_snr_db += rng_.gaussian(0.0, pilot_sigma);
+          o.estimate_age_s = t - pilot_fresh_t;
+          o.pilot_faulted = true;
+        } else {
+          last_dd[i] = o.dd_snr_db + blackout_db;
+        }
         o.bandwidth_hz = env_.cells()[i].bandwidth_hz;
         obs.push_back(o);
       }
@@ -303,6 +469,17 @@ SimStats Simulator::run(MobilityManager& manager,
         pending = ph;
       }
     }
+
+    // ---- Degraded-mode tracking ----
+    const bool degraded = manager.degraded_mode();
+    if (degraded != degraded_prev) {
+      log_event(t, degraded ? EventKind::kDegradedEnter
+                            : EventKind::kDegradedExit,
+                serving, -1, sv.snr_db);
+      if (degraded) ++stats.degraded_enters;
+      degraded_prev = degraded;
+    }
+    if (degraded) stats.degraded_time_s += dt;
   }
 
   stats.sim_time_s = cfg_.duration_s;

@@ -2,12 +2,15 @@
 // deployment while a pluggable mobility manager (legacy 4G/5G or REM) runs
 // triggering, decision, and execution. The simulator owns the parts both
 // designs share — radio dynamics, signaling transport with HARQ/ARQ
-// attempts, radio-link-failure detection, re-establishment — and classifies
-// every failure into the Table 2 taxonomy.
+// attempts, radio-link-failure detection (N310/T310/N311 counters),
+// handover execution with a T304-style failure timer, re-establishment —
+// and classifies every failure into the Table 2 taxonomy. A seeded
+// FaultInjector can distort any of those paths (sim/fault_injector.hpp).
 #pragma once
 
 #include "phy/bler_model.hpp"
 #include "sim/events.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/radio_env.hpp"
 
 #include <deque>
@@ -26,8 +29,14 @@ struct Observation {
   std::size_t cell_idx = 0;
   mobility::CellId id;
   double rsrp_dbm = -160.0;   ///< instantaneous (fast-fading) RSRP
+  double snr_db = -40.0;      ///< SNR of that RSRP (direct measurement)
   double dd_snr_db = -40.0;   ///< stable delay-Doppler SNR
   double bandwidth_hz = 20e6; ///< cell bandwidth (capacity-based policies)
+  /// Age of the delay-Doppler estimate behind `dd_snr_db`. 0 while pilots
+  /// are fresh; grows during a pilot outage, when `dd_snr_db` is the last
+  /// good value plus corruption. Managers use it to detect staleness.
+  double estimate_age_s = 0.0;
+  bool pilot_faulted = false; ///< a pilot-outage fault is active this tick
 };
 
 struct ServingState {
@@ -63,6 +72,10 @@ class MobilityManager {
   virtual std::set<std::size_t> visible_cells() const = 0;
   /// Serving cell changed (handover completed or re-established).
   virtual void on_serving_changed(double t, std::size_t new_idx) = 0;
+  /// True while the manager has fallen back from its preferred input to a
+  /// degraded one (e.g. REM bypassing stale cross-band estimates). The
+  /// simulator samples this every tick to log degraded-mode enter/exit.
+  virtual bool degraded_mode() const { return false; }
 };
 
 enum class FailureCause {
@@ -72,25 +85,43 @@ enum class FailureCause {
   kCoverageHole,       ///< nothing to hand over to
 };
 
+/// Table 2 row label. Throws std::invalid_argument on a value outside the
+/// enum instead of returning a placeholder.
 std::string failure_cause_name(FailureCause c);
 
 struct SimConfig {
   double speed_kmh = 300.0;
   double duration_s = 2000.0;
   double tick_s = 0.010;
-  /// Radio link failure: serving SNR below `qout_snr_db` for `qout_s`.
+  /// Radio link failure detection, N310/T310/N311 style: `n310`
+  /// consecutive ticks with serving SNR below `qout_snr_db` start T310;
+  /// RLF is declared when T310 runs for `t310_s`, unless `n311`
+  /// consecutive in-sync ticks (SNR >= qout + `qin_margin_db`) cancel it.
+  /// Defaults reproduce the seed's single 0.5 s Qout timer at tick 10 ms.
   double qout_snr_db = -7.0;
-  double qout_s = 0.5;
+  int n310 = 5;
+  double t310_s = 0.45;
+  int n311 = 3;
+  double qin_margin_db = 1.0;
   /// Minimum mean RSRP for a cell to count as coverage.
   double min_coverage_rsrp_dbm = -120.0;
   /// Minimum SNR for a handover execution to succeed at the target.
   double min_connect_snr_db = -6.0;
   /// Re-establishment after RLF: search + connect time.
   double reestablish_s = 0.8;
+  /// Handover-execution failure (T304 analogue): when the target cannot
+  /// be connected at execution time, fall back to re-establishment on the
+  /// prepared target, which is faster than a full RLF search because the
+  /// target already holds the UE context.
+  double t304_reestablish_s = 0.3;
   /// Signaling transport: attempts (HARQ/ARQ) and per-attempt spacing.
   int uplink_attempts = 2;
   int downlink_attempts = 1;  // commands are time-critical (no ARQ window)
   double retry_spacing_s = 0.008;
+  /// Lost measurement reports are retransmitted with bounded exponential
+  /// backoff (base delay doubles per retry) before counting as lost.
+  int report_max_retries = 3;
+  double report_retry_backoff_s = 0.04;
   /// Base-station processing between feedback arrival and HO command.
   double decision_proc_s = 0.050;
   /// Execution interruption (detach + random access on target).
@@ -103,6 +134,8 @@ struct SimConfig {
   /// Record a per-event signaling log (SimStats::events) — the simulated
   /// analogue of the paper's MobileInsight captures.
   bool record_events = false;
+  /// Fault schedule (empty = no faults, zero overhead on the hot path).
+  FaultConfig faults;
 };
 
 struct SimStats {
@@ -123,6 +156,13 @@ struct SimStats {
   double avg_handover_interval_s = 0.0;
   std::vector<double> outage_durations_s;  ///< per RLF, until re-established
   std::vector<double> feedback_delays_s;
+  // --- Recovery-path accounting (fault injection / hardened FSM) ---
+  int report_retransmits = 0;     ///< lost reports re-sent with backoff
+  int t304_expiries = 0;          ///< handover executions that failed
+  int t304_fallback_success = 0;  ///< ...re-established on prepared target
+  int duplicate_commands = 0;     ///< stale duplicate commands executed
+  int degraded_enters = 0;        ///< manager degraded-mode transitions
+  double degraded_time_s = 0.0;   ///< total time in degraded mode
   /// Data-plane accounting (§8 "On data speed"): Shannon capacity of the
   /// serving link averaged over the whole run (zero while in outage) and
   /// the fraction of time without radio connectivity.
@@ -161,18 +201,28 @@ class Simulator {
     double report_due_s = 0.0;     ///< feedback arrives at the BS
     double command_due_s = 0.0;    ///< command reaches the UE (if set)
     bool report_delivered = false;
-    bool report_lost = false;
+    bool report_lost = false;      ///< retransmissions exhausted
     bool command_lost = false;
+    int report_retries = 0;
     double decided_at_s = 0.0;
   };
 
-  bool deliver(double snr_db, int attempts, phy::Waveform w);
+  /// Handover execution in flight: detach + random access on the target.
+  struct Execution {
+    std::size_t target_idx = 0;
+    std::size_t prepared_idx = 0;  ///< genuine prepared target (== target
+                                   ///  unless a stale duplicate executed)
+    double started_s = 0.0;
+  };
+
+  bool deliver(double t, double snr_db, int attempts, phy::Waveform w);
   phy::DopplerRegime regime() const;
 
   const RadioEnv& env_;
   SimConfig cfg_;
   const phy::BlerModel& bler_;
   common::Rng rng_;
+  FaultInjector faults_;
 };
 
 }  // namespace rem::sim

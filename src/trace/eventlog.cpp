@@ -18,8 +18,43 @@ const std::map<std::string, sim::EventKind>& kind_by_name() {
       {"handover_complete", sim::EventKind::kHandoverComplete},
       {"radio_link_failure", sim::EventKind::kRadioLinkFailure},
       {"reestablished", sim::EventKind::kReestablished},
+      {"fault_start", sim::EventKind::kFaultStart},
+      {"fault_end", sim::EventKind::kFaultEnd},
+      {"report_retransmit", sim::EventKind::kReportRetransmit},
+      {"t304_expiry", sim::EventKind::kT304Expiry},
+      {"ho_command_duplicate", sim::EventKind::kHoCommandDuplicate},
+      {"degraded_enter", sim::EventKind::kDegradedEnter},
+      {"degraded_exit", sim::EventKind::kDegradedExit},
   };
   return m;
+}
+
+/// Parse one numeric field, turning the bare std::sto* exceptions into an
+/// error that names the field and quotes the offending text.
+double parse_double(const std::string& field, const char* name) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(field, &used);
+    if (used != field.size())
+      throw std::runtime_error("trailing garbage");
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("bad ") + name + " '" + field +
+                             "'");
+  }
+}
+
+int parse_int(const std::string& field, const char* name) {
+  try {
+    std::size_t used = 0;
+    const int v = std::stoi(field, &used);
+    if (used != field.size())
+      throw std::runtime_error("trailing garbage");
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("bad ") + name + " '" + field +
+                             "'");
+  }
 }
 
 }  // namespace
@@ -51,23 +86,26 @@ sim::EventLog read_event_csv(std::istream& is) {
   while (std::getline(is, line)) {
     ++line_no;
     if (line.empty()) continue;
+    // Split first so a short/long row is rejected as a field-count error
+    // naming the line, not as a misleading conversion failure.
+    std::vector<std::string> fields;
     std::istringstream row(line);
     std::string field;
+    while (std::getline(row, field, ',')) fields.push_back(field);
     sim::SignalingEvent e;
     try {
-      std::getline(row, field, ',');
-      e.t_s = std::stod(field);
-      std::getline(row, field, ',');
-      const auto it = kind_by_name().find(field);
+      if (fields.size() != 5)
+        throw std::runtime_error("expected 5 fields, got " +
+                                 std::to_string(fields.size()) + " in '" +
+                                 line + "'");
+      e.t_s = parse_double(fields[0], "t_s");
+      const auto it = kind_by_name().find(fields[1]);
       if (it == kind_by_name().end())
-        throw std::runtime_error("unknown kind '" + field + "'");
+        throw std::runtime_error("unknown kind '" + fields[1] + "'");
       e.kind = it->second;
-      std::getline(row, field, ',');
-      e.serving_cell = std::stoi(field);
-      std::getline(row, field, ',');
-      e.target_cell = std::stoi(field);
-      std::getline(row, field, ',');
-      e.serving_snr_db = std::stod(field);
+      e.serving_cell = parse_int(fields[2], "serving_cell");
+      e.target_cell = parse_int(fields[3], "target_cell");
+      e.serving_snr_db = parse_double(fields[4], "serving_snr_db");
     } catch (const std::exception& ex) {
       throw std::runtime_error("event CSV line " +
                                std::to_string(line_no) + ": " + ex.what());
@@ -96,6 +134,13 @@ LogSummary summarize_event_log(const sim::EventLog& log) {
       case sim::EventKind::kRadioLinkFailure: ++s.failures; break;
       case sim::EventKind::kReportLost: ++s.report_losses; break;
       case sim::EventKind::kHoCommandLost: ++s.command_losses; break;
+      case sim::EventKind::kReportRetransmit: ++s.report_retransmits; break;
+      case sim::EventKind::kT304Expiry: ++s.t304_expiries; break;
+      case sim::EventKind::kHoCommandDuplicate:
+        ++s.duplicate_commands;
+        break;
+      case sim::EventKind::kFaultStart: ++s.fault_windows; break;
+      case sim::EventKind::kDegradedEnter: ++s.degraded_episodes; break;
       default: break;
     }
   }

@@ -27,6 +27,11 @@ struct LogSummary {
   std::size_t failures = 0;
   std::size_t report_losses = 0;
   std::size_t command_losses = 0;
+  std::size_t report_retransmits = 0;
+  std::size_t t304_expiries = 0;
+  std::size_t duplicate_commands = 0;
+  std::size_t fault_windows = 0;     ///< fault_start events
+  std::size_t degraded_episodes = 0; ///< degraded_enter events
   double mean_handover_interval_s = 0.0;
 };
 LogSummary summarize_event_log(const sim::EventLog& log);

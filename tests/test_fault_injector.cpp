@@ -1,0 +1,302 @@
+// FaultInjector determinism and the chaos harness's end-to-end guarantees:
+// identical (config, seed) pairs replay identical fault timelines and
+// produce bit-identical SimStats, serial or seed-parallel at any thread
+// count; every fault class has an observable effect on the right counter.
+#include "scenario_runner.hpp"
+#include "sim/fault_injector.hpp"
+#include "trace/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rs = rem::sim;
+
+namespace {
+
+bool same_windows(const std::vector<rs::FaultWindow>& a,
+                  const std::vector<rs::FaultWindow>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].kind != b[i].kind || a[i].start_s != b[i].start_s ||
+        a[i].duration_s != b[i].duration_s ||
+        a[i].magnitude != b[i].magnitude)
+      return false;
+  }
+  return true;
+}
+
+// Bit-identity over every SimStats field (doubles compared with == on
+// purpose: the determinism guarantee is exact replay, not tolerance).
+void expect_identical(const rs::SimStats& a, const rs::SimStats& b) {
+  EXPECT_EQ(a.sim_time_s, b.sim_time_s);
+  EXPECT_EQ(a.handovers, b.handovers);
+  EXPECT_EQ(a.successful_handovers, b.successful_handovers);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.failures_by_cause, b.failures_by_cause);
+  EXPECT_EQ(a.loop_handovers, b.loop_handovers);
+  EXPECT_EQ(a.loop_episodes, b.loop_episodes);
+  EXPECT_EQ(a.avg_handover_interval_s, b.avg_handover_interval_s);
+  EXPECT_EQ(a.outage_durations_s, b.outage_durations_s);
+  EXPECT_EQ(a.feedback_delays_s, b.feedback_delays_s);
+  EXPECT_EQ(a.report_retransmits, b.report_retransmits);
+  EXPECT_EQ(a.t304_expiries, b.t304_expiries);
+  EXPECT_EQ(a.t304_fallback_success, b.t304_fallback_success);
+  EXPECT_EQ(a.duplicate_commands, b.duplicate_commands);
+  EXPECT_EQ(a.degraded_enters, b.degraded_enters);
+  EXPECT_EQ(a.degraded_time_s, b.degraded_time_s);
+  EXPECT_EQ(a.mean_throughput_bps, b.mean_throughput_bps);
+  EXPECT_EQ(a.downtime_fraction, b.downtime_fraction);
+  EXPECT_EQ(a.pre_failure_snrs_db, b.pre_failure_snrs_db);
+}
+
+/// Periodic scripted windows of one kind over [first_s, horizon_s).
+rs::FaultConfig periodic(rs::FaultKind kind, double first_s, double period_s,
+                         double duration_s, double magnitude,
+                         double horizon_s) {
+  rs::FaultConfig cfg;
+  for (double t = first_s; t < horizon_s; t += period_s)
+    cfg.windows.push_back({kind, t, duration_s, magnitude});
+  return cfg;
+}
+
+}  // namespace
+
+TEST(FaultKindName, NamesAllKindsAndRejectsInvalid) {
+  EXPECT_EQ(rs::fault_kind_name(rs::FaultKind::kSignalingLoss),
+            "signaling_burst_loss");
+  EXPECT_EQ(rs::fault_kind_name(rs::FaultKind::kPilotOutage),
+            "pilot_outage");
+  EXPECT_EQ(rs::fault_kind_name(rs::FaultKind::kProcessingStall),
+            "processing_stall");
+  EXPECT_EQ(rs::fault_kind_name(rs::FaultKind::kCoverageBlackout),
+            "coverage_blackout");
+  EXPECT_EQ(rs::fault_kind_name(rs::FaultKind::kCommandDuplication),
+            "command_duplication");
+  EXPECT_THROW(rs::fault_kind_name(static_cast<rs::FaultKind>(99)),
+               std::invalid_argument);
+}
+
+TEST(FaultInjector, DefaultInjectorIsInert) {
+  rs::FaultInjector fi;
+  EXPECT_FALSE(fi.any());
+  EXPECT_FALSE(fi.active(rs::FaultKind::kSignalingLoss, 10.0));
+  EXPECT_EQ(fi.magnitude(rs::FaultKind::kCoverageBlackout, 10.0), 0.0);
+}
+
+TEST(FaultInjector, ScriptedWindowsOverlapTakesMax) {
+  rs::FaultConfig cfg;
+  cfg.windows = {
+      {rs::FaultKind::kSignalingLoss, 10.0, 5.0, 0.5},
+      {rs::FaultKind::kSignalingLoss, 12.0, 8.0, 0.9},
+      {rs::FaultKind::kCoverageBlackout, 30.0, 4.0, 60.0},
+  };
+  rs::FaultInjector fi(cfg, 100.0, rem::common::Rng(1));
+  ASSERT_TRUE(fi.any());
+  EXPECT_EQ(fi.magnitude(rs::FaultKind::kSignalingLoss, 11.0), 0.5);
+  // Overlap does not stack; the worst window wins.
+  EXPECT_EQ(fi.magnitude(rs::FaultKind::kSignalingLoss, 13.0), 0.9);
+  EXPECT_EQ(fi.magnitude(rs::FaultKind::kSignalingLoss, 17.0), 0.9);
+  EXPECT_EQ(fi.magnitude(rs::FaultKind::kSignalingLoss, 25.0), 0.0);
+  // Kinds do not bleed into each other.
+  EXPECT_TRUE(fi.active(rs::FaultKind::kCoverageBlackout, 31.0));
+  EXPECT_FALSE(fi.active(rs::FaultKind::kSignalingLoss, 31.0));
+  // Window end is exclusive, start inclusive.
+  EXPECT_TRUE(fi.active(rs::FaultKind::kCoverageBlackout, 30.0));
+  EXPECT_FALSE(fi.active(rs::FaultKind::kCoverageBlackout, 34.0));
+}
+
+TEST(FaultInjector, RandomScheduleIsDeterministicPerSeed) {
+  rs::FaultConfig cfg;
+  cfg.random = {{rs::FaultKind::kPilotOutage, 30.0, 2.0, 6.0, 1.0, 4.0},
+                {rs::FaultKind::kSignalingLoss, 50.0, 1.0, 3.0, 0.5, 1.0}};
+  const double horizon = 2000.0;
+  rs::FaultInjector a(cfg, horizon, rem::common::Rng(42));
+  rs::FaultInjector b(cfg, horizon, rem::common::Rng(42));
+  rs::FaultInjector c(cfg, horizon, rem::common::Rng(43));
+  EXPECT_TRUE(same_windows(a.windows(), b.windows()));
+  EXPECT_FALSE(same_windows(a.windows(), c.windows()));
+
+  ASSERT_FALSE(a.windows().empty());
+  double prev_start = -1.0;
+  for (const auto& w : a.windows()) {
+    EXPECT_GE(w.start_s, 0.0);
+    EXPECT_LT(w.start_s, horizon);
+    EXPECT_GE(w.start_s, prev_start);  // sorted by start
+    prev_start = w.start_s;
+    if (w.kind == rs::FaultKind::kPilotOutage) {
+      EXPECT_GE(w.duration_s, 2.0);
+      EXPECT_LE(w.duration_s, 6.0);
+      EXPECT_GE(w.magnitude, 1.0);
+      EXPECT_LE(w.magnitude, 4.0);
+    }
+  }
+}
+
+TEST(FaultInjector, RejectsInvalidRandomSpecs) {
+  const auto build = [](rs::RandomFaultSpec spec) {
+    rs::FaultConfig cfg;
+    cfg.random = {spec};
+    rs::FaultInjector fi(cfg, 100.0, rem::common::Rng(1));
+  };
+  rs::RandomFaultSpec bad_gap;
+  bad_gap.mean_gap_s = 0.0;
+  EXPECT_THROW(build(bad_gap), std::invalid_argument);
+  rs::RandomFaultSpec bad_dur;
+  bad_dur.duration_lo_s = 5.0;
+  bad_dur.duration_hi_s = 1.0;
+  EXPECT_THROW(build(bad_dur), std::invalid_argument);
+  rs::RandomFaultSpec bad_mag;
+  bad_mag.magnitude_lo = 2.0;
+  bad_mag.magnitude_hi = 1.0;
+  EXPECT_THROW(build(bad_mag), std::invalid_argument);
+}
+
+// ---------- End-to-end determinism under faults ----------
+
+namespace {
+
+rs::FaultConfig mixed_fault_config(double horizon_s) {
+  rs::FaultConfig cfg = periodic(rs::FaultKind::kSignalingLoss, 15.0, 60.0,
+                                 5.0, 1.0, horizon_s);
+  const auto pilot = periodic(rs::FaultKind::kPilotOutage, 35.0, 60.0, 8.0,
+                              4.0, horizon_s);
+  const auto black = periodic(rs::FaultKind::kCoverageBlackout, 55.0, 60.0,
+                              4.0, 60.0, horizon_s);
+  cfg.windows.insert(cfg.windows.end(), pilot.windows.begin(),
+                     pilot.windows.end());
+  cfg.windows.insert(cfg.windows.end(), black.windows.begin(),
+                     black.windows.end());
+  cfg.random = {{rs::FaultKind::kCommandDuplication, 40.0, 5.0, 20.0, 1.0,
+                 1.0}};
+  return cfg;
+}
+
+}  // namespace
+
+TEST(ChaosDeterminism, SameSeedSameFaultsBitIdenticalStats) {
+  const auto route = rem::trace::Route::kBeijingShanghai;
+  const auto faults = mixed_fault_config(150.0);
+  rem::phy::LogisticBlerModel bler;
+  const auto a =
+      rem::bench::run_seed(route, 300.0, 150.0, 7, true, bler, faults);
+  const auto b =
+      rem::bench::run_seed(route, 300.0, 150.0, 7, true, bler, faults);
+  expect_identical(a.legacy, b.legacy);
+  expect_identical(a.rem, b.rem);
+}
+
+TEST(ChaosDeterminism, ParallelMatchesSerialAcrossThreadCounts) {
+  const std::vector<std::uint64_t> seeds = {4, 1, 9};
+  const auto route = rem::trace::Route::kBeijingShanghai;
+  const auto faults = mixed_fault_config(120.0);
+  const auto serial =
+      rem::bench::run_route(route, 300.0, 120.0, seeds, true, faults);
+  for (const std::size_t threads : {1UL, 2UL, 8UL}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const auto par = rem::bench::run_route_parallel(route, 300.0, 120.0,
+                                                    seeds, true, threads,
+                                                    faults);
+    EXPECT_EQ(serial.legacy.handovers, par.legacy.handovers);
+    EXPECT_EQ(serial.legacy.failures, par.legacy.failures);
+    EXPECT_EQ(serial.legacy.by_cause, par.legacy.by_cause);
+    EXPECT_EQ(serial.legacy.report_retransmits, par.legacy.report_retransmits);
+    EXPECT_EQ(serial.legacy.duplicate_commands, par.legacy.duplicate_commands);
+    EXPECT_EQ(serial.legacy.outage_durations_s, par.legacy.outage_durations_s);
+    EXPECT_EQ(serial.rem.handovers, par.rem.handovers);
+    EXPECT_EQ(serial.rem.failures, par.rem.failures);
+    EXPECT_EQ(serial.rem.degraded_enters, par.rem.degraded_enters);
+    EXPECT_EQ(serial.rem.degraded_time_s, par.rem.degraded_time_s);
+    EXPECT_EQ(serial.rem.outage_durations_s, par.rem.outage_durations_s);
+  }
+}
+
+// ---------- Each fault class moves its counter ----------
+
+namespace {
+
+rem::bench::SeedRunResult run_with(const rs::FaultConfig& faults,
+                                   double duration_s = 80.0) {
+  rem::phy::LogisticBlerModel bler;
+  return rem::bench::run_seed(rem::trace::Route::kBeijingShanghai, 300.0,
+                              duration_s, 1, true, bler, faults);
+}
+
+}  // namespace
+
+TEST(ChaosEffects, BurstLossTriggersReportRetransmissions) {
+  const auto r = run_with(
+      periodic(rs::FaultKind::kSignalingLoss, 15.0, 60.0, 5.0, 1.0, 80.0));
+  EXPECT_GT(r.legacy.report_retransmits + r.rem.report_retransmits, 0);
+}
+
+TEST(ChaosEffects, PilotOutageDrivesRemIntoDegradedMode) {
+  const auto r = run_with(
+      periodic(rs::FaultKind::kPilotOutage, 15.0, 60.0, 8.0, 4.0, 80.0));
+  EXPECT_GT(r.rem.degraded_enters, 0);
+  EXPECT_GT(r.rem.degraded_time_s, 0.0);
+  // Legacy has no cross-band estimator to degrade.
+  EXPECT_EQ(r.legacy.degraded_enters, 0);
+}
+
+TEST(ChaosEffects, BlackoutCausesCoverageHoleFailures) {
+  const auto r = run_with(
+      periodic(rs::FaultKind::kCoverageBlackout, 15.0, 60.0, 4.0, 60.0,
+               80.0));
+  EXPECT_GT(r.legacy.failures + r.rem.failures, 0);
+  EXPECT_FALSE(r.legacy.outage_durations_s.empty() &&
+               r.rem.outage_durations_s.empty());
+  const auto holes = [](const rs::SimStats& s) {
+    const auto it = s.failures_by_cause.find(rs::FailureCause::kCoverageHole);
+    return it != s.failures_by_cause.end() ? it->second : 0;
+  };
+  EXPECT_GT(holes(r.legacy) + holes(r.rem), 0);
+}
+
+TEST(ChaosEffects, DuplicationProducesDuplicateCommands) {
+  const auto r = run_with(periodic(rs::FaultKind::kCommandDuplication, 10.0,
+                                   60.0, 25.0, 1.0, 80.0));
+  EXPECT_GT(r.legacy.duplicate_commands + r.rem.duplicate_commands, 0);
+}
+
+TEST(ChaosEffects, FaultAndDegradedTransitionsAppearInEventLog) {
+  // Mirror run_seed but with event recording on: the log must show the
+  // pilot-outage window opening/closing and REM entering/leaving degraded
+  // mode inside it.
+  auto sc = rem::trace::make_scenario(rem::trace::Route::kBeijingShanghai,
+                                      300.0, 80.0);
+  // Windows at 15 s and 45 s, both closing well before the 80 s run ends
+  // so every fault_start has a matching fault_end in the log.
+  sc.sim.faults =
+      periodic(rs::FaultKind::kPilotOutage, 15.0, 30.0, 8.0, 4.0, 60.0);
+  sc.sim.record_events = true;
+  rem::common::Rng rng(1);
+  auto cells = rs::make_rail_deployment(sc.deployment, rng);
+  auto holes = rs::make_hole_segments(sc.deployment, rng);
+  rs::RadioEnv env(cells, sc.propagation, rng.fork(), holes);
+
+  rem::core::RemManager remm(rem::core::RemConfig{}, rng.fork());
+  rem::phy::LogisticBlerModel bler;
+  rs::Simulator sim(env, sc.sim, bler, rng.fork());
+  const auto stats = sim.run(remm);
+
+  int fault_starts = 0, fault_ends = 0, enters = 0, exits = 0;
+  for (const auto& e : stats.events) {
+    switch (e.kind) {
+      case rs::EventKind::kFaultStart:
+        ++fault_starts;
+        EXPECT_EQ(e.target_cell,
+                  static_cast<int>(rs::FaultKind::kPilotOutage));
+        break;
+      case rs::EventKind::kFaultEnd: ++fault_ends; break;
+      case rs::EventKind::kDegradedEnter: ++enters; break;
+      case rs::EventKind::kDegradedExit: ++exits; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(fault_starts, 2);
+  EXPECT_EQ(fault_ends, 2);
+  EXPECT_GT(enters, 0);
+  EXPECT_GT(exits, 0);
+  EXPECT_EQ(stats.degraded_enters, enters);
+}

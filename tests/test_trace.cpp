@@ -100,6 +100,32 @@ TEST(EventLog, CsvRoundTrip) {
   }
 }
 
+TEST(EventLog, CsvRoundTripCoversFaultAndRecoveryKinds) {
+  const rs::EventLog log = {
+      {5.0, rs::EventKind::kFaultStart, 2, 1, 4.0},
+      {5.2, rs::EventKind::kReportRetransmit, 2, 3, -3.0},
+      {5.5, rs::EventKind::kHoCommandDuplicate, 2, 1, -4.0},
+      {6.0, rs::EventKind::kT304Expiry, 2, 3, -9.0},
+      {6.4, rs::EventKind::kDegradedEnter, 2, -1, -5.0},
+      {7.9, rs::EventKind::kDegradedExit, 2, -1, 2.0},
+      {13.0, rs::EventKind::kFaultEnd, 2, 1, 0.0},
+  };
+  std::stringstream ss;
+  rt::write_event_csv(log, ss);
+  const auto back = rt::read_event_csv(ss);
+  ASSERT_EQ(back.size(), log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(back[i].kind, log[i].kind);
+    EXPECT_EQ(back[i].target_cell, log[i].target_cell);
+  }
+  const auto s = rt::summarize_event_log(log);
+  EXPECT_EQ(s.fault_windows, 1u);
+  EXPECT_EQ(s.report_retransmits, 1u);
+  EXPECT_EQ(s.duplicate_commands, 1u);
+  EXPECT_EQ(s.t304_expiries, 1u);
+  EXPECT_EQ(s.degraded_episodes, 1u);
+}
+
 TEST(EventLog, RejectsMalformedInput) {
   std::stringstream no_header("1.0,handover_complete,1,2,3\n");
   EXPECT_THROW(rt::read_event_csv(no_header), std::runtime_error);
@@ -109,6 +135,45 @@ TEST(EventLog, RejectsMalformedInput) {
   std::stringstream bad_num("t_s,kind,serving_cell,target_cell,"
                             "serving_snr_db\nxyz,handover_complete,1,2,3\n");
   EXPECT_THROW(rt::read_event_csv(bad_num), std::runtime_error);
+}
+
+TEST(EventLog, RejectionNamesLineAndContext) {
+  // A short row is a field-count error naming the line number, not a
+  // misleading conversion failure.
+  std::stringstream short_row("t_s,kind,serving_cell,target_cell,"
+                              "serving_snr_db\n1.0,handover_complete,1,2,3\n"
+                              "2.0,report_lost,4\n");
+  try {
+    rt::read_event_csv(short_row);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("expected 5 fields, got 3"), std::string::npos)
+        << msg;
+  }
+  // A bad numeric field names the field and quotes the offending text.
+  std::stringstream bad_cell("t_s,kind,serving_cell,target_cell,"
+                             "serving_snr_db\n1.0,report_lost,4x,2,3\n");
+  try {
+    rt::read_event_csv(bad_cell);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("serving_cell"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'4x'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  }
+  // An unknown kind is quoted too.
+  std::stringstream bad_kind("t_s,kind,serving_cell,target_cell,"
+                             "serving_snr_db\n1.0,warp_drive,1,2,3\n");
+  try {
+    rt::read_event_csv(bad_kind);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("'warp_drive'"),
+              std::string::npos);
+  }
 }
 
 TEST(EventLog, Summary) {
