@@ -15,11 +15,14 @@
 #include "core/rem_manager.hpp"
 #include "mobility/conflict.hpp"
 #include "phy/bler_model.hpp"
+#include "testkit/invariants.hpp"
+#include "testkit/seeds.hpp"
 #include "trace/scenario.hpp"
 
 #include <cstdlib>
 #include <functional>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -113,18 +116,33 @@ struct SeedRunResult {
   int total_conflicts = 0;
 };
 
+/// Per-seed run knobs beyond the scenario itself.
+struct SeedRunOptions {
+  sim::FaultConfig faults;    ///< applied to both managers' simulations
+  bool record_events = false; ///< keep the full SimStats::events log
+  /// Attach a rem::testkit::InvariantChecker to every simulation and
+  /// throw std::logic_error (with the checker's report) on any violation.
+  /// Defaults ON so all benches and tests run machine-checked; the
+  /// REM_CHECK_INVARIANTS=0 environment variable is a global kill switch.
+  bool check_invariants = true;
+};
+
 /// Simulate a single seed (legacy manager, and REM when `run_rem`).
 /// Thread-safe: all state derives from the seed; `bler` is read-only.
-/// `faults` (optional) is applied to both managers' simulations; the
-/// schedule itself is seeded from the per-seed Rng, so runs stay
-/// bit-identical for the same (seed, faults) pair.
+/// `opts.faults` is applied to both managers' simulations; the schedule
+/// itself is seeded from the per-seed Rng, so runs stay bit-identical for
+/// the same (seed, faults) pair. The invariant checker (opts) observes
+/// each run without drawing randomness, so attaching it never changes
+/// results.
 inline SeedRunResult run_seed(trace::Route route, double speed_kmh,
                               double duration_s, std::uint64_t seed,
                               bool run_rem, const phy::BlerModel& bler,
-                              const sim::FaultConfig& faults = {}) {
+                              const SeedRunOptions& opts) {
   SeedRunResult out;
   auto sc = trace::make_scenario(route, speed_kmh, duration_s);
-  sc.sim.faults = faults;
+  sc.sim.faults = opts.faults;
+  sc.sim.record_events = sc.sim.record_events || opts.record_events;
+  const bool check = opts.check_invariants && testkit::invariants_enabled();
   common::Rng rng(seed);
   auto cells = sim::make_rail_deployment(sc.deployment, rng);
   auto holes = sim::make_hole_segments(sc.deployment, rng);
@@ -152,22 +170,65 @@ inline SeedRunResult run_seed(trace::Route route, double speed_kmh,
     return pairs.count({a, b}) > 0;
   };
 
+  // Invariant checking: one checker per simulation, configured from the
+  // same scenario. A violation is a simulator bug, not a statistical
+  // outcome, so it aborts the run loudly instead of skewing aggregates.
+  // The checker attaches via SimConfig::observer and draws no randomness,
+  // and the RNG fork order below is identical with and without it, so the
+  // checked and unchecked paths produce bit-identical statistics.
+  const auto run_checked = [&](sim::MobilityManager& m, common::Rng run_rng,
+                               const std::function<bool(int, int)>& pf,
+                               testkit::CheckerConfig ccfg) {
+    if (!check) {
+      sim::Simulator s(env, sc.sim, bler, std::move(run_rng));
+      return s.run(m, pf);
+    }
+    testkit::InvariantChecker checker(std::move(ccfg));
+    sim::SimConfig observed = sc.sim;
+    observed.observer = &checker;
+    sim::Simulator s(env, observed, bler, std::move(run_rng));
+    auto stats = s.run(m, pf);
+    if (checker.violation_count() > 0)
+      throw std::logic_error(
+          "invariant violations in " + m.name() + " run (route " +
+          trace::route_name(route) + ", " + std::to_string(speed_kmh) +
+          " km/h, seed " + std::to_string(seed) + "):\n" + checker.report());
+    return stats;
+  };
+  testkit::CheckerConfig base;
+  base.sim = sc.sim;
+  base.num_cells = cells.size();
+  base.faults_expected = !opts.faults.empty();
+
   core::LegacyConfig lc;
   lc.policies = policies;
   lc.measurement.intra_ttt_s = sc.policy_mix.intra_ttt_s;
   lc.measurement.inter_ttt_s = sc.policy_mix.inter_ttt_s;
   core::LegacyManager legacy(lc);
-  sim::Simulator s1(env, sc.sim, bler, rng.fork());
-  out.legacy = s1.run(legacy, pair_fn);
+  testkit::CheckerConfig legacy_cfg = base;
+  legacy_cfg.expect_no_degraded = true;  // legacy has no fallback mode
+  out.legacy = run_checked(legacy, rng.fork(), pair_fn, legacy_cfg);
 
   if (run_rem) {
     core::RemManager remm(core::RemConfig{}, rng.fork());
-    sim::Simulator s2(env, sc.sim, bler, rng.fork());
+    testkit::CheckerConfig rem_cfg = base;
+    rem_cfg.staleness_bound_s = core::RemConfig{}.estimate_staleness_s;
     // REM's coordinated policy is conflict-free by Theorem 2.
-    out.rem = s2.run(remm, [](int, int) { return false; });
+    out.rem = run_checked(remm, rng.fork(), [](int, int) { return false; },
+                          rem_cfg);
     out.has_rem = true;
   }
   return out;
+}
+
+/// Back-compat overload: bare fault schedule, events off, checker on.
+inline SeedRunResult run_seed(trace::Route route, double speed_kmh,
+                              double duration_s, std::uint64_t seed,
+                              bool run_rem, const phy::BlerModel& bler,
+                              const sim::FaultConfig& faults = {}) {
+  SeedRunOptions opts;
+  opts.faults = faults;
+  return run_seed(route, speed_kmh, duration_s, seed, run_rem, bler, opts);
 }
 
 /// Fold per-seed results in the order given. Seed order — not completion

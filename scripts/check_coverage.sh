@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Build with REM_COVERAGE=ON, run the tier-1 suite, and print per-directory
+# line coverage for src/.
+#
+#   scripts/check_coverage.sh           # tier-1 tests only (fast)
+#   scripts/check_coverage.sh -L ""     # everything ctest knows about
+#
+# Extra arguments are forwarded to ctest. Uses gcovr when available, else
+# lcov, else falls back to summarizing raw gcov output. The instrumented
+# tree lands in build-coverage/ so it never pollutes the default build/.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build="build-coverage"
+ctest_args=("$@")
+if [ ${#ctest_args[@]} -eq 0 ]; then
+  ctest_args=(-L tier1)
+fi
+
+cmake -B "${build}" -S . -DREM_COVERAGE=ON >/dev/null
+cmake --build "${build}" -j"$(nproc)"
+# Stale counters from earlier runs would skew the report.
+find "${build}" -name '*.gcda' -delete
+ctest --test-dir "${build}" --output-on-failure -j"$(nproc)" \
+      "${ctest_args[@]}"
+
+echo
+echo "== line coverage by directory (src/) =="
+if command -v gcovr >/dev/null 2>&1; then
+  gcovr --root . --filter 'src/' --object-directory "${build}" \
+        --sort-key uncovered-percent --print-summary
+elif command -v lcov >/dev/null 2>&1; then
+  lcov --quiet --capture --directory "${build}" \
+       --output-file "${build}/coverage.info"
+  lcov --quiet --extract "${build}/coverage.info" "$(pwd)/src/*" \
+       --output-file "${build}/coverage-src.info"
+  lcov --list "${build}/coverage-src.info"
+else
+  # Raw-gcov fallback: aggregate "Lines executed" per source directory.
+  find "${build}" -name '*.gcda' | while read -r gcda; do
+    gcov -p -o "$(dirname "${gcda}")" "${gcda}" >/dev/null 2>&1 || true
+  done
+  # gcov -p writes mangled names like '#root#repo#src#sim#simulator.cpp.gcov'
+  # into the current directory; fold them into per-directory totals.
+  awk_report() {
+    python3 - "$@" <<'EOF'
+import re, sys, collections, glob, os
+per_dir = collections.defaultdict(lambda: [0, 0])
+for path in glob.glob("*.gcov"):
+    m = re.search(r"src[#/]([a-z_]+)[#/][^#/]+\.gcov$", path)
+    if not m:
+        continue
+    covered = total = 0
+    with open(path, errors="replace") as f:
+        for line in f:
+            parts = line.split(":", 2)
+            if len(parts) < 3:
+                continue
+            count = parts[0].strip()
+            if count == "-":
+                continue
+            total += 1
+            if count not in ("#####", "====="):
+                covered += 1
+    per_dir["src/" + m.group(1)][0] += covered
+    per_dir["src/" + m.group(1)][1] += total
+for d in sorted(per_dir):
+    c, t = per_dir[d]
+    pct = 100.0 * c / t if t else 0.0
+    print(f"{d:24s} {c:6d}/{t:<6d} {pct:6.1f}%")
+for path in glob.glob("*.gcov"):
+    os.remove(path)
+EOF
+  }
+  awk_report
+fi

@@ -65,7 +65,17 @@ void parallel_for(std::size_t n, std::size_t num_threads,
                   const std::function<void(std::size_t)>& fn) {
   if (num_threads == 0) num_threads = ThreadPool::default_threads();
   if (n <= 1 || num_threads <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    // Same contract as the pooled path: every index runs, then the first
+    // failure is rethrown.
+    std::exception_ptr serial_error;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!serial_error) serial_error = std::current_exception();
+      }
+    }
+    if (serial_error) std::rethrow_exception(serial_error);
     return;
   }
   std::atomic<std::size_t> next{0};

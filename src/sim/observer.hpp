@@ -1,0 +1,57 @@
+// Observation hook for the network simulator: a SimObserver attached via
+// SimConfig::observer receives the full signaling event stream (whether or
+// not SimConfig::record_events is set), one TickView snapshot per simulated
+// tick, and a final mutable look at the SimStats before run() returns.
+//
+// The hook exists so correctness tooling (rem::testkit::InvariantChecker)
+// can machine-check cross-cutting invariants over *every* run without the
+// simulator depending on the testkit layer. Observers must not mutate
+// simulation state and must not draw randomness; the simulator guarantees
+// the hook itself performs no RNG draws, so attaching an observer never
+// changes a run's results.
+#pragma once
+
+#include "sim/events.hpp"
+
+namespace rem::sim {
+
+struct SimStats;
+
+/// Per-tick snapshot of the simulator's recovery/handover state machines,
+/// emitted at the *end* of each tick (after all transitions for that tick
+/// have been applied and their events delivered).
+struct TickView {
+  double t_s = 0.0;
+  int serving = -1;              ///< serving cell index (stale in outage)
+  /// Instantaneous serving-link SNR this tick; NaN on outage ticks, where
+  /// no radio state is sampled.
+  double serving_snr_db = 0.0;
+  bool in_outage = false;        ///< between an RLF/T304 failure and camp
+  bool executing = false;        ///< handover execution (T304 window) open
+  bool t310_running = false;     ///< RLF timer armed
+  int oos_count = 0;             ///< consecutive out-of-sync ticks (N310)
+  int is_count = 0;              ///< consecutive in-sync ticks (N311)
+  bool report_pending = false;   ///< measurement report still in flight
+  bool command_pending = false;  ///< HO command still in flight
+  bool pilot_fault = false;      ///< pilot-outage fault active this tick
+  bool blackout = false;         ///< coverage-blackout fault active
+  /// Age of the delay-Doppler estimates the manager sees this tick (the
+  /// same value the Observation rows carry): 0 while pilots are fresh.
+  double estimate_age_s = 0.0;
+  bool degraded = false;         ///< manager degraded mode as last sampled
+};
+
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+  /// Every signaling event, in emission order, independent of
+  /// SimConfig::record_events.
+  virtual void on_event(const SignalingEvent& /*event*/) {}
+  /// Exactly one call per simulated tick, after the tick's transitions.
+  virtual void on_tick(const TickView& /*view*/) {}
+  /// Called once at the end of run() with the final statistics; observers
+  /// may write back summary fields (e.g. SimStats::invariant_violations).
+  virtual void on_run_end(SimStats& /*stats*/) {}
+};
+
+}  // namespace rem::sim

@@ -10,6 +10,20 @@
 #include <stdexcept>
 
 namespace rem::sim {
+namespace {
+
+/// Fires the per-tick observer snapshot when the enclosing loop iteration
+/// ends, whichever `continue` path it takes, so an attached observer sees
+/// exactly one TickView per simulated tick.
+struct TickEmit {
+  const std::function<void(double)>* emit;
+  double t;
+  ~TickEmit() {
+    if (emit) (*emit)(t);
+  }
+};
+
+}  // namespace
 
 std::string event_kind_name(EventKind k) {
   switch (k) {
@@ -124,8 +138,34 @@ SimStats Simulator::run(MobilityManager& manager,
 
   const auto log_event = [&](double t, EventKind kind, int srv, int tgt,
                              double snr) {
-    if (!cfg_.record_events) return;
-    stats.events.push_back({t, kind, srv, tgt, snr});
+    if (!cfg_.record_events && !cfg_.observer) return;
+    const SignalingEvent e{t, kind, srv, tgt, snr};
+    if (cfg_.observer) cfg_.observer->on_event(e);
+    if (cfg_.record_events) stats.events.push_back(e);
+  };
+
+  // End-of-tick observer snapshot (fired by TickEmit below). Reads only —
+  // no RNG draws — so attaching an observer never changes a run's results.
+  double cur_snr = std::numeric_limits<double>::quiet_NaN();
+  const std::function<void(double)> emit_tick = [&](double t_now) {
+    TickView v;
+    v.t_s = t_now;
+    v.serving = serving;
+    v.serving_snr_db = cur_snr;
+    v.in_outage = outage_started >= 0.0;
+    v.executing = exec.has_value();
+    v.t310_running = t310_started >= 0.0;
+    v.oos_count = oos_count;
+    v.is_count = is_count;
+    v.report_pending =
+        pending && !pending->report_delivered && !pending->report_lost;
+    v.command_pending =
+        pending && pending->report_delivered && !pending->command_lost;
+    v.pilot_fault = faults_.active(FaultKind::kPilotOutage, t_now);
+    v.blackout = faults_.active(FaultKind::kCoverageBlackout, t_now);
+    v.estimate_age_s = v.pilot_fault ? t_now - pilot_fresh_t : 0.0;
+    v.degraded = degraded_prev;
+    cfg_.observer->on_tick(v);
   };
 
   const auto record_failure = [&](double t, FailureCause cause) {
@@ -160,9 +200,11 @@ SimStats Simulator::run(MobilityManager& manager,
   for (double t = 0.0; t < cfg_.duration_s; t += dt) {
     pos = speed * t;
     ++ticks;
+    cur_snr = std::numeric_limits<double>::quiet_NaN();
+    TickEmit tick_emit{cfg_.observer ? &emit_tick : nullptr, t};
 
-    // ---- Fault-window transitions (event log only) ----
-    if (cfg_.record_events && faults_.any()) {
+    // ---- Fault-window transitions (event log / observer only) ----
+    if ((cfg_.record_events || cfg_.observer) && faults_.any()) {
       for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
         const auto kind = static_cast<FaultKind>(k);
         const bool act = faults_.active(kind, t);
@@ -223,6 +265,7 @@ SimStats Simulator::run(MobilityManager& manager,
     sv.dd_snr_db = env_.dd_snr_db(sv.cell_idx, pos, rng_) - blackout_db;
     sv.snr_db = env_.snr_db_from_rsrp(sv.rsrp_dbm);
     sv.bandwidth_hz = env_.cells()[sv.cell_idx].bandwidth_hz;
+    cur_snr = sv.snr_db;
     if (pilot_out) {
       // Pilots are gone: the delay-Doppler estimate freezes at its last
       // fresh value and accumulates corruption.
@@ -494,6 +537,7 @@ SimStats Simulator::run(MobilityManager& manager,
         (ho_times.back() - ho_times.front()) /
         static_cast<double>(ho_times.size() - 1);
   }
+  if (cfg_.observer) cfg_.observer->on_run_end(stats);
   return stats;
 }
 

@@ -11,6 +11,7 @@
 #include "phy/bler_model.hpp"
 #include "sim/events.hpp"
 #include "sim/fault_injector.hpp"
+#include "sim/observer.hpp"
 #include "sim/radio_env.hpp"
 
 #include <deque>
@@ -134,6 +135,10 @@ struct SimConfig {
   /// Record a per-event signaling log (SimStats::events) — the simulated
   /// analogue of the paper's MobileInsight captures.
   bool record_events = false;
+  /// Optional non-owning observation hook (sim/observer.hpp): receives the
+  /// event stream, per-tick state snapshots, and the final stats. Used by
+  /// rem::testkit::InvariantChecker; never changes simulation results.
+  SimObserver* observer = nullptr;
   /// Fault schedule (empty = no faults, zero overhead on the hot path).
   FaultConfig faults;
 };
@@ -171,6 +176,10 @@ struct SimStats {
   /// Serving-link SNR samples from the 5 s windows preceding each failure
   /// (decimated) — the Fig. 2b signaling-loss analysis window.
   std::vector<double> pre_failure_snrs_db;
+  /// Cross-cutting invariant violations found by an attached
+  /// rem::testkit::InvariantChecker (written in its on_run_end); 0 when no
+  /// checker was attached or the run was clean.
+  int invariant_violations = 0;
   /// Per-event signaling log (only when SimConfig::record_events).
   EventLog events;
 

@@ -1,0 +1,299 @@
+#include "testkit/golden.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+namespace rem::testkit {
+namespace {
+
+std::string fmt_int(long long v) { return std::to_string(v); }
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string fmt_hex(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void append_stats_fields(const std::string& prefix, const sim::SimStats& s,
+                         TraceDigest& d) {
+  auto put = [&](const std::string& k, std::string v) {
+    d.fields.emplace_back(prefix + k, std::move(v));
+  };
+  put("handovers", fmt_int(s.handovers));
+  put("successful_handovers", fmt_int(s.successful_handovers));
+  put("failures", fmt_int(s.failures));
+  const auto cause = [&](sim::FailureCause c) {
+    const auto it = s.failures_by_cause.find(c);
+    return fmt_int(it != s.failures_by_cause.end() ? it->second : 0);
+  };
+  put("failures.feedback", cause(sim::FailureCause::kFeedbackDelayLoss));
+  put("failures.missed_cell", cause(sim::FailureCause::kMissedCell));
+  put("failures.cmd_loss", cause(sim::FailureCause::kHoCommandLoss));
+  put("failures.hole", cause(sim::FailureCause::kCoverageHole));
+  put("loop_handovers", fmt_int(s.loop_handovers));
+  put("loop_episodes", fmt_int(s.loop_episodes));
+  put("intra_freq_loop_episodes", fmt_int(s.intra_freq_loop_episodes));
+  put("conflict_loop_episodes", fmt_int(s.conflict_loop_episodes));
+  put("conflict_loop_handovers", fmt_int(s.conflict_loop_handovers));
+  put("t304_expiries", fmt_int(s.t304_expiries));
+  put("t304_fallback_success", fmt_int(s.t304_fallback_success));
+  put("report_retransmits", fmt_int(s.report_retransmits));
+  put("duplicate_commands", fmt_int(s.duplicate_commands));
+  put("degraded_enters", fmt_int(s.degraded_enters));
+  put("degraded_time_s", fmt_double(s.degraded_time_s));
+  put("avg_handover_interval_s", fmt_double(s.avg_handover_interval_s));
+  put("mean_throughput_bps", fmt_double(s.mean_throughput_bps));
+  put("downtime_fraction", fmt_double(s.downtime_fraction));
+  put("invariant_violations", fmt_int(s.invariant_violations));
+  put("outage_count", fmt_int(static_cast<long long>(
+                          s.outage_durations_s.size())));
+  double outage_sum = 0.0;
+  for (double v : s.outage_durations_s) outage_sum += v;
+  put("outage_sum_s", fmt_double(outage_sum));
+  put("feedback_count", fmt_int(static_cast<long long>(
+                            s.feedback_delays_s.size())));
+  double fb_sum = 0.0;
+  for (double v : s.feedback_delays_s) fb_sum += v;
+  put("feedback_sum_s", fmt_double(fb_sum));
+  put("pre_failure_snr_count",
+      fmt_int(static_cast<long long>(s.pre_failure_snrs_db.size())));
+  put("event_count", fmt_int(static_cast<long long>(s.events.size())));
+  put("event_hash", fmt_hex(hash_event_log(s.events)));
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<GoldenCase> golden_corpus() {
+  using trace::Route;
+  return {
+      {"la_30_s9_none", Route::kLowMobilityLA, 30.0, 120.0, 9, "none"},
+      {"la_60_s1_none", Route::kLowMobilityLA, 60.0, 120.0, 1, "none"},
+      {"la_60_s2_mixed", Route::kLowMobilityLA, 60.0, 120.0, 2, "mixed"},
+      {"bt_220_s10_mixed", Route::kBeijingTaiyuan, 220.0, 120.0, 10,
+       "mixed"},
+      {"bt_250_s3_none", Route::kBeijingTaiyuan, 250.0, 120.0, 3, "none"},
+      {"bt_250_s4_mixed", Route::kBeijingTaiyuan, 250.0, 120.0, 4, "mixed"},
+      {"bs_300_s5_none", Route::kBeijingShanghai, 300.0, 120.0, 5, "none"},
+      {"bs_300_s6_mixed", Route::kBeijingShanghai, 300.0, 120.0, 6, "mixed"},
+      {"bs_330_s7_none", Route::kBeijingShanghai, 330.0, 120.0, 7, "none"},
+      {"bs_330_s8_mixed", Route::kBeijingShanghai, 330.0, 120.0, 8, "mixed"},
+  };
+}
+
+sim::FaultConfig golden_fault_preset(const std::string& name,
+                                     double horizon_s) {
+  if (name == "none") return {};
+  if (name == "mixed") {
+    // One scripted window of every fault kind, spread across the horizon
+    // (fractions of the horizon so shorter runs still see every kind),
+    // plus a seeded random duplication spec exercising the generated path.
+    sim::FaultConfig fc;
+    fc.windows = {
+        {sim::FaultKind::kSignalingLoss, 0.10 * horizon_s, 2.0, 0.6},
+        {sim::FaultKind::kSignalingLoss, 0.55 * horizon_s, 2.0, 0.8},
+        {sim::FaultKind::kPilotOutage, 0.25 * horizon_s, 3.0, 4.0},
+        {sim::FaultKind::kProcessingStall, 0.40 * horizon_s, 2.0, 0.35},
+        {sim::FaultKind::kCoverageBlackout, 0.70 * horizon_s, 1.5, 25.0},
+    };
+    sim::RandomFaultSpec dup;
+    dup.kind = sim::FaultKind::kCommandDuplication;
+    dup.mean_gap_s = 0.4 * horizon_s;
+    dup.duration_lo_s = 1.0;
+    dup.duration_hi_s = 3.0;
+    dup.magnitude_lo = 0.3;
+    dup.magnitude_hi = 0.7;
+    fc.random = {dup};
+    return fc;
+  }
+  throw std::invalid_argument("golden_fault_preset: unknown preset '" +
+                              name + "'");
+}
+
+std::uint64_t hash_event_log(const sim::EventLog& log) {
+  // FNV-1a, 64-bit. Mix every field of every event through the raw bytes
+  // of its in-memory value; doubles hash their bit pattern.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 1099511628211ull;
+    }
+  };
+  const auto mix_double = [&](double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(&bits, sizeof(bits));
+  };
+  const auto mix_int = [&](int v) {
+    const std::int64_t w = v;
+    mix(&w, sizeof(w));
+  };
+  for (const auto& e : log) {
+    mix_double(e.t_s);
+    mix_int(static_cast<int>(e.kind));
+    mix_int(e.serving_cell);
+    mix_int(e.target_cell);
+    mix_double(e.serving_snr_db);
+  }
+  return h;
+}
+
+TraceDigest make_digest(const GoldenCase& c, const sim::SimStats& legacy,
+                        const sim::SimStats& rem) {
+  TraceDigest d;
+  d.case_name = c.name;
+  d.fields.emplace_back("route", trace::route_name(c.route));
+  d.fields.emplace_back("speed_kmh", fmt_double(c.speed_kmh));
+  d.fields.emplace_back("duration_s", fmt_double(c.duration_s));
+  d.fields.emplace_back("seed", fmt_int(static_cast<long long>(c.seed)));
+  d.fields.emplace_back("faults", c.fault_preset);
+  append_stats_fields("legacy.", legacy, d);
+  append_stats_fields("rem.", rem, d);
+  return d;
+}
+
+void write_digest_json(const TraceDigest& d, std::ostream& os) {
+  os << "{\n";
+  os << "  \"case\": \"" << json_escape(d.case_name) << "\"";
+  for (const auto& [k, v] : d.fields)
+    os << ",\n  \"" << json_escape(k) << "\": \"" << json_escape(v) << "\"";
+  os << "\n}\n";
+}
+
+void write_digest_json_file(const TraceDigest& d, const std::string& path) {
+  std::ofstream os(path);
+  if (!os)
+    throw std::runtime_error("write_digest_json_file: cannot open " + path);
+  write_digest_json(d, os);
+  if (!os)
+    throw std::runtime_error("write_digest_json_file: write failed for " +
+                             path);
+}
+
+TraceDigest read_digest_json(std::istream& is) {
+  // Minimal parser for exactly the flat shape write_digest_json emits:
+  // one `"key": "value"` pair per line inside a single object. Anything
+  // else is rejected with the offending line number and content.
+  TraceDigest d;
+  std::string line;
+  int line_no = 0;
+  bool in_object = false, closed = false, have_case = false;
+  const auto fail = [&](const std::string& why) {
+    throw std::runtime_error("digest JSON line " + std::to_string(line_no) +
+                             ": " + why + " in '" + line + "'");
+  };
+  const auto unquote = [&](std::string_view sv) {
+    if (sv.size() < 2 || sv.front() != '"' || sv.back() != '"')
+      fail("expected a double-quoted string");
+    std::string out;
+    for (std::size_t i = 1; i + 1 < sv.size(); ++i) {
+      if (sv[i] == '\\') {
+        if (i + 2 >= sv.size()) fail("dangling escape");
+        out.push_back(sv[++i]);
+      } else {
+        out.push_back(sv[i]);
+      }
+    }
+    return out;
+  };
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::string_view sv(line);
+    while (!sv.empty() && (sv.front() == ' ' || sv.front() == '\t'))
+      sv.remove_prefix(1);
+    while (!sv.empty() && (sv.back() == ' ' || sv.back() == '\t' ||
+                           sv.back() == '\r'))
+      sv.remove_suffix(1);
+    if (sv.empty()) continue;
+    if (sv == "{") {
+      if (in_object || closed) fail("unexpected '{'");
+      in_object = true;
+      continue;
+    }
+    if (sv == "}") {
+      if (!in_object || closed) fail("unexpected '}'");
+      closed = true;
+      in_object = false;
+      continue;
+    }
+    if (!in_object) fail("content outside the digest object");
+    if (sv.back() == ',') sv.remove_suffix(1);
+    const std::size_t colon = sv.find("\": \"");
+    if (colon == std::string_view::npos)
+      fail("expected a '\"key\": \"value\"' pair");
+    const std::string key = unquote(sv.substr(0, colon + 1));
+    const std::string value = unquote(sv.substr(colon + 3));
+    if (key == "case") {
+      if (have_case) fail("duplicate 'case' key");
+      d.case_name = value;
+      have_case = true;
+    } else {
+      d.fields.emplace_back(key, value);
+    }
+  }
+  if (!closed)
+    throw std::runtime_error("digest JSON: unterminated object (no '}')");
+  if (!have_case)
+    throw std::runtime_error("digest JSON: missing the 'case' key");
+  return d;
+}
+
+TraceDigest read_digest_json_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is)
+    throw std::runtime_error("read_digest_json_file: cannot open " + path);
+  try {
+    return read_digest_json(is);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+std::vector<std::string> diff_digests(const TraceDigest& expected,
+                                      const TraceDigest& actual) {
+  std::vector<std::string> out;
+  if (expected.case_name != actual.case_name)
+    out.push_back("case: expected '" + expected.case_name + "', got '" +
+                  actual.case_name + "'");
+  std::map<std::string, std::string> exp, act;
+  for (const auto& [k, v] : expected.fields) exp[k] = v;
+  for (const auto& [k, v] : actual.fields) act[k] = v;
+  for (const auto& [k, v] : exp) {
+    const auto it = act.find(k);
+    if (it == act.end())
+      out.push_back(k + ": missing from the new run (expected '" + v + "')");
+    else if (it->second != v)
+      out.push_back(k + ": expected '" + v + "', got '" + it->second + "'");
+  }
+  for (const auto& [k, v] : act)
+    if (exp.find(k) == exp.end())
+      out.push_back(k + ": new field not in the golden digest (value '" + v +
+                    "')");
+  return out;
+}
+
+}  // namespace rem::testkit

@@ -1,0 +1,79 @@
+// Golden-trace regression corpus: canonical (scenario, seed, fault
+// schedule) triples, exact digests of what the simulator produced for
+// them, and a flat-JSON codec so the digests can live in version control.
+//
+// A digest captures every scalar of both managers' SimStats plus an exact
+// hash of the full signaling event log, so any behavioral drift — a
+// reordered RNG draw, a changed timer path, a different failure
+// classification — shows up as a named field diff rather than a silently
+// shifted benchmark number. `scripts/update_goldens.sh` regenerates the
+// corpus when a change is intentional.
+#pragma once
+
+#include "sim/simulator.hpp"
+#include "trace/scenario.hpp"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rem::testkit {
+
+/// One canonical corpus entry. `fault_preset` names a schedule from
+/// golden_fault_preset(); the digest file is `<name>.json`.
+struct GoldenCase {
+  std::string name;
+  trace::Route route = trace::Route::kLowMobilityLA;
+  double speed_kmh = 60.0;
+  double duration_s = 120.0;
+  std::uint64_t seed = 1;
+  std::string fault_preset = "none";
+};
+
+/// The committed corpus: all three routes across the four speed buckets
+/// (low-mobility LA, 220-250, 300, 330 km/h), fault-free and mixed-fault
+/// schedules, distinct seeds.
+std::vector<GoldenCase> golden_corpus();
+
+/// Named fault schedules shared by the generator and the replay test.
+/// "none" is empty; "mixed" scripts one window of every fault kind inside
+/// [0, horizon_s) plus a seeded random duplication spec. Throws
+/// std::invalid_argument for unknown names.
+sim::FaultConfig golden_fault_preset(const std::string& name,
+                                     double horizon_s);
+
+/// Order-sensitive FNV-1a hash over the raw bits of every event field.
+/// Hashing bits (not formatted text) keeps the digest independent of
+/// float-printing choices while still catching any numeric drift.
+std::uint64_t hash_event_log(const sim::EventLog& log);
+
+/// Exact, diffable snapshot of one golden run: ordered (field, value)
+/// pairs. Values are pre-formatted strings — integers in decimal, doubles
+/// as %.17g (lossless round-trip), hashes in hex — so comparison is exact
+/// string equality with no reparsing tolerance.
+struct TraceDigest {
+  std::string case_name;
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+/// Build the digest for a golden case from both managers' stats (event
+/// logs must have been recorded: SimConfig::record_events on).
+TraceDigest make_digest(const GoldenCase& c, const sim::SimStats& legacy,
+                        const sim::SimStats& rem);
+
+/// Flat-JSON codec for digests (one string value per field, sorted as
+/// produced). The reader rejects malformed input with line/context
+/// detail, mirroring the trace CSV parser's error discipline.
+void write_digest_json(const TraceDigest& d, std::ostream& os);
+TraceDigest read_digest_json(std::istream& is);
+TraceDigest read_digest_json_file(const std::string& path);
+void write_digest_json_file(const TraceDigest& d, const std::string& path);
+
+/// Per-field comparison: one human-readable line per missing, extra, or
+/// differing field. Empty result means the digests match exactly.
+std::vector<std::string> diff_digests(const TraceDigest& expected,
+                                      const TraceDigest& actual);
+
+}  // namespace rem::testkit

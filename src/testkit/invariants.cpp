@@ -1,0 +1,445 @@
+#include "testkit/invariants.hpp"
+
+#include "sim/tcp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace rem::testkit {
+namespace {
+
+/// Slack for timer-duration comparisons: `t` accumulates via repeated
+/// `t += dt`, so durations carry a few ULP of drift per thousand ticks.
+constexpr double kTimeEps = 1e-6;
+
+}  // namespace
+
+InvariantChecker::InvariantChecker(CheckerConfig cfg) : cfg_(std::move(cfg)) {}
+
+void InvariantChecker::violate(double t, const std::string& what) {
+  ++violation_count_;
+  if (violations_.size() >= cfg_.max_recorded) return;
+  std::ostringstream os;
+  os << "[t=" << std::fixed << std::setprecision(3) << t << "s] " << what
+     << " | state: exec=" << exec_open_ << " outage=" << outage_open_
+     << " cmds=" << commands_delivered_ << " complete=" << completions_
+     << " t304=" << t304_expiries_ << " rlf=" << rlf_events_
+     << " reest=" << reestablished_ << " loops=" << loop_handovers_ << "/"
+     << loop_episodes_;
+  violations_.push_back(os.str());
+}
+
+std::string InvariantChecker::report() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < violations_.size(); ++i) {
+    if (i > 0) os << '\n';
+    os << violations_[i];
+  }
+  if (violation_count_ > static_cast<int>(violations_.size()))
+    os << "\n... and "
+       << violation_count_ - static_cast<int>(violations_.size())
+       << " more violation(s)";
+  return violation_count_ > 0 ? os.str() : std::string();
+}
+
+void InvariantChecker::on_event(const sim::SignalingEvent& e) {
+  check_event(e);
+}
+
+void InvariantChecker::on_tick(const sim::TickView& v) {
+  check_tick(v);
+}
+
+void InvariantChecker::check_event(const sim::SignalingEvent& e) {
+  using sim::EventKind;
+  const double t = e.t_s;
+
+  // Timestamps never go backwards within the event stream, and no event
+  // may carry a timestamp at or before the last completed tick.
+  if (saw_event_ && t < last_event_t_ - kTimeEps)
+    violate(t, "event timestamp went backwards (prev " +
+                   std::to_string(last_event_t_) + "s, kind " +
+                   sim::event_kind_name(e.kind) + ")");
+  if (have_prev_tick_ && t <= prev_.t_s - kTimeEps)
+    violate(t, "event timestamp predates the last completed tick (" +
+                   std::to_string(prev_.t_s) + "s)");
+  saw_event_ = true;
+  last_event_t_ = t;
+
+  // Cell-index ranges. Fault-window events reuse target_cell as the
+  // FaultKind, everything else indexes the deployment (or -1 = n/a).
+  const bool fault_event =
+      e.kind == EventKind::kFaultStart || e.kind == EventKind::kFaultEnd;
+  if (cfg_.num_cells > 0) {
+    if (e.serving_cell < 0 ||
+        e.serving_cell >= static_cast<int>(cfg_.num_cells))
+      violate(t, "serving_cell " + std::to_string(e.serving_cell) +
+                     " out of range in " + sim::event_kind_name(e.kind));
+    if (!fault_event &&
+        (e.target_cell < -1 ||
+         e.target_cell >= static_cast<int>(cfg_.num_cells)))
+      violate(t, "target_cell " + std::to_string(e.target_cell) +
+                     " out of range in " + sim::event_kind_name(e.kind));
+  }
+  if (fault_event && (e.target_cell < 0 ||
+                      e.target_cell >= static_cast<int>(sim::kNumFaultKinds)))
+    violate(t, "fault event carries invalid FaultKind " +
+                   std::to_string(e.target_cell));
+
+  switch (e.kind) {
+    case EventKind::kMeasurementTriggered:
+    case EventKind::kReportDelivered:
+    case EventKind::kReportLost:
+    case EventKind::kHoCommandLost:
+      // Signaling only flows on a live, non-executing link.
+      if (outage_open_)
+        violate(t, sim::event_kind_name(e.kind) + " during outage");
+      if (exec_open_)
+        violate(t, sim::event_kind_name(e.kind) + " during execution");
+      break;
+
+    case EventKind::kReportRetransmit:
+      if (outage_open_ || exec_open_)
+        violate(t, "report retransmit outside a live idle link");
+      ++report_retransmits_;
+      break;
+
+    case EventKind::kHoCommandDuplicate:
+      if (outage_open_ || exec_open_)
+        violate(t, "duplicate command outside a live idle link");
+      ++duplicate_commands_;
+      break;
+
+    case EventKind::kHoCommandDelivered:
+      if (outage_open_) violate(t, "handover command delivered during outage");
+      if (exec_open_)
+        violate(t, "handover command delivered with an execution already "
+                   "in flight (overlapping T304 windows)");
+      exec_open_ = true;
+      ++commands_delivered_;
+      break;
+
+    case EventKind::kHandoverComplete: {
+      if (!exec_open_)
+        violate(t, "handover completion without a delivered command");
+      if (outage_open_) violate(t, "handover completion during outage");
+      exec_open_ = false;
+      ++completions_;
+      // Loop bookkeeping mirror — byte-for-byte the simulator's logic:
+      // loop test against the recent-serving window *before* pushing the
+      // new serving cell, trim only here (not on re-establishment).
+      bool is_loop = false;
+      for (const auto& [ts, idx] : recent_serving_) {
+        if (t - ts <= cfg_.sim.loop_window_s && idx == e.target_cell) {
+          is_loop = true;
+          break;
+        }
+      }
+      recent_serving_.push_back({t, e.target_cell});
+      while (!recent_serving_.empty() &&
+             t - recent_serving_.front().first > cfg_.sim.loop_window_s)
+        recent_serving_.erase(recent_serving_.begin());
+      if (is_loop) {
+        ++loop_handovers_;
+        if (!current_loop_episode_) {
+          ++loop_episodes_;
+          current_loop_episode_ = true;
+          episode_run_length_ = 1;
+        } else if (++episode_run_length_ == 2) {
+          // Second consecutive loop handover: the ping-pong persisted.
+          ++persistent_episodes_;
+        }
+      } else {
+        current_loop_episode_ = false;
+        episode_run_length_ = 0;
+      }
+      break;
+    }
+
+    case EventKind::kT304Expiry:
+      if (!exec_open_)
+        violate(t, "T304 expiry without a handover execution in flight");
+      if (outage_open_) violate(t, "T304 expiry during outage");
+      exec_open_ = false;
+      outage_open_ = true;
+      outage_opened_t_ = t;
+      // Fallback re-establishes on the prepared target, which is faster
+      // than the full RLF search (weakest valid lower bound either way).
+      outage_min_reestablish_s_ = cfg_.sim.t304_reestablish_s;
+      ++t304_expiries_;
+      break;
+
+    case EventKind::kRadioLinkFailure:
+      if (exec_open_)
+        violate(t, "RLF declared during handover execution (T304, not "
+                   "T310, owns this window)");
+      if (outage_open_) violate(t, "RLF declared while already in outage");
+      // T310 must have been armed (N310 reached) and run its full budget.
+      if (cfg_.sim.t310_s > 0.0) {
+        if (t310_armed_t_ < 0.0 || (have_prev_tick_ && !prev_.t310_running))
+          violate(t, "RLF without a running T310 timer");
+        else if (t - t310_armed_t_ < cfg_.sim.t310_s - kTimeEps)
+          violate(t, "RLF after only " + std::to_string(t - t310_armed_t_) +
+                         "s of T310 (budget " +
+                         std::to_string(cfg_.sim.t310_s) + "s)");
+      }
+      outage_open_ = true;
+      outage_opened_t_ = t;
+      outage_min_reestablish_s_ = cfg_.sim.reestablish_s;
+      ++rlf_events_;
+      break;
+
+    case EventKind::kReestablished:
+      if (!outage_open_)
+        violate(t, "re-establishment without a preceding failure");
+      else if (t - outage_opened_t_ < outage_min_reestablish_s_ - kTimeEps)
+        violate(t, "re-established after " +
+                       std::to_string(t - outage_opened_t_) +
+                       "s, below the " +
+                       std::to_string(outage_min_reestablish_s_) +
+                       "s search-time floor");
+      outage_open_ = false;
+      ++reestablished_;
+      reestablished_this_tick_ = true;
+      // camp_on() records the new serving cell for loop detection but does
+      // not trim the window; mirror exactly.
+      recent_serving_.push_back({t, e.serving_cell});
+      break;
+
+    case EventKind::kFaultStart:
+      ++fault_starts_;
+      if (!cfg_.faults_expected)
+        violate(t, "fault window opened on a fault-free run");
+      break;
+    case EventKind::kFaultEnd:
+      ++fault_ends_;
+      if (!cfg_.faults_expected)
+        violate(t, "fault window closed on a fault-free run");
+      break;
+
+    case EventKind::kDegradedEnter:
+      ++degraded_enters_;
+      if (cfg_.expect_no_degraded)
+        violate(t, "degraded-mode entry from a manager with no fallback");
+      if (!cfg_.faults_expected)
+        violate(t, "degraded-mode entry on a fault-free run (estimates "
+                   "can only go stale under a pilot outage)");
+      if (degraded_enters_ != degraded_exits_ + 1)
+        violate(t, "degraded enter without matching exit (enters=" +
+                       std::to_string(degraded_enters_) + " exits=" +
+                       std::to_string(degraded_exits_) + ")");
+      if (cfg_.staleness_bound_s >= 0.0) pending_degraded_enter_check_ = true;
+      break;
+    case EventKind::kDegradedExit:
+      ++degraded_exits_;
+      if (degraded_exits_ != degraded_enters_)
+        violate(t, "degraded exit without matching enter (enters=" +
+                       std::to_string(degraded_enters_) + " exits=" +
+                       std::to_string(degraded_exits_) + ")");
+      break;
+  }
+
+  if (events_this_tick_ == 0) {
+    events_tick_min_t_ = events_tick_max_t_ = t;
+  } else {
+    events_tick_min_t_ = std::min(events_tick_min_t_, t);
+    events_tick_max_t_ = std::max(events_tick_max_t_, t);
+  }
+  ++events_this_tick_;
+}
+
+void InvariantChecker::check_tick(const sim::TickView& v) {
+  const double t = v.t_s;
+
+  if (have_prev_tick_ && t <= prev_.t_s)
+    violate(t, "tick timestamp not strictly increasing (prev " +
+                   std::to_string(prev_.t_s) + "s)");
+  // Every event since the last tick belongs to *this* tick's timestamp.
+  if (events_this_tick_ > 0 &&
+      (events_tick_min_t_ < t - kTimeEps ||
+       events_tick_max_t_ > t + kTimeEps))
+    violate(t, "events emitted between ticks carry a different timestamp "
+               "(range " + std::to_string(events_tick_min_t_) + ".." +
+               std::to_string(events_tick_max_t_) + "s)");
+
+  if (cfg_.num_cells > 0 &&
+      (v.serving < 0 || v.serving >= static_cast<int>(cfg_.num_cells)))
+    violate(t, "serving cell " + std::to_string(v.serving) + " out of range");
+
+  // Counter ranges: N310 freezes at the arming threshold, N311 resets the
+  // moment it disarms T310.
+  if (v.oos_count < 0 || v.oos_count > cfg_.sim.n310)
+    violate(t, "out-of-sync count " + std::to_string(v.oos_count) +
+                   " outside [0, N310=" + std::to_string(cfg_.sim.n310) + "]");
+  if (v.is_count < 0 || v.is_count >= std::max(cfg_.sim.n311, 1))
+    violate(t, "in-sync count " + std::to_string(v.is_count) +
+                   " outside [0, N311=" + std::to_string(cfg_.sim.n311) + ")");
+  if (v.is_count > 0 && !v.t310_running)
+    violate(t, "in-sync counting (N311) without T310 running");
+
+  // Timer/FSM legality: at most one of {outage, execution} holds, T310
+  // runs only on a live idle link, and nothing is pending while the link
+  // is down or an execution is in flight.
+  if (v.t310_running && (v.in_outage || v.executing))
+    violate(t, "T310 running outside a live idle link");
+  if (v.executing && v.in_outage)
+    violate(t, "handover execution while in outage");
+  if (v.executing && (v.report_pending || v.command_pending))
+    violate(t, "signaling pending during handover execution");
+  if (v.in_outage && (v.report_pending || v.command_pending))
+    violate(t, "signaling pending during outage");
+  if (v.in_outage && (v.oos_count != 0 || v.is_count != 0))
+    violate(t, "sync counters not cleared in outage");
+  if (v.report_pending && v.command_pending)
+    violate(t, "report and command simultaneously in flight for one "
+               "handover attempt");
+  if (v.executing != exec_open_)
+    violate(t, "tick execution state disagrees with the event stream");
+  if (v.in_outage != outage_open_)
+    violate(t, "tick outage state disagrees with the event stream");
+
+  // Cross-band staleness: ages only accumulate under a pilot fault.
+  if (v.estimate_age_s < 0.0)
+    violate(t, "negative estimate age " + std::to_string(v.estimate_age_s));
+  if (!v.pilot_fault && v.estimate_age_s != 0.0)
+    violate(t, "stale estimate age " + std::to_string(v.estimate_age_s) +
+                   "s with fresh pilots");
+  if (!cfg_.faults_expected && (v.pilot_fault || v.blackout))
+    violate(t, "fault flag raised on a fault-free run");
+  if (pending_degraded_enter_check_) {
+    // The manager entered degraded mode this tick: the estimates it saw
+    // must actually have been past the staleness bound.
+    if (v.estimate_age_s <= cfg_.staleness_bound_s - kTimeEps)
+      violate(t, "degraded-mode entry with estimate age " +
+                     std::to_string(v.estimate_age_s) + "s within the " +
+                     std::to_string(cfg_.staleness_bound_s) + "s bound");
+    pending_degraded_enter_check_ = false;
+  }
+
+  // NaN serving SNR is legal only when no radio state was sampled this
+  // tick: still in outage, or the tick that re-established.
+  if (std::isnan(v.serving_snr_db) && !v.in_outage && !reestablished_this_tick_)
+    violate(t, "no serving SNR sampled on a connected tick");
+
+  // T310 arming edge: requires N310 consecutive out-of-sync ticks.
+  if (v.t310_running) {
+    if (!have_prev_tick_ || !prev_.t310_running) {
+      if (v.oos_count < cfg_.sim.n310)
+        violate(t, "T310 armed after only " + std::to_string(v.oos_count) +
+                       " out-of-sync ticks (N310=" +
+                       std::to_string(cfg_.sim.n310) + ")");
+      t310_armed_t_ = t;
+    }
+  } else {
+    t310_armed_t_ = -1.0;
+  }
+
+  saw_tick_ = true;
+  have_prev_tick_ = true;
+  prev_ = v;
+  events_this_tick_ = 0;
+  reestablished_this_tick_ = false;
+}
+
+void InvariantChecker::on_run_end(sim::SimStats& stats) {
+  const double t_end = cfg_.sim.duration_s;
+  const auto expect_eq = [&](long long got, long long want,
+                             const std::string& what) {
+    if (got != want)
+      violate(t_end, what + ": got " + std::to_string(got) + ", expected " +
+                         std::to_string(want));
+  };
+
+  // --- Handover conservation ---
+  // Every attempt the stats report was a delivered command the checker
+  // saw, and every delivered command closed as exactly one completion or
+  // T304 expiry (or is still in flight at the horizon).
+  expect_eq(stats.handovers, commands_delivered_,
+            "SimStats::handovers vs delivered commands");
+  expect_eq(stats.successful_handovers, completions_,
+            "SimStats::successful_handovers vs completions");
+  expect_eq(stats.t304_expiries, t304_expiries_,
+            "SimStats::t304_expiries vs T304 events");
+  expect_eq(stats.failures, rlf_events_ + t304_expiries_,
+            "SimStats::failures vs RLF + T304 events");
+  expect_eq(commands_delivered_,
+            completions_ + t304_expiries_ + (exec_open_ ? 1 : 0),
+            "command conservation (attempts = successes + expiries + "
+            "in-flight)");
+  expect_eq(reestablished_, rlf_events_ + t304_expiries_ -
+                                (outage_open_ ? 1 : 0),
+            "re-establishment conservation (failures = recoveries + open "
+            "outage)");
+  expect_eq(static_cast<long long>(stats.outage_durations_s.size()),
+            reestablished_, "outage duration samples vs re-establishments");
+  expect_eq(stats.report_retransmits, report_retransmits_,
+            "SimStats::report_retransmits vs retransmit events");
+  expect_eq(stats.duplicate_commands, duplicate_commands_,
+            "SimStats::duplicate_commands vs duplicate events");
+  expect_eq(stats.degraded_enters, degraded_enters_,
+            "SimStats::degraded_enters vs enter events");
+  if (degraded_enters_ - degraded_exits_ != 0 &&
+      degraded_enters_ - degraded_exits_ != 1)
+    violate(t_end, "unbalanced degraded enter/exit events (enters=" +
+                       std::to_string(degraded_enters_) + " exits=" +
+                       std::to_string(degraded_exits_) + ")");
+  if (fault_starts_ < fault_ends_)
+    violate(t_end, "more fault-window closes than opens");
+
+  // --- Loop accounting, recomputed independently from the event stream ---
+  expect_eq(stats.loop_handovers, loop_handovers_,
+            "SimStats::loop_handovers vs event-stream recount");
+  expect_eq(stats.loop_episodes, loop_episodes_,
+            "SimStats::loop_episodes vs event-stream recount");
+  if (cfg_.expect_loop_free && persistent_episodes_ > 0)
+    violate(t_end, "Theorem-2 violation: " +
+                       std::to_string(persistent_episodes_) +
+                       " persistent ping-pong episode(s) under a repaired "
+                       "pure-A3 policy");
+
+  // --- Stats sanity ---
+  if (stats.failure_ratio() < 0.0 || stats.failure_ratio() > 1.0)
+    violate(t_end,
+            "failure ratio " + std::to_string(stats.failure_ratio()) +
+                " outside [0, 1]");
+  for (double d : stats.outage_durations_s)
+    if (!(d > 0.0) || d > cfg_.sim.duration_s + kTimeEps)
+      violate(t_end, "outage duration " + std::to_string(d) +
+                         "s outside (0, horizon]");
+  for (double d : stats.feedback_delays_s)
+    if (!(d >= 0.0) || d > cfg_.sim.duration_s + kTimeEps)
+      violate(t_end, "feedback delay " + std::to_string(d) +
+                         "s outside [0, horizon]");
+  if (stats.degraded_time_s < 0.0 ||
+      stats.degraded_time_s > cfg_.sim.duration_s + kTimeEps)
+    violate(t_end, "degraded time " + std::to_string(stats.degraded_time_s) +
+                       "s outside [0, horizon]");
+  if (stats.downtime_fraction < 0.0 || stats.downtime_fraction > 1.0)
+    violate(t_end, "downtime fraction outside [0, 1]");
+  if (!cfg_.faults_expected &&
+      (fault_starts_ > 0 || degraded_enters_ > 0 ||
+       stats.degraded_time_s > 0.0))
+    violate(t_end, "fault/degraded activity recorded on a fault-free run");
+
+  // --- TCP sequence/ack sanity over every recovered outage ---
+  // Whatever phase of the RTO cycle the outage lands in, the stall covers
+  // the outage and exceeds it by at most one maximal residual backoff.
+  const sim::TcpConfig tcp;
+  for (double outage : stats.outage_durations_s) {
+    for (double phase : {0.0, 0.37, 0.93}) {
+      const double stall = sim::tcp_stall_for_outage(outage, tcp, phase);
+      if (stall < outage - kTimeEps ||
+          stall > outage + tcp.max_rto_s + tcp.rtt_s + tcp.base_rto_s +
+                      kTimeEps)
+        violate(t_end, "TCP stall " + std::to_string(stall) +
+                           "s out of bounds for a " + std::to_string(outage) +
+                           "s outage at phase " + std::to_string(phase));
+    }
+  }
+
+  stats.invariant_violations = violation_count_;
+}
+
+}  // namespace rem::testkit

@@ -1,0 +1,138 @@
+// Runtime invariant checker for the network simulator.
+//
+// The paper's core claims are invariants, not point estimates: repaired
+// pure-A3 policies are loop-free (Theorems 2/3), the delay-Doppler overlay
+// never loses or double-delivers signaling it claims to carry (§5.1), and
+// stale cross-band estimates must trip the degraded-mode fallback (§5.2).
+// InvariantChecker subscribes to the simulator's observation hook
+// (sim/observer.hpp) and machine-checks those properties over *every* run:
+//
+//  - event timestamps are monotonic and cell indices stay in range;
+//  - handover conservation: every delivered command opens exactly one
+//    execution that closes as exactly one completion or T304 expiry, and
+//    at end of run attempts = successes + expiries + (<=1 in flight);
+//  - timer-FSM legality: T310 arms only after N310 consecutive
+//    out-of-sync ticks, never runs during execution or outage, and an RLF
+//    only fires after T310 ran its full budget; re-establishment respects
+//    the T304/RLF search times; no signaling is pending while idle in
+//    outage or during execution;
+//  - loop accounting: the checker independently recomputes loop handovers
+//    and episodes from the event stream and cross-validates SimStats;
+//    optionally (repaired pure-A3 REM policies on fault-free runs) it
+//    asserts realized loop-freedom — no *persistent* loop episodes;
+//  - degraded-mode legality: entering degraded mode requires estimates
+//    staler than the configured bound at that tick; fault-free runs must
+//    never see fault windows or degraded transitions;
+//  - TCP sanity: every recorded outage maps to a TCP stall bounded by
+//    outage <= stall <= outage + max RTO + RTT + base RTO.
+//
+// Violations accumulate with rich context (timestamp + state) and are
+// surfaced both through violations()/report() and as the structured
+// SimStats::invariant_violations counter written in on_run_end().
+#pragma once
+
+#include "sim/observer.hpp"
+#include "sim/simulator.hpp"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rem::testkit {
+
+struct CheckerConfig {
+  /// Thresholds mirrored from the run's SimConfig (n310/t310_s/n311,
+  /// reestablishment times, loop window, duration).
+  sim::SimConfig sim;
+  /// Number of cells in the deployment; 0 skips index-range checks.
+  std::size_t num_cells = 0;
+  /// When >= 0, degraded-mode entries must coincide with estimate age
+  /// above this bound (RemConfig::estimate_staleness_s). Negative skips.
+  double staleness_bound_s = -1.0;
+  /// Manager has no degraded fallback (legacy): any degraded transition
+  /// is a violation.
+  bool expect_no_degraded = false;
+  /// A fault schedule is active: fault windows and degraded transitions
+  /// are legal. When false, any of those events is a violation.
+  bool faults_expected = false;
+  /// Repaired pure-A3 policy on a fault-free run (REM): persistent loop
+  /// episodes (two or more consecutive loop handovers) violate the
+  /// realized Theorem-2/3 guarantee.
+  bool expect_loop_free = false;
+  /// Cap on recorded violation messages (the counter keeps counting).
+  std::size_t max_recorded = 32;
+};
+
+class InvariantChecker final : public sim::SimObserver {
+ public:
+  explicit InvariantChecker(CheckerConfig cfg);
+
+  void on_event(const sim::SignalingEvent& e) override;
+  void on_tick(const sim::TickView& v) override;
+  void on_run_end(sim::SimStats& stats) override;
+
+  /// Total violations found so far (may exceed violations().size()).
+  int violation_count() const { return violation_count_; }
+  /// Recorded violation messages, each with timestamp + state context.
+  const std::vector<std::string>& violations() const { return violations_; }
+  /// All recorded violations joined into one newline-separated report;
+  /// empty string when the run was clean.
+  std::string report() const;
+
+  /// Loop accounting recomputed from the event stream (cross-validated
+  /// against SimStats in on_run_end).
+  int observed_loop_handovers() const { return loop_handovers_; }
+  int observed_loop_episodes() const { return loop_episodes_; }
+  /// Episodes with >= 2 consecutive loop handovers — a persistent
+  /// ping-pong, the paper's Theorem-2 failure mode.
+  int persistent_loop_episodes() const { return persistent_episodes_; }
+
+ private:
+  void violate(double t, const std::string& what);
+  void check_event(const sim::SignalingEvent& e);
+  void check_tick(const sim::TickView& v);
+
+  CheckerConfig cfg_;
+  int violation_count_ = 0;
+  std::vector<std::string> violations_;
+
+  // --- Event-stream state machine mirror ---
+  bool saw_tick_ = false;
+  bool saw_event_ = false;
+  double last_event_t_ = 0.0;
+  bool exec_open_ = false;       ///< command delivered, not yet closed
+  bool outage_open_ = false;     ///< RLF/T304 failure, not yet reestablished
+  double outage_opened_t_ = 0.0;
+  double outage_min_reestablish_s_ = 0.0;
+  int commands_delivered_ = 0;
+  int completions_ = 0;
+  int t304_expiries_ = 0;
+  int rlf_events_ = 0;
+  int reestablished_ = 0;
+  int report_retransmits_ = 0;
+  int duplicate_commands_ = 0;
+  int degraded_enters_ = 0;
+  int degraded_exits_ = 0;
+  int fault_starts_ = 0;
+  int fault_ends_ = 0;
+  bool pending_degraded_enter_check_ = false;
+
+  // --- Loop bookkeeping mirror (simulator's recent-serving window) ---
+  std::vector<std::pair<double, int>> recent_serving_;
+  bool current_loop_episode_ = false;
+  int loop_handovers_ = 0;
+  int loop_episodes_ = 0;
+  int episode_run_length_ = 0;   ///< loop handovers in the current episode
+  int persistent_episodes_ = 0;
+
+  // --- Tick-stream timer mirror ---
+  bool have_prev_tick_ = false;
+  sim::TickView prev_;
+  double t310_armed_t_ = -1.0;
+  int events_this_tick_ = 0;          ///< events since the last TickView
+  double events_tick_min_t_ = 0.0;
+  double events_tick_max_t_ = 0.0;
+  bool reestablished_this_tick_ = false;
+};
+
+}  // namespace rem::testkit

@@ -1,0 +1,26 @@
+// Environment-driven test knobs: seed sweeps and the invariant-checker
+// kill switch. Kept in testkit so tests and benches share one parser.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rem::testkit {
+
+/// Seed list for randomized property tests. Reads the `REM_TEST_SEEDS`
+/// environment variable:
+///  - unset or empty  -> `defaults`, unchanged;
+///  - a bare count N  -> N consecutive seeds starting at defaults.front()
+///    (or 1 when `defaults` is empty);
+///  - a comma list    -> exactly those seed values.
+/// Throws std::invalid_argument on anything unparseable — a typo in CI
+/// configuration must fail loudly, not silently shrink the sweep.
+std::vector<std::uint64_t> property_seeds(
+    std::vector<std::uint64_t> defaults);
+
+/// Invariant-checker master switch: true unless the `REM_CHECK_INVARIANTS`
+/// environment variable is set to `0`, `off`, or `false`. The checker
+/// defaults ON in every test and bench run.
+bool invariants_enabled();
+
+}  // namespace rem::testkit

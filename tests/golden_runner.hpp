@@ -1,0 +1,23 @@
+// Shared by test_golden_traces (replay-and-diff) and golden_gen
+// (regeneration): exactly how a GoldenCase is executed and digested. Both
+// sides must agree byte-for-byte, so the logic lives in one place.
+#pragma once
+
+#include "scenario_runner.hpp"
+#include "testkit/golden.hpp"
+
+namespace rem::testkit {
+
+/// Run one corpus case (legacy + REM, events recorded, invariant checker
+/// attached) and produce its digest.
+inline TraceDigest run_golden_case(const GoldenCase& c) {
+  phy::LogisticBlerModel bler;
+  bench::SeedRunOptions opts;
+  opts.faults = golden_fault_preset(c.fault_preset, c.duration_s);
+  opts.record_events = true;
+  const auto r = bench::run_seed(c.route, c.speed_kmh, c.duration_s, c.seed,
+                                 /*run_rem=*/true, bler, opts);
+  return make_digest(c, r.legacy, r.rem);
+}
+
+}  // namespace rem::testkit

@@ -182,3 +182,58 @@ TEST(ParallelFor, PropagatesFirstException) {
 TEST(ParallelFor, ZeroItemsIsNoop) {
   rc::parallel_for(0, 4, [](std::size_t) { FAIL() << "must not be called"; });
 }
+
+TEST(ThreadPool, ZeroThreadsMeansHardwareDefault) {
+  rc::ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), rc::ThreadPool::default_threads());
+  EXPECT_GE(rc::ThreadPool::default_threads(), 1u);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) pool.submit([&ran] { ran.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, SingleWorkerRunsJobsOffTheCallingThread) {
+  rc::ThreadPool pool(1);
+  ASSERT_EQ(pool.num_threads(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::atomic<int> ran{0};
+  std::thread::id worker;
+  for (int i = 0; i < 4; ++i)
+    pool.submit([&] {
+      worker = std::this_thread::get_id();
+      ran.fetch_add(1);
+    });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 4);
+  EXPECT_NE(worker, caller);
+}
+
+TEST(ParallelFor, SingleItemDegradesToSerial) {
+  const auto caller = std::this_thread::get_id();
+  int calls = 0;
+  rc::parallel_for(1, 8, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, SerialPathPropagatesFirstException) {
+  // num_threads == 1 takes the plain-loop path; it must match the pool
+  // path's contract — finish the remaining indices, then rethrow the
+  // first failure.
+  int completed = 0;
+  try {
+    rc::parallel_for(8, 1, [&completed](std::size_t i) {
+      if (i == 2 || i == 5) throw std::invalid_argument("boom " +
+                                                        std::to_string(i));
+      ++completed;
+    });
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "boom 2");  // first, not last
+  }
+  EXPECT_EQ(completed, 6);
+}

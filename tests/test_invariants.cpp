@@ -1,0 +1,361 @@
+// rem::testkit correctness tooling: the InvariantChecker must stay silent
+// on well-formed runs (synthetic and end-to-end, fault-free and chaotic)
+// and must flag every class of malformed stream it claims to check. Also
+// covers the REM_TEST_SEEDS / REM_CHECK_INVARIANTS environment plumbing.
+#include "testkit/invariants.hpp"
+#include "testkit/seeds.hpp"
+
+#include "scenario_runner.hpp"
+#include "testkit/golden.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+using rem::sim::EventKind;
+using rem::sim::SignalingEvent;
+using rem::sim::SimStats;
+using rem::sim::TickView;
+using rem::testkit::CheckerConfig;
+using rem::testkit::InvariantChecker;
+
+CheckerConfig small_config() {
+  CheckerConfig cfg;
+  cfg.sim.duration_s = 10.0;
+  cfg.num_cells = 4;
+  cfg.faults_expected = false;
+  return cfg;
+}
+
+SignalingEvent ev(double t, EventKind k, int srv, int tgt,
+                  double snr = 0.0) {
+  return SignalingEvent{t, k, srv, tgt, snr};
+}
+
+TickView idle_tick(double t, int serving) {
+  TickView v;
+  v.t_s = t;
+  v.serving = serving;
+  v.serving_snr_db = 3.0;
+  return v;
+}
+
+/// One complete, legal handover: trigger -> report -> command -> complete.
+void feed_clean_handover(InvariantChecker& c, double t0, int from, int to) {
+  c.on_event(ev(t0, EventKind::kMeasurementTriggered, from, to));
+  auto v = idle_tick(t0, from);
+  v.report_pending = true;
+  c.on_tick(v);
+  c.on_event(ev(t0 + 0.01, EventKind::kReportDelivered, from, to));
+  v = idle_tick(t0 + 0.01, from);
+  v.command_pending = true;
+  c.on_tick(v);
+  c.on_event(ev(t0 + 0.02, EventKind::kHoCommandDelivered, from, to));
+  v = idle_tick(t0 + 0.02, from);
+  v.executing = true;
+  c.on_tick(v);
+  c.on_event(ev(t0 + 0.07, EventKind::kHandoverComplete, from, to));
+  c.on_tick(idle_tick(t0 + 0.07, to));
+}
+
+TEST(InvariantChecker, CleanHandoverSequenceIsViolationFree) {
+  InvariantChecker c(small_config());
+  c.on_tick(idle_tick(0.0, 0));
+  feed_clean_handover(c, 1.0, 0, 1);
+  SimStats stats;
+  stats.handovers = 1;
+  stats.successful_handovers = 1;
+  c.on_run_end(stats);
+  EXPECT_EQ(c.violation_count(), 0) << c.report();
+  EXPECT_EQ(stats.invariant_violations, 0);
+  EXPECT_TRUE(c.report().empty());
+}
+
+TEST(InvariantChecker, FlagsBackwardEventTimestamps) {
+  InvariantChecker c(small_config());
+  c.on_event(ev(1.0, EventKind::kMeasurementTriggered, 0, 1));
+  c.on_event(ev(0.5, EventKind::kMeasurementTriggered, 0, 1));
+  EXPECT_GT(c.violation_count(), 0);
+  EXPECT_NE(c.report().find("backwards"), std::string::npos);
+}
+
+TEST(InvariantChecker, FlagsCompletionWithoutCommand) {
+  InvariantChecker c(small_config());
+  c.on_event(ev(1.0, EventKind::kHandoverComplete, 0, 1));
+  EXPECT_GT(c.violation_count(), 0);
+  EXPECT_NE(c.report().find("without a delivered command"),
+            std::string::npos);
+}
+
+TEST(InvariantChecker, FlagsOverlappingExecutions) {
+  InvariantChecker c(small_config());
+  c.on_event(ev(1.0, EventKind::kHoCommandDelivered, 0, 1));
+  c.on_event(ev(1.1, EventKind::kHoCommandDelivered, 0, 2));
+  EXPECT_GT(c.violation_count(), 0);
+  EXPECT_NE(c.report().find("overlapping T304"), std::string::npos);
+}
+
+TEST(InvariantChecker, FlagsRlfWithoutRunningT310) {
+  InvariantChecker c(small_config());
+  c.on_event(ev(2.0, EventKind::kRadioLinkFailure, 0, -1));
+  EXPECT_GT(c.violation_count(), 0);
+  EXPECT_NE(c.report().find("without a running T310"), std::string::npos);
+}
+
+TEST(InvariantChecker, AcceptsRlfAfterFullT310Budget) {
+  auto cfg = small_config();
+  InvariantChecker c(cfg);
+  // Arm T310 legitimately: N310 out-of-sync ticks, then let it run.
+  double t = 0.0;
+  for (int i = 1; i <= cfg.sim.n310; ++i) {
+    t += 0.01;
+    auto v = idle_tick(t, 0);
+    v.serving_snr_db = -20.0;
+    v.oos_count = i;
+    v.t310_running = i == cfg.sim.n310;
+    c.on_tick(v);
+  }
+  const double armed = t;
+  while (t - armed < cfg.sim.t310_s) {
+    t += 0.01;
+    auto v = idle_tick(t, 0);
+    v.serving_snr_db = -20.0;
+    v.oos_count = cfg.sim.n310;
+    v.t310_running = true;
+    c.on_tick(v);
+  }
+  c.on_event(ev(t + 0.01, EventKind::kRadioLinkFailure, 0, -1));
+  auto v = idle_tick(t + 0.01, 0);
+  v.in_outage = true;
+  v.serving_snr_db = -20.0;
+  c.on_tick(v);
+  EXPECT_EQ(c.violation_count(), 0) << c.report();
+}
+
+TEST(InvariantChecker, FlagsPrematureReestablishment) {
+  auto cfg = small_config();
+  InvariantChecker c(cfg);
+  c.on_event(ev(1.0, EventKind::kHoCommandDelivered, 0, 1));
+  c.on_event(ev(1.05, EventKind::kT304Expiry, 0, 1));
+  // T304 fallback floor is t304_reestablish_s (0.3 s); 0.05 s is too fast.
+  c.on_event(ev(1.10, EventKind::kReestablished, 1, -1));
+  EXPECT_GT(c.violation_count(), 0);
+  EXPECT_NE(c.report().find("search-time floor"), std::string::npos);
+}
+
+TEST(InvariantChecker, FlagsEarlyT310Arming) {
+  auto cfg = small_config();
+  InvariantChecker c(cfg);
+  c.on_tick(idle_tick(0.0, 0));
+  auto v = idle_tick(0.01, 0);
+  v.t310_running = true;
+  v.oos_count = cfg.sim.n310 - 2;  // armed before N310 out-of-syncs
+  c.on_tick(v);
+  EXPECT_GT(c.violation_count(), 0);
+  EXPECT_NE(c.report().find("T310 armed after only"), std::string::npos);
+}
+
+TEST(InvariantChecker, FlagsStaleEstimatesWithFreshPilots) {
+  InvariantChecker c(small_config());
+  auto v = idle_tick(0.0, 0);
+  v.pilot_fault = false;
+  v.estimate_age_s = 0.5;
+  c.on_tick(v);
+  EXPECT_GT(c.violation_count(), 0);
+  EXPECT_NE(c.report().find("fresh pilots"), std::string::npos);
+}
+
+TEST(InvariantChecker, FlagsDegradedEntryOnManagerWithoutFallback) {
+  auto cfg = small_config();
+  cfg.expect_no_degraded = true;
+  cfg.faults_expected = true;  // isolate: faults alone are legal here
+  InvariantChecker c(cfg);
+  c.on_event(ev(1.0, EventKind::kDegradedEnter, 0, -1));
+  EXPECT_GT(c.violation_count(), 0);
+  EXPECT_NE(c.report().find("no fallback"), std::string::npos);
+}
+
+TEST(InvariantChecker, FlagsFaultWindowOnFaultFreeRun) {
+  InvariantChecker c(small_config());
+  c.on_event(ev(1.0, EventKind::kFaultStart, 0, 1));
+  EXPECT_GT(c.violation_count(), 0);
+  EXPECT_NE(c.report().find("fault-free run"), std::string::npos);
+}
+
+TEST(InvariantChecker, FlagsStatsDisagreeingWithEventStream) {
+  InvariantChecker c(small_config());
+  c.on_tick(idle_tick(0.0, 0));
+  SimStats stats;
+  stats.handovers = 1;  // no command was ever delivered
+  c.on_run_end(stats);
+  EXPECT_GT(c.violation_count(), 0);
+  EXPECT_EQ(stats.invariant_violations, c.violation_count());
+  EXPECT_NE(c.report().find("delivered commands"), std::string::npos);
+}
+
+TEST(InvariantChecker, FlagsLoopAccountingMismatch) {
+  InvariantChecker c(small_config());
+  feed_clean_handover(c, 1.0, 0, 1);
+  SimStats stats;
+  stats.handovers = 1;
+  stats.successful_handovers = 1;
+  stats.loop_handovers = 3;  // the event stream shows none
+  c.on_run_end(stats);
+  EXPECT_GT(c.violation_count(), 0);
+  EXPECT_NE(c.report().find("recount"), std::string::npos);
+}
+
+TEST(InvariantChecker, CountsPersistentPingPongEpisodes) {
+  auto cfg = small_config();
+  cfg.expect_loop_free = true;
+  InvariantChecker c(cfg);
+  // 0 -> 1 -> 0 -> 1 -> 0 within the loop window. The initial serving
+  // cell is never in the recently-served window (mirroring the
+  // simulator), so the third and fourth completions are the loop
+  // handovers — two in a row, one persistent episode.
+  feed_clean_handover(c, 1.0, 0, 1);
+  feed_clean_handover(c, 2.0, 1, 0);
+  feed_clean_handover(c, 3.0, 0, 1);
+  feed_clean_handover(c, 4.0, 1, 0);
+  EXPECT_EQ(c.observed_loop_handovers(), 2);
+  EXPECT_EQ(c.observed_loop_episodes(), 1);
+  EXPECT_EQ(c.persistent_loop_episodes(), 1);
+  SimStats stats;
+  stats.handovers = 4;
+  stats.successful_handovers = 4;
+  stats.loop_handovers = 2;
+  stats.loop_episodes = 1;
+  c.on_run_end(stats);
+  EXPECT_GT(c.violation_count(), 0);
+  EXPECT_NE(c.report().find("Theorem-2"), std::string::npos);
+}
+
+TEST(InvariantChecker, SingleLoopHandoverIsNotPersistent) {
+  auto cfg = small_config();
+  cfg.expect_loop_free = true;
+  InvariantChecker c(cfg);
+  feed_clean_handover(c, 1.0, 0, 1);
+  feed_clean_handover(c, 2.0, 1, 2);
+  feed_clean_handover(c, 3.0, 2, 1);   // one bounce back...
+  feed_clean_handover(c, 4.0, 1, 3);   // ...then progress: episode over
+  EXPECT_EQ(c.observed_loop_handovers(), 1);
+  EXPECT_EQ(c.observed_loop_episodes(), 1);
+  EXPECT_EQ(c.persistent_loop_episodes(), 0);
+  SimStats stats;
+  stats.handovers = 4;
+  stats.successful_handovers = 4;
+  stats.loop_handovers = 1;
+  stats.loop_episodes = 1;
+  c.on_run_end(stats);
+  EXPECT_EQ(c.violation_count(), 0) << c.report();
+}
+
+TEST(InvariantChecker, ViolationMessagesCarryTimeAndStateContext) {
+  InvariantChecker c(small_config());
+  c.on_event(ev(2.5, EventKind::kHandoverComplete, 0, 1));
+  ASSERT_FALSE(c.violations().empty());
+  const std::string& msg = c.violations().front();
+  EXPECT_NE(msg.find("[t=2.500s]"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("state:"), std::string::npos) << msg;
+}
+
+// ---- End-to-end: the checker rides every scenario-runner simulation ----
+
+TEST(InvariantCheckerEndToEnd, FaultFreeRunsAreViolationFree) {
+  rem::phy::LogisticBlerModel bler;
+  for (const auto route : {rem::trace::Route::kLowMobilityLA,
+                           rem::trace::Route::kBeijingShanghai}) {
+    const double speed =
+        route == rem::trace::Route::kLowMobilityLA ? 60.0 : 330.0;
+    // run_seed throws std::logic_error on any violation.
+    const auto r = rem::bench::run_seed(route, speed, 60.0, 42,
+                                        /*run_rem=*/true, bler);
+    EXPECT_EQ(r.legacy.invariant_violations, 0);
+    EXPECT_EQ(r.rem.invariant_violations, 0);
+  }
+}
+
+TEST(InvariantCheckerEndToEnd, MixedFaultRunsAreViolationFree) {
+  rem::phy::LogisticBlerModel bler;
+  rem::bench::SeedRunOptions opts;
+  opts.faults = rem::testkit::golden_fault_preset("mixed", 60.0);
+  const auto r =
+      rem::bench::run_seed(rem::trace::Route::kBeijingTaiyuan, 250.0, 60.0,
+                           7, /*run_rem=*/true, bler, opts);
+  EXPECT_EQ(r.legacy.invariant_violations, 0);
+  EXPECT_EQ(r.rem.invariant_violations, 0);
+}
+
+TEST(InvariantCheckerEndToEnd, CheckerDoesNotChangeResults) {
+  rem::phy::LogisticBlerModel bler;
+  rem::bench::SeedRunOptions checked;
+  rem::bench::SeedRunOptions unchecked;
+  unchecked.check_invariants = false;
+  const auto route = rem::trace::Route::kBeijingShanghai;
+  const auto a = rem::bench::run_seed(route, 300.0, 60.0, 5, true, bler,
+                                      checked);
+  const auto b = rem::bench::run_seed(route, 300.0, 60.0, 5, true, bler,
+                                      unchecked);
+  // Bit-identity on purpose: the observer draws no randomness.
+  EXPECT_EQ(a.legacy.handovers, b.legacy.handovers);
+  EXPECT_EQ(a.legacy.failures, b.legacy.failures);
+  EXPECT_EQ(a.legacy.outage_durations_s, b.legacy.outage_durations_s);
+  EXPECT_EQ(a.legacy.mean_throughput_bps, b.legacy.mean_throughput_bps);
+  EXPECT_EQ(a.rem.handovers, b.rem.handovers);
+  EXPECT_EQ(a.rem.failures, b.rem.failures);
+  EXPECT_EQ(a.rem.outage_durations_s, b.rem.outage_durations_s);
+  EXPECT_EQ(a.rem.mean_throughput_bps, b.rem.mean_throughput_bps);
+}
+
+// ---- Environment plumbing (REM_TEST_SEEDS / REM_CHECK_INVARIANTS) ----
+
+class SeedEnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ::unsetenv("REM_TEST_SEEDS");
+    ::unsetenv("REM_CHECK_INVARIANTS");
+  }
+};
+
+TEST_F(SeedEnvTest, DefaultsPassThroughWhenUnset) {
+  ::unsetenv("REM_TEST_SEEDS");
+  EXPECT_EQ(rem::testkit::property_seeds({1, 2, 3}),
+            (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST_F(SeedEnvTest, BareCountWidensFromFirstDefault) {
+  ::setenv("REM_TEST_SEEDS", "5", 1);
+  EXPECT_EQ(rem::testkit::property_seeds({10, 11}),
+            (std::vector<std::uint64_t>{10, 11, 12, 13, 14}));
+}
+
+TEST_F(SeedEnvTest, CommaListIsTakenVerbatim) {
+  ::setenv("REM_TEST_SEEDS", "4,99,1000", 1);
+  EXPECT_EQ(rem::testkit::property_seeds({1}),
+            (std::vector<std::uint64_t>{4, 99, 1000}));
+}
+
+TEST_F(SeedEnvTest, MalformedSpecFailsLoudly) {
+  ::setenv("REM_TEST_SEEDS", "3,abc", 1);
+  EXPECT_THROW(rem::testkit::property_seeds({1}), std::invalid_argument);
+  ::setenv("REM_TEST_SEEDS", "0", 1);
+  EXPECT_THROW(rem::testkit::property_seeds({1}), std::invalid_argument);
+  ::setenv("REM_TEST_SEEDS", "1,", 1);
+  EXPECT_THROW(rem::testkit::property_seeds({1}), std::invalid_argument);
+}
+
+TEST_F(SeedEnvTest, InvariantKillSwitch) {
+  ::unsetenv("REM_CHECK_INVARIANTS");
+  EXPECT_TRUE(rem::testkit::invariants_enabled());
+  ::setenv("REM_CHECK_INVARIANTS", "0", 1);
+  EXPECT_FALSE(rem::testkit::invariants_enabled());
+  ::setenv("REM_CHECK_INVARIANTS", "off", 1);
+  EXPECT_FALSE(rem::testkit::invariants_enabled());
+  ::setenv("REM_CHECK_INVARIANTS", "1", 1);
+  EXPECT_TRUE(rem::testkit::invariants_enabled());
+}
+
+}  // namespace

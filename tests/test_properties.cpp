@@ -1,10 +1,15 @@
 // Randomized property tests over module invariants.
+//
+// The seeded suites read REM_TEST_SEEDS (a count like "32", or an explicit
+// comma list like "7,8,9") to widen or pin the sweep; unset keeps the
+// committed defaults.
 #include "common/rng.hpp"
 #include "mobility/conflict.hpp"
 #include "mobility/simplify.hpp"
 #include "phy/coding.hpp"
 #include "phy/scheduler.hpp"
 #include "sim/tcp.hpp"
+#include "testkit/seeds.hpp"
 
 #include <gtest/gtest.h>
 
@@ -76,8 +81,9 @@ TEST_P(TheoremVsAnalyzer, WitnessPointsActuallySatisfyBothTriggers) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, TheoremVsAnalyzer,
-                         ::testing::Values(1, 2, 3, 4, 5));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, TheoremVsAnalyzer,
+    ::testing::ValuesIn(rem::testkit::property_seeds({1, 2, 3, 4, 5})));
 
 // ---------- Simplification invariants ----------
 
@@ -129,8 +135,9 @@ TEST_P(SimplifyProperty, CoordinationIsIdempotent) {
                      snapshot[i].policy.rules[0].event.offset);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyProperty,
-                         ::testing::Values(11, 12, 13));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SimplifyProperty,
+    ::testing::ValuesIn(rem::testkit::property_seeds({11, 12, 13})));
 
 // ---------- Scheduler invariants ----------
 
@@ -184,8 +191,9 @@ TEST_P(SchedulerProperty, SignalingNeverStarves) {
   EXPECT_TRUE(served);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerProperty,
-                         ::testing::Values(21, 22, 23));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SchedulerProperty,
+    ::testing::ValuesIn(rem::testkit::property_seeds({21, 22, 23})));
 
 // ---------- Viterbi monotonicity ----------
 

@@ -1,4 +1,5 @@
 #include "core/legacy_manager.hpp"
+#include "common/rng.hpp"
 #include "common/units.hpp"
 #include "crossband/movement.hpp"
 #include "phy/channel_est.hpp"
@@ -174,6 +175,77 @@ TEST(EventLog, RejectionNamesLineAndContext) {
     EXPECT_NE(std::string(e.what()).find("'warp_drive'"),
               std::string::npos);
   }
+}
+
+TEST(EventLog, FuzzedInputNeverCrashesAndAlwaysNamesContext) {
+  // Deterministic fuzz over structured corruptions of a valid file:
+  // truncated lines, embedded delimiters, out-of-range enum/int/double
+  // text, shuffled bytes. Every input must either parse or throw a
+  // std::runtime_error whose message carries the "event CSV" context —
+  // never crash, hang, or leak a bare std::sto* exception.
+  const std::string valid =
+      "t_s,kind,serving_cell,target_cell,serving_snr_db\n"
+      "1.0,handover_complete,1,2,3.5\n"
+      "2.0,radio_link_failure,2,-1,-9.25\n"
+      "3.5,reestablished,0,-1,1.0\n";
+  const auto feed = [](const std::string& text) {
+    std::stringstream is(text);
+    try {
+      (void)rt::read_event_csv(is);
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("event CSV"), std::string::npos)
+          << "input: " << text;
+    }
+    // Any other exception type escapes and fails the test.
+  };
+
+  rem::common::Rng rng(2024);
+  const auto pick = [&rng](std::size_t n) {  // uniform index in [0, n)
+    return static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  };
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string s = valid;
+    switch (trial % 5) {
+      case 0:  // truncate anywhere, including mid-field and mid-header
+        s = s.substr(0, pick(s.size() + 1));
+        break;
+      case 1: {  // inject a delimiter / newline / NUL at a random spot
+        const char inject[] = {',', '\n', '\r', '\0', ';'};
+        s.insert(pick(s.size() + 1), 1, inject[pick(5)]);
+        break;
+      }
+      case 2: {  // replace the kind with out-of-range enum spellings
+        const char* kinds[] = {"15", "-1", "999999", "handover_completex",
+                               "HANDOVER_COMPLETE", ""};
+        const std::string k = kinds[pick(6)];
+        const auto pos = s.find("handover_complete");
+        s = s.substr(0, pos) + k + s.substr(pos + 17);
+        break;
+      }
+      case 3: {  // replace a numeric field with overflow/garbage text
+        const char* nums[] = {"1e999", "99999999999999999999", "nan(",
+                              "0x1p+2000", "--3", "3..5"};
+        const auto pos = s.find("3.5");
+        s = s.substr(0, pos) + nums[pick(6)] + s.substr(pos + 3);
+        break;
+      }
+      case 4: {  // swap two random bytes
+        std::swap(s[pick(s.size())], s[pick(s.size())]);
+        break;
+      }
+    }
+    feed(s);
+  }
+
+  // Pinned edge cases the random walk might miss.
+  feed("");                                   // empty file
+  feed("\n\n\n");                             // only blank lines
+  feed(std::string(1 << 16, ','));            // delimiter flood
+  feed("t_s,kind,serving_cell,target_cell,serving_snr_db\n" +
+       std::string(1 << 16, 'x') + "\n");     // one enormous field
+  feed("t_s,kind,serving_cell,target_cell,serving_snr_db\n"
+       "1.0,handover_complete,1,2,3.5,extra\n");  // too many fields
 }
 
 TEST(EventLog, Summary) {
