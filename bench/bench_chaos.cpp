@@ -7,15 +7,26 @@
 // degraded-mode fallback must be observable in the event log under a
 // pilot outage.
 //
+// Every run also carries a rem::obs::SpanTracer, so the sweep additionally
+// emits <output>_metrics.json (one rem-metrics-v1 snapshot merged over
+// baseline + fault classes x seeds x managers, in that order — the sweep is
+// serial, so the merge is deterministic) and <output>_trace.jsonl (one span
+// per line, stamped with fault class, seed, and manager). Each run's trace
+// is reconciled against its SimStats; any mismatch aborts the sweep.
+//
 // Usage: bench_chaos [--smoke] [output.json]
 //   --smoke: tiny duration / single seed, for wiring into ctest so the
 //   chaos path cannot rot; writes BENCH_CHAOS_smoke.json by default.
 #include "common/stats.hpp"
+#include "obs/registry.hpp"
+#include "obs/tracer.hpp"
 #include "scenario_runner.hpp"
 #include "trace/eventlog.hpp"
 
 #include <cstdio>
 #include <fstream>
+#include <ostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -57,11 +68,16 @@ struct ClassResult {
 
 /// Per-seed run of both managers with events recorded, mirroring
 /// bench::run_seed but keeping the per-run event logs so fault/recovery
-/// events are observable.
+/// events are observable. Each run carries a SpanTracer (attaching it
+/// draws no randomness, so results are bit-identical to a bare run); the
+/// tracer's metrics merge into `metrics_out` and its spans append to
+/// `trace_os` stamped with `ctx` plus the manager name. Throws
+/// std::logic_error when a trace fails to reconcile with its SimStats.
 void run_one(rem::trace::Route route, double speed_kmh, double duration_s,
              std::uint64_t seed, const FaultConfig& faults,
              const rem::phy::BlerModel& bler, rem::sim::SimStats& legacy_out,
-             rem::sim::SimStats& rem_out) {
+             rem::sim::SimStats& rem_out, const std::string& ctx,
+             std::ostream& trace_os, rem::obs::MetricsSnapshot& metrics_out) {
   auto sc = rem::trace::make_scenario(route, speed_kmh, duration_s);
   sc.sim.faults = faults;
   sc.sim.record_events = true;
@@ -71,17 +87,36 @@ void run_one(rem::trace::Route route, double speed_kmh, double duration_s,
   rem::sim::RadioEnv env(cells, sc.propagation, rng.fork(), holes);
   auto policies = rem::trace::synthesize_policies(cells, sc.policy_mix, rng);
 
+  const auto observed_run = [&](rem::sim::MobilityManager& m,
+                                rem::common::Rng run_rng, const char* label) {
+    rem::obs::Registry registry;
+    rem::obs::SpanTracer tracer(&registry);
+    rem::sim::SimConfig cfg = sc.sim;
+    cfg.observer = &tracer;
+    rem::sim::Simulator s(env, cfg, bler, std::move(run_rng));
+    auto stats = s.run(m);
+    const auto mismatches = tracer.reconcile(stats);
+    if (!mismatches.empty()) {
+      std::string msg = "trace/stats reconcile mismatches in " +
+                        std::string(label) + " run {" + ctx + "}";
+      for (const auto& line : mismatches) msg += "\n  " + line;
+      throw std::logic_error(msg);
+    }
+    tracer.write_trace_jsonl(
+        trace_os, ctx + ", \"manager\": \"" + std::string(label) + "\"");
+    metrics_out.merge(registry.snapshot());
+    return stats;
+  };
+
   rem::core::LegacyConfig lc;
   lc.policies = policies;
   lc.measurement.intra_ttt_s = sc.policy_mix.intra_ttt_s;
   lc.measurement.inter_ttt_s = sc.policy_mix.inter_ttt_s;
   rem::core::LegacyManager legacy(lc);
-  rem::sim::Simulator s1(env, sc.sim, bler, rng.fork());
-  legacy_out = s1.run(legacy);
+  legacy_out = observed_run(legacy, rng.fork(), "legacy");
 
   rem::core::RemManager remm(rem::core::RemConfig{}, rng.fork());
-  rem::sim::Simulator s2(env, sc.sim, bler, rng.fork());
-  rem_out = s2.run(remm);
+  rem_out = observed_run(remm, rng.fork(), "rem");
 }
 
 ManagerMetrics fold(const std::vector<rem::sim::SimStats>& runs) {
@@ -175,12 +210,26 @@ int main(int argc, char** argv) {
       {FaultKind::kCommandDuplication, 10.0, 60.0, 25.0, 1.0},
   };
 
-  const auto run_config = [&](const FaultConfig& faults, ManagerMetrics& lg,
+  // Side-channel observability outputs, next to the main JSON.
+  const std::string stem = out_path.size() > 5 && out_path.ends_with(".json")
+                               ? out_path.substr(0, out_path.size() - 5)
+                               : out_path;
+  const std::string metrics_path = stem + "_metrics.json";
+  const std::string trace_path = stem + "_trace.jsonl";
+  std::ofstream trace_js(trace_path);
+  rem::obs::MetricsSnapshot metrics;
+
+  const auto run_config = [&](const std::string& fault_label,
+                              const FaultConfig& faults, ManagerMetrics& lg,
                               ManagerMetrics& rm) {
     std::vector<rem::sim::SimStats> legacy_runs, rem_runs;
     for (const auto seed : seeds) {
       rem::sim::SimStats ls, rs;
-      run_one(route, speed_kmh, duration_s, seed, faults, bler, ls, rs);
+      const std::string ctx = "\"fault\": \"" + fault_label +
+                              "\", \"seed\": \"" + std::to_string(seed) +
+                              "\"";
+      run_one(route, speed_kmh, duration_s, seed, faults, bler, ls, rs, ctx,
+              trace_js, metrics);
       legacy_runs.push_back(std::move(ls));
       rem_runs.push_back(std::move(rs));
     }
@@ -193,7 +242,7 @@ int main(int argc, char** argv) {
               seeds.size(), smoke ? " [smoke]" : "");
 
   ManagerMetrics base_legacy, base_rem;
-  run_config({}, base_legacy, base_rem);
+  run_config("baseline", {}, base_legacy, base_rem);
   std::printf("baseline (no faults)\n");
   print_metrics("legacy", base_legacy, base_legacy);
   print_metrics("REM", base_rem, base_rem);
@@ -205,7 +254,7 @@ int main(int argc, char** argv) {
     ClassResult r;
     r.name = rem::sim::fault_kind_name(c.kind);
     r.windows = faults.windows.size();
-    run_config(faults, r.legacy, r.rem);
+    run_config(r.name, faults, r.legacy, r.rem);
     std::printf("%s (%zu windows of %.0f s, magnitude %g)\n", r.name.c_str(),
                 r.windows, c.duration_s, c.magnitude);
     print_metrics("legacy", r.legacy, base_legacy);
@@ -237,7 +286,10 @@ int main(int argc, char** argv) {
   }
   js << "  }\n";
   js << "}\n";
-  std::printf("wrote %s\n", out_path.c_str());
+  rem::obs::write_metrics_json_file(metrics, metrics_path);
+  trace_js.close();
+  std::printf("wrote %s, %s, %s\n", out_path.c_str(), metrics_path.c_str(),
+              trace_path.c_str());
 
   // Acceptance gates: the degraded-mode fallback must actually fire under
   // a pilot outage, and the blackout class must produce observable

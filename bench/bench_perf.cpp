@@ -271,6 +271,37 @@ int main(int argc, char** argv) {
       serial_s, par_s, serial_s / par_s, identical ? "true" : "false",
       rem::common::ThreadPool::default_threads());
 
+  // --- Metrics overhead: run_route with the obs layer on vs off -----------
+  // Collecting metrics attaches a SpanTracer + per-seed Registry to every
+  // simulation and reconciles trace vs stats; the acceptance bar is <= 1%
+  // wall-clock overhead, reported here (timing is advisory, not an exit
+  // gate — the statistics must still be bit-identical, which is gated).
+  rem::bench::SeedRunOptions metrics_opts;
+  metrics_opts.collect_metrics = false;
+  const auto t3 = Clock::now();
+  const auto metrics_off = rem::bench::run_route(
+      rem::trace::Route::kBeijingShanghai, 300.0, duration_s, seeds, true,
+      metrics_opts);
+  const auto t4 = Clock::now();
+  metrics_opts.collect_metrics = true;
+  const auto metrics_on = rem::bench::run_route(
+      rem::trace::Route::kBeijingShanghai, 300.0, duration_s, seeds, true,
+      metrics_opts);
+  const auto t5 = Clock::now();
+  const double off_s = std::chrono::duration<double>(t4 - t3).count();
+  const double on_s = std::chrono::duration<double>(t5 - t4).count();
+  const double overhead_pct = 100.0 * (on_s - off_s) / off_s;
+  const bool metrics_identical = runs_equal(metrics_off, metrics_on);
+  const auto* latency =
+      metrics_on.rem_metrics.find_histogram("sim.handover_latency_s");
+  std::printf(
+      "run_route metrics: off %.2f s, on %.2f s (overhead %+.2f%%), "
+      "identical=%s, rem latency samples=%llu\n",
+      off_s, on_s, overhead_pct, metrics_identical ? "true" : "false",
+      latency != nullptr
+          ? static_cast<unsigned long long>(latency->total_count())
+          : 0ull);
+
   // --- JSON ---------------------------------------------------------------
   std::ofstream js(out_path);
   js << "{\n";
@@ -290,8 +321,13 @@ int main(int argc, char** argv) {
      << ", \"serial_wall_s\": " << serial_s
      << ", \"parallel4_wall_s\": " << par_s
      << ", \"speedup\": " << serial_s / par_s
-     << ", \"bit_identical\": " << (identical ? "true" : "false") << "}\n";
+     << ", \"bit_identical\": " << (identical ? "true" : "false") << "},\n";
+  js << "  \"metrics_overhead\": {\"off_wall_s\": " << off_s
+     << ", \"on_wall_s\": " << on_s
+     << ", \"overhead_pct\": " << overhead_pct
+     << ", \"stats_bit_identical\": "
+     << (metrics_identical ? "true" : "false") << "}\n";
   js << "}\n";
   std::printf("wrote %s\n", out_path.c_str());
-  return identical ? 0 : 1;
+  return identical && metrics_identical ? 0 : 1;
 }

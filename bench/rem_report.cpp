@@ -1,0 +1,163 @@
+// rem_report: human-readable summary of the observability artifacts the
+// benches emit — a rem-metrics-v1 snapshot (counters/gauges tables,
+// ASCII-bar histograms with p50/p90/p99) and optionally a span trace
+// (outcome counts per span kind). See OBSERVABILITY.md for the artifact
+// formats and metric catalogue.
+//
+// Usage:
+//   rem_report <metrics.json> [trace.jsonl]
+//   rem_report --selftest     (round-trips a synthetic snapshot through a
+//                              temp file; wired into ctest as tier1)
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+using rem::obs::HistogramSnapshot;
+using rem::obs::MetricsSnapshot;
+
+void print_histogram(const HistogramSnapshot& h) {
+  const std::uint64_t total = h.total_count();
+  std::printf("  %s  (%llu samples, sum %.6g)\n", h.name.c_str(),
+              static_cast<unsigned long long>(total), h.sum);
+  if (total == 0) return;
+  const std::uint64_t peak =
+      *std::max_element(h.counts.begin(), h.counts.end());
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    if (h.counts[i] == 0) continue;
+    const int bar = peak > 0
+                        ? static_cast<int>(40 * h.counts[i] / peak)
+                        : 0;
+    char label[64];
+    if (i < h.edges.size())
+      std::snprintf(label, sizeof(label), "<= %-10.4g", h.edges[i]);
+    else
+      std::snprintf(label, sizeof(label), " > %-10.4g", h.edges.back());
+    std::printf("    %s %8llu |%.*s\n", label,
+                static_cast<unsigned long long>(h.counts[i]), bar,
+                "########################################");
+  }
+  std::printf("    p50 %.6g  p90 %.6g  p99 %.6g\n", h.quantile(0.50),
+              h.quantile(0.90), h.quantile(0.99));
+}
+
+void print_snapshot(const MetricsSnapshot& snap) {
+  if (!snap.counters.empty()) {
+    std::printf("counters:\n");
+    for (const auto& c : snap.counters)
+      std::printf("  %-42s %12llu\n", c.name.c_str(),
+                  static_cast<unsigned long long>(c.value));
+  }
+  if (!snap.gauges.empty()) {
+    std::printf("gauges:\n");
+    for (const auto& g : snap.gauges)
+      std::printf("  %-42s %12.6g\n", g.name.c_str(), g.value);
+  }
+  if (!snap.histograms.empty()) {
+    std::printf("histograms:\n");
+    for (const auto& h : snap.histograms) print_histogram(h);
+  }
+  if (snap.empty()) std::printf("(empty snapshot)\n");
+}
+
+// Minimal field scraper for our own trace emitter (one object per line,
+// `"key": "value"` with a space after the colon).
+std::string extract_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\": \"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return {};
+  const auto start = pos + needle.size();
+  const auto end = line.find('"', start);
+  if (end == std::string::npos) return {};
+  return line.substr(start, end - start);
+}
+
+int summarize_trace(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "rem_report: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::map<std::string, std::uint64_t> outcomes;
+  std::uint64_t spans = 0;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    ++spans;
+    const std::string kind = extract_field(line, "kind");
+    const std::string outcome = extract_field(line, "outcome");
+    ++outcomes[kind + "/" + outcome];
+  }
+  std::printf("trace: %llu spans (%s)\n",
+              static_cast<unsigned long long>(spans), path.c_str());
+  for (const auto& [key, n] : outcomes)
+    std::printf("  %-42s %12llu\n", key.c_str(),
+                static_cast<unsigned long long>(n));
+  return 0;
+}
+
+// Round-trip a synthetic snapshot through the JSON codec and re-summarize
+// it, so ctest exercises the reader, the quantile math, and the printer
+// without needing a prior bench run.
+int selftest() {
+  rem::obs::Registry registry;
+  registry.counter("selftest.events")->add(42);
+  registry.gauge("selftest.peak")->set(2.5);
+  auto* h = registry.histogram("selftest.latency_s",
+                               rem::obs::handover_latency_buckets_s());
+  for (int i = 1; i <= 100; ++i) h->record(0.01 * i);
+  const auto snap = registry.snapshot();
+
+  const std::string path = "rem_report_selftest.json";
+  rem::obs::write_metrics_json_file(snap, path);
+  const auto back = rem::obs::read_metrics_json_file(path);
+  std::remove(path.c_str());
+
+  const auto* c = back.find_counter("selftest.events");
+  const auto* g = back.find_gauge("selftest.peak");
+  const auto* hist = back.find_histogram("selftest.latency_s");
+  if (c == nullptr || c->value != 42 || g == nullptr || g->value != 2.5 ||
+      hist == nullptr || hist->total_count() != 100 ||
+      hist->sum != snap.histograms.front().sum) {
+    std::fprintf(stderr, "rem_report --selftest: round trip mismatch\n");
+    return 1;
+  }
+  const double p50 = hist->quantile(0.50);
+  if (p50 < 0.3 || p50 > 0.7) {
+    std::fprintf(stderr, "rem_report --selftest: implausible p50 %g\n", p50);
+    return 1;
+  }
+  print_snapshot(back);
+  std::printf("selftest ok\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "--selftest") return selftest();
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr,
+                 "usage: rem_report <metrics.json> [trace.jsonl]\n"
+                 "       rem_report --selftest\n");
+    return 2;
+  }
+  MetricsSnapshot snap;
+  try {
+    snap = rem::obs::read_metrics_json_file(argv[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rem_report: %s\n", e.what());
+    return 1;
+  }
+  std::printf("metrics: %s\n", argv[1]);
+  print_snapshot(snap);
+  if (argc == 3) return summarize_trace(argv[2]);
+  return 0;
+}

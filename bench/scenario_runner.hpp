@@ -14,7 +14,10 @@
 #include "core/legacy_manager.hpp"
 #include "core/rem_manager.hpp"
 #include "mobility/conflict.hpp"
+#include "obs/registry.hpp"
+#include "obs/tracer.hpp"
 #include "phy/bler_model.hpp"
+#include "sim/observer.hpp"
 #include "testkit/invariants.hpp"
 #include "testkit/seeds.hpp"
 #include "trace/scenario.hpp"
@@ -104,6 +107,11 @@ struct ScenarioRun {
   /// (aggregated over seeds).
   std::map<std::string, int> conflict_histogram;
   int total_conflicts = 0;
+  /// Per-manager metrics merged in seed order (empty unless
+  /// SeedRunOptions::collect_metrics). Simulated-time metrics only, so the
+  /// merged snapshots are bit-identical for any worker-thread count.
+  obs::MetricsSnapshot legacy_metrics;
+  obs::MetricsSnapshot rem_metrics;
 };
 
 /// Everything one seed contributes to a ScenarioRun, kept separate so seeds
@@ -114,6 +122,10 @@ struct SeedRunResult {
   bool has_rem = false;
   std::map<std::string, int> conflict_histogram;
   int total_conflicts = 0;
+  /// This seed's metrics per manager (empty unless
+  /// SeedRunOptions::collect_metrics was set).
+  obs::MetricsSnapshot legacy_metrics;
+  obs::MetricsSnapshot rem_metrics;
 };
 
 /// Per-seed run knobs beyond the scenario itself.
@@ -125,6 +137,12 @@ struct SeedRunOptions {
   /// Defaults ON so all benches and tests run machine-checked; the
   /// REM_CHECK_INVARIANTS=0 environment variable is a global kill switch.
   bool check_invariants = true;
+  /// Attach a rem::obs::SpanTracer recording into a per-run Registry,
+  /// cross-check it against SimStats (throwing std::logic_error on any
+  /// reconcile mismatch), and return the snapshot in SeedRunResult.
+  /// Defaults to the REM_METRICS environment knob. Only simulated-time
+  /// metrics are recorded here, so results stay deterministic.
+  bool collect_metrics = obs::metrics_enabled();
 };
 
 /// Simulate a single seed (legacy manager, and REM when `run_rem`).
@@ -170,29 +188,51 @@ inline SeedRunResult run_seed(trace::Route route, double speed_kmh,
     return pairs.count({a, b}) > 0;
   };
 
-  // Invariant checking: one checker per simulation, configured from the
-  // same scenario. A violation is a simulator bug, not a statistical
-  // outcome, so it aborts the run loudly instead of skewing aggregates.
-  // The checker attaches via SimConfig::observer and draws no randomness,
-  // and the RNG fork order below is identical with and without it, so the
-  // checked and unchecked paths produce bit-identical statistics.
-  const auto run_checked = [&](sim::MobilityManager& m, common::Rng run_rng,
-                               const std::function<bool(int, int)>& pf,
-                               testkit::CheckerConfig ccfg) {
-    if (!check) {
+  // Observation: one fanout per simulation hosting the invariant checker
+  // and/or the span tracer, both attached via SimConfig::observer. Neither
+  // draws randomness, and the RNG fork order below is identical whatever
+  // is attached, so observed and bare paths produce bit-identical
+  // statistics. A checker violation or a tracer/stats reconcile mismatch
+  // is a simulator (or tracer) bug, not a statistical outcome, so either
+  // aborts the run loudly instead of skewing aggregates.
+  const bool collect = opts.collect_metrics;
+  const auto run_context = [&](const std::string& who) {
+    return who + " run (route " + trace::route_name(route) + ", " +
+           std::to_string(speed_kmh) + " km/h, seed " +
+           std::to_string(seed) + ")";
+  };
+  const auto run_observed = [&](sim::MobilityManager& m, common::Rng run_rng,
+                                const std::function<bool(int, int)>& pf,
+                                testkit::CheckerConfig ccfg,
+                                obs::MetricsSnapshot* metrics_out) {
+    if (!check && !collect) {
       sim::Simulator s(env, sc.sim, bler, std::move(run_rng));
       return s.run(m, pf);
     }
     testkit::InvariantChecker checker(std::move(ccfg));
+    obs::Registry registry;
+    obs::SpanTracer tracer(&registry);
+    sim::ObserverFanout fanout;
+    if (check) fanout.add(&checker);
+    if (collect) fanout.add(&tracer);
     sim::SimConfig observed = sc.sim;
-    observed.observer = &checker;
+    observed.observer = &fanout;
     sim::Simulator s(env, observed, bler, std::move(run_rng));
     auto stats = s.run(m, pf);
-    if (checker.violation_count() > 0)
-      throw std::logic_error(
-          "invariant violations in " + m.name() + " run (route " +
-          trace::route_name(route) + ", " + std::to_string(speed_kmh) +
-          " km/h, seed " + std::to_string(seed) + "):\n" + checker.report());
+    if (check && checker.violation_count() > 0)
+      throw std::logic_error("invariant violations in " +
+                             run_context(m.name()) + ":\n" +
+                             checker.report());
+    if (collect) {
+      const auto mismatches = tracer.reconcile(stats);
+      if (!mismatches.empty()) {
+        std::string msg =
+            "trace/stats reconcile mismatches in " + run_context(m.name());
+        for (const auto& line : mismatches) msg += "\n  " + line;
+        throw std::logic_error(msg);
+      }
+      if (metrics_out != nullptr) *metrics_out = registry.snapshot();
+    }
     return stats;
   };
   testkit::CheckerConfig base;
@@ -207,15 +247,16 @@ inline SeedRunResult run_seed(trace::Route route, double speed_kmh,
   core::LegacyManager legacy(lc);
   testkit::CheckerConfig legacy_cfg = base;
   legacy_cfg.expect_no_degraded = true;  // legacy has no fallback mode
-  out.legacy = run_checked(legacy, rng.fork(), pair_fn, legacy_cfg);
+  out.legacy = run_observed(legacy, rng.fork(), pair_fn, legacy_cfg,
+                            &out.legacy_metrics);
 
   if (run_rem) {
     core::RemManager remm(core::RemConfig{}, rng.fork());
     testkit::CheckerConfig rem_cfg = base;
     rem_cfg.staleness_bound_s = core::RemConfig{}.estimate_staleness_s;
     // REM's coordinated policy is conflict-free by Theorem 2.
-    out.rem = run_checked(remm, rng.fork(), [](int, int) { return false; },
-                          rem_cfg);
+    out.rem = run_observed(remm, rng.fork(), [](int, int) { return false; },
+                           rem_cfg, &out.rem_metrics);
     out.has_rem = true;
   }
   return out;
@@ -242,6 +283,8 @@ inline ScenarioRun merge_seed_results(const std::vector<SeedRunResult>& rs) {
       out.conflict_histogram[label] += n;
     out.legacy.add(r.legacy);
     if (r.has_rem) out.rem.add(r.rem);
+    out.legacy_metrics.merge(r.legacy_metrics);
+    if (r.has_rem) out.rem_metrics.merge(r.rem_metrics);
   }
   return out;
 }
@@ -249,15 +292,24 @@ inline ScenarioRun merge_seed_results(const std::vector<SeedRunResult>& rs) {
 inline ScenarioRun run_route(trace::Route route, double speed_kmh,
                              double duration_s,
                              const std::vector<std::uint64_t>& seeds,
-                             bool run_rem = true,
-                             const sim::FaultConfig& faults = {}) {
+                             bool run_rem, const SeedRunOptions& opts) {
   phy::LogisticBlerModel bler;
   std::vector<SeedRunResult> rs;
   rs.reserve(seeds.size());
   for (const auto seed : seeds)
-    rs.push_back(run_seed(route, speed_kmh, duration_s, seed, run_rem, bler,
-                          faults));
+    rs.push_back(
+        run_seed(route, speed_kmh, duration_s, seed, run_rem, bler, opts));
   return merge_seed_results(rs);
+}
+
+inline ScenarioRun run_route(trace::Route route, double speed_kmh,
+                             double duration_s,
+                             const std::vector<std::uint64_t>& seeds,
+                             bool run_rem = true,
+                             const sim::FaultConfig& faults = {}) {
+  SeedRunOptions opts;
+  opts.faults = faults;
+  return run_route(route, speed_kmh, duration_s, seeds, run_rem, opts);
 }
 
 /// Worker count for parallel benches: the REM_BENCH_THREADS environment
@@ -277,17 +329,28 @@ inline std::size_t bench_threads() {
 inline ScenarioRun run_route_parallel(trace::Route route, double speed_kmh,
                                       double duration_s,
                                       const std::vector<std::uint64_t>& seeds,
-                                      bool run_rem = true,
-                                      std::size_t num_threads = 0,
-                                      const sim::FaultConfig& faults = {}) {
+                                      bool run_rem, std::size_t num_threads,
+                                      const SeedRunOptions& opts) {
   if (num_threads == 0) num_threads = bench_threads();
   phy::LogisticBlerModel bler;
   std::vector<SeedRunResult> rs(seeds.size());
   common::parallel_for(seeds.size(), num_threads, [&](std::size_t i) {
     rs[i] = run_seed(route, speed_kmh, duration_s, seeds[i], run_rem, bler,
-                     faults);
+                     opts);
   });
   return merge_seed_results(rs);
+}
+
+inline ScenarioRun run_route_parallel(trace::Route route, double speed_kmh,
+                                      double duration_s,
+                                      const std::vector<std::uint64_t>& seeds,
+                                      bool run_rem = true,
+                                      std::size_t num_threads = 0,
+                                      const sim::FaultConfig& faults = {}) {
+  SeedRunOptions opts;
+  opts.faults = faults;
+  return run_route_parallel(route, speed_kmh, duration_s, seeds, run_rem,
+                            num_threads, opts);
 }
 
 inline double pct(double x) { return 100.0 * x; }

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Documentation lint, wired into ctest under the `docs` label:
+#   1. every intra-repo markdown link (relative path, not http/mailto/#)
+#      in the top-level *.md files must point at an existing file;
+#   2. every public header in src/obs must carry a file-top comment and a
+#      doc comment on each top-level class/struct, so the observability
+#      API cannot drift undocumented.
+# Exits non-zero listing every violation; prints nothing on success
+# beyond a one-line summary.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root" || exit 1
+
+fail=0
+
+# --- 1. intra-repo markdown links ------------------------------------------
+for md in ./*.md; do
+  # Extract (target) parts of [text](target) links, one per line. Inline
+  # code spans are not parsed; our docs only use plain links.
+  targets=$(grep -o ']([^)]*)' "$md" | sed 's/^](//; s/)$//')
+  while IFS= read -r target; do
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"           # strip any #anchor
+    [ -z "$path" ] && continue
+    if [ ! -e "$repo_root/$path" ]; then
+      echo "BROKEN LINK: $md -> $target"
+      fail=1
+    fi
+  done <<EOF
+$targets
+EOF
+done
+
+# --- 2. doc comments on src/obs public headers -----------------------------
+for hdr in src/obs/*.hpp; do
+  if ! head -n 1 "$hdr" | grep -q '^//'; then
+    echo "MISSING FILE COMMENT: $hdr must open with a // comment block"
+    fail=1
+  fi
+  # Every top-level class/struct must be preceded by a comment line.
+  violations=$(awk '
+    /^(class|struct) [A-Za-z_]+/ {
+      if (prev !~ /^\/\// && prev !~ /\*\//)
+        print FILENAME ":" FNR ": undocumented: " $0
+    }
+    { prev = $0 }
+  ' "$hdr")
+  if [ -n "$violations" ]; then
+    echo "$violations"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED"
+  exit 1
+fi
+echo "check_docs: ok (markdown links + src/obs header docs)"

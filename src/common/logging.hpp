@@ -14,7 +14,9 @@ namespace rem::common {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global minimum level; messages below it are discarded.
+/// Global minimum level; messages below it are discarded. Both functions
+/// are thread-safe (one relaxed atomic); changing the level mid-run
+/// affects subsequent messages only.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 

@@ -1,4 +1,10 @@
 // Descriptive statistics and empirical CDFs for the evaluation harness.
+//
+// Not thread-safe: a Summary belongs to one thread (or one seed's run).
+// Even const queries mutate the lazily sorted cache, so concurrent readers
+// race — the seed-parallel runner keeps one Summary per seed and merges
+// after the pool drains. For lock-free aggregation across threads use
+// obs::Histogram instead (fixed buckets, relaxed atomics).
 #pragma once
 
 #include <cstddef>
@@ -22,6 +28,8 @@ class Summary {
   double min() const;
   double max() const;
   /// Exact percentile by linear interpolation, p in [0,100].
+  /// Precondition: !empty() — mean/stddev/min/max/percentile on an empty
+  /// Summary return 0 rather than trap; callers gate on empty().
   double percentile(double p) const;
   double median() const { return percentile(50.0); }
 

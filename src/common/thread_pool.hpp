@@ -6,6 +6,12 @@
 // wait for drain, join on destruction. parallel_for is the common entry
 // point — it hands out indices through an atomic counter so workers
 // self-balance across uneven seed costs.
+//
+// Thread safety: submit() may be called from any thread, including from
+// inside a running job; wait_idle() belongs to one coordinating thread at
+// a time. default_threads() is hardware concurrency — the bench harness
+// layers the REM_BENCH_THREADS override on top (bench::bench_threads(),
+// knob table in OBSERVABILITY.md).
 #pragma once
 
 #include <condition_variable>

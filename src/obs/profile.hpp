@@ -1,0 +1,64 @@
+// Scoped RAII profiling timers for the DSP/crossband hot paths.
+//
+// A ScopedTimer records the wall-clock nanoseconds between construction
+// and destruction into a Histogram. Gating is by pointer: passing nullptr
+// (what every Registry getter returns when disabled) reduces the timer to
+// two untaken branches — no clock reads, no atomics, no allocation — so
+// instrumented kernels cost nothing when REM_METRICS is off.
+//
+// Wall-clock durations are inherently nondeterministic; kernel-time
+// histograms therefore live in the process-wide global_registry() and are
+// never part of the deterministic per-seed snapshots that the scenario
+// runner merges (see registry.hpp).
+//
+// Typical call-site pattern (one registration, then lock-free recording):
+//
+//   static obs::Histogram* const timer_hist =
+//       obs::global_registry().histogram("dsp.svd_ns",
+//                                        obs::kernel_time_buckets_ns());
+//   obs::ScopedTimer timer(timer_hist);
+#pragma once
+
+#include "obs/registry.hpp"
+
+#include <chrono>
+
+namespace rem::obs {
+
+/// Records elapsed wall-clock ns into `hist` on destruction; a nullptr
+/// histogram disables the timer entirely (no clock reads).
+///
+/// Thread-safety: each instance is single-threaded (stack-scoped); the
+/// underlying Histogram::record is lock-free, so concurrent scopes on
+/// different threads may share one histogram.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist) noexcept : hist_(hist) {
+    if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (hist_ != nullptr)
+      hist_->record(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start_)
+              .count()));
+  }
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Convenience for kernel call sites: the named histogram with the
+/// canonical kernel-time buckets from the global registry, or nullptr when
+/// metrics are disabled. Intended for one-time function-local-static
+/// initialization (the lookup takes the registry mutex).
+inline Histogram* kernel_timer(const std::string& name) {
+  return global_registry().histogram(name, kernel_time_buckets_ns());
+}
+
+}  // namespace rem::obs

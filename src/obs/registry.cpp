@@ -1,0 +1,465 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+namespace rem::obs {
+namespace {
+
+// Lock-free add for the histogram running sum (std::atomic<double>::
+// fetch_add is C++20 but not reliably lowered on every toolchain; the CAS
+// loop is portable and contention here is a few threads at most).
+void atomic_add(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string join_doubles(const std::vector<double>& vs) {
+  std::string out;
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    if (i) out.push_back(',');
+    out += fmt_double(vs[i]);
+  }
+  return out;
+}
+
+std::string join_counts(const std::vector<std::uint64_t>& vs) {
+  std::string out;
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    if (i) out.push_back(',');
+    out += std::to_string(vs[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!s.empty()) out.push_back(cur);
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> edges)
+    : edges_(std::move(edges)), counts_(edges_.size() + 1) {
+  if (edges_.empty())
+    throw std::invalid_argument("Histogram: empty bucket edges");
+  for (std::size_t i = 1; i < edges_.size(); ++i)
+    if (!(edges_[i - 1] < edges_[i]))
+      throw std::invalid_argument(
+          "Histogram: bucket edges not strictly ascending at index " +
+          std::to_string(i) + " (" + fmt_double(edges_[i - 1]) + " vs " +
+          fmt_double(edges_[i]) + ")");
+}
+
+void Histogram::record(double v) noexcept {
+  // First bucket whose upper edge admits v (v <= edge); NaN is explicitly
+  // routed to the overflow bucket since it compares false with every edge.
+  std::size_t idx;
+  if (std::isnan(v)) {
+    idx = edges_.size();
+  } else {
+    const auto it = std::lower_bound(edges_.begin(), edges_.end(), v);
+    idx = static_cast<std::size_t>(it - edges_.begin());
+  }
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::sum() const noexcept {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+std::uint64_t HistogramSnapshot::total_count() const {
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  return total;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  const std::uint64_t total = total_count();
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t c = counts[i];
+    if (c == 0) continue;
+    if (static_cast<double>(cum + c) >= target) {
+      if (i >= edges.size()) return edges.back();  // overflow bucket
+      const double lo = i == 0 ? 0.0 : edges[i - 1];
+      const double hi = edges[i];
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(c);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+    }
+    cum += c;
+  }
+  return edges.back();
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  const auto merge_sorted = [](auto& mine, const auto& theirs, auto combine) {
+    for (const auto& t : theirs) {
+      const auto it = std::lower_bound(
+          mine.begin(), mine.end(), t,
+          [](const auto& a, const auto& b) { return a.name < b.name; });
+      if (it != mine.end() && it->name == t.name)
+        combine(*it, t);
+      else
+        mine.insert(it, t);
+    }
+  };
+  merge_sorted(counters, other.counters,
+               [](CounterSnapshot& a, const CounterSnapshot& b) {
+                 a.value += b.value;
+               });
+  merge_sorted(gauges, other.gauges,
+               [](GaugeSnapshot& a, const GaugeSnapshot& b) {
+                 a.value = std::max(a.value, b.value);
+               });
+  merge_sorted(histograms, other.histograms,
+               [](HistogramSnapshot& a, const HistogramSnapshot& b) {
+                 if (a.edges != b.edges)
+                   throw std::invalid_argument(
+                       "MetricsSnapshot::merge: histogram '" + a.name +
+                       "' has mismatched bucket edges");
+                 for (std::size_t i = 0; i < a.counts.size(); ++i)
+                   a.counts[i] += b.counts[i];
+                 a.sum += b.sum;
+               });
+}
+
+const CounterSnapshot* MetricsSnapshot::find_counter(
+    const std::string& name) const {
+  for (const auto& c : counters)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+const GaugeSnapshot* MetricsSnapshot::find_gauge(
+    const std::string& name) const {
+  for (const auto& g : gauges)
+    if (g.name == name) return &g;
+  return nullptr;
+}
+
+const HistogramSnapshot* MetricsSnapshot::find_histogram(
+    const std::string& name) const {
+  for (const auto& h : histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+Counter* Registry::counter(const std::string& name) {
+  if (!enabled_) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::gauge(const std::string& name) {
+  if (!enabled_) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::histogram(const std::string& name,
+                               std::vector<double> edges) {
+  if (!enabled_) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::make_unique<Histogram>(std::move(edges)))
+             .first;
+  } else if (it->second->edges() != edges) {
+    throw std::invalid_argument(
+        "Registry::histogram: '" + name +
+        "' re-registered with different bucket edges");
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_)
+    snap.counters.push_back({name, c->value()});
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_)
+    snap.gauges.push_back({name, g->value()});
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_)
+    snap.histograms.push_back({name, h->edges(), h->counts(), h->sum()});
+  return snap;  // std::map iteration order keeps everything name-sorted
+}
+
+Registry& global_registry() {
+  static Registry registry(metrics_enabled());
+  return registry;
+}
+
+bool metrics_enabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("REM_METRICS");
+    return env != nullptr && std::string_view(env) == "1";
+  }();
+  return enabled;
+}
+
+const std::vector<double>& kernel_time_buckets_ns() {
+  // ~1-2.5-5 decade ladder from 1 us to 100 ms: SFFT on a 12x14 signaling
+  // subgrid sits near the bottom, a 1200x560 offline SVD near the top.
+  static const std::vector<double> edges = {
+      1e3,   2.5e3, 5e3,   1e4,   2.5e4, 5e4,   1e5,   2.5e5,
+      5e5,   1e6,   2.5e6, 5e6,   1e7,   2.5e7, 5e7,   1e8};
+  return edges;
+}
+
+const std::vector<double>& handover_latency_buckets_s() {
+  // Trigger-to-complete span of one handover attempt. The paper's Fig. 2a
+  // feedback delays (~0.2-1.5 s) plus decision and execution land here.
+  static const std::vector<double> edges = {0.05, 0.1, 0.15, 0.2, 0.3,
+                                            0.4,  0.5, 0.75, 1.0, 1.5,
+                                            2.0,  3.0, 5.0};
+  return edges;
+}
+
+const std::vector<double>& outage_duration_buckets_s() {
+  // RLF-to-camp durations: 0.3 s prepared-target fallback and 0.8 s full
+  // re-establishment are the configured floors; blackouts stretch the tail.
+  static const std::vector<double> edges = {0.1, 0.2, 0.3, 0.5, 0.8, 1.0,
+                                            1.5, 2.0, 3.0, 5.0, 10.0};
+  return edges;
+}
+
+const std::vector<double>& out_of_sync_buckets_s() {
+  // T310-armed episode lengths; the default T310 of 0.45 s caps episodes
+  // that end in RLF, recoveries can be shorter or (with N311 churn) longer.
+  static const std::vector<double> edges = {0.05, 0.1,  0.2, 0.3,
+                                            0.45, 0.6,  1.0, 2.0};
+  return edges;
+}
+
+void write_metrics_json(const MetricsSnapshot& snap, std::ostream& os) {
+  os << "{\n";
+  os << "  \"schema\": \"rem-metrics-v1\"";
+  for (const auto& c : snap.counters)
+    os << ",\n  \"counter." << json_escape(c.name) << "\": \"" << c.value
+       << "\"";
+  for (const auto& g : snap.gauges)
+    os << ",\n  \"gauge." << json_escape(g.name) << "\": \""
+       << fmt_double(g.value) << "\"";
+  for (const auto& h : snap.histograms) {
+    const std::string key = "hist." + json_escape(h.name);
+    os << ",\n  \"" << key << ".edges\": \"" << join_doubles(h.edges) << "\"";
+    os << ",\n  \"" << key << ".counts\": \"" << join_counts(h.counts)
+       << "\"";
+    os << ",\n  \"" << key << ".sum\": \"" << fmt_double(h.sum) << "\"";
+  }
+  os << "\n}\n";
+}
+
+MetricsSnapshot read_metrics_json(std::istream& is) {
+  // Minimal parser for exactly the flat shape write_metrics_json emits
+  // (one `"key": "value"` pair per line inside a single object), with the
+  // golden-digest error discipline: reject anything else with the line
+  // number and content.
+  MetricsSnapshot snap;
+  // Histograms arrive as three keys; collect parts and assemble at the end.
+  struct HistParts {
+    std::string edges, counts, sum;
+  };
+  std::map<std::string, HistParts> hist_parts;
+  std::string line;
+  int line_no = 0;
+  bool in_object = false, closed = false, have_schema = false;
+  const auto fail = [&](const std::string& why) -> void {
+    throw std::runtime_error("metrics JSON line " + std::to_string(line_no) +
+                             ": " + why + " in '" + line + "'");
+  };
+  const auto unquote = [&](std::string_view sv) {
+    if (sv.size() < 2 || sv.front() != '"' || sv.back() != '"')
+      fail("expected a double-quoted string");
+    std::string out;
+    for (std::size_t i = 1; i + 1 < sv.size(); ++i) {
+      if (sv[i] == '\\') {
+        if (i + 2 >= sv.size()) fail("dangling escape");
+        out.push_back(sv[++i]);
+      } else {
+        out.push_back(sv[i]);
+      }
+    }
+    return out;
+  };
+  const auto parse_u64 = [&](const std::string& s) {
+    if (s.empty()) fail("empty integer");
+    for (char c : s)
+      if (c < '0' || c > '9') fail("malformed integer '" + s + "'");
+    return static_cast<std::uint64_t>(std::strtoull(s.c_str(), nullptr, 10));
+  };
+  const auto parse_double = [&](const std::string& s) {
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (s.empty() || end != s.c_str() + s.size())
+      fail("malformed number '" + s + "'");
+    return v;
+  };
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::string_view sv(line);
+    while (!sv.empty() && (sv.front() == ' ' || sv.front() == '\t'))
+      sv.remove_prefix(1);
+    while (!sv.empty() &&
+           (sv.back() == ' ' || sv.back() == '\t' || sv.back() == '\r'))
+      sv.remove_suffix(1);
+    if (sv.empty()) continue;
+    if (sv == "{") {
+      if (in_object || closed) fail("unexpected '{'");
+      in_object = true;
+      continue;
+    }
+    if (sv == "}") {
+      if (!in_object || closed) fail("unexpected '}'");
+      closed = true;
+      in_object = false;
+      continue;
+    }
+    if (!in_object) fail("content outside the metrics object");
+    if (sv.back() == ',') sv.remove_suffix(1);
+    const std::size_t colon = sv.find("\": \"");
+    if (colon == std::string_view::npos)
+      fail("expected a '\"key\": \"value\"' pair");
+    const std::string key = unquote(sv.substr(0, colon + 1));
+    const std::string value = unquote(sv.substr(colon + 3));
+    if (key == "schema") {
+      if (value != "rem-metrics-v1")
+        fail("unsupported schema '" + value + "'");
+      have_schema = true;
+    } else if (key.rfind("counter.", 0) == 0) {
+      snap.counters.push_back({key.substr(8), parse_u64(value)});
+    } else if (key.rfind("gauge.", 0) == 0) {
+      snap.gauges.push_back({key.substr(6), parse_double(value)});
+    } else if (key.rfind("hist.", 0) == 0) {
+      const std::string rest = key.substr(5);
+      const std::size_t dot = rest.rfind('.');
+      if (dot == std::string::npos)
+        fail("histogram key missing '.edges/.counts/.sum' suffix");
+      const std::string name = rest.substr(0, dot);
+      const std::string part = rest.substr(dot + 1);
+      if (part == "edges")
+        hist_parts[name].edges = value;
+      else if (part == "counts")
+        hist_parts[name].counts = value;
+      else if (part == "sum")
+        hist_parts[name].sum = value;
+      else
+        fail("unknown histogram part '" + part + "'");
+    } else {
+      fail("unknown key prefix for '" + key + "'");
+    }
+  }
+  if (!closed)
+    throw std::runtime_error("metrics JSON: unterminated object (no '}')");
+  if (!have_schema)
+    throw std::runtime_error("metrics JSON: missing the 'schema' key");
+  for (const auto& [name, parts] : hist_parts) {
+    if (parts.edges.empty() || parts.counts.empty() || parts.sum.empty())
+      throw std::runtime_error("metrics JSON: histogram '" + name +
+                               "' is missing edges, counts, or sum");
+    HistogramSnapshot h;
+    h.name = name;
+    for (const auto& s : split_csv(parts.edges))
+      h.edges.push_back(parse_double(s));
+    for (const auto& s : split_csv(parts.counts))
+      h.counts.push_back(parse_u64(s));
+    h.sum = parse_double(parts.sum);
+    if (h.counts.size() != h.edges.size() + 1)
+      throw std::runtime_error(
+          "metrics JSON: histogram '" + name + "' has " +
+          std::to_string(h.counts.size()) + " counts for " +
+          std::to_string(h.edges.size()) + " edges (want edges+1)");
+    snap.histograms.push_back(std::move(h));
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+MetricsSnapshot read_metrics_json_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is)
+    throw std::runtime_error("read_metrics_json_file: cannot open " + path);
+  try {
+    return read_metrics_json(is);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+void write_metrics_json_file(const MetricsSnapshot& snap,
+                             const std::string& path) {
+  std::ofstream os(path);
+  if (!os)
+    throw std::runtime_error("write_metrics_json_file: cannot open " + path);
+  write_metrics_json(snap, os);
+  if (!os)
+    throw std::runtime_error("write_metrics_json_file: write failed for " +
+                             path);
+}
+
+}  // namespace rem::obs

@@ -1,0 +1,128 @@
+// Structured run tracing: a SpanTracer rides the sim::SimObserver hook and
+// reassembles the simulator's flat signaling-event stream into per-attempt
+// span trees — one span per handover attempt (phases: measure → decide →
+// execute) and one per outage (RLF/T304 to re-establishment) — annotated
+// with the fault windows active while each span was open.
+//
+// The tracer is an observer in the strict SimObserver sense: it draws no
+// randomness and never mutates simulation state, so attaching it cannot
+// change a run's results. Everything it records derives from *simulated*
+// time, which makes its metrics bit-identical across reruns and thread
+// counts; reconcile() cross-checks the reassembled spans against the
+// simulator's own SimStats so trace and stats cannot drift apart silently.
+//
+// Span and metric names, units, and the phase-to-event mapping are
+// documented in OBSERVABILITY.md.
+#pragma once
+
+#include "obs/registry.hpp"
+#include "sim/observer.hpp"
+#include "sim/simulator.hpp"
+
+#include <array>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rem::obs {
+
+/// One contiguous stage of a span, in simulated seconds.
+struct SpanPhase {
+  std::string name;    ///< "measure", "decide", "execute", or "outage"
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+/// One reassembled span: a handover attempt (kind "handover") from its
+/// triggering measurement to its terminal event, or an outage (kind
+/// "outage") from connectivity loss to re-establishment.
+struct Span {
+  std::string kind;     ///< "handover" | "outage"
+  double start_s = 0.0;
+  double end_s = 0.0;
+  int serving = -1;     ///< serving cell at span open
+  int target = -1;      ///< handover target (-1 for outages)
+  /// Terminal event: handover spans end in "complete", "report_lost",
+  /// "command_lost", "t304_expiry", "rlf_interrupted", or "unfinished"
+  /// (run ended mid-span); outage spans end in "reestablished" or
+  /// "unfinished".
+  std::string outcome;
+  std::vector<SpanPhase> phases;
+  /// Names of fault kinds whose windows overlapped this span.
+  std::vector<std::string> faults;
+  int report_retransmits = 0;
+  bool duplicate_command = false;
+
+  double duration_s() const { return end_s - start_s; }
+};
+
+/// Stable slug for a failure cause ("feedback_delay_loss", "missed_cell",
+/// "ho_command_loss", "coverage_hole") used in metric names and JSON.
+/// Throws std::invalid_argument on a value outside the enum.
+std::string failure_cause_slug(sim::FailureCause c);
+
+/// SimObserver that reassembles the event stream into spans (see the
+/// file-top comment) and records span-derived metrics into a Registry.
+/// One tracer observes exactly one run; construct a fresh one per run.
+class SpanTracer : public sim::SimObserver {
+ public:
+  /// Metrics derived from the spans are recorded into `registry` (may be
+  /// nullptr to trace without metrics). The registry pointer is borrowed
+  /// and must outlive the tracer.
+  explicit SpanTracer(Registry* registry = nullptr);
+
+  /// SimObserver contract: no RNG draws, no simulation-state mutation.
+  void on_event(const sim::SignalingEvent& event) override;
+  void on_tick(const sim::TickView& view) override;
+  /// Closes dangling spans as "unfinished" and records the per-cause
+  /// failure counters (`sim.failure_cause.*`), which exist only in
+  /// SimStats — reconcile() independently cross-checks the totals.
+  void on_run_end(sim::SimStats& stats) override;
+
+  /// All closed spans, in close order. Complete only after on_run_end.
+  const std::vector<Span>& spans() const { return spans_; }
+
+  /// Cross-check the reassembled spans against the simulator's own
+  /// statistics: handover attempts/completions, failure totals and
+  /// per-cause splits, outage count and exact duration sum, latency
+  /// histogram count, retransmit/duplicate/degraded counters. Returns one
+  /// human-readable line per mismatch; empty means trace and stats agree
+  /// exactly. Precondition: on_run_end has fired for this run.
+  std::vector<std::string> reconcile(const sim::SimStats& stats) const;
+
+  /// Write one JSON object per span (JSON Lines). `context` is an
+  /// optional pre-rendered fragment of `"key": "value"` pairs (no braces,
+  /// no trailing comma) merged into every line — the scenario runner uses
+  /// it to stamp seed/manager/route onto each span.
+  void write_trace_jsonl(std::ostream& os,
+                         const std::string& context = "") const;
+
+ private:
+  void note_fault(std::size_t kind_index);
+  void close_handover(double t, const std::string& outcome);
+  void close_outage(double t, const std::string& outcome);
+
+  Registry* registry_;
+  std::vector<Span> spans_;
+  std::optional<Span> handover_;   ///< open handover attempt
+  std::optional<Span> outage_;     ///< open outage
+  std::array<bool, sim::kNumFaultKinds> fault_active_{};
+  // Out-of-sync episode tracking (T310 armed interval), from on_tick.
+  bool t310_prev_ = false;
+  double t310_started_ = 0.0;
+  double max_estimate_age_s_ = 0.0;
+  double last_tick_s_ = 0.0;
+  bool run_ended_ = false;
+  // Independent tallies for reconcile(), kept even without a registry.
+  struct Tally {
+    std::uint64_t triggered = 0, report_delivered = 0, report_lost = 0,
+                  attempts = 0, command_lost = 0, complete = 0, rlf = 0,
+                  t304_expiry = 0, reestablished = 0, retransmits = 0,
+                  duplicates = 0, degraded_enters = 0, fault_windows = 0;
+    double outage_sum_s = 0.0;
+    std::uint64_t latency_count = 0;
+  } tally_;
+};
+
+}  // namespace rem::obs

@@ -13,6 +13,8 @@
 
 #include "sim/events.hpp"
 
+#include <vector>
+
 namespace rem::sim {
 
 struct SimStats;
@@ -52,6 +54,35 @@ class SimObserver {
   /// Called once at the end of run() with the final statistics; observers
   /// may write back summary fields (e.g. SimStats::invariant_violations).
   virtual void on_run_end(SimStats& /*stats*/) {}
+};
+
+/// Forwards every hook to multiple child observers, in add() order, so a
+/// single SimConfig::observer slot can host several independent observers
+/// (e.g. testkit::InvariantChecker plus obs::SpanTracer).
+///
+/// Child pointers are borrowed, never owned: each child must outlive the
+/// simulation run. A nullptr child is ignored. Children must individually
+/// satisfy the SimObserver contract (no mutation, no RNG draws); the
+/// fanout adds no state of its own, so forwarding order only matters if a
+/// child breaks that contract.
+class ObserverFanout : public SimObserver {
+ public:
+  void add(SimObserver* child) {
+    if (child != nullptr) children_.push_back(child);
+  }
+
+  void on_event(const SignalingEvent& event) override {
+    for (SimObserver* c : children_) c->on_event(event);
+  }
+  void on_tick(const TickView& view) override {
+    for (SimObserver* c : children_) c->on_tick(view);
+  }
+  void on_run_end(SimStats& stats) override {
+    for (SimObserver* c : children_) c->on_run_end(stats);
+  }
+
+ private:
+  std::vector<SimObserver*> children_;
 };
 
 }  // namespace rem::sim

@@ -1,0 +1,252 @@
+// End-to-end tests for the span tracer and the scenario runner's metrics
+// plumbing: a chaos-mode simulation ("mixed" golden fault preset) must
+// yield a span trace and metrics snapshot that exactly reconcile with the
+// simulator's own SimStats; the metrics/trace artifacts must round-trip;
+// and seed-parallel metrics collection must be bit-identical across
+// worker-thread counts.
+#include "obs/registry.hpp"
+#include "obs/tracer.hpp"
+#include "scenario_runner.hpp"
+#include "testkit/golden.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+using rem::bench::SeedRunOptions;
+
+constexpr double kDuration = 120.0;
+constexpr double kSpeed = 300.0;
+const auto kRoute = rem::trace::Route::kBeijingShanghai;
+
+SeedRunOptions chaos_opts() {
+  SeedRunOptions opts;
+  opts.faults = rem::testkit::golden_fault_preset("mixed", kDuration);
+  opts.collect_metrics = true;
+  return opts;
+}
+
+// Run one chaos seed with an explicit tracer attached (independent of the
+// runner plumbing) so the test can inspect spans directly.
+struct TracedRun {
+  rem::sim::SimStats stats;
+  rem::obs::MetricsSnapshot metrics;
+  std::vector<rem::obs::Span> spans;
+  std::vector<std::string> mismatches;
+};
+
+const rem::phy::BlerModel& bler_model() {
+  static rem::phy::LogisticBlerModel bler;
+  return bler;
+}
+
+TracedRun traced_chaos_run(std::uint64_t seed) {
+  auto sc = rem::trace::make_scenario(kRoute, kSpeed, kDuration);
+  sc.sim.faults = rem::testkit::golden_fault_preset("mixed", kDuration);
+  rem::common::Rng rng(seed);
+  auto cells = rem::sim::make_rail_deployment(sc.deployment, rng);
+  auto holes = rem::sim::make_hole_segments(sc.deployment, rng);
+  rem::sim::RadioEnv env(cells, sc.propagation, rng.fork(), holes);
+  auto policies = rem::trace::synthesize_policies(cells, sc.policy_mix, rng);
+
+  rem::core::LegacyConfig lc;
+  lc.policies = policies;
+  rem::core::LegacyManager legacy(lc);
+
+  rem::obs::Registry registry;
+  rem::obs::SpanTracer tracer(&registry);
+  rem::sim::SimConfig cfg = sc.sim;
+  cfg.observer = &tracer;
+  rem::sim::Simulator s(env, cfg, bler_model(), rng.fork());
+
+  TracedRun out;
+  out.stats = s.run(legacy);
+  out.metrics = registry.snapshot();
+  out.spans = tracer.spans();
+  out.mismatches = tracer.reconcile(out.stats);
+  return out;
+}
+
+TEST(SpanTracer, ChaosRunReconcilesWithSimStats) {
+  const auto run = traced_chaos_run(3);
+  EXPECT_TRUE(run.mismatches.empty())
+      << "reconcile mismatches:\n" +
+             [&] {
+               std::string all;
+               for (const auto& m : run.mismatches) all += "  " + m + "\n";
+               return all;
+             }();
+  // The chaos preset must actually provoke handovers so the test bites.
+  ASSERT_GT(run.stats.handovers, 0);
+
+  // Handover-latency histogram count == successful handovers, exactly.
+  const auto* latency = run.metrics.find_histogram("sim.handover_latency_s");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->total_count(),
+            static_cast<std::uint64_t>(run.stats.successful_handovers));
+
+  // Per-cause failure counters sum to the stats' failure total.
+  std::uint64_t cause_sum = 0;
+  for (const auto& c : run.metrics.counters)
+    if (c.name.rfind("sim.failure_cause.", 0) == 0) cause_sum += c.value;
+  EXPECT_EQ(cause_sum, static_cast<std::uint64_t>(run.stats.failures));
+  for (const auto& [cause, n] : run.stats.failures_by_cause) {
+    const auto* c = run.metrics.find_counter(
+        "sim.failure_cause." + rem::obs::failure_cause_slug(cause));
+    ASSERT_NE(c, nullptr) << rem::obs::failure_cause_slug(cause);
+    EXPECT_EQ(c->value, static_cast<std::uint64_t>(n));
+  }
+
+  // Counter cross-checks against SimStats fields.
+  const auto counter = [&](const char* name) {
+    const auto* c = run.metrics.find_counter(name);
+    return c != nullptr ? c->value : 0u;
+  };
+  EXPECT_EQ(counter("sim.handover.attempts"),
+            static_cast<std::uint64_t>(run.stats.handovers));
+  EXPECT_EQ(counter("sim.handover.complete"),
+            static_cast<std::uint64_t>(run.stats.successful_handovers));
+  EXPECT_EQ(counter("sim.report.retransmits"),
+            static_cast<std::uint64_t>(run.stats.report_retransmits));
+  EXPECT_EQ(counter("sim.handover.t304_expiry"),
+            static_cast<std::uint64_t>(run.stats.t304_expiries));
+  EXPECT_EQ(counter("sim.command.duplicates"),
+            static_cast<std::uint64_t>(run.stats.duplicate_commands));
+  EXPECT_EQ(counter("sim.reestablished"),
+            static_cast<std::uint64_t>(run.stats.outage_durations_s.size()));
+}
+
+TEST(SpanTracer, SpansAreWellFormed) {
+  const auto run = traced_chaos_run(5);
+  ASSERT_FALSE(run.spans.empty());
+  std::uint64_t complete = 0;
+  for (const auto& s : run.spans) {
+    EXPECT_TRUE(s.kind == "handover" || s.kind == "outage") << s.kind;
+    EXPECT_GE(s.end_s, s.start_s) << s.kind << " " << s.outcome;
+    ASSERT_FALSE(s.phases.empty());
+    EXPECT_EQ(s.phases.front().start_s, s.start_s);
+    for (std::size_t i = 0; i < s.phases.size(); ++i) {
+      EXPECT_GE(s.phases[i].end_s, s.phases[i].start_s);
+      if (i > 0) EXPECT_EQ(s.phases[i].start_s, s.phases[i - 1].end_s);
+    }
+    if (s.kind == "handover") {
+      EXPECT_GE(s.target, 0);
+      if (s.outcome == "complete") {
+        ++complete;
+        // A completed attempt traversed measure -> decide -> execute.
+        ASSERT_EQ(s.phases.size(), 3u);
+        EXPECT_EQ(s.phases[0].name, "measure");
+        EXPECT_EQ(s.phases[1].name, "decide");
+        EXPECT_EQ(s.phases[2].name, "execute");
+        EXPECT_EQ(s.phases.back().end_s, s.end_s);
+      }
+    } else {
+      EXPECT_TRUE(s.outcome == "reestablished" || s.outcome == "unfinished")
+          << s.outcome;
+    }
+  }
+  EXPECT_EQ(complete,
+            static_cast<std::uint64_t>(run.stats.successful_handovers));
+}
+
+TEST(SpanTracer, TraceJsonlHasOneObjectPerSpan) {
+  const auto run = traced_chaos_run(3);
+  // Re-run the same seed with a locally held tracer so its serializer can
+  // be driven directly, with a context stamp on every line.
+  rem::obs::Registry registry;
+  rem::obs::SpanTracer tracer(&registry);
+  std::ostringstream os;
+  auto sc = rem::trace::make_scenario(kRoute, kSpeed, kDuration);
+  sc.sim.faults = rem::testkit::golden_fault_preset("mixed", kDuration);
+  rem::common::Rng rng(3);
+  auto cells = rem::sim::make_rail_deployment(sc.deployment, rng);
+  auto holes = rem::sim::make_hole_segments(sc.deployment, rng);
+  rem::sim::RadioEnv env(cells, sc.propagation, rng.fork(), holes);
+  auto policies = rem::trace::synthesize_policies(cells, sc.policy_mix, rng);
+  rem::core::LegacyConfig lc;
+  lc.policies = policies;
+  rem::core::LegacyManager legacy(lc);
+  rem::sim::SimConfig cfg = sc.sim;
+  cfg.observer = &tracer;
+  rem::sim::Simulator s(env, cfg, bler_model(), rng.fork());
+  (void)s.run(legacy);
+  tracer.write_trace_jsonl(os, "\"seed\": \"3\"");
+
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"seed\": \"3\""), std::string::npos);
+    EXPECT_NE(line.find("\"outcome\": \""), std::string::npos);
+  }
+  EXPECT_EQ(lines, tracer.spans().size());
+  EXPECT_EQ(lines, run.spans.size()) << "same seed, same span count";
+}
+
+TEST(SpanTracer, MetricsJsonRoundTripsThroughFile) {
+  const auto run = traced_chaos_run(3);
+  const std::string path = "test_obs_tracer_metrics.json";
+  rem::obs::write_metrics_json_file(run.metrics, path);
+  const auto back = rem::obs::read_metrics_json_file(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(back.counters.size(), run.metrics.counters.size());
+  for (std::size_t i = 0; i < back.counters.size(); ++i) {
+    EXPECT_EQ(back.counters[i].name, run.metrics.counters[i].name);
+    EXPECT_EQ(back.counters[i].value, run.metrics.counters[i].value);
+  }
+  ASSERT_EQ(back.histograms.size(), run.metrics.histograms.size());
+  for (std::size_t i = 0; i < back.histograms.size(); ++i) {
+    EXPECT_EQ(back.histograms[i].counts, run.metrics.histograms[i].counts);
+    EXPECT_EQ(back.histograms[i].sum, run.metrics.histograms[i].sum);
+  }
+}
+
+// The runner merges per-seed snapshots in seed order, so the merged
+// metrics must be byte-identical for 1, 2, and 8 worker threads.
+TEST(ScenarioRunnerMetrics, ThreadCountInvariantSnapshots) {
+  const std::vector<std::uint64_t> seeds = {1, 2, 3, 4};
+  const auto opts = chaos_opts();
+  const auto render = [&](std::size_t threads) {
+    const auto run = rem::bench::run_route_parallel(
+        kRoute, kSpeed, kDuration, seeds, true, threads, opts);
+    std::ostringstream legacy_os, rem_os;
+    rem::obs::write_metrics_json(run.legacy_metrics, legacy_os);
+    rem::obs::write_metrics_json(run.rem_metrics, rem_os);
+    return legacy_os.str() + "\x1e" + rem_os.str();
+  };
+  const std::string one = render(1);
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, render(2));
+  EXPECT_EQ(one, render(8));
+}
+
+// collect_metrics must not perturb the simulation: aggregate statistics
+// with metrics on equal those with metrics off.
+TEST(ScenarioRunnerMetrics, CollectionDoesNotPerturbStats) {
+  const std::vector<std::uint64_t> seeds = {7};
+  auto opts = chaos_opts();
+  const auto with = rem::bench::run_route(kRoute, kSpeed, kDuration, seeds,
+                                          true, opts);
+  opts.collect_metrics = false;
+  const auto without = rem::bench::run_route(kRoute, kSpeed, kDuration,
+                                             seeds, true, opts);
+  EXPECT_EQ(with.legacy.handovers, without.legacy.handovers);
+  EXPECT_EQ(with.legacy.failures, without.legacy.failures);
+  EXPECT_EQ(with.rem.handovers, without.rem.handovers);
+  EXPECT_EQ(with.rem.failures, without.rem.failures);
+  EXPECT_EQ(with.legacy.by_cause, without.legacy.by_cause);
+  EXPECT_EQ(with.rem.by_cause, without.rem.by_cause);
+  EXPECT_TRUE(without.legacy_metrics.empty());
+  EXPECT_FALSE(with.legacy_metrics.empty());
+}
+
+}  // namespace
