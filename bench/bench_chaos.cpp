@@ -1,11 +1,16 @@
 // Chaos sweep: run REM and legacy management under each of the five
 // FaultInjector classes (burst signaling loss, pilot outage, processing
-// stall, coverage blackout, command duplication) and record per-fault
-// recovery-time / failure-ratio / downtime deltas against the no-fault
-// baseline into BENCH_CHAOS.json. The sweep doubles as the robustness
-// acceptance check: every run must complete without exceptions and REM's
-// degraded-mode fallback must be observable in the event log under a
-// pilot outage.
+// stall, coverage blackout, command duplication) plus a backhaul sweep
+// (frame loss at 1/5/10%, one-way delay spikes, full partitions) and
+// record per-fault recovery-time / failure-ratio / downtime deltas against
+// the no-fault baseline into BENCH_CHAOS.json. The sweep doubles as the
+// robustness acceptance check: every run must complete without exceptions
+// or invariant violations, REM's degraded-mode fallback must be observable
+// under a pilot outage, REM must ride out backhaul loss up to 10% and
+// bounded delay spikes with zero handover failures (prep retries absorb
+// them), partitions must degrade gracefully (fallbacks/failures observed,
+// retry budgets respected, recovery bounded), and legacy must degrade
+// measurably where REM does not.
 //
 // Every run also carries a rem::obs::SpanTracer, so the sweep additionally
 // emits <output>_metrics.json (one rem-metrics-v1 snapshot merged over
@@ -21,6 +26,8 @@
 #include "obs/registry.hpp"
 #include "obs/tracer.hpp"
 #include "scenario_runner.hpp"
+#include "sim/observer.hpp"
+#include "testkit/invariants.hpp"
 #include "trace/eventlog.hpp"
 
 #include <cstdio>
@@ -58,6 +65,18 @@ struct ManagerMetrics {
   int duplicate_commands = 0;
   int degraded_enters = 0;
   double degraded_time_s = 0.0;
+  // Backhaul preparation accounting (zero when the transport is disabled).
+  int prep_requests = 0;
+  int prep_retries = 0;
+  int prep_acks = 0;
+  int prep_rejects = 0;
+  int prep_fallbacks = 0;
+  int prep_failures = 0;
+  int context_fetch_failures = 0;
+  double mean_prep_rtt_s = 0.0;
+  std::uint64_t backhaul_sent = 0;
+  std::uint64_t backhaul_delivered = 0;
+  std::uint64_t backhaul_dropped = 0;  ///< loss + partition + queue
 };
 
 struct ClassResult {
@@ -91,10 +110,22 @@ void run_one(rem::trace::Route route, double speed_kmh, double duration_s,
                                 rem::common::Rng run_rng, const char* label) {
     rem::obs::Registry registry;
     rem::obs::SpanTracer tracer(&registry);
+    rem::testkit::CheckerConfig ccfg;
+    ccfg.sim = sc.sim;
+    ccfg.num_cells = cells.size();
+    ccfg.faults_expected = !faults.empty();
+    ccfg.expect_no_degraded = std::string(label) == "legacy";
+    rem::testkit::InvariantChecker checker(ccfg);
+    rem::sim::ObserverFanout fanout;
+    fanout.add(&checker);
+    fanout.add(&tracer);
     rem::sim::SimConfig cfg = sc.sim;
-    cfg.observer = &tracer;
+    cfg.observer = &fanout;
     rem::sim::Simulator s(env, cfg, bler, std::move(run_rng));
     auto stats = s.run(m);
+    if (checker.violation_count() > 0)
+      throw std::logic_error("invariant violations in " + std::string(label) +
+                             " run {" + ctx + "}:\n" + checker.report());
     const auto mismatches = tracer.reconcile(stats);
     if (!mismatches.empty()) {
       std::string msg = "trace/stats reconcile mismatches in " +
@@ -133,6 +164,19 @@ ManagerMetrics fold(const std::vector<rem::sim::SimStats>& runs) {
     m.duplicate_commands += s.duplicate_commands;
     m.degraded_enters += s.degraded_enters;
     m.degraded_time_s += s.degraded_time_s;
+    m.prep_requests += s.prep_requests;
+    m.prep_retries += s.prep_retries;
+    m.prep_acks += s.prep_acks;
+    m.prep_rejects += s.prep_rejects;
+    m.prep_fallbacks += s.prep_fallbacks;
+    m.prep_failures += s.prep_failures;
+    m.context_fetch_failures += s.context_fetch_failures;
+    m.mean_prep_rtt_s += s.prep_rtt_sum_s;  // normalized below
+    m.backhaul_sent += s.backhaul_sent;
+    m.backhaul_delivered += s.backhaul_delivered;
+    m.backhaul_dropped += s.backhaul_dropped_loss +
+                          s.backhaul_dropped_partition +
+                          s.backhaul_dropped_queue;
   }
   const int den = m.handovers + m.failures;
   m.failure_ratio = den > 0 ? static_cast<double>(m.failures) / den : 0.0;
@@ -140,6 +184,7 @@ ManagerMetrics fold(const std::vector<rem::sim::SimStats>& runs) {
     m.mean_recovery_s = recovery.mean();
     m.p95_recovery_s = recovery.percentile(95.0);
   }
+  m.mean_prep_rtt_s = m.prep_acks > 0 ? m.mean_prep_rtt_s / m.prep_acks : 0.0;
   return m;
 }
 
@@ -153,6 +198,16 @@ void print_metrics(const char* label, const ManagerMetrics& m,
       m.mean_recovery_s, m.p95_recovery_s, 100.0 * m.downtime_fraction,
       m.report_retransmits, m.t304_expiries, m.t304_fallback_success,
       m.duplicate_commands, m.degraded_time_s, m.degraded_enters);
+  if (m.prep_requests > 0)
+    std::printf(
+        "          prep %4d req %3d retry %4d ack %2d rej %2d fb %2d fail  "
+        "rtt %4.1f ms  ctx-fail %d  frames %llu/%llu (drop %llu)\n",
+        m.prep_requests, m.prep_retries, m.prep_acks, m.prep_rejects,
+        m.prep_fallbacks, m.prep_failures, 1e3 * m.mean_prep_rtt_s,
+        m.context_fetch_failures,
+        static_cast<unsigned long long>(m.backhaul_delivered),
+        static_cast<unsigned long long>(m.backhaul_sent),
+        static_cast<unsigned long long>(m.backhaul_dropped));
 }
 
 void write_metrics_json(std::ofstream& js, const ManagerMetrics& m,
@@ -170,7 +225,18 @@ void write_metrics_json(std::ofstream& js, const ManagerMetrics& m,
      << ", \"t304_fallback_success\": " << m.t304_fallback_success
      << ", \"duplicate_commands\": " << m.duplicate_commands
      << ", \"degraded_enters\": " << m.degraded_enters
-     << ", \"degraded_time_s\": " << m.degraded_time_s << "}";
+     << ", \"degraded_time_s\": " << m.degraded_time_s
+     << ", \"prep_requests\": " << m.prep_requests
+     << ", \"prep_retries\": " << m.prep_retries
+     << ", \"prep_acks\": " << m.prep_acks
+     << ", \"prep_rejects\": " << m.prep_rejects
+     << ", \"prep_fallbacks\": " << m.prep_fallbacks
+     << ", \"prep_failures\": " << m.prep_failures
+     << ", \"context_fetch_failures\": " << m.context_fetch_failures
+     << ", \"mean_prep_rtt_s\": " << m.mean_prep_rtt_s
+     << ", \"backhaul_sent\": " << m.backhaul_sent
+     << ", \"backhaul_delivered\": " << m.backhaul_delivered
+     << ", \"backhaul_dropped\": " << m.backhaul_dropped << "}";
 }
 
 }  // namespace
@@ -208,6 +274,28 @@ int main(int argc, char** argv) {
       {FaultKind::kProcessingStall, 15.0, 60.0, 12.0, 0.6},
       {FaultKind::kCoverageBlackout, 15.0, 60.0, 4.0, 60.0},
       {FaultKind::kCommandDuplication, 10.0, 60.0, 25.0, 1.0},
+  };
+
+  // Backhaul sweep: sustained loss at the 1/5/10% points (one window over
+  // nearly the whole horizon; period > horizon keeps it single), periodic
+  // one-way delay spikes that push the prep RTT past its first timeout,
+  // and periodic full partitions long enough to exhaust the retry budget.
+  struct BackhaulSpec {
+    std::string label;
+    FaultKind kind;
+    double first_s, period_s, duration_s, magnitude;
+  };
+  const std::vector<BackhaulSpec> backhaul_classes = {
+      {"backhaul_loss_1", FaultKind::kBackhaulLoss, 5.0, 1e9,
+       duration_s - 10.0, 0.01},
+      {"backhaul_loss_5", FaultKind::kBackhaulLoss, 5.0, 1e9,
+       duration_s - 10.0, 0.05},
+      {"backhaul_loss_10", FaultKind::kBackhaulLoss, 5.0, 1e9,
+       duration_s - 10.0, 0.10},
+      {"backhaul_delay_spike", FaultKind::kBackhaulDelay, 15.0, 60.0, 10.0,
+       0.025},
+      {"backhaul_partition", FaultKind::kBackhaulPartition, 15.0, 60.0, 2.5,
+       1.0},
   };
 
   // Side-channel observability outputs, next to the main JSON.
@@ -262,6 +350,21 @@ int main(int argc, char** argv) {
     results.push_back(std::move(r));
   }
 
+  std::vector<ClassResult> backhaul_results;
+  for (const auto& c : backhaul_classes) {
+    const auto faults = periodic(c.kind, c.first_s, c.period_s, c.duration_s,
+                                 c.magnitude, duration_s);
+    ClassResult r;
+    r.name = c.label;
+    r.windows = faults.windows.size();
+    run_config(r.name, faults, r.legacy, r.rem);
+    std::printf("%s (%zu windows of %.1f s, magnitude %g)\n", r.name.c_str(),
+                r.windows, c.duration_s, c.magnitude);
+    print_metrics("legacy", r.legacy, base_legacy);
+    print_metrics("REM", r.rem, base_rem);
+    backhaul_results.push_back(std::move(r));
+  }
+
   std::ofstream js(out_path);
   js << "{\n";
   js << "  \"route\": \"" << rem::trace::route_name(route) << "\",\n";
@@ -284,6 +387,17 @@ int main(int argc, char** argv) {
     write_metrics_json(js, r.rem, base_rem);
     js << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
+  js << "  },\n";
+  js << "  \"backhaul\": {\n";
+  for (std::size_t i = 0; i < backhaul_results.size(); ++i) {
+    const auto& r = backhaul_results[i];
+    js << "    \"" << r.name << "\": {\"windows\": " << r.windows
+       << ", \"legacy\": ";
+    write_metrics_json(js, r.legacy, base_legacy);
+    js << ", \"rem\": ";
+    write_metrics_json(js, r.rem, base_rem);
+    js << "}" << (i + 1 < backhaul_results.size() ? "," : "") << "\n";
+  }
   js << "  }\n";
   js << "}\n";
   rem::obs::write_metrics_json_file(metrics, metrics_path);
@@ -305,6 +419,60 @@ int main(int argc, char** argv) {
         r.legacy.failures + r.rem.failures == 0) {
       std::printf("FAIL: no failures observed under %s\n", r.name.c_str());
       ok = false;
+    }
+  }
+
+  // Backhaul gates. Loss up to 10% and bounded delay spikes must be fully
+  // absorbed by the prep retry/backoff budget: REM keeps the paper's zero
+  // failure ratio. Partitions may fail handovers, but only gracefully —
+  // the fallback/failure paths fire, retries stay inside the per-attempt
+  // budget (no storms), every outage recovers within the horizon, and
+  // legacy visibly degrades where it shares the same faulty links.
+  for (const auto& r : backhaul_results) {
+    const bool loss_or_delay = r.name.rfind("backhaul_loss", 0) == 0 ||
+                               r.name.rfind("backhaul_delay", 0) == 0;
+    if (loss_or_delay && r.rem.failures > 0) {
+      std::printf("FAIL: REM failure ratio %.2f%% under %s (expected 0)\n",
+                  100.0 * r.rem.failure_ratio, r.name.c_str());
+      ok = false;
+    }
+    for (const auto* m : {&r.legacy, &r.rem}) {
+      const long long budget = static_cast<long long>(m->prep_requests) *
+                               rem::sim::SimConfig{}.prep_max_retries;
+      if (m->prep_retries > budget) {
+        std::printf("FAIL: retry storm under %s (%d retries for %d "
+                    "requests)\n",
+                    r.name.c_str(), m->prep_retries, m->prep_requests);
+        ok = false;
+      }
+    }
+    if (r.name == "backhaul_partition") {
+      if (r.rem.prep_fallbacks + r.rem.prep_failures == 0) {
+        std::printf("FAIL: partitions never exercised the fallback/failure "
+                    "path under %s\n",
+                    r.name.c_str());
+        ok = false;
+      }
+      // "Measurably degrades": either the radio failure ratio rises above
+      // the fault-free baseline, or preparations visibly fail/fall back on
+      // the partitioned links (the only signal in short smoke horizons
+      // where recovery masks the radio impact).
+      const bool legacy_degraded =
+          r.legacy.failure_ratio > base_legacy.failure_ratio ||
+          r.legacy.prep_failures + r.legacy.prep_fallbacks > 0;
+      if (!legacy_degraded) {
+        std::printf("FAIL: legacy did not degrade under %s (%.2f%% vs "
+                    "baseline %.2f%%, no prep failures/fallbacks)\n",
+                    r.name.c_str(), 100.0 * r.legacy.failure_ratio,
+                    100.0 * base_legacy.failure_ratio);
+        ok = false;
+      }
+      if (r.rem.downtime_fraction > 0.25) {
+        std::printf("FAIL: REM downtime %.1f%% under %s (recovery not "
+                    "bounded)\n",
+                    100.0 * r.rem.downtime_fraction, r.name.c_str());
+        ok = false;
+      }
     }
   }
   return ok ? 0 : 1;

@@ -7,7 +7,13 @@
 // Usage:
 //   rem_report <metrics.json> [trace.jsonl]
 //   rem_report --selftest     (round-trips a synthetic snapshot through a
-//                              temp file; wired into ctest as tier1)
+//                              temp file and exercises the trace
+//                              summarizer's accept/reject paths; wired
+//                              into ctest as tier1)
+//
+// Malformed inputs — unreadable metrics JSON, or trace lines that are not
+// one span object with a known kind and an outcome — exit non-zero with
+// the offending file/line named on stderr.
 #include "obs/registry.hpp"
 
 #include <algorithm>
@@ -85,14 +91,31 @@ int summarize_trace(const std::string& path) {
     std::fprintf(stderr, "rem_report: cannot open %s\n", path.c_str());
     return 1;
   }
+  // Each non-empty line must be one span object carrying a known kind and
+  // a non-empty outcome; anything else is rejected with the offending line
+  // rather than silently folded into a bogus "/" bucket.
   std::map<std::string, std::uint64_t> outcomes;
   std::uint64_t spans = 0;
   std::string line;
+  std::uint64_t line_no = 0;
+  const auto reject = [&](const char* why) {
+    std::fprintf(stderr, "rem_report: %s line %llu: %s in '%.120s'\n",
+                 path.c_str(), static_cast<unsigned long long>(line_no), why,
+                 line.c_str());
+    return 1;
+  };
   while (std::getline(is, line)) {
+    ++line_no;
     if (line.empty()) continue;
-    ++spans;
+    if (line.front() != '{' || line.back() != '}')
+      return reject("expected one JSON object per line");
     const std::string kind = extract_field(line, "kind");
     const std::string outcome = extract_field(line, "outcome");
+    if (kind.empty()) return reject("missing or empty 'kind' field");
+    if (kind != "handover" && kind != "outage")
+      return reject("unknown span kind");
+    if (outcome.empty()) return reject("missing or empty 'outcome' field");
+    ++spans;
     ++outcomes[kind + "/" + outcome];
   }
   std::printf("trace: %llu spans (%s)\n",
@@ -135,6 +158,42 @@ int selftest() {
     return 1;
   }
   print_snapshot(back);
+
+  // Trace summarizer: a well-formed trace summarizes cleanly, and each
+  // malformed shape (bad framing, missing kind, unknown kind, missing
+  // outcome) is rejected with a non-zero exit.
+  const std::string trace_path = "rem_report_selftest_trace.jsonl";
+  const auto write_trace = [&](const char* body) {
+    std::ofstream os(trace_path);
+    os << body;
+  };
+  write_trace(
+      "{\"kind\": \"handover\", \"outcome\": \"complete\"}\n"
+      "\n"
+      "{\"kind\": \"outage\", \"outcome\": \"reestablished\"}\n");
+  if (summarize_trace(trace_path) != 0) {
+    std::fprintf(stderr,
+                 "rem_report --selftest: valid trace was rejected\n");
+    std::remove(trace_path.c_str());
+    return 1;
+  }
+  const char* malformed[] = {
+      "not json\n",
+      "{\"outcome\": \"complete\"}\n",
+      "{\"kind\": \"mystery\", \"outcome\": \"complete\"}\n",
+      "{\"kind\": \"handover\"}\n",
+  };
+  for (const char* body : malformed) {
+    write_trace(body);
+    if (summarize_trace(trace_path) == 0) {
+      std::fprintf(stderr,
+                   "rem_report --selftest: malformed trace accepted: %s",
+                   body);
+      std::remove(trace_path.c_str());
+      return 1;
+    }
+  }
+  std::remove(trace_path.c_str());
   std::printf("selftest ok\n");
   return 0;
 }

@@ -14,6 +14,7 @@
 #include "core/legacy_manager.hpp"
 #include "core/rem_manager.hpp"
 #include "mobility/conflict.hpp"
+#include "net/backhaul.hpp"
 #include "obs/registry.hpp"
 #include "obs/tracer.hpp"
 #include "phy/bler_model.hpp"
@@ -22,8 +23,10 @@
 #include "testkit/seeds.hpp"
 #include "trace/scenario.hpp"
 
+#include <cstdint>
 #include <cstdlib>
 #include <functional>
+#include <optional>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -54,6 +57,23 @@ struct AggregateStats {
   int duplicate_commands = 0;
   int degraded_enters = 0;
   double degraded_time_s = 0.0;
+  // Backhaul preparation + transport accounting (rem::net runs).
+  int prep_requests = 0;
+  int prep_retries = 0;
+  int prep_acks = 0;
+  int prep_rejects = 0;
+  int prep_fallbacks = 0;
+  int prep_failures = 0;
+  double prep_rtt_sum_s = 0.0;
+  int context_fetch_failures = 0;
+  std::uint64_t backhaul_sent = 0;
+  std::uint64_t backhaul_delivered = 0;
+  std::uint64_t backhaul_dropped_loss = 0;
+  std::uint64_t backhaul_dropped_partition = 0;
+  std::uint64_t backhaul_dropped_queue = 0;
+  std::uint64_t backhaul_duplicated = 0;
+  std::uint64_t backhaul_reordered = 0;
+  double backhaul_latency_sum_s = 0.0;
 
   void add(const sim::SimStats& s) {
     pre_failure_snrs_db.insert(pre_failure_snrs_db.end(),
@@ -76,6 +96,22 @@ struct AggregateStats {
     duplicate_commands += s.duplicate_commands;
     degraded_enters += s.degraded_enters;
     degraded_time_s += s.degraded_time_s;
+    prep_requests += s.prep_requests;
+    prep_retries += s.prep_retries;
+    prep_acks += s.prep_acks;
+    prep_rejects += s.prep_rejects;
+    prep_fallbacks += s.prep_fallbacks;
+    prep_failures += s.prep_failures;
+    prep_rtt_sum_s += s.prep_rtt_sum_s;
+    context_fetch_failures += s.context_fetch_failures;
+    backhaul_sent += s.backhaul_sent;
+    backhaul_delivered += s.backhaul_delivered;
+    backhaul_dropped_loss += s.backhaul_dropped_loss;
+    backhaul_dropped_partition += s.backhaul_dropped_partition;
+    backhaul_dropped_queue += s.backhaul_dropped_queue;
+    backhaul_duplicated += s.backhaul_duplicated;
+    backhaul_reordered += s.backhaul_reordered;
+    backhaul_latency_sum_s += s.backhaul_latency_sum_s;
     if (s.avg_handover_interval_s > 0)
       handover_interval_s.add(s.avg_handover_interval_s);
     feedback_delay_s.add_all(s.feedback_delays_s);
@@ -143,6 +179,10 @@ struct SeedRunOptions {
   /// Defaults to the REM_METRICS environment knob. Only simulated-time
   /// metrics are recorded here, so results stay deterministic.
   bool collect_metrics = obs::metrics_enabled();
+  /// When set, replaces the scenario's backhaul transport config (latency
+  /// distribution, loss/reorder/duplicate probabilities, or disabling the
+  /// transport entirely) for both managers' simulations.
+  std::optional<net::BackhaulConfig> backhaul;
 };
 
 /// Simulate a single seed (legacy manager, and REM when `run_rem`).
@@ -160,6 +200,7 @@ inline SeedRunResult run_seed(trace::Route route, double speed_kmh,
   auto sc = trace::make_scenario(route, speed_kmh, duration_s);
   sc.sim.faults = opts.faults;
   sc.sim.record_events = sc.sim.record_events || opts.record_events;
+  if (opts.backhaul) sc.sim.backhaul = *opts.backhaul;
   const bool check = opts.check_invariants && testkit::invariants_enabled();
   common::Rng rng(seed);
   auto cells = sim::make_rail_deployment(sc.deployment, rng);

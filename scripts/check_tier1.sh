@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# The pre-commit loop: configure, build, and run the tier-1 test suite
+# plus the documentation lint (check_docs.sh, ctest label `docs`) — the
+# fast checks every change must keep green (ROADMAP.md).
+#
+#   scripts/check_tier1.sh              # tier1 + docs labels
+#   scripts/check_tier1.sh --all        # every ctest label (slow/chaos/
+#                                       # golden included)
+#
+# Any further arguments are forwarded to ctest. Uses the default build/
+# tree; pass a different one via BUILD_DIR.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build="${BUILD_DIR:-build}"
+
+ctest_args=(-L 'tier1|docs')
+if [ "${1:-}" = "--all" ]; then
+  ctest_args=()
+  shift
+fi
+ctest_args+=("$@")
+
+cmake -B "${build}" -S . >/dev/null
+cmake --build "${build}" -j"$(nproc)"
+ctest --test-dir "${build}" --output-on-failure -j"$(nproc)" \
+      "${ctest_args[@]+"${ctest_args[@]}"}"

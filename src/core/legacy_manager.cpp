@@ -108,7 +108,15 @@ std::optional<sim::HandoverDecision> LegacyManager::update(
         }
         return;
       }
-      if (decision) return;  // first firing rule wins this tick
+      if (decision) {
+        // First firing rule wins this tick; the next distinct firing
+        // candidate becomes the preparation fallback target.
+        if (decision->fallback_idx < 0 &&
+            static_cast<int>(target_idx) !=
+                static_cast<int>(decision->target_idx))
+          decision->fallback_idx = static_cast<int>(target_idx);
+        return;
+      }
       sim::HandoverDecision d;
       d.target_idx = target_idx;
       d.feedback_delay_s = rm::legacy_feedback_delay_s(

@@ -75,6 +75,12 @@ std::optional<sim::HandoverDecision> RemManager::update(
       degraded_ ? serving.snr_db : serving.dd_snr_db, serving.bandwidth_hz);
   std::optional<std::size_t> best_target;
   double best_metric = -1e9;
+  // Second-best TTT-qualified candidate: offered to the simulator as the
+  // preparation fallback. Theorem 2 consistency is inherited — any cell
+  // clearing the coordinated A3 threshold satisfies the same pairwise
+  // offset-sum condition as the winner.
+  int second_target = -1;
+  double second_metric = -1e9;
   std::map<int, int> site_direct;  // site -> cell idx measured directly
   for (const auto& o : neighbors) {
     auto [it, inserted] =
@@ -94,10 +100,18 @@ std::optional<sim::HandoverDecision> RemManager::update(
         serving_metric + cfg_.a3_offset_db + cfg_.hysteresis_db;
     if (metric > threshold) {
       auto [e_it, e_inserted] = entered_.try_emplace(o.id.cell, t);
-      if (t - e_it->second + 1e-12 >= cfg_.time_to_trigger_s &&
-          metric > best_metric) {
-        best_metric = metric;
-        best_target = o.cell_idx;
+      if (t - e_it->second + 1e-12 >= cfg_.time_to_trigger_s) {
+        if (metric > best_metric) {
+          if (best_target) {
+            second_metric = best_metric;
+            second_target = static_cast<int>(*best_target);
+          }
+          best_metric = metric;
+          best_target = o.cell_idx;
+        } else if (metric > second_metric) {
+          second_metric = metric;
+          second_target = static_cast<int>(o.cell_idx);
+        }
       }
     } else {
       entered_.erase(o.id.cell);
@@ -110,6 +124,7 @@ std::optional<sim::HandoverDecision> RemManager::update(
 
   sim::HandoverDecision d;
   d.target_idx = *best_target;
+  d.fallback_idx = second_target;
   // Without cross-band estimation (ablation or degraded fallback) every
   // monitored cell is measured the legacy way (sequentially, with gaps
   // for inter-frequency cells).

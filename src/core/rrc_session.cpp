@@ -22,6 +22,10 @@ RrcTransmitOutcome RrcSession::transmit_subframe(
   auto sub = overlay_.transmit_subframe(ch, snr_db, rng);
   out.allocation = std::move(sub.allocation);
   for (const auto id : sub.delivered_signaling_ids) {
+    if (!delivered_seen_.accept(id)) {
+      ++out.duplicates;  // a copy of this id already reached the app
+      continue;
+    }
     const auto it = in_flight_.find(id);
     if (it == in_flight_.end()) continue;
     switch (peek_type(it->second)) {

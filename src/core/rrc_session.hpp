@@ -7,6 +7,7 @@
 
 #include "core/overlay.hpp"
 #include "core/rrc_codec.hpp"
+#include "net/backhaul.hpp"
 
 #include <map>
 #include <variant>
@@ -24,6 +25,9 @@ struct RrcTransmitOutcome {
   std::size_t retransmitted = 0;
   /// Messages permanently dropped after exhausting their retry budget.
   std::size_t dropped = 0;
+  /// Duplicate deliveries suppressed by the at-most-once filter (a
+  /// retransmitted copy arriving after its original already decoded).
+  std::size_t duplicates = 0;
   phy::SubframeAllocation allocation;
 };
 
@@ -52,6 +56,9 @@ class RrcSession {
   std::uint64_t next_id_ = 1;
   std::map<std::uint64_t, Bytes> in_flight_;
   std::map<std::uint64_t, int> retries_;  ///< attempts consumed per message
+  /// At-most-once delivery to the application: each message id decodes
+  /// once, no matter how many retransmitted copies the channel returns.
+  net::SequenceTracker delivered_seen_;
 };
 
 }  // namespace rem::core

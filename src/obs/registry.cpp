@@ -283,6 +283,17 @@ const std::vector<double>& outage_duration_buckets_s() {
   return edges;
 }
 
+const std::vector<double>& backhaul_rtt_buckets_s() {
+  // Preparation request->ack round trips over the inter-BS backhaul. The
+  // default link (4 ms base + 2 ms jitter each way, 10 ms tick
+  // quantization) lands near 10-30 ms; delay-spike faults and retries
+  // stretch into the hundreds of milliseconds.
+  static const std::vector<double> edges = {0.01,  0.02, 0.03, 0.05,
+                                            0.075, 0.1,  0.15, 0.25,
+                                            0.5,   1.0,  2.0};
+  return edges;
+}
+
 const std::vector<double>& out_of_sync_buckets_s() {
   // T310-armed episode lengths; the default T310 of 0.45 s caps episodes
   // that end in RLF, recoveries can be shorter or (with N311 churn) longer.

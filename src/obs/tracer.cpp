@@ -94,7 +94,10 @@ void SpanTracer::on_event(const sim::SignalingEvent& e) {
     handover_->phases.push_back({name, t, t - 1.0});
   };
   const auto end_phase = [&](double t) {
-    if (handover_ && !handover_->phases.empty())
+    // Close only an *open* phase (end < start sentinel): a transition that
+    // fires with no phase open must not stretch an already-closed one.
+    if (handover_ && !handover_->phases.empty() &&
+        handover_->phases.back().end_s < handover_->phases.back().start_s)
       handover_->phases.back().end_s = t;
   };
   switch (e.kind) {
@@ -201,6 +204,50 @@ void SpanTracer::on_event(const sim::SignalingEvent& e) {
       break;
     case sim::EventKind::kDegradedExit:
       break;
+    case sim::EventKind::kPrepRequest:
+      ++tally_.prep_requests;
+      if (handover_) {
+        // Open the prepare phase on the first request; a fallback re-send
+        // arrives with the prepare phase already open and extends it.
+        const bool prepare_open =
+            !handover_->phases.empty() &&
+            handover_->phases.back().name == "prepare" &&
+            handover_->phases.back().end_s < handover_->phases.back().start_s;
+        if (!prepare_open) {
+          end_phase(e.t_s);
+          open_phase("prepare", e.t_s);
+        }
+      }
+      break;
+    case sim::EventKind::kPrepRetry:
+      ++tally_.prep_retries;
+      if (handover_) ++handover_->prep_retries;
+      break;
+    case sim::EventKind::kPrepAck:
+      ++tally_.prep_acks;
+      // The event carries the request->ack round trip in the SNR slot.
+      // The prepare phase stays open past the ack: it runs until the
+      // command reaches the UE, keeping the phase timeline contiguous.
+      tally_.prep_rtt_sum_s += e.serving_snr_db;
+      if (registry_ != nullptr)
+        registry_->histogram("sim.backhaul.prep_rtt_s",
+                             backhaul_rtt_buckets_s())
+            ->record(e.serving_snr_db);
+      break;
+    case sim::EventKind::kPrepReject:
+      ++tally_.prep_rejects;
+      break;
+    case sim::EventKind::kPrepFallback:
+      ++tally_.prep_fallbacks;
+      if (handover_) handover_->used_fallback = true;
+      break;
+    case sim::EventKind::kPrepFailed:
+      ++tally_.prep_failures;
+      close_handover(e.t_s, "prep_failed");
+      break;
+    case sim::EventKind::kContextFetchFailed:
+      ++tally_.ctx_fetch_failures;
+      break;
   }
 }
 
@@ -246,6 +293,13 @@ void SpanTracer::on_run_end(sim::SimStats& stats) {
   put("sim.command.duplicates", tally_.duplicates);
   put("sim.degraded.enters", tally_.degraded_enters);
   put("sim.fault.windows", tally_.fault_windows);
+  put("sim.prep.requests", tally_.prep_requests);
+  put("sim.prep.retries", tally_.prep_retries);
+  put("sim.prep.acks", tally_.prep_acks);
+  put("sim.prep.rejects", tally_.prep_rejects);
+  put("sim.prep.fallbacks", tally_.prep_fallbacks);
+  put("sim.prep.failures", tally_.prep_failures);
+  put("sim.ctx_fetch.failures", tally_.ctx_fetch_failures);
   // Failure causes exist only in SimStats (events do not carry the Table 2
   // classification); reconcile() checks the totals are consistent with the
   // event-derived failure count.
@@ -289,6 +343,19 @@ std::vector<std::string> SpanTracer::reconcile(
   check_u("duplicate commands", tally_.duplicates,
           stats.duplicate_commands);
   check_u("degraded enters", tally_.degraded_enters, stats.degraded_enters);
+  check_u("prep requests", tally_.prep_requests, stats.prep_requests);
+  check_u("prep retries", tally_.prep_retries, stats.prep_retries);
+  check_u("prep acks", tally_.prep_acks, stats.prep_acks);
+  check_u("prep rejects", tally_.prep_rejects, stats.prep_rejects);
+  check_u("prep fallbacks", tally_.prep_fallbacks, stats.prep_fallbacks);
+  check_u("prep failures", tally_.prep_failures, stats.prep_failures);
+  check_u("context fetch failures", tally_.ctx_fetch_failures,
+          stats.context_fetch_failures);
+  // Both sides accumulate the identical RTT doubles in event order, so the
+  // sums must match bit-exactly, like the outage-duration sum below.
+  if (tally_.prep_rtt_sum_s != stats.prep_rtt_sum_s)
+    out.push_back("prep RTT sum: trace " + fmt_double(tally_.prep_rtt_sum_s) +
+                  " vs stats " + fmt_double(stats.prep_rtt_sum_s));
   // Durations use the same subtraction of the same event timestamps the
   // simulator used, so the sums must match bit-exactly, not approximately.
   double stats_outage_sum = 0.0;
@@ -311,6 +378,8 @@ void SpanTracer::write_trace_jsonl(std::ostream& os,
        << ", \"outcome\": \"" << s.outcome << "\"";
     if (s.report_retransmits > 0)
       os << ", \"retransmits\": " << s.report_retransmits;
+    if (s.prep_retries > 0) os << ", \"prep_retries\": " << s.prep_retries;
+    if (s.used_fallback) os << ", \"used_fallback\": true";
     if (s.duplicate_command) os << ", \"duplicate_command\": true";
     os << ", \"phases\": [";
     for (std::size_t i = 0; i < s.phases.size(); ++i) {

@@ -1,7 +1,8 @@
 // Structured run tracing: a SpanTracer rides the sim::SimObserver hook and
 // reassembles the simulator's flat signaling-event stream into per-attempt
 // span trees — one span per handover attempt (phases: measure → decide →
-// execute) and one per outage (RLF/T304 to re-establishment) — annotated
+// prepare → execute, "prepare" present only when the backhaul transport is
+// enabled) and one per outage (RLF/T304 to re-establishment) — annotated
 // with the fault windows active while each span was open.
 //
 // The tracer is an observer in the strict SimObserver sense: it draws no
@@ -29,7 +30,7 @@ namespace rem::obs {
 
 /// One contiguous stage of a span, in simulated seconds.
 struct SpanPhase {
-  std::string name;    ///< "measure", "decide", "execute", or "outage"
+  std::string name;    ///< "measure", "decide", "prepare", "execute", "outage"
   double start_s = 0.0;
   double end_s = 0.0;
 };
@@ -44,14 +45,16 @@ struct Span {
   int serving = -1;     ///< serving cell at span open
   int target = -1;      ///< handover target (-1 for outages)
   /// Terminal event: handover spans end in "complete", "report_lost",
-  /// "command_lost", "t304_expiry", "rlf_interrupted", or "unfinished"
-  /// (run ended mid-span); outage spans end in "reestablished" or
-  /// "unfinished".
+  /// "command_lost", "prep_failed", "t304_expiry", "rlf_interrupted", or
+  /// "unfinished" (run ended mid-span); outage spans end in
+  /// "reestablished" or "unfinished".
   std::string outcome;
   std::vector<SpanPhase> phases;
   /// Names of fault kinds whose windows overlapped this span.
   std::vector<std::string> faults;
   int report_retransmits = 0;
+  int prep_retries = 0;          ///< timed-out HANDOVER REQUESTs re-sent
+  bool used_fallback = false;    ///< preparation swung to the 2nd-best target
   bool duplicate_command = false;
 
   double duration_s() const { return end_s - start_s; }
@@ -120,6 +123,10 @@ class SpanTracer : public sim::SimObserver {
                   attempts = 0, command_lost = 0, complete = 0, rlf = 0,
                   t304_expiry = 0, reestablished = 0, retransmits = 0,
                   duplicates = 0, degraded_enters = 0, fault_windows = 0;
+    std::uint64_t prep_requests = 0, prep_retries = 0, prep_acks = 0,
+                  prep_rejects = 0, prep_fallbacks = 0, prep_failures = 0,
+                  ctx_fetch_failures = 0;
+    double prep_rtt_sum_s = 0.0;
     double outage_sum_s = 0.0;
     std::uint64_t latency_count = 0;
   } tally_;

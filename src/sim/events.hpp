@@ -24,6 +24,13 @@ enum class EventKind {
   kHoCommandDuplicate,    ///< stale duplicate command executed instead
   kDegradedEnter,         ///< manager fell back to direct measurement
   kDegradedExit,          ///< manager resumed cross-band estimation
+  kPrepRequest,           ///< HANDOVER REQUEST sent over the backhaul
+  kPrepRetry,             ///< preparation timed out, request re-sent
+  kPrepAck,               ///< target admitted (serving_snr_db = prep RTT s)
+  kPrepReject,            ///< target refused admission
+  kPrepFallback,          ///< preparation switched to the fallback target
+  kPrepFailed,            ///< preparation exhausted retries and fallbacks
+  kContextFetchFailed,    ///< context fetch exhausted retries in outage
 };
 
 /// Stable identifier used in CSV logs. Throws std::invalid_argument on a

@@ -12,13 +12,69 @@ std::string fault_kind_name(FaultKind k) {
     case FaultKind::kProcessingStall: return "processing_stall";
     case FaultKind::kCoverageBlackout: return "coverage_blackout";
     case FaultKind::kCommandDuplication: return "command_duplication";
+    case FaultKind::kBackhaulLoss: return "backhaul_loss";
+    case FaultKind::kBackhaulDelay: return "backhaul_delay";
+    case FaultKind::kBackhaulPartition: return "backhaul_partition";
   }
   throw std::invalid_argument("fault_kind_name: invalid FaultKind value " +
                               std::to_string(static_cast<int>(k)));
 }
 
+namespace {
+
+// Magnitudes of these kinds are probabilities; anything above 1 is a
+// scripting mistake, not a stronger fault.
+bool probability_valued(FaultKind k) {
+  return k == FaultKind::kSignalingLoss ||
+         k == FaultKind::kCommandDuplication ||
+         k == FaultKind::kBackhaulLoss;
+}
+
+void validate_scripted(const std::vector<FaultWindow>& windows) {
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const auto& w = windows[i];
+    const std::string ctx = "FaultWindow[" + std::to_string(i) + "](" +
+                            fault_kind_name(w.kind) + ")";
+    if (w.start_s < 0.0)
+      throw std::invalid_argument(ctx + ": start_s " +
+                                  std::to_string(w.start_s) +
+                                  " must be >= 0");
+    if (!(w.duration_s > 0.0))
+      throw std::invalid_argument(ctx + ": duration_s " +
+                                  std::to_string(w.duration_s) +
+                                  " must be > 0");
+    if (!(w.magnitude > 0.0))
+      throw std::invalid_argument(ctx + ": magnitude " +
+                                  std::to_string(w.magnitude) +
+                                  " must be > 0");
+    if (probability_valued(w.kind) && w.magnitude > 1.0)
+      throw std::invalid_argument(ctx + ": magnitude " +
+                                  std::to_string(w.magnitude) +
+                                  " exceeds 1 for a probability-valued kind");
+  }
+  // Same-kind overlap in a *scripted* schedule is almost always a typo;
+  // end_s is exclusive, so back-to-back windows do not collide.
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    for (std::size_t j = i + 1; j < windows.size(); ++j) {
+      const auto& a = windows[i];
+      const auto& b = windows[j];
+      if (a.kind != b.kind) continue;
+      if (a.start_s < b.end_s() && b.start_s < a.end_s())
+        throw std::invalid_argument(
+            "FaultConfig: scripted windows " + std::to_string(i) + " and " +
+            std::to_string(j) + " of kind " + fault_kind_name(a.kind) +
+            " overlap ([" + std::to_string(a.start_s) + ", " +
+            std::to_string(a.end_s()) + ") vs [" + std::to_string(b.start_s) +
+            ", " + std::to_string(b.end_s()) + "))");
+    }
+  }
+}
+
+}  // namespace
+
 FaultInjector::FaultInjector(const FaultConfig& cfg, double horizon_s,
                              common::Rng rng) {
+  validate_scripted(cfg.windows);
   windows_ = cfg.windows;
   for (const auto& spec : cfg.random) {
     if (spec.mean_gap_s <= 0.0)

@@ -15,16 +15,20 @@
 
 namespace rem::sim {
 
-/// The five fault classes of the chaos harness (bench_chaos).
+/// The fault classes of the chaos harness (bench_chaos): five radio-leg
+/// classes plus three backhaul classes targeting the inter-BS transport.
 enum class FaultKind {
   kSignalingLoss,      ///< burst signaling loss overriding per-attempt BLER
   kPilotOutage,        ///< measurement pilots absent: stale/corrupt estimates
   kProcessingStall,    ///< base-station decision processing spike
   kCoverageBlackout,   ///< tunnel-style blanket attenuation of every cell
   kCommandDuplication, ///< duplicated/reordered handover commands
+  kBackhaulLoss,       ///< extra per-message loss on the inter-BS transport
+  kBackhaulDelay,      ///< extra one-way latency on the inter-BS transport
+  kBackhaulPartition,  ///< inter-BS link down: every message dropped
 };
 
-constexpr std::size_t kNumFaultKinds = 5;
+constexpr std::size_t kNumFaultKinds = 8;
 
 /// Stable identifier used in logs/JSON. Throws std::invalid_argument on a
 /// value outside the enum (corrupted input), never returns a placeholder.
@@ -37,6 +41,9 @@ std::string fault_kind_name(FaultKind k);
 ///   kCoverageBlackout   extra attenuation on every cell (dB)
 ///   kCommandDuplication probability a delivered command is a stale
 ///                       duplicate of the previous one in [0, 1]
+///   kBackhaulLoss       extra per-message backhaul loss prob in [0, 1]
+///   kBackhaulDelay      extra one-way backhaul latency (seconds)
+///   kBackhaulPartition  any value > 0 means the link is down
 struct FaultWindow {
   FaultKind kind = FaultKind::kSignalingLoss;
   double start_s = 0.0;
@@ -72,8 +79,15 @@ class FaultInjector {
   /// No faults: every query returns inactive/zero.
   FaultInjector() = default;
 
-  /// Scripted windows are kept verbatim; random specs are expanded over
-  /// [0, horizon_s) with draws from `rng` (deterministic per seed).
+  /// Scripted windows are validated then kept verbatim; random specs are
+  /// expanded over [0, horizon_s) with draws from `rng` (deterministic per
+  /// seed). Validation rejects-with-context (std::invalid_argument naming
+  /// the window) scripted schedules that are silently wrong: negative
+  /// start, zero/negative duration, non-positive magnitude, a magnitude
+  /// above 1 for probability-valued kinds, or two scripted windows of the
+  /// same kind overlapping in time (end is exclusive, so touching windows
+  /// are fine). Generated windows are exempt from the overlap rule — the
+  /// documented "worst wins" contract of magnitude() covers them.
   FaultInjector(const FaultConfig& cfg, double horizon_s, common::Rng rng);
 
   bool any() const { return !windows_.empty(); }

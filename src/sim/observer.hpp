@@ -34,6 +34,10 @@ struct TickView {
   int oos_count = 0;             ///< consecutive out-of-sync ticks (N310)
   int is_count = 0;              ///< consecutive in-sync ticks (N311)
   bool report_pending = false;   ///< measurement report still in flight
+  /// Backhaul preparation in progress: report delivered, HANDOVER REQUEST
+  /// sent or about to be, no ack/terminal outcome yet. Always false when
+  /// the backhaul transport is disabled.
+  bool prep_pending = false;
   bool command_pending = false;  ///< HO command still in flight
   bool pilot_fault = false;      ///< pilot-outage fault active this tick
   bool blackout = false;         ///< coverage-blackout fault active

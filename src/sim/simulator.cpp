@@ -42,6 +42,13 @@ std::string event_kind_name(EventKind k) {
     case EventKind::kHoCommandDuplicate: return "ho_command_duplicate";
     case EventKind::kDegradedEnter: return "degraded_enter";
     case EventKind::kDegradedExit: return "degraded_exit";
+    case EventKind::kPrepRequest: return "prep_request";
+    case EventKind::kPrepRetry: return "prep_retry";
+    case EventKind::kPrepAck: return "prep_ack";
+    case EventKind::kPrepReject: return "prep_reject";
+    case EventKind::kPrepFallback: return "prep_fallback";
+    case EventKind::kPrepFailed: return "prep_failed";
+    case EventKind::kContextFetchFailed: return "context_fetch_failed";
   }
   throw std::invalid_argument("event_kind_name: invalid EventKind value " +
                               std::to_string(static_cast<int>(k)));
@@ -98,6 +105,22 @@ SimStats Simulator::run(MobilityManager& manager,
   faults_ = cfg_.faults.empty()
                 ? FaultInjector()
                 : FaultInjector(cfg_.faults, cfg_.duration_s, rng_.fork());
+
+  // Inter-BS backhaul transport. Owns a forked RNG stream so message-level
+  // draws (loss, jitter, reordering) never perturb the radio-leg sequence.
+  const bool use_net = cfg_.backhaul.enabled;
+  std::optional<net::BackhaulNetwork> netw;
+  if (use_net) netw.emplace(cfg_.backhaul, rng_.fork());
+  std::uint64_t next_seq = 1;        // transaction ids for all backhaul msgs
+  net::SequenceTracker ack_seen;     // at-most-once ack/reject processing
+  net::SequenceTracker ctx_seen;     // at-most-once context responses
+  // Context-fetch state during RLF re-establishment (use_net only).
+  bool ctx_pending = false, ctx_ready = false, ctx_failed = false;
+  std::uint64_t ctx_seq = 0;
+  int ctx_retries = 0;
+  double ctx_deadline_s = 0.0;
+  int ctx_target = -1;
+  double ctx_failed_camp_s = 0.0;
 
   // Initial attach: strongest cell at the start.
   double pos = 0.0;
@@ -159,8 +182,13 @@ SimStats Simulator::run(MobilityManager& manager,
     v.is_count = is_count;
     v.report_pending =
         pending && !pending->report_delivered && !pending->report_lost;
-    v.command_pending =
-        pending && pending->report_delivered && !pending->command_lost;
+    v.prep_pending = use_net && pending && pending->report_delivered &&
+                     !pending->prep_acked && !pending->prep_failed &&
+                     !pending->command_lost;
+    v.command_pending = pending &&
+                        (use_net ? pending->prep_acked
+                                 : pending->report_delivered) &&
+                        !pending->command_lost;
     v.pilot_fault = faults_.active(FaultKind::kPilotOutage, t_now);
     v.blackout = faults_.active(FaultKind::kCoverageBlackout, t_now);
     v.estimate_age_s = v.pilot_fault ? t_now - pilot_fresh_t : 0.0;
@@ -183,6 +211,8 @@ SimStats Simulator::run(MobilityManager& manager,
     pending.reset();
     oos_count = is_count = 0;
     t310_started = -1.0;
+    ctx_pending = ctx_ready = ctx_failed = false;
+    ctx_target = -1;
   };
 
   const auto camp_on = [&](double t, int target) {
@@ -190,6 +220,8 @@ SimStats Simulator::run(MobilityManager& manager,
     serving = target;
     outage_started = -1.0;
     preferred_target = -1;
+    ctx_pending = ctx_ready = ctx_failed = false;
+    ctx_target = -1;
     outage_reestablish_s = cfg_.reestablish_s;
     last_report_loss_t = last_cmd_loss_t = -1e9;
     manager.on_serving_changed(t, static_cast<std::size_t>(serving));
@@ -221,6 +253,113 @@ SimStats Simulator::run(MobilityManager& manager,
     const double blackout_db =
         faults_.magnitude(FaultKind::kCoverageBlackout, t);
 
+    // ---- Backhaul transport: this tick's fault overrides + arrivals ----
+    const bool bh_partition =
+        use_net && faults_.active(FaultKind::kBackhaulPartition, t);
+    const double bh_loss =
+        use_net ? faults_.magnitude(FaultKind::kBackhaulLoss, t) : 0.0;
+    const double bh_delay =
+        use_net ? faults_.magnitude(FaultKind::kBackhaulDelay, t) : 0.0;
+    const auto bh_send = [&](const net::BackhaulMessage& m) {
+      netw->send(t, m, bh_loss, bh_delay, bh_partition);
+    };
+    // Preparation hit a terminal condition (reject / timeout exhaustion):
+    // swing to the decision's fallback target once, then give up. A failed
+    // preparation leaves the UE on the dying serving link, so an eventual
+    // RLF classifies like a lost command (the network decided, the UE
+    // never heard).
+    const auto prep_fallback_or_fail = [&](double now) {
+      if (pending->fallback_idx >= 0 && !pending->used_fallback &&
+          pending->fallback_idx != static_cast<int>(pending->target_idx)) {
+        pending->used_fallback = true;
+        pending->target_idx =
+            static_cast<std::size_t>(pending->fallback_idx);
+        pending->prep_retries = 0;
+        pending->prep_requested = false;
+        pending->prep_due_s = now;
+        ++stats.prep_fallbacks;
+        log_event(now, EventKind::kPrepFallback, serving,
+                  static_cast<int>(pending->target_idx), 0.0);
+      } else {
+        pending->prep_failed = true;
+        ++stats.prep_failures;
+        last_cmd_loss_t = now;
+        log_event(now, EventKind::kPrepFailed, serving,
+                  static_cast<int>(pending->target_idx), 0.0);
+      }
+    };
+    if (use_net) {
+      for (const auto& m : netw->poll(t)) {
+        switch (m.type) {
+          case net::MsgType::kHandoverRequest: {
+            // Target-BS admission: accept when the target still covers the
+            // UE's position; echo the request's transaction id either way.
+            const auto tgt = static_cast<std::size_t>(m.target_cell);
+            const double rsrp =
+                env_.mean_rsrp_dbm(tgt, pos) - blackout_db;
+            net::BackhaulMessage reply;
+            reply.seq = m.seq;
+            reply.type = rsrp >= cfg_.min_coverage_rsrp_dbm
+                             ? net::MsgType::kHandoverAck
+                             : net::MsgType::kHandoverReject;
+            reply.src_cell = m.dst_cell;
+            reply.dst_cell = m.src_cell;
+            reply.target_cell = m.target_cell;
+            reply.payload = rsrp;
+            bh_send(reply);
+            break;
+          }
+          case net::MsgType::kHandoverAck: {
+            const bool first = ack_seen.accept(m.seq);
+            if (first && pending && !exec && pending->prep_requested &&
+                !pending->prep_acked && !pending->prep_failed &&
+                m.seq == pending->prep_seq) {
+              pending->prep_acked = true;
+              ++stats.prep_acks;
+              const double rtt = t - pending->prep_sent_s;
+              stats.prep_rtt_sum_s += rtt;
+              pending->command_due_s = t + cfg_.retry_spacing_s;
+              log_event(t, EventKind::kPrepAck, serving,
+                        static_cast<int>(pending->target_idx), rtt);
+            }
+            break;
+          }
+          case net::MsgType::kHandoverReject: {
+            const bool first = ack_seen.accept(m.seq);
+            if (first && pending && !exec && pending->prep_requested &&
+                !pending->prep_acked && !pending->prep_failed &&
+                m.seq == pending->prep_seq) {
+              ++stats.prep_rejects;
+              log_event(t, EventKind::kPrepReject, serving,
+                        static_cast<int>(pending->target_idx), 0.0);
+              prep_fallback_or_fail(t);
+            }
+            break;
+          }
+          case net::MsgType::kContextFetch: {
+            // The old serving BS returns the UE context unconditionally;
+            // loss/partition on the reply is the transport's business.
+            net::BackhaulMessage reply;
+            reply.seq = m.seq;
+            reply.type = net::MsgType::kContextResponse;
+            reply.src_cell = m.dst_cell;
+            reply.dst_cell = m.src_cell;
+            reply.target_cell = m.target_cell;
+            bh_send(reply);
+            break;
+          }
+          case net::MsgType::kContextResponse: {
+            if (outage_started >= 0.0 && ctx_pending && !ctx_ready &&
+                !ctx_failed && m.seq == ctx_seq &&
+                ctx_seen.accept(m.seq)) {
+              ctx_ready = true;
+            }
+            break;
+          }
+        }
+      }
+    }
+
     // ---- Outage / re-establishment ----
     if (outage_started >= 0.0) {
       ++outage_ticks;
@@ -245,10 +384,72 @@ SimStats Simulator::run(MobilityManager& manager,
           outage_reestablish_s = cfg_.reestablish_s;
         }
         if (t - outage_started >= outage_reestablish_s) {
-          const int target = env_.best_cell(
-              pos, std::max(cfg_.min_coverage_rsrp_dbm, qin_rsrp));
-          if (target >= 0) camp_on(t, target);
-          // else: still in a hole; keep searching.
+          const double floor_rsrp =
+              std::max(cfg_.min_coverage_rsrp_dbm, qin_rsrp);
+          if (!use_net) {
+            const int target = env_.best_cell(pos, floor_rsrp);
+            if (target >= 0) camp_on(t, target);
+            // else: still in a hole; keep searching.
+          } else if (ctx_failed) {
+            // Context fetch exhausted: degraded context-less
+            // re-establishment after the extra setup penalty.
+            if (t >= ctx_failed_camp_s) {
+              const int target = env_.best_cell(pos, floor_rsrp);
+              if (target >= 0) camp_on(t, target);
+            }
+          } else if (ctx_ready) {
+            if (env_.mean_rsrp_dbm(static_cast<std::size_t>(ctx_target),
+                                   pos) >= floor_rsrp) {
+              camp_on(t, ctx_target);
+            } else {
+              // The fetched-into cell faded while waiting; restart the
+              // fetch toward whatever is best now.
+              ctx_pending = ctx_ready = false;
+              ctx_target = -1;
+            }
+          } else if (!ctx_pending) {
+            // Re-establishment found a cell, but camping needs the UE
+            // context from the old serving BS — fetch it over the
+            // backhaul before admitting the UE.
+            const int target = env_.best_cell(pos, floor_rsrp);
+            if (target >= 0) {
+              ctx_pending = true;
+              ctx_target = target;
+              ctx_seq = next_seq++;
+              ctx_retries = 0;
+              ctx_deadline_s = t + cfg_.ctx_fetch_timeout_s;
+              net::BackhaulMessage m;
+              m.seq = ctx_seq;
+              m.type = net::MsgType::kContextFetch;
+              m.src_cell = target;
+              m.dst_cell = serving;  // old serving BS holds the context
+              m.target_cell = target;
+              bh_send(m);
+            }
+          } else if (t >= ctx_deadline_s) {
+            if (ctx_retries < cfg_.ctx_fetch_max_retries) {
+              // Idempotent retry: same transaction id, so a late response
+              // to an earlier copy still completes the fetch (and
+              // duplicates are absorbed by ctx_seen).
+              ++ctx_retries;
+              ctx_deadline_s =
+                  t + cfg_.ctx_fetch_timeout_s *
+                          static_cast<double>(1 << ctx_retries);
+              net::BackhaulMessage m;
+              m.seq = ctx_seq;
+              m.type = net::MsgType::kContextFetch;
+              m.src_cell = ctx_target;
+              m.dst_cell = serving;
+              m.target_cell = ctx_target;
+              bh_send(m);
+            } else {
+              ctx_failed = true;
+              ++stats.context_fetch_failures;
+              ctx_failed_camp_s = t + cfg_.ctx_degraded_penalty_s;
+              log_event(t, EventKind::kContextFetchFailed, serving,
+                        ctx_target, 0.0);
+            }
+          }
         }
       }
       continue;
@@ -418,9 +619,15 @@ SimStats Simulator::run(MobilityManager& manager,
           // time on top of the configured budget.
           const double stall =
               faults_.magnitude(FaultKind::kProcessingStall, t);
-          pending->command_due_s =
-              t + cfg_.decision_proc_s + stall +
-              cfg_.retry_spacing_s;  // BS decision + scheduling
+          if (use_net) {
+            // The BS decides, then must get the target's admission over
+            // the backhaul before any command can go out.
+            pending->prep_due_s = t + cfg_.decision_proc_s + stall;
+          } else {
+            pending->command_due_s =
+                t + cfg_.decision_proc_s + stall +
+                cfg_.retry_spacing_s;  // BS decision + scheduling
+          }
           stats.feedback_delays_s.push_back(t - pending->decided_at_s);
           log_event(t, EventKind::kReportDelivered, serving,
                     static_cast<int>(pending->target_idx), sv.snr_db);
@@ -440,7 +647,57 @@ SimStats Simulator::run(MobilityManager& manager,
                     static_cast<int>(pending->target_idx), sv.snr_db);
         }
       }
-      if (pending->report_delivered && !pending->command_lost &&
+      // ---- Backhaul preparation (HANDOVER REQUEST -> ACK) ----
+      if (use_net && pending->report_delivered && !pending->prep_acked &&
+          !pending->prep_failed && !pending->command_lost) {
+        if (!pending->prep_requested) {
+          if (t >= pending->prep_due_s) {
+            // First send toward the current target (also re-entered after
+            // a fallback switch, which resets prep_requested).
+            pending->prep_requested = true;
+            pending->prep_seq = next_seq++;
+            pending->prep_sent_s = t;
+            pending->prep_deadline_s = t + cfg_.prep_timeout_s;
+            ++stats.prep_requests;
+            net::BackhaulMessage m;
+            m.seq = pending->prep_seq;
+            m.type = net::MsgType::kHandoverRequest;
+            m.src_cell = serving;
+            m.dst_cell = static_cast<int>(pending->target_idx);
+            m.target_cell = static_cast<int>(pending->target_idx);
+            bh_send(m);
+            log_event(t, EventKind::kPrepRequest, serving,
+                      static_cast<int>(pending->target_idx), sv.snr_db);
+          }
+        } else if (t >= pending->prep_deadline_s) {
+          if (pending->prep_retries < cfg_.prep_max_retries) {
+            // T-prep expiry: re-send under a fresh transaction id with
+            // exponential backoff; a straggling ack to the old id is
+            // ignored (prep_seq no longer matches).
+            ++pending->prep_retries;
+            ++stats.prep_retries;
+            pending->prep_seq = next_seq++;
+            pending->prep_sent_s = t;
+            pending->prep_deadline_s =
+                t + cfg_.prep_timeout_s *
+                        static_cast<double>(1 << pending->prep_retries);
+            net::BackhaulMessage m;
+            m.seq = pending->prep_seq;
+            m.type = net::MsgType::kHandoverRequest;
+            m.src_cell = serving;
+            m.dst_cell = static_cast<int>(pending->target_idx);
+            m.target_cell = static_cast<int>(pending->target_idx);
+            bh_send(m);
+            log_event(t, EventKind::kPrepRetry, serving,
+                      static_cast<int>(pending->target_idx), sv.snr_db);
+          } else {
+            prep_fallback_or_fail(t);
+          }
+        }
+      }
+      const bool command_ready = use_net ? pending->prep_acked
+                                         : pending->report_delivered;
+      if (command_ready && !pending->command_lost &&
           t >= pending->command_due_s) {
         if (deliver(t, sv.snr_db, cfg_.downlink_attempts,
                     manager.waveform())) {
@@ -478,7 +735,8 @@ SimStats Simulator::run(MobilityManager& manager,
 
     // ---- Manager policy evaluation ----
     if (!exec && t >= suppress_until &&
-        (!pending || pending->report_lost || pending->command_lost)) {
+        (!pending || pending->report_lost || pending->command_lost ||
+         pending->prep_failed)) {
       std::vector<Observation> obs;
       for (std::size_t i = 0; i < env_.cells().size(); ++i) {
         if (i == sv.cell_idx) continue;
@@ -509,6 +767,7 @@ SimStats Simulator::run(MobilityManager& manager,
         ph.target_idx = decision->target_idx;
         ph.decided_at_s = t;
         ph.report_due_s = t + decision->feedback_delay_s;
+        ph.fallback_idx = decision->fallback_idx;
         pending = ph;
       }
     }
@@ -536,6 +795,17 @@ SimStats Simulator::run(MobilityManager& manager,
     stats.avg_handover_interval_s =
         (ho_times.back() - ho_times.front()) /
         static_cast<double>(ho_times.size() - 1);
+  }
+  if (netw) {
+    const auto& ts = netw->stats();
+    stats.backhaul_sent = ts.sent;
+    stats.backhaul_delivered = ts.delivered;
+    stats.backhaul_dropped_loss = ts.dropped_loss;
+    stats.backhaul_dropped_partition = ts.dropped_partition;
+    stats.backhaul_dropped_queue = ts.dropped_queue;
+    stats.backhaul_duplicated = ts.duplicated;
+    stats.backhaul_reordered = ts.reordered;
+    stats.backhaul_latency_sum_s = ts.latency_sum_s;
   }
   if (cfg_.observer) cfg_.observer->on_run_end(stats);
   return stats;

@@ -8,6 +8,7 @@
 // FaultInjector can distort any of those paths (sim/fault_injector.hpp).
 #pragma once
 
+#include "net/backhaul.hpp"
 #include "phy/bler_model.hpp"
 #include "sim/events.hpp"
 #include "sim/fault_injector.hpp"
@@ -50,10 +51,15 @@ struct ServingState {
 };
 
 /// A manager's handover decision: measured/estimated feedback is ready
-/// `feedback_delay_s` after the triggering tick.
+/// `feedback_delay_s` after the triggering tick. `fallback_idx` names the
+/// second-best policy-consistent target (-1 = none): if the primary
+/// target rejects admission or the backhaul partitions during
+/// preparation, the simulator retries preparation toward the fallback
+/// before declaring the attempt failed.
 struct HandoverDecision {
   std::size_t target_idx = 0;
   double feedback_delay_s = 0.0;
+  int fallback_idx = -1;
 };
 
 /// The pluggable mobility management design under test.
@@ -141,6 +147,24 @@ struct SimConfig {
   SimObserver* observer = nullptr;
   /// Fault schedule (empty = no faults, zero overhead on the hot path).
   FaultConfig faults;
+  /// Inter-BS control-plane transport (rem::net). When enabled, handover
+  /// preparation (HANDOVER REQUEST/ACK) and outage context fetch ride a
+  /// lossy, delayed message network; when disabled, preparation is
+  /// instantaneous and infallible (the pre-backhaul behaviour).
+  net::BackhaulConfig backhaul;
+  /// Preparation timer (T-prep analogue): if no ack/reject arrives within
+  /// `prep_timeout_s` of the HANDOVER REQUEST, re-send with exponential
+  /// backoff (timeout doubles per retry) up to `prep_max_retries` times,
+  /// then try the decision's fallback target, then fail the attempt.
+  double prep_timeout_s = 0.030;
+  int prep_max_retries = 4;
+  /// Context fetch during RLF re-establishment: the new cell asks the old
+  /// serving cell for the UE context over the backhaul. Retries use the
+  /// same exponential-backoff shape; exhaustion forces a context-less
+  /// degraded re-establishment that costs `ctx_degraded_penalty_s` extra.
+  double ctx_fetch_timeout_s = 0.040;
+  int ctx_fetch_max_retries = 3;
+  double ctx_degraded_penalty_s = 0.4;
 };
 
 struct SimStats {
@@ -168,6 +192,24 @@ struct SimStats {
   int duplicate_commands = 0;     ///< stale duplicate commands executed
   int degraded_enters = 0;        ///< manager degraded-mode transitions
   double degraded_time_s = 0.0;   ///< total time in degraded mode
+  // --- Backhaul preparation / context fetch (rem::net transport) ---
+  int prep_requests = 0;          ///< HANDOVER REQUESTs first-sent
+  int prep_retries = 0;           ///< timed-out requests re-sent
+  int prep_acks = 0;              ///< preparations admitted by the target
+  int prep_rejects = 0;           ///< admission rejections received
+  int prep_fallbacks = 0;         ///< switches to the fallback target
+  int prep_failures = 0;          ///< attempts abandoned in preparation
+  double prep_rtt_sum_s = 0.0;    ///< summed request->ack round trips
+  int context_fetch_failures = 0; ///< outage context fetches exhausted
+  // Transport-level counters mirrored from net::TransportStats.
+  std::uint64_t backhaul_sent = 0;
+  std::uint64_t backhaul_delivered = 0;
+  std::uint64_t backhaul_dropped_loss = 0;
+  std::uint64_t backhaul_dropped_partition = 0;
+  std::uint64_t backhaul_dropped_queue = 0;
+  std::uint64_t backhaul_duplicated = 0;
+  std::uint64_t backhaul_reordered = 0;
+  double backhaul_latency_sum_s = 0.0;
   /// Data-plane accounting (§8 "On data speed"): Shannon capacity of the
   /// serving link averaged over the whole run (zero while in outage) and
   /// the fraction of time without radio connectivity.
@@ -214,6 +256,19 @@ class Simulator {
     bool command_lost = false;
     int report_retries = 0;
     double decided_at_s = 0.0;
+    // Backhaul preparation state (only used when cfg.backhaul.enabled):
+    // the BS must get a HANDOVER REQUEST acked by the target before the
+    // HO command can be sent to the UE.
+    int fallback_idx = -1;         ///< second-best target from the decision
+    bool used_fallback = false;
+    bool prep_requested = false;   ///< current request is in flight
+    bool prep_acked = false;
+    bool prep_failed = false;      ///< retries + fallback exhausted
+    int prep_retries = 0;
+    std::uint64_t prep_seq = 0;    ///< seq of the outstanding request
+    double prep_due_s = 0.0;       ///< when to (re-)send the request
+    double prep_sent_s = 0.0;      ///< last request send time (RTT base)
+    double prep_deadline_s = 0.0;  ///< timeout for the outstanding request
   };
 
   /// Handover execution in flight: detach + random access on the target.

@@ -51,6 +51,28 @@ void append_stats_fields(const std::string& prefix, const sim::SimStats& s,
   put("t304_fallback_success", fmt_int(s.t304_fallback_success));
   put("report_retransmits", fmt_int(s.report_retransmits));
   put("duplicate_commands", fmt_int(s.duplicate_commands));
+  put("prep_requests", fmt_int(s.prep_requests));
+  put("prep_retries", fmt_int(s.prep_retries));
+  put("prep_acks", fmt_int(s.prep_acks));
+  put("prep_rejects", fmt_int(s.prep_rejects));
+  put("prep_fallbacks", fmt_int(s.prep_fallbacks));
+  put("prep_failures", fmt_int(s.prep_failures));
+  put("prep_rtt_sum_s", fmt_double(s.prep_rtt_sum_s));
+  put("context_fetch_failures", fmt_int(s.context_fetch_failures));
+  put("backhaul_sent", fmt_int(static_cast<long long>(s.backhaul_sent)));
+  put("backhaul_delivered",
+      fmt_int(static_cast<long long>(s.backhaul_delivered)));
+  put("backhaul_dropped_loss",
+      fmt_int(static_cast<long long>(s.backhaul_dropped_loss)));
+  put("backhaul_dropped_partition",
+      fmt_int(static_cast<long long>(s.backhaul_dropped_partition)));
+  put("backhaul_dropped_queue",
+      fmt_int(static_cast<long long>(s.backhaul_dropped_queue)));
+  put("backhaul_duplicated",
+      fmt_int(static_cast<long long>(s.backhaul_duplicated)));
+  put("backhaul_reordered",
+      fmt_int(static_cast<long long>(s.backhaul_reordered)));
+  put("backhaul_latency_sum_s", fmt_double(s.backhaul_latency_sum_s));
   put("degraded_enters", fmt_int(s.degraded_enters));
   put("degraded_time_s", fmt_double(s.degraded_time_s));
   put("avg_handover_interval_s", fmt_double(s.avg_handover_interval_s));
@@ -99,6 +121,10 @@ std::vector<GoldenCase> golden_corpus() {
       {"bs_300_s6_mixed", Route::kBeijingShanghai, 300.0, 120.0, 6, "mixed"},
       {"bs_330_s7_none", Route::kBeijingShanghai, 330.0, 120.0, 7, "none"},
       {"bs_330_s8_mixed", Route::kBeijingShanghai, 330.0, 120.0, 8, "mixed"},
+      {"bs_300_s11_backhaul_partition", Route::kBeijingShanghai, 300.0,
+       120.0, 11, "backhaul_partition"},
+      {"bt_250_s12_backhaul_loss_reorder", Route::kBeijingTaiyuan, 250.0,
+       120.0, 12, "backhaul_loss_reorder"},
   };
 }
 
@@ -125,6 +151,36 @@ sim::FaultConfig golden_fault_preset(const std::string& name,
     dup.magnitude_lo = 0.3;
     dup.magnitude_hi = 0.7;
     fc.random = {dup};
+    return fc;
+  }
+  if (name == "backhaul_partition") {
+    // Two backhaul partition windows, each spanning a tenth of the run so
+    // they reliably straddle handover preparations — the first long enough
+    // to exhaust the prep retry budget (fallback/failure paths), the
+    // second shorter — plus a delay spike between them.
+    sim::FaultConfig fc;
+    fc.windows = {
+        {sim::FaultKind::kBackhaulPartition, 0.15 * horizon_s,
+         0.10 * horizon_s, 1.0},
+        {sim::FaultKind::kBackhaulDelay, 0.45 * horizon_s, 4.0, 0.020},
+        {sim::FaultKind::kBackhaulPartition, 0.70 * horizon_s,
+         0.05 * horizon_s, 1.0},
+    };
+    return fc;
+  }
+  if (name == "backhaul_loss_reorder") {
+    // Sustained 10% extra frame loss (the acceptance bound) over most of
+    // the horizon, with a heavier burst on top and a delay wobble. The
+    // golden runner pairs this preset with a lossy BackhaulConfig
+    // (reorder/duplicate probabilities raised) so both transport paths
+    // land in the digest.
+    sim::FaultConfig fc;
+    fc.windows = {
+        {sim::FaultKind::kBackhaulLoss, 0.10 * horizon_s, 0.60 * horizon_s,
+         0.10},
+        {sim::FaultKind::kBackhaulLoss, 0.75 * horizon_s, 2.0, 0.50},
+        {sim::FaultKind::kBackhaulDelay, 0.30 * horizon_s, 3.0, 0.008},
+    };
     return fc;
   }
   throw std::invalid_argument("golden_fault_preset: unknown preset '" +

@@ -90,6 +90,11 @@ void InvariantChecker::check_event(const sim::SignalingEvent& e) {
 
   switch (e.kind) {
     case EventKind::kMeasurementTriggered:
+      // A fresh attempt resets the preparation mirror (a superseded
+      // attempt's outstanding request can never ack into the new one).
+      prep_open_ = false;
+      prep_retries_this_attempt_ = 0;
+      [[fallthrough]];
     case EventKind::kReportDelivered:
     case EventKind::kReportLost:
     case EventKind::kHoCommandLost:
@@ -117,6 +122,10 @@ void InvariantChecker::check_event(const sim::SignalingEvent& e) {
       if (exec_open_)
         violate(t, "handover command delivered with an execution already "
                    "in flight (overlapping T304 windows)");
+      if (cfg_.sim.backhaul.enabled && !prep_acked_)
+        violate(t, "handover command delivered without an acked "
+                   "HANDOVER REQUEST (backhaul transport enabled)");
+      prep_acked_ = false;
       exec_open_ = true;
       ++commands_delivered_;
       break;
@@ -188,6 +197,10 @@ void InvariantChecker::check_event(const sim::SignalingEvent& e) {
       outage_open_ = true;
       outage_opened_t_ = t;
       outage_min_reestablish_s_ = cfg_.sim.reestablish_s;
+      // The failure drops any in-flight preparation with the attempt.
+      prep_open_ = false;
+      prep_acked_ = false;
+      prep_retries_this_attempt_ = 0;
       ++rlf_events_;
       break;
 
@@ -238,6 +251,79 @@ void InvariantChecker::check_event(const sim::SignalingEvent& e) {
         violate(t, "degraded exit without matching enter (enters=" +
                        std::to_string(degraded_enters_) + " exits=" +
                        std::to_string(degraded_exits_) + ")");
+      break;
+
+    case EventKind::kPrepRequest:
+      if (outage_open_ || exec_open_)
+        violate(t, "HANDOVER REQUEST outside a live idle link");
+      if (!cfg_.sim.backhaul.enabled)
+        violate(t, "HANDOVER REQUEST with the backhaul transport disabled");
+      prep_open_ = true;
+      prep_retries_this_attempt_ = 0;
+      ++prep_requests_;
+      break;
+
+    case EventKind::kPrepRetry:
+      if (outage_open_ || exec_open_)
+        violate(t, "prep retry outside a live idle link");
+      if (!prep_open_)
+        violate(t, "prep retry without an outstanding HANDOVER REQUEST");
+      ++prep_retries_;
+      if (++prep_retries_this_attempt_ > cfg_.sim.prep_max_retries)
+        violate(t, "prep retry storm: " +
+                       std::to_string(prep_retries_this_attempt_) +
+                       " retries exceed the budget of " +
+                       std::to_string(cfg_.sim.prep_max_retries));
+      break;
+
+    case EventKind::kPrepAck:
+      if (outage_open_ || exec_open_)
+        violate(t, "prep ack outside a live idle link");
+      if (!prep_open_)
+        violate(t, "prep ack without an outstanding HANDOVER REQUEST");
+      // The event's SNR slot carries the request->ack round trip, which
+      // cannot beat two one-way base latencies.
+      if (e.serving_snr_db <
+          2.0 * cfg_.sim.backhaul.base_latency_s - kTimeEps)
+        violate(t, "prep RTT " + std::to_string(e.serving_snr_db) +
+                       "s below the physical floor of 2x base latency (" +
+                       std::to_string(cfg_.sim.backhaul.base_latency_s) +
+                       "s one-way)");
+      prep_open_ = false;
+      prep_acked_ = true;
+      ++prep_acks_;
+      break;
+
+    case EventKind::kPrepReject:
+      if (outage_open_ || exec_open_)
+        violate(t, "prep reject outside a live idle link");
+      if (!prep_open_)
+        violate(t, "prep reject without an outstanding HANDOVER REQUEST");
+      ++prep_rejects_;
+      break;
+
+    case EventKind::kPrepFallback:
+      if (outage_open_ || exec_open_)
+        violate(t, "prep fallback outside a live idle link");
+      if (!prep_open_)
+        violate(t, "prep fallback without an outstanding HANDOVER REQUEST");
+      ++prep_fallbacks_;
+      prep_retries_this_attempt_ = 0;
+      break;
+
+    case EventKind::kPrepFailed:
+      if (outage_open_ || exec_open_)
+        violate(t, "prep failure outside a live idle link");
+      if (!prep_open_)
+        violate(t, "prep failure without an outstanding HANDOVER REQUEST");
+      prep_open_ = false;
+      ++prep_failures_;
+      break;
+
+    case EventKind::kContextFetchFailed:
+      if (!outage_open_)
+        violate(t, "context-fetch failure outside an outage");
+      ++ctx_fetch_failures_;
       break;
   }
 
@@ -295,6 +381,16 @@ void InvariantChecker::check_tick(const sim::TickView& v) {
   if (v.report_pending && v.command_pending)
     violate(t, "report and command simultaneously in flight for one "
                "handover attempt");
+  // Backhaul preparation occupies its own FSM slot: never while the link
+  // is down or executing, never overlapping the report or command legs,
+  // and never at all when the transport is disabled.
+  if (v.prep_pending && (v.in_outage || v.executing))
+    violate(t, "handover preparation pending outside a live idle link");
+  if (v.prep_pending && (v.report_pending || v.command_pending))
+    violate(t, "preparation overlapping another signaling leg for one "
+               "handover attempt");
+  if (v.prep_pending && !cfg_.sim.backhaul.enabled)
+    violate(t, "preparation pending with the backhaul transport disabled");
   if (v.executing != exec_open_)
     violate(t, "tick execution state disagrees with the event stream");
   if (v.in_outage != outage_open_)
@@ -387,6 +483,58 @@ void InvariantChecker::on_run_end(sim::SimStats& stats) {
                        std::to_string(degraded_exits_) + ")");
   if (fault_starts_ < fault_ends_)
     violate(t_end, "more fault-window closes than opens");
+
+  // --- Backhaul preparation conservation ---
+  expect_eq(stats.prep_requests, prep_requests_,
+            "SimStats::prep_requests vs prep-request events");
+  expect_eq(stats.prep_retries, prep_retries_,
+            "SimStats::prep_retries vs prep-retry events");
+  expect_eq(stats.prep_acks, prep_acks_,
+            "SimStats::prep_acks vs prep-ack events");
+  expect_eq(stats.prep_rejects, prep_rejects_,
+            "SimStats::prep_rejects vs prep-reject events");
+  expect_eq(stats.prep_fallbacks, prep_fallbacks_,
+            "SimStats::prep_fallbacks vs prep-fallback events");
+  expect_eq(stats.prep_failures, prep_failures_,
+            "SimStats::prep_failures vs prep-failure events");
+  expect_eq(stats.context_fetch_failures, ctx_fetch_failures_,
+            "SimStats::context_fetch_failures vs context-fetch events");
+  if (cfg_.sim.backhaul.enabled) {
+    // Every delivered command rode an ack, and every ack/reject answers a
+    // request the source actually put on the wire (original or retry).
+    if (commands_delivered_ > prep_acks_)
+      violate(t_end, "more delivered commands (" +
+                         std::to_string(commands_delivered_) +
+                         ") than prep acks (" + std::to_string(prep_acks_) +
+                         ")");
+    if (prep_acks_ + prep_rejects_ > prep_requests_ + prep_retries_)
+      violate(t_end, "more prep outcomes (" +
+                         std::to_string(prep_acks_ + prep_rejects_) +
+                         ") than requests sent (" +
+                         std::to_string(prep_requests_ + prep_retries_) + ")");
+    // Retry-storm bound: the backoff budget caps total resends.
+    if (prep_retries_ >
+        prep_requests_ * std::max(cfg_.sim.prep_max_retries, 0))
+      violate(t_end, "prep retry storm: " + std::to_string(prep_retries_) +
+                         " retries for " + std::to_string(prep_requests_) +
+                         " requests (budget " +
+                         std::to_string(cfg_.sim.prep_max_retries) +
+                         " per attempt)");
+    // Transport conservation: deliveries never exceed what entered the
+    // network, and drops never exceed send attempts.
+    if (stats.backhaul_delivered >
+        stats.backhaul_sent + stats.backhaul_duplicated)
+      violate(t_end, "backhaul delivered " +
+                         std::to_string(stats.backhaul_delivered) +
+                         " frames but only " +
+                         std::to_string(stats.backhaul_sent) + "+" +
+                         std::to_string(stats.backhaul_duplicated) +
+                         " entered the network");
+    if (stats.backhaul_dropped_loss + stats.backhaul_dropped_partition +
+            stats.backhaul_dropped_queue >
+        stats.backhaul_sent)
+      violate(t_end, "backhaul drop counters exceed send attempts");
+  }
 
   // --- Loop accounting, recomputed independently from the event stream ---
   expect_eq(stats.loop_handovers, loop_handovers_,

@@ -23,6 +23,11 @@
 //  - degraded-mode legality: entering degraded mode requires estimates
 //    staler than the configured bound at that tick; fault-free runs must
 //    never see fault windows or degraded transitions;
+//  - backhaul preparation legality (transport-enabled runs): prep events
+//    flow only on a live idle link, every delivered command follows an
+//    acked HANDOVER REQUEST, retries stay inside the configured budget
+//    (no retry storms), ack round trips respect the 2x-one-way-latency
+//    physical floor, and context-fetch failures occur only in outage;
 //  - TCP sanity: every recorded outage maps to a TCP stall bounded by
 //    outage <= stall <= outage + max RTO + RTT + base RTO.
 //
@@ -116,6 +121,18 @@ class InvariantChecker final : public sim::SimObserver {
   int fault_starts_ = 0;
   int fault_ends_ = 0;
   bool pending_degraded_enter_check_ = false;
+
+  // --- Backhaul preparation mirror (cfg.sim.backhaul.enabled runs) ---
+  bool prep_open_ = false;        ///< HANDOVER REQUEST outstanding
+  bool prep_acked_ = false;       ///< an ack arrived, command not yet out
+  int prep_retries_this_attempt_ = 0;
+  int prep_requests_ = 0;
+  int prep_retries_ = 0;
+  int prep_acks_ = 0;
+  int prep_rejects_ = 0;
+  int prep_fallbacks_ = 0;
+  int prep_failures_ = 0;
+  int ctx_fetch_failures_ = 0;
 
   // --- Loop bookkeeping mirror (simulator's recent-serving window) ---
   std::vector<std::pair<double, int>> recent_serving_;

@@ -25,6 +25,13 @@ const std::map<std::string, sim::EventKind>& kind_by_name() {
       {"ho_command_duplicate", sim::EventKind::kHoCommandDuplicate},
       {"degraded_enter", sim::EventKind::kDegradedEnter},
       {"degraded_exit", sim::EventKind::kDegradedExit},
+      {"prep_request", sim::EventKind::kPrepRequest},
+      {"prep_retry", sim::EventKind::kPrepRetry},
+      {"prep_ack", sim::EventKind::kPrepAck},
+      {"prep_reject", sim::EventKind::kPrepReject},
+      {"prep_fallback", sim::EventKind::kPrepFallback},
+      {"prep_failed", sim::EventKind::kPrepFailed},
+      {"context_fetch_failed", sim::EventKind::kContextFetchFailed},
   };
   return m;
 }
@@ -141,6 +148,13 @@ LogSummary summarize_event_log(const sim::EventLog& log) {
         break;
       case sim::EventKind::kFaultStart: ++s.fault_windows; break;
       case sim::EventKind::kDegradedEnter: ++s.degraded_episodes; break;
+      case sim::EventKind::kPrepRetry: ++s.prep_retries; break;
+      case sim::EventKind::kPrepReject: ++s.prep_rejects; break;
+      case sim::EventKind::kPrepFallback: ++s.prep_fallbacks; break;
+      case sim::EventKind::kPrepFailed: ++s.prep_failures; break;
+      case sim::EventKind::kContextFetchFailed:
+        ++s.context_fetch_failures;
+        break;
       default: break;
     }
   }

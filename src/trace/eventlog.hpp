@@ -32,6 +32,12 @@ struct LogSummary {
   std::size_t duplicate_commands = 0;
   std::size_t fault_windows = 0;     ///< fault_start events
   std::size_t degraded_episodes = 0; ///< degraded_enter events
+  // Backhaul preparation / context-fetch events (rem::net transport).
+  std::size_t prep_retries = 0;
+  std::size_t prep_rejects = 0;
+  std::size_t prep_fallbacks = 0;
+  std::size_t prep_failures = 0;
+  std::size_t context_fetch_failures = 0;
   double mean_handover_interval_s = 0.0;
 };
 LogSummary summarize_event_log(const sim::EventLog& log);

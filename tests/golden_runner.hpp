@@ -15,6 +15,15 @@ inline TraceDigest run_golden_case(const GoldenCase& c) {
   bench::SeedRunOptions opts;
   opts.faults = golden_fault_preset(c.fault_preset, c.duration_s);
   opts.record_events = true;
+  if (c.fault_preset == "backhaul_loss_reorder") {
+    // Pair the scripted loss windows with a transport that also reorders
+    // and duplicates, so every frame path shows up in the digest.
+    net::BackhaulConfig bh;
+    bh.loss_prob = 0.02;
+    bh.reorder_prob = 0.15;
+    bh.duplicate_prob = 0.10;
+    opts.backhaul = bh;
+  }
   const auto r = bench::run_seed(c.route, c.speed_kmh, c.duration_s, c.seed,
                                  /*run_rem=*/true, bler, opts);
   return make_digest(c, r.legacy, r.rem);

@@ -83,6 +83,11 @@ rs::SimConfig base_config(double duration_s) {
   rs::SimConfig sc;
   sc.speed_kmh = 300.0;
   sc.duration_s = duration_s;
+  // These pins rely on millisecond-exact command timing against scripted
+  // fault windows; run the direct signaling path so the jittered backhaul
+  // prep handshake cannot shift delivery times. The transport-enabled
+  // equivalents live in test_backhaul.cpp's BackhaulFsm suite.
+  sc.backhaul.enabled = false;
   return sc;
 }
 

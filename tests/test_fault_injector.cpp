@@ -48,6 +48,22 @@ void expect_identical(const rs::SimStats& a, const rs::SimStats& b) {
   EXPECT_EQ(a.mean_throughput_bps, b.mean_throughput_bps);
   EXPECT_EQ(a.downtime_fraction, b.downtime_fraction);
   EXPECT_EQ(a.pre_failure_snrs_db, b.pre_failure_snrs_db);
+  EXPECT_EQ(a.prep_requests, b.prep_requests);
+  EXPECT_EQ(a.prep_retries, b.prep_retries);
+  EXPECT_EQ(a.prep_acks, b.prep_acks);
+  EXPECT_EQ(a.prep_rejects, b.prep_rejects);
+  EXPECT_EQ(a.prep_fallbacks, b.prep_fallbacks);
+  EXPECT_EQ(a.prep_failures, b.prep_failures);
+  EXPECT_EQ(a.prep_rtt_sum_s, b.prep_rtt_sum_s);
+  EXPECT_EQ(a.context_fetch_failures, b.context_fetch_failures);
+  EXPECT_EQ(a.backhaul_sent, b.backhaul_sent);
+  EXPECT_EQ(a.backhaul_delivered, b.backhaul_delivered);
+  EXPECT_EQ(a.backhaul_dropped_loss, b.backhaul_dropped_loss);
+  EXPECT_EQ(a.backhaul_dropped_partition, b.backhaul_dropped_partition);
+  EXPECT_EQ(a.backhaul_dropped_queue, b.backhaul_dropped_queue);
+  EXPECT_EQ(a.backhaul_duplicated, b.backhaul_duplicated);
+  EXPECT_EQ(a.backhaul_reordered, b.backhaul_reordered);
+  EXPECT_EQ(a.backhaul_latency_sum_s, b.backhaul_latency_sum_s);
 }
 
 /// Periodic scripted windows of one kind over [first_s, horizon_s).
@@ -73,6 +89,12 @@ TEST(FaultKindName, NamesAllKindsAndRejectsInvalid) {
             "coverage_blackout");
   EXPECT_EQ(rs::fault_kind_name(rs::FaultKind::kCommandDuplication),
             "command_duplication");
+  EXPECT_EQ(rs::fault_kind_name(rs::FaultKind::kBackhaulLoss),
+            "backhaul_loss");
+  EXPECT_EQ(rs::fault_kind_name(rs::FaultKind::kBackhaulDelay),
+            "backhaul_delay");
+  EXPECT_EQ(rs::fault_kind_name(rs::FaultKind::kBackhaulPartition),
+            "backhaul_partition");
   EXPECT_THROW(rs::fault_kind_name(static_cast<rs::FaultKind>(99)),
                std::invalid_argument);
 }
@@ -84,18 +106,20 @@ TEST(FaultInjector, DefaultInjectorIsInert) {
   EXPECT_EQ(fi.magnitude(rs::FaultKind::kCoverageBlackout, 10.0), 0.0);
 }
 
-TEST(FaultInjector, ScriptedWindowsOverlapTakesMax) {
+TEST(FaultInjector, ScriptedWindowsAdjacentKindsAndBounds) {
   rs::FaultConfig cfg;
   cfg.windows = {
+      // Touching same-kind windows are legal: the end is exclusive, so
+      // [10, 15) and [15, 20) never overlap.
       {rs::FaultKind::kSignalingLoss, 10.0, 5.0, 0.5},
-      {rs::FaultKind::kSignalingLoss, 12.0, 8.0, 0.9},
+      {rs::FaultKind::kSignalingLoss, 15.0, 5.0, 0.9},
       {rs::FaultKind::kCoverageBlackout, 30.0, 4.0, 60.0},
   };
   rs::FaultInjector fi(cfg, 100.0, rem::common::Rng(1));
   ASSERT_TRUE(fi.any());
   EXPECT_EQ(fi.magnitude(rs::FaultKind::kSignalingLoss, 11.0), 0.5);
-  // Overlap does not stack; the worst window wins.
-  EXPECT_EQ(fi.magnitude(rs::FaultKind::kSignalingLoss, 13.0), 0.9);
+  // The boundary tick belongs to the later window.
+  EXPECT_EQ(fi.magnitude(rs::FaultKind::kSignalingLoss, 15.0), 0.9);
   EXPECT_EQ(fi.magnitude(rs::FaultKind::kSignalingLoss, 17.0), 0.9);
   EXPECT_EQ(fi.magnitude(rs::FaultKind::kSignalingLoss, 25.0), 0.0);
   // Kinds do not bleed into each other.
@@ -104,6 +128,45 @@ TEST(FaultInjector, ScriptedWindowsOverlapTakesMax) {
   // Window end is exclusive, start inclusive.
   EXPECT_TRUE(fi.active(rs::FaultKind::kCoverageBlackout, 30.0));
   EXPECT_FALSE(fi.active(rs::FaultKind::kCoverageBlackout, 34.0));
+}
+
+TEST(FaultInjector, RejectsInvalidScriptedWindows) {
+  const auto build = [](std::vector<rs::FaultWindow> windows) {
+    rs::FaultConfig cfg;
+    cfg.windows = std::move(windows);
+    rs::FaultInjector fi(cfg, 100.0, rem::common::Rng(1));
+  };
+  // Same-kind overlap is a schedule bug, not a "max wins" feature.
+  EXPECT_THROW(build({{rs::FaultKind::kSignalingLoss, 10.0, 5.0, 0.5},
+                      {rs::FaultKind::kSignalingLoss, 12.0, 8.0, 0.9}}),
+               std::invalid_argument);
+  // Different kinds may overlap freely.
+  EXPECT_NO_THROW(build({{rs::FaultKind::kSignalingLoss, 10.0, 5.0, 0.5},
+                         {rs::FaultKind::kPilotOutage, 12.0, 8.0, 2.0}}));
+  EXPECT_THROW(build({{rs::FaultKind::kSignalingLoss, -1.0, 5.0, 0.5}}),
+               std::invalid_argument);
+  EXPECT_THROW(build({{rs::FaultKind::kSignalingLoss, 10.0, 0.0, 0.5}}),
+               std::invalid_argument);
+  EXPECT_THROW(build({{rs::FaultKind::kSignalingLoss, 10.0, 5.0, 0.0}}),
+               std::invalid_argument);
+  // Probability-valued kinds cap at 1; physical magnitudes do not.
+  EXPECT_THROW(build({{rs::FaultKind::kSignalingLoss, 10.0, 5.0, 1.5}}),
+               std::invalid_argument);
+  EXPECT_THROW(build({{rs::FaultKind::kBackhaulLoss, 10.0, 5.0, 1.5}}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(build({{rs::FaultKind::kBackhaulDelay, 10.0, 5.0, 1.5}}));
+  EXPECT_NO_THROW(build({{rs::FaultKind::kCoverageBlackout, 10.0, 5.0,
+                          60.0}}));
+  // The thrown context names the window and both intervals on overlap.
+  try {
+    build({{rs::FaultKind::kBackhaulPartition, 10.0, 5.0, 1.0},
+           {rs::FaultKind::kBackhaulPartition, 14.0, 5.0, 1.0}});
+    FAIL() << "overlapping partitions were accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("backhaul_partition"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("overlap"), std::string::npos) << msg;
+  }
 }
 
 TEST(FaultInjector, RandomScheduleIsDeterministicPerSeed) {
@@ -208,6 +271,14 @@ TEST(ChaosDeterminism, ParallelMatchesSerialAcrossThreadCounts) {
     EXPECT_EQ(serial.rem.degraded_enters, par.rem.degraded_enters);
     EXPECT_EQ(serial.rem.degraded_time_s, par.rem.degraded_time_s);
     EXPECT_EQ(serial.rem.outage_durations_s, par.rem.outage_durations_s);
+    EXPECT_EQ(serial.rem.prep_requests, par.rem.prep_requests);
+    EXPECT_EQ(serial.rem.prep_retries, par.rem.prep_retries);
+    EXPECT_EQ(serial.rem.prep_acks, par.rem.prep_acks);
+    EXPECT_EQ(serial.rem.prep_rtt_sum_s, par.rem.prep_rtt_sum_s);
+    EXPECT_EQ(serial.rem.backhaul_sent, par.rem.backhaul_sent);
+    EXPECT_EQ(serial.rem.backhaul_delivered, par.rem.backhaul_delivered);
+    EXPECT_EQ(serial.rem.backhaul_latency_sum_s,
+              par.rem.backhaul_latency_sum_s);
   }
 }
 

@@ -25,17 +25,21 @@ std::string golden_path(const GoldenCase& c) {
 
 TEST(GoldenTraces, CorpusCoversAllRoutesAndFaultPresets) {
   const auto corpus = rem::testkit::golden_corpus();
-  ASSERT_GE(corpus.size(), 10u);
+  ASSERT_GE(corpus.size(), 12u);
   bool la = false, bt = false, bs = false, none = false, mixed = false;
+  bool partition = false, loss_reorder = false;
   for (const auto& c : corpus) {
     la = la || c.route == rem::trace::Route::kLowMobilityLA;
     bt = bt || c.route == rem::trace::Route::kBeijingTaiyuan;
     bs = bs || c.route == rem::trace::Route::kBeijingShanghai;
     none = none || c.fault_preset == "none";
     mixed = mixed || c.fault_preset == "mixed";
+    partition = partition || c.fault_preset == "backhaul_partition";
+    loss_reorder = loss_reorder || c.fault_preset == "backhaul_loss_reorder";
   }
   EXPECT_TRUE(la && bt && bs);
   EXPECT_TRUE(none && mixed);
+  EXPECT_TRUE(partition && loss_reorder);
 }
 
 // The replay: one corpus case per thread-pool job (REM_BENCH_THREADS
@@ -146,6 +150,23 @@ TEST(GoldenDigest, UnknownFaultPresetIsRejected) {
                std::invalid_argument);
   EXPECT_TRUE(rem::testkit::golden_fault_preset("none", 100.0).empty());
   EXPECT_FALSE(rem::testkit::golden_fault_preset("mixed", 100.0).empty());
+  EXPECT_FALSE(
+      rem::testkit::golden_fault_preset("backhaul_partition", 100.0).empty());
+  EXPECT_FALSE(rem::testkit::golden_fault_preset("backhaul_loss_reorder",
+                                                 100.0)
+                   .empty());
+}
+
+TEST(GoldenDigest, BackhaulPresetsPassScriptedValidation) {
+  // Every committed preset must survive the injector's scripted-window
+  // validation at a representative horizon.
+  for (const char* preset :
+       {"mixed", "backhaul_partition", "backhaul_loss_reorder"}) {
+    SCOPED_TRACE(preset);
+    const auto fc = rem::testkit::golden_fault_preset(preset, 120.0);
+    EXPECT_NO_THROW(
+        rem::sim::FaultInjector(fc, 120.0, rem::common::Rng(1)));
+  }
 }
 
 }  // namespace

@@ -26,6 +26,9 @@ CheckerConfig small_config() {
   CheckerConfig cfg;
   cfg.sim.duration_s = 10.0;
   cfg.num_cells = 4;
+  // These synthetic event streams model the direct command path; the
+  // prep-handshake rules only apply when the backhaul transport is on.
+  cfg.sim.backhaul.enabled = false;
   cfg.faults_expected = false;
   return cfg;
 }

@@ -138,11 +138,14 @@ TEST(SpanTracer, SpansAreWellFormed) {
       EXPECT_GE(s.target, 0);
       if (s.outcome == "complete") {
         ++complete;
-        // A completed attempt traversed measure -> decide -> execute.
-        ASSERT_EQ(s.phases.size(), 3u);
+        // A completed attempt traversed measure -> decide -> prepare ->
+        // execute (the prepare phase spans the backhaul HANDOVER
+        // REQUEST/ACK handshake up to command delivery).
+        ASSERT_EQ(s.phases.size(), 4u);
         EXPECT_EQ(s.phases[0].name, "measure");
         EXPECT_EQ(s.phases[1].name, "decide");
-        EXPECT_EQ(s.phases[2].name, "execute");
+        EXPECT_EQ(s.phases[2].name, "prepare");
+        EXPECT_EQ(s.phases[3].name, "execute");
         EXPECT_EQ(s.phases.back().end_s, s.end_s);
       }
     } else {
