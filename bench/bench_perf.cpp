@@ -1,14 +1,23 @@
 // DSP/runner performance trajectory: times the FFT plan cache against the
 // pre-cache implementation (re-deriving twiddles and Bluestein kernels per
 // call, as fft.cpp did before the plan cache), the in-place strided
-// SFFT/ISFFT against the old copy-per-row/column version, and the
+// SFFT/ISFFT against the old copy-per-row/column version, the batched SoA
+// estimator (estimate_batch) against a loop of estimate() calls, and the
 // seed-parallel scenario runner against the serial one. Results go to
 // BENCH_DSP.json (or argv[1]) so future PRs can track the numbers.
 //
-// Usage: bench_perf [output.json]   (run from the repo root so the JSON
-// lands next to README.md)
+// Exit-code gates: run_route parallel/serial and metrics on/off statistics
+// must be bit-identical; the batched estimator must match the singles loop
+// within a relative 1e-10, make zero steady-state heap allocations, and (full runs
+// only) clear a >= 4x estimates/sec speedup at batch 64 single-threaded.
+//
+// Usage: bench_perf [--smoke] [output.json]   (run from the repo root so
+// the JSON lands next to README.md). --smoke shrinks every workload to a
+// few seconds for ctest (label `perf`) and skips the wall-clock speedup
+// gates — correctness/allocation gates still apply.
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "crossband/rem_svd.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/fft_plan.hpp"
 #include "phy/otfs.hpp"
@@ -175,6 +184,73 @@ struct Entry {
   double speedup() const { return baseline_ns / cached_ns; }
 };
 
+// One shape's estimates/sec measurement (singles loop vs estimate_batch).
+struct EstResult {
+  std::string name;
+  double singles_eps = 0.0;   ///< estimates/sec, loop of estimate()
+  double batched_eps = 0.0;   ///< estimates/sec, estimate_batch, 1 thread
+  double max_abs_diff = 0.0;  ///< worst |h2 - h2_batch| entry across batch
+  double max_rel_diff = 0.0;  ///< max_abs_diff / max |h2| entry (singles)
+  std::size_t steady_allocs = 0;  ///< arena growths across the timed calls
+  double speedup() const { return batched_eps / singles_eps; }
+};
+
+EstResult bench_estimates(const std::string& name, std::size_t m,
+                          std::size_t n, std::size_t batch, std::size_t reps,
+                          rem::common::Rng& rng) {
+  std::vector<rem::crossband::CrossbandInput> inputs(batch);
+  for (auto& in : inputs) {
+    in.h1_dd = random_grid(m, n, rng);
+    in.h1_tf = rem::dsp::Matrix(m, n);
+    in.num = rem::phy::Numerology::lte(m, n);
+    in.f1_hz = 1.88e9;
+    in.f2_hz = 2.6e9;
+  }
+
+  EstResult r;
+  r.name = name;
+
+  rem::crossband::RemSvdEstimator singles;
+  std::vector<rem::crossband::CrossbandOutput> singles_out(batch);
+  const double singles_ns = time_ns_per_op(reps, [&] {
+    for (std::size_t i = 0; i < batch; ++i)
+      singles_out[i] = singles.estimate(inputs[i]);
+  });
+
+  rem::crossband::RemSvdEstimator batched;  // batch_threads defaults to 1
+  std::vector<rem::crossband::CrossbandOutput> batched_out(batch);
+  // Two warm calls: the first grows the arena chunk by chunk, the second's
+  // reset() coalesces to the high-water chunk. From then on the arena
+  // grow count must stay flat — that delta is the zero-allocation gate.
+  batched.estimate_batch(inputs, batched_out);
+  batched.estimate_batch(inputs, batched_out);
+  const std::size_t grows_before = batched.arena_grows();
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < reps; ++i)
+    batched.estimate_batch(inputs, batched_out);
+  const auto t1 = Clock::now();
+  const double batched_ns =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() /
+      static_cast<double>(reps);
+  r.steady_allocs = batched.arena_grows() - grows_before;
+
+  // Match is gated on the diff relative to the largest singles |h2| entry:
+  // the entries themselves are O(gain), so an absolute 1e-10 bar would
+  // tighten or loosen with the random channel draw.
+  double max_entry = 0.0;
+  for (std::size_t i = 0; i < batch; ++i) {
+    r.max_abs_diff =
+        std::max(r.max_abs_diff, rem::dsp::Matrix::max_abs_diff(
+                                     singles_out[i].h2, batched_out[i].h2));
+    for (const auto& x : singles_out[i].h2.data())
+      max_entry = std::max(max_entry, std::abs(x));
+  }
+  r.max_rel_diff = r.max_abs_diff / (max_entry + 1e-300);
+  r.singles_eps = 1e9 * static_cast<double>(batch) / singles_ns;
+  r.batched_eps = 1e9 * static_cast<double>(batch) / batched_ns;
+  return r;
+}
+
 bool runs_equal(const rem::bench::ScenarioRun& a,
                 const rem::bench::ScenarioRun& b) {
   return a.legacy.handovers == b.legacy.handovers &&
@@ -194,7 +270,20 @@ bool runs_equal(const rem::bench::ScenarioRun& a,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_DSP.json";
+  bool smoke = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke")
+      smoke = true;
+    else
+      out_path = argv[i];
+  }
+  if (out_path.empty())
+    out_path = smoke ? "BENCH_DSP.smoke.json" : "BENCH_DSP.json";
+  // Every timing below is scaled down by --smoke so a full run of the
+  // binary fits in a ctest slot; wall-clock gates are skipped in smoke
+  // mode (bit-identity / match / allocation gates are not).
+  const std::size_t iter_div = smoke ? 10 : 1;
   rem::common::Rng rng(7);
   std::vector<Entry> entries;
 
@@ -213,11 +302,12 @@ int main(int argc, char** argv) {
   };
   for (const auto& c : cases) {
     const auto x = random_vec(c.n, rng);
-    const double base_ns = time_ns_per_op(c.iters, [&] {
+    const std::size_t iters = std::max<std::size_t>(1, c.iters / iter_div);
+    const double base_ns = time_ns_per_op(iters, [&] {
       rem::dsp::CVec v = x;
       baseline::fft(v);
     });
-    const double cached_ns = time_ns_per_op(c.iters, [&] {
+    const double cached_ns = time_ns_per_op(iters, [&] {
       rem::dsp::CVec v = x;
       rem::dsp::fft(v);
     });
@@ -239,11 +329,12 @@ int main(int argc, char** argv) {
   };
   for (const auto& g : grids) {
     const auto grid = random_grid(g.m, g.n, rng);
-    const double base_ns = time_ns_per_op(g.iters, [&] {
+    const std::size_t iters = std::max<std::size_t>(1, g.iters / iter_div);
+    const double base_ns = time_ns_per_op(iters, [&] {
       auto tf = baseline::sfft(grid);
       (void)tf;
     });
-    const double cached_ns = time_ns_per_op(g.iters, [&] {
+    const double cached_ns = time_ns_per_op(iters, [&] {
       auto tf = rem::phy::sfft(grid);
       (void)tf;
     });
@@ -252,9 +343,50 @@ int main(int argc, char** argv) {
                 g.name.c_str(), base_ns, cached_ns, base_ns / cached_ns);
   }
 
+  // --- Batched estimator: estimate_batch vs loop of estimate() ------------
+  // The tentpole gate: at batch 64, single-threaded, the SoA pipeline
+  // (BatchMatrix pack + svd_batch + split-plane extraction, zero steady
+  // allocations) must clear kEstGate x the throughput of looping the
+  // scalar estimator, with matching results.
+  constexpr double kEstGate = 4.0;
+  struct EstCase {
+    std::string name;
+    std::size_t m, n, reps;
+  };
+  const std::vector<EstCase> est_cases = {
+      {"est_12x14", 12, 14, 40},
+      {"est_64x16", 64, 16, 6},
+      {"est_128x64", 128, 64, 2},
+  };
+  const std::size_t est_batch = smoke ? 8 : 64;
+  std::vector<EstResult> est_results;
+  bool est_match_ok = true;
+  bool est_alloc_ok = true;
+  bool est_gate_ok = true;
+  for (const auto& c : est_cases) {
+    const std::size_t reps = std::max<std::size_t>(1, c.reps / iter_div);
+    const auto r = bench_estimates(c.name, c.m, c.n, est_batch, reps, rng);
+    est_match_ok = est_match_ok && r.max_rel_diff <= 1e-10;
+    est_alloc_ok = est_alloc_ok && r.steady_allocs == 0;
+    if (!smoke) est_gate_ok = est_gate_ok && r.speedup() >= kEstGate;
+    std::printf(
+        "%-28s singles %9.1f est/s  batched %9.1f est/s  %5.2fx  "
+        "reldiff %.2e  steady allocs %zu\n",
+        r.name.c_str(), r.singles_eps, r.batched_eps, r.speedup(),
+        r.max_rel_diff, r.steady_allocs);
+    est_results.push_back(r);
+  }
+
   // --- Scenario runner: serial vs seed-parallel ---------------------------
-  const std::vector<std::uint64_t> seeds = {1, 2, 3, 4, 5, 6, 7, 8};
-  const double duration_s = 150.0;
+  const std::vector<std::uint64_t> seeds =
+      smoke ? std::vector<std::uint64_t>{1, 2}
+            : std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6, 7, 8};
+  const double duration_s = smoke ? 20.0 : 150.0;
+  const std::size_t hw_threads = rem::common::ThreadPool::default_threads();
+  // On a 1-core container the 4-thread run measures contention, not
+  // speedup — the bit-identity gate still holds, but the wall-clock
+  // comparison is annotated as invalid instead of read as a regression.
+  const bool parallel_cmp_valid = hw_threads > 1;
   const auto t0 = Clock::now();
   const auto serial = rem::bench::run_route(
       rem::trace::Route::kBeijingShanghai, 300.0, duration_s, seeds);
@@ -266,10 +398,11 @@ int main(int argc, char** argv) {
   const double par_s = std::chrono::duration<double>(t2 - t1).count();
   const bool identical = runs_equal(serial, par);
   std::printf(
-      "run_route 8 seeds: serial %.2f s, 4 threads %.2f s (%.2fx), "
+      "run_route %zu seeds: serial %.2f s, 4 threads %.2f s (%.2fx%s), "
       "identical=%s, hw threads=%zu\n",
-      serial_s, par_s, serial_s / par_s, identical ? "true" : "false",
-      rem::common::ThreadPool::default_threads());
+      seeds.size(), serial_s, par_s, serial_s / par_s,
+      parallel_cmp_valid ? "" : ", invalid on 1 hw thread",
+      identical ? "true" : "false", hw_threads);
 
   // --- Metrics overhead: run_route with the obs layer on vs off -----------
   // Collecting metrics attaches a SpanTracer + per-seed Registry to every
@@ -303,11 +436,14 @@ int main(int argc, char** argv) {
           : 0ull);
 
   // --- JSON ---------------------------------------------------------------
+  // Every timed section carries its own hardware_threads so a reader can
+  // tell which numbers came from a 1-core container.
   std::ofstream js(out_path);
   js << "{\n";
-  js << "  \"hardware_threads\": "
-     << rem::common::ThreadPool::default_threads() << ",\n";
+  js << "  \"hardware_threads\": " << hw_threads << ",\n";
+  js << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
   js << "  \"fft\": {\n";
+  js << "    \"hardware_threads\": " << hw_threads << ",\n";
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const auto& e = entries[i];
     js << "    \"" << e.name << "\": {\"baseline_ns\": " << e.baseline_ns
@@ -316,18 +452,49 @@ int main(int argc, char** argv) {
        << (i + 1 < entries.size() ? "," : "") << "\n";
   }
   js << "  },\n";
-  js << "  \"run_route\": {\"seeds\": " << seeds.size()
+  js << "  \"estimates_per_sec\": {\n";
+  js << "    \"hardware_threads\": " << hw_threads << ",\n";
+  js << "    \"batch\": " << est_batch << ",\n";
+  js << "    \"batch_threads\": 1,\n";
+  js << "    \"gate_min_speedup\": " << kEstGate << ",\n";
+  js << "    \"gate_enforced\": " << (smoke ? "false" : "true") << ",\n";
+  for (const auto& r : est_results) {
+    js << "    \"" << r.name << "\": {\"singles_eps\": " << r.singles_eps
+       << ", \"batched_eps\": " << r.batched_eps
+       << ", \"speedup\": " << r.speedup()
+       << ", \"max_abs_diff\": " << r.max_abs_diff
+       << ", \"max_rel_diff\": " << r.max_rel_diff
+       << ", \"steady_state_allocs\": " << r.steady_allocs << "},\n";
+  }
+  js << "    \"match_rel_1e10\": " << (est_match_ok ? "true" : "false")
+     << ",\n";
+  js << "    \"zero_alloc\": " << (est_alloc_ok ? "true" : "false") << ",\n";
+  js << "    \"gate_passed\": " << (est_gate_ok ? "true" : "false") << "\n";
+  js << "  },\n";
+  js << "  \"run_route\": {\"hardware_threads\": " << hw_threads
+     << ", \"seeds\": " << seeds.size()
      << ", \"duration_s\": " << duration_s
      << ", \"serial_wall_s\": " << serial_s
      << ", \"parallel4_wall_s\": " << par_s
      << ", \"speedup\": " << serial_s / par_s
+     << ", \"parallel_comparison_valid\": "
+     << (parallel_cmp_valid ? "true" : "false")
      << ", \"bit_identical\": " << (identical ? "true" : "false") << "},\n";
-  js << "  \"metrics_overhead\": {\"off_wall_s\": " << off_s
+  js << "  \"metrics_overhead\": {\"hardware_threads\": " << hw_threads
+     << ", \"off_wall_s\": " << off_s
      << ", \"on_wall_s\": " << on_s
      << ", \"overhead_pct\": " << overhead_pct
      << ", \"stats_bit_identical\": "
      << (metrics_identical ? "true" : "false") << "}\n";
   js << "}\n";
   std::printf("wrote %s\n", out_path.c_str());
-  return identical && metrics_identical ? 0 : 1;
+  const bool ok = identical && metrics_identical && est_match_ok &&
+                  est_alloc_ok && est_gate_ok;
+  if (!ok)
+    std::printf(
+        "GATE FAILED: run_route_identical=%d metrics_identical=%d "
+        "est_match=%d est_zero_alloc=%d est_speedup_gate=%d\n",
+        identical, metrics_identical, est_match_ok, est_alloc_ok,
+        est_gate_ok);
+  return ok ? 0 : 1;
 }

@@ -1,5 +1,8 @@
 #!/usr/bin/env bash
-# Build and run the tier-1 test suite under ASan+UBSan and under TSan.
+# Build and run the full ctest suite under ASan+UBSan and under TSan —
+# including test_dsp_batch and the bench_perf --smoke perf label, so the
+# batched SoA kernels (sfft_batch/svd_batch/estimate_batch and their
+# arena) run instrumented on every sanitizer pass.
 #
 #   scripts/check_sanitizers.sh            # both presets
 #   scripts/check_sanitizers.sh asan-ubsan # just address,undefined

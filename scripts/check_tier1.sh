@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # The pre-commit loop: configure, build, and run the tier-1 test suite
-# plus the documentation lint (check_docs.sh, ctest label `docs`) — the
+# plus the documentation lint (check_docs.sh, ctest label `docs`) and the
+# perf smoke (`bench_perf --smoke`, label `perf`, which exercises the
+# batched DSP kernels and their correctness/allocation gates) — the
 # fast checks every change must keep green (ROADMAP.md).
 #
-#   scripts/check_tier1.sh              # tier1 + docs labels
+#   scripts/check_tier1.sh              # tier1 + docs + perf labels
 #   scripts/check_tier1.sh --all        # every ctest label (slow/chaos/
 #                                       # golden included)
 #
@@ -14,7 +16,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 build="${BUILD_DIR:-build}"
 
-ctest_args=(-L 'tier1|docs')
+ctest_args=(-L 'tier1|docs|perf')
 if [ "${1:-}" = "--all" ]; then
   ctest_args=()
   shift

@@ -1,0 +1,313 @@
+// Batched REM cross-band estimation (Algorithm 1 over a span of inputs).
+//
+// Same per-input math as RemSvdEstimator::estimate(), restructured for
+// throughput: inputs are sharded contiguously across batch_threads, each
+// shard groups its inputs by (rows, cols) shape key in first-appearance
+// order, packs every group into an arena-backed BatchMatrix, factorizes
+// with svd_batch (one block-swept Jacobi over the whole group), and runs
+// the per-triplet extraction on the split planes with plan-direct FFTs and
+// the allocation-free prony variants. The extraction itself is two-pass:
+// all Doppler sequences of a group are computed first so their Hankel
+// pencil matrices factorize as a second group-wide svd_batch call, instead
+// of one tiny SVD per triplet. Each shard owns one Arena that is
+// reset (not freed) per call, so warm calls never touch the heap.
+//
+// Own translation unit so these kernels get the batch-pipeline
+// vectorization flags while estimate() stays on the default ones.
+#include "crossband/rem_svd.hpp"
+
+#include "common/thread_pool.hpp"
+#include "dsp/fft_plan.hpp"
+#include "dsp/prony.hpp"
+#include "dsp/svd.hpp"
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <string>
+
+namespace rem::crossband {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+using dsp::cd;
+
+// Split-plane scratch for one shape group; all pointers live in the shard
+// arena.
+struct ExtractScratch {
+  double* phi_re;  ///< length n: Doppler row -> exponential sequence
+  double* phi_im;
+  double* gam_re;  ///< length m: delay column -> common-ratio sequence
+  double* gam_im;
+  double* p2_re;  ///< length n: rebuilt band-2 Doppler factor
+  double* p2_im;
+  double* wre;  ///< FFT plan scratch (Bluestein), max over both plans
+  double* wim;
+};
+
+// Effective path count of batch slot `b` (energy cutoff when max_paths
+// doesn't cap it), mirroring the singles estimator's rank selection.
+std::size_t effective_rank(const dsp::BatchSvd& s, std::size_t b,
+                           const RemSvdConfig& cfg) {
+  const double* sig = s.sigma + b * s.r_max;
+  std::size_t rank = s.rank[b];
+  if (cfg.max_paths == 0) {
+    while (rank > 1 && sig[rank - 1] < cfg.energy_cutoff * sig[0]) --rank;
+  }
+  return rank;
+}
+
+// One singular triplet -> one path: fit the Doppler components of V's
+// column, read the delay off U's column, rescale by f2/f1, and accumulate
+// U_p sigma_p x DFT(phi2) into h2 slot `slot`. Mirrors the triplet loop of
+// RemSvdEstimator::estimate() line for line (see rem_svd.cpp for the
+// algorithm commentary). The Doppler sequences arrive pre-computed in
+// `phis` (rank sequences of length n) and their Hankel factorization in
+// slots [t0, t0 + rank) of `hs` — both produced group-wide by
+// process_range so the tiny per-triplet SVDs run as one batched sweep.
+void extract_into(const dsp::BatchSvd& s, std::size_t b,
+                  const CrossbandInput& in, std::size_t rank, const cd* phis,
+                  const dsp::PencilShape& ps,
+                  const dsp::BatchSvd& hs, std::size_t t0,
+                  const dsp::FftPlan& plan_m, const dsp::FftPlan& plan_n,
+                  const ExtractScratch& sc, dsp::BatchMatrix& h2,
+                  std::size_t slot, std::vector<ExtractedPath>* paths) {
+  const std::size_t m = h2.rows();
+  const std::size_t n = h2.cols();
+  const double df = in.num.subcarrier_spacing_hz;
+  const double symbol_t = in.num.symbol_duration_s();
+  const double fs = in.num.sample_rate_hz();
+  const double ratio = in.f2_hz / in.f1_hz;
+
+  const double* sig = s.sigma + b * s.r_max;
+
+  for (std::size_t p = 0; p < rank; ++p) {
+    const cd* seq = phis + p * n;
+    dsp::ExponentialComponent comps[3];
+    const std::size_t k_comp =
+        ps.rows == 0
+            ? dsp::fit_exponential_ratio(seq, n, comps)
+            : dsp::fit_exponentials_from_svd(seq, n, 3, 0.08, hs, t0 + p,
+                                             ps.l, comps);
+
+    // Delay: common ratio of conj(ifft(conj(U(:, p)))).
+    const double* ure = s.u.re_col(b, p);
+    const double* uim = s.u.im_col(b, p);
+    for (std::size_t i = 0; i < m; ++i) {
+      sc.gam_re[i] = ure[i];
+      sc.gam_im[i] = -uim[i];
+    }
+    plan_m.transform_split(sc.gam_re, sc.gam_im, true, 1.0, sc.wre, sc.wim);
+    double acc_re = 0.0, acc_im = 0.0;
+    for (std::size_t d = 0; d + 1 < m; ++d) {
+      // seq[d] = conj(t[d]); acc += seq[d+1] * conj(seq[d]).
+      const double ar = sc.gam_re[d + 1], ai = -sc.gam_im[d + 1];
+      const double br = sc.gam_re[d], bi = -sc.gam_im[d];
+      acc_re += ar * br + ai * bi;
+      acc_im += ai * br - ar * bi;
+    }
+    const double acc_mag = std::sqrt(acc_re * acc_re + acc_im * acc_im);
+    const cd u = acc_mag < 1e-15 ? cd(1, 0) : cd(acc_re, acc_im) / acc_mag;
+    double tau = -std::arg(u) / (kTwoPi * df);
+    if (tau < 0) tau += 1.0 / df;
+
+    const double dominant_nu1 =
+        k_comp == 0 ? 0.0 : std::arg(comps[0].pole) / (kTwoPi * symbol_t);
+    if (paths) paths->push_back({tau, dominant_nu1 * ratio, sig[p]});
+    for (std::size_t c = 0; c < k_comp; ++c) {
+      const double nu1 = std::arg(comps[c].pole) / (kTwoPi * symbol_t);
+      const double cp_ang = kTwoPi * nu1 * (ratio - 1.0) *
+                            static_cast<double>(in.num.cp_len) / fs;
+      comps[c].amplitude *= cd(std::cos(cp_ang), std::sin(cp_ang));
+    }
+
+    // Rebuild phi2 and accumulate h2 += (U_p sigma_p) x DFT(phi2).
+    dsp::eval_exponentials_into(comps, k_comp, n, ratio, sc.p2_re, sc.p2_im);
+    plan_n.transform_split(sc.p2_re, sc.p2_im, false, 1.0, sc.wre, sc.wim);
+    for (std::size_t l = 0; l < n; ++l) {
+      const double cr = sig[p] * sc.p2_re[l];
+      const double ci = sig[p] * sc.p2_im[l];
+      double* __restrict hr = h2.re_col(slot, l);
+      double* __restrict hi = h2.im_col(slot, l);
+#pragma omp simd
+      for (std::size_t i = 0; i < m; ++i) {
+        hr[i] += ure[i] * cr - uim[i] * ci;
+        hi[i] += ure[i] * ci + uim[i] * cr;
+      }
+    }
+  }
+}
+
+// Process the input range [lo, hi) on one shard arena. `last_paths` is
+// non-null only on the shard owning the final input.
+void process_range(std::span<const CrossbandInput> in,
+                   std::span<CrossbandOutput> out, std::size_t lo,
+                   std::size_t hi, const RemSvdConfig& cfg, dsp::Arena& arena,
+                   std::vector<ExtractedPath>* last_paths) {
+  arena.reset();
+  // Group the shard's indices by shape key in first-appearance order:
+  // group[i] links indices of equal (rows, cols) into chains.
+  std::size_t* next_in_group = arena.alloc<std::size_t>(hi - lo);
+  const std::size_t kEnd = in.size();
+  for (std::size_t i = lo; i < hi; ++i) next_in_group[i - lo] = kEnd;
+
+  for (std::size_t g = lo; g < hi; ++g) {
+    if (next_in_group[g - lo] != kEnd) continue;  // already chained
+    const std::size_t m = in[g].h1_dd.rows();
+    const std::size_t n = in[g].h1_dd.cols();
+    // Chain all later same-shape indices onto g (marking them consumed).
+    std::size_t count = 1;
+    std::size_t tail = g;
+    for (std::size_t i = g + 1; i < hi; ++i) {
+      if (next_in_group[i - lo] != kEnd) continue;
+      if (in[i].h1_dd.rows() != m || in[i].h1_dd.cols() != n) continue;
+      next_in_group[tail - lo] = i;
+      tail = i;
+      ++count;
+    }
+    next_in_group[tail - lo] = g;  // close the cycle: marks tail consumed
+
+    // Pack the group and factorize it in one batched sweep.
+    dsp::BatchMatrix a(arena, count, m, n);
+    std::size_t idx = g;
+    for (std::size_t b = 0; b < count; ++b) {
+      a.load(b, in[idx].h1_dd);
+      idx = next_in_group[idx - lo];
+    }
+    const dsp::BatchSvd s = dsp::svd_batch(a, arena, cfg.max_paths);
+
+    const auto plan_m = dsp::FftPlan::get(m);
+    const auto plan_n = dsp::FftPlan::get(n);
+    ExtractScratch sc;
+    sc.phi_re = arena.alloc<double>(n);
+    sc.phi_im = arena.alloc<double>(n);
+    sc.gam_re = arena.alloc<double>(m);
+    sc.gam_im = arena.alloc<double>(m);
+    sc.p2_re = arena.alloc<double>(n);
+    sc.p2_im = arena.alloc<double>(n);
+    const std::size_t w = std::max(plan_m->split_scratch_doubles(),
+                                   plan_n->split_scratch_doubles());
+    sc.wre = w > 0 ? arena.alloc<double>(w) : nullptr;
+    sc.wim = w > 0 ? arena.alloc<double>(w) : nullptr;
+
+    // Pass 1: Doppler sequences phi = ifft(conj(V(:, p))) for every kept
+    // triplet of the group, stored contiguously so their Hankel pencils can
+    // be factorized as ONE svd_batch call (the tiny per-triplet SVDs
+    // dominate extraction when they run one by one).
+    std::size_t* toff = arena.alloc<std::size_t>(count + 1);
+    toff[0] = 0;
+    for (std::size_t b = 0; b < count; ++b)
+      toff[b + 1] = toff[b] + effective_rank(s, b, cfg);
+    const std::size_t total = toff[count];
+
+    cd* phis = arena.alloc<cd>(total * n);
+    for (std::size_t b = 0; b < count; ++b) {
+      for (std::size_t p = toff[b]; p < toff[b + 1]; ++p) {
+        const double* vre = s.v.re_col(b, p - toff[b]);
+        const double* vim = s.v.im_col(b, p - toff[b]);
+        for (std::size_t l = 0; l < n; ++l) {
+          sc.phi_re[l] = vre[l];
+          sc.phi_im[l] = -vim[l];
+        }
+        plan_n->transform_split(sc.phi_re, sc.phi_im, true, 1.0, sc.wre,
+                                sc.wim);
+        cd* seq = phis + p * n;
+        for (std::size_t l = 0; l < n; ++l)
+          seq[l] = cd(sc.phi_re[l], sc.phi_im[l]);
+      }
+    }
+
+    const dsp::PencilShape ps = dsp::pencil_shape(n, 3);
+    dsp::BatchSvd hs;
+    if (ps.rows > 0 && total > 0) {
+      dsp::BatchMatrix y(arena, total, ps.rows, ps.l + 1);
+      for (std::size_t t = 0; t < total; ++t)
+        dsp::pack_hankel_split(phis + t * n, ps, y, t);
+      hs = dsp::svd_batch(y, arena);
+    }
+
+    // Pass 2: finish each input from its pre-factorized triplets.
+    dsp::BatchMatrix h2(arena, count, m, n);
+    idx = g;
+    for (std::size_t b = 0; b < count; ++b) {
+      std::vector<ExtractedPath>* paths = nullptr;
+      if (last_paths && idx + 1 == in.size()) {
+        last_paths->clear();
+        paths = last_paths;
+      }
+      extract_into(s, b, in[idx], toff[b + 1] - toff[b], phis + toff[b] * n,
+                   ps, hs, toff[b], *plan_m, *plan_n, sc, h2, b, paths);
+
+      CrossbandOutput& o = out[idx];
+      o.is_delay_doppler = true;
+      h2.store(b, o.h2);
+      double fro2 = 0.0;
+      for (std::size_t l = 0; l < n; ++l) {
+        const double* __restrict hr = h2.re_col(b, l);
+        const double* __restrict hi = h2.im_col(b, l);
+        double col = 0.0;
+#pragma omp simd reduction(+ : col)
+        for (std::size_t i = 0; i < m; ++i) col += hr[i] * hr[i] + hi[i] * hi[i];
+        fro2 += col;
+      }
+      o.mean_gain = fro2;
+      idx = next_in_group[idx - lo];
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<CrossbandOutput> RemSvdEstimator::estimate_batch(
+    std::span<const CrossbandInput> in) {
+  std::vector<CrossbandOutput> out(in.size());
+  estimate_batch(in, out);
+  return out;
+}
+
+void RemSvdEstimator::estimate_batch(std::span<const CrossbandInput> in,
+                                     std::span<CrossbandOutput> out) {
+  static obs::Histogram* const timer_hist =
+      obs::kernel_timer("crossband.rem_svd_estimate_batch_ns");
+  obs::ScopedTimer timer(timer_hist);
+
+  if (out.size() != in.size())
+    throw std::invalid_argument(
+        "estimate_batch: out.size() " + std::to_string(out.size()) +
+        " != in.size() " + std::to_string(in.size()));
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const auto& h = in[i].h1_dd;
+    if (h.rows() == 0 || h.cols() == 0)
+      throw std::invalid_argument(
+          "estimate_batch: input " + std::to_string(i) + " has empty h1_dd (" +
+          std::to_string(h.rows()) + "x" + std::to_string(h.cols()) + ")");
+  }
+  if (in.empty()) return;
+
+  const std::size_t threads = std::max<std::size_t>(1, cfg_.batch_threads);
+  const std::size_t shards = std::min(threads, in.size());
+  if (arenas_.size() < shards) arenas_.resize(shards);
+
+  common::parallel_for(shards, threads, [&](std::size_t t) {
+    const std::size_t lo = in.size() * t / shards;
+    const std::size_t hi = in.size() * (t + 1) / shards;
+    process_range(in, out, lo, hi, cfg_, arenas_[t],
+                  hi == in.size() ? &paths_ : nullptr);
+  });
+}
+
+std::size_t RemSvdEstimator::arena_grows() const {
+  std::size_t total = 0;
+  for (const auto& a : arenas_) total += a.stats().grow_count;
+  return total;
+}
+
+std::size_t RemSvdEstimator::arena_high_water() const {
+  std::size_t total = 0;
+  for (const auto& a : arenas_) total += a.stats().high_water_bytes;
+  return total;
+}
+
+}  // namespace rem::crossband

@@ -1,0 +1,141 @@
+// Bump-pointer arena for the batched DSP pipeline.
+//
+// The batched kernels (BatchMatrix packing, svd_batch workspaces, the
+// per-path extraction scratch in RemSvdEstimator::estimate_batch) need many
+// short-lived buffers per call whose sizes repeat exactly from call to call.
+// An Arena hands them out by bumping a pointer into a retained chunk, so a
+// steady-state batch call performs zero heap allocations: the first call
+// (or the first call after a workload-shape change) grows the arena, every
+// later call reuses the high-water chunk. This reuses the FFT plan-cache
+// idea from dsp/fft_plan.hpp — pay the setup cost once, amortize forever —
+// applied to workspace memory instead of twiddle tables.
+//
+// Lifetime rules (see DESIGN.md §10):
+//   * alloc<T>() spans stay valid until the next reset() — there is no
+//     per-span free. BatchMatrix and BatchSvd are *views* into the arena
+//     that handed them out and die with its reset.
+//   * reset() is cheap (used := 0). If the previous cycle spilled into
+//     overflow chunks, reset() coalesces them into one contiguous chunk
+//     sized to the observed high-water mark (one final grow, then steady).
+//   * An Arena is single-threaded; sharded callers keep one Arena per
+//     shard (RemSvdEstimator holds a vector<Arena>, one per worker).
+//
+// stats() exposes the allocation trajectory so tests can assert the
+// zero-steady-state-alloc contract: `grow_count` increments on every heap
+// allocation the arena makes; it must stay flat across warm calls.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace rem::dsp {
+
+class Arena {
+ public:
+  struct Stats {
+    std::uint64_t grow_count = 0;     ///< heap allocations performed
+    std::uint64_t reset_count = 0;    ///< reset() calls
+    std::size_t reserved_bytes = 0;   ///< total capacity currently held
+    std::size_t used_bytes = 0;       ///< bytes handed out since last reset
+    std::size_t high_water_bytes = 0; ///< max used_bytes over all cycles
+  };
+
+  Arena() = default;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Hand out `count` default-constructible, trivially-destructible Ts,
+  /// zero-initialized, aligned to 64 bytes. Valid until the next reset().
+  template <typename T>
+  T* alloc(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T> &&
+                      std::is_trivially_copyable_v<T>,
+                  "Arena only holds trivial types");
+    const std::size_t bytes = align_up(count * sizeof(T));
+    std::byte* p = take(bytes);
+    std::memset(p, 0, bytes);
+    return reinterpret_cast<T*>(p);
+  }
+
+  /// Recycle the arena for the next call cycle. Coalesces overflow chunks
+  /// into one high-water-sized chunk so the next cycle bumps through a
+  /// single contiguous block.
+  void reset() {
+    ++stats_.reset_count;
+    if (stats_.used_bytes > stats_.high_water_bytes)
+      stats_.high_water_bytes = stats_.used_bytes;
+    if (chunks_.size() > 1 ||
+        (chunks_.size() == 1 && chunks_[0].size < stats_.high_water_bytes)) {
+      chunks_.clear();
+      stats_.reserved_bytes = 0;
+      push_chunk(align_up(stats_.high_water_bytes));
+    }
+    for (auto& c : chunks_) c.used = 0;
+    stats_.used_bytes = 0;
+  }
+
+  /// Pre-reserve capacity in the current chunk (counts as one grow if it
+  /// allocates).
+  void reserve(std::size_t bytes) {
+    if (!chunks_.empty() &&
+        chunks_.back().size - chunks_.back().used >= bytes)
+      return;
+    push_chunk(align_up(bytes));
+  }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static constexpr std::size_t kAlign = 64;
+
+  static std::size_t align_up(std::size_t n) {
+    return (n + (kAlign - 1)) & ~(kAlign - 1);
+  }
+
+  struct Chunk {
+    std::unique_ptr<std::byte[]> mem;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  void push_chunk(std::size_t bytes) {
+    if (bytes == 0) bytes = kAlign;
+    Chunk c;
+    // Over-align the chunk start by allocating slack and rounding the base.
+    c.mem = std::make_unique<std::byte[]>(bytes + kAlign);
+    c.size = bytes;
+    chunks_.push_back(std::move(c));
+    ++stats_.grow_count;
+    stats_.reserved_bytes += bytes;
+  }
+
+  std::byte* base(Chunk& c) {
+    auto addr = reinterpret_cast<std::uintptr_t>(c.mem.get());
+    return c.mem.get() + (align_up(addr) - addr);
+  }
+
+  std::byte* take(std::size_t bytes) {
+    if (chunks_.empty() || chunks_.back().used + bytes > chunks_.back().size) {
+      // Grow: at least double the total reservation so repeated spills
+      // converge in O(log) grows.
+      push_chunk(std::max({bytes, stats_.reserved_bytes, std::size_t{4096}}));
+    }
+    Chunk& c = chunks_.back();
+    std::byte* p = base(c) + c.used;
+    c.used += bytes;
+    stats_.used_bytes += bytes;
+    return p;
+  }
+
+  std::vector<Chunk> chunks_;
+  Stats stats_;
+};
+
+}  // namespace rem::dsp

@@ -1,0 +1,71 @@
+#include "dsp/fft_batch.hpp"
+
+#include "dsp/fft_plan.hpp"
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rem::dsp {
+namespace {
+
+// Both directions decompose into a DFT along the rows axis (contiguous
+// within each column) and a DFT along the cols axis (vector butterflies
+// over whole columns). `rows_invert` selects sfft (false: forward delay
+// DFT, inverse Doppler DFT) vs isfft.
+void sfft_impl(BatchMatrix& g, Arena& arena, bool inverse) {
+  const std::size_t rows = g.rows();
+  const std::size_t cols = g.cols();
+  if (g.batch() == 0 || rows == 0 || cols == 0) return;
+  const auto plan_r = FftPlan::get(rows);
+  const auto plan_c = FftPlan::get(cols);
+  // Unitary convention: forward axes scale 1/sqrt(N); inverse axes pass
+  // scale sqrt(N) so the plan's folded 1/N nets to 1/sqrt(N).
+  const double fwd_r = 1.0 / std::sqrt(static_cast<double>(rows));
+  const double inv_r = std::sqrt(static_cast<double>(rows));
+  const double fwd_c = 1.0 / std::sqrt(static_cast<double>(cols));
+  const double inv_c = std::sqrt(static_cast<double>(cols));
+
+  const std::size_t scratch = std::max(plan_r->split_scratch_doubles(),
+                                       plan_c->cols_scratch_doubles());
+  double* wre = scratch > 0 ? arena.alloc<double>(scratch) : nullptr;
+  double* wim = scratch > 0 ? arena.alloc<double>(scratch) : nullptr;
+
+  for (std::size_t b = 0; b < g.batch(); ++b) {
+    double* re0 = g.re_col(b, 0);
+    double* im0 = g.im_col(b, 0);
+    if (!inverse) {
+      // sfft: forward DFT along the delay axis (within columns)...
+      for (std::size_t j = 0; j < cols; ++j)
+        plan_r->transform_split(re0 + j * g.ld(), im0 + j * g.ld(), false,
+                                fwd_r, wre, wim);
+      // ...then inverse DFT along the Doppler axis (across columns).
+      plan_c->transform_cols(re0, im0, g.ld(), rows, true, inv_c, wre, wim);
+    } else {
+      // isfft mirrors phy::isfft's axis order: forward across columns
+      // first, then inverse within columns.
+      plan_c->transform_cols(re0, im0, g.ld(), rows, false, fwd_c, wre, wim);
+      for (std::size_t j = 0; j < cols; ++j)
+        plan_r->transform_split(re0 + j * g.ld(), im0 + j * g.ld(), true,
+                                inv_r, wre, wim);
+    }
+  }
+}
+
+}  // namespace
+
+void sfft_batch(BatchMatrix& grid, Arena& arena) {
+  static obs::Histogram* const timer_hist =
+      obs::kernel_timer("dsp.sfft_batch_ns");
+  obs::ScopedTimer timer(timer_hist);
+  sfft_impl(grid, arena, false);
+}
+
+void isfft_batch(BatchMatrix& grid, Arena& arena) {
+  static obs::Histogram* const timer_hist =
+      obs::kernel_timer("dsp.isfft_batch_ns");
+  obs::ScopedTimer timer(timer_hist);
+  sfft_impl(grid, arena, true);
+}
+
+}  // namespace rem::dsp

@@ -1,0 +1,28 @@
+// Batched symplectic finite Fourier transforms over BatchMatrix.
+//
+// sfft_batch/isfft_batch apply the same unitary SFFT/ISFFT as
+// phy::sfft/phy::isfft (Eq. 2-3 of the paper) to every matrix of a batch
+// in place, amortizing one FftPlan lookup per axis across the whole batch
+// and running the across-columns axis as cache-blocked vector butterflies
+// over contiguous same-index columns (see FftPlan::transform_cols).
+// Scratch comes from the caller's Arena, so steady-state calls are
+// allocation-free.
+//
+// Layout note: a BatchMatrix is column-major, so the delay axis (rows) is
+// the contiguous within-column direction and the Doppler axis (cols) is
+// the across-columns direction — the exact transpose of the row-major
+// singles path, which is what makes both axes stream contiguously here.
+#pragma once
+
+#include "dsp/arena.hpp"
+#include "dsp/matrix.hpp"
+
+namespace rem::dsp {
+
+/// Delay-Doppler -> time-frequency (unitary), every matrix in place.
+void sfft_batch(BatchMatrix& grid, Arena& arena);
+
+/// Time-frequency -> delay-Doppler (unitary inverse), every matrix in place.
+void isfft_batch(BatchMatrix& grid, Arena& arena);
+
+}  // namespace rem::dsp

@@ -1,0 +1,284 @@
+// Split-complex (SoA) execution paths of FftPlan, used by the batched DSP
+// pipeline (dsp/fft_batch.hpp). Kept in their own translation unit so the
+// batch kernels can be compiled with stronger vectorization flags without
+// perturbing the scalar singles path that serves as the bench baseline.
+//
+// Two layouts are covered:
+//   * transform_split — one contiguous split vector (re[0..n), im[0..n)),
+//     the within-column axis of a column-major BatchMatrix;
+//   * transform_cols — the across-columns axis: one butterfly touches two
+//     whole contiguous columns, so every inner loop is an elementwise walk
+//     over `rows` doubles. Work is tiled into kRowBlock-row blocks so all
+//     log2(n) stages of a block run out of cache (including the Bluestein
+//     convolution, whose scratch is conv_size x kRowBlock, not
+//     conv_size x ld).
+#include "dsp/fft_plan.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace rem::dsp {
+
+std::size_t FftPlan::split_scratch_doubles() const {
+  return conv_plan_ == nullptr ? 0 : conv_plan_->size();
+}
+
+std::size_t FftPlan::cols_scratch_doubles() const {
+  return conv_plan_ == nullptr ? 0 : conv_plan_->size() * kRowBlock;
+}
+
+void FftPlan::direct_dft_split(double* re, double* im, bool invert,
+                               double eff, double* wre, double* wim) const {
+  const std::size_t n = n_;
+  std::memcpy(wre, re, n * sizeof(double));
+  std::memcpy(wim, im, n * sizeof(double));
+  for (std::size_t k = 0; k < n; ++k) {
+    const double* __restrict tr = dft_re_.data() + k * n;
+    const double* __restrict ti = dft_im_.data() + k * n;
+    double ar = 0.0, ai = 0.0;
+    if (!invert) {
+#pragma omp simd reduction(+ : ar, ai)
+      for (std::size_t t = 0; t < n; ++t) {
+        ar += wre[t] * tr[t] - wim[t] * ti[t];
+        ai += wre[t] * ti[t] + wim[t] * tr[t];
+      }
+    } else {
+#pragma omp simd reduction(+ : ar, ai)
+      for (std::size_t t = 0; t < n; ++t) {
+        ar += wre[t] * tr[t] + wim[t] * ti[t];
+        ai += wim[t] * tr[t] - wre[t] * ti[t];
+      }
+    }
+    re[k] = ar * eff;
+    im[k] = ai * eff;
+  }
+}
+
+void FftPlan::pow2_exec_split(double* re, double* im, bool invert) const {
+  const std::size_t n = n_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (i < j) {
+      std::swap(re[i], re[j]);
+      std::swap(im[i], im[j]);
+    }
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
+    const std::size_t step = n / len;
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const cd w = twiddle_[k * step];
+        const double wr = w.real();
+        const double wi = invert ? -w.imag() : w.imag();
+        const std::size_t a = i + k;
+        const std::size_t b = a + half;
+        const double vr = re[b] * wr - im[b] * wi;
+        const double vi = re[b] * wi + im[b] * wr;
+        re[b] = re[a] - vr;
+        im[b] = im[a] - vi;
+        re[a] += vr;
+        im[a] += vi;
+      }
+    }
+  }
+}
+
+void FftPlan::bluestein_forward_split(double* re, double* im, double* wre,
+                                      double* wim) const {
+  const std::size_t n = n_;
+  const std::size_t m = conv_plan_->size();
+  std::memset(wre, 0, m * sizeof(double));
+  std::memset(wim, 0, m * sizeof(double));
+  for (std::size_t k = 0; k < n; ++k) {
+    const double cr = chirp_[k].real();
+    const double ci = chirp_[k].imag();
+    wre[k] = re[k] * cr - im[k] * ci;
+    wim[k] = re[k] * ci + im[k] * cr;
+  }
+  conv_plan_->pow2_exec_split(wre, wim, false);
+  for (std::size_t k = 0; k < m; ++k) {
+    const double kr = kernel_[k].real();
+    const double ki = kernel_[k].imag();
+    const double tr = wre[k] * kr - wim[k] * ki;
+    wim[k] = wre[k] * ki + wim[k] * kr;
+    wre[k] = tr;
+  }
+  conv_plan_->pow2_exec_split(wre, wim, true);
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double cr = chirp_[k].real();
+    const double ci = chirp_[k].imag();
+    const double tr = wre[k] * inv_m;
+    const double ti = wim[k] * inv_m;
+    re[k] = tr * cr - ti * ci;
+    im[k] = tr * ci + ti * cr;
+  }
+}
+
+void FftPlan::transform_split(double* re, double* im, bool invert,
+                              double scale, double* wre, double* wim) const {
+  const std::size_t n = n_;
+  const double eff = invert ? scale / static_cast<double>(n) : scale;
+  if (!dft_re_.empty()) {
+    direct_dft_split(re, im, invert, eff, wre, wim);
+    return;
+  }
+  if (conv_plan_ == nullptr) {
+    pow2_exec_split(re, im, invert);
+  } else if (!invert) {
+    bluestein_forward_split(re, im, wre, wim);
+  } else {
+    // Unnormalized inverse via conjugation, as in the interleaved path.
+    for (std::size_t k = 0; k < n; ++k) im[k] = -im[k];
+    bluestein_forward_split(re, im, wre, wim);
+    for (std::size_t k = 0; k < n; ++k) im[k] = -im[k];
+  }
+  if (eff != 1.0) {
+    for (std::size_t k = 0; k < n; ++k) {
+      re[k] *= eff;
+      im[k] *= eff;
+    }
+  }
+}
+
+void FftPlan::pow2_exec_cols(double* re, double* im, std::size_t ld,
+                             std::size_t rows, bool invert) const {
+  const std::size_t n = n_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (i < j) {
+      double* __restrict ar = re + i * ld;
+      double* __restrict ai = im + i * ld;
+      double* __restrict br = re + j * ld;
+      double* __restrict bi = im + j * ld;
+#pragma omp simd
+      for (std::size_t r = 0; r < rows; ++r) {
+        const double tr = ar[r];
+        const double ti = ai[r];
+        ar[r] = br[r];
+        ai[r] = bi[r];
+        br[r] = tr;
+        bi[r] = ti;
+      }
+    }
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
+    const std::size_t step = n / len;
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const cd w = twiddle_[k * step];
+        const double wr = w.real();
+        const double wi = invert ? -w.imag() : w.imag();
+        double* __restrict ar = re + (i + k) * ld;
+        double* __restrict ai = im + (i + k) * ld;
+        double* __restrict br = re + (i + k + half) * ld;
+        double* __restrict bi = im + (i + k + half) * ld;
+#pragma omp simd
+        for (std::size_t r = 0; r < rows; ++r) {
+          const double vr = br[r] * wr - bi[r] * wi;
+          const double vi = br[r] * wi + bi[r] * wr;
+          br[r] = ar[r] - vr;
+          bi[r] = ai[r] - vi;
+          ar[r] += vr;
+          ai[r] += vi;
+        }
+      }
+    }
+  }
+}
+
+void FftPlan::bluestein_forward_cols(double* re, double* im, std::size_t ld,
+                                     std::size_t rows, double* wre,
+                                     double* wim) const {
+  const std::size_t n = n_;
+  const std::size_t m = conv_plan_->size();
+  // Scratch layout: m columns with a tight leading dimension of `rows`.
+  std::memset(wre, 0, m * rows * sizeof(double));
+  std::memset(wim, 0, m * rows * sizeof(double));
+  for (std::size_t k = 0; k < n; ++k) {
+    const double cr = chirp_[k].real();
+    const double ci = chirp_[k].imag();
+    const double* __restrict ar = re + k * ld;
+    const double* __restrict ai = im + k * ld;
+    double* __restrict dr = wre + k * rows;
+    double* __restrict di = wim + k * rows;
+#pragma omp simd
+    for (std::size_t r = 0; r < rows; ++r) {
+      dr[r] = ar[r] * cr - ai[r] * ci;
+      di[r] = ar[r] * ci + ai[r] * cr;
+    }
+  }
+  conv_plan_->pow2_exec_cols(wre, wim, rows, rows, false);
+  for (std::size_t k = 0; k < m; ++k) {
+    const double kr = kernel_[k].real();
+    const double ki = kernel_[k].imag();
+    double* __restrict dr = wre + k * rows;
+    double* __restrict di = wim + k * rows;
+#pragma omp simd
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double tr = dr[r] * kr - di[r] * ki;
+      di[r] = dr[r] * ki + di[r] * kr;
+      dr[r] = tr;
+    }
+  }
+  conv_plan_->pow2_exec_cols(wre, wim, rows, rows, true);
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double cr = chirp_[k].real();
+    const double ci = chirp_[k].imag();
+    double* __restrict ar = re + k * ld;
+    double* __restrict ai = im + k * ld;
+    const double* __restrict dr = wre + k * rows;
+    const double* __restrict di = wim + k * rows;
+#pragma omp simd
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double tr = dr[r] * inv_m;
+      const double ti = di[r] * inv_m;
+      ar[r] = tr * cr - ti * ci;
+      ai[r] = tr * ci + ti * cr;
+    }
+  }
+}
+
+void FftPlan::transform_cols(double* re, double* im, std::size_t ld,
+                             std::size_t rows, bool invert, double scale,
+                             double* wre, double* wim) const {
+  const std::size_t n = n_;
+  const double eff = invert ? scale / static_cast<double>(n) : scale;
+  for (std::size_t r0 = 0; r0 < rows; r0 += kRowBlock) {
+    const std::size_t rb = std::min(kRowBlock, rows - r0);
+    double* bre = re + r0;
+    double* bim = im + r0;
+    if (conv_plan_ == nullptr) {
+      pow2_exec_cols(bre, bim, ld, rb, invert);
+    } else if (!invert) {
+      bluestein_forward_cols(bre, bim, ld, rb, wre, wim);
+    } else {
+      for (std::size_t j = 0; j < n; ++j) {
+        double* __restrict bi = bim + j * ld;
+        for (std::size_t r = 0; r < rb; ++r) bi[r] = -bi[r];
+      }
+      bluestein_forward_cols(bre, bim, ld, rb, wre, wim);
+      for (std::size_t j = 0; j < n; ++j) {
+        double* __restrict bi = bim + j * ld;
+        for (std::size_t r = 0; r < rb; ++r) bi[r] = -bi[r];
+      }
+    }
+    if (eff != 1.0) {
+      for (std::size_t j = 0; j < n; ++j) {
+        double* __restrict br = bre + j * ld;
+        double* __restrict bi = bim + j * ld;
+#pragma omp simd
+        for (std::size_t r = 0; r < rb; ++r) {
+          br[r] *= eff;
+          bi[r] *= eff;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace rem::dsp

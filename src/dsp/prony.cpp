@@ -4,6 +4,7 @@
 #include "dsp/svd.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <numbers>
 
@@ -12,16 +13,21 @@ namespace {
 
 using std::complex;
 
+// The solvers below operate on raw pointers with k <= 4 so both the
+// vector-based fit_exponentials and the arena-based
+// fit_exponentials_split share one implementation (and stay bit-identical
+// between the two paths).
+
 // Solve the small (n <= 4) linear system A x = b by Gaussian elimination
-// with partial pivoting. A is n x n complex, row-major.
-std::vector<cd> solve_small(std::vector<cd> a, std::vector<cd> b,
-                            std::size_t n) {
+// with partial pivoting. A is n x n complex, row-major; a and b are
+// clobbered. Returns false (x untouched) if singular.
+bool solve_small_ptr(cd* a, cd* b, std::size_t n, cd* x) {
   for (std::size_t col = 0; col < n; ++col) {
     // Pivot.
     std::size_t piv = col;
     for (std::size_t r = col + 1; r < n; ++r)
       if (std::abs(a[r * n + col]) > std::abs(a[piv * n + col])) piv = r;
-    if (std::abs(a[piv * n + col]) < 1e-14) return {};  // singular
+    if (std::abs(a[piv * n + col]) < 1e-14) return false;  // singular
     if (piv != col) {
       for (std::size_t c = 0; c < n; ++c)
         std::swap(a[col * n + c], a[piv * n + c]);
@@ -35,30 +41,33 @@ std::vector<cd> solve_small(std::vector<cd> a, std::vector<cd> b,
       b[r] -= f * b[col];
     }
   }
-  std::vector<cd> x(n);
   for (std::size_t row = n; row-- > 0;) {
     cd s = b[row];
     for (std::size_t c = row + 1; c < n; ++c) s -= a[row * n + c] * x[c];
     x[row] = s / a[row * n + row];
   }
-  return x;
+  return true;
 }
 
-// Eigenvalues of a k x k complex matrix for k <= 3 via the characteristic
-// polynomial (closed forms).
-std::vector<cd> small_eigenvalues(const Matrix& m) {
-  const std::size_t k = m.rows();
-  if (k == 1) return {m(0, 0)};
+// Eigenvalues of a k x k complex matrix (row-major) for k <= 3 via the
+// characteristic polynomial (closed forms). Writes k roots.
+void small_eigenvalues_ptr(const cd* m, std::size_t k, cd* roots) {
+  if (k == 1) {
+    roots[0] = m[0];
+    return;
+  }
   if (k == 2) {
-    const cd tr = m(0, 0) + m(1, 1);
-    const cd det = m(0, 0) * m(1, 1) - m(0, 1) * m(1, 0);
+    const cd tr = m[0] + m[3];
+    const cd det = m[0] * m[3] - m[1] * m[2];
     const cd disc = std::sqrt(tr * tr - 4.0 * det);
-    return {(tr + disc) / 2.0, (tr - disc) / 2.0};
+    roots[0] = (tr + disc) / 2.0;
+    roots[1] = (tr - disc) / 2.0;
+    return;
   }
   // k == 3: lambda^3 - c2 lambda^2 + c1 lambda - c0 = 0.
-  const cd a = m(0, 0), b = m(0, 1), c = m(0, 2);
-  const cd d = m(1, 0), e = m(1, 1), f = m(1, 2);
-  const cd g = m(2, 0), h = m(2, 1), i = m(2, 2);
+  const cd a = m[0], b = m[1], c = m[2];
+  const cd d = m[3], e = m[4], f = m[5];
+  const cd g = m[6], h = m[7], i = m[8];
   const cd c2 = a + e + i;
   const cd c1 = a * e + a * i + e * i - b * d - c * g - f * h;
   const cd c0 = a * (e * i - f * h) - b * (d * i - f * g) +
@@ -72,23 +81,22 @@ std::vector<cd> small_eigenvalues(const Matrix& m) {
   if (std::abs(u3) < 1e-18) u3 = -q / 2.0 - sq;
   const cd u = std::pow(u3, 1.0 / 3.0);
   const cd omega(-0.5, std::sqrt(3.0) / 2.0);
-  std::vector<cd> roots;
   for (int r = 0; r < 3; ++r) {
     const cd ur = u * std::pow(omega, r);
     const cd t = std::abs(ur) > 1e-18 ? ur - p / (3.0 * ur) : cd(0, 0);
-    roots.push_back(t + c2 / 3.0);
+    roots[r] = t + c2 / 3.0;
   }
-  return roots;
 }
 
 // Least-squares amplitudes for x[c] ~= sum a_p z_p^c (Vandermonde fit).
-std::vector<cd> fit_amplitudes(const std::vector<cd>& seq,
-                               const std::vector<cd>& poles) {
-  const std::size_t n = seq.size();
-  const std::size_t k = poles.size();
+// k <= 4; writes k amplitudes (zeros if the normal equations are singular).
+void fit_amplitudes_ptr(const cd* seq, std::size_t n, const cd* poles,
+                        std::size_t k, cd* amps) {
   // Normal equations: (V* V) a = V* x, V[c][p] = z_p^c.
-  std::vector<cd> vtv(k * k, cd(0, 0)), vtx(k, cd(0, 0));
-  std::vector<cd> pw(k, cd(1, 0));
+  std::array<cd, 16> vtv{};
+  std::array<cd, 4> vtx{};
+  std::array<cd, 4> pw;
+  pw.fill(cd(1, 0));
   for (std::size_t c = 0; c < n; ++c) {
     for (std::size_t p = 0; p < k; ++p) {
       vtx[p] += std::conj(pw[p]) * seq[c];
@@ -97,9 +105,66 @@ std::vector<cd> fit_amplitudes(const std::vector<cd>& seq,
     }
     for (std::size_t p = 0; p < k; ++p) pw[p] *= poles[p];
   }
-  auto a = solve_small(std::move(vtv), std::move(vtx), k);
-  if (a.empty()) a.assign(k, cd(0, 0));
-  return a;
+  if (!solve_small_ptr(vtv.data(), vtx.data(), k, amps))
+    for (std::size_t p = 0; p < k; ++p) amps[p] = cd(0, 0);
+}
+
+// Shared post-SVD pencil step: given the right singular vectors of the
+// Hankel matrix through `v_at(r, p)` (r < l + 1, p < k), recover the k
+// poles. Phase-invariant in the V columns, so the scalar and batched SVDs
+// feed it interchangeably.
+template <typename VAt>
+void pencil_poles(VAt&& v_at, std::size_t l, std::size_t k, cd* poles) {
+  // V1 = V_s without last row, V2 = V_s without first row; poles are the
+  // eigenvalues of pinv(V1) V2.
+  // Normal equations: (V1* V1) F = V1* V2, F is k x k.
+  std::array<cd, 9> v1tv1{};
+  std::array<cd, 9> f{};
+  for (std::size_t p = 0; p < k; ++p)
+    for (std::size_t q = 0; q < k; ++q) {
+      cd acc(0, 0);
+      for (std::size_t r = 0; r < l; ++r)
+        acc += std::conj(v_at(r, p)) * v_at(r, q);
+      v1tv1[p * k + q] = acc;
+    }
+  for (std::size_t col = 0; col < k; ++col) {
+    std::array<cd, 9> a = v1tv1;  // solve clobbers its inputs
+    std::array<cd, 3> rhs{};
+    std::array<cd, 3> x{};
+    for (std::size_t p = 0; p < k; ++p) {
+      cd acc(0, 0);
+      for (std::size_t r = 0; r < l; ++r)
+        acc += std::conj(v_at(r, p)) * v_at(r + 1, col);
+      rhs[p] = acc;
+    }
+    if (!solve_small_ptr(a.data(), rhs.data(), k, x.data())) x.fill(cd(0, 0));
+    for (std::size_t p = 0; p < k; ++p) f[p * k + col] = x[p];
+  }
+  small_eigenvalues_ptr(f.data(), k, poles);
+  // Y(r,c) = sum u_r sigma v*_c, so V's columns carry conj(z)^c and the
+  // pencil eigenvalues come out conjugated — undo that.
+  for (std::size_t p = 0; p < k; ++p) poles[p] = std::conj(poles[p]);
+  // Clamp pole magnitudes near the unit circle (oscillations, not decays;
+  // keeps the band-2 extrapolation stable).
+  for (std::size_t p = 0; p < k; ++p) {
+    const double mag = std::abs(poles[p]);
+    if (mag > 1e-12) poles[p] *= std::clamp(mag, 0.8, 1.2) / mag;
+  }
+}
+
+// Weighted single-ratio fallback for short sequences.
+cd ratio_pole(const cd* seq, std::size_t n) {
+  cd acc(0, 0);
+  for (std::size_t c = 0; c + 1 < n; ++c)
+    acc += seq[c + 1] * std::conj(seq[c]);
+  return std::abs(acc) > 1e-15 ? acc / std::abs(acc) : cd(1, 0);
+}
+
+void sort_components(ExponentialComponent* out, std::size_t k) {
+  std::sort(out, out + k,
+            [](const ExponentialComponent& a, const ExponentialComponent& b) {
+              return std::abs(a.amplitude) > std::abs(b.amplitude);
+            });
 }
 
 }  // namespace
@@ -111,13 +176,10 @@ std::vector<ExponentialComponent> fit_exponentials(
   std::vector<ExponentialComponent> out;
   if (n == 0) return out;
   if (n < 4 || max_components == 1) {
-    // Weighted single-ratio fallback.
-    cd acc(0, 0);
-    for (std::size_t c = 0; c + 1 < n; ++c)
-      acc += seq[c + 1] * std::conj(seq[c]);
-    cd pole = std::abs(acc) > 1e-15 ? acc / std::abs(acc) : cd(1, 0);
-    const auto amps = fit_amplitudes(seq, {pole});
-    out.push_back({amps[0], pole});
+    const cd pole = ratio_pole(seq.data(), n);
+    cd amp;
+    fit_amplitudes_ptr(seq.data(), n, &pole, 1, &amp);
+    out.push_back({amp, pole});
     return out;
   }
 
@@ -135,49 +197,85 @@ std::vector<ExponentialComponent> fit_exponentials(
     ++k;
   if (k == 0) k = 1;
 
-  // V1 = V_s without last row, V2 = V_s without first row; poles are the
-  // eigenvalues of pinv(V1) V2.
-  // Normal equations: (V1* V1) F = V1* V2, F is k x k.
-  std::vector<cd> v1tv1(k * k, cd(0, 0));
-  Matrix f(k, k);
-  for (std::size_t p = 0; p < k; ++p)
-    for (std::size_t q = 0; q < k; ++q) {
-      cd acc(0, 0);
-      for (std::size_t r = 0; r < l; ++r)
-        acc += std::conj(s.v(r, p)) * s.v(r, q);
-      v1tv1[p * k + q] = acc;
-    }
-  for (std::size_t col = 0; col < k; ++col) {
-    std::vector<cd> rhs(k, cd(0, 0));
-    for (std::size_t p = 0; p < k; ++p) {
-      cd acc(0, 0);
-      for (std::size_t r = 0; r < l; ++r)
-        acc += std::conj(s.v(r, p)) * s.v(r + 1, col);
-      rhs[p] = acc;
-    }
-    auto x = solve_small(v1tv1, std::move(rhs), k);
-    if (x.empty()) x.assign(k, cd(0, 0));
-    for (std::size_t p = 0; p < k; ++p) f(p, col) = x[p];
-  }
-  auto poles = small_eigenvalues(f);
-  poles.resize(k);
-  // Y(r,c) = sum u_r sigma v*_c, so V's columns carry conj(z)^c and the
-  // pencil eigenvalues come out conjugated — undo that.
-  for (auto& z : poles) z = std::conj(z);
-  // Clamp pole magnitudes near the unit circle (oscillations, not decays;
-  // keeps the band-2 extrapolation stable).
-  for (auto& z : poles) {
-    const double mag = std::abs(z);
-    if (mag > 1e-12) z *= std::clamp(mag, 0.8, 1.2) / mag;
-  }
-
-  const auto amps = fit_amplitudes(seq, poles);
+  std::array<cd, 3> poles{};
+  pencil_poles([&](std::size_t r, std::size_t p) { return s.v(r, p); }, l, k,
+               poles.data());
+  std::array<cd, 3> amps{};
+  fit_amplitudes_ptr(seq.data(), n, poles.data(), k, amps.data());
   for (std::size_t p = 0; p < k; ++p) out.push_back({amps[p], poles[p]});
-  std::sort(out.begin(), out.end(),
-            [](const ExponentialComponent& a, const ExponentialComponent& b) {
-              return std::abs(a.amplitude) > std::abs(b.amplitude);
-            });
+  sort_components(out.data(), out.size());
   return out;
+}
+
+PencilShape pencil_shape(std::size_t n, std::size_t max_components) {
+  PencilShape ps;
+  if (n < 4 || max_components == 1) return ps;  // ratio fallback
+  const std::size_t max_k = std::min<std::size_t>(max_components, 3);
+  ps.l = std::min(n / 2, max_k + 2);
+  ps.rows = n - ps.l;
+  return ps;
+}
+
+void pack_hankel_split(const cd* seq, const PencilShape& ps, BatchMatrix& y,
+                       std::size_t b) {
+  for (std::size_t c = 0; c <= ps.l; ++c) {
+    double* __restrict yre = y.re_col(b, c);
+    double* __restrict yim = y.im_col(b, c);
+    for (std::size_t r = 0; r < ps.rows; ++r) {
+      yre[r] = seq[r + c].real();
+      yim[r] = seq[r + c].imag();
+    }
+  }
+}
+
+std::size_t fit_exponentials_from_svd(const cd* seq, std::size_t n,
+                                      std::size_t max_components,
+                                      double rel_threshold, const BatchSvd& s,
+                                      std::size_t b, std::size_t l,
+                                      ExponentialComponent* out) {
+  const std::size_t max_k = std::min<std::size_t>(max_components, 3);
+  const double* sig = s.sigma + b * s.r_max;
+  std::size_t k = 0;
+  while (k < s.rank[b] && k < max_k && sig[k] > rel_threshold * sig[0]) ++k;
+  if (k == 0) k = 1;
+
+  std::array<cd, 3> poles{};
+  pencil_poles([&](std::size_t r, std::size_t p) { return s.v.at(b, r, p); },
+               l, k, poles.data());
+  std::array<cd, 3> amps{};
+  fit_amplitudes_ptr(seq, n, poles.data(), k, amps.data());
+  for (std::size_t p = 0; p < k; ++p) out[p] = {amps[p], poles[p]};
+  sort_components(out, k);
+  return k;
+}
+
+std::size_t fit_exponential_ratio(const cd* seq, std::size_t n,
+                                  ExponentialComponent* out) {
+  const cd pole = ratio_pole(seq, n);
+  cd amp;
+  fit_amplitudes_ptr(seq, n, &pole, 1, &amp);
+  out[0] = {amp, pole};
+  return 1;
+}
+
+std::size_t fit_exponentials_split(const double* re, const double* im,
+                                   std::size_t n, std::size_t max_components,
+                                   double rel_threshold, Arena& arena,
+                                   ExponentialComponent* out) {
+  if (n == 0) return 0;
+  // Interleave once; everything downstream (Hankel fill, amplitude fit)
+  // reads the sequence as cd.
+  cd* seq = arena.alloc<cd>(n);
+  for (std::size_t c = 0; c < n; ++c) seq[c] = cd(re[c], im[c]);
+
+  const PencilShape ps = pencil_shape(n, max_components);
+  if (ps.rows == 0) return fit_exponential_ratio(seq, n, out);
+
+  BatchMatrix y(arena, 1, ps.rows, ps.l + 1);
+  pack_hankel_split(seq, ps, y, 0);
+  const BatchSvd s = svd_batch(y, arena);
+  return fit_exponentials_from_svd(seq, n, max_components, rel_threshold, s,
+                                   0, ps.l, out);
 }
 
 std::vector<cd> eval_exponentials(
@@ -195,6 +293,27 @@ std::vector<cd> eval_exponentials(
     }
   }
   return seq;
+}
+
+void eval_exponentials_into(const ExponentialComponent* comps, std::size_t k,
+                            std::size_t n, double angle_scale, double* re,
+                            double* im) {
+  for (std::size_t c = 0; c < n; ++c) {
+    re[c] = 0.0;
+    im[c] = 0.0;
+  }
+  for (std::size_t p = 0; p < k; ++p) {
+    const double mag = std::abs(comps[p].pole);
+    const double ang = std::arg(comps[p].pole) * angle_scale;
+    const cd z = mag * cd(std::cos(ang), std::sin(ang));
+    cd pw(1, 0);
+    for (std::size_t c = 0; c < n; ++c) {
+      const cd val = comps[p].amplitude * pw;
+      re[c] += val.real();
+      im[c] += val.imag();
+      pw *= z;
+    }
+  }
 }
 
 }  // namespace rem::dsp

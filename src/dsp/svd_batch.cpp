@@ -1,0 +1,284 @@
+// Batched one-sided Jacobi SVD (see svd.hpp). Own translation unit so the
+// rotation kernels get the batch-pipeline vectorization flags while the
+// scalar svd() baseline keeps the default ones.
+#include "dsp/svd.hpp"
+
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+namespace rem::dsp {
+namespace {
+
+constexpr std::size_t kMaxBlock = 32;
+constexpr int kMaxSweeps = 60;
+constexpr double kPairEps = 1e-13;   // per-pair rotation threshold
+constexpr double kSweepTol = 1e-12;  // per-matrix sweep convergence
+// The skip/convergence tests compare SQUARED magnitudes against these so a
+// pair that needs no rotation costs zero square roots (most pairs, once a
+// matrix is nearly converged).
+constexpr double kPairEps2 = kPairEps * kPairEps;
+constexpr double kSweepTol2 = kSweepTol * kSweepTol;
+
+// One-sided Jacobi over the matrices [b0, b1) of `a`, accumulating
+// rotations into `v`. The same (p, q) pair is applied to every live matrix
+// of the block before advancing, so the rotation kernel and its decision
+// data stay hot; `done` masks matrices individually as their off-diagonal
+// coupling drops below kSweepTol.
+//
+// Column squared norms (the Gram diagonal) are computed once up front and
+// maintained through the closed-form rotation update, so each pair visit
+// pays one cross-product reduction instead of three; a rotation only
+// touches columns p and q, leaving the other cached norms exact. The
+// values are used for rotation decisions only — the final singular values
+// are recomputed from the converged columns in svd_batch().
+// `norms` is caller scratch of (b1 - b0) * n doubles.
+void jacobi_block(BatchMatrix& a, BatchMatrix& v, std::size_t b0,
+                  std::size_t b1, std::uint8_t* done, double* norms) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  double off[kMaxBlock];
+  for (std::size_t b = b0; b < b1; ++b) {
+    double* __restrict nb = norms + (b - b0) * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* __restrict cr = a.re_col(b, j);
+      const double* __restrict ci = a.im_col(b, j);
+      double s = 0.0;
+#pragma omp simd reduction(+ : s)
+      for (std::size_t i = 0; i < m; ++i) s += cr[i] * cr[i] + ci[i] * ci[i];
+      nb[j] = s;
+    }
+  }
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    bool any_live = false;
+    for (std::size_t b = b0; b < b1; ++b) {
+      off[b - b0] = 0.0;
+      if (!done[b]) any_live = true;
+    }
+    if (!any_live) break;
+    const std::size_t nb_count = b1 - b0;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        // Phase 1 (per matrix): cross term of the 2x2 Gram submatrix of
+        // columns p, q (the diagonal comes from the cached norms) and the
+        // rotate/skip decision, on squared magnitudes only.
+        double cre_a[kMaxBlock], cim_a[kMaxBlock], abs2_a[kMaxBlock];
+        double app_a[kMaxBlock], aqq_a[kMaxBlock];
+        std::uint8_t rot[kMaxBlock];
+        for (std::size_t b = b0; b < b1; ++b) {
+          const std::size_t j = b - b0;
+          rot[j] = 0;
+          cre_a[j] = 1.0;
+          cim_a[j] = 0.0;
+          abs2_a[j] = 1.0;
+          app_a[j] = 1.0;
+          aqq_a[j] = 1.0;  // benign lane values for phase 2
+          if (done[b]) continue;
+          const double* __restrict pr = a.re_col(b, p);
+          const double* __restrict pi = a.im_col(b, p);
+          const double* __restrict qr = a.re_col(b, q);
+          const double* __restrict qi = a.im_col(b, q);
+          const double* __restrict nb = norms + j * n;
+          double cre = 0.0, cim = 0.0;
+#pragma omp simd reduction(+ : cre, cim)
+          for (std::size_t i = 0; i < m; ++i) {
+            cre += pr[i] * qr[i] + pi[i] * qi[i];
+            cim += pr[i] * qi[i] - pi[i] * qr[i];
+          }
+          const double abs2_apq = cre * cre + cim * cim;
+          const double denom2 = nb[p] * nb[q];
+          off[j] = std::max(off[j], abs2_apq / (denom2 + 1e-300));
+          if (abs2_apq <= kPairEps2 * denom2) continue;
+          rot[j] = 1;
+          cre_a[j] = cre;
+          cim_a[j] = cim;
+          abs2_a[j] = abs2_apq;
+          app_a[j] = nb[p];
+          aqq_a[j] = nb[q];
+        }
+
+        // Phase 2: rotation coefficients for the whole block in one simd
+        // loop, so the sqrt/div dependency chains of different matrices
+        // run in parallel lanes instead of back to back. The complex
+        // rotation strips the phase of apq, then applies the real Jacobi
+        // rotation for [[app, |apq|], [|apq|, aqq]]. Lane-wise results are
+        // identical to the scalar chain (IEEE sqrt/div round the same).
+        double abs_a[kMaxBlock], c_a[kMaxBlock], s_a[kMaxBlock];
+        double spr_a[kMaxBlock], spi_a[kMaxBlock];
+#pragma omp simd
+        for (std::size_t j = 0; j < nb_count; ++j) {
+          const double abs_apq = std::sqrt(abs2_a[j]);
+          const double phr = cre_a[j] / abs_apq;
+          const double phi = cim_a[j] / abs_apq;
+          const double tau = (aqq_a[j] - app_a[j]) / (2.0 * abs_apq);
+          const double t = (tau >= 0 ? 1.0 : -1.0) /
+                           (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+          const double c = 1.0 / std::sqrt(1.0 + t * t);
+          abs_a[j] = abs_apq;
+          c_a[j] = c;
+          s_a[j] = c * t;
+          spr_a[j] = s_a[j] * phr;
+          spi_a[j] = s_a[j] * phi;
+        }
+
+        // Phase 3 (per matrix): apply the rotation to columns p, q of a
+        // and v and push it through the cached norms.
+        for (std::size_t b = b0; b < b1; ++b) {
+          const std::size_t j = b - b0;
+          if (!rot[j]) continue;
+          const double c = c_a[j], s = s_a[j];
+          const double spr = spr_a[j], spi = spi_a[j];
+          double* __restrict nb = norms + j * n;
+          // Closed-form norm update under the rotation (r = |apq|):
+          //   ‖p'‖² = c²·app − 2cs·r + s²·aqq,
+          //   ‖q'‖² = s²·app + 2cs·r + c²·aqq.
+          // Clamped at 0 against cancellation when columns are
+          // near-parallel.
+          nb[p] = std::max(0.0, c * c * app_a[j] - 2.0 * c * s * abs_a[j] +
+                                    s * s * aqq_a[j]);
+          nb[q] = std::max(0.0, s * s * app_a[j] + 2.0 * c * s * abs_a[j] +
+                                    c * c * aqq_a[j]);
+          double* __restrict pr = a.re_col(b, p);
+          double* __restrict pi = a.im_col(b, p);
+          double* __restrict qr = a.re_col(b, q);
+          double* __restrict qi = a.im_col(b, q);
+#pragma omp simd
+          for (std::size_t i = 0; i < m; ++i) {
+            const double tpr = pr[i], tpi = pi[i];
+            const double tqr = qr[i], tqi = qi[i];
+            pr[i] = c * tpr - (spr * tqr + spi * tqi);
+            pi[i] = c * tpi - (spr * tqi - spi * tqr);
+            qr[i] = spr * tpr - spi * tpi + c * tqr;
+            qi[i] = spr * tpi + spi * tpr + c * tqi;
+          }
+          double* __restrict vpr = v.re_col(b, p);
+          double* __restrict vpi = v.im_col(b, p);
+          double* __restrict vqr = v.re_col(b, q);
+          double* __restrict vqi = v.im_col(b, q);
+#pragma omp simd
+          for (std::size_t i = 0; i < n; ++i) {
+            const double tpr = vpr[i], tpi = vpi[i];
+            const double tqr = vqr[i], tqi = vqi[i];
+            vpr[i] = c * tpr - (spr * tqr + spi * tqi);
+            vpi[i] = c * tpi - (spr * tqi - spi * tqr);
+            vqr[i] = spr * tpr - spi * tpi + c * tqr;
+            vqi[i] = spr * tpi + spi * tpr + c * tqi;
+          }
+        }
+      }
+    }
+    for (std::size_t b = b0; b < b1; ++b)
+      if (!done[b] && off[b - b0] < kSweepTol2) done[b] = 1;
+  }
+}
+
+}  // namespace
+
+BatchSvd svd_batch(const BatchMatrix& input, Arena& arena,
+                   std::size_t rank_limit, double truncate_below,
+                   std::size_t block) {
+  static obs::Histogram* const timer_hist =
+      obs::kernel_timer("dsp.svd_batch_ns");
+  obs::ScopedTimer timer(timer_hist);
+
+  const std::size_t batch = input.batch();
+  if (input.rows() == 0 || input.cols() == 0)
+    throw std::invalid_argument("svd_batch: empty matrices");
+  block = std::clamp<std::size_t>(block, 1, kMaxBlock);
+
+  // Work in the tall orientation, like svd().
+  const bool transposed = input.rows() < input.cols();
+  const std::size_t m = transposed ? input.cols() : input.rows();
+  const std::size_t n = transposed ? input.rows() : input.cols();
+
+  BatchMatrix a(arena, batch, m, n);
+  BatchMatrix v(arena, batch, n, n);
+  for (std::size_t b = 0; b < batch; ++b) {
+    if (!transposed) {
+      std::memcpy(a.re_col(b, 0), input.re_col(b, 0),
+                  input.plane_stride() * sizeof(double));
+      std::memcpy(a.im_col(b, 0), input.im_col(b, 0),
+                  input.plane_stride() * sizeof(double));
+    } else {
+      for (std::size_t j = 0; j < n; ++j) {
+        double* __restrict re = a.re_col(b, j);
+        double* __restrict im = a.im_col(b, j);
+        for (std::size_t i = 0; i < m; ++i) {
+          const cd x = input.at(b, j, i);
+          re[i] = x.real();
+          im[i] = -x.imag();
+        }
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) v.set(b, i, i, cd(1, 0));
+  }
+
+  std::uint8_t* done = arena.alloc<std::uint8_t>(batch);
+  double* norms = arena.alloc<double>(block * n);
+  for (std::size_t b0 = 0; b0 < batch; b0 += block)
+    jacobi_block(a, v, b0, std::min(b0 + block, batch), done, norms);
+
+  const std::size_t r_max =
+      rank_limit > 0 ? std::min(n, rank_limit) : n;
+  BatchSvd r;
+  r.r_max = r_max;
+  r.u = BatchMatrix(arena, batch, input.rows(), r_max);
+  r.v = BatchMatrix(arena, batch, input.cols(), r_max);
+  r.sigma = arena.alloc<double>(batch * r_max);
+  r.rank = arena.alloc<std::uint32_t>(batch);
+
+  double* sig = arena.alloc<double>(n);
+  std::uint32_t* order = arena.alloc<std::uint32_t>(n);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* __restrict re = a.re_col(b, j);
+      const double* __restrict im = a.im_col(b, j);
+      double s = 0.0;
+#pragma omp simd reduction(+ : s)
+      for (std::size_t i = 0; i < m; ++i) s += re[i] * re[i] + im[i] * im[i];
+      sig[j] = std::sqrt(s);
+    }
+    std::iota(order, order + n, 0u);
+    std::sort(order, order + n, [&](std::uint32_t x, std::uint32_t y) {
+      return sig[x] > sig[y];
+    });
+
+    std::size_t rank = n;
+    if (rank_limit > 0) rank = std::min(rank, rank_limit);
+    const double tiny = std::max(truncate_below, sig[order[0]] * 1e-12);
+    std::size_t keep = 0;
+    while (keep < rank && sig[order[keep]] > tiny) ++keep;
+    rank = std::max<std::size_t>(keep, 1);
+    rank = std::min(rank, n);
+    r.rank[b] = static_cast<std::uint32_t>(rank);
+
+    // Work-side U = normalized columns of a (m x rank), work-side V = v
+    // (n x rank); transposed inputs swap their roles in the result.
+    BatchMatrix& out_u = transposed ? r.v : r.u;
+    BatchMatrix& out_v = transposed ? r.u : r.v;
+    for (std::size_t j = 0; j < rank; ++j) {
+      const std::uint32_t src = order[j];
+      const double s = sig[src];
+      r.sigma[b * r_max + j] = s;
+      const double inv = s > 0 ? 1.0 / s : 0.0;
+      const double* __restrict ar = a.re_col(b, src);
+      const double* __restrict ai = a.im_col(b, src);
+      double* __restrict ur = out_u.re_col(b, j);
+      double* __restrict ui = out_u.im_col(b, j);
+#pragma omp simd
+      for (std::size_t i = 0; i < m; ++i) {
+        ur[i] = ar[i] * inv;
+        ui[i] = ai[i] * inv;
+      }
+      std::memcpy(out_v.re_col(b, j), v.re_col(b, src), n * sizeof(double));
+      std::memcpy(out_v.im_col(b, j), v.im_col(b, src), n * sizeof(double));
+    }
+  }
+  return r;
+}
+
+}  // namespace rem::dsp

@@ -1,0 +1,345 @@
+// Batched DSP pipeline vs. the scalar baselines: BatchMatrix layout
+// round-trips, sfft_batch/isfft_batch against phy::sfft/phy::isfft,
+// svd_batch against dsp::svd, and RemSvdEstimator::estimate_batch against
+// a loop of estimate() — plus the batch-path contracts (thread-count
+// determinism, zero steady-state allocations, ragged-batch grouping, and
+// contextual rejection of empty inputs).
+#include "crossband/rem_svd.hpp"
+#include "dsp/arena.hpp"
+#include "dsp/fft_batch.hpp"
+#include "dsp/matrix.hpp"
+#include "dsp/svd.hpp"
+#include "phy/otfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace {
+
+using rem::dsp::Arena;
+using rem::dsp::BatchMatrix;
+using rem::dsp::cd;
+using rem::dsp::Matrix;
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = cd(dist(rng), dist(rng));
+  return m;
+}
+
+// Shapes exercising the radix-2 path (pow2), Bluestein on both axes
+// (non-pow2), tall, wide, and the rectangular hot-path extremes.
+struct Shape {
+  std::size_t rows, cols;
+};
+const Shape kShapes[] = {{12, 14}, {64, 16}, {16, 12}, {128, 64}, {37, 8}};
+
+TEST(BatchMatrix, LoadStoreRoundTrip) {
+  Arena arena;
+  for (const auto& sh : kShapes) {
+    BatchMatrix bm(arena, 3, sh.rows, sh.cols);
+    std::vector<Matrix> src;
+    for (std::size_t b = 0; b < 3; ++b) {
+      src.push_back(random_matrix(sh.rows, sh.cols, 100 + b));
+      bm.load(b, src.back());
+    }
+    for (std::size_t b = 0; b < 3; ++b) {
+      EXPECT_EQ(Matrix::max_abs_diff(bm.to_matrix(b), src[b]), 0.0);
+      Matrix out;
+      bm.store(b, out);
+      EXPECT_EQ(Matrix::max_abs_diff(out, src[b]), 0.0);
+    }
+    arena.reset();
+  }
+}
+
+TEST(BatchMatrix, LoadAdjoint) {
+  Arena arena;
+  const Matrix m = random_matrix(5, 9, 7);
+  BatchMatrix bm(arena, 1, 9, 5);
+  bm.load_adjoint(0, m);
+  EXPECT_EQ(Matrix::max_abs_diff(bm.to_matrix(0), m.adjoint()), 0.0);
+}
+
+TEST(SfftBatch, MatchesScalarSfftAcrossShapesAndBatchSizes) {
+  Arena arena;
+  for (const auto& sh : kShapes) {
+    for (std::size_t batch : {1u, 3u, 8u}) {
+      BatchMatrix bm(arena, batch, sh.rows, sh.cols);
+      std::vector<Matrix> src;
+      for (std::size_t b = 0; b < batch; ++b) {
+        src.push_back(random_matrix(sh.rows, sh.cols, 17 * b + sh.rows));
+        bm.load(b, src[b]);
+      }
+      rem::dsp::sfft_batch(bm, arena);
+      for (std::size_t b = 0; b < batch; ++b) {
+        const Matrix want = rem::phy::sfft(src[b]);
+        EXPECT_LT(Matrix::max_abs_diff(bm.to_matrix(b), want), 1e-10)
+            << sh.rows << "x" << sh.cols << " batch " << batch << " b " << b;
+      }
+      arena.reset();
+    }
+  }
+}
+
+TEST(SfftBatch, IsfftMatchesScalarAndInverts) {
+  Arena arena;
+  for (const auto& sh : kShapes) {
+    BatchMatrix bm(arena, 2, sh.rows, sh.cols);
+    std::vector<Matrix> src;
+    for (std::size_t b = 0; b < 2; ++b) {
+      src.push_back(random_matrix(sh.rows, sh.cols, 31 * b + sh.cols));
+      bm.load(b, src[b]);
+    }
+    rem::dsp::isfft_batch(bm, arena);
+    for (std::size_t b = 0; b < 2; ++b) {
+      const Matrix want = rem::phy::isfft(src[b]);
+      EXPECT_LT(Matrix::max_abs_diff(bm.to_matrix(b), want), 1e-10);
+    }
+    // Unitary inverse: sfft undoes isfft.
+    rem::dsp::sfft_batch(bm, arena);
+    for (std::size_t b = 0; b < 2; ++b)
+      EXPECT_LT(Matrix::max_abs_diff(bm.to_matrix(b), src[b]), 1e-10);
+    arena.reset();
+  }
+}
+
+TEST(SfftBatch, LargeBluesteinAxes) {
+  // 600/1200 (factor of 3) and 1499 (prime) force the chirp-z path with
+  // large convolution sizes on the within-column axis.
+  Arena arena;
+  for (std::size_t rows : {600u, 1200u, 1499u}) {
+    BatchMatrix bm(arena, 1, rows, 6);
+    const Matrix src = random_matrix(rows, 6, static_cast<unsigned>(rows));
+    bm.load(0, src);
+    rem::dsp::sfft_batch(bm, arena);
+    const Matrix want = rem::phy::sfft(src);
+    EXPECT_LT(Matrix::max_abs_diff(bm.to_matrix(0), want), 1e-9) << rows;
+    arena.reset();
+  }
+  // Same sizes on the across-columns (vector-butterfly) axis.
+  for (std::size_t cols : {600u, 1499u}) {
+    BatchMatrix bm(arena, 1, 8, cols);
+    const Matrix src = random_matrix(8, cols, static_cast<unsigned>(cols));
+    bm.load(0, src);
+    rem::dsp::sfft_batch(bm, arena);
+    const Matrix want = rem::phy::sfft(src);
+    EXPECT_LT(Matrix::max_abs_diff(bm.to_matrix(0), want), 1e-9) << cols;
+    arena.reset();
+  }
+}
+
+// Reconstruct U diag(sigma) V* from a BatchSvd slot.
+Matrix reconstruct(const rem::dsp::BatchSvd& s, std::size_t b,
+                   std::size_t rank) {
+  const std::size_t m = s.u.rows();
+  const std::size_t n = s.v.rows();
+  Matrix out(m, n);
+  for (std::size_t p = 0; p < rank; ++p) {
+    const double sigma = s.sigma[b * s.r_max + p];
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        out(i, j) += s.u.at(b, i, p) * sigma * std::conj(s.v.at(b, j, p));
+  }
+  return out;
+}
+
+TEST(SvdBatch, MatchesScalarSvdAcrossShapesAndBatchSizes) {
+  Arena arena;
+  for (const auto& sh : kShapes) {
+    for (std::size_t batch : {1u, 3u, 64u}) {
+      BatchMatrix bm(arena, batch, sh.rows, sh.cols);
+      std::vector<Matrix> src;
+      for (std::size_t b = 0; b < batch; ++b) {
+        src.push_back(random_matrix(sh.rows, sh.cols, 7 * b + sh.cols));
+        bm.load(b, src[b]);
+      }
+      const auto s = rem::dsp::svd_batch(bm, arena);
+      for (std::size_t b = 0; b < batch; ++b) {
+        const auto want = rem::dsp::svd(src[b]);
+        ASSERT_EQ(s.rank[b], want.sigma.size());
+        for (std::size_t p = 0; p < s.rank[b]; ++p)
+          EXPECT_NEAR(s.sigma[b * s.r_max + p], want.sigma[p], 1e-10);
+        // Factors are unique only up to per-triplet phase; compare the
+        // reconstruction instead.
+        EXPECT_LT(Matrix::max_abs_diff(reconstruct(s, b, s.rank[b]), src[b]),
+                  1e-10)
+            << sh.rows << "x" << sh.cols << " batch " << batch;
+      }
+      arena.reset();
+    }
+  }
+}
+
+TEST(SvdBatch, RankTruncationMatchesScalar) {
+  Arena arena;
+  BatchMatrix bm(arena, 4, 24, 10);
+  std::vector<Matrix> src;
+  for (std::size_t b = 0; b < 4; ++b) {
+    src.push_back(random_matrix(24, 10, 91 + b));
+    bm.load(b, src[b]);
+  }
+  const auto s = rem::dsp::svd_batch(bm, arena, /*rank_limit=*/3);
+  EXPECT_EQ(s.r_max, 3u);
+  for (std::size_t b = 0; b < 4; ++b) {
+    const auto want = rem::dsp::svd(src[b], 3);
+    ASSERT_EQ(s.rank[b], want.sigma.size());
+    for (std::size_t p = 0; p < s.rank[b]; ++p)
+      EXPECT_NEAR(s.sigma[b * s.r_max + p], want.sigma[p], 1e-10);
+    EXPECT_LT(
+        Matrix::max_abs_diff(reconstruct(s, b, s.rank[b]), want.reconstruct()),
+        1e-10);
+  }
+}
+
+TEST(SvdBatch, RejectsEmptyMatrices) {
+  Arena arena;
+  BatchMatrix bm;  // default: 0 x 0 x 0
+  EXPECT_THROW(rem::dsp::svd_batch(bm, arena), std::invalid_argument);
+}
+
+rem::crossband::CrossbandInput make_input(std::size_t m, std::size_t n,
+                                          unsigned seed) {
+  rem::crossband::CrossbandInput in;
+  in.h1_dd = random_matrix(m, n, seed);
+  in.h1_tf = Matrix(m, n);
+  in.num = rem::phy::Numerology::lte(m, n);
+  in.f1_hz = 1.88e9;
+  in.f2_hz = 2.6e9;
+  return in;
+}
+
+TEST(EstimateBatch, MatchesSinglesLoop) {
+  std::vector<rem::crossband::CrossbandInput> inputs;
+  for (unsigned i = 0; i < 6; ++i) inputs.push_back(make_input(32, 16, i));
+
+  rem::crossband::RemSvdEstimator singles;
+  std::vector<rem::crossband::CrossbandOutput> want;
+  for (const auto& in : inputs) want.push_back(singles.estimate(in));
+
+  rem::crossband::RemSvdEstimator batched;
+  const auto got = batched.estimate_batch(inputs);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_TRUE(got[i].is_delay_doppler);
+    EXPECT_LT(Matrix::max_abs_diff(got[i].h2, want[i].h2), 1e-10) << i;
+    EXPECT_NEAR(got[i].mean_gain, want[i].mean_gain,
+                1e-10 * (1.0 + want[i].mean_gain))
+        << i;
+  }
+  // last_paths() reflects the final input, like a trailing estimate() call.
+  (void)singles.estimate(inputs.back());
+  ASSERT_EQ(batched.last_paths().size(), singles.last_paths().size());
+  for (std::size_t p = 0; p < batched.last_paths().size(); ++p) {
+    EXPECT_NEAR(batched.last_paths()[p].delay_s,
+                singles.last_paths()[p].delay_s, 1e-12);
+    EXPECT_NEAR(batched.last_paths()[p].attenuation,
+                singles.last_paths()[p].attenuation, 1e-10);
+  }
+}
+
+TEST(EstimateBatch, RaggedShapesGroupedAndOrdered) {
+  // Mixed shapes interleaved: the batch path must group by shape key yet
+  // return outputs in input order, each matching its singles result.
+  std::vector<rem::crossband::CrossbandInput> inputs;
+  const Shape ragged[] = {{12, 14}, {64, 16}, {12, 14}, {37, 8},
+                          {64, 16}, {12, 14}, {128, 64}};
+  unsigned seed = 0;
+  for (const auto& sh : ragged)
+    inputs.push_back(make_input(sh.rows, sh.cols, 1000 + seed++));
+
+  rem::crossband::RemSvdEstimator singles;
+  rem::crossband::RemSvdEstimator batched;
+  const auto got = batched.estimate_batch(inputs);
+  ASSERT_EQ(got.size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto want = singles.estimate(inputs[i]);
+    ASSERT_EQ(got[i].h2.rows(), want.h2.rows()) << i;
+    EXPECT_LT(Matrix::max_abs_diff(got[i].h2, want.h2), 1e-10) << i;
+  }
+}
+
+TEST(EstimateBatch, DeterministicAcrossThreadCounts) {
+  std::vector<rem::crossband::CrossbandInput> inputs;
+  for (unsigned i = 0; i < 13; ++i)
+    inputs.push_back(make_input(i % 3 == 0 ? 12 : 32, i % 3 == 0 ? 14 : 16,
+                                500 + i));
+
+  std::vector<std::vector<rem::crossband::CrossbandOutput>> runs;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    rem::crossband::RemSvdConfig cfg;
+    cfg.batch_threads = threads;
+    rem::crossband::RemSvdEstimator est(cfg);
+    runs.push_back(est.estimate_batch(inputs));
+  }
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      // Bit-identical, not merely close: sharding must not change results.
+      EXPECT_EQ(Matrix::max_abs_diff(runs[0][i].h2, runs[r][i].h2), 0.0)
+          << "thread run " << r << " input " << i;
+      EXPECT_EQ(runs[0][i].mean_gain, runs[r][i].mean_gain);
+    }
+  }
+}
+
+TEST(EstimateBatch, SteadyStateAllocationFree) {
+  std::vector<rem::crossband::CrossbandInput> inputs;
+  for (unsigned i = 0; i < 8; ++i) inputs.push_back(make_input(32, 16, 40 + i));
+
+  rem::crossband::RemSvdEstimator est;
+  // Warmup: call 1 grows the arena chunk by chunk; call 2's reset()
+  // coalesces them into one high-water chunk (one final growth).
+  auto out = est.estimate_batch(inputs);
+  est.estimate_batch(inputs, out);
+  const std::size_t grows_after_warmup = est.arena_grows();
+  EXPECT_GT(grows_after_warmup, 0u);
+  EXPECT_GT(est.arena_high_water(), 0u);
+  for (int call = 0; call < 3; ++call) {
+    est.estimate_batch(inputs, out);  // in-place: h2 storage reused too
+    EXPECT_EQ(est.arena_grows(), grows_after_warmup) << "call " << call;
+  }
+}
+
+TEST(EstimateBatch, EmptyInputRejectedWithContext) {
+  std::vector<rem::crossband::CrossbandInput> inputs;
+  inputs.push_back(make_input(12, 14, 1));
+  inputs.push_back(rem::crossband::CrossbandInput{});  // empty h1_dd
+  rem::crossband::RemSvdEstimator est;
+  try {
+    est.estimate_batch(inputs);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("input 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("0x0"), std::string::npos) << msg;
+  }
+}
+
+TEST(EstimateBatch, EmptySpanIsNoop) {
+  rem::crossband::RemSvdEstimator est;
+  EXPECT_TRUE(est.estimate_batch({}).empty());
+}
+
+TEST(ArenaStats, GrowOnlyOnColdPath) {
+  Arena arena;
+  (void)arena.alloc<double>(1000);
+  const auto cold = arena.stats();
+  EXPECT_EQ(cold.grow_count, 1u);
+  arena.reset();
+  for (int i = 0; i < 5; ++i) {
+    (void)arena.alloc<double>(400);
+    (void)arena.alloc<double>(600);
+    arena.reset();
+  }
+  EXPECT_EQ(arena.stats().grow_count, cold.grow_count);
+  EXPECT_EQ(arena.stats().reset_count, 6u);
+}
+
+}  // namespace
