@@ -1,16 +1,28 @@
-// Chaos sweep: run REM and legacy management under each of the five
-// FaultInjector classes (burst signaling loss, pilot outage, processing
-// stall, coverage blackout, command duplication) plus a backhaul sweep
-// (frame loss at 1/5/10%, one-way delay spikes, full partitions) and
-// record per-fault recovery-time / failure-ratio / downtime deltas against
-// the no-fault baseline into BENCH_CHAOS.json. The sweep doubles as the
-// robustness acceptance check: every run must complete without exceptions
-// or invariant violations, REM's degraded-mode fallback must be observable
-// under a pilot outage, REM must ride out backhaul loss up to 10% and
-// bounded delay spikes with zero handover failures (prep retries absorb
-// them), partitions must degrade gracefully (fallbacks/failures observed,
-// retry budgets respected, recovery bounded), and legacy must degrade
-// measurably where REM does not.
+// Chaos sweep: run REM and legacy management under each registered
+// FaultInjector class — the radio classes (burst signaling loss, pilot
+// outage, processing stall, coverage blackout, command duplication), a
+// backhaul sweep (frame loss at 1/5/10%, one-way delay spikes, full
+// partitions), and the BS robustness classes (control-plane overload,
+// crash-restart) — and record per-fault recovery-time / failure-ratio /
+// downtime deltas against the no-fault baseline into BENCH_CHAOS.json.
+// The sweep doubles as the robustness acceptance check: every run must
+// complete without exceptions or invariant violations, REM's
+// degraded-mode fallback must be observable under a pilot outage, REM
+// must ride out backhaul loss up to 10% and bounded delay spikes with
+// zero handover failures (prep retries absorb them), partitions must
+// degrade gracefully (fallbacks/failures observed, retry budgets
+// respected, recovery bounded), and legacy must degrade measurably where
+// REM does not. Under bs_overload the asymmetry inverts roles: legacy's
+// network-side decision path queues and sheds (observable bs_queue_shed)
+// while REM's client-side prediction keeps deciding, so REM's failure
+// ratio stays within kMaxRemOverloadFailureRatio while legacy degrades by
+// at least kMinLegacyOverloadDegradation over its baseline. Under
+// bs_crash_restart every scripted window must actually kill a BS, and
+// service recovery after each crash (first re-establishment or completed
+// handover) must land within kMaxCrashRecoveryS — crash window plus
+// post-restart re-attachment, the explicit recovery bound. A sweep whose
+// class list does not cover every registered FaultKind fails: new kinds
+// cannot ship without chaos coverage.
 //
 // Every run also carries a rem::obs::SpanTracer, so the sweep additionally
 // emits <output>_metrics.json (one rem-metrics-v1 snapshot merged over
@@ -30,8 +42,10 @@
 #include "testkit/invariants.hpp"
 #include "trace/eventlog.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <ostream>
 #include <stdexcept>
 #include <string>
@@ -77,6 +91,21 @@ struct ManagerMetrics {
   std::uint64_t backhaul_sent = 0;
   std::uint64_t backhaul_delivered = 0;
   std::uint64_t backhaul_dropped = 0;  ///< loss + partition + queue
+  // BS capacity / crash accounting (zero when the model is disabled).
+  int bs_jobs_submitted = 0;
+  int bs_jobs_served = 0;
+  int bs_queue_shed = 0;
+  int bs_jobs_flushed = 0;
+  int admission_rejects = 0;
+  int admission_backoff_retries = 0;
+  int bs_crashes = 0;
+  int bs_crash_dropped_msgs = 0;
+  int stale_context_responses = 0;
+  double mean_bs_queue_wait_s = 0.0;
+  /// Worst gap from a BS crash opening to the first subsequent
+  /// re-establishment or completed handover (whichever comes first);
+  /// covers the crash window itself plus post-restart re-attachment.
+  double max_crash_recovery_s = 0.0;
 };
 
 struct ClassResult {
@@ -150,7 +179,30 @@ void run_one(rem::trace::Route route, double speed_kmh, double duration_s,
   rem_out = observed_run(remm, rng.fork(), "rem");
 }
 
-ManagerMetrics fold(const std::vector<rem::sim::SimStats>& runs) {
+/// Worst crash-to-recovery gap in one run's event log: for every kBsCrash
+/// the first later kReestablished/kHandoverComplete closes the gap; a
+/// crash with no recovery before the horizon counts the full remainder
+/// (so an unrecovered crash cannot pass a recovery gate by omission).
+double worst_crash_recovery_s(const rem::sim::EventLog& events,
+                              double horizon_s) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].kind != rem::sim::EventKind::kBsCrash) continue;
+    double recovered_at = horizon_s;
+    for (std::size_t j = i + 1; j < events.size(); ++j) {
+      if (events[j].kind == rem::sim::EventKind::kReestablished ||
+          events[j].kind == rem::sim::EventKind::kHandoverComplete) {
+        recovered_at = events[j].t_s;
+        break;
+      }
+    }
+    worst = std::max(worst, recovered_at - events[i].t_s);
+  }
+  return worst;
+}
+
+ManagerMetrics fold(const std::vector<rem::sim::SimStats>& runs,
+                    double horizon_s) {
   ManagerMetrics m;
   rem::common::Summary recovery;
   for (const auto& s : runs) {
@@ -177,6 +229,18 @@ ManagerMetrics fold(const std::vector<rem::sim::SimStats>& runs) {
     m.backhaul_dropped += s.backhaul_dropped_loss +
                           s.backhaul_dropped_partition +
                           s.backhaul_dropped_queue;
+    m.bs_jobs_submitted += s.bs_jobs_submitted;
+    m.bs_jobs_served += s.bs_jobs_served;
+    m.bs_queue_shed += s.bs_queue_shed;
+    m.bs_jobs_flushed += s.bs_jobs_flushed;
+    m.admission_rejects += s.admission_rejects;
+    m.admission_backoff_retries += s.admission_backoff_retries;
+    m.bs_crashes += s.bs_crashes;
+    m.bs_crash_dropped_msgs += s.bs_crash_dropped_msgs;
+    m.stale_context_responses += s.stale_context_responses;
+    m.mean_bs_queue_wait_s += s.bs_queue_wait_sum_s;  // normalized below
+    m.max_crash_recovery_s = std::max(
+        m.max_crash_recovery_s, worst_crash_recovery_s(s.events, horizon_s));
   }
   const int den = m.handovers + m.failures;
   m.failure_ratio = den > 0 ? static_cast<double>(m.failures) / den : 0.0;
@@ -185,6 +249,8 @@ ManagerMetrics fold(const std::vector<rem::sim::SimStats>& runs) {
     m.p95_recovery_s = recovery.percentile(95.0);
   }
   m.mean_prep_rtt_s = m.prep_acks > 0 ? m.mean_prep_rtt_s / m.prep_acks : 0.0;
+  m.mean_bs_queue_wait_s =
+      m.bs_jobs_served > 0 ? m.mean_bs_queue_wait_s / m.bs_jobs_served : 0.0;
   return m;
 }
 
@@ -208,6 +274,15 @@ void print_metrics(const char* label, const ManagerMetrics& m,
         static_cast<unsigned long long>(m.backhaul_delivered),
         static_cast<unsigned long long>(m.backhaul_sent),
         static_cast<unsigned long long>(m.backhaul_dropped));
+  if (m.bs_jobs_submitted > 0 || m.bs_crashes > 0)
+    std::printf(
+        "          bs %5d jobs %4d shed %3d flushed  wait %5.1f ms  "
+        "adm-rej %3d (retry %3d)  crash %2d (drop %3d, stale-ctx %2d)  "
+        "crash-recovery %4.1f s\n",
+        m.bs_jobs_submitted, m.bs_queue_shed, m.bs_jobs_flushed,
+        1e3 * m.mean_bs_queue_wait_s, m.admission_rejects,
+        m.admission_backoff_retries, m.bs_crashes, m.bs_crash_dropped_msgs,
+        m.stale_context_responses, m.max_crash_recovery_s);
 }
 
 void write_metrics_json(std::ofstream& js, const ManagerMetrics& m,
@@ -236,7 +311,18 @@ void write_metrics_json(std::ofstream& js, const ManagerMetrics& m,
      << ", \"mean_prep_rtt_s\": " << m.mean_prep_rtt_s
      << ", \"backhaul_sent\": " << m.backhaul_sent
      << ", \"backhaul_delivered\": " << m.backhaul_delivered
-     << ", \"backhaul_dropped\": " << m.backhaul_dropped << "}";
+     << ", \"backhaul_dropped\": " << m.backhaul_dropped
+     << ", \"bs_jobs_submitted\": " << m.bs_jobs_submitted
+     << ", \"bs_jobs_served\": " << m.bs_jobs_served
+     << ", \"bs_queue_shed\": " << m.bs_queue_shed
+     << ", \"bs_jobs_flushed\": " << m.bs_jobs_flushed
+     << ", \"mean_bs_queue_wait_s\": " << m.mean_bs_queue_wait_s
+     << ", \"admission_rejects\": " << m.admission_rejects
+     << ", \"admission_backoff_retries\": " << m.admission_backoff_retries
+     << ", \"bs_crashes\": " << m.bs_crashes
+     << ", \"bs_crash_dropped_msgs\": " << m.bs_crash_dropped_msgs
+     << ", \"stale_context_responses\": " << m.stale_context_responses
+     << ", \"max_crash_recovery_s\": " << m.max_crash_recovery_s << "}";
 }
 
 }  // namespace
@@ -274,6 +360,16 @@ int main(int argc, char** argv) {
       {FaultKind::kProcessingStall, 15.0, 60.0, 12.0, 0.6},
       {FaultKind::kCoverageBlackout, 15.0, 60.0, 4.0, 60.0},
       {FaultKind::kCommandDuplication, 10.0, 60.0, 25.0, 1.0},
+      // u = 1.0 fills every station to slots + queue, so legacy's RRC
+      // decision jobs shed outright while REM (client-driven) never
+      // submits one; admission busy-rejects hit both managers' preps.
+      // 14 s windows outlast legacy's decision-to-link-death margin (a
+      // shed decision then turns into an RLF) but stay inside REM's
+      // prediction lead, which is the degraded-mode asymmetry the gates
+      // below pin down.
+      {FaultKind::kBsOverload, 15.0, 60.0, 14.0, 1.0},
+      // magnitude 1.0 < 2 picks the serving BS as victim at window open.
+      {FaultKind::kBsCrashRestart, 20.0, 60.0, 5.0, 1.0},
   };
 
   // Backhaul sweep: sustained loss at the 1/5/10% points (one window over
@@ -321,8 +417,8 @@ int main(int argc, char** argv) {
       legacy_runs.push_back(std::move(ls));
       rem_runs.push_back(std::move(rs));
     }
-    lg = fold(legacy_runs);
-    rm = fold(rem_runs);
+    lg = fold(legacy_runs, duration_s);
+    rm = fold(rem_runs, duration_s);
   };
 
   std::printf("chaos sweep: %s, %.0f km/h, %.0f s x %zu seeds%s\n",
@@ -408,6 +504,14 @@ int main(int argc, char** argv) {
   // Acceptance gates: the degraded-mode fallback must actually fire under
   // a pilot outage, and the blackout class must produce observable
   // recoveries; a chaos sweep that cannot provoke its faults is rot.
+  // REM must keep its failure ratio essentially flat under BS overload
+  // (client-side prediction sidesteps the shed decision queue) while
+  // legacy degrades by a visible margin; crash recovery is bounded by an
+  // explicit constant so "restart re-establishes state" is a checked
+  // claim, not prose.
+  constexpr double kMaxRemOverloadFailureRatio = 0.01;
+  constexpr double kMinLegacyOverloadDegradation = 0.05;
+  constexpr double kMaxCrashRecoveryS = 10.0;
   bool ok = true;
   for (const auto& r : results) {
     if (r.name == "pilot_outage" && r.rem.degraded_enters == 0) {
@@ -418,6 +522,92 @@ int main(int argc, char** argv) {
     if (r.name == "coverage_blackout" &&
         r.legacy.failures + r.rem.failures == 0) {
       std::printf("FAIL: no failures observed under %s\n", r.name.c_str());
+      ok = false;
+    }
+    if (r.name == "bs_overload") {
+      if (r.legacy.bs_queue_shed == 0) {
+        std::printf("FAIL: legacy never shed a BS job under %s\n",
+                    r.name.c_str());
+        ok = false;
+      }
+      if (r.rem.failure_ratio > kMaxRemOverloadFailureRatio) {
+        std::printf("FAIL: REM failure ratio %.2f%% under %s (max %.2f%%)\n",
+                    100.0 * r.rem.failure_ratio, r.name.c_str(),
+                    100.0 * kMaxRemOverloadFailureRatio);
+        ok = false;
+      }
+      if (!smoke && r.legacy.failure_ratio <
+                        base_legacy.failure_ratio +
+                            kMinLegacyOverloadDegradation) {
+        std::printf("FAIL: legacy failure ratio %.2f%% under %s did not "
+                    "degrade >= %.0f points over baseline %.2f%%\n",
+                    100.0 * r.legacy.failure_ratio, r.name.c_str(),
+                    100.0 * kMinLegacyOverloadDegradation,
+                    100.0 * base_legacy.failure_ratio);
+        ok = false;
+      }
+      if (r.rem.admission_rejects + r.rem.admission_backoff_retries == 0) {
+        std::printf("FAIL: admission control never fired for REM under %s\n",
+                    r.name.c_str());
+        ok = false;
+      }
+    }
+    if (r.name == "bs_crash_restart") {
+      // Every scripted window must actually kill a BS — for both managers
+      // (the schedule is deterministic: windows x seeds crashes each).
+      const int expected =
+          static_cast<int>(r.windows) * static_cast<int>(seeds.size());
+      for (const auto* m : {&r.legacy, &r.rem}) {
+        if (m->bs_crashes != expected) {
+          std::printf("FAIL: %d BS crashes under %s (expected %d)\n",
+                      m->bs_crashes, r.name.c_str(), expected);
+          ok = false;
+        }
+      }
+      if (r.rem.max_crash_recovery_s > kMaxCrashRecoveryS) {
+        std::printf("FAIL: REM crash recovery %.1f s under %s (bound %.1f "
+                    "s)\n",
+                    r.rem.max_crash_recovery_s, r.name.c_str(),
+                    kMaxCrashRecoveryS);
+        ok = false;
+      }
+    }
+  }
+
+  // Chaos coverage: the sweep's class lists must exercise every
+  // registered FaultKind, so a new kind cannot land without a window
+  // here. Also bound the smoke run's deterministic sim-time budget so
+  // wiring it into ctest stays cheap.
+  std::set<int> covered;
+  for (const auto& c : classes) covered.insert(static_cast<int>(c.kind));
+  for (const auto& c : backhaul_classes)
+    covered.insert(static_cast<int>(c.kind));
+  if (covered.size() != rem::sim::kNumFaultKinds) {
+    std::printf("FAIL: chaos sweep covers %zu of %zu FaultKinds\n",
+                covered.size(), rem::sim::kNumFaultKinds);
+    ok = false;
+  }
+  if (smoke) {
+    for (const auto& c : classes)
+      if (c.first_s + c.duration_s >= duration_s) {
+        std::printf("FAIL: smoke horizon misses a %s window\n",
+                    rem::sim::fault_kind_name(c.kind).c_str());
+        ok = false;
+      }
+    for (const auto& c : backhaul_classes)
+      if (c.first_s >= duration_s) {
+        std::printf("FAIL: smoke horizon misses a %s window\n",
+                    c.label.c_str());
+        ok = false;
+      }
+    constexpr double kMaxSmokeSimSeconds = 2600.0;
+    const double sim_seconds =
+        duration_s * static_cast<double>(seeds.size()) *
+        static_cast<double>(1 + classes.size() + backhaul_classes.size()) *
+        2.0;  // two managers per config
+    if (sim_seconds > kMaxSmokeSimSeconds) {
+      std::printf("FAIL: smoke budget %.0f sim-seconds exceeds %.0f\n",
+                  sim_seconds, kMaxSmokeSimSeconds);
       ok = false;
     }
   }

@@ -71,9 +71,23 @@ struct AggregateStats {
   std::uint64_t backhaul_dropped_loss = 0;
   std::uint64_t backhaul_dropped_partition = 0;
   std::uint64_t backhaul_dropped_queue = 0;
+  std::uint64_t backhaul_dropped_crash = 0;
   std::uint64_t backhaul_duplicated = 0;
   std::uint64_t backhaul_reordered = 0;
   double backhaul_latency_sum_s = 0.0;
+  // BS capacity / crash-restart accounting (sim::BsCapacityConfig runs).
+  int bs_jobs_submitted = 0;
+  int bs_jobs_served = 0;
+  int bs_jobs_queued = 0;
+  int bs_queue_shed = 0;
+  int bs_jobs_flushed = 0;
+  int bs_jobs_inflight_end = 0;
+  double bs_queue_wait_sum_s = 0.0;
+  int admission_rejects = 0;
+  int admission_backoff_retries = 0;
+  int bs_crashes = 0;
+  int bs_crash_dropped_msgs = 0;
+  int stale_context_responses = 0;
 
   void add(const sim::SimStats& s) {
     pre_failure_snrs_db.insert(pre_failure_snrs_db.end(),
@@ -109,9 +123,22 @@ struct AggregateStats {
     backhaul_dropped_loss += s.backhaul_dropped_loss;
     backhaul_dropped_partition += s.backhaul_dropped_partition;
     backhaul_dropped_queue += s.backhaul_dropped_queue;
+    backhaul_dropped_crash += s.backhaul_dropped_crash;
     backhaul_duplicated += s.backhaul_duplicated;
     backhaul_reordered += s.backhaul_reordered;
     backhaul_latency_sum_s += s.backhaul_latency_sum_s;
+    bs_jobs_submitted += s.bs_jobs_submitted;
+    bs_jobs_served += s.bs_jobs_served;
+    bs_jobs_queued += s.bs_jobs_queued;
+    bs_queue_shed += s.bs_queue_shed;
+    bs_jobs_flushed += s.bs_jobs_flushed;
+    bs_jobs_inflight_end += s.bs_jobs_inflight_end;
+    bs_queue_wait_sum_s += s.bs_queue_wait_sum_s;
+    admission_rejects += s.admission_rejects;
+    admission_backoff_retries += s.admission_backoff_retries;
+    bs_crashes += s.bs_crashes;
+    bs_crash_dropped_msgs += s.bs_crash_dropped_msgs;
+    stale_context_responses += s.stale_context_responses;
     if (s.avg_handover_interval_s > 0)
       handover_interval_s.add(s.avg_handover_interval_s);
     feedback_delay_s.add_all(s.feedback_delays_s);
@@ -183,6 +210,10 @@ struct SeedRunOptions {
   /// distribution, loss/reorder/duplicate probabilities, or disabling the
   /// transport entirely) for both managers' simulations.
   std::optional<net::BackhaulConfig> backhaul;
+  /// When set, replaces the scenario's per-BS capacity model config
+  /// (slots, queue bound, service times, admission control) for both
+  /// managers' simulations.
+  std::optional<sim::BsCapacityConfig> bs_capacity;
 };
 
 /// Simulate a single seed (legacy manager, and REM when `run_rem`).
@@ -201,6 +232,7 @@ inline SeedRunResult run_seed(trace::Route route, double speed_kmh,
   sc.sim.faults = opts.faults;
   sc.sim.record_events = sc.sim.record_events || opts.record_events;
   if (opts.backhaul) sc.sim.backhaul = *opts.backhaul;
+  if (opts.bs_capacity) sc.sim.bs_capacity = *opts.bs_capacity;
   const bool check = opts.check_invariants && testkit::invariants_enabled();
   common::Rng rng(seed);
   auto cells = sim::make_rail_deployment(sc.deployment, rng);

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Randomized-schedule chaos soak under sanitizers: build the ASan+UBSan
+# and TSan trees (same presets and directories as check_sanitizers.sh)
+# and run the `soak` ctest label in each — test_soak drives every
+# registered FaultKind from seeded random schedules with the invariant
+# checker attached, so memory bugs, UB, data races, and protocol-state
+# violations all fail the run.
+#
+#   scripts/check_soak.sh            # both presets
+#   scripts/check_soak.sh asan-ubsan # just address,undefined
+#   scripts/check_soak.sh tsan       # just thread
+#
+# Build trees land in build-<preset>/ next to the normal build/, shared
+# with check_sanitizers.sh so repeat runs are incremental.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_preset() {
+  local preset="$1" sanitize="$2"
+  local dir="build-${preset}"
+  echo "== soak ${preset}: REM_SANITIZE=${sanitize} =="
+  cmake -B "${dir}" -S . -DREM_SANITIZE="${sanitize}" >/dev/null
+  cmake --build "${dir}" -j"$(nproc)" --target test_soak
+  ctest --test-dir "${dir}" --output-on-failure -j"$(nproc)" -L soak
+}
+
+presets="${1:-all}"
+case "${presets}" in
+  asan-ubsan) run_preset asan-ubsan "address,undefined" ;;
+  tsan)       run_preset tsan thread ;;
+  all)
+    run_preset asan-ubsan "address,undefined"
+    run_preset tsan thread
+    ;;
+  *)
+    echo "usage: $0 [all|asan-ubsan|tsan]" >&2
+    exit 2
+    ;;
+esac
+echo "chaos soak clean: ${presets}"

@@ -8,6 +8,8 @@
 #   scripts/check_tier1.sh              # tier1 + docs + perf labels
 #   scripts/check_tier1.sh --all        # every ctest label (slow/chaos/
 #                                       # golden included)
+#   scripts/check_tier1.sh --full       # --all plus the sanitizer chaos
+#                                       # soak (scripts/check_soak.sh)
 #
 # Any further arguments are forwarded to ctest. Uses the default build/
 # tree; pass a different one via BUILD_DIR.
@@ -17,8 +19,13 @@ cd "$(dirname "$0")/.."
 build="${BUILD_DIR:-build}"
 
 ctest_args=(-L 'tier1|docs|perf')
+soak=0
 if [ "${1:-}" = "--all" ]; then
   ctest_args=()
+  shift
+elif [ "${1:-}" = "--full" ]; then
+  ctest_args=()
+  soak=1
   shift
 fi
 ctest_args+=("$@")
@@ -27,3 +34,7 @@ cmake -B "${build}" -S . >/dev/null
 cmake --build "${build}" -j"$(nproc)"
 ctest --test-dir "${build}" --output-on-failure -j"$(nproc)" \
       "${ctest_args[@]+"${ctest_args[@]}"}"
+
+if [ "${soak}" = 1 ]; then
+  scripts/check_soak.sh
+fi

@@ -1,0 +1,56 @@
+// Source-side admission backoff FSM: what the serving RRC session does
+// when a HANDOVER REQUEST comes back with a busy rejection (the target's
+// admission control found its signaling queue over threshold).
+//
+// The policy mirrors the paper's Theorem-2 argument: a busy target is not
+// a dead end because the movement-based trigger usually carries a
+// consistent second-best target — so the first busy reject pivots to the
+// fallback cell, and only when no (fresh) fallback exists does the source
+// wait out the target's backoff hint, re-attempting admission a bounded
+// number of times before declaring the preparation failed.
+//
+// Header-only and dependency-free on purpose: the simulator consumes it
+// from sim-layer code (which cannot link rem_core), and the core tests
+// exercise it directly.
+#pragma once
+
+namespace rem::core {
+
+/// What the source FSM does with a busy-rejected HANDOVER REQUEST.
+enum class AdmissionAction {
+  kFallback,  ///< pivot the preparation to the second-best target
+  kBackoff,   ///< honor the hint: re-send the request after waiting
+  kFail,      ///< retry budget exhausted and no fallback left: prep failed
+};
+
+/// Per-handover-attempt backoff state. Construct with the retry budget
+/// (and, when resuming mid-attempt, the retries already spent); feed each
+/// busy reject to decide(); persist retries() back into the attempt.
+class AdmissionBackoffFsm {
+ public:
+  explicit AdmissionBackoffFsm(int max_retries, int retries_spent = 0)
+      : max_retries_(max_retries < 0 ? 0 : max_retries),
+        retries_(retries_spent < 0 ? 0 : retries_spent) {}
+
+  /// Decide the reaction to one busy reject. `fallback_available` means a
+  /// Theorem-2-consistent second-best target exists and has not been
+  /// consumed by this attempt yet.
+  AdmissionAction decide(bool fallback_available) {
+    if (fallback_available) return AdmissionAction::kFallback;
+    if (retries_ < max_retries_) {
+      ++retries_;
+      return AdmissionAction::kBackoff;
+    }
+    return AdmissionAction::kFail;
+  }
+
+  int retries() const { return retries_; }
+  int max_retries() const { return max_retries_; }
+  bool exhausted() const { return retries_ >= max_retries_; }
+
+ private:
+  int max_retries_ = 0;
+  int retries_ = 0;
+};
+
+}  // namespace rem::core

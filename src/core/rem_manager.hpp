@@ -59,6 +59,10 @@ class RemManager final : public sim::MobilityManager {
     return cfg_.use_otfs_signaling ? phy::Waveform::kOTFS
                                    : phy::Waveform::kOFDM;
   }
+  /// REM's handover decision runs client-side (§4: the UE predicts and
+  /// triggers), so it never occupies the serving BS's control-plane queue
+  /// — the degraded-mode asymmetry under BS overload.
+  bool client_driven() const override { return true; }
   std::optional<sim::HandoverDecision> update(
       double t, const sim::ServingState& serving,
       const std::vector<sim::Observation>& neighbors) override;

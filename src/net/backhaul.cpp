@@ -86,6 +86,23 @@ bool BackhaulNetwork::send(double now_s, const BackhaulMessage& msg,
   return true;
 }
 
+std::size_t BackhaulNetwork::drop_in_flight_for_cell(std::int32_t cell) {
+  std::size_t kept = 0;
+  std::size_t dropped = 0;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const BackhaulMessage m = decode_message(queue_[i].frame);
+    if (m.src_cell == cell || m.dst_cell == cell) {
+      ++dropped;
+    } else {
+      if (kept != i) queue_[kept] = std::move(queue_[i]);
+      ++kept;
+    }
+  }
+  queue_.resize(kept);
+  stats_.dropped_crash += dropped;
+  return dropped;
+}
+
 std::vector<BackhaulMessage> BackhaulNetwork::poll(double now_s) {
   // Tolerance matches the simulator's tick-time epsilon so a frame due
   // exactly on a tick boundary is not deferred by float rounding.

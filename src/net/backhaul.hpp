@@ -48,6 +48,7 @@ struct TransportStats {
   std::uint64_t dropped_loss = 0;       ///< lost to the loss probability
   std::uint64_t dropped_partition = 0;  ///< dropped while partitioned
   std::uint64_t dropped_queue = 0;      ///< dropped on queue overload
+  std::uint64_t dropped_crash = 0;      ///< flushed when a BS crashed
   std::uint64_t duplicated = 0;         ///< extra copies injected
   std::uint64_t reordered = 0;          ///< frames given a reorder delay
   double latency_sum_s = 0.0;           ///< summed over delivered frames
@@ -79,6 +80,12 @@ class BackhaulNetwork {
   /// time, send order) so simultaneous deliveries have a deterministic
   /// order. Frames are decoded through the wire codec on the way out.
   std::vector<BackhaulMessage> poll(double now_s);
+
+  /// A BS crash takes its half of every in-flight exchange down with it:
+  /// drop all queued frames whose source or destination is `cell`
+  /// (counted as dropped_crash). Returns how many frames were dropped.
+  /// Draws no randomness — crash drops are deterministic, like partitions.
+  std::size_t drop_in_flight_for_cell(std::int32_t cell);
 
   const TransportStats& stats() const { return stats_; }
   std::size_t in_flight() const { return queue_.size(); }
@@ -116,6 +123,10 @@ class SequenceTracker {
   }
   bool seen(std::uint64_t seq) const { return seen_.count(seq) > 0; }
   std::uint64_t duplicates() const { return duplicates_; }
+
+  /// A crashed-and-restarted BS loses its receive-side dedup state; the
+  /// duplicates counter stays monotonic (it is mirrored into run stats).
+  void reset() { seen_.clear(); }
 
  private:
   std::set<std::uint64_t> seen_;

@@ -56,6 +56,8 @@ std::string msg_type_name(MsgType t) {
     case MsgType::kHandoverReject: return "handover_reject";
     case MsgType::kContextFetch: return "context_fetch";
     case MsgType::kContextResponse: return "context_response";
+    case MsgType::kHandoverRejectBusy: return "handover_reject_busy";
+    case MsgType::kContextStale: return "context_stale";
   }
   throw std::invalid_argument("msg_type_name: invalid MsgType value " +
                               std::to_string(static_cast<int>(t)));

@@ -25,9 +25,14 @@ enum class MsgType : std::uint8_t {
   kHandoverReject = 3,   ///< target refused admission
   kContextFetch = 4,     ///< re-establishment BS asks for the UE context
   kContextResponse = 5,  ///< old serving BS returns the UE context
+  kHandoverRejectBusy = 6,  ///< target overloaded: admission control
+                            ///< rejected the request; payload carries the
+                            ///< backoff hint in seconds
+  kContextStale = 7,     ///< old serving BS restarted and lost the UE
+                         ///< context; the fetched state would be stale
 };
 
-constexpr std::size_t kNumMsgTypes = 5;
+constexpr std::size_t kNumMsgTypes = 7;
 
 /// Stable identifier used in logs/JSON. Throws std::invalid_argument on a
 /// value outside the enum instead of returning a placeholder.

@@ -294,6 +294,17 @@ const std::vector<double>& backhaul_rtt_buckets_s() {
   return edges;
 }
 
+const std::vector<double>& bs_queue_wait_buckets_s() {
+  // Time a signaling job spends in a BS's bounded FIFO queue before a
+  // processing slot frees up. Uncontended jobs wait 0 (first bucket);
+  // overload windows (20 ms background jobs, inflated service times)
+  // push waits toward tens to hundreds of milliseconds.
+  static const std::vector<double> edges = {0.001, 0.002, 0.005, 0.01,
+                                            0.02,  0.05,  0.1,   0.2,
+                                            0.5,   1.0};
+  return edges;
+}
+
 const std::vector<double>& out_of_sync_buckets_s() {
   // T310-armed episode lengths; the default T310 of 0.45 s caps episodes
   // that end in RLF, recoveries can be shorter or (with N311 churn) longer.

@@ -200,6 +200,7 @@ const std::vector<double>& handover_latency_buckets_s();
 const std::vector<double>& outage_duration_buckets_s();
 const std::vector<double>& out_of_sync_buckets_s();
 const std::vector<double>& backhaul_rtt_buckets_s();
+const std::vector<double>& bs_queue_wait_buckets_s();
 
 /// Flat-JSON codec, mirroring the golden-trace digest discipline: one
 /// string-valued `"key": "value"` pair per line, doubles as %.17g (exact

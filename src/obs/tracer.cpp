@@ -248,6 +248,35 @@ void SpanTracer::on_event(const sim::SignalingEvent& e) {
     case sim::EventKind::kContextFetchFailed:
       ++tally_.ctx_fetch_failures;
       break;
+    case sim::EventKind::kBsQueueShed:
+      ++tally_.bs_queue_sheds;
+      break;
+    case sim::EventKind::kBsJobDone:
+      // The SNR slot carries the job's queue wait in seconds.
+      ++tally_.bs_jobs_done;
+      tally_.bs_queue_wait_sum_s += e.serving_snr_db;
+      if (registry_ != nullptr)
+        registry_->histogram("sim.bs.queue_wait_s",
+                             bs_queue_wait_buckets_s())
+            ->record(e.serving_snr_db);
+      break;
+    case sim::EventKind::kAdmissionReject:
+      ++tally_.admission_rejects;
+      if (handover_) handover_->admission_rejected = true;
+      break;
+    case sim::EventKind::kAdmissionRetry:
+      ++tally_.admission_retries;
+      if (handover_) ++handover_->admission_retries;
+      break;
+    case sim::EventKind::kBsCrash:
+      ++tally_.bs_crashes;
+      break;
+    case sim::EventKind::kBsRestart:
+      ++tally_.bs_restarts;
+      break;
+    case sim::EventKind::kContextStale:
+      ++tally_.stale_ctx_responses;
+      break;
   }
 }
 
@@ -300,6 +329,13 @@ void SpanTracer::on_run_end(sim::SimStats& stats) {
   put("sim.prep.fallbacks", tally_.prep_fallbacks);
   put("sim.prep.failures", tally_.prep_failures);
   put("sim.ctx_fetch.failures", tally_.ctx_fetch_failures);
+  put("sim.bs.jobs_served", tally_.bs_jobs_done);
+  put("sim.bs.queue_shed", tally_.bs_queue_sheds);
+  put("sim.bs.admission_rejects", tally_.admission_rejects);
+  put("sim.bs.admission_retries", tally_.admission_retries);
+  put("sim.bs.crashes", tally_.bs_crashes);
+  put("sim.bs.restarts", tally_.bs_restarts);
+  put("sim.bs.stale_context", tally_.stale_ctx_responses);
   // Failure causes exist only in SimStats (events do not carry the Table 2
   // classification); reconcile() checks the totals are consistent with the
   // event-derived failure count.
@@ -351,6 +387,21 @@ std::vector<std::string> SpanTracer::reconcile(
   check_u("prep failures", tally_.prep_failures, stats.prep_failures);
   check_u("context fetch failures", tally_.ctx_fetch_failures,
           stats.context_fetch_failures);
+  check_u("BS jobs served", tally_.bs_jobs_done, stats.bs_jobs_served);
+  check_u("BS queue sheds", tally_.bs_queue_sheds, stats.bs_queue_shed);
+  check_u("admission busy rejects", tally_.admission_rejects,
+          stats.admission_rejects);
+  check_u("admission backoff retries", tally_.admission_retries,
+          stats.admission_backoff_retries);
+  check_u("BS crashes", tally_.bs_crashes, stats.bs_crashes);
+  check_u("stale context responses", tally_.stale_ctx_responses,
+          stats.stale_context_responses);
+  // Queue waits accumulate the identical doubles in the identical event
+  // order on both sides — bit-exact, like the RTT sum.
+  if (tally_.bs_queue_wait_sum_s != stats.bs_queue_wait_sum_s)
+    out.push_back("BS queue wait sum: trace " +
+                  fmt_double(tally_.bs_queue_wait_sum_s) + " vs stats " +
+                  fmt_double(stats.bs_queue_wait_sum_s));
   // Both sides accumulate the identical RTT doubles in event order, so the
   // sums must match bit-exactly, like the outage-duration sum below.
   if (tally_.prep_rtt_sum_s != stats.prep_rtt_sum_s)
@@ -381,6 +432,9 @@ void SpanTracer::write_trace_jsonl(std::ostream& os,
     if (s.prep_retries > 0) os << ", \"prep_retries\": " << s.prep_retries;
     if (s.used_fallback) os << ", \"used_fallback\": true";
     if (s.duplicate_command) os << ", \"duplicate_command\": true";
+    if (s.admission_rejected) os << ", \"admission_rejected\": true";
+    if (s.admission_retries > 0)
+      os << ", \"admission_retries\": " << s.admission_retries;
     os << ", \"phases\": [";
     for (std::size_t i = 0; i < s.phases.size(); ++i) {
       const auto& p = s.phases[i];

@@ -56,6 +56,8 @@ struct Span {
   int prep_retries = 0;          ///< timed-out HANDOVER REQUESTs re-sent
   bool used_fallback = false;    ///< preparation swung to the 2nd-best target
   bool duplicate_command = false;
+  bool admission_rejected = false;  ///< target answered busy at least once
+  int admission_retries = 0;        ///< hint-spaced re-sends after busy
 
   double duration_s() const { return end_s - start_s; }
 };
@@ -126,6 +128,10 @@ class SpanTracer : public sim::SimObserver {
     std::uint64_t prep_requests = 0, prep_retries = 0, prep_acks = 0,
                   prep_rejects = 0, prep_fallbacks = 0, prep_failures = 0,
                   ctx_fetch_failures = 0;
+    std::uint64_t bs_jobs_done = 0, bs_queue_sheds = 0,
+                  admission_rejects = 0, admission_retries = 0,
+                  bs_crashes = 0, bs_restarts = 0, stale_ctx_responses = 0;
+    double bs_queue_wait_sum_s = 0.0;
     double prep_rtt_sum_s = 0.0;
     double outage_sum_s = 0.0;
     std::uint64_t latency_count = 0;

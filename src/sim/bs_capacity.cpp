@@ -1,0 +1,160 @@
+#include "sim/bs_capacity.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace rem::sim {
+
+namespace {
+constexpr double kTimeEps = 1e-9;
+}  // namespace
+
+std::string bs_job_kind_name(BsJobKind kind) {
+  switch (kind) {
+    case BsJobKind::kRrcDecision:
+      return "rrc_decision";
+    case BsJobKind::kPrepAdmission:
+      return "prep_admission";
+    case BsJobKind::kContextLookup:
+      return "context_lookup";
+    case BsJobKind::kBackground:
+      return "background";
+  }
+  return "unknown";
+}
+
+void validate(const BsCapacityConfig& cfg) {
+  if (!cfg.enabled) return;
+  if (cfg.slots < 1) {
+    throw std::invalid_argument("BsCapacityConfig.slots must be >= 1, got " +
+                                std::to_string(cfg.slots));
+  }
+  const auto positive = [](double v, const char* name) {
+    if (v <= 0.0) {
+      throw std::invalid_argument(std::string("BsCapacityConfig.") + name +
+                                  " must be > 0, got " + std::to_string(v));
+    }
+  };
+  positive(cfg.prep_service_s, "prep_service_s");
+  positive(cfg.ctx_service_s, "ctx_service_s");
+  positive(cfg.background_service_s, "background_service_s");
+  if (cfg.admission_load_threshold <= 0.0 ||
+      cfg.admission_load_threshold > 1.0) {
+    throw std::invalid_argument(
+        "BsCapacityConfig.admission_load_threshold must be in (0, 1], got " +
+        std::to_string(cfg.admission_load_threshold));
+  }
+  if (cfg.reject_backoff_hint_s < 0.0) {
+    throw std::invalid_argument(
+        "BsCapacityConfig.reject_backoff_hint_s must be >= 0, got " +
+        std::to_string(cfg.reject_backoff_hint_s));
+  }
+  if (cfg.admission_max_retries < 0) {
+    throw std::invalid_argument(
+        "BsCapacityConfig.admission_max_retries must be >= 0, got " +
+        std::to_string(cfg.admission_max_retries));
+  }
+}
+
+BsStation::BsStation(int slots, std::size_t queue_capacity)
+    : slots_(slots < 1 ? 1 : slots),
+      queue_capacity_(queue_capacity),
+      slot_free_s_(static_cast<std::size_t>(slots_), 0.0) {}
+
+std::optional<BsJob> BsStation::submit(double t, BsJobKind kind,
+                                       double service_s,
+                                       const net::BackhaulMessage& msg) {
+  if (slot_free_s_.empty()) {
+    slot_free_s_.assign(static_cast<std::size_t>(slots_), 0.0);
+  }
+  const auto earliest =
+      std::min_element(slot_free_s_.begin(), slot_free_s_.end());
+  const double start = std::max(t, *earliest);
+  if (start > t + kTimeEps &&
+      static_cast<std::size_t>(waiting(t)) >= queue_capacity_) {
+    return std::nullopt;  // queue full: shed
+  }
+  BsJob job;
+  job.kind = kind;
+  job.submit_s = t;
+  job.start_s = start;
+  job.done_s = start + service_s;
+  job.msg = msg;
+  *earliest = job.done_s;
+  jobs_.push_back(job);
+  order_.push_back(next_order_++);
+  return job;
+}
+
+std::vector<BsJob> BsStation::take_completed(double t) {
+  std::vector<std::pair<std::size_t, BsJob>> done;
+  std::vector<BsJob> kept_jobs;
+  std::vector<std::size_t> kept_order;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    if (jobs_[i].done_s <= t + kTimeEps) {
+      done.emplace_back(order_[i], jobs_[i]);
+    } else {
+      kept_jobs.push_back(jobs_[i]);
+      kept_order.push_back(order_[i]);
+    }
+  }
+  jobs_ = std::move(kept_jobs);
+  order_ = std::move(kept_order);
+  std::sort(done.begin(), done.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second.done_s != b.second.done_s) {
+                return a.second.done_s < b.second.done_s;
+              }
+              return a.first < b.first;
+            });
+  std::vector<BsJob> out;
+  out.reserve(done.size());
+  for (auto& [ord, job] : done) out.push_back(job);
+  return out;
+}
+
+int BsStation::occupancy(double t) const {
+  int n = 0;
+  for (const auto& j : jobs_) {
+    if (j.done_s > t + kTimeEps) ++n;
+  }
+  return n;
+}
+
+int BsStation::waiting(double t) const {
+  int n = 0;
+  for (const auto& j : jobs_) {
+    if (j.start_s > t + kTimeEps) ++n;
+  }
+  return n;
+}
+
+double BsStation::load(double t) const {
+  const double cap = static_cast<double>(slots_) +
+                     static_cast<double>(queue_capacity_);
+  return static_cast<double>(occupancy(t)) / cap;
+}
+
+int BsStation::unfinished() const {
+  int n = 0;
+  for (const auto& j : jobs_) {
+    if (j.kind != BsJobKind::kBackground) ++n;
+  }
+  return n;
+}
+
+int BsStation::flush() {
+  int lost = 0;
+  for (const auto& j : jobs_) {
+    if (j.kind != BsJobKind::kBackground) ++lost;
+  }
+  jobs_.clear();
+  order_.clear();
+  std::fill(slot_free_s_.begin(), slot_free_s_.end(), 0.0);
+  return lost;
+}
+
+}  // namespace rem::sim

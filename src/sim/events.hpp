@@ -31,6 +31,17 @@ enum class EventKind {
   kPrepFallback,          ///< preparation switched to the fallback target
   kPrepFailed,            ///< preparation exhausted retries and fallbacks
   kContextFetchFailed,    ///< context fetch exhausted retries in outage
+  kBsQueueShed,           ///< BS signaling queue full: job explicitly shed
+                          ///< (target_cell = station, snr = load fraction)
+  kBsJobDone,             ///< BS job serviced (target_cell = station,
+                          ///< serving_snr_db = queue wait seconds)
+  kAdmissionReject,       ///< target busy-rejected HANDOVER REQUEST
+                          ///< (serving_snr_db = backoff hint seconds)
+  kAdmissionRetry,        ///< source honors the backoff hint and re-sends
+  kBsCrash,               ///< BS died (target_cell = victim cell index)
+  kBsRestart,             ///< BS came back stateless (target_cell = victim)
+  kContextStale,          ///< restarted BS answered a context fetch with a
+                          ///< stale-context indication
 };
 
 /// Stable identifier used in CSV logs. Throws std::invalid_argument on a

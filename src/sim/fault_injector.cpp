@@ -15,19 +15,32 @@ std::string fault_kind_name(FaultKind k) {
     case FaultKind::kBackhaulLoss: return "backhaul_loss";
     case FaultKind::kBackhaulDelay: return "backhaul_delay";
     case FaultKind::kBackhaulPartition: return "backhaul_partition";
+    case FaultKind::kBsOverload: return "bs_overload";
+    case FaultKind::kBsCrashRestart: return "bs_crash_restart";
   }
   throw std::invalid_argument("fault_kind_name: invalid FaultKind value " +
                               std::to_string(static_cast<int>(k)));
 }
 
+FaultKind fault_kind_from_name(const std::string& name) {
+  for (std::size_t i = 0; i < kNumFaultKinds; ++i) {
+    const auto k = static_cast<FaultKind>(i);
+    if (fault_kind_name(k) == name) return k;
+  }
+  throw std::invalid_argument("fault_kind_from_name: unknown fault kind \"" +
+                              name + "\"");
+}
+
 namespace {
 
-// Magnitudes of these kinds are probabilities; anything above 1 is a
-// scripting mistake, not a stronger fault.
+// Magnitudes of these kinds live on the unit interval (probabilities, or
+// the kBsOverload utilization fraction); anything above 1 is a scripting
+// mistake, not a stronger fault.
 bool probability_valued(FaultKind k) {
   return k == FaultKind::kSignalingLoss ||
          k == FaultKind::kCommandDuplication ||
-         k == FaultKind::kBackhaulLoss;
+         k == FaultKind::kBackhaulLoss ||
+         k == FaultKind::kBsOverload;
 }
 
 void validate_scripted(const std::vector<FaultWindow>& windows) {

@@ -16,7 +16,9 @@
 namespace rem::sim {
 
 /// The fault classes of the chaos harness (bench_chaos): five radio-leg
-/// classes plus three backhaul classes targeting the inter-BS transport.
+/// classes, three backhaul classes targeting the inter-BS transport, and
+/// two base-station classes targeting the server side of the control
+/// plane (capacity squeeze and crash-restart).
 enum class FaultKind {
   kSignalingLoss,      ///< burst signaling loss overriding per-attempt BLER
   kPilotOutage,        ///< measurement pilots absent: stale/corrupt estimates
@@ -26,13 +28,21 @@ enum class FaultKind {
   kBackhaulLoss,       ///< extra per-message loss on the inter-BS transport
   kBackhaulDelay,      ///< extra one-way latency on the inter-BS transport
   kBackhaulPartition,  ///< inter-BS link down: every message dropped
+  kBsOverload,         ///< BS control-plane capacity squeeze (queueing/shed)
+  kBsCrashRestart,     ///< a BS dies for the window, losing queued signaling
+                       ///< and prepared UE contexts; restarts stateless
 };
 
-constexpr std::size_t kNumFaultKinds = 8;
+constexpr std::size_t kNumFaultKinds = 10;
 
 /// Stable identifier used in logs/JSON. Throws std::invalid_argument on a
 /// value outside the enum (corrupted input), never returns a placeholder.
 std::string fault_kind_name(FaultKind k);
+
+/// Inverse of fault_kind_name: resolves a stable wire name back to its
+/// FaultKind. Throws std::invalid_argument naming the unknown input so a
+/// kind can never ship without a parseable name (round-trip tested).
+FaultKind fault_kind_from_name(const std::string& name);
 
 /// One active fault interval. `magnitude` is kind-specific:
 ///   kSignalingLoss      per-attempt loss probability floor in [0, 1]
@@ -44,6 +54,15 @@ std::string fault_kind_name(FaultKind k);
 ///   kBackhaulLoss       extra per-message backhaul loss prob in [0, 1]
 ///   kBackhaulDelay      extra one-way backhaul latency (seconds)
 ///   kBackhaulPartition  any value > 0 means the link is down
+///   kBsOverload         background utilization of every BS's control
+///                       plane in (0, 1]: 1.0 saturates slots + queue so
+///                       further signaling is shed; values below 1 queue
+///                       signaling behind synthetic load and inflate
+///                       service times
+///   kBsCrashRestart     values < 2 crash the serving BS at window open;
+///                       values >= 2 crash the fixed cell index
+///                       floor(magnitude) - 2 (lets tests kill a prep
+///                       target deterministically)
 struct FaultWindow {
   FaultKind kind = FaultKind::kSignalingLoss;
   double start_s = 0.0;

@@ -45,6 +45,11 @@ struct TickView {
   /// same value the Observation rows carry): 0 while pilots are fresh.
   double estimate_age_s = 0.0;
   bool degraded = false;         ///< manager degraded mode as last sampled
+  /// Highest per-BS occupancy (busy slots + queued jobs, background
+  /// included) across all stations this tick; never exceeds
+  /// slots + queue_capacity. Always 0 when the capacity model is off.
+  int bs_queue_peak = 0;
+  int crashed_cells = 0;         ///< cells currently dead (kBsCrashRestart)
 };
 
 class SimObserver {

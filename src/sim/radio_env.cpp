@@ -111,10 +111,12 @@ double RadioEnv::snr_db_from_rsrp(double rsrp_dbm) const {
   return rsrp_dbm - cfg_.noise_floor_dbm;
 }
 
-int RadioEnv::best_cell(double track_pos_m, double min_rsrp_dbm) const {
+int RadioEnv::best_cell(double track_pos_m, double min_rsrp_dbm,
+                        int exclude_idx) const {
   int best = -1;
   double best_rsrp = min_rsrp_dbm;
   for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (static_cast<int>(i) == exclude_idx) continue;
     const double r = mean_rsrp_dbm(i, track_pos_m);
     if (r > best_rsrp) {
       best_rsrp = r;

@@ -76,7 +76,10 @@ class RadioEnv {
 
   /// Index of the strongest cell by mean RSRP (coverage-hole cells
   /// excluded); returns -1 if everything is below `min_rsrp_dbm`.
-  int best_cell(double track_pos_m, double min_rsrp_dbm) const;
+  /// `exclude_idx` skips one cell — the simulator passes a crashed BS so
+  /// re-establishment and failure classification never pick a dead cell.
+  int best_cell(double track_pos_m, double min_rsrp_dbm,
+                int exclude_idx = -1) const;
 
   /// True if no usable cell covers this position (coverage hole).
   bool in_coverage_hole(double track_pos_m, double min_rsrp_dbm) const {

@@ -2,6 +2,7 @@
 
 #include "common/logging.hpp"
 #include "common/units.hpp"
+#include "core/admission.hpp"
 
 #include <algorithm>
 #include <array>
@@ -22,6 +23,10 @@ struct TickEmit {
     if (emit) (*emit)(t);
   }
 };
+
+/// Attenuation applied to every leg of a crashed BS: deep enough that the
+/// cell is unconnectable and unmeasurable for the whole window.
+constexpr double kCrashPenaltyDb = 300.0;
 
 }  // namespace
 
@@ -49,6 +54,13 @@ std::string event_kind_name(EventKind k) {
     case EventKind::kPrepFallback: return "prep_fallback";
     case EventKind::kPrepFailed: return "prep_failed";
     case EventKind::kContextFetchFailed: return "context_fetch_failed";
+    case EventKind::kBsQueueShed: return "bs_queue_shed";
+    case EventKind::kBsJobDone: return "bs_job_done";
+    case EventKind::kAdmissionReject: return "admission_reject";
+    case EventKind::kAdmissionRetry: return "admission_retry";
+    case EventKind::kBsCrash: return "bs_crash";
+    case EventKind::kBsRestart: return "bs_restart";
+    case EventKind::kContextStale: return "context_stale";
   }
   throw std::invalid_argument("event_kind_name: invalid EventKind value " +
                               std::to_string(static_cast<int>(k)));
@@ -122,6 +134,22 @@ SimStats Simulator::run(MobilityManager& manager,
   int ctx_target = -1;
   double ctx_failed_camp_s = 0.0;
 
+  // Per-BS control-plane capacity: one station (processing slots + bounded
+  // FIFO signaling queue) per cell. Deterministic service times, no RNG.
+  const bool use_cap = cfg_.bs_capacity.enabled;
+  if (use_cap) validate(cfg_.bs_capacity);
+  std::vector<BsStation> stations;
+  if (use_cap) {
+    stations.assign(env_.cells().size(),
+                    BsStation(cfg_.bs_capacity.slots,
+                              cfg_.bs_capacity.queue_capacity));
+  }
+  // Crash-restart state: at most one dead BS at a time; a dead BS stays
+  // radio-silent, its signaling is dropped, and its UE contexts are lost
+  // (context_lost drives stale-context replies until re-established).
+  int crashed_cell = -1;
+  std::vector<bool> context_lost(env_.cells().size(), false);
+
   // Initial attach: strongest cell at the start.
   double pos = 0.0;
   int serving = env_.best_cell(pos, cfg_.min_coverage_rsrp_dbm);
@@ -184,15 +212,20 @@ SimStats Simulator::run(MobilityManager& manager,
         pending && !pending->report_delivered && !pending->report_lost;
     v.prep_pending = use_net && pending && pending->report_delivered &&
                      !pending->prep_acked && !pending->prep_failed &&
-                     !pending->command_lost;
+                     !pending->command_lost && !pending->decision_shed;
     v.command_pending = pending &&
                         (use_net ? pending->prep_acked
                                  : pending->report_delivered) &&
-                        !pending->command_lost;
+                        !pending->command_lost && !pending->decision_shed;
     v.pilot_fault = faults_.active(FaultKind::kPilotOutage, t_now);
     v.blackout = faults_.active(FaultKind::kCoverageBlackout, t_now);
     v.estimate_age_s = v.pilot_fault ? t_now - pilot_fresh_t : 0.0;
     v.degraded = degraded_prev;
+    if (use_cap) {
+      for (const auto& st : stations)
+        v.bs_queue_peak = std::max(v.bs_queue_peak, st.occupancy(t_now));
+    }
+    v.crashed_cells = crashed_cell >= 0 ? 1 : 0;
     cfg_.observer->on_tick(v);
   };
 
@@ -218,6 +251,8 @@ SimStats Simulator::run(MobilityManager& manager,
   const auto camp_on = [&](double t, int target) {
     stats.outage_durations_s.push_back(t - outage_started);
     serving = target;
+    // Camping (re-)establishes the UE context at this BS.
+    context_lost[static_cast<std::size_t>(target)] = false;
     outage_started = -1.0;
     preferred_target = -1;
     ctx_pending = ctx_ready = ctx_failed = false;
@@ -253,6 +288,63 @@ SimStats Simulator::run(MobilityManager& manager,
     const double blackout_db =
         faults_.magnitude(FaultKind::kCoverageBlackout, t);
 
+    // ---- BS crash-restart window edges ----
+    const double crash_mag = faults_.magnitude(FaultKind::kBsCrashRestart, t);
+    if (crash_mag > 0.0 && crashed_cell < 0) {
+      // Victim: magnitudes below 2 kill the serving BS at window open;
+      // 2 + k kills cell index k (lets tests crash a prep target).
+      int victim = crash_mag >= 2.0 ? static_cast<int>(crash_mag) - 2
+                                    : serving;
+      if (victim < 0 || victim >= static_cast<int>(env_.cells().size()))
+        victim = serving;
+      crashed_cell = victim;
+      ++stats.bs_crashes;
+      context_lost[static_cast<std::size_t>(victim)] = true;
+      // Everything queued inside the BS and on the wire to/from it dies.
+      if (use_cap)
+        stats.bs_jobs_flushed +=
+            stations[static_cast<std::size_t>(victim)].flush();
+      if (use_net) netw->drop_in_flight_for_cell(victim);
+      log_event(t, EventKind::kBsCrash, serving, victim, crash_mag);
+    } else if (crash_mag <= 0.0 && crashed_cell >= 0) {
+      // Restart: the BS rejoins stateless — queue already flushed at
+      // crash, receive-side dedup gone (SequenceTracker reset), and its
+      // prepared UE contexts stay lost until re-established (context_lost
+      // drives stale-context replies to fetches).
+      log_event(t, EventKind::kBsRestart, serving, crashed_cell, 0.0);
+      ack_seen.reset();
+      ctx_seen.reset();
+      crashed_cell = -1;
+    }
+    // Attenuation making a crashed cell unconnectable and unmeasurable.
+    const auto crash_db = [&](std::size_t idx) {
+      return static_cast<int>(idx) == crashed_cell ? kCrashPenaltyDb : 0.0;
+    };
+
+    // ---- BS overload window: background load + service inflation ----
+    const double overload_u =
+        use_cap ? faults_.magnitude(FaultKind::kBsOverload, t) : 0.0;
+    const double svc_inflation =
+        overload_u > 0.0 ? 1.0 / (1.0 - std::min(overload_u, 0.95)) : 1.0;
+    // Lazily saturate a station with synthetic other-UE jobs up to the
+    // window's target occupancy, right before a UE job is offered to it.
+    // Deterministic: occupancy targets and service times are fixed.
+    const auto top_up = [&](std::size_t cell) {
+      if (overload_u <= 0.0 || static_cast<int>(cell) == crashed_cell)
+        return;
+      const double cap =
+          static_cast<double>(cfg_.bs_capacity.slots) +
+          static_cast<double>(cfg_.bs_capacity.queue_capacity);
+      const int target_occ =
+          static_cast<int>(std::lround(overload_u * cap));
+      auto& st = stations[cell];
+      while (st.occupancy(t) < target_occ) {
+        if (!st.submit(t, BsJobKind::kBackground,
+                       cfg_.bs_capacity.background_service_s))
+          break;
+      }
+    };
+
     // ---- Backhaul transport: this tick's fault overrides + arrivals ----
     const bool bh_partition =
         use_net && faults_.active(FaultKind::kBackhaulPartition, t);
@@ -261,6 +353,13 @@ SimStats Simulator::run(MobilityManager& manager,
     const double bh_delay =
         use_net ? faults_.magnitude(FaultKind::kBackhaulDelay, t) : 0.0;
     const auto bh_send = [&](const net::BackhaulMessage& m) {
+      // A dead BS can neither send nor receive; like partitions, crash
+      // drops consume no random draws.
+      if (crashed_cell >= 0 && (m.src_cell == crashed_cell ||
+                                m.dst_cell == crashed_cell)) {
+        ++stats.bs_crash_dropped_msgs;
+        return;
+      }
       netw->send(t, m, bh_loss, bh_delay, bh_partition);
     };
     // Preparation hit a terminal condition (reject / timeout exhaustion):
@@ -288,25 +387,67 @@ SimStats Simulator::run(MobilityManager& manager,
                   static_cast<int>(pending->target_idx), 0.0);
       }
     };
+    // Builds the admission reply for a HANDOVER REQUEST: accept when the
+    // target still covers the UE's position; echo the transaction id.
+    const auto admission_reply = [&](const net::BackhaulMessage& m) {
+      const auto tgt = static_cast<std::size_t>(m.target_cell);
+      const double rsrp =
+          env_.mean_rsrp_dbm(tgt, pos) - blackout_db - crash_db(tgt);
+      net::BackhaulMessage reply;
+      reply.seq = m.seq;
+      reply.type = rsrp >= cfg_.min_coverage_rsrp_dbm
+                       ? net::MsgType::kHandoverAck
+                       : net::MsgType::kHandoverReject;
+      reply.src_cell = m.dst_cell;
+      reply.dst_cell = m.src_cell;
+      reply.target_cell = m.target_cell;
+      reply.payload = rsrp;
+      return reply;
+    };
     if (use_net) {
       for (const auto& m : netw->poll(t)) {
+        // Frames addressed to (or claiming to come from) a dead BS are
+        // dropped at delivery — defensive: crash open flushed the wire.
+        if (crashed_cell >= 0 && (m.dst_cell == crashed_cell ||
+                                  m.src_cell == crashed_cell)) {
+          ++stats.bs_crash_dropped_msgs;
+          continue;
+        }
         switch (m.type) {
           case net::MsgType::kHandoverRequest: {
-            // Target-BS admission: accept when the target still covers the
-            // UE's position; echo the request's transaction id either way.
+            if (!use_cap) {
+              bh_send(admission_reply(m));
+              break;
+            }
+            // Capacity model: admission control first — an over-threshold
+            // target refuses outright with a backoff hint (the source FSM
+            // pivots to its fallback or waits the hint out). Below the
+            // threshold the request takes a processing slot and the
+            // accept/reject verdict goes out when the job completes.
             const auto tgt = static_cast<std::size_t>(m.target_cell);
-            const double rsrp =
-                env_.mean_rsrp_dbm(tgt, pos) - blackout_db;
-            net::BackhaulMessage reply;
-            reply.seq = m.seq;
-            reply.type = rsrp >= cfg_.min_coverage_rsrp_dbm
-                             ? net::MsgType::kHandoverAck
-                             : net::MsgType::kHandoverReject;
-            reply.src_cell = m.dst_cell;
-            reply.dst_cell = m.src_cell;
-            reply.target_cell = m.target_cell;
-            reply.payload = rsrp;
-            bh_send(reply);
+            top_up(tgt);
+            auto& st = stations[tgt];
+            if (st.load(t) >= cfg_.bs_capacity.admission_load_threshold) {
+              net::BackhaulMessage reply;
+              reply.seq = m.seq;
+              reply.type = net::MsgType::kHandoverRejectBusy;
+              reply.src_cell = m.dst_cell;
+              reply.dst_cell = m.src_cell;
+              reply.target_cell = m.target_cell;
+              reply.payload = cfg_.bs_capacity.reject_backoff_hint_s;
+              bh_send(reply);
+              break;
+            }
+            ++stats.bs_jobs_submitted;
+            if (!st.submit(t, BsJobKind::kPrepAdmission,
+                           cfg_.bs_capacity.prep_service_s * svc_inflation,
+                           m)) {
+              // Queue full under threshold can only happen with extreme
+              // configs; the source's prep timer recovers the attempt.
+              ++stats.bs_queue_shed;
+              log_event(t, EventKind::kBsQueueShed, serving,
+                        static_cast<int>(tgt), st.load(t));
+            }
             break;
           }
           case net::MsgType::kHandoverAck: {
@@ -336,12 +477,75 @@ SimStats Simulator::run(MobilityManager& manager,
             }
             break;
           }
+          case net::MsgType::kHandoverRejectBusy: {
+            // Admission control said no: the target's signaling queue is
+            // over threshold. The source FSM (core/admission.hpp) pivots
+            // to the Theorem-2 fallback target if one is still fresh,
+            // otherwise waits out the carried backoff hint for a bounded
+            // number of re-attempts before failing the preparation.
+            const bool first = ack_seen.accept(m.seq);
+            if (first && pending && !exec && pending->prep_requested &&
+                !pending->prep_acked && !pending->prep_failed &&
+                m.seq == pending->prep_seq) {
+              ++stats.admission_rejects;
+              const double hint = std::max(0.0, m.payload);
+              log_event(t, EventKind::kAdmissionReject, serving,
+                        static_cast<int>(pending->target_idx), hint);
+              core::AdmissionBackoffFsm fsm(
+                  cfg_.bs_capacity.admission_max_retries,
+                  pending->admission_retries);
+              const bool fallback_available =
+                  pending->fallback_idx >= 0 && !pending->used_fallback &&
+                  pending->fallback_idx !=
+                      static_cast<int>(pending->target_idx);
+              switch (fsm.decide(fallback_available)) {
+                case core::AdmissionAction::kFallback:
+                  prep_fallback_or_fail(t);
+                  break;
+                case core::AdmissionAction::kBackoff:
+                  pending->admission_retries = fsm.retries();
+                  ++stats.admission_backoff_retries;
+                  pending->prep_requested = false;
+                  pending->prep_retries = 0;
+                  pending->prep_due_s = t + hint;
+                  log_event(t, EventKind::kAdmissionRetry, serving,
+                            static_cast<int>(pending->target_idx), hint);
+                  break;
+                case core::AdmissionAction::kFail:
+                  prep_fallback_or_fail(t);  // no fallback: prep failed
+                  break;
+              }
+            }
+            break;
+          }
           case net::MsgType::kContextFetch: {
-            // The old serving BS returns the UE context unconditionally;
-            // loss/partition on the reply is the transport's business.
+            // The old serving BS looks the UE context up — through its
+            // capacity station when the model is on — and answers with
+            // the context, or with a stale indication if it crashed and
+            // lost the context since (restart recovery).
+            const int holder = m.dst_cell;
+            const bool stale =
+                holder >= 0 &&
+                holder < static_cast<int>(context_lost.size()) &&
+                context_lost[static_cast<std::size_t>(holder)];
+            if (use_cap && holder >= 0 &&
+                holder < static_cast<int>(stations.size())) {
+              const auto h = static_cast<std::size_t>(holder);
+              top_up(h);
+              ++stats.bs_jobs_submitted;
+              if (!stations[h].submit(
+                      t, BsJobKind::kContextLookup,
+                      cfg_.bs_capacity.ctx_service_s * svc_inflation, m)) {
+                ++stats.bs_queue_shed;
+                log_event(t, EventKind::kBsQueueShed, serving, holder,
+                          stations[h].load(t));
+              }
+              break;  // reply goes out when the lookup job completes
+            }
             net::BackhaulMessage reply;
             reply.seq = m.seq;
-            reply.type = net::MsgType::kContextResponse;
+            reply.type = stale ? net::MsgType::kContextStale
+                               : net::MsgType::kContextResponse;
             reply.src_cell = m.dst_cell;
             reply.dst_cell = m.src_cell;
             reply.target_cell = m.target_cell;
@@ -355,6 +559,52 @@ SimStats Simulator::run(MobilityManager& manager,
               ctx_ready = true;
             }
             break;
+          }
+          case net::MsgType::kContextStale: {
+            // The context holder restarted and lost the UE context: give
+            // up on the fetch and take the degraded context-less
+            // re-establishment path (same penalty as fetch exhaustion).
+            if (outage_started >= 0.0 && ctx_pending && !ctx_ready &&
+                !ctx_failed && m.seq == ctx_seq &&
+                ctx_seen.accept(m.seq)) {
+              ++stats.stale_context_responses;
+              ctx_failed = true;
+              ctx_failed_camp_s = t + cfg_.ctx_degraded_penalty_s;
+              log_event(t, EventKind::kContextStale, serving, m.src_cell,
+                        0.0);
+            }
+            break;
+          }
+        }
+      }
+    }
+    // ---- BS job completions: fire the continuation of each serviced
+    // signaling job (admission verdicts, context lookups). Decision jobs
+    // resolved their timing at submit; background jobs are not UE-visible
+    // work. Runs outside the use_net block — decision jobs exist even
+    // with the backhaul model off.
+    if (use_cap) {
+      for (std::size_t si = 0; si < stations.size(); ++si) {
+        for (const auto& job : stations[si].take_completed(t)) {
+          if (job.kind == BsJobKind::kBackground) continue;
+          ++stats.bs_jobs_served;
+          const double wait = job.start_s - job.submit_s;
+          if (wait > 0.0) ++stats.bs_jobs_queued;
+          stats.bs_queue_wait_sum_s += wait;
+          log_event(t, EventKind::kBsJobDone, serving,
+                    static_cast<int>(si), wait);
+          if (job.kind == BsJobKind::kPrepAdmission) {
+            bh_send(admission_reply(job.msg));
+          } else if (job.kind == BsJobKind::kContextLookup) {
+            net::BackhaulMessage reply;
+            reply.seq = job.msg.seq;
+            reply.type = context_lost[si]
+                             ? net::MsgType::kContextStale
+                             : net::MsgType::kContextResponse;
+            reply.src_cell = job.msg.dst_cell;
+            reply.dst_cell = job.msg.src_cell;
+            reply.target_cell = job.msg.target_cell;
+            bh_send(reply);
           }
         }
       }
@@ -371,9 +621,12 @@ SimStats Simulator::run(MobilityManager& manager,
                                 cfg_.qout_snr_db + 3.0;
         if (preferred_target >= 0) {
           // T304 fallback: the prepared target holds the UE context, so
-          // re-establishment there skips the full cell search.
-          const double rsrp = env_.mean_rsrp_dbm(
-              static_cast<std::size_t>(preferred_target), pos);
+          // re-establishment there skips the full cell search. A crashed
+          // target lost that context — and its radio — so skip it.
+          const double rsrp =
+              env_.mean_rsrp_dbm(static_cast<std::size_t>(preferred_target),
+                                 pos) -
+              crash_db(static_cast<std::size_t>(preferred_target));
           if (rsrp >= std::max(cfg_.min_coverage_rsrp_dbm, qin_rsrp)) {
             ++stats.t304_fallback_success;
             camp_on(t, preferred_target);
@@ -387,19 +640,22 @@ SimStats Simulator::run(MobilityManager& manager,
           const double floor_rsrp =
               std::max(cfg_.min_coverage_rsrp_dbm, qin_rsrp);
           if (!use_net) {
-            const int target = env_.best_cell(pos, floor_rsrp);
+            const int target = env_.best_cell(pos, floor_rsrp, crashed_cell);
             if (target >= 0) camp_on(t, target);
             // else: still in a hole; keep searching.
           } else if (ctx_failed) {
-            // Context fetch exhausted: degraded context-less
-            // re-establishment after the extra setup penalty.
+            // Context fetch exhausted (or came back stale): degraded
+            // context-less re-establishment after the extra setup penalty.
             if (t >= ctx_failed_camp_s) {
-              const int target = env_.best_cell(pos, floor_rsrp);
+              const int target =
+                  env_.best_cell(pos, floor_rsrp, crashed_cell);
               if (target >= 0) camp_on(t, target);
             }
           } else if (ctx_ready) {
             if (env_.mean_rsrp_dbm(static_cast<std::size_t>(ctx_target),
-                                   pos) >= floor_rsrp) {
+                                   pos) -
+                    crash_db(static_cast<std::size_t>(ctx_target)) >=
+                floor_rsrp) {
               camp_on(t, ctx_target);
             } else {
               // The fetched-into cell faded while waiting; restart the
@@ -411,7 +667,7 @@ SimStats Simulator::run(MobilityManager& manager,
             // Re-establishment found a cell, but camping needs the UE
             // context from the old serving BS — fetch it over the
             // backhaul before admitting the UE.
-            const int target = env_.best_cell(pos, floor_rsrp);
+            const int target = env_.best_cell(pos, floor_rsrp, crashed_cell);
             if (target >= 0) {
               ctx_pending = true;
               ctx_target = target;
@@ -462,8 +718,9 @@ SimStats Simulator::run(MobilityManager& manager,
     ServingState sv;
     sv.cell_idx = static_cast<std::size_t>(serving);
     sv.id = env_.cells()[sv.cell_idx].id;
-    sv.rsrp_dbm = env_.instant_rsrp_dbm(sv.cell_idx, pos, rng_) - blackout_db;
-    sv.dd_snr_db = env_.dd_snr_db(sv.cell_idx, pos, rng_) - blackout_db;
+    const double sv_atten_db = blackout_db + crash_db(sv.cell_idx);
+    sv.rsrp_dbm = env_.instant_rsrp_dbm(sv.cell_idx, pos, rng_) - sv_atten_db;
+    sv.dd_snr_db = env_.dd_snr_db(sv.cell_idx, pos, rng_) - sv_atten_db;
     sv.snr_db = env_.snr_db_from_rsrp(sv.rsrp_dbm);
     sv.bandwidth_hz = env_.cells()[sv.cell_idx].bandwidth_hz;
     cur_snr = sv.snr_db;
@@ -471,10 +728,10 @@ SimStats Simulator::run(MobilityManager& manager,
       // Pilots are gone: the delay-Doppler estimate freezes at its last
       // fresh value and accumulates corruption.
       if (!std::isnan(last_dd[sv.cell_idx]))
-        sv.dd_snr_db = last_dd[sv.cell_idx] - blackout_db;
+        sv.dd_snr_db = last_dd[sv.cell_idx] - sv_atten_db;
       sv.dd_snr_db += rng_.gaussian(0.0, pilot_sigma);
     } else {
-      last_dd[sv.cell_idx] = sv.dd_snr_db + blackout_db;
+      last_dd[sv.cell_idx] = sv.dd_snr_db + sv_atten_db;
       pilot_fresh_t = t;
     }
     throughput_sum_bps += common::shannon_capacity_bps(
@@ -486,12 +743,17 @@ SimStats Simulator::run(MobilityManager& manager,
     // ---- Handover execution completion (T304 window) ----
     if (exec && t >= exec->started_s + cfg_.ho_interruption_s) {
       const std::size_t target = exec->target_idx;
-      const double tgt_rsrp = env_.mean_rsrp_dbm(target, pos) - blackout_db;
+      const double tgt_rsrp =
+          env_.mean_rsrp_dbm(target, pos) - blackout_db - crash_db(target);
       const double tgt_snr = env_.snr_db_from_rsrp(tgt_rsrp);
       if (tgt_snr >= cfg_.min_connect_snr_db) {
         ++stats.successful_handovers;
         const int prev = serving;
         serving = static_cast<int>(target);
+        // A completed handover re-establishes the UE context at the target:
+        // a restarted BS that lost its prepared contexts is made whole again
+        // the moment a UE successfully attaches to it.
+        context_lost[target] = false;
         manager.on_serving_changed(t, target);
         oos_count = is_count = 0;
         t310_started = -1.0;
@@ -579,12 +841,17 @@ SimStats Simulator::run(MobilityManager& manager,
         FailureCause cause;
         const int best =
             blackout ? -1
-                     : env_.best_cell(pos, cfg_.min_coverage_rsrp_dbm);
+                     : env_.best_cell(pos, cfg_.min_coverage_rsrp_dbm,
+                                      crashed_cell);
         if (best < 0) {
           cause = FailureCause::kCoverageHole;
         } else if ((pending && pending->command_lost) ||
                    t - last_cmd_loss_t < kLossMemory_s) {
           cause = FailureCause::kHoCommandLoss;
+        } else if (pending && pending->decision_shed) {
+          // The serving BS shed the decision job: the network never acted
+          // on the delivered report — feedback was effectively lost.
+          cause = FailureCause::kFeedbackDelayLoss;
         } else if (pending && pending->report_delivered) {
           cause = FailureCause::kHoCommandLoss;  // command still in flight
         } else if ((pending && (pending->report_lost ||
@@ -619,14 +886,40 @@ SimStats Simulator::run(MobilityManager& manager,
           // time on top of the configured budget.
           const double stall =
               faults_.magnitude(FaultKind::kProcessingStall, t);
-          if (use_net) {
-            // The BS decides, then must get the target's admission over
-            // the backhaul before any command can go out.
-            pending->prep_due_s = t + cfg_.decision_proc_s + stall;
-          } else {
-            pending->command_due_s =
-                t + cfg_.decision_proc_s + stall +
-                cfg_.retry_spacing_s;  // BS decision + scheduling
+          const double proc_s = cfg_.decision_proc_s + stall;
+          double ready_s = t + proc_s;
+          bool decision_shed = false;
+          if (use_cap && !manager.client_driven()) {
+            // Network-side decision: the report occupies the serving BS's
+            // control plane. Under overload it queues (the decision goes
+            // stale) or is shed outright — the degraded-mode asymmetry:
+            // REM's client-side prediction (client_driven) never enters
+            // this queue.
+            const auto si = static_cast<std::size_t>(serving);
+            top_up(si);
+            ++stats.bs_jobs_submitted;
+            const auto job = stations[si].submit(
+                t, BsJobKind::kRrcDecision, proc_s * svc_inflation);
+            if (job) {
+              ready_s = job->done_s;
+            } else {
+              decision_shed = true;
+              ++stats.bs_queue_shed;
+              pending->decision_shed = true;
+              last_report_loss_t = t;  // network never acted on the report
+              log_event(t, EventKind::kBsQueueShed, serving, serving,
+                        stations[si].load(t));
+            }
+          }
+          if (!decision_shed) {
+            if (use_net) {
+              // The BS decides, then must get the target's admission over
+              // the backhaul before any command can go out.
+              pending->prep_due_s = ready_s;
+            } else {
+              pending->command_due_s =
+                  ready_s + cfg_.retry_spacing_s;  // decision + scheduling
+            }
           }
           stats.feedback_delays_s.push_back(t - pending->decided_at_s);
           log_event(t, EventKind::kReportDelivered, serving,
@@ -649,7 +942,8 @@ SimStats Simulator::run(MobilityManager& manager,
       }
       // ---- Backhaul preparation (HANDOVER REQUEST -> ACK) ----
       if (use_net && pending->report_delivered && !pending->prep_acked &&
-          !pending->prep_failed && !pending->command_lost) {
+          !pending->prep_failed && !pending->command_lost &&
+          !pending->decision_shed) {
         if (!pending->prep_requested) {
           if (t >= pending->prep_due_s) {
             // First send toward the current target (also re-entered after
@@ -698,7 +992,7 @@ SimStats Simulator::run(MobilityManager& manager,
       const bool command_ready = use_net ? pending->prep_acked
                                          : pending->report_delivered;
       if (command_ready && !pending->command_lost &&
-          t >= pending->command_due_s) {
+          !pending->decision_shed && t >= pending->command_due_s) {
         if (deliver(t, sv.snr_db, cfg_.downlink_attempts,
                     manager.waveform())) {
           std::size_t target = pending->target_idx;
@@ -736,7 +1030,7 @@ SimStats Simulator::run(MobilityManager& manager,
     // ---- Manager policy evaluation ----
     if (!exec && t >= suppress_until &&
         (!pending || pending->report_lost || pending->command_lost ||
-         pending->prep_failed)) {
+         pending->prep_failed || pending->decision_shed)) {
       std::vector<Observation> obs;
       for (std::size_t i = 0; i < env_.cells().size(); ++i) {
         if (i == sv.cell_idx) continue;
@@ -745,16 +1039,17 @@ SimStats Simulator::run(MobilityManager& manager,
         Observation o;
         o.cell_idx = i;
         o.id = env_.cells()[i].id;
-        o.rsrp_dbm = env_.instant_rsrp_dbm(i, pos, rng_) - blackout_db;
+        const double atten_db = blackout_db + crash_db(i);
+        o.rsrp_dbm = env_.instant_rsrp_dbm(i, pos, rng_) - atten_db;
         o.snr_db = env_.snr_db_from_rsrp(o.rsrp_dbm);
-        o.dd_snr_db = env_.dd_snr_db(i, pos, rng_) - blackout_db;
+        o.dd_snr_db = env_.dd_snr_db(i, pos, rng_) - atten_db;
         if (pilot_out) {
-          if (!std::isnan(last_dd[i])) o.dd_snr_db = last_dd[i] - blackout_db;
+          if (!std::isnan(last_dd[i])) o.dd_snr_db = last_dd[i] - atten_db;
           o.dd_snr_db += rng_.gaussian(0.0, pilot_sigma);
           o.estimate_age_s = t - pilot_fresh_t;
           o.pilot_faulted = true;
         } else {
-          last_dd[i] = o.dd_snr_db + blackout_db;
+          last_dd[i] = o.dd_snr_db + atten_db;
         }
         o.bandwidth_hz = env_.cells()[i].bandwidth_hz;
         obs.push_back(o);
@@ -803,9 +1098,16 @@ SimStats Simulator::run(MobilityManager& manager,
     stats.backhaul_dropped_loss = ts.dropped_loss;
     stats.backhaul_dropped_partition = ts.dropped_partition;
     stats.backhaul_dropped_queue = ts.dropped_queue;
+    stats.backhaul_dropped_crash = ts.dropped_crash;
     stats.backhaul_duplicated = ts.duplicated;
     stats.backhaul_reordered = ts.reordered;
     stats.backhaul_latency_sum_s = ts.latency_sum_s;
+  }
+  if (use_cap) {
+    // Jobs still scheduled at run end: conservation's in-flight term
+    // (submitted == served + shed + flushed + inflight).
+    for (const auto& st : stations)
+      stats.bs_jobs_inflight_end += st.unfinished();
   }
   if (cfg_.observer) cfg_.observer->on_run_end(stats);
   return stats;

@@ -10,6 +10,7 @@
 
 #include "net/backhaul.hpp"
 #include "phy/bler_model.hpp"
+#include "sim/bs_capacity.hpp"
 #include "sim/events.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/observer.hpp"
@@ -83,6 +84,12 @@ class MobilityManager {
   /// degraded one (e.g. REM bypassing stale cross-band estimates). The
   /// simulator samples this every tick to log degraded-mode enter/exit.
   virtual bool degraded_mode() const { return false; }
+  /// True when the handover decision is computed on the client (REM's
+  /// design): the decision then bypasses the serving BS's control-plane
+  /// processing queue, so a BS overload cannot stall or shed it. Legacy
+  /// network-side designs leave this false and pay BS capacity for every
+  /// decision (the paper's degraded-mode asymmetry, made measurable).
+  virtual bool client_driven() const { return false; }
 };
 
 enum class FailureCause {
@@ -165,6 +172,11 @@ struct SimConfig {
   double ctx_fetch_timeout_s = 0.040;
   int ctx_fetch_max_retries = 3;
   double ctx_degraded_penalty_s = 0.4;
+  /// Per-BS control-plane capacity (sim/bs_capacity.hpp): processing
+  /// slots + bounded FIFO signaling queue consumed by prep admission,
+  /// context lookups, and network-side RRC decisions. Disabled restores
+  /// the infinite-capacity, always-alive BS model.
+  BsCapacityConfig bs_capacity;
 };
 
 struct SimStats {
@@ -207,9 +219,26 @@ struct SimStats {
   std::uint64_t backhaul_dropped_loss = 0;
   std::uint64_t backhaul_dropped_partition = 0;
   std::uint64_t backhaul_dropped_queue = 0;
+  std::uint64_t backhaul_dropped_crash = 0;
   std::uint64_t backhaul_duplicated = 0;
   std::uint64_t backhaul_reordered = 0;
   double backhaul_latency_sum_s = 0.0;
+  // --- BS capacity model (sim/bs_capacity.hpp) ---
+  // Conservation: bs_jobs_submitted == bs_jobs_served + bs_queue_shed +
+  // bs_jobs_flushed + bs_jobs_inflight_end (background jobs excluded
+  // throughout; they consume capacity but are not UE-visible work).
+  int bs_jobs_submitted = 0;      ///< UE jobs offered to a station
+  int bs_jobs_served = 0;         ///< jobs whose service completed
+  int bs_jobs_queued = 0;         ///< served jobs that had to wait
+  int bs_queue_shed = 0;          ///< jobs shed on a full signaling queue
+  int bs_jobs_flushed = 0;        ///< queued jobs lost to a BS crash
+  int bs_jobs_inflight_end = 0;   ///< still scheduled at the horizon
+  double bs_queue_wait_sum_s = 0.0;  ///< summed wait over served jobs
+  int admission_rejects = 0;      ///< busy-rejects received by the source
+  int admission_backoff_retries = 0;  ///< hint-honoring re-attempts
+  int bs_crashes = 0;             ///< kBsCrashRestart windows opened
+  int bs_crash_dropped_msgs = 0;  ///< signaling addressed to a dead BS
+  int stale_context_responses = 0;  ///< context fetches answered stale
   /// Data-plane accounting (§8 "On data speed"): Shannon capacity of the
   /// serving link averaged over the whole run (zero while in outage) and
   /// the fraction of time without radio connectivity.
@@ -269,6 +298,12 @@ class Simulator {
     double prep_due_s = 0.0;       ///< when to (re-)send the request
     double prep_sent_s = 0.0;      ///< last request send time (RTT base)
     double prep_deadline_s = 0.0;  ///< timeout for the outstanding request
+    /// Admission-control backoff (core/admission.hpp): busy rejects
+    /// absorbed by waiting out the target's hint, per attempt.
+    int admission_retries = 0;
+    /// The serving BS shed this attempt's RRC decision on a full queue;
+    /// the attempt is dead and the manager may re-decide.
+    bool decision_shed = false;
   };
 
   /// Handover execution in flight: detach + random access on the target.

@@ -68,11 +68,25 @@ void append_stats_fields(const std::string& prefix, const sim::SimStats& s,
       fmt_int(static_cast<long long>(s.backhaul_dropped_partition)));
   put("backhaul_dropped_queue",
       fmt_int(static_cast<long long>(s.backhaul_dropped_queue)));
+  put("backhaul_dropped_crash",
+      fmt_int(static_cast<long long>(s.backhaul_dropped_crash)));
   put("backhaul_duplicated",
       fmt_int(static_cast<long long>(s.backhaul_duplicated)));
   put("backhaul_reordered",
       fmt_int(static_cast<long long>(s.backhaul_reordered)));
   put("backhaul_latency_sum_s", fmt_double(s.backhaul_latency_sum_s));
+  put("bs_jobs_submitted", fmt_int(s.bs_jobs_submitted));
+  put("bs_jobs_served", fmt_int(s.bs_jobs_served));
+  put("bs_jobs_queued", fmt_int(s.bs_jobs_queued));
+  put("bs_queue_shed", fmt_int(s.bs_queue_shed));
+  put("bs_jobs_flushed", fmt_int(s.bs_jobs_flushed));
+  put("bs_jobs_inflight_end", fmt_int(s.bs_jobs_inflight_end));
+  put("bs_queue_wait_sum_s", fmt_double(s.bs_queue_wait_sum_s));
+  put("admission_rejects", fmt_int(s.admission_rejects));
+  put("admission_backoff_retries", fmt_int(s.admission_backoff_retries));
+  put("bs_crashes", fmt_int(s.bs_crashes));
+  put("bs_crash_dropped_msgs", fmt_int(s.bs_crash_dropped_msgs));
+  put("stale_context_responses", fmt_int(s.stale_context_responses));
   put("degraded_enters", fmt_int(s.degraded_enters));
   put("degraded_time_s", fmt_double(s.degraded_time_s));
   put("avg_handover_interval_s", fmt_double(s.avg_handover_interval_s));
@@ -125,6 +139,10 @@ std::vector<GoldenCase> golden_corpus() {
        120.0, 11, "backhaul_partition"},
       {"bt_250_s12_backhaul_loss_reorder", Route::kBeijingTaiyuan, 250.0,
        120.0, 12, "backhaul_loss_reorder"},
+      {"bs_300_s13_bs_overload_shed", Route::kBeijingShanghai, 300.0, 120.0,
+       13, "bs_overload_shed"},
+      {"bt_250_s14_bs_crash_restart", Route::kBeijingTaiyuan, 250.0, 120.0,
+       14, "bs_crash_restart"},
   };
 }
 
@@ -180,6 +198,34 @@ sim::FaultConfig golden_fault_preset(const std::string& name,
          0.10},
         {sim::FaultKind::kBackhaulLoss, 0.75 * horizon_s, 2.0, 0.50},
         {sim::FaultKind::kBackhaulDelay, 0.30 * horizon_s, 3.0, 0.008},
+    };
+    return fc;
+  }
+  if (name == "bs_overload_shed") {
+    // Two capacity squeezes on the serving-side control plane: a full
+    // saturation window (u = 1.0 fills every slot and queue position, so
+    // UE jobs are shed) and a long near-saturation window (u = 0.85:
+    // long queue waits and admission busy-rejects, not sheds).
+    sim::FaultConfig fc;
+    fc.windows = {
+        {sim::FaultKind::kBsOverload, 0.15 * horizon_s, 0.30 * horizon_s,
+         1.0},
+        {sim::FaultKind::kBsOverload, 0.60 * horizon_s, 0.25 * horizon_s,
+         0.85},
+    };
+    return fc;
+  }
+  if (name == "bs_crash_restart") {
+    // Two crash-restart windows on the serving BS (magnitude < 2 picks
+    // whatever is serving at window open): a long one where the UE's
+    // context fetch hits the still-dead BS (dropped in flight, fetch
+    // times out), and a short one where the victim restarts before the
+    // fetch arrives — answering stale, the restart-recovery path.
+    sim::FaultConfig fc;
+    fc.windows = {
+        {sim::FaultKind::kBsCrashRestart, 0.25 * horizon_s,
+         0.08 * horizon_s, 1.0},
+        {sim::FaultKind::kBsCrashRestart, 0.65 * horizon_s, 1.5, 1.0},
     };
     return fc;
   }

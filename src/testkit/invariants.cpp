@@ -134,6 +134,9 @@ void InvariantChecker::check_event(const sim::SignalingEvent& e) {
       if (!exec_open_)
         violate(t, "handover completion without a delivered command");
       if (outage_open_) violate(t, "handover completion during outage");
+      if (crashed_cells_.count(e.target_cell) > 0)
+        violate(t, "handover completed against crashed BS " +
+                       std::to_string(e.target_cell));
       exec_open_ = false;
       ++completions_;
       // Loop bookkeeping mirror — byte-for-byte the simulator's logic:
@@ -325,6 +328,86 @@ void InvariantChecker::check_event(const sim::SignalingEvent& e) {
         violate(t, "context-fetch failure outside an outage");
       ++ctx_fetch_failures_;
       break;
+
+    case EventKind::kBsQueueShed:
+      // An explicit reject at a full signaling queue; the event's SNR
+      // slot carries the station load, a fraction of the physical bound.
+      if (!cfg_.sim.bs_capacity.enabled)
+        violate(t, "BS queue shed with the capacity model disabled");
+      if (e.serving_snr_db < 0.0 || e.serving_snr_db > 1.0 + kTimeEps)
+        violate(t, "shed event load " + std::to_string(e.serving_snr_db) +
+                       " outside [0, 1]");
+      ++bs_queue_sheds_;
+      break;
+
+    case EventKind::kBsJobDone:
+      // The SNR slot carries the job's queue wait.
+      if (!cfg_.sim.bs_capacity.enabled)
+        violate(t, "BS job completion with the capacity model disabled");
+      if (e.serving_snr_db < 0.0)
+        violate(t, "negative BS queue wait " +
+                       std::to_string(e.serving_snr_db) + "s");
+      ++bs_jobs_done_;
+      if (e.serving_snr_db > 0.0) ++bs_jobs_queued_;
+      bs_queue_wait_sum_s_ += e.serving_snr_db;
+      break;
+
+    case EventKind::kAdmissionReject:
+      // A busy reject answers an outstanding HANDOVER REQUEST, like an
+      // ack/reject; the SNR slot carries the (non-negative) backoff hint.
+      if (outage_open_ || exec_open_)
+        violate(t, "admission busy-reject outside a live idle link");
+      if (!prep_open_)
+        violate(t, "admission busy-reject without an outstanding "
+                   "HANDOVER REQUEST");
+      if (!cfg_.sim.bs_capacity.enabled)
+        violate(t, "admission busy-reject with the capacity model disabled");
+      if (e.serving_snr_db < 0.0)
+        violate(t, "negative admission backoff hint " +
+                       std::to_string(e.serving_snr_db) + "s");
+      ++admission_rejects_;
+      break;
+
+    case EventKind::kAdmissionRetry:
+      // The source backs off and will re-send: the outstanding request is
+      // closed, so the subsequent kPrepRequest is a fresh send.
+      if (outage_open_ || exec_open_)
+        violate(t, "admission backoff retry outside a live idle link");
+      if (!prep_open_)
+        violate(t, "admission backoff retry without an outstanding "
+                   "HANDOVER REQUEST");
+      prep_open_ = false;
+      prep_retries_this_attempt_ = 0;
+      ++admission_retries_;
+      break;
+
+    case EventKind::kBsCrash:
+      if (!cfg_.faults_expected)
+        violate(t, "BS crash on a fault-free run");
+      if (!crashed_cells_.empty())
+        violate(t, "BS crash with another BS already down (cell " +
+                       std::to_string(*crashed_cells_.begin()) + ")");
+      crashed_cells_.insert(e.target_cell);
+      ++bs_crashes_;
+      break;
+
+    case EventKind::kBsRestart:
+      if (crashed_cells_.count(e.target_cell) == 0)
+        violate(t, "BS restart for cell " + std::to_string(e.target_cell) +
+                       " that was never crashed");
+      crashed_cells_.erase(e.target_cell);
+      ++bs_restarts_;
+      break;
+
+    case EventKind::kContextStale:
+      // Stale replies only make sense while re-establishing after a
+      // failure (the fetch exists only in outage).
+      if (!outage_open_)
+        violate(t, "stale-context response outside an outage");
+      if (!cfg_.faults_expected)
+        violate(t, "stale-context response on a fault-free run");
+      ++stale_ctx_responses_;
+      break;
   }
 
   if (events_this_tick_ == 0) {
@@ -395,6 +478,27 @@ void InvariantChecker::check_tick(const sim::TickView& v) {
     violate(t, "tick execution state disagrees with the event stream");
   if (v.in_outage != outage_open_)
     violate(t, "tick outage state disagrees with the event stream");
+
+  // BS capacity: per-tick peak occupancy is physically bounded by
+  // slots + queue_capacity, and a crashed cell exists only under faults.
+  if (cfg_.sim.bs_capacity.enabled) {
+    const int cap_bound =
+        cfg_.sim.bs_capacity.slots +
+        static_cast<int>(cfg_.sim.bs_capacity.queue_capacity);
+    if (v.bs_queue_peak < 0 || v.bs_queue_peak > cap_bound)
+      violate(t, "BS queue occupancy " + std::to_string(v.bs_queue_peak) +
+                     " outside [0, slots+queue=" +
+                     std::to_string(cap_bound) + "]");
+  } else if (v.bs_queue_peak != 0) {
+    violate(t, "nonzero BS queue occupancy with the capacity model "
+               "disabled");
+  }
+  if (v.crashed_cells != static_cast<int>(crashed_cells_.size()))
+    violate(t, "tick crashed-cell count " + std::to_string(v.crashed_cells) +
+                   " disagrees with the event stream (" +
+                   std::to_string(crashed_cells_.size()) + ")");
+  if (!cfg_.faults_expected && v.crashed_cells != 0)
+    violate(t, "crashed BS on a fault-free run");
 
   // Cross-band staleness: ages only accumulate under a pilot fault.
   if (v.estimate_age_s < 0.0)
@@ -531,10 +635,48 @@ void InvariantChecker::on_run_end(sim::SimStats& stats) {
                          std::to_string(stats.backhaul_duplicated) +
                          " entered the network");
     if (stats.backhaul_dropped_loss + stats.backhaul_dropped_partition +
-            stats.backhaul_dropped_queue >
-        stats.backhaul_sent)
+            stats.backhaul_dropped_queue + stats.backhaul_dropped_crash >
+        stats.backhaul_sent + stats.backhaul_duplicated)
       violate(t_end, "backhaul drop counters exceed send attempts");
   }
+
+  // --- BS capacity conservation ---
+  expect_eq(stats.bs_jobs_served, bs_jobs_done_,
+            "SimStats::bs_jobs_served vs job-done events");
+  expect_eq(stats.bs_jobs_queued, bs_jobs_queued_,
+            "SimStats::bs_jobs_queued vs job-done events with queue wait");
+  expect_eq(stats.bs_queue_shed, bs_queue_sheds_,
+            "SimStats::bs_queue_shed vs shed events");
+  expect_eq(stats.admission_rejects, admission_rejects_,
+            "SimStats::admission_rejects vs busy-reject events");
+  expect_eq(stats.admission_backoff_retries, admission_retries_,
+            "SimStats::admission_backoff_retries vs backoff events");
+  expect_eq(stats.bs_crashes, bs_crashes_,
+            "SimStats::bs_crashes vs crash events");
+  expect_eq(stats.stale_context_responses, stale_ctx_responses_,
+            "SimStats::stale_context_responses vs stale-context events");
+  if (bs_restarts_ > bs_crashes_)
+    violate(t_end, "more BS restarts than crashes");
+  expect_eq(static_cast<long long>(crashed_cells_.size()),
+            bs_crashes_ - bs_restarts_,
+            "open crash windows vs crash/restart events");
+  // Every job offered to a station is accounted for exactly once:
+  // served, shed at a full queue, flushed by a crash, or still in flight
+  // at the horizon. Background filler is excluded from all four.
+  expect_eq(stats.bs_jobs_submitted,
+            static_cast<long long>(stats.bs_jobs_served) +
+                stats.bs_queue_shed + stats.bs_jobs_flushed +
+                stats.bs_jobs_inflight_end,
+            "BS job conservation (submitted = served + shed + flushed + "
+            "in-flight)");
+  // The wait total must reconcile bit-for-bit: the simulator sums waits
+  // in completion order, the checker sums the same values from the same
+  // events in the same order.
+  if (stats.bs_queue_wait_sum_s != bs_queue_wait_sum_s_)
+    violate(t_end, "BS queue wait total " +
+                       std::to_string(stats.bs_queue_wait_sum_s) +
+                       "s disagrees with the event stream (" +
+                       std::to_string(bs_queue_wait_sum_s_) + "s)");
 
   // --- Loop accounting, recomputed independently from the event stream ---
   expect_eq(stats.loop_handovers, loop_handovers_,

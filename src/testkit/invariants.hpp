@@ -28,6 +28,14 @@
 //    acked HANDOVER REQUEST, retries stay inside the configured budget
 //    (no retry storms), ack round trips respect the 2x-one-way-latency
 //    physical floor, and context-fetch failures occur only in outage;
+//  - BS capacity legality (capacity-model runs): per-tick queue occupancy
+//    never exceeds slots + queue_capacity, job conservation holds
+//    (submitted = served + shed + flushed + in-flight), queue-wait totals
+//    reconcile bit-for-bit against the event stream, admission busy
+//    rejects answer an outstanding request, at most one BS is crashed at
+//    a time, no handover completes against a dead BS, and crash recovery
+//    respects the re-establishment search-time floors (crashes surface as
+//    RLFs, which the existing timer checks already bound);
 //  - TCP sanity: every recorded outage maps to a TCP stall bounded by
 //    outage <= stall <= outage + max RTO + RTT + base RTO.
 //
@@ -40,6 +48,7 @@
 #include "sim/simulator.hpp"
 
 #include <cstddef>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -133,6 +142,18 @@ class InvariantChecker final : public sim::SimObserver {
   int prep_fallbacks_ = 0;
   int prep_failures_ = 0;
   int ctx_fetch_failures_ = 0;
+
+  // --- BS capacity / crash-restart mirror ---
+  int bs_queue_sheds_ = 0;
+  int bs_jobs_done_ = 0;
+  int bs_jobs_queued_ = 0;        ///< done events with nonzero queue wait
+  double bs_queue_wait_sum_s_ = 0.0;
+  int admission_rejects_ = 0;
+  int admission_retries_ = 0;
+  int bs_crashes_ = 0;
+  int bs_restarts_ = 0;
+  int stale_ctx_responses_ = 0;
+  std::set<int> crashed_cells_;   ///< currently-dead BSs (size <= 1)
 
   // --- Loop bookkeeping mirror (simulator's recent-serving window) ---
   std::vector<std::pair<double, int>> recent_serving_;

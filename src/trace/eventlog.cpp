@@ -32,6 +32,13 @@ const std::map<std::string, sim::EventKind>& kind_by_name() {
       {"prep_fallback", sim::EventKind::kPrepFallback},
       {"prep_failed", sim::EventKind::kPrepFailed},
       {"context_fetch_failed", sim::EventKind::kContextFetchFailed},
+      {"bs_queue_shed", sim::EventKind::kBsQueueShed},
+      {"bs_job_done", sim::EventKind::kBsJobDone},
+      {"admission_reject", sim::EventKind::kAdmissionReject},
+      {"admission_retry", sim::EventKind::kAdmissionRetry},
+      {"bs_crash", sim::EventKind::kBsCrash},
+      {"bs_restart", sim::EventKind::kBsRestart},
+      {"context_stale", sim::EventKind::kContextStale},
   };
   return m;
 }

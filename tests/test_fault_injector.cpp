@@ -64,6 +64,19 @@ void expect_identical(const rs::SimStats& a, const rs::SimStats& b) {
   EXPECT_EQ(a.backhaul_duplicated, b.backhaul_duplicated);
   EXPECT_EQ(a.backhaul_reordered, b.backhaul_reordered);
   EXPECT_EQ(a.backhaul_latency_sum_s, b.backhaul_latency_sum_s);
+  EXPECT_EQ(a.backhaul_dropped_crash, b.backhaul_dropped_crash);
+  EXPECT_EQ(a.bs_jobs_submitted, b.bs_jobs_submitted);
+  EXPECT_EQ(a.bs_jobs_served, b.bs_jobs_served);
+  EXPECT_EQ(a.bs_jobs_queued, b.bs_jobs_queued);
+  EXPECT_EQ(a.bs_queue_shed, b.bs_queue_shed);
+  EXPECT_EQ(a.bs_jobs_flushed, b.bs_jobs_flushed);
+  EXPECT_EQ(a.bs_jobs_inflight_end, b.bs_jobs_inflight_end);
+  EXPECT_EQ(a.bs_queue_wait_sum_s, b.bs_queue_wait_sum_s);
+  EXPECT_EQ(a.admission_rejects, b.admission_rejects);
+  EXPECT_EQ(a.admission_backoff_retries, b.admission_backoff_retries);
+  EXPECT_EQ(a.bs_crashes, b.bs_crashes);
+  EXPECT_EQ(a.bs_crash_dropped_msgs, b.bs_crash_dropped_msgs);
+  EXPECT_EQ(a.stale_context_responses, b.stale_context_responses);
 }
 
 /// Periodic scripted windows of one kind over [first_s, horizon_s).
@@ -95,8 +108,25 @@ TEST(FaultKindName, NamesAllKindsAndRejectsInvalid) {
             "backhaul_delay");
   EXPECT_EQ(rs::fault_kind_name(rs::FaultKind::kBackhaulPartition),
             "backhaul_partition");
+  EXPECT_EQ(rs::fault_kind_name(rs::FaultKind::kBsOverload), "bs_overload");
+  EXPECT_EQ(rs::fault_kind_name(rs::FaultKind::kBsCrashRestart),
+            "bs_crash_restart");
   EXPECT_THROW(rs::fault_kind_name(static_cast<rs::FaultKind>(99)),
                std::invalid_argument);
+}
+
+TEST(FaultKindName, RoundTripsEveryRegisteredKind) {
+  // Exhaustive over kNumFaultKinds: a kind can never ship with a name the
+  // parser does not resolve back (configs and JSON would silently rot).
+  for (std::size_t i = 0; i < rs::kNumFaultKinds; ++i) {
+    const auto k = static_cast<rs::FaultKind>(i);
+    const auto name = rs::fault_kind_name(k);
+    EXPECT_FALSE(name.empty());
+    EXPECT_EQ(rs::fault_kind_from_name(name), k) << name;
+  }
+  EXPECT_THROW(rs::fault_kind_from_name("no_such_fault"),
+               std::invalid_argument);
+  EXPECT_THROW(rs::fault_kind_from_name(""), std::invalid_argument);
 }
 
 TEST(FaultInjector, DefaultInjectorIsInert) {
