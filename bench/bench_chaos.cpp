@@ -35,6 +35,7 @@
 //   --smoke: tiny duration / single seed, for wiring into ctest so the
 //   chaos path cannot rot; writes BENCH_CHAOS_smoke.json by default.
 #include "common/stats.hpp"
+#include "fleet_runner.hpp"
 #include "obs/registry.hpp"
 #include "obs/tracer.hpp"
 #include "scenario_runner.hpp"
@@ -461,6 +462,39 @@ int main(int argc, char** argv) {
     backhaul_results.push_back(std::move(r));
   }
 
+  // Fleet sweep: N UEs genuinely contending for BS slots and backhaul
+  // capacity under the same bs_overload schedule as the single-UE class.
+  // Each fleet runs with one InvariantChecker per UE (run_fleet_seed
+  // throws on violations); per-seed aggregates fold in seed order, so the
+  // section is deterministic at any thread count.
+  const int fleet_size = smoke ? 6 : 12;
+  const auto fleet_faults = periodic(FaultKind::kBsOverload, 15.0, 60.0,
+                                     14.0, 1.0, duration_s);
+  ManagerMetrics fleet_legacy, fleet_rem;
+  {
+    rem::bench::FleetRunOptions fopts;
+    fopts.fleet_size = fleet_size;
+    fopts.faults = fleet_faults;
+    std::vector<rem::sim::SimStats> lg_runs, rm_runs;
+    for (const auto seed : seeds) {
+      fopts.use_rem = false;
+      lg_runs.push_back(rem::bench::run_fleet_seed(route, speed_kmh,
+                                                   duration_s, seed, bler,
+                                                   fopts)
+                            .aggregate);
+      fopts.use_rem = true;
+      rm_runs.push_back(rem::bench::run_fleet_seed(route, speed_kmh,
+                                                   duration_s, seed, bler,
+                                                   fopts)
+                            .aggregate);
+    }
+    fleet_legacy = fold(lg_runs, duration_s);
+    fleet_rem = fold(rm_runs, duration_s);
+  }
+  std::printf("fleet bs_overload (%d UEs)\n", fleet_size);
+  print_metrics("legacy", fleet_legacy, base_legacy);
+  print_metrics("REM", fleet_rem, base_rem);
+
   std::ofstream js(out_path);
   js << "{\n";
   js << "  \"route\": \"" << rem::trace::route_name(route) << "\",\n";
@@ -494,6 +528,14 @@ int main(int argc, char** argv) {
     write_metrics_json(js, r.rem, base_rem);
     js << "}" << (i + 1 < backhaul_results.size() ? "," : "") << "\n";
   }
+  js << "  },\n";
+  js << "  \"fleet\": {\n";
+  js << "    \"bs_overload\": {\"fleet_size\": " << fleet_size
+     << ", \"windows\": " << fleet_faults.windows.size() << ", \"legacy\": ";
+  write_metrics_json(js, fleet_legacy, base_legacy);
+  js << ", \"rem\": ";
+  write_metrics_json(js, fleet_rem, base_rem);
+  js << "}\n";
   js << "  }\n";
   js << "}\n";
   rem::obs::write_metrics_json_file(metrics, metrics_path);
@@ -664,6 +706,23 @@ int main(int argc, char** argv) {
         ok = false;
       }
     }
+  }
+
+  // Fleet gate: with N UEs genuinely contending for control-plane slots
+  // under BS overload, REM's client-driven decisions must keep the fleet
+  // failure ratio strictly below legacy's — the paper's asymmetry must
+  // survive contention, not just the single-UE benches.
+  if (!(fleet_rem.failure_ratio < fleet_legacy.failure_ratio)) {
+    std::printf("FAIL: fleet (%d UEs) REM failure ratio %.2f%% not strictly "
+                "below legacy %.2f%% under bs_overload\n",
+                fleet_size, 100.0 * fleet_rem.failure_ratio,
+                100.0 * fleet_legacy.failure_ratio);
+    ok = false;
+  }
+  if (fleet_legacy.bs_queue_shed == 0) {
+    std::printf("FAIL: legacy fleet never shed a BS job under overload "
+                "contention\n");
+    ok = false;
   }
   return ok ? 0 : 1;
 }

@@ -1,0 +1,135 @@
+// Shared helper for fleet-scale benches and tests: build one scenario and
+// run a multi-UE fleet through Simulator::run_fleet with a per-UE
+// invariant checker demuxed over the observer stream.
+//
+// Construction order is fixed and documented because tests pin bit-exact
+// reproducibility against it:
+//   common::Rng rng(seed)
+//     -> make_rail_deployment(rng) -> make_hole_segments(rng)
+//     -> RadioEnv(cells, propagation, rng.fork(), holes)
+//     -> synthesize_policies(cells, mix, rng)
+//     -> manager master stream  = rng.fork()   (one fork per UE, in order)
+//     -> simulation stream      = rng.fork()
+// The manager master stream is forked *before* the simulation stream so
+// that per-UE manager construction (REM managers fork once per UE) never
+// interleaves with the simulator's own draw order: a fleet of one built
+// this way is bit-identical to a single-UE Simulator::run over the same
+// streams, whatever fleet_size later runs use.
+//
+// Like run_seed, a fleet run is deterministic in (route, speed, duration,
+// seed, options): per-seed results merged in seed order are bit-identical
+// for any thread count (tests/test_fleet.cpp pins 1/2/8 threads).
+#pragma once
+
+#include "scenario_runner.hpp"
+#include "sim/fleet.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace rem::bench {
+
+struct FleetRunOptions {
+  /// Number of UEs; UE 0 rides the scenario's exact single-UE parameters.
+  int fleet_size = 8;
+  /// Manager family for every UE: REM (client-driven, cross-band) when
+  /// true, legacy 4G/5G policies otherwise.
+  bool use_rem = true;
+  sim::FaultConfig faults;
+  bool record_events = false;
+  /// Attach one testkit::InvariantChecker per UE (via sim::UeObserverDemux)
+  /// plus the post-run fleet_invariant_report, throwing std::logic_error on
+  /// any violation. Honors the REM_CHECK_INVARIANTS=0 kill switch.
+  bool check_invariants = true;
+  std::optional<net::BackhaulConfig> backhaul;
+  std::optional<sim::BsCapacityConfig> bs_capacity;
+  /// Per-UE speed/start derivation; scenario default when unset.
+  std::optional<sim::FleetConfig> fleet;
+};
+
+/// Run one fleet over the scenario named by (route, speed, duration) with
+/// deterministic per-UE RNG derivation from `seed`. Returns per-UE stats
+/// indexed by UE id plus the UE-order aggregate (sim/fleet.hpp).
+inline sim::FleetResult run_fleet_seed(trace::Route route, double speed_kmh,
+                                       double duration_s, std::uint64_t seed,
+                                       const phy::BlerModel& bler,
+                                       const FleetRunOptions& opts) {
+  auto sc = trace::make_scenario(route, speed_kmh, duration_s);
+  sc.sim.faults = opts.faults;
+  sc.sim.record_events = sc.sim.record_events || opts.record_events;
+  if (opts.backhaul) sc.sim.backhaul = *opts.backhaul;
+  if (opts.bs_capacity) sc.sim.bs_capacity = *opts.bs_capacity;
+  if (opts.fleet) sc.sim.fleet = *opts.fleet;
+  sc.sim.fleet_size = opts.fleet_size;
+  sc.sim.engine = sim::SimEngine::kEventQueue;
+
+  common::Rng rng(seed);
+  auto cells = sim::make_rail_deployment(sc.deployment, rng);
+  auto holes = sim::make_hole_segments(sc.deployment, rng);
+  sim::RadioEnv env(cells, sc.propagation, rng.fork(), holes);
+  auto policies = trace::synthesize_policies(cells, sc.policy_mix, rng);
+
+  core::LegacyConfig lc;
+  lc.policies = policies;
+  lc.measurement.intra_ttt_s = sc.policy_mix.intra_ttt_s;
+  lc.measurement.inter_ttt_s = sc.policy_mix.inter_ttt_s;
+
+  common::Rng mgr_rng = rng.fork();  // manager master stream (see header)
+  common::Rng sim_rng = rng.fork();  // simulation stream
+
+  const bool check = opts.check_invariants && testkit::invariants_enabled();
+  sim::UeObserverDemux demux;
+  std::vector<std::unique_ptr<testkit::InvariantChecker>> checkers;
+  sim::SimConfig run_cfg = sc.sim;
+  if (check) {
+    testkit::CheckerConfig ccfg;
+    ccfg.sim = sc.sim;
+    ccfg.num_cells = cells.size();
+    ccfg.faults_expected = !opts.faults.empty();
+    if (opts.use_rem)
+      ccfg.staleness_bound_s = core::RemConfig{}.estimate_staleness_s;
+    else
+      ccfg.expect_no_degraded = true;  // legacy has no fallback mode
+    checkers.reserve(static_cast<std::size_t>(opts.fleet_size));
+    for (int k = 0; k < opts.fleet_size; ++k) {
+      checkers.push_back(std::make_unique<testkit::InvariantChecker>(ccfg));
+      demux.add(checkers.back().get());
+    }
+    run_cfg.observer = &demux;
+  }
+
+  sim::Simulator s(env, run_cfg, bler, std::move(sim_rng));
+  auto result = s.run_fleet([&](int) -> std::unique_ptr<sim::MobilityManager> {
+    if (opts.use_rem)
+      return std::make_unique<core::RemManager>(core::RemConfig{},
+                                                mgr_rng.fork());
+    return std::make_unique<core::LegacyManager>(lc);
+  });
+
+  if (check) {
+    const auto context = [&](const std::string& who) {
+      return who + " of a " + std::to_string(opts.fleet_size) +
+             "-UE fleet (route " + trace::route_name(route) + ", " +
+             std::to_string(speed_kmh) + " km/h, seed " +
+             std::to_string(seed) + ")";
+    };
+    for (int k = 0; k < opts.fleet_size; ++k) {
+      const auto& checker = *checkers[static_cast<std::size_t>(k)];
+      if (checker.violation_count() > 0)
+        throw std::logic_error(
+            "invariant violations in " + context("UE " + std::to_string(k)) +
+            ":\n" + checker.report());
+    }
+    const auto fleet_violations = testkit::fleet_invariant_report(result);
+    if (!fleet_violations.empty()) {
+      std::string msg =
+          "fleet invariant violations in " + context("the aggregate");
+      for (const auto& line : fleet_violations) msg += "\n  " + line;
+      throw std::logic_error(msg);
+    }
+  }
+  return result;
+}
+
+}  // namespace rem::bench
+

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # The pre-commit loop: configure, build, and run the tier-1 test suite
-# plus the documentation lint (check_docs.sh, ctest label `docs`) and the
+# plus the documentation lint (check_docs.sh, ctest label `docs`), the
 # perf smoke (`bench_perf --smoke`, label `perf`, which exercises the
-# batched DSP kernels and their correctness/allocation gates) — the
-# fast checks every change must keep green (ROADMAP.md).
+# batched DSP kernels and their correctness/allocation gates), and the
+# fleet determinism layer (label `fleet`: multi-UE engine pinned against
+# the single-UE simulator and across thread counts) — the fast checks
+# every change must keep green (ROADMAP.md).
 #
-#   scripts/check_tier1.sh              # tier1 + docs + perf labels
+#   scripts/check_tier1.sh              # tier1 + docs + perf + fleet
 #   scripts/check_tier1.sh --all        # every ctest label (slow/chaos/
 #                                       # golden included)
 #   scripts/check_tier1.sh --full       # --all plus the sanitizer chaos
@@ -18,7 +20,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 build="${BUILD_DIR:-build}"
 
-ctest_args=(-L 'tier1|docs|perf')
+ctest_args=(-L 'tier1|docs|perf|fleet')
 soak=0
 if [ "${1:-}" = "--all" ]; then
   ctest_args=()

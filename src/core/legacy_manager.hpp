@@ -27,6 +27,10 @@ struct LegacyConfig {
 
 class LegacyManager final : public sim::MobilityManager {
  public:
+  /// A manager instance serves exactly one UE (it tracks per-UE TTT and
+  /// visibility state); fleet runs construct one per UE via the
+  /// Simulator::run_fleet factory. The legacy manager draws no
+  /// randomness, so all fleet UEs share the same LegacyConfig.
   explicit LegacyManager(LegacyConfig cfg);
 
   std::string name() const override { return "Legacy"; }

@@ -51,6 +51,13 @@ struct RemConfig {
 
 class RemManager final : public sim::MobilityManager {
  public:
+  /// A manager instance serves exactly one UE — it carries per-UE
+  /// estimate/trigger state and its own RNG stream. Fleet runs
+  /// (Simulator::run_fleet) construct one instance per UE through the
+  /// factory, forking `rng` from a dedicated manager master stream in
+  /// UE-id order *before* the simulation stream is forked, so manager
+  /// draws never interleave with simulator draws (bench/fleet_runner.hpp
+  /// documents the full construction-order contract).
   explicit RemManager(RemConfig cfg, common::Rng rng)
       : cfg_(cfg), rng_(std::move(rng)) {}
 

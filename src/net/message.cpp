@@ -73,6 +73,7 @@ std::vector<std::uint8_t> encode_message(const BackhaulMessage& m) {
   put_u32(out, static_cast<std::uint32_t>(m.src_cell));
   put_u32(out, static_cast<std::uint32_t>(m.dst_cell));
   put_u32(out, static_cast<std::uint32_t>(m.target_cell));
+  put_u32(out, static_cast<std::uint32_t>(m.ue));
   std::uint64_t bits;
   static_assert(sizeof(bits) == sizeof(m.payload));
   std::memcpy(&bits, &m.payload, sizeof(bits));
@@ -114,6 +115,7 @@ BackhaulMessage decode_message(const std::uint8_t* data, std::size_t len) {
   m.src_cell = static_cast<std::int32_t>(get_u32(data + 12));
   m.dst_cell = static_cast<std::int32_t>(get_u32(data + 16));
   m.target_cell = static_cast<std::int32_t>(get_u32(data + 20));
+  m.ue = static_cast<std::int32_t>(get_u32(data + 24));
   const auto check_cell = [&](std::int32_t v, const char* name) {
     if (v < -1)
       fail(std::string("invalid ") + name + " " + std::to_string(v) +
@@ -122,7 +124,9 @@ BackhaulMessage decode_message(const std::uint8_t* data, std::size_t len) {
   check_cell(m.src_cell, "src_cell");
   check_cell(m.dst_cell, "dst_cell");
   check_cell(m.target_cell, "target_cell");
-  std::uint64_t bits = get_u64(data + 24);
+  if (m.ue < 0)
+    fail("invalid ue " + std::to_string(m.ue) + " (must be >= 0)");
+  std::uint64_t bits = get_u64(data + 28);
   std::memcpy(&m.payload, &bits, sizeof(m.payload));
   return m;
 }

@@ -48,15 +48,22 @@ struct BackhaulMessage {
   std::int32_t src_cell = -1;     ///< originating cell index (-1 = n/a)
   std::int32_t dst_cell = -1;     ///< destination cell index (-1 = n/a)
   std::int32_t target_cell = -1;  ///< handover/context subject cell
+  /// UE the transaction concerns (X2 messages carry a UE id on real
+  /// links). Replies echo the request's ue, so a fleet simulation can
+  /// route every answer back to the owning UE without a side table.
+  /// Always 0 in single-UE runs.
+  std::int32_t ue = 0;
   double payload = 0.0;           ///< type-specific (e.g. admission RSRP)
 };
 
 /// Wire framing: magic(2) version(1) type(1) seq(8) src(4) dst(4)
-/// target(4) payload(8) checksum(4), little-endian, 36 bytes total. The
-/// checksum is 32-bit FNV-1a over every preceding byte.
-constexpr std::size_t kFrameSize = 36;
+/// target(4) ue(4) payload(8) checksum(4), little-endian, 40 bytes total.
+/// The checksum is 32-bit FNV-1a over every preceding byte. Version 2
+/// added the ue field; version-1 frames are rejected like any other
+/// foreign version — the transport never mixes versions in flight.
+constexpr std::size_t kFrameSize = 40;
 constexpr std::uint16_t kFrameMagic = 0x5242;  // "RB" (REM backhaul)
-constexpr std::uint8_t kFrameVersion = 1;
+constexpr std::uint8_t kFrameVersion = 2;
 
 /// Encode one message into its framed wire form (always kFrameSize bytes).
 std::vector<std::uint8_t> encode_message(const BackhaulMessage& m);

@@ -87,6 +87,15 @@ void SpanTracer::close_outage(double t, const std::string& outcome) {
   spans_.push_back(std::move(span));
 }
 
+void SpanTracer::on_ue(int ue) {
+  if (ue_ >= 0 && ue != ue_)
+    throw std::logic_error(
+        "SpanTracer observes exactly one UE, but saw ue=" +
+        std::to_string(ue) + " after ue=" + std::to_string(ue_) +
+        "; host one tracer per UE behind sim::UeObserverDemux");
+  ue_ = ue;
+}
+
 void SpanTracer::on_event(const sim::SignalingEvent& e) {
   // Phases are opened with end_s < start_s as an "open" sentinel; the
   // closing transition stamps the real end.
@@ -423,6 +432,7 @@ void SpanTracer::write_trace_jsonl(std::ostream& os,
   for (const auto& s : spans_) {
     os << "{";
     if (!context.empty()) os << context << ", ";
+    if (ue_ >= 0) os << "\"ue\": " << ue_ << ", ";
     os << "\"kind\": \"" << s.kind << "\", \"start_s\": \""
        << fmt_double(s.start_s) << "\", \"end_s\": \"" << fmt_double(s.end_s)
        << "\", \"serving\": " << s.serving << ", \"target\": " << s.target

@@ -78,6 +78,14 @@ class SpanTracer : public sim::SimObserver {
   explicit SpanTracer(Registry* registry = nullptr);
 
   /// SimObserver contract: no RNG draws, no simulation-state mutation.
+  /// Fleet runs: a tracer observes exactly one UE, so host one tracer per
+  /// UE behind sim::UeObserverDemux. The demux child only ever sees its
+  /// own UE id; the tracer records it and stamps `"ue": k` onto every
+  /// trace line (single-UE runs never call on_ue and emit no `ue` key,
+  /// keeping pre-fleet traces byte-identical). A second, different UE id
+  /// means the tracer was attached un-demuxed — it throws rather than
+  /// silently interleaving two UEs' state machines into nonsense spans.
+  void on_ue(int ue) override;
   void on_event(const sim::SignalingEvent& event) override;
   void on_tick(const sim::TickView& view) override;
   /// Closes dangling spans as "unfinished" and records the per-cause
@@ -109,6 +117,7 @@ class SpanTracer : public sim::SimObserver {
   void close_outage(double t, const std::string& outcome);
 
   Registry* registry_;
+  int ue_ = -1;  ///< attributed UE in fleet runs; -1 until on_ue fires
   std::vector<Span> spans_;
   std::optional<Span> handover_;   ///< open handover attempt
   std::optional<Span> outage_;     ///< open outage

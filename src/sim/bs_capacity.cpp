@@ -66,7 +66,8 @@ BsStation::BsStation(int slots, std::size_t queue_capacity)
 
 std::optional<BsJob> BsStation::submit(double t, BsJobKind kind,
                                        double service_s,
-                                       const net::BackhaulMessage& msg) {
+                                       const net::BackhaulMessage& msg,
+                                       int ue) {
   if (slot_free_s_.empty()) {
     slot_free_s_.assign(static_cast<std::size_t>(slots_), 0.0);
   }
@@ -83,6 +84,7 @@ std::optional<BsJob> BsStation::submit(double t, BsJobKind kind,
   job.start_s = start;
   job.done_s = start + service_s;
   job.msg = msg;
+  job.ue = ue;
   *earliest = job.done_s;
   jobs_.push_back(job);
   order_.push_back(next_order_++);
@@ -146,11 +148,20 @@ int BsStation::unfinished() const {
   return n;
 }
 
-int BsStation::flush() {
-  int lost = 0;
+std::vector<BsJob> BsStation::unfinished_jobs() const {
+  std::vector<BsJob> out;
   for (const auto& j : jobs_) {
-    if (j.kind != BsJobKind::kBackground) ++lost;
+    if (j.kind != BsJobKind::kBackground) out.push_back(j);
   }
+  return out;
+}
+
+int BsStation::flush() {
+  return static_cast<int>(flush_jobs().size());
+}
+
+std::vector<BsJob> BsStation::flush_jobs() {
+  std::vector<BsJob> lost = unfinished_jobs();
   jobs_.clear();
   order_.clear();
   std::fill(slot_free_s_.begin(), slot_free_s_.end(), 0.0);

@@ -80,6 +80,9 @@ struct BsJob {
   /// The signaling message that spawned the job (admission / context
   /// lookup); unused for decision and background jobs.
   net::BackhaulMessage msg;
+  /// Owning UE for statistics attribution in fleet runs; 0 in single-UE
+  /// runs, meaningless for background jobs.
+  int ue = 0;
 };
 
 /// A single base station's processing slots + bounded FIFO queue.
@@ -95,11 +98,13 @@ class BsStation {
   BsStation() = default;
   BsStation(int slots, std::size_t queue_capacity);
 
-  /// Schedule a job at time `t` with the given service time. Returns the
-  /// scheduled job, or std::nullopt when it would have to wait and the
-  /// queue is already at capacity (shed).
+  /// Schedule a job at time `t` with the given service time, attributed
+  /// to UE `ue` (fleet statistics routing). Returns the scheduled job, or
+  /// std::nullopt when it would have to wait and the queue is already at
+  /// capacity (shed).
   std::optional<BsJob> submit(double t, BsJobKind kind, double service_s,
-                              const net::BackhaulMessage& msg = {});
+                              const net::BackhaulMessage& msg = {},
+                              int ue = 0);
 
   /// Jobs whose service completed at or before `t`, ordered by completion
   /// time (ties broken by submission order). Each job is returned once.
@@ -119,9 +124,18 @@ class BsStation {
   /// Returns the number of non-background jobs flushed.
   int flush();
 
+  /// Crash variant that also returns the flushed non-background jobs (in
+  /// submission order) so a fleet simulation can attribute each loss to
+  /// its owning UE. flush() is flush_jobs() minus the job list.
+  std::vector<BsJob> flush_jobs();
+
   /// Non-background jobs not yet returned by take_completed — the
   /// end-of-run in-flight count (SimStats::bs_jobs_inflight_end).
   int unfinished() const;
+
+  /// The unfinished() jobs themselves, in submission order, for per-UE
+  /// in-flight attribution at the end of a fleet run.
+  std::vector<BsJob> unfinished_jobs() const;
 
  private:
   int slots_ = 1;

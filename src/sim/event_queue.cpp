@@ -1,0 +1,43 @@
+#include "sim/event_queue.hpp"
+
+namespace rem::sim {
+
+std::uint64_t EventQueue::push(Event e) {
+  e.seq = next_seq_++;
+  live_.emplace(e.seq, e);
+  heap_.push(e);
+  return e.seq;
+}
+
+void EventQueue::drop_dead() {
+  while (!heap_.empty() && live_.find(heap_.top().seq) == live_.end())
+    heap_.pop();
+}
+
+std::optional<Event> EventQueue::pop() {
+  drop_dead();
+  if (heap_.empty()) return std::nullopt;
+  const Event e = heap_.top();
+  heap_.pop();
+  live_.erase(e.seq);
+  return e;
+}
+
+std::optional<Event> EventQueue::peek() {
+  drop_dead();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top();
+}
+
+bool EventQueue::cancel(std::uint64_t seq) { return live_.erase(seq) > 0; }
+
+std::uint64_t EventQueue::reschedule(std::uint64_t seq, double new_t_s) {
+  const auto it = live_.find(seq);
+  if (it == live_.end()) return 0;
+  Event e = it->second;
+  live_.erase(it);
+  e.t_s = new_t_s;
+  return push(e);
+}
+
+}  // namespace rem::sim

@@ -1,0 +1,86 @@
+// Deterministic discrete-event queue for the network simulator.
+//
+// Events dispatch in strict (time, priority, seq) order: earliest time
+// first, lower priority value first at equal times, and insertion order
+// (seq) as the final tie-break. The ordering is a total order over every
+// event ever pushed, so two runs that push the same events pop them in
+// the same order on any platform — the property the multi-UE fleet
+// engine (sim/fleet.hpp, Simulator::run_fleet) builds its determinism
+// guarantee on: the world step runs at priority 0 and each UE's step at
+// priority 1 + ue, so one simulated instant always unfolds as
+// "shared world, then UE 0, then UE 1, ..." regardless of how the events
+// were scheduled.
+//
+// Cancellation is lazy: cancel() / reschedule() mark the old entry dead
+// in O(log n)-amortized time and pop() skips dead entries. The queue
+// itself is single-threaded and draws no randomness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace rem::sim {
+
+/// One scheduled event. `kind` and `arg` are dispatcher-defined (the
+/// fleet engine uses kind = world/ue-step and arg = UE id); the queue
+/// orders purely on (t_s, priority, seq) and never interprets them.
+struct Event {
+  double t_s = 0.0;
+  int priority = 0;       ///< lower dispatches first at equal time
+  std::uint64_t seq = 0;  ///< insertion index; assigned by push()
+  int kind = 0;           ///< dispatcher-defined tag
+  int arg = 0;            ///< dispatcher-defined payload (e.g. UE id)
+};
+
+class EventQueue {
+ public:
+  /// Schedule `e` at (e.t_s, e.priority). The queue assigns e.seq (a
+  /// strictly increasing insertion index, starting at 1) and returns it
+  /// as the event's handle for cancel()/reschedule().
+  std::uint64_t push(Event e);
+
+  /// Remove and return the earliest live event by (t_s, priority, seq);
+  /// std::nullopt when no live event remains. Lazily discards entries
+  /// killed by cancel()/reschedule().
+  std::optional<Event> pop();
+
+  /// The event pop() would return next, without removing it.
+  std::optional<Event> peek();
+
+  /// Kill a pending event by its seq handle. Returns false when the
+  /// handle is unknown — already dispatched, already cancelled, or
+  /// superseded by reschedule().
+  bool cancel(std::uint64_t seq);
+
+  /// Move a pending event to `new_t_s`, preserving kind/arg/priority.
+  /// The event re-enters insertion order: it gets (and returns) a fresh
+  /// seq, so among same-time same-priority peers it now dispatches
+  /// last. Returns 0 when the handle is dead.
+  std::uint64_t reschedule(std::uint64_t seq, double new_t_s);
+
+  bool empty() const { return live_.empty(); }
+  std::size_t size() const { return live_.size(); }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t_s != b.t_s) return a.t_s > b.t_s;
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_dead();
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  /// Live handles -> authoritative event copy. Only keyed lookups — never
+  /// iterated — so the unordered container cannot leak nondeterminism.
+  std::unordered_map<std::uint64_t, Event> live_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace rem::sim

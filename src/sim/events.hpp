@@ -54,6 +54,10 @@ struct SignalingEvent {
   int serving_cell = -1;
   int target_cell = -1;      ///< -1 when not applicable
   double serving_snr_db = 0.0;
+  /// Owning UE (fleet runs); always 0 in single-UE runs. Global events
+  /// (fault edges, BS crash/restart) are logged once per UE, each copy
+  /// stamped with that UE's id and serving cell.
+  int ue = 0;
 };
 
 using EventLog = std::vector<SignalingEvent>;

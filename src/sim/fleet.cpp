@@ -1,0 +1,106 @@
+#include "sim/fleet.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rem::sim {
+
+EventLog merge_fleet_events(const std::vector<SimStats>& per_ue) {
+  EventLog merged;
+  std::size_t total = 0;
+  for (const auto& s : per_ue) total += s.events.size();
+  merged.reserve(total);
+  for (const auto& s : per_ue)
+    merged.insert(merged.end(), s.events.begin(), s.events.end());
+  // Each per-UE log is time-sorted, so a stable sort over the UE-order
+  // concatenation is exactly a k-way merge with UE-id tiebreak.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const SignalingEvent& a, const SignalingEvent& b) {
+                     return a.t_s < b.t_s;
+                   });
+  return merged;
+}
+
+SimStats merge_fleet_stats(const std::vector<SimStats>& per_ue) {
+  if (per_ue.empty())
+    throw std::invalid_argument("merge_fleet_stats: no per-UE stats");
+  SimStats agg;
+  double interval_sum = 0.0;
+  int interval_n = 0;
+  for (const auto& s : per_ue) {
+    agg.sim_time_s = std::max(agg.sim_time_s, s.sim_time_s);
+    agg.handovers += s.handovers;
+    agg.successful_handovers += s.successful_handovers;
+    agg.failures += s.failures;
+    for (const auto& [cause, n] : s.failures_by_cause)
+      agg.failures_by_cause[cause] += n;
+    agg.loop_handovers += s.loop_handovers;
+    agg.loop_episodes += s.loop_episodes;
+    agg.intra_freq_loop_episodes += s.intra_freq_loop_episodes;
+    agg.conflict_loop_episodes += s.conflict_loop_episodes;
+    agg.conflict_loop_handovers += s.conflict_loop_handovers;
+    agg.intra_freq_conflict_loops += s.intra_freq_conflict_loops;
+    if (s.avg_handover_interval_s > 0.0) {
+      interval_sum += s.avg_handover_interval_s;
+      ++interval_n;
+    }
+    agg.outage_durations_s.insert(agg.outage_durations_s.end(),
+                                  s.outage_durations_s.begin(),
+                                  s.outage_durations_s.end());
+    agg.feedback_delays_s.insert(agg.feedback_delays_s.end(),
+                                 s.feedback_delays_s.begin(),
+                                 s.feedback_delays_s.end());
+    agg.report_retransmits += s.report_retransmits;
+    agg.t304_expiries += s.t304_expiries;
+    agg.t304_fallback_success += s.t304_fallback_success;
+    agg.duplicate_commands += s.duplicate_commands;
+    agg.degraded_enters += s.degraded_enters;
+    agg.degraded_time_s += s.degraded_time_s;
+    agg.prep_requests += s.prep_requests;
+    agg.prep_retries += s.prep_retries;
+    agg.prep_acks += s.prep_acks;
+    agg.prep_rejects += s.prep_rejects;
+    agg.prep_fallbacks += s.prep_fallbacks;
+    agg.prep_failures += s.prep_failures;
+    agg.prep_rtt_sum_s += s.prep_rtt_sum_s;
+    agg.context_fetch_failures += s.context_fetch_failures;
+    agg.backhaul_sent += s.backhaul_sent;
+    agg.backhaul_delivered += s.backhaul_delivered;
+    agg.backhaul_dropped_loss += s.backhaul_dropped_loss;
+    agg.backhaul_dropped_partition += s.backhaul_dropped_partition;
+    agg.backhaul_dropped_queue += s.backhaul_dropped_queue;
+    agg.backhaul_dropped_crash += s.backhaul_dropped_crash;
+    agg.backhaul_duplicated += s.backhaul_duplicated;
+    agg.backhaul_reordered += s.backhaul_reordered;
+    agg.backhaul_latency_sum_s += s.backhaul_latency_sum_s;
+    agg.bs_jobs_submitted += s.bs_jobs_submitted;
+    agg.bs_jobs_served += s.bs_jobs_served;
+    agg.bs_jobs_queued += s.bs_jobs_queued;
+    agg.bs_queue_shed += s.bs_queue_shed;
+    agg.bs_jobs_flushed += s.bs_jobs_flushed;
+    agg.bs_jobs_inflight_end += s.bs_jobs_inflight_end;
+    agg.bs_queue_wait_sum_s += s.bs_queue_wait_sum_s;
+    agg.admission_rejects += s.admission_rejects;
+    agg.admission_backoff_retries += s.admission_backoff_retries;
+    // Crash windows are global: every UE counts the same windows, so the
+    // fleet total is the per-UE count, not the sum.
+    agg.bs_crashes = std::max(agg.bs_crashes, s.bs_crashes);
+    agg.bs_crash_dropped_msgs += s.bs_crash_dropped_msgs;
+    agg.stale_context_responses += s.stale_context_responses;
+    agg.mean_throughput_bps += s.mean_throughput_bps;
+    agg.downtime_fraction += s.downtime_fraction;
+    agg.pre_failure_snrs_db.insert(agg.pre_failure_snrs_db.end(),
+                                   s.pre_failure_snrs_db.begin(),
+                                   s.pre_failure_snrs_db.end());
+    agg.invariant_violations += s.invariant_violations;
+  }
+  const auto n = static_cast<double>(per_ue.size());
+  agg.mean_throughput_bps /= n;
+  agg.downtime_fraction /= n;
+  agg.avg_handover_interval_s =
+      interval_n > 0 ? interval_sum / static_cast<double>(interval_n) : 0.0;
+  agg.events = merge_fleet_events(per_ue);
+  return agg;
+}
+
+}  // namespace rem::sim

@@ -13,6 +13,7 @@
 
 #include "sim/events.hpp"
 
+#include <cstddef>
 #include <vector>
 
 namespace rem::sim {
@@ -50,18 +51,30 @@ struct TickView {
   /// slots + queue_capacity. Always 0 when the capacity model is off.
   int bs_queue_peak = 0;
   int crashed_cells = 0;         ///< cells currently dead (kBsCrashRestart)
+  /// Owning UE (fleet runs); always 0 in single-UE runs.
+  int ue = 0;
 };
 
 class SimObserver {
  public:
   virtual ~SimObserver() = default;
+  /// Fleet runs only: every subsequent on_event/on_tick/on_run_end call is
+  /// attributed to UE `ue` until the next on_ue. The fleet engine fires it
+  /// whenever the attributed UE changes (events and ticks both carry the
+  /// same id redundantly in their `ue` fields). Single-UE runs never call
+  /// it, so observers written against the legacy protocol keep working
+  /// unchanged.
+  virtual void on_ue(int /*ue*/) {}
   /// Every signaling event, in emission order, independent of
   /// SimConfig::record_events.
   virtual void on_event(const SignalingEvent& /*event*/) {}
   /// Exactly one call per simulated tick, after the tick's transitions.
+  /// Fleet runs emit one TickView per UE per tick, in UE-id order.
   virtual void on_tick(const TickView& /*view*/) {}
   /// Called once at the end of run() with the final statistics; observers
   /// may write back summary fields (e.g. SimStats::invariant_violations).
+  /// Fleet runs call it once per UE, with that UE's SimStats, preceded by
+  /// on_ue(ue); the aggregate stats are never passed through this hook.
   virtual void on_run_end(SimStats& /*stats*/) {}
 };
 
@@ -80,6 +93,9 @@ class ObserverFanout : public SimObserver {
     if (child != nullptr) children_.push_back(child);
   }
 
+  void on_ue(int ue) override {
+    for (SimObserver* c : children_) c->on_ue(ue);
+  }
   void on_event(const SignalingEvent& event) override {
     for (SimObserver* c : children_) c->on_event(event);
   }
@@ -92,6 +108,42 @@ class ObserverFanout : public SimObserver {
 
  private:
   std::vector<SimObserver*> children_;
+};
+
+/// Routes a fleet run's interleaved observer stream to one single-UE-style
+/// child observer per UE: on_ue(k) selects child k, and every subsequent
+/// on_event/on_tick/on_run_end is forwarded only to it. Each child thus
+/// sees the legacy single-UE protocol for its own UE — which is how an
+/// unmodified InvariantChecker or SpanTracer checks one UE of a fleet.
+/// The selecting on_ue(k) is also forwarded to child k, so a child that
+/// wants its own id for labeling (SpanTracer stamps `"ue": k` onto trace
+/// lines) can take it from there; it only ever receives its own id, and
+/// legacy observers ignore the call via the no-op default. Children are
+/// borrowed, registered in UE-id order via add(), and must outlive the
+/// run; a nullptr child mutes that UE.
+class UeObserverDemux : public SimObserver {
+ public:
+  void add(SimObserver* child) { children_.push_back(child); }
+
+  void on_ue(int ue) override {
+    current_ = ue >= 0 && static_cast<std::size_t>(ue) < children_.size()
+                   ? children_[static_cast<std::size_t>(ue)]
+                   : nullptr;
+    if (current_ != nullptr) current_->on_ue(ue);
+  }
+  void on_event(const SignalingEvent& event) override {
+    if (current_ != nullptr) current_->on_event(event);
+  }
+  void on_tick(const TickView& view) override {
+    if (current_ != nullptr) current_->on_tick(view);
+  }
+  void on_run_end(SimStats& stats) override {
+    if (current_ != nullptr) current_->on_run_end(stats);
+  }
+
+ private:
+  std::vector<SimObserver*> children_;
+  SimObserver* current_ = nullptr;
 };
 
 }  // namespace rem::sim

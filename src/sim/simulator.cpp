@@ -3,30 +3,1332 @@
 #include "common/logging.hpp"
 #include "common/units.hpp"
 #include "core/admission.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/fleet.hpp"
 
 #include <algorithm>
 #include <array>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace rem::sim {
 namespace {
 
-/// Fires the per-tick observer snapshot when the enclosing loop iteration
-/// ends, whichever `continue` path it takes, so an attached observer sees
-/// exactly one TickView per simulated tick.
-struct TickEmit {
-  const std::function<void(double)>* emit;
-  double t;
-  ~TickEmit() {
-    if (emit) (*emit)(t);
-  }
-};
-
 /// Attenuation applied to every leg of a crashed BS: deep enough that the
 /// cell is unconnectable and unmeasurable for the whole window.
 constexpr double kCrashPenaltyDb = 300.0;
+
+/// Memory window for lost-signaling evidence in RLF classification.
+constexpr double kLossMemory_s = 1.5;
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// One UE's in-flight handover attempt (decision made, not yet executed).
+struct PendingHandover {
+  std::size_t target_idx = 0;
+  double report_due_s = 0.0;     ///< feedback arrives at the BS
+  double command_due_s = 0.0;    ///< command reaches the UE (if set)
+  bool report_delivered = false;
+  bool report_lost = false;      ///< retransmissions exhausted
+  bool command_lost = false;
+  int report_retries = 0;
+  double decided_at_s = 0.0;
+  // Backhaul preparation state (only used when cfg.backhaul.enabled):
+  // the BS must get a HANDOVER REQUEST acked by the target before the
+  // HO command can be sent to the UE.
+  int fallback_idx = -1;         ///< second-best target from the decision
+  bool used_fallback = false;
+  bool prep_requested = false;   ///< current request is in flight
+  bool prep_acked = false;
+  bool prep_failed = false;      ///< retries + fallback exhausted
+  int prep_retries = 0;
+  std::uint64_t prep_seq = 0;    ///< seq of the outstanding request
+  double prep_due_s = 0.0;       ///< when to (re-)send the request
+  double prep_sent_s = 0.0;      ///< last request send time (RTT base)
+  double prep_deadline_s = 0.0;  ///< timeout for the outstanding request
+  /// Admission-control backoff (core/admission.hpp): busy rejects
+  /// absorbed by waiting out the target's hint, per attempt.
+  int admission_retries = 0;
+  /// The serving BS shed this attempt's RRC decision on a full queue;
+  /// the attempt is dead and the manager may re-decide.
+  bool decision_shed = false;
+};
+
+/// Handover execution in flight: detach + random access on the target.
+struct Execution {
+  std::size_t target_idx = 0;
+  std::size_t prepared_idx = 0;  ///< genuine prepared target (== target
+                                 ///  unless a stale duplicate executed)
+  double started_s = 0.0;
+};
+
+/// Everything one UE owns: its manager, its RNG stream, its kinematics,
+/// and the full per-UE slice of the simulator state that the seed's
+/// single-UE loop held in locals. Shared resources (BsStation banks, the
+/// backhaul transport, the fault schedule, the crash window) live on the
+/// FleetEngine and are genuinely contended between UEs.
+struct UeContext {
+  int id = 0;
+  MobilityManager* manager = nullptr;
+  common::Rng* rng = nullptr;  ///< this UE's radio/signaling draw stream
+  double speed_kmh = 0.0;
+  double speed_mps = 0.0;
+  double start_pos_m = 0.0;
+
+  SimStats stats;
+  double pos = 0.0;
+  int serving = 0;
+  /// Per-(UE, cell) context validity: a BS crash marks the victim's entry
+  /// for every UE; camping or completing a handover there restores it for
+  /// that UE only.
+  std::vector<bool> context_lost;
+  std::optional<PendingHandover> pending;
+  std::optional<Execution> exec;
+  // RLF detection state: consecutive out-of-sync ticks arm T310;
+  // consecutive in-sync ticks during T310 disarm it.
+  int oos_count = 0;
+  int is_count = 0;
+  double t310_started = -1.0;
+  double outage_started = -1.0;      ///< RLF time (in outage if >= 0)
+  double outage_reestablish_s = 0.0;
+  int preferred_target = -1;         ///< prepared target for T304 fallback
+  double last_report_loss_t = -1e9;  ///< recent retransmit-exhausted report
+  double last_cmd_loss_t = -1e9;     ///< recent lost handover command
+  int last_cmd_target = -1;          ///< previous delivered command's target
+  double suppress_until = 0.0;       ///< post-handover decision blanking
+  std::deque<std::pair<double, int>> recent_serving;  ///< (time, cell idx)
+  std::vector<double> ho_times;
+  bool current_loop_episode = false;
+  double throughput_sum_bps = 0.0;
+  std::size_t ticks = 0;
+  std::size_t outage_ticks = 0;
+  // Pilot-outage staleness: last fresh delay-Doppler SNR per cell, and
+  // when pilots were last fresh.
+  std::vector<double> last_dd;
+  double pilot_fresh_t = 0.0;
+  bool degraded_prev = false;
+  /// Rolling 5 s window of serving SNR for the Fig. 2b analysis.
+  std::deque<std::pair<double, double>> snr_window;  ///< (t, snr)
+  double cur_snr = kNaN;
+  // Context-fetch state during RLF re-establishment (backhaul only).
+  bool ctx_pending = false;
+  bool ctx_ready = false;
+  bool ctx_failed = false;
+  std::uint64_t ctx_seq = 0;
+  int ctx_retries = 0;
+  double ctx_deadline_s = 0.0;
+  int ctx_target = -1;
+  double ctx_failed_camp_s = 0.0;
+};
+
+class FleetEngine;
+
+/// Fires the per-tick observer snapshot when the enclosing UE step ends,
+/// whichever early-return path it takes, so an attached observer sees
+/// exactly one TickView per UE per simulated tick.
+struct TickEmit {
+  FleetEngine* eng;  ///< nullptr when no observer is attached
+  UeContext* ue;
+  double t;
+  ~TickEmit();
+};
+
+/// The simulation core shared by both drivers and both run modes: one
+/// world (fault schedule, BsStation banks, backhaul transport, crash
+/// window) carrying N >= 1 UEs. Each simulated instant unfolds as one
+/// shared_step() (world state, backhaul arrivals, BS completions) followed
+/// by one ue_step() per UE in UE-id order — exactly the seed's single-UE
+/// tick body split at the world/UE boundary, preserving every operation
+/// and RNG draw in order, so a single-UE run is bit-identical to the
+/// pre-refactor tick loop on either driver.
+class FleetEngine {
+ public:
+  FleetEngine(const RadioEnv& env, const SimConfig& cfg,
+              const phy::BlerModel& bler, common::Rng& rng,
+              const std::function<bool(int, int)>& pair_conflicts,
+              bool fleet_mode)
+      : env_(env),
+        cfg_(cfg),
+        bler_(bler),
+        pair_conflicts_(pair_conflicts),
+        fleet_mode_(fleet_mode),
+        use_net_(cfg.backhaul.enabled),
+        use_cap_(cfg.bs_capacity.enabled) {
+    // Materialize the fault schedule. The no-fault path must not fork the
+    // RNG, so a fault-free config leaves every downstream draw untouched.
+    faults_ = cfg_.faults.empty()
+                  ? FaultInjector()
+                  : FaultInjector(cfg_.faults, cfg_.duration_s, rng.fork());
+    // Inter-BS backhaul transport. Owns a forked RNG stream so
+    // message-level draws (loss, jitter, reordering) never perturb the
+    // radio-leg sequence.
+    if (use_net_) netw_.emplace(cfg_.backhaul, rng.fork());
+    // Per-BS control-plane capacity: one station (processing slots +
+    // bounded FIFO signaling queue) per cell. Deterministic service
+    // times, no RNG.
+    if (use_cap_) {
+      validate(cfg_.bs_capacity);
+      stations_.assign(env_.cells().size(),
+                       BsStation(cfg_.bs_capacity.slots,
+                                 cfg_.bs_capacity.queue_capacity));
+    }
+  }
+
+  /// Register the next UE (ids assigned in call order) and perform its
+  /// initial attach: strongest covering cell at its start position.
+  void add_ue(MobilityManager* manager, common::Rng* rng, double speed_kmh,
+              double start_pos_m) {
+    UeContext u;
+    u.id = static_cast<int>(ues_.size());
+    u.manager = manager;
+    u.rng = rng;
+    u.speed_kmh = speed_kmh;
+    u.speed_mps = common::kmh_to_mps(speed_kmh);
+    u.start_pos_m = start_pos_m;
+    u.pos = start_pos_m;
+    u.context_lost.assign(env_.cells().size(), false);
+    u.last_dd.assign(env_.cells().size(), kNaN);
+    u.outage_reestablish_s = cfg_.reestablish_s;
+    int serving = env_.best_cell(u.pos, cfg_.min_coverage_rsrp_dbm);
+    if (serving < 0) serving = 0;
+    u.serving = serving;
+    ues_.push_back(std::move(u));
+    manager->on_serving_changed(0.0, static_cast<std::size_t>(serving));
+  }
+
+  /// The seed's for-loop driver: one shared step plus one step per UE at
+  /// each accumulated tick time.
+  void run_tick_loop() {
+    const double dt = cfg_.tick_s;
+    for (double t = 0.0; t < cfg_.duration_s; t += dt) {
+      shared_step(t);
+      for (auto& u : ues_) ue_step(t, u);
+    }
+    finish();
+  }
+
+  // Event taxonomy for the discrete-event driver. The world step runs at
+  // priority 0, UE k's step at priority 1 + k, so one simulated instant
+  // always dispatches as "world, UE 0, UE 1, ...".
+  enum : int { kEvWorldStep = 0, kEvUeStep = 1 };
+  static constexpr int kWorldPriority = 0;
+  static constexpr int kUePriorityBase = 1;
+
+  /// Discrete-event driver: the same step functions scheduled through
+  /// sim::EventQueue. Each handler re-schedules itself at its own t + dt,
+  /// replicating the tick loop's `t += dt` float accumulation bit for bit.
+  void run_event_queue() {
+    const double dt = cfg_.tick_s;
+    EventQueue queue;
+    if (cfg_.duration_s > 0.0 && dt > 0.0) {
+      queue.push(Event{0.0, kWorldPriority, 0, kEvWorldStep, -1});
+      for (const auto& u : ues_)
+        queue.push(Event{0.0, kUePriorityBase + u.id, 0, kEvUeStep, u.id});
+    }
+    while (auto e = queue.pop()) process(queue, *e);
+    finish();
+  }
+
+  /// Dispatch one event and schedule its successor while the horizon
+  /// allows (the same `t < duration` guard as the tick loop).
+  void process(EventQueue& queue, const Event& e) {
+    const double dt = cfg_.tick_s;
+    switch (e.kind) {
+      case kEvWorldStep:
+        shared_step(e.t_s);
+        if (e.t_s + dt < cfg_.duration_s)
+          queue.push(Event{e.t_s + dt, kWorldPriority, 0, kEvWorldStep, -1});
+        break;
+      case kEvUeStep:
+        ue_step(e.t_s, ue_of(e.arg));
+        if (e.t_s + dt < cfg_.duration_s)
+          queue.push(Event{e.t_s + dt, kUePriorityBase + e.arg, 0,
+                           kEvUeStep, e.arg});
+        break;
+      default:
+        throw std::logic_error("FleetEngine: unknown event kind " +
+                               std::to_string(e.kind));
+    }
+  }
+
+  /// Move the per-UE stats out (indexed by UE id). Call once, after a run.
+  std::vector<SimStats> take_stats() {
+    std::vector<SimStats> out;
+    out.reserve(ues_.size());
+    for (auto& u : ues_) out.push_back(std::move(u.stats));
+    return out;
+  }
+
+  /// End-of-tick observer snapshot (fired by TickEmit). Reads only — no
+  /// RNG draws — so attaching an observer never changes a run's results.
+  void emit_tick(UeContext& u, double t_now) {
+    focus(u.id);
+    TickView v;
+    v.t_s = t_now;
+    v.ue = u.id;
+    v.serving = u.serving;
+    v.serving_snr_db = u.cur_snr;
+    v.in_outage = u.outage_started >= 0.0;
+    v.executing = u.exec.has_value();
+    v.t310_running = u.t310_started >= 0.0;
+    v.oos_count = u.oos_count;
+    v.is_count = u.is_count;
+    v.report_pending =
+        u.pending && !u.pending->report_delivered && !u.pending->report_lost;
+    v.prep_pending = use_net_ && u.pending && u.pending->report_delivered &&
+                     !u.pending->prep_acked && !u.pending->prep_failed &&
+                     !u.pending->command_lost && !u.pending->decision_shed;
+    v.command_pending = u.pending &&
+                        (use_net_ ? u.pending->prep_acked
+                                  : u.pending->report_delivered) &&
+                        !u.pending->command_lost && !u.pending->decision_shed;
+    v.pilot_fault = faults_.active(FaultKind::kPilotOutage, t_now);
+    v.blackout = faults_.active(FaultKind::kCoverageBlackout, t_now);
+    v.estimate_age_s = v.pilot_fault ? t_now - u.pilot_fresh_t : 0.0;
+    v.degraded = u.degraded_prev;
+    if (use_cap_) {
+      for (const auto& st : stations_)
+        v.bs_queue_peak = std::max(v.bs_queue_peak, st.occupancy(t_now));
+    }
+    v.crashed_cells = crashed_cell_ >= 0 ? 1 : 0;
+    cfg_.observer->on_tick(v);
+  }
+
+ private:
+  UeContext& ue_of(int ue) {
+    if (ue < 0 || ue >= static_cast<int>(ues_.size()))
+      throw std::logic_error(
+          "FleetEngine: work attributed to unknown UE " + std::to_string(ue));
+    return ues_[static_cast<std::size_t>(ue)];
+  }
+
+  /// Fleet runs announce the attributed UE to the observer whenever it
+  /// changes; single-UE runs never fire on_ue (legacy protocol).
+  void focus(int ue) {
+    if (!fleet_mode_ || ue == cur_obs_ue_) return;
+    cur_obs_ue_ = ue;
+    cfg_.observer->on_ue(ue);
+  }
+
+  void log_event(UeContext& u, double t, EventKind kind, int srv, int tgt,
+                 double snr) {
+    if (!cfg_.record_events && !cfg_.observer) return;
+    const SignalingEvent e{t, kind, srv, tgt, snr, u.id};
+    if (cfg_.observer) {
+      focus(u.id);
+      cfg_.observer->on_event(e);
+    }
+    if (cfg_.record_events) u.stats.events.push_back(e);
+  }
+
+  phy::DopplerRegime regime(const UeContext& u) const {
+    return u.speed_kmh >= 150.0 ? phy::DopplerRegime::kHigh
+                                : phy::DopplerRegime::kLow;
+  }
+
+  bool deliver(UeContext& u, double t, double snr_db, int attempts,
+               phy::Waveform w) {
+    // A signaling-loss fault raises the per-attempt loss probability floor.
+    const double floor = faults_.magnitude(FaultKind::kSignalingLoss, t);
+    for (int a = 0; a < attempts; ++a) {
+      const double p =
+          std::min(1.0, std::max(bler_.bler(w, regime(u), snr_db), floor));
+      if (!u.rng->bernoulli(p)) return true;
+    }
+    return false;
+  }
+
+  /// Attenuation making a crashed cell unconnectable and unmeasurable.
+  double crash_db(std::size_t idx) const {
+    return static_cast<int>(idx) == crashed_cell_ ? kCrashPenaltyDb : 0.0;
+  }
+
+  void record_failure(UeContext& u, double t, FailureCause cause) {
+    ++u.stats.failures;
+    ++u.stats.failures_by_cause[cause];
+    // Dump the pre-failure SNR window, decimated to ~10 samples.
+    const std::size_t stride =
+        std::max<std::size_t>(u.snr_window.size() / 10, 1);
+    for (std::size_t i = 0; i < u.snr_window.size(); i += stride)
+      u.stats.pre_failure_snrs_db.push_back(u.snr_window[i].second);
+    u.snr_window.clear();
+    u.outage_started = t;
+    u.outage_reestablish_s = cfg_.reestablish_s;
+    u.preferred_target = -1;
+    u.pending.reset();
+    u.oos_count = u.is_count = 0;
+    u.t310_started = -1.0;
+    u.ctx_pending = u.ctx_ready = u.ctx_failed = false;
+    u.ctx_target = -1;
+  }
+
+  void camp_on(UeContext& u, double t, int target) {
+    u.stats.outage_durations_s.push_back(t - u.outage_started);
+    u.serving = target;
+    // Camping (re-)establishes the UE context at this BS.
+    u.context_lost[static_cast<std::size_t>(target)] = false;
+    u.outage_started = -1.0;
+    u.preferred_target = -1;
+    u.ctx_pending = u.ctx_ready = u.ctx_failed = false;
+    u.ctx_target = -1;
+    u.outage_reestablish_s = cfg_.reestablish_s;
+    u.last_report_loss_t = u.last_cmd_loss_t = -1e9;
+    u.manager->on_serving_changed(t, static_cast<std::size_t>(u.serving));
+    log_event(u, t, EventKind::kReestablished, u.serving, -1, 0.0);
+    u.recent_serving.push_back({t, u.serving});
+  }
+
+  /// Lazily saturate a station with synthetic other-UE jobs up to the
+  /// overload window's target occupancy, right before a UE job is offered
+  /// to it. Deterministic: occupancy targets and service times are fixed.
+  void top_up(double t, std::size_t cell) {
+    if (overload_u_ <= 0.0 || static_cast<int>(cell) == crashed_cell_)
+      return;
+    const double cap = static_cast<double>(cfg_.bs_capacity.slots) +
+                       static_cast<double>(cfg_.bs_capacity.queue_capacity);
+    const int target_occ = static_cast<int>(std::lround(overload_u_ * cap));
+    auto& st = stations_[cell];
+    while (st.occupancy(t) < target_occ) {
+      if (!st.submit(t, BsJobKind::kBackground,
+                     cfg_.bs_capacity.background_service_s))
+        break;
+    }
+  }
+
+  void bh_send(double t, const net::BackhaulMessage& m) {
+    // A dead BS can neither send nor receive; like partitions, crash
+    // drops consume no random draws.
+    if (crashed_cell_ >= 0 &&
+        (m.src_cell == crashed_cell_ || m.dst_cell == crashed_cell_)) {
+      ++ue_of(m.ue).stats.bs_crash_dropped_msgs;
+      return;
+    }
+    netw_->send(t, m, bh_loss_, bh_delay_, bh_partition_);
+  }
+
+  /// Preparation hit a terminal condition (reject / timeout exhaustion):
+  /// swing to the decision's fallback target once, then give up. A failed
+  /// preparation leaves the UE on the dying serving link, so an eventual
+  /// RLF classifies like a lost command (the network decided, the UE
+  /// never heard).
+  void prep_fallback_or_fail(UeContext& u, double now) {
+    if (u.pending->fallback_idx >= 0 && !u.pending->used_fallback &&
+        u.pending->fallback_idx != static_cast<int>(u.pending->target_idx)) {
+      u.pending->used_fallback = true;
+      u.pending->target_idx =
+          static_cast<std::size_t>(u.pending->fallback_idx);
+      u.pending->prep_retries = 0;
+      u.pending->prep_requested = false;
+      u.pending->prep_due_s = now;
+      ++u.stats.prep_fallbacks;
+      log_event(u, now, EventKind::kPrepFallback, u.serving,
+                static_cast<int>(u.pending->target_idx), 0.0);
+    } else {
+      u.pending->prep_failed = true;
+      ++u.stats.prep_failures;
+      u.last_cmd_loss_t = now;
+      log_event(u, now, EventKind::kPrepFailed, u.serving,
+                static_cast<int>(u.pending->target_idx), 0.0);
+    }
+  }
+
+  /// Builds the admission reply for a HANDOVER REQUEST: accept when the
+  /// target still covers the owning UE's position; echo the transaction
+  /// id and the UE id.
+  net::BackhaulMessage admission_reply(const net::BackhaulMessage& m) {
+    const auto tgt = static_cast<std::size_t>(m.target_cell);
+    const double rsrp =
+        env_.mean_rsrp_dbm(tgt, ue_of(m.ue).pos) - blackout_db_ - crash_db(tgt);
+    net::BackhaulMessage reply;
+    reply.seq = m.seq;
+    reply.type = rsrp >= cfg_.min_coverage_rsrp_dbm
+                     ? net::MsgType::kHandoverAck
+                     : net::MsgType::kHandoverReject;
+    reply.src_cell = m.dst_cell;
+    reply.dst_cell = m.src_cell;
+    reply.target_cell = m.target_cell;
+    reply.ue = m.ue;
+    reply.payload = rsrp;
+    return reply;
+  }
+
+  void poll_backhaul(double t) {
+    for (const auto& m : netw_->poll(t)) {
+      // Frames addressed to (or claiming to come from) a dead BS are
+      // dropped at delivery — defensive: crash open flushed the wire.
+      if (crashed_cell_ >= 0 &&
+          (m.dst_cell == crashed_cell_ || m.src_cell == crashed_cell_)) {
+        ++ue_of(m.ue).stats.bs_crash_dropped_msgs;
+        continue;
+      }
+      UeContext& u = ue_of(m.ue);
+      switch (m.type) {
+        case net::MsgType::kHandoverRequest: {
+          if (!use_cap_) {
+            bh_send(t, admission_reply(m));
+            break;
+          }
+          // Capacity model: admission control first — an over-threshold
+          // target refuses outright with a backoff hint (the source FSM
+          // pivots to its fallback or waits the hint out). Below the
+          // threshold the request takes a processing slot and the
+          // accept/reject verdict goes out when the job completes.
+          const auto tgt = static_cast<std::size_t>(m.target_cell);
+          top_up(t, tgt);
+          auto& st = stations_[tgt];
+          if (st.load(t) >= cfg_.bs_capacity.admission_load_threshold) {
+            net::BackhaulMessage reply;
+            reply.seq = m.seq;
+            reply.type = net::MsgType::kHandoverRejectBusy;
+            reply.src_cell = m.dst_cell;
+            reply.dst_cell = m.src_cell;
+            reply.target_cell = m.target_cell;
+            reply.ue = m.ue;
+            reply.payload = cfg_.bs_capacity.reject_backoff_hint_s;
+            bh_send(t, reply);
+            break;
+          }
+          ++u.stats.bs_jobs_submitted;
+          if (!st.submit(t, BsJobKind::kPrepAdmission,
+                         cfg_.bs_capacity.prep_service_s * svc_inflation_, m,
+                         m.ue)) {
+            // Queue full under threshold can only happen with extreme
+            // configs; the source's prep timer recovers the attempt.
+            ++u.stats.bs_queue_shed;
+            log_event(u, t, EventKind::kBsQueueShed, u.serving,
+                      static_cast<int>(tgt), st.load(t));
+          }
+          break;
+        }
+        case net::MsgType::kHandoverAck: {
+          const bool first = ack_seen_.accept(m.seq);
+          if (first && u.pending && !u.exec && u.pending->prep_requested &&
+              !u.pending->prep_acked && !u.pending->prep_failed &&
+              m.seq == u.pending->prep_seq) {
+            u.pending->prep_acked = true;
+            ++u.stats.prep_acks;
+            const double rtt = t - u.pending->prep_sent_s;
+            u.stats.prep_rtt_sum_s += rtt;
+            u.pending->command_due_s = t + cfg_.retry_spacing_s;
+            log_event(u, t, EventKind::kPrepAck, u.serving,
+                      static_cast<int>(u.pending->target_idx), rtt);
+          }
+          break;
+        }
+        case net::MsgType::kHandoverReject: {
+          const bool first = ack_seen_.accept(m.seq);
+          if (first && u.pending && !u.exec && u.pending->prep_requested &&
+              !u.pending->prep_acked && !u.pending->prep_failed &&
+              m.seq == u.pending->prep_seq) {
+            ++u.stats.prep_rejects;
+            log_event(u, t, EventKind::kPrepReject, u.serving,
+                      static_cast<int>(u.pending->target_idx), 0.0);
+            prep_fallback_or_fail(u, t);
+          }
+          break;
+        }
+        case net::MsgType::kHandoverRejectBusy: {
+          // Admission control said no: the target's signaling queue is
+          // over threshold. The source FSM (core/admission.hpp) pivots
+          // to the Theorem-2 fallback target if one is still fresh,
+          // otherwise waits out the carried backoff hint for a bounded
+          // number of re-attempts before failing the preparation.
+          const bool first = ack_seen_.accept(m.seq);
+          if (first && u.pending && !u.exec && u.pending->prep_requested &&
+              !u.pending->prep_acked && !u.pending->prep_failed &&
+              m.seq == u.pending->prep_seq) {
+            ++u.stats.admission_rejects;
+            const double hint = std::max(0.0, m.payload);
+            log_event(u, t, EventKind::kAdmissionReject, u.serving,
+                      static_cast<int>(u.pending->target_idx), hint);
+            core::AdmissionBackoffFsm fsm(
+                cfg_.bs_capacity.admission_max_retries,
+                u.pending->admission_retries);
+            const bool fallback_available =
+                u.pending->fallback_idx >= 0 && !u.pending->used_fallback &&
+                u.pending->fallback_idx !=
+                    static_cast<int>(u.pending->target_idx);
+            switch (fsm.decide(fallback_available)) {
+              case core::AdmissionAction::kFallback:
+                prep_fallback_or_fail(u, t);
+                break;
+              case core::AdmissionAction::kBackoff:
+                u.pending->admission_retries = fsm.retries();
+                ++u.stats.admission_backoff_retries;
+                u.pending->prep_requested = false;
+                u.pending->prep_retries = 0;
+                u.pending->prep_due_s = t + hint;
+                log_event(u, t, EventKind::kAdmissionRetry, u.serving,
+                          static_cast<int>(u.pending->target_idx), hint);
+                break;
+              case core::AdmissionAction::kFail:
+                prep_fallback_or_fail(u, t);  // no fallback: prep failed
+                break;
+            }
+          }
+          break;
+        }
+        case net::MsgType::kContextFetch: {
+          // The old serving BS looks the UE context up — through its
+          // capacity station when the model is on — and answers with
+          // the context, or with a stale indication if it crashed and
+          // lost the context since (restart recovery).
+          const int holder = m.dst_cell;
+          const bool stale =
+              holder >= 0 &&
+              holder < static_cast<int>(u.context_lost.size()) &&
+              u.context_lost[static_cast<std::size_t>(holder)];
+          if (use_cap_ && holder >= 0 &&
+              holder < static_cast<int>(stations_.size())) {
+            const auto h = static_cast<std::size_t>(holder);
+            top_up(t, h);
+            ++u.stats.bs_jobs_submitted;
+            if (!stations_[h].submit(
+                    t, BsJobKind::kContextLookup,
+                    cfg_.bs_capacity.ctx_service_s * svc_inflation_, m,
+                    m.ue)) {
+              ++u.stats.bs_queue_shed;
+              log_event(u, t, EventKind::kBsQueueShed, u.serving, holder,
+                        stations_[h].load(t));
+            }
+            break;  // reply goes out when the lookup job completes
+          }
+          net::BackhaulMessage reply;
+          reply.seq = m.seq;
+          reply.type = stale ? net::MsgType::kContextStale
+                             : net::MsgType::kContextResponse;
+          reply.src_cell = m.dst_cell;
+          reply.dst_cell = m.src_cell;
+          reply.target_cell = m.target_cell;
+          reply.ue = m.ue;
+          bh_send(t, reply);
+          break;
+        }
+        case net::MsgType::kContextResponse: {
+          if (u.outage_started >= 0.0 && u.ctx_pending && !u.ctx_ready &&
+              !u.ctx_failed && m.seq == u.ctx_seq &&
+              ctx_seen_.accept(m.seq)) {
+            u.ctx_ready = true;
+          }
+          break;
+        }
+        case net::MsgType::kContextStale: {
+          // The context holder restarted and lost the UE context: give
+          // up on the fetch and take the degraded context-less
+          // re-establishment path (same penalty as fetch exhaustion).
+          if (u.outage_started >= 0.0 && u.ctx_pending && !u.ctx_ready &&
+              !u.ctx_failed && m.seq == u.ctx_seq &&
+              ctx_seen_.accept(m.seq)) {
+            ++u.stats.stale_context_responses;
+            u.ctx_failed = true;
+            u.ctx_failed_camp_s = t + cfg_.ctx_degraded_penalty_s;
+            log_event(u, t, EventKind::kContextStale, u.serving, m.src_cell,
+                      0.0);
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  /// BS job completions: fire the continuation of each serviced signaling
+  /// job (admission verdicts, context lookups). Decision jobs resolved
+  /// their timing at submit; background jobs are not UE-visible work.
+  /// Runs even with the backhaul model off — decision jobs exist anyway.
+  void run_completions(double t) {
+    for (std::size_t si = 0; si < stations_.size(); ++si) {
+      for (const auto& job : stations_[si].take_completed(t)) {
+        if (job.kind == BsJobKind::kBackground) continue;
+        UeContext& u = ue_of(job.ue);
+        ++u.stats.bs_jobs_served;
+        const double wait = job.start_s - job.submit_s;
+        if (wait > 0.0) ++u.stats.bs_jobs_queued;
+        u.stats.bs_queue_wait_sum_s += wait;
+        log_event(u, t, EventKind::kBsJobDone, u.serving,
+                  static_cast<int>(si), wait);
+        if (job.kind == BsJobKind::kPrepAdmission) {
+          bh_send(t, admission_reply(job.msg));
+        } else if (job.kind == BsJobKind::kContextLookup) {
+          net::BackhaulMessage reply;
+          reply.seq = job.msg.seq;
+          reply.type = u.context_lost[si] ? net::MsgType::kContextStale
+                                          : net::MsgType::kContextResponse;
+          reply.src_cell = job.msg.dst_cell;
+          reply.dst_cell = job.msg.src_cell;
+          reply.target_cell = job.msg.target_cell;
+          reply.ue = job.msg.ue;
+          bh_send(t, reply);
+        }
+      }
+    }
+  }
+
+  /// World phase of one simulated instant: kinematics, fault-window
+  /// edges, the crash window, overload/backhaul fault values, backhaul
+  /// arrivals, and BS job completions — everything the seed's tick body
+  /// did before touching per-UE radio state.
+  void shared_step(double t) {
+    for (auto& u : ues_) {
+      u.pos = u.start_pos_m + u.speed_mps * t;
+      ++u.ticks;
+      u.cur_snr = kNaN;
+    }
+
+    // ---- Fault-window transitions (event log / observer only) ----
+    if ((cfg_.record_events || cfg_.observer) && faults_.any()) {
+      for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
+        const auto kind = static_cast<FaultKind>(k);
+        const bool act = faults_.active(kind, t);
+        if (act != fault_was_active_[k]) {
+          for (auto& u : ues_)
+            log_event(u, t,
+                      act ? EventKind::kFaultStart : EventKind::kFaultEnd,
+                      u.serving, static_cast<int>(k),
+                      faults_.magnitude(kind, t));
+          fault_was_active_[k] = act;
+        }
+      }
+    }
+
+    blackout_ = faults_.active(FaultKind::kCoverageBlackout, t);
+    blackout_db_ = faults_.magnitude(FaultKind::kCoverageBlackout, t);
+
+    // ---- BS crash-restart window edges ----
+    const double crash_mag = faults_.magnitude(FaultKind::kBsCrashRestart, t);
+    if (crash_mag > 0.0 && crashed_cell_ < 0) {
+      // Victim: magnitudes below 2 kill the reference UE's serving BS at
+      // window open; 2 + k kills cell index k (lets tests crash a prep
+      // target). The reference UE is UE 0, matching the single-UE seed.
+      int victim = crash_mag >= 2.0 ? static_cast<int>(crash_mag) - 2
+                                    : ues_.front().serving;
+      if (victim < 0 || victim >= static_cast<int>(env_.cells().size()))
+        victim = ues_.front().serving;
+      crashed_cell_ = victim;
+      // The crash is a global window: every UE observes it (and loses its
+      // context at the victim), so each per-UE checker sees the edge.
+      for (auto& u : ues_) {
+        ++u.stats.bs_crashes;
+        u.context_lost[static_cast<std::size_t>(victim)] = true;
+      }
+      // Everything queued inside the BS and on the wire to/from it dies,
+      // each flushed job attributed to its owning UE.
+      if (use_cap_) {
+        for (const auto& job :
+             stations_[static_cast<std::size_t>(victim)].flush_jobs())
+          ++ue_of(job.ue).stats.bs_jobs_flushed;
+      }
+      if (use_net_) netw_->drop_in_flight_for_cell(victim);
+      for (auto& u : ues_)
+        log_event(u, t, EventKind::kBsCrash, u.serving, victim, crash_mag);
+    } else if (crash_mag <= 0.0 && crashed_cell_ >= 0) {
+      // Restart: the BS rejoins stateless — queue already flushed at
+      // crash, receive-side dedup gone (SequenceTracker reset), and its
+      // prepared UE contexts stay lost until re-established (context_lost
+      // drives stale-context replies to fetches).
+      for (auto& u : ues_)
+        log_event(u, t, EventKind::kBsRestart, u.serving, crashed_cell_, 0.0);
+      ack_seen_.reset();
+      ctx_seen_.reset();
+      crashed_cell_ = -1;
+    }
+
+    // ---- BS overload window: background load + service inflation ----
+    overload_u_ =
+        use_cap_ ? faults_.magnitude(FaultKind::kBsOverload, t) : 0.0;
+    svc_inflation_ = overload_u_ > 0.0
+                         ? 1.0 / (1.0 - std::min(overload_u_, 0.95))
+                         : 1.0;
+
+    // ---- Backhaul transport: this tick's fault overrides + arrivals ----
+    bh_partition_ =
+        use_net_ && faults_.active(FaultKind::kBackhaulPartition, t);
+    bh_loss_ = use_net_ ? faults_.magnitude(FaultKind::kBackhaulLoss, t) : 0.0;
+    bh_delay_ =
+        use_net_ ? faults_.magnitude(FaultKind::kBackhaulDelay, t) : 0.0;
+    if (use_net_) poll_backhaul(t);
+    if (use_cap_) run_completions(t);
+  }
+
+  /// Per-UE phase of one simulated instant: outage handling, radio
+  /// sampling, execution completion, RLF detection, signaling progress,
+  /// manager evaluation, degraded tracking — the seed's tick body from
+  /// the radio boundary down, with `continue` turned into `return` under
+  /// the TickEmit guard.
+  void ue_step(double t, UeContext& u) {
+    TickEmit tick_emit{cfg_.observer ? this : nullptr, &u, t};
+    const double dt = cfg_.tick_s;
+
+    // ---- Outage / re-establishment ----
+    if (u.outage_started >= 0.0) {
+      ++u.outage_ticks;
+      if (t - u.outage_started >= u.outage_reestablish_s && !blackout_) {
+        // Camp only on a cell comfortably above Qout (Qin-style margin),
+        // otherwise keep searching — reconnecting into a dying cell just
+        // repeats the failure.
+        const double qin_rsrp =
+            env_.config().noise_floor_dbm + cfg_.qout_snr_db + 3.0;
+        if (u.preferred_target >= 0) {
+          // T304 fallback: the prepared target holds the UE context, so
+          // re-establishment there skips the full cell search. A crashed
+          // target lost that context — and its radio — so skip it.
+          const double rsrp =
+              env_.mean_rsrp_dbm(
+                  static_cast<std::size_t>(u.preferred_target), u.pos) -
+              crash_db(static_cast<std::size_t>(u.preferred_target));
+          if (rsrp >= std::max(cfg_.min_coverage_rsrp_dbm, qin_rsrp)) {
+            ++u.stats.t304_fallback_success;
+            camp_on(u, t, u.preferred_target);
+            return;
+          }
+          // Prepared target is gone too: full RLF re-establishment.
+          u.preferred_target = -1;
+          u.outage_reestablish_s = cfg_.reestablish_s;
+        }
+        if (t - u.outage_started >= u.outage_reestablish_s) {
+          const double floor_rsrp =
+              std::max(cfg_.min_coverage_rsrp_dbm, qin_rsrp);
+          if (!use_net_) {
+            const int target =
+                env_.best_cell(u.pos, floor_rsrp, crashed_cell_);
+            if (target >= 0) camp_on(u, t, target);
+            // else: still in a hole; keep searching.
+          } else if (u.ctx_failed) {
+            // Context fetch exhausted (or came back stale): degraded
+            // context-less re-establishment after the extra setup penalty.
+            if (t >= u.ctx_failed_camp_s) {
+              const int target =
+                  env_.best_cell(u.pos, floor_rsrp, crashed_cell_);
+              if (target >= 0) camp_on(u, t, target);
+            }
+          } else if (u.ctx_ready) {
+            if (env_.mean_rsrp_dbm(static_cast<std::size_t>(u.ctx_target),
+                                   u.pos) -
+                    crash_db(static_cast<std::size_t>(u.ctx_target)) >=
+                floor_rsrp) {
+              camp_on(u, t, u.ctx_target);
+            } else {
+              // The fetched-into cell faded while waiting; restart the
+              // fetch toward whatever is best now.
+              u.ctx_pending = u.ctx_ready = false;
+              u.ctx_target = -1;
+            }
+          } else if (!u.ctx_pending) {
+            // Re-establishment found a cell, but camping needs the UE
+            // context from the old serving BS — fetch it over the
+            // backhaul before admitting the UE.
+            const int target =
+                env_.best_cell(u.pos, floor_rsrp, crashed_cell_);
+            if (target >= 0) {
+              u.ctx_pending = true;
+              u.ctx_target = target;
+              u.ctx_seq = next_seq_++;
+              u.ctx_retries = 0;
+              u.ctx_deadline_s = t + cfg_.ctx_fetch_timeout_s;
+              net::BackhaulMessage m;
+              m.seq = u.ctx_seq;
+              m.type = net::MsgType::kContextFetch;
+              m.src_cell = target;
+              m.dst_cell = u.serving;  // old serving BS holds the context
+              m.target_cell = target;
+              m.ue = u.id;
+              bh_send(t, m);
+            }
+          } else if (t >= u.ctx_deadline_s) {
+            if (u.ctx_retries < cfg_.ctx_fetch_max_retries) {
+              // Idempotent retry: same transaction id, so a late response
+              // to an earlier copy still completes the fetch (and
+              // duplicates are absorbed by ctx_seen).
+              ++u.ctx_retries;
+              u.ctx_deadline_s =
+                  t + cfg_.ctx_fetch_timeout_s *
+                          static_cast<double>(1 << u.ctx_retries);
+              net::BackhaulMessage m;
+              m.seq = u.ctx_seq;
+              m.type = net::MsgType::kContextFetch;
+              m.src_cell = u.ctx_target;
+              m.dst_cell = u.serving;
+              m.target_cell = u.ctx_target;
+              m.ue = u.id;
+              bh_send(t, m);
+            } else {
+              u.ctx_failed = true;
+              ++u.stats.context_fetch_failures;
+              u.ctx_failed_camp_s = t + cfg_.ctx_degraded_penalty_s;
+              log_event(u, t, EventKind::kContextFetchFailed, u.serving,
+                        u.ctx_target, 0.0);
+            }
+          }
+        }
+      }
+      return;
+    }
+
+    // ---- Radio state ----
+    const bool pilot_out = faults_.active(FaultKind::kPilotOutage, t);
+    const double pilot_sigma = faults_.magnitude(FaultKind::kPilotOutage, t);
+    ServingState sv;
+    sv.cell_idx = static_cast<std::size_t>(u.serving);
+    sv.id = env_.cells()[sv.cell_idx].id;
+    const double sv_atten_db = blackout_db_ + crash_db(sv.cell_idx);
+    sv.rsrp_dbm =
+        env_.instant_rsrp_dbm(sv.cell_idx, u.pos, *u.rng) - sv_atten_db;
+    sv.dd_snr_db = env_.dd_snr_db(sv.cell_idx, u.pos, *u.rng) - sv_atten_db;
+    sv.snr_db = env_.snr_db_from_rsrp(sv.rsrp_dbm);
+    sv.bandwidth_hz = env_.cells()[sv.cell_idx].bandwidth_hz;
+    u.cur_snr = sv.snr_db;
+    if (pilot_out) {
+      // Pilots are gone: the delay-Doppler estimate freezes at its last
+      // fresh value and accumulates corruption.
+      if (!std::isnan(u.last_dd[sv.cell_idx]))
+        sv.dd_snr_db = u.last_dd[sv.cell_idx] - sv_atten_db;
+      sv.dd_snr_db += u.rng->gaussian(0.0, pilot_sigma);
+    } else {
+      u.last_dd[sv.cell_idx] = sv.dd_snr_db + sv_atten_db;
+      u.pilot_fresh_t = t;
+    }
+    u.throughput_sum_bps += common::shannon_capacity_bps(
+        sv.bandwidth_hz, common::db_to_lin(sv.snr_db));
+    u.snr_window.push_back({t, sv.snr_db});
+    while (!u.snr_window.empty() && t - u.snr_window.front().first > 5.0)
+      u.snr_window.pop_front();
+
+    // ---- Handover execution completion (T304 window) ----
+    if (u.exec && t >= u.exec->started_s + cfg_.ho_interruption_s) {
+      const std::size_t target = u.exec->target_idx;
+      const double tgt_rsrp = env_.mean_rsrp_dbm(target, u.pos) -
+                              blackout_db_ - crash_db(target);
+      const double tgt_snr = env_.snr_db_from_rsrp(tgt_rsrp);
+      if (tgt_snr >= cfg_.min_connect_snr_db) {
+        ++u.stats.successful_handovers;
+        const int prev = u.serving;
+        u.serving = static_cast<int>(target);
+        // A completed handover re-establishes the UE context at the
+        // target: a restarted BS that lost its prepared contexts is made
+        // whole again the moment a UE successfully attaches to it.
+        u.context_lost[target] = false;
+        u.manager->on_serving_changed(t, target);
+        u.oos_count = u.is_count = 0;
+        u.t310_started = -1.0;
+        u.last_report_loss_t = u.last_cmd_loss_t = -1e9;
+        u.suppress_until = t + cfg_.post_ho_suppress_s;
+        log_event(u, t, EventKind::kHandoverComplete, prev, u.serving,
+                  sv.snr_db);
+        u.ho_times.push_back(t);
+        // Loop bookkeeping: returning to a recently-serving cell.
+        bool is_loop = false;
+        for (const auto& [ts, idx] : u.recent_serving) {
+          if (t - ts <= cfg_.loop_window_s &&
+              idx == static_cast<int>(target)) {
+            is_loop = true;
+            break;
+          }
+        }
+        u.recent_serving.push_back({t, u.serving});
+        while (!u.recent_serving.empty() &&
+               t - u.recent_serving.front().first > cfg_.loop_window_s)
+          u.recent_serving.pop_front();
+        if (is_loop) {
+          ++u.stats.loop_handovers;
+          const auto& tgt_cell = env_.cells()[target];
+          const auto& prev_cell =
+              env_.cells()[static_cast<std::size_t>(prev)];
+          const bool conflict =
+              pair_conflicts_ &&
+              pair_conflicts_(tgt_cell.id.cell, prev_cell.id.cell);
+          if (conflict) ++u.stats.conflict_loop_handovers;
+          if (!u.current_loop_episode) {
+            ++u.stats.loop_episodes;
+            if (tgt_cell.id.channel == prev_cell.id.channel)
+              ++u.stats.intra_freq_loop_episodes;
+            if (conflict) {
+              ++u.stats.conflict_loop_episodes;
+              if (tgt_cell.id.channel == prev_cell.id.channel)
+                ++u.stats.intra_freq_conflict_loops;
+            }
+            u.current_loop_episode = true;
+          }
+        } else {
+          u.current_loop_episode = false;
+        }
+        u.exec.reset();
+      } else {
+        // T304 expiry: the target evaporated during execution. Fall back
+        // to re-establishment on the prepared target instead of a silent
+        // success or a bare RLF search.
+        ++u.stats.t304_expiries;
+        log_event(u, t, EventKind::kT304Expiry, u.serving,
+                  static_cast<int>(target), tgt_snr);
+        record_failure(u, t, FailureCause::kFeedbackDelayLoss);
+        u.outage_reestablish_s = cfg_.t304_reestablish_s;
+        u.preferred_target = static_cast<int>(u.exec->prepared_idx);
+        u.exec.reset();
+        return;
+      }
+    }
+
+    // ---- Radio link failure detection (N310/T310/N311) ----
+    if (!u.exec) {
+      if (u.t310_started >= 0.0) {
+        if (sv.snr_db >= cfg_.qout_snr_db + cfg_.qin_margin_db) {
+          if (++u.is_count >= cfg_.n311) {
+            // Recovered: N311 consecutive in-sync indications stop T310.
+            u.t310_started = -1.0;
+            u.oos_count = u.is_count = 0;
+          }
+        } else {
+          u.is_count = 0;
+        }
+      } else {
+        if (sv.snr_db < cfg_.qout_snr_db) {
+          if (++u.oos_count >= cfg_.n310) {
+            u.t310_started = t;
+            u.is_count = 0;
+          }
+        } else {
+          u.oos_count = 0;
+        }
+      }
+      if (u.t310_started >= 0.0 && t - u.t310_started >= cfg_.t310_s) {
+        // Classify the failure (Table 2 taxonomy). Lost-signaling
+        // evidence is kept for a short memory window because a failed
+        // attempt is usually replaced by a retry before the RLF lands.
+        FailureCause cause;
+        const int best =
+            blackout_ ? -1
+                      : env_.best_cell(u.pos, cfg_.min_coverage_rsrp_dbm,
+                                       crashed_cell_);
+        if (best < 0) {
+          cause = FailureCause::kCoverageHole;
+        } else if ((u.pending && u.pending->command_lost) ||
+                   t - u.last_cmd_loss_t < kLossMemory_s) {
+          cause = FailureCause::kHoCommandLoss;
+        } else if (u.pending && u.pending->decision_shed) {
+          // The serving BS shed the decision job: the network never acted
+          // on the delivered report — feedback was effectively lost.
+          cause = FailureCause::kFeedbackDelayLoss;
+        } else if (u.pending && u.pending->report_delivered) {
+          cause = FailureCause::kHoCommandLoss;  // command still in flight
+        } else if ((u.pending && (u.pending->report_lost ||
+                                  !u.pending->report_delivered)) ||
+                   t - u.last_report_loss_t < kLossMemory_s) {
+          cause = FailureCause::kFeedbackDelayLoss;  // lost or too slow
+        } else if (best == u.serving) {
+          // Nothing better exists: a deep fade of the only covering cell
+          // is effectively a (soft) coverage hole.
+          cause = FailureCause::kCoverageHole;
+        } else {
+          // No decision was ever made: was the best candidate invisible?
+          const auto visible = u.manager->visible_cells();
+          cause = visible.count(static_cast<std::size_t>(best)) == 0
+                      ? FailureCause::kMissedCell
+                      : FailureCause::kFeedbackDelayLoss;
+        }
+        log_event(u, t, EventKind::kRadioLinkFailure, u.serving, -1,
+                  sv.snr_db);
+        record_failure(u, t, cause);
+        return;
+      }
+    }
+
+    // ---- Pending handover progress ----
+    if (u.pending && !u.exec) {
+      if (!u.pending->report_delivered && !u.pending->report_lost &&
+          t >= u.pending->report_due_s) {
+        if (deliver(u, t, sv.snr_db, cfg_.uplink_attempts,
+                    u.manager->waveform())) {
+          u.pending->report_delivered = true;
+          // A processing-stall fault spikes the base station's decision
+          // time on top of the configured budget.
+          const double stall =
+              faults_.magnitude(FaultKind::kProcessingStall, t);
+          const double proc_s = cfg_.decision_proc_s + stall;
+          double ready_s = t + proc_s;
+          bool decision_shed = false;
+          if (use_cap_ && !u.manager->client_driven()) {
+            // Network-side decision: the report occupies the serving BS's
+            // control plane. Under overload it queues (the decision goes
+            // stale) or is shed outright — the degraded-mode asymmetry:
+            // REM's client-side prediction (client_driven) never enters
+            // this queue.
+            const auto si = static_cast<std::size_t>(u.serving);
+            top_up(t, si);
+            ++u.stats.bs_jobs_submitted;
+            const auto job =
+                stations_[si].submit(t, BsJobKind::kRrcDecision,
+                                     proc_s * svc_inflation_, {}, u.id);
+            if (job) {
+              ready_s = job->done_s;
+            } else {
+              decision_shed = true;
+              ++u.stats.bs_queue_shed;
+              u.pending->decision_shed = true;
+              u.last_report_loss_t = t;  // network never acted on it
+              log_event(u, t, EventKind::kBsQueueShed, u.serving, u.serving,
+                        stations_[si].load(t));
+            }
+          }
+          if (!decision_shed) {
+            if (use_net_) {
+              // The BS decides, then must get the target's admission over
+              // the backhaul before any command can go out.
+              u.pending->prep_due_s = ready_s;
+            } else {
+              u.pending->command_due_s =
+                  ready_s + cfg_.retry_spacing_s;  // decision + scheduling
+            }
+          }
+          u.stats.feedback_delays_s.push_back(t - u.pending->decided_at_s);
+          log_event(u, t, EventKind::kReportDelivered, u.serving,
+                    static_cast<int>(u.pending->target_idx), sv.snr_db);
+        } else if (u.pending->report_retries < cfg_.report_max_retries) {
+          // Bounded exponential backoff instead of giving up at once.
+          ++u.pending->report_retries;
+          ++u.stats.report_retransmits;
+          u.pending->report_due_s =
+              t + cfg_.report_retry_backoff_s *
+                      static_cast<double>(1 << (u.pending->report_retries -
+                                                1));
+          log_event(u, t, EventKind::kReportRetransmit, u.serving,
+                    static_cast<int>(u.pending->target_idx), sv.snr_db);
+        } else {
+          u.pending->report_lost = true;  // retransmissions exhausted
+          u.last_report_loss_t = t;
+          log_event(u, t, EventKind::kReportLost, u.serving,
+                    static_cast<int>(u.pending->target_idx), sv.snr_db);
+        }
+      }
+      // ---- Backhaul preparation (HANDOVER REQUEST -> ACK) ----
+      if (use_net_ && u.pending->report_delivered && !u.pending->prep_acked &&
+          !u.pending->prep_failed && !u.pending->command_lost &&
+          !u.pending->decision_shed) {
+        if (!u.pending->prep_requested) {
+          if (t >= u.pending->prep_due_s) {
+            // First send toward the current target (also re-entered after
+            // a fallback switch, which resets prep_requested).
+            u.pending->prep_requested = true;
+            u.pending->prep_seq = next_seq_++;
+            u.pending->prep_sent_s = t;
+            u.pending->prep_deadline_s = t + cfg_.prep_timeout_s;
+            ++u.stats.prep_requests;
+            net::BackhaulMessage m;
+            m.seq = u.pending->prep_seq;
+            m.type = net::MsgType::kHandoverRequest;
+            m.src_cell = u.serving;
+            m.dst_cell = static_cast<int>(u.pending->target_idx);
+            m.target_cell = static_cast<int>(u.pending->target_idx);
+            m.ue = u.id;
+            bh_send(t, m);
+            log_event(u, t, EventKind::kPrepRequest, u.serving,
+                      static_cast<int>(u.pending->target_idx), sv.snr_db);
+          }
+        } else if (t >= u.pending->prep_deadline_s) {
+          if (u.pending->prep_retries < cfg_.prep_max_retries) {
+            // T-prep expiry: re-send under a fresh transaction id with
+            // exponential backoff; a straggling ack to the old id is
+            // ignored (prep_seq no longer matches).
+            ++u.pending->prep_retries;
+            ++u.stats.prep_retries;
+            u.pending->prep_seq = next_seq_++;
+            u.pending->prep_sent_s = t;
+            u.pending->prep_deadline_s =
+                t + cfg_.prep_timeout_s *
+                        static_cast<double>(1 << u.pending->prep_retries);
+            net::BackhaulMessage m;
+            m.seq = u.pending->prep_seq;
+            m.type = net::MsgType::kHandoverRequest;
+            m.src_cell = u.serving;
+            m.dst_cell = static_cast<int>(u.pending->target_idx);
+            m.target_cell = static_cast<int>(u.pending->target_idx);
+            m.ue = u.id;
+            bh_send(t, m);
+            log_event(u, t, EventKind::kPrepRetry, u.serving,
+                      static_cast<int>(u.pending->target_idx), sv.snr_db);
+          } else {
+            prep_fallback_or_fail(u, t);
+          }
+        }
+      }
+      const bool command_ready = use_net_ ? u.pending->prep_acked
+                                          : u.pending->report_delivered;
+      if (command_ready && !u.pending->command_lost &&
+          !u.pending->decision_shed && t >= u.pending->command_due_s) {
+        if (deliver(u, t, sv.snr_db, cfg_.downlink_attempts,
+                    u.manager->waveform())) {
+          std::size_t target = u.pending->target_idx;
+          // A duplication fault reorders commands: a stale duplicate of
+          // the previous command can arrive (and execute) first.
+          const double dup_p =
+              faults_.magnitude(FaultKind::kCommandDuplication, t);
+          if (dup_p > 0.0 && u.last_cmd_target >= 0 &&
+              u.last_cmd_target != static_cast<int>(target) &&
+              u.rng->bernoulli(std::min(1.0, dup_p))) {
+            ++u.stats.duplicate_commands;
+            log_event(u, t, EventKind::kHoCommandDuplicate, u.serving,
+                      u.last_cmd_target, sv.snr_db);
+            target = static_cast<std::size_t>(u.last_cmd_target);
+          }
+          log_event(u, t, EventKind::kHoCommandDelivered, u.serving,
+                    static_cast<int>(target), sv.snr_db);
+          ++u.stats.handovers;
+          u.last_cmd_target = static_cast<int>(u.pending->target_idx);
+          // Execution: detach + random access, completes (or T304-fails)
+          // after the interruption window.
+          u.exec = Execution{target, u.pending->target_idx, t};
+          u.pending.reset();
+          u.oos_count = u.is_count = 0;
+          u.t310_started = -1.0;
+        } else {
+          u.pending->command_lost = true;
+          u.last_cmd_loss_t = t;
+          log_event(u, t, EventKind::kHoCommandLost, u.serving,
+                    static_cast<int>(u.pending->target_idx), sv.snr_db);
+        }
+      }
+    }
+
+    // ---- Manager policy evaluation ----
+    if (!u.exec && t >= u.suppress_until &&
+        (!u.pending || u.pending->report_lost || u.pending->command_lost ||
+         u.pending->prep_failed || u.pending->decision_shed)) {
+      std::vector<Observation> obs;
+      for (std::size_t i = 0; i < env_.cells().size(); ++i) {
+        if (i == sv.cell_idx) continue;
+        const double mean = env_.mean_rsrp_dbm(i, u.pos);
+        if (mean < cfg_.min_coverage_rsrp_dbm - 10.0) continue;
+        Observation o;
+        o.cell_idx = i;
+        o.id = env_.cells()[i].id;
+        const double atten_db = blackout_db_ + crash_db(i);
+        o.rsrp_dbm = env_.instant_rsrp_dbm(i, u.pos, *u.rng) - atten_db;
+        o.snr_db = env_.snr_db_from_rsrp(o.rsrp_dbm);
+        o.dd_snr_db = env_.dd_snr_db(i, u.pos, *u.rng) - atten_db;
+        if (pilot_out) {
+          if (!std::isnan(u.last_dd[i])) o.dd_snr_db = u.last_dd[i] - atten_db;
+          o.dd_snr_db += u.rng->gaussian(0.0, pilot_sigma);
+          o.estimate_age_s = t - u.pilot_fresh_t;
+          o.pilot_faulted = true;
+        } else {
+          u.last_dd[i] = o.dd_snr_db + atten_db;
+        }
+        o.bandwidth_hz = env_.cells()[i].bandwidth_hz;
+        obs.push_back(o);
+      }
+      const auto decision = u.manager->update(t, sv, obs);
+      if (decision) {
+        log_event(u, t, EventKind::kMeasurementTriggered, u.serving,
+                  static_cast<int>(decision->target_idx), sv.snr_db);
+        PendingHandover ph;
+        ph.target_idx = decision->target_idx;
+        ph.decided_at_s = t;
+        ph.report_due_s = t + decision->feedback_delay_s;
+        ph.fallback_idx = decision->fallback_idx;
+        u.pending = ph;
+      }
+    }
+
+    // ---- Degraded-mode tracking ----
+    const bool degraded = u.manager->degraded_mode();
+    if (degraded != u.degraded_prev) {
+      log_event(u, t,
+                degraded ? EventKind::kDegradedEnter
+                         : EventKind::kDegradedExit,
+                u.serving, -1, sv.snr_db);
+      if (degraded) ++u.stats.degraded_enters;
+      u.degraded_prev = degraded;
+    }
+    if (degraded) u.stats.degraded_time_s += dt;
+  }
+
+  /// End-of-run stats finalization and the observer run-end protocol.
+  void finish() {
+    for (auto& u : ues_) {
+      u.stats.sim_time_s = cfg_.duration_s;
+      if (u.ticks > 0) {
+        u.stats.mean_throughput_bps =
+            u.throughput_sum_bps / static_cast<double>(u.ticks);
+        u.stats.downtime_fraction = static_cast<double>(u.outage_ticks) /
+                                    static_cast<double>(u.ticks);
+      }
+      if (u.ho_times.size() >= 2) {
+        u.stats.avg_handover_interval_s =
+            (u.ho_times.back() - u.ho_times.front()) /
+            static_cast<double>(u.ho_times.size() - 1);
+      }
+    }
+    if (netw_) {
+      // Transport totals land on UE 0, the reference UE: a fleet of one
+      // then matches run() field-for-field, and per-UE sums still equal
+      // the fleet aggregate (UEs 1..N-1 carry zeros).
+      const auto& ts = netw_->stats();
+      auto& s0 = ues_.front().stats;
+      s0.backhaul_sent = ts.sent;
+      s0.backhaul_delivered = ts.delivered;
+      s0.backhaul_dropped_loss = ts.dropped_loss;
+      s0.backhaul_dropped_partition = ts.dropped_partition;
+      s0.backhaul_dropped_queue = ts.dropped_queue;
+      s0.backhaul_dropped_crash = ts.dropped_crash;
+      s0.backhaul_duplicated = ts.duplicated;
+      s0.backhaul_reordered = ts.reordered;
+      s0.backhaul_latency_sum_s = ts.latency_sum_s;
+    }
+    if (use_cap_) {
+      // Jobs still scheduled at run end: conservation's in-flight term
+      // (submitted == served + shed + flushed + inflight), attributed to
+      // each job's owning UE.
+      for (const auto& st : stations_)
+        for (const auto& job : st.unfinished_jobs())
+          ++ue_of(job.ue).stats.bs_jobs_inflight_end;
+    }
+    if (cfg_.observer) {
+      if (!fleet_mode_) {
+        cfg_.observer->on_run_end(ues_.front().stats);
+      } else {
+        for (auto& u : ues_) {
+          focus(u.id);
+          cfg_.observer->on_run_end(u.stats);
+        }
+      }
+    }
+  }
+
+  const RadioEnv& env_;
+  const SimConfig& cfg_;
+  const phy::BlerModel& bler_;
+  const std::function<bool(int, int)>& pair_conflicts_;
+  const bool fleet_mode_;
+  const bool use_net_;
+  const bool use_cap_;
+
+  FaultInjector faults_;
+  std::optional<net::BackhaulNetwork> netw_;
+  std::vector<BsStation> stations_;
+  std::vector<UeContext> ues_;
+  std::uint64_t next_seq_ = 1;  ///< transaction ids for all backhaul msgs
+  net::SequenceTracker ack_seen_;  ///< at-most-once ack/reject processing
+  net::SequenceTracker ctx_seen_;  ///< at-most-once context responses
+  // Crash-restart state: at most one dead BS at a time; a dead BS stays
+  // radio-silent, its signaling is dropped, and every UE's context there
+  // is lost until re-established.
+  int crashed_cell_ = -1;
+  std::array<bool, kNumFaultKinds> fault_was_active_{};
+  // This instant's shared fault values, computed once per shared_step.
+  bool blackout_ = false;
+  double blackout_db_ = 0.0;
+  double overload_u_ = 0.0;
+  double svc_inflation_ = 1.0;
+  bool bh_partition_ = false;
+  double bh_loss_ = 0.0;
+  double bh_delay_ = 0.0;
+  int cur_obs_ue_ = -1;  ///< last UE announced via SimObserver::on_ue
+
+  friend struct TickEmit;
+};
+
+TickEmit::~TickEmit() {
+  if (eng) eng->emit_tick(*ue, t);
+}
 
 }  // namespace
 
@@ -89,1028 +1391,88 @@ Simulator::Simulator(const RadioEnv& env, const SimConfig& cfg,
                      const phy::BlerModel& bler, common::Rng rng)
     : env_(env), cfg_(cfg), bler_(bler), rng_(std::move(rng)) {}
 
-phy::DopplerRegime Simulator::regime() const {
-  return cfg_.speed_kmh >= 150.0 ? phy::DopplerRegime::kHigh
-                                 : phy::DopplerRegime::kLow;
-}
-
-bool Simulator::deliver(double t, double snr_db, int attempts,
-                        phy::Waveform w) {
-  // A signaling-loss fault raises the per-attempt loss probability floor.
-  const double floor = faults_.magnitude(FaultKind::kSignalingLoss, t);
-  for (int a = 0; a < attempts; ++a) {
-    const double p =
-        std::min(1.0, std::max(bler_.bler(w, regime(), snr_db), floor));
-    if (!rng_.bernoulli(p)) return true;
-  }
-  return false;
-}
-
 SimStats Simulator::run(MobilityManager& manager,
                         const std::function<bool(int, int)>& pair_conflicts) {
-  SimStats stats;
-  const double speed = common::kmh_to_mps(cfg_.speed_kmh);
-  const double dt = cfg_.tick_s;
-
-  // Materialize the fault schedule. The no-fault path must not fork the
-  // RNG, so a fault-free config leaves every downstream draw untouched.
-  faults_ = cfg_.faults.empty()
-                ? FaultInjector()
-                : FaultInjector(cfg_.faults, cfg_.duration_s, rng_.fork());
-
-  // Inter-BS backhaul transport. Owns a forked RNG stream so message-level
-  // draws (loss, jitter, reordering) never perturb the radio-leg sequence.
-  const bool use_net = cfg_.backhaul.enabled;
-  std::optional<net::BackhaulNetwork> netw;
-  if (use_net) netw.emplace(cfg_.backhaul, rng_.fork());
-  std::uint64_t next_seq = 1;        // transaction ids for all backhaul msgs
-  net::SequenceTracker ack_seen;     // at-most-once ack/reject processing
-  net::SequenceTracker ctx_seen;     // at-most-once context responses
-  // Context-fetch state during RLF re-establishment (use_net only).
-  bool ctx_pending = false, ctx_ready = false, ctx_failed = false;
-  std::uint64_t ctx_seq = 0;
-  int ctx_retries = 0;
-  double ctx_deadline_s = 0.0;
-  int ctx_target = -1;
-  double ctx_failed_camp_s = 0.0;
-
-  // Per-BS control-plane capacity: one station (processing slots + bounded
-  // FIFO signaling queue) per cell. Deterministic service times, no RNG.
-  const bool use_cap = cfg_.bs_capacity.enabled;
-  if (use_cap) validate(cfg_.bs_capacity);
-  std::vector<BsStation> stations;
-  if (use_cap) {
-    stations.assign(env_.cells().size(),
-                    BsStation(cfg_.bs_capacity.slots,
-                              cfg_.bs_capacity.queue_capacity));
+  FleetEngine eng(env_, cfg_, bler_, rng_, pair_conflicts,
+                  /*fleet_mode=*/false);
+  // The single UE rides the base RNG stream directly (after the engine's
+  // faults/backhaul forks), exactly like the pre-refactor loop.
+  eng.add_ue(&manager, &rng_, cfg_.speed_kmh, 0.0);
+  if (cfg_.engine == SimEngine::kEventQueue) {
+    eng.run_event_queue();
+  } else {
+    eng.run_tick_loop();
   }
-  // Crash-restart state: at most one dead BS at a time; a dead BS stays
-  // radio-silent, its signaling is dropped, and its UE contexts are lost
-  // (context_lost drives stale-context replies until re-established).
-  int crashed_cell = -1;
-  std::vector<bool> context_lost(env_.cells().size(), false);
+  auto stats = eng.take_stats();
+  return std::move(stats.front());
+}
 
-  // Initial attach: strongest cell at the start.
-  double pos = 0.0;
-  int serving = env_.best_cell(pos, cfg_.min_coverage_rsrp_dbm);
-  if (serving < 0) serving = 0;
-  manager.on_serving_changed(0.0, static_cast<std::size_t>(serving));
+FleetResult Simulator::run_fleet(
+    const std::function<std::unique_ptr<MobilityManager>(int)>& make_manager,
+    const std::function<bool(int, int)>& pair_conflicts) {
+  if (cfg_.fleet_size < 1)
+    throw std::invalid_argument("run_fleet: fleet_size must be >= 1, got " +
+                                std::to_string(cfg_.fleet_size));
+  if (!make_manager)
+    throw std::invalid_argument("run_fleet: make_manager must be callable");
+  if (cfg_.fleet.speed_min_kmh <= 0.0 ||
+      cfg_.fleet.speed_max_kmh < cfg_.fleet.speed_min_kmh)
+    throw std::invalid_argument(
+        "run_fleet: fleet speed range must satisfy 0 < min <= max, got [" +
+        std::to_string(cfg_.fleet.speed_min_kmh) + ", " +
+        std::to_string(cfg_.fleet.speed_max_kmh) + "]");
+  if (cfg_.fleet.start_spread_m < 0.0)
+    throw std::invalid_argument(
+        "run_fleet: fleet start_spread_m must be >= 0, got " +
+        std::to_string(cfg_.fleet.start_spread_m));
 
-  std::optional<PendingHandover> pending;
-  std::optional<Execution> exec;
-  // RLF detection state: consecutive out-of-sync ticks arm T310;
-  // consecutive in-sync ticks during T310 disarm it.
-  int oos_count = 0;
-  int is_count = 0;
-  double t310_started = -1.0;
-  double outage_started = -1.0;      // RLF time (in outage if >= 0)
-  double outage_reestablish_s = cfg_.reestablish_s;
-  int preferred_target = -1;         // prepared target for T304 fallback
-  double last_report_loss_t = -1e9;  // recent retransmit-exhausted feedback
-  double last_cmd_loss_t = -1e9;     // recent lost handover command
-  int last_cmd_target = -1;          // previous delivered command's target
-  double suppress_until = 0.0;       // post-handover decision blanking
-  constexpr double kLossMemory_s = 1.5;
-  std::deque<std::pair<double, int>> recent_serving;  // (time, cell idx)
-  std::vector<double> ho_times;
-  bool current_loop_episode = false;
-  double throughput_sum_bps = 0.0;
-  std::size_t ticks = 0, outage_ticks = 0;
-  // Pilot-outage staleness: last fresh delay-Doppler SNR per cell, and
-  // when pilots were last fresh.
-  std::vector<double> last_dd(env_.cells().size(),
-                              std::numeric_limits<double>::quiet_NaN());
-  double pilot_fresh_t = 0.0;
-  std::array<bool, kNumFaultKinds> fault_was_active{};
-  bool degraded_prev = false;
+  // The engine forks faults, then backhaul, from the base stream — the
+  // same order as run() — before any per-UE derivation.
+  FleetEngine eng(env_, cfg_, bler_, rng_, pair_conflicts,
+                  /*fleet_mode=*/true);
+  const int n = cfg_.fleet_size;
 
-  // Rolling 5 s window of serving SNR for the Fig. 2b analysis.
-  std::deque<std::pair<double, double>> snr_window;  // (t, snr)
-
-  const auto log_event = [&](double t, EventKind kind, int srv, int tgt,
-                             double snr) {
-    if (!cfg_.record_events && !cfg_.observer) return;
-    const SignalingEvent e{t, kind, srv, tgt, snr};
-    if (cfg_.observer) cfg_.observer->on_event(e);
-    if (cfg_.record_events) stats.events.push_back(e);
-  };
-
-  // End-of-tick observer snapshot (fired by TickEmit below). Reads only —
-  // no RNG draws — so attaching an observer never changes a run's results.
-  double cur_snr = std::numeric_limits<double>::quiet_NaN();
-  const std::function<void(double)> emit_tick = [&](double t_now) {
-    TickView v;
-    v.t_s = t_now;
-    v.serving = serving;
-    v.serving_snr_db = cur_snr;
-    v.in_outage = outage_started >= 0.0;
-    v.executing = exec.has_value();
-    v.t310_running = t310_started >= 0.0;
-    v.oos_count = oos_count;
-    v.is_count = is_count;
-    v.report_pending =
-        pending && !pending->report_delivered && !pending->report_lost;
-    v.prep_pending = use_net && pending && pending->report_delivered &&
-                     !pending->prep_acked && !pending->prep_failed &&
-                     !pending->command_lost && !pending->decision_shed;
-    v.command_pending = pending &&
-                        (use_net ? pending->prep_acked
-                                 : pending->report_delivered) &&
-                        !pending->command_lost && !pending->decision_shed;
-    v.pilot_fault = faults_.active(FaultKind::kPilotOutage, t_now);
-    v.blackout = faults_.active(FaultKind::kCoverageBlackout, t_now);
-    v.estimate_age_s = v.pilot_fault ? t_now - pilot_fresh_t : 0.0;
-    v.degraded = degraded_prev;
-    if (use_cap) {
-      for (const auto& st : stations)
-        v.bs_queue_peak = std::max(v.bs_queue_peak, st.occupancy(t_now));
-    }
-    v.crashed_cells = crashed_cell >= 0 ? 1 : 0;
-    cfg_.observer->on_tick(v);
-  };
-
-  const auto record_failure = [&](double t, FailureCause cause) {
-    ++stats.failures;
-    ++stats.failures_by_cause[cause];
-    // Dump the pre-failure SNR window, decimated to ~10 samples.
-    const std::size_t stride = std::max<std::size_t>(
-        snr_window.size() / 10, 1);
-    for (std::size_t i = 0; i < snr_window.size(); i += stride)
-      stats.pre_failure_snrs_db.push_back(snr_window[i].second);
-    snr_window.clear();
-    outage_started = t;
-    outage_reestablish_s = cfg_.reestablish_s;
-    preferred_target = -1;
-    pending.reset();
-    oos_count = is_count = 0;
-    t310_started = -1.0;
-    ctx_pending = ctx_ready = ctx_failed = false;
-    ctx_target = -1;
-  };
-
-  const auto camp_on = [&](double t, int target) {
-    stats.outage_durations_s.push_back(t - outage_started);
-    serving = target;
-    // Camping (re-)establishes the UE context at this BS.
-    context_lost[static_cast<std::size_t>(target)] = false;
-    outage_started = -1.0;
-    preferred_target = -1;
-    ctx_pending = ctx_ready = ctx_failed = false;
-    ctx_target = -1;
-    outage_reestablish_s = cfg_.reestablish_s;
-    last_report_loss_t = last_cmd_loss_t = -1e9;
-    manager.on_serving_changed(t, static_cast<std::size_t>(serving));
-    log_event(t, EventKind::kReestablished, serving, -1, 0.0);
-    recent_serving.push_back({t, serving});
-  };
-
-  for (double t = 0.0; t < cfg_.duration_s; t += dt) {
-    pos = speed * t;
-    ++ticks;
-    cur_snr = std::numeric_limits<double>::quiet_NaN();
-    TickEmit tick_emit{cfg_.observer ? &emit_tick : nullptr, t};
-
-    // ---- Fault-window transitions (event log / observer only) ----
-    if ((cfg_.record_events || cfg_.observer) && faults_.any()) {
-      for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
-        const auto kind = static_cast<FaultKind>(k);
-        const bool act = faults_.active(kind, t);
-        if (act != fault_was_active[k]) {
-          log_event(t, act ? EventKind::kFaultStart : EventKind::kFaultEnd,
-                    serving, static_cast<int>(k),
-                    faults_.magnitude(kind, t));
-          fault_was_active[k] = act;
-        }
-      }
-    }
-
-    const bool blackout = faults_.active(FaultKind::kCoverageBlackout, t);
-    const double blackout_db =
-        faults_.magnitude(FaultKind::kCoverageBlackout, t);
-
-    // ---- BS crash-restart window edges ----
-    const double crash_mag = faults_.magnitude(FaultKind::kBsCrashRestart, t);
-    if (crash_mag > 0.0 && crashed_cell < 0) {
-      // Victim: magnitudes below 2 kill the serving BS at window open;
-      // 2 + k kills cell index k (lets tests crash a prep target).
-      int victim = crash_mag >= 2.0 ? static_cast<int>(crash_mag) - 2
-                                    : serving;
-      if (victim < 0 || victim >= static_cast<int>(env_.cells().size()))
-        victim = serving;
-      crashed_cell = victim;
-      ++stats.bs_crashes;
-      context_lost[static_cast<std::size_t>(victim)] = true;
-      // Everything queued inside the BS and on the wire to/from it dies.
-      if (use_cap)
-        stats.bs_jobs_flushed +=
-            stations[static_cast<std::size_t>(victim)].flush();
-      if (use_net) netw->drop_in_flight_for_cell(victim);
-      log_event(t, EventKind::kBsCrash, serving, victim, crash_mag);
-    } else if (crash_mag <= 0.0 && crashed_cell >= 0) {
-      // Restart: the BS rejoins stateless — queue already flushed at
-      // crash, receive-side dedup gone (SequenceTracker reset), and its
-      // prepared UE contexts stay lost until re-established (context_lost
-      // drives stale-context replies to fetches).
-      log_event(t, EventKind::kBsRestart, serving, crashed_cell, 0.0);
-      ack_seen.reset();
-      ctx_seen.reset();
-      crashed_cell = -1;
-    }
-    // Attenuation making a crashed cell unconnectable and unmeasurable.
-    const auto crash_db = [&](std::size_t idx) {
-      return static_cast<int>(idx) == crashed_cell ? kCrashPenaltyDb : 0.0;
-    };
-
-    // ---- BS overload window: background load + service inflation ----
-    const double overload_u =
-        use_cap ? faults_.magnitude(FaultKind::kBsOverload, t) : 0.0;
-    const double svc_inflation =
-        overload_u > 0.0 ? 1.0 / (1.0 - std::min(overload_u, 0.95)) : 1.0;
-    // Lazily saturate a station with synthetic other-UE jobs up to the
-    // window's target occupancy, right before a UE job is offered to it.
-    // Deterministic: occupancy targets and service times are fixed.
-    const auto top_up = [&](std::size_t cell) {
-      if (overload_u <= 0.0 || static_cast<int>(cell) == crashed_cell)
-        return;
-      const double cap =
-          static_cast<double>(cfg_.bs_capacity.slots) +
-          static_cast<double>(cfg_.bs_capacity.queue_capacity);
-      const int target_occ =
-          static_cast<int>(std::lround(overload_u * cap));
-      auto& st = stations[cell];
-      while (st.occupancy(t) < target_occ) {
-        if (!st.submit(t, BsJobKind::kBackground,
-                       cfg_.bs_capacity.background_service_s))
-          break;
-      }
-    };
-
-    // ---- Backhaul transport: this tick's fault overrides + arrivals ----
-    const bool bh_partition =
-        use_net && faults_.active(FaultKind::kBackhaulPartition, t);
-    const double bh_loss =
-        use_net ? faults_.magnitude(FaultKind::kBackhaulLoss, t) : 0.0;
-    const double bh_delay =
-        use_net ? faults_.magnitude(FaultKind::kBackhaulDelay, t) : 0.0;
-    const auto bh_send = [&](const net::BackhaulMessage& m) {
-      // A dead BS can neither send nor receive; like partitions, crash
-      // drops consume no random draws.
-      if (crashed_cell >= 0 && (m.src_cell == crashed_cell ||
-                                m.dst_cell == crashed_cell)) {
-        ++stats.bs_crash_dropped_msgs;
-        return;
-      }
-      netw->send(t, m, bh_loss, bh_delay, bh_partition);
-    };
-    // Preparation hit a terminal condition (reject / timeout exhaustion):
-    // swing to the decision's fallback target once, then give up. A failed
-    // preparation leaves the UE on the dying serving link, so an eventual
-    // RLF classifies like a lost command (the network decided, the UE
-    // never heard).
-    const auto prep_fallback_or_fail = [&](double now) {
-      if (pending->fallback_idx >= 0 && !pending->used_fallback &&
-          pending->fallback_idx != static_cast<int>(pending->target_idx)) {
-        pending->used_fallback = true;
-        pending->target_idx =
-            static_cast<std::size_t>(pending->fallback_idx);
-        pending->prep_retries = 0;
-        pending->prep_requested = false;
-        pending->prep_due_s = now;
-        ++stats.prep_fallbacks;
-        log_event(now, EventKind::kPrepFallback, serving,
-                  static_cast<int>(pending->target_idx), 0.0);
-      } else {
-        pending->prep_failed = true;
-        ++stats.prep_failures;
-        last_cmd_loss_t = now;
-        log_event(now, EventKind::kPrepFailed, serving,
-                  static_cast<int>(pending->target_idx), 0.0);
-      }
-    };
-    // Builds the admission reply for a HANDOVER REQUEST: accept when the
-    // target still covers the UE's position; echo the transaction id.
-    const auto admission_reply = [&](const net::BackhaulMessage& m) {
-      const auto tgt = static_cast<std::size_t>(m.target_cell);
-      const double rsrp =
-          env_.mean_rsrp_dbm(tgt, pos) - blackout_db - crash_db(tgt);
-      net::BackhaulMessage reply;
-      reply.seq = m.seq;
-      reply.type = rsrp >= cfg_.min_coverage_rsrp_dbm
-                       ? net::MsgType::kHandoverAck
-                       : net::MsgType::kHandoverReject;
-      reply.src_cell = m.dst_cell;
-      reply.dst_cell = m.src_cell;
-      reply.target_cell = m.target_cell;
-      reply.payload = rsrp;
-      return reply;
-    };
-    if (use_net) {
-      for (const auto& m : netw->poll(t)) {
-        // Frames addressed to (or claiming to come from) a dead BS are
-        // dropped at delivery — defensive: crash open flushed the wire.
-        if (crashed_cell >= 0 && (m.dst_cell == crashed_cell ||
-                                  m.src_cell == crashed_cell)) {
-          ++stats.bs_crash_dropped_msgs;
-          continue;
-        }
-        switch (m.type) {
-          case net::MsgType::kHandoverRequest: {
-            if (!use_cap) {
-              bh_send(admission_reply(m));
-              break;
-            }
-            // Capacity model: admission control first — an over-threshold
-            // target refuses outright with a backoff hint (the source FSM
-            // pivots to its fallback or waits the hint out). Below the
-            // threshold the request takes a processing slot and the
-            // accept/reject verdict goes out when the job completes.
-            const auto tgt = static_cast<std::size_t>(m.target_cell);
-            top_up(tgt);
-            auto& st = stations[tgt];
-            if (st.load(t) >= cfg_.bs_capacity.admission_load_threshold) {
-              net::BackhaulMessage reply;
-              reply.seq = m.seq;
-              reply.type = net::MsgType::kHandoverRejectBusy;
-              reply.src_cell = m.dst_cell;
-              reply.dst_cell = m.src_cell;
-              reply.target_cell = m.target_cell;
-              reply.payload = cfg_.bs_capacity.reject_backoff_hint_s;
-              bh_send(reply);
-              break;
-            }
-            ++stats.bs_jobs_submitted;
-            if (!st.submit(t, BsJobKind::kPrepAdmission,
-                           cfg_.bs_capacity.prep_service_s * svc_inflation,
-                           m)) {
-              // Queue full under threshold can only happen with extreme
-              // configs; the source's prep timer recovers the attempt.
-              ++stats.bs_queue_shed;
-              log_event(t, EventKind::kBsQueueShed, serving,
-                        static_cast<int>(tgt), st.load(t));
-            }
-            break;
-          }
-          case net::MsgType::kHandoverAck: {
-            const bool first = ack_seen.accept(m.seq);
-            if (first && pending && !exec && pending->prep_requested &&
-                !pending->prep_acked && !pending->prep_failed &&
-                m.seq == pending->prep_seq) {
-              pending->prep_acked = true;
-              ++stats.prep_acks;
-              const double rtt = t - pending->prep_sent_s;
-              stats.prep_rtt_sum_s += rtt;
-              pending->command_due_s = t + cfg_.retry_spacing_s;
-              log_event(t, EventKind::kPrepAck, serving,
-                        static_cast<int>(pending->target_idx), rtt);
-            }
-            break;
-          }
-          case net::MsgType::kHandoverReject: {
-            const bool first = ack_seen.accept(m.seq);
-            if (first && pending && !exec && pending->prep_requested &&
-                !pending->prep_acked && !pending->prep_failed &&
-                m.seq == pending->prep_seq) {
-              ++stats.prep_rejects;
-              log_event(t, EventKind::kPrepReject, serving,
-                        static_cast<int>(pending->target_idx), 0.0);
-              prep_fallback_or_fail(t);
-            }
-            break;
-          }
-          case net::MsgType::kHandoverRejectBusy: {
-            // Admission control said no: the target's signaling queue is
-            // over threshold. The source FSM (core/admission.hpp) pivots
-            // to the Theorem-2 fallback target if one is still fresh,
-            // otherwise waits out the carried backoff hint for a bounded
-            // number of re-attempts before failing the preparation.
-            const bool first = ack_seen.accept(m.seq);
-            if (first && pending && !exec && pending->prep_requested &&
-                !pending->prep_acked && !pending->prep_failed &&
-                m.seq == pending->prep_seq) {
-              ++stats.admission_rejects;
-              const double hint = std::max(0.0, m.payload);
-              log_event(t, EventKind::kAdmissionReject, serving,
-                        static_cast<int>(pending->target_idx), hint);
-              core::AdmissionBackoffFsm fsm(
-                  cfg_.bs_capacity.admission_max_retries,
-                  pending->admission_retries);
-              const bool fallback_available =
-                  pending->fallback_idx >= 0 && !pending->used_fallback &&
-                  pending->fallback_idx !=
-                      static_cast<int>(pending->target_idx);
-              switch (fsm.decide(fallback_available)) {
-                case core::AdmissionAction::kFallback:
-                  prep_fallback_or_fail(t);
-                  break;
-                case core::AdmissionAction::kBackoff:
-                  pending->admission_retries = fsm.retries();
-                  ++stats.admission_backoff_retries;
-                  pending->prep_requested = false;
-                  pending->prep_retries = 0;
-                  pending->prep_due_s = t + hint;
-                  log_event(t, EventKind::kAdmissionRetry, serving,
-                            static_cast<int>(pending->target_idx), hint);
-                  break;
-                case core::AdmissionAction::kFail:
-                  prep_fallback_or_fail(t);  // no fallback: prep failed
-                  break;
-              }
-            }
-            break;
-          }
-          case net::MsgType::kContextFetch: {
-            // The old serving BS looks the UE context up — through its
-            // capacity station when the model is on — and answers with
-            // the context, or with a stale indication if it crashed and
-            // lost the context since (restart recovery).
-            const int holder = m.dst_cell;
-            const bool stale =
-                holder >= 0 &&
-                holder < static_cast<int>(context_lost.size()) &&
-                context_lost[static_cast<std::size_t>(holder)];
-            if (use_cap && holder >= 0 &&
-                holder < static_cast<int>(stations.size())) {
-              const auto h = static_cast<std::size_t>(holder);
-              top_up(h);
-              ++stats.bs_jobs_submitted;
-              if (!stations[h].submit(
-                      t, BsJobKind::kContextLookup,
-                      cfg_.bs_capacity.ctx_service_s * svc_inflation, m)) {
-                ++stats.bs_queue_shed;
-                log_event(t, EventKind::kBsQueueShed, serving, holder,
-                          stations[h].load(t));
-              }
-              break;  // reply goes out when the lookup job completes
-            }
-            net::BackhaulMessage reply;
-            reply.seq = m.seq;
-            reply.type = stale ? net::MsgType::kContextStale
-                               : net::MsgType::kContextResponse;
-            reply.src_cell = m.dst_cell;
-            reply.dst_cell = m.src_cell;
-            reply.target_cell = m.target_cell;
-            bh_send(reply);
-            break;
-          }
-          case net::MsgType::kContextResponse: {
-            if (outage_started >= 0.0 && ctx_pending && !ctx_ready &&
-                !ctx_failed && m.seq == ctx_seq &&
-                ctx_seen.accept(m.seq)) {
-              ctx_ready = true;
-            }
-            break;
-          }
-          case net::MsgType::kContextStale: {
-            // The context holder restarted and lost the UE context: give
-            // up on the fetch and take the degraded context-less
-            // re-establishment path (same penalty as fetch exhaustion).
-            if (outage_started >= 0.0 && ctx_pending && !ctx_ready &&
-                !ctx_failed && m.seq == ctx_seq &&
-                ctx_seen.accept(m.seq)) {
-              ++stats.stale_context_responses;
-              ctx_failed = true;
-              ctx_failed_camp_s = t + cfg_.ctx_degraded_penalty_s;
-              log_event(t, EventKind::kContextStale, serving, m.src_cell,
-                        0.0);
-            }
-            break;
-          }
-        }
-      }
-    }
-    // ---- BS job completions: fire the continuation of each serviced
-    // signaling job (admission verdicts, context lookups). Decision jobs
-    // resolved their timing at submit; background jobs are not UE-visible
-    // work. Runs outside the use_net block — decision jobs exist even
-    // with the backhaul model off.
-    if (use_cap) {
-      for (std::size_t si = 0; si < stations.size(); ++si) {
-        for (const auto& job : stations[si].take_completed(t)) {
-          if (job.kind == BsJobKind::kBackground) continue;
-          ++stats.bs_jobs_served;
-          const double wait = job.start_s - job.submit_s;
-          if (wait > 0.0) ++stats.bs_jobs_queued;
-          stats.bs_queue_wait_sum_s += wait;
-          log_event(t, EventKind::kBsJobDone, serving,
-                    static_cast<int>(si), wait);
-          if (job.kind == BsJobKind::kPrepAdmission) {
-            bh_send(admission_reply(job.msg));
-          } else if (job.kind == BsJobKind::kContextLookup) {
-            net::BackhaulMessage reply;
-            reply.seq = job.msg.seq;
-            reply.type = context_lost[si]
-                             ? net::MsgType::kContextStale
-                             : net::MsgType::kContextResponse;
-            reply.src_cell = job.msg.dst_cell;
-            reply.dst_cell = job.msg.src_cell;
-            reply.target_cell = job.msg.target_cell;
-            bh_send(reply);
-          }
-        }
-      }
-    }
-
-    // ---- Outage / re-establishment ----
-    if (outage_started >= 0.0) {
-      ++outage_ticks;
-      if (t - outage_started >= outage_reestablish_s && !blackout) {
-        // Camp only on a cell comfortably above Qout (Qin-style margin),
-        // otherwise keep searching — reconnecting into a dying cell just
-        // repeats the failure.
-        const double qin_rsrp = env_.config().noise_floor_dbm +
-                                cfg_.qout_snr_db + 3.0;
-        if (preferred_target >= 0) {
-          // T304 fallback: the prepared target holds the UE context, so
-          // re-establishment there skips the full cell search. A crashed
-          // target lost that context — and its radio — so skip it.
-          const double rsrp =
-              env_.mean_rsrp_dbm(static_cast<std::size_t>(preferred_target),
-                                 pos) -
-              crash_db(static_cast<std::size_t>(preferred_target));
-          if (rsrp >= std::max(cfg_.min_coverage_rsrp_dbm, qin_rsrp)) {
-            ++stats.t304_fallback_success;
-            camp_on(t, preferred_target);
-            continue;
-          }
-          // Prepared target is gone too: full RLF re-establishment.
-          preferred_target = -1;
-          outage_reestablish_s = cfg_.reestablish_s;
-        }
-        if (t - outage_started >= outage_reestablish_s) {
-          const double floor_rsrp =
-              std::max(cfg_.min_coverage_rsrp_dbm, qin_rsrp);
-          if (!use_net) {
-            const int target = env_.best_cell(pos, floor_rsrp, crashed_cell);
-            if (target >= 0) camp_on(t, target);
-            // else: still in a hole; keep searching.
-          } else if (ctx_failed) {
-            // Context fetch exhausted (or came back stale): degraded
-            // context-less re-establishment after the extra setup penalty.
-            if (t >= ctx_failed_camp_s) {
-              const int target =
-                  env_.best_cell(pos, floor_rsrp, crashed_cell);
-              if (target >= 0) camp_on(t, target);
-            }
-          } else if (ctx_ready) {
-            if (env_.mean_rsrp_dbm(static_cast<std::size_t>(ctx_target),
-                                   pos) -
-                    crash_db(static_cast<std::size_t>(ctx_target)) >=
-                floor_rsrp) {
-              camp_on(t, ctx_target);
-            } else {
-              // The fetched-into cell faded while waiting; restart the
-              // fetch toward whatever is best now.
-              ctx_pending = ctx_ready = false;
-              ctx_target = -1;
-            }
-          } else if (!ctx_pending) {
-            // Re-establishment found a cell, but camping needs the UE
-            // context from the old serving BS — fetch it over the
-            // backhaul before admitting the UE.
-            const int target = env_.best_cell(pos, floor_rsrp, crashed_cell);
-            if (target >= 0) {
-              ctx_pending = true;
-              ctx_target = target;
-              ctx_seq = next_seq++;
-              ctx_retries = 0;
-              ctx_deadline_s = t + cfg_.ctx_fetch_timeout_s;
-              net::BackhaulMessage m;
-              m.seq = ctx_seq;
-              m.type = net::MsgType::kContextFetch;
-              m.src_cell = target;
-              m.dst_cell = serving;  // old serving BS holds the context
-              m.target_cell = target;
-              bh_send(m);
-            }
-          } else if (t >= ctx_deadline_s) {
-            if (ctx_retries < cfg_.ctx_fetch_max_retries) {
-              // Idempotent retry: same transaction id, so a late response
-              // to an earlier copy still completes the fetch (and
-              // duplicates are absorbed by ctx_seen).
-              ++ctx_retries;
-              ctx_deadline_s =
-                  t + cfg_.ctx_fetch_timeout_s *
-                          static_cast<double>(1 << ctx_retries);
-              net::BackhaulMessage m;
-              m.seq = ctx_seq;
-              m.type = net::MsgType::kContextFetch;
-              m.src_cell = ctx_target;
-              m.dst_cell = serving;
-              m.target_cell = ctx_target;
-              bh_send(m);
-            } else {
-              ctx_failed = true;
-              ++stats.context_fetch_failures;
-              ctx_failed_camp_s = t + cfg_.ctx_degraded_penalty_s;
-              log_event(t, EventKind::kContextFetchFailed, serving,
-                        ctx_target, 0.0);
-            }
-          }
-        }
-      }
-      continue;
-    }
-
-    // ---- Radio state ----
-    const bool pilot_out = faults_.active(FaultKind::kPilotOutage, t);
-    const double pilot_sigma =
-        faults_.magnitude(FaultKind::kPilotOutage, t);
-    ServingState sv;
-    sv.cell_idx = static_cast<std::size_t>(serving);
-    sv.id = env_.cells()[sv.cell_idx].id;
-    const double sv_atten_db = blackout_db + crash_db(sv.cell_idx);
-    sv.rsrp_dbm = env_.instant_rsrp_dbm(sv.cell_idx, pos, rng_) - sv_atten_db;
-    sv.dd_snr_db = env_.dd_snr_db(sv.cell_idx, pos, rng_) - sv_atten_db;
-    sv.snr_db = env_.snr_db_from_rsrp(sv.rsrp_dbm);
-    sv.bandwidth_hz = env_.cells()[sv.cell_idx].bandwidth_hz;
-    cur_snr = sv.snr_db;
-    if (pilot_out) {
-      // Pilots are gone: the delay-Doppler estimate freezes at its last
-      // fresh value and accumulates corruption.
-      if (!std::isnan(last_dd[sv.cell_idx]))
-        sv.dd_snr_db = last_dd[sv.cell_idx] - sv_atten_db;
-      sv.dd_snr_db += rng_.gaussian(0.0, pilot_sigma);
-    } else {
-      last_dd[sv.cell_idx] = sv.dd_snr_db + sv_atten_db;
-      pilot_fresh_t = t;
-    }
-    throughput_sum_bps += common::shannon_capacity_bps(
-        sv.bandwidth_hz, common::db_to_lin(sv.snr_db));
-    snr_window.push_back({t, sv.snr_db});
-    while (!snr_window.empty() && t - snr_window.front().first > 5.0)
-      snr_window.pop_front();
-
-    // ---- Handover execution completion (T304 window) ----
-    if (exec && t >= exec->started_s + cfg_.ho_interruption_s) {
-      const std::size_t target = exec->target_idx;
-      const double tgt_rsrp =
-          env_.mean_rsrp_dbm(target, pos) - blackout_db - crash_db(target);
-      const double tgt_snr = env_.snr_db_from_rsrp(tgt_rsrp);
-      if (tgt_snr >= cfg_.min_connect_snr_db) {
-        ++stats.successful_handovers;
-        const int prev = serving;
-        serving = static_cast<int>(target);
-        // A completed handover re-establishes the UE context at the target:
-        // a restarted BS that lost its prepared contexts is made whole again
-        // the moment a UE successfully attaches to it.
-        context_lost[target] = false;
-        manager.on_serving_changed(t, target);
-        oos_count = is_count = 0;
-        t310_started = -1.0;
-        last_report_loss_t = last_cmd_loss_t = -1e9;
-        suppress_until = t + cfg_.post_ho_suppress_s;
-        log_event(t, EventKind::kHandoverComplete, prev, serving, sv.snr_db);
-        ho_times.push_back(t);
-        // Loop bookkeeping: returning to a recently-serving cell.
-        bool is_loop = false;
-        for (const auto& [ts, idx] : recent_serving) {
-          if (t - ts <= cfg_.loop_window_s &&
-              idx == static_cast<int>(target)) {
-            is_loop = true;
-            break;
-          }
-        }
-        recent_serving.push_back({t, serving});
-        while (!recent_serving.empty() &&
-               t - recent_serving.front().first > cfg_.loop_window_s)
-          recent_serving.pop_front();
-        if (is_loop) {
-          ++stats.loop_handovers;
-          const auto& tgt_cell = env_.cells()[target];
-          const auto& prev_cell = env_.cells()[static_cast<std::size_t>(prev)];
-          const bool conflict =
-              pair_conflicts &&
-              pair_conflicts(tgt_cell.id.cell, prev_cell.id.cell);
-          if (conflict) ++stats.conflict_loop_handovers;
-          if (!current_loop_episode) {
-            ++stats.loop_episodes;
-            if (tgt_cell.id.channel == prev_cell.id.channel)
-              ++stats.intra_freq_loop_episodes;
-            if (conflict) {
-              ++stats.conflict_loop_episodes;
-              if (tgt_cell.id.channel == prev_cell.id.channel)
-                ++stats.intra_freq_conflict_loops;
-            }
-            current_loop_episode = true;
-          }
-        } else {
-          current_loop_episode = false;
-        }
-        exec.reset();
-      } else {
-        // T304 expiry: the target evaporated during execution. Fall back
-        // to re-establishment on the prepared target instead of a silent
-        // success or a bare RLF search.
-        ++stats.t304_expiries;
-        log_event(t, EventKind::kT304Expiry, serving,
-                  static_cast<int>(target), tgt_snr);
-        record_failure(t, FailureCause::kFeedbackDelayLoss);
-        outage_reestablish_s = cfg_.t304_reestablish_s;
-        preferred_target = static_cast<int>(exec->prepared_idx);
-        exec.reset();
-        continue;
-      }
-    }
-
-    // ---- Radio link failure detection (N310/T310/N311) ----
-    if (!exec) {
-      if (t310_started >= 0.0) {
-        if (sv.snr_db >= cfg_.qout_snr_db + cfg_.qin_margin_db) {
-          if (++is_count >= cfg_.n311) {
-            // Recovered: N311 consecutive in-sync indications stop T310.
-            t310_started = -1.0;
-            oos_count = is_count = 0;
-          }
-        } else {
-          is_count = 0;
-        }
-      } else {
-        if (sv.snr_db < cfg_.qout_snr_db) {
-          if (++oos_count >= cfg_.n310) {
-            t310_started = t;
-            is_count = 0;
-          }
-        } else {
-          oos_count = 0;
-        }
-      }
-      if (t310_started >= 0.0 && t - t310_started >= cfg_.t310_s) {
-        // Classify the failure (Table 2 taxonomy). Lost-signaling
-        // evidence is kept for a short memory window because a failed
-        // attempt is usually replaced by a retry before the RLF lands.
-        FailureCause cause;
-        const int best =
-            blackout ? -1
-                     : env_.best_cell(pos, cfg_.min_coverage_rsrp_dbm,
-                                      crashed_cell);
-        if (best < 0) {
-          cause = FailureCause::kCoverageHole;
-        } else if ((pending && pending->command_lost) ||
-                   t - last_cmd_loss_t < kLossMemory_s) {
-          cause = FailureCause::kHoCommandLoss;
-        } else if (pending && pending->decision_shed) {
-          // The serving BS shed the decision job: the network never acted
-          // on the delivered report — feedback was effectively lost.
-          cause = FailureCause::kFeedbackDelayLoss;
-        } else if (pending && pending->report_delivered) {
-          cause = FailureCause::kHoCommandLoss;  // command still in flight
-        } else if ((pending && (pending->report_lost ||
-                                !pending->report_delivered)) ||
-                   t - last_report_loss_t < kLossMemory_s) {
-          cause = FailureCause::kFeedbackDelayLoss;  // lost or too slow
-        } else if (best == serving) {
-          // Nothing better exists: a deep fade of the only covering cell
-          // is effectively a (soft) coverage hole.
-          cause = FailureCause::kCoverageHole;
-        } else {
-          // No decision was ever made: was the best candidate invisible?
-          const auto visible = manager.visible_cells();
-          cause = visible.count(static_cast<std::size_t>(best)) == 0
-                      ? FailureCause::kMissedCell
-                      : FailureCause::kFeedbackDelayLoss;
-        }
-        log_event(t, EventKind::kRadioLinkFailure, serving, -1, sv.snr_db);
-        record_failure(t, cause);
-        continue;
-      }
-    }
-
-    // ---- Pending handover progress ----
-    if (pending && !exec) {
-      if (!pending->report_delivered && !pending->report_lost &&
-          t >= pending->report_due_s) {
-        if (deliver(t, sv.snr_db, cfg_.uplink_attempts,
-                    manager.waveform())) {
-          pending->report_delivered = true;
-          // A processing-stall fault spikes the base station's decision
-          // time on top of the configured budget.
-          const double stall =
-              faults_.magnitude(FaultKind::kProcessingStall, t);
-          const double proc_s = cfg_.decision_proc_s + stall;
-          double ready_s = t + proc_s;
-          bool decision_shed = false;
-          if (use_cap && !manager.client_driven()) {
-            // Network-side decision: the report occupies the serving BS's
-            // control plane. Under overload it queues (the decision goes
-            // stale) or is shed outright — the degraded-mode asymmetry:
-            // REM's client-side prediction (client_driven) never enters
-            // this queue.
-            const auto si = static_cast<std::size_t>(serving);
-            top_up(si);
-            ++stats.bs_jobs_submitted;
-            const auto job = stations[si].submit(
-                t, BsJobKind::kRrcDecision, proc_s * svc_inflation);
-            if (job) {
-              ready_s = job->done_s;
-            } else {
-              decision_shed = true;
-              ++stats.bs_queue_shed;
-              pending->decision_shed = true;
-              last_report_loss_t = t;  // network never acted on the report
-              log_event(t, EventKind::kBsQueueShed, serving, serving,
-                        stations[si].load(t));
-            }
-          }
-          if (!decision_shed) {
-            if (use_net) {
-              // The BS decides, then must get the target's admission over
-              // the backhaul before any command can go out.
-              pending->prep_due_s = ready_s;
-            } else {
-              pending->command_due_s =
-                  ready_s + cfg_.retry_spacing_s;  // decision + scheduling
-            }
-          }
-          stats.feedback_delays_s.push_back(t - pending->decided_at_s);
-          log_event(t, EventKind::kReportDelivered, serving,
-                    static_cast<int>(pending->target_idx), sv.snr_db);
-        } else if (pending->report_retries < cfg_.report_max_retries) {
-          // Bounded exponential backoff instead of giving up at once.
-          ++pending->report_retries;
-          ++stats.report_retransmits;
-          pending->report_due_s =
-              t + cfg_.report_retry_backoff_s *
-                      static_cast<double>(1 << (pending->report_retries - 1));
-          log_event(t, EventKind::kReportRetransmit, serving,
-                    static_cast<int>(pending->target_idx), sv.snr_db);
-        } else {
-          pending->report_lost = true;  // retransmissions exhausted
-          last_report_loss_t = t;
-          log_event(t, EventKind::kReportLost, serving,
-                    static_cast<int>(pending->target_idx), sv.snr_db);
-        }
-      }
-      // ---- Backhaul preparation (HANDOVER REQUEST -> ACK) ----
-      if (use_net && pending->report_delivered && !pending->prep_acked &&
-          !pending->prep_failed && !pending->command_lost &&
-          !pending->decision_shed) {
-        if (!pending->prep_requested) {
-          if (t >= pending->prep_due_s) {
-            // First send toward the current target (also re-entered after
-            // a fallback switch, which resets prep_requested).
-            pending->prep_requested = true;
-            pending->prep_seq = next_seq++;
-            pending->prep_sent_s = t;
-            pending->prep_deadline_s = t + cfg_.prep_timeout_s;
-            ++stats.prep_requests;
-            net::BackhaulMessage m;
-            m.seq = pending->prep_seq;
-            m.type = net::MsgType::kHandoverRequest;
-            m.src_cell = serving;
-            m.dst_cell = static_cast<int>(pending->target_idx);
-            m.target_cell = static_cast<int>(pending->target_idx);
-            bh_send(m);
-            log_event(t, EventKind::kPrepRequest, serving,
-                      static_cast<int>(pending->target_idx), sv.snr_db);
-          }
-        } else if (t >= pending->prep_deadline_s) {
-          if (pending->prep_retries < cfg_.prep_max_retries) {
-            // T-prep expiry: re-send under a fresh transaction id with
-            // exponential backoff; a straggling ack to the old id is
-            // ignored (prep_seq no longer matches).
-            ++pending->prep_retries;
-            ++stats.prep_retries;
-            pending->prep_seq = next_seq++;
-            pending->prep_sent_s = t;
-            pending->prep_deadline_s =
-                t + cfg_.prep_timeout_s *
-                        static_cast<double>(1 << pending->prep_retries);
-            net::BackhaulMessage m;
-            m.seq = pending->prep_seq;
-            m.type = net::MsgType::kHandoverRequest;
-            m.src_cell = serving;
-            m.dst_cell = static_cast<int>(pending->target_idx);
-            m.target_cell = static_cast<int>(pending->target_idx);
-            bh_send(m);
-            log_event(t, EventKind::kPrepRetry, serving,
-                      static_cast<int>(pending->target_idx), sv.snr_db);
-          } else {
-            prep_fallback_or_fail(t);
-          }
-        }
-      }
-      const bool command_ready = use_net ? pending->prep_acked
-                                         : pending->report_delivered;
-      if (command_ready && !pending->command_lost &&
-          !pending->decision_shed && t >= pending->command_due_s) {
-        if (deliver(t, sv.snr_db, cfg_.downlink_attempts,
-                    manager.waveform())) {
-          std::size_t target = pending->target_idx;
-          // A duplication fault reorders commands: a stale duplicate of
-          // the previous command can arrive (and execute) first.
-          const double dup_p =
-              faults_.magnitude(FaultKind::kCommandDuplication, t);
-          if (dup_p > 0.0 && last_cmd_target >= 0 &&
-              last_cmd_target != static_cast<int>(target) &&
-              rng_.bernoulli(std::min(1.0, dup_p))) {
-            ++stats.duplicate_commands;
-            log_event(t, EventKind::kHoCommandDuplicate, serving,
-                      last_cmd_target, sv.snr_db);
-            target = static_cast<std::size_t>(last_cmd_target);
-          }
-          log_event(t, EventKind::kHoCommandDelivered, serving,
-                    static_cast<int>(target), sv.snr_db);
-          ++stats.handovers;
-          last_cmd_target = static_cast<int>(pending->target_idx);
-          // Execution: detach + random access, completes (or T304-fails)
-          // after the interruption window.
-          exec = Execution{target, pending->target_idx, t};
-          pending.reset();
-          oos_count = is_count = 0;
-          t310_started = -1.0;
-        } else {
-          pending->command_lost = true;
-          last_cmd_loss_t = t;
-          log_event(t, EventKind::kHoCommandLost, serving,
-                    static_cast<int>(pending->target_idx), sv.snr_db);
-        }
-      }
-    }
-
-    // ---- Manager policy evaluation ----
-    if (!exec && t >= suppress_until &&
-        (!pending || pending->report_lost || pending->command_lost ||
-         pending->prep_failed || pending->decision_shed)) {
-      std::vector<Observation> obs;
-      for (std::size_t i = 0; i < env_.cells().size(); ++i) {
-        if (i == sv.cell_idx) continue;
-        const double mean = env_.mean_rsrp_dbm(i, pos);
-        if (mean < cfg_.min_coverage_rsrp_dbm - 10.0) continue;
-        Observation o;
-        o.cell_idx = i;
-        o.id = env_.cells()[i].id;
-        const double atten_db = blackout_db + crash_db(i);
-        o.rsrp_dbm = env_.instant_rsrp_dbm(i, pos, rng_) - atten_db;
-        o.snr_db = env_.snr_db_from_rsrp(o.rsrp_dbm);
-        o.dd_snr_db = env_.dd_snr_db(i, pos, rng_) - atten_db;
-        if (pilot_out) {
-          if (!std::isnan(last_dd[i])) o.dd_snr_db = last_dd[i] - atten_db;
-          o.dd_snr_db += rng_.gaussian(0.0, pilot_sigma);
-          o.estimate_age_s = t - pilot_fresh_t;
-          o.pilot_faulted = true;
-        } else {
-          last_dd[i] = o.dd_snr_db + atten_db;
-        }
-        o.bandwidth_hz = env_.cells()[i].bandwidth_hz;
-        obs.push_back(o);
-      }
-      const auto decision = manager.update(t, sv, obs);
-      if (decision) {
-        log_event(t, EventKind::kMeasurementTriggered, serving,
-                  static_cast<int>(decision->target_idx), sv.snr_db);
-        PendingHandover ph;
-        ph.target_idx = decision->target_idx;
-        ph.decided_at_s = t;
-        ph.report_due_s = t + decision->feedback_delay_s;
-        ph.fallback_idx = decision->fallback_idx;
-        pending = ph;
-      }
-    }
-
-    // ---- Degraded-mode tracking ----
-    const bool degraded = manager.degraded_mode();
-    if (degraded != degraded_prev) {
-      log_event(t, degraded ? EventKind::kDegradedEnter
-                            : EventKind::kDegradedExit,
-                serving, -1, sv.snr_db);
-      if (degraded) ++stats.degraded_enters;
-      degraded_prev = degraded;
-    }
-    if (degraded) stats.degraded_time_s += dt;
+  // Per-UE stream derivation, in UE-id order. UE 0 keeps the base stream
+  // and the scenario's exact speed/start (no extra draws), so a fleet of
+  // one is bit-identical to run(). Every further UE forks its own stream
+  // and derives speed and start offset from that stream's first draws.
+  std::vector<common::Rng> ue_rngs;
+  ue_rngs.reserve(n > 1 ? static_cast<std::size_t>(n - 1) : 0);
+  std::vector<double> speeds(static_cast<std::size_t>(n), cfg_.speed_kmh);
+  std::vector<double> starts(static_cast<std::size_t>(n), 0.0);
+  for (int k = 1; k < n; ++k) {
+    ue_rngs.push_back(rng_.fork());
+    auto& r = ue_rngs.back();
+    speeds[static_cast<std::size_t>(k)] =
+        r.uniform(cfg_.fleet.speed_min_kmh, cfg_.fleet.speed_max_kmh);
+    starts[static_cast<std::size_t>(k)] =
+        cfg_.fleet.start_spread_m > 0.0
+            ? r.uniform(0.0, cfg_.fleet.start_spread_m)
+            : 0.0;
   }
 
-  stats.sim_time_s = cfg_.duration_s;
-  if (ticks > 0) {
-    stats.mean_throughput_bps =
-        throughput_sum_bps / static_cast<double>(ticks);
-    stats.downtime_fraction =
-        static_cast<double>(outage_ticks) / static_cast<double>(ticks);
+  std::vector<std::unique_ptr<MobilityManager>> managers;
+  managers.reserve(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    managers.push_back(make_manager(k));
+    if (!managers.back())
+      throw std::invalid_argument(
+          "run_fleet: make_manager returned nullptr for UE " +
+          std::to_string(k));
   }
-  if (ho_times.size() >= 2) {
-    stats.avg_handover_interval_s =
-        (ho_times.back() - ho_times.front()) /
-        static_cast<double>(ho_times.size() - 1);
+  for (int k = 0; k < n; ++k) {
+    eng.add_ue(managers[static_cast<std::size_t>(k)].get(),
+               k == 0 ? &rng_ : &ue_rngs[static_cast<std::size_t>(k - 1)],
+               speeds[static_cast<std::size_t>(k)],
+               starts[static_cast<std::size_t>(k)]);
   }
-  if (netw) {
-    const auto& ts = netw->stats();
-    stats.backhaul_sent = ts.sent;
-    stats.backhaul_delivered = ts.delivered;
-    stats.backhaul_dropped_loss = ts.dropped_loss;
-    stats.backhaul_dropped_partition = ts.dropped_partition;
-    stats.backhaul_dropped_queue = ts.dropped_queue;
-    stats.backhaul_dropped_crash = ts.dropped_crash;
-    stats.backhaul_duplicated = ts.duplicated;
-    stats.backhaul_reordered = ts.reordered;
-    stats.backhaul_latency_sum_s = ts.latency_sum_s;
-  }
-  if (use_cap) {
-    // Jobs still scheduled at run end: conservation's in-flight term
-    // (submitted == served + shed + flushed + inflight).
-    for (const auto& st : stations)
-      stats.bs_jobs_inflight_end += st.unfinished();
-  }
-  if (cfg_.observer) cfg_.observer->on_run_end(stats);
-  return stats;
+
+  eng.run_event_queue();
+
+  FleetResult out;
+  out.per_ue = eng.take_stats();
+  out.aggregate = merge_fleet_stats(out.per_ue);
+  return out;
 }
 
 }  // namespace rem::sim

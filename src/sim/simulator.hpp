@@ -92,6 +92,31 @@ class MobilityManager {
   virtual bool client_driven() const { return false; }
 };
 
+/// Which driver executes a single-UE run(). Both drivers share the same
+/// per-tick step functions, RNG draw order, and floating-point time
+/// accumulation (the next step is scheduled at t + tick_s, exactly the
+/// tick loop's `t += dt`), so their SimStats are bit-identical — the
+/// golden corpus pins the tick loop and test_fleet pins the equivalence.
+/// Multi-UE fleets (run_fleet) always run on the event queue.
+enum class SimEngine {
+  kTickLoop,    ///< the seed's for-loop driver (default)
+  kEventQueue,  ///< sim::EventQueue-driven discrete-event dispatch
+};
+
+/// Multi-UE fleet knobs (Simulator::run_fleet). UE 0 always uses the
+/// scenario's SimConfig::speed_kmh and starts at position 0 — and draws
+/// nothing extra — so a fleet of one is bit-identical to a single-UE
+/// run(). Every further UE forks its own RNG stream from the simulation
+/// RNG (in UE-id order) and derives a mixed speed and start offset from
+/// that stream's first draws.
+struct FleetConfig {
+  /// Speed range (km/h) for UE 1..N-1, drawn uniformly per UE.
+  double speed_min_kmh = 200.0;
+  double speed_max_kmh = 350.0;
+  /// Start-position spread (m): UE 1..N-1 begin uniformly in [0, spread).
+  double start_spread_m = 2000.0;
+};
+
 enum class FailureCause {
   kFeedbackDelayLoss,  ///< feedback too slow or lost in delivery (§3.1)
   kMissedCell,         ///< viable cell invisible to the decision (§3.2)
@@ -177,6 +202,15 @@ struct SimConfig {
   /// context lookups, and network-side RRC decisions. Disabled restores
   /// the infinite-capacity, always-alive BS model.
   BsCapacityConfig bs_capacity;
+  /// Which driver executes run(). kTickLoop is the seed's loop; the event
+  /// queue is bit-identical for single-UE runs (test_fleet pins this).
+  SimEngine engine = SimEngine::kTickLoop;
+  /// Number of UEs a run_fleet() carries. run() ignores it; run_fleet()
+  /// rejects values < 1. UEs genuinely share BsStation slots, RRC queues,
+  /// and the backhaul's in-flight capacity.
+  int fleet_size = 1;
+  /// Per-UE speed/start derivation for run_fleet().
+  FleetConfig fleet;
 };
 
 struct SimStats {
@@ -264,6 +298,14 @@ struct SimStats {
   }
 };
 
+/// Result of a fleet run: one SimStats per UE (indexed by UE id) plus the
+/// deterministic aggregate merged in UE-id order (sim/fleet.hpp —
+/// merge_fleet_stats documents which fields sum and which are global).
+struct FleetResult {
+  std::vector<SimStats> per_ue;
+  SimStats aggregate;
+};
+
 class Simulator {
  public:
   Simulator(const RadioEnv& env, const SimConfig& cfg,
@@ -272,56 +314,31 @@ class Simulator {
   /// Run the full scenario with the given manager and return statistics.
   /// `pair_conflicts(cell_a, cell_b)` (CellId::cell values) marks loop
   /// episodes caused by policy conflicts; pass an empty function to skip.
+  /// Executes on the driver named by SimConfig::engine; both drivers are
+  /// bit-identical.
   SimStats run(MobilityManager& manager,
                const std::function<bool(int, int)>& pair_conflicts = {});
 
+  /// Multi-UE fleet run on the event queue: cfg.fleet_size UEs share the
+  /// radio environment, BsStation capacity, and backhaul transport, each
+  /// with its own manager built by `make_manager(ue)` (called in UE-id
+  /// order). UE 0 runs the scenario's exact single-UE parameters and RNG
+  /// stream, so a fleet of one is bit-identical to run(); UEs 1..N-1
+  /// derive mixed speeds and start offsets from per-UE forked streams
+  /// (SimConfig::fleet). Per-UE stats come back indexed by UE id with the
+  /// deterministic aggregate merged in UE-id order (sim/fleet.hpp).
+  /// Throws std::invalid_argument when cfg.fleet_size < 1 or
+  /// make_manager returns nullptr.
+  FleetResult run_fleet(
+      const std::function<std::unique_ptr<MobilityManager>(int)>&
+          make_manager,
+      const std::function<bool(int, int)>& pair_conflicts = {});
+
  private:
-  struct PendingHandover {
-    std::size_t target_idx = 0;
-    double report_due_s = 0.0;     ///< feedback arrives at the BS
-    double command_due_s = 0.0;    ///< command reaches the UE (if set)
-    bool report_delivered = false;
-    bool report_lost = false;      ///< retransmissions exhausted
-    bool command_lost = false;
-    int report_retries = 0;
-    double decided_at_s = 0.0;
-    // Backhaul preparation state (only used when cfg.backhaul.enabled):
-    // the BS must get a HANDOVER REQUEST acked by the target before the
-    // HO command can be sent to the UE.
-    int fallback_idx = -1;         ///< second-best target from the decision
-    bool used_fallback = false;
-    bool prep_requested = false;   ///< current request is in flight
-    bool prep_acked = false;
-    bool prep_failed = false;      ///< retries + fallback exhausted
-    int prep_retries = 0;
-    std::uint64_t prep_seq = 0;    ///< seq of the outstanding request
-    double prep_due_s = 0.0;       ///< when to (re-)send the request
-    double prep_sent_s = 0.0;      ///< last request send time (RTT base)
-    double prep_deadline_s = 0.0;  ///< timeout for the outstanding request
-    /// Admission-control backoff (core/admission.hpp): busy rejects
-    /// absorbed by waiting out the target's hint, per attempt.
-    int admission_retries = 0;
-    /// The serving BS shed this attempt's RRC decision on a full queue;
-    /// the attempt is dead and the manager may re-decide.
-    bool decision_shed = false;
-  };
-
-  /// Handover execution in flight: detach + random access on the target.
-  struct Execution {
-    std::size_t target_idx = 0;
-    std::size_t prepared_idx = 0;  ///< genuine prepared target (== target
-                                   ///  unless a stale duplicate executed)
-    double started_s = 0.0;
-  };
-
-  bool deliver(double t, double snr_db, int attempts, phy::Waveform w);
-  phy::DopplerRegime regime() const;
-
   const RadioEnv& env_;
   SimConfig cfg_;
   const phy::BlerModel& bler_;
   common::Rng rng_;
-  FaultInjector faults_;
 };
 
 }  // namespace rem::sim

@@ -146,6 +146,16 @@ std::vector<GoldenCase> golden_corpus() {
   };
 }
 
+std::vector<FleetGoldenCase> fleet_golden_corpus() {
+  using trace::Route;
+  return {
+      {"fleet_bs_300_s15_bs_overload_shed", Route::kBeijingShanghai, 300.0,
+       60.0, 15, "bs_overload_shed", 6},
+      {"fleet_bt_250_s16_backhaul_partition", Route::kBeijingTaiyuan, 250.0,
+       60.0, 16, "backhaul_partition", 8},
+  };
+}
+
 sim::FaultConfig golden_fault_preset(const std::string& name,
                                      double horizon_s) {
   if (name == "none") return {};
@@ -275,6 +285,34 @@ TraceDigest make_digest(const GoldenCase& c, const sim::SimStats& legacy,
   d.fields.emplace_back("faults", c.fault_preset);
   append_stats_fields("legacy.", legacy, d);
   append_stats_fields("rem.", rem, d);
+  return d;
+}
+
+TraceDigest make_fleet_digest(const FleetGoldenCase& c,
+                              const sim::FleetResult& legacy,
+                              const sim::FleetResult& rem) {
+  TraceDigest d;
+  d.case_name = c.name;
+  d.fields.emplace_back("route", trace::route_name(c.route));
+  d.fields.emplace_back("speed_kmh", fmt_double(c.speed_kmh));
+  d.fields.emplace_back("duration_s", fmt_double(c.duration_s));
+  d.fields.emplace_back("seed", fmt_int(static_cast<long long>(c.seed)));
+  d.fields.emplace_back("faults", c.fault_preset);
+  d.fields.emplace_back("fleet_size", fmt_int(c.fleet_size));
+  const auto append_fleet = [&](const std::string& prefix,
+                                const sim::FleetResult& r) {
+    append_stats_fields(prefix + "fleet.", r.aggregate, d);
+    for (std::size_t k = 0; k < r.per_ue.size(); ++k) {
+      const auto& s = r.per_ue[k];
+      const std::string ue = prefix + "ue" + std::to_string(k) + ".";
+      d.fields.emplace_back(ue + "handovers", fmt_int(s.handovers));
+      d.fields.emplace_back(ue + "failures", fmt_int(s.failures));
+      d.fields.emplace_back(ue + "event_hash",
+                            fmt_hex(hash_event_log(s.events)));
+    }
+  };
+  append_fleet("legacy.", legacy);
+  append_fleet("rem.", rem);
   return d;
 }
 

@@ -37,6 +37,25 @@ struct GoldenCase {
 /// schedules, distinct seeds.
 std::vector<GoldenCase> golden_corpus();
 
+/// One fleet corpus entry: a multi-UE run_fleet scenario digested for
+/// regression. The digest file is `<name>.json` alongside the single-UE
+/// corpus; names carry a `fleet_` prefix.
+struct FleetGoldenCase {
+  std::string name;
+  trace::Route route = trace::Route::kBeijingShanghai;
+  double speed_kmh = 300.0;
+  double duration_s = 60.0;
+  std::uint64_t seed = 15;
+  std::string fault_preset = "none";
+  int fleet_size = 8;
+};
+
+/// The committed fleet corpus: a small fleet contending for BS capacity
+/// under the overload/shed schedule, and a fleet riding out backhaul
+/// partitions. Fleet digests are thread-count-stable by construction
+/// (per-UE stats merge in UE-id order).
+std::vector<FleetGoldenCase> fleet_golden_corpus();
+
 /// Named fault schedules shared by the generator and the replay test.
 /// "none" is empty; "mixed" scripts one window of every fault kind inside
 /// [0, horizon_s) plus a seeded random duplication spec. Throws
@@ -62,6 +81,14 @@ struct TraceDigest {
 /// logs must have been recorded: SimConfig::record_events on).
 TraceDigest make_digest(const GoldenCase& c, const sim::SimStats& legacy,
                         const sim::SimStats& rem);
+
+/// Build the digest for a fleet case from both managers' fleet results:
+/// the full aggregate stats per manager plus a compact per-UE pin
+/// (handovers, failures, event-log hash — bit-exact) so drift in any
+/// single UE's behavior names that UE.
+TraceDigest make_fleet_digest(const FleetGoldenCase& c,
+                              const sim::FleetResult& legacy,
+                              const sim::FleetResult& rem);
 
 /// Flat-JSON codec for digests (one string value per field, sorted as
 /// produced). The reader rejects malformed input with line/context

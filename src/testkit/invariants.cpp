@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <iomanip>
 #include <sstream>
 
@@ -730,6 +731,133 @@ void InvariantChecker::on_run_end(sim::SimStats& stats) {
   }
 
   stats.invariant_violations = violation_count_;
+}
+
+std::vector<std::string> fleet_invariant_report(const sim::FleetResult& r) {
+  std::vector<std::string> out;
+  const auto flag = [&out](const std::string& what) { out.push_back(what); };
+  if (r.per_ue.empty()) {
+    flag("fleet result carries no per-UE stats");
+    return out;
+  }
+  const int n = static_cast<int>(r.per_ue.size());
+
+  // --- Per-UE handover conservation + event-log hygiene ---
+  for (int k = 0; k < n; ++k) {
+    const auto& s = r.per_ue[static_cast<std::size_t>(k)];
+    const std::string who = "UE " + std::to_string(k);
+    if (s.handovers < 0 || s.successful_handovers < 0 || s.t304_expiries < 0)
+      flag(who + ": negative handover counter");
+    if (s.successful_handovers + s.t304_expiries > s.handovers)
+      flag(who + ": successes (" + std::to_string(s.successful_handovers) +
+           ") + T304 expiries (" + std::to_string(s.t304_expiries) +
+           ") exceed attempts (" + std::to_string(s.handovers) + ")");
+    double prev_t = 0.0;
+    for (std::size_t i = 0; i < s.events.size(); ++i) {
+      const auto& e = s.events[i];
+      if (e.ue != k) {
+        flag(who + ": event " + std::to_string(i) + " tagged ue=" +
+             std::to_string(e.ue));
+        break;
+      }
+      if (i > 0 && e.t_s < prev_t) {
+        flag(who + ": event log regresses from t=" + std::to_string(prev_t) +
+             " to t=" + std::to_string(e.t_s));
+        break;
+      }
+      prev_t = e.t_s;
+    }
+  }
+
+  // --- Aggregate reconciliation against the per-UE fold ---
+  const auto expect_sum = [&](const std::string& name, long long agg,
+                              const std::function<long long(
+                                  const sim::SimStats&)>& field) {
+    long long sum = 0;
+    for (const auto& s : r.per_ue) sum += field(s);
+    if (agg != sum)
+      flag("aggregate." + name + " = " + std::to_string(agg) +
+           " but per-UE sum = " + std::to_string(sum));
+  };
+  const auto& a = r.aggregate;
+  expect_sum("handovers", a.handovers,
+             [](const sim::SimStats& s) { return s.handovers; });
+  expect_sum("successful_handovers", a.successful_handovers,
+             [](const sim::SimStats& s) { return s.successful_handovers; });
+  expect_sum("failures", a.failures,
+             [](const sim::SimStats& s) { return s.failures; });
+  expect_sum("t304_expiries", a.t304_expiries,
+             [](const sim::SimStats& s) { return s.t304_expiries; });
+  expect_sum("prep_requests", a.prep_requests,
+             [](const sim::SimStats& s) { return s.prep_requests; });
+  expect_sum("bs_jobs_submitted", a.bs_jobs_submitted,
+             [](const sim::SimStats& s) { return s.bs_jobs_submitted; });
+  expect_sum("admission_rejects", a.admission_rejects,
+             [](const sim::SimStats& s) { return s.admission_rejects; });
+  expect_sum("invariant_violations", a.invariant_violations,
+             [](const sim::SimStats& s) { return s.invariant_violations; });
+
+  double max_time = 0.0;
+  for (const auto& s : r.per_ue) max_time = std::max(max_time, s.sim_time_s);
+  if (a.sim_time_s != max_time)
+    flag("aggregate.sim_time_s = " + std::to_string(a.sim_time_s) +
+         " but per-UE max = " + std::to_string(max_time));
+  // Crash windows are global: every UE observes the same count.
+  for (int k = 1; k < n; ++k) {
+    if (r.per_ue[static_cast<std::size_t>(k)].bs_crashes !=
+        r.per_ue[0].bs_crashes) {
+      flag("bs_crashes disagree across UEs: UE 0 saw " +
+           std::to_string(r.per_ue[0].bs_crashes) + ", UE " +
+           std::to_string(k) + " saw " +
+           std::to_string(r.per_ue[static_cast<std::size_t>(k)].bs_crashes));
+      break;
+    }
+  }
+  if (a.bs_crashes != r.per_ue[0].bs_crashes)
+    flag("aggregate.bs_crashes = " + std::to_string(a.bs_crashes) +
+         " but per-UE value = " + std::to_string(r.per_ue[0].bs_crashes));
+
+  // --- Merged event log: no cross-UE regression, exact per-UE recovery ---
+  std::size_t total_events = 0;
+  for (const auto& s : r.per_ue) total_events += s.events.size();
+  if (a.events.size() != total_events) {
+    flag("merged log has " + std::to_string(a.events.size()) +
+         " events but per-UE logs total " + std::to_string(total_events));
+    return out;
+  }
+  std::vector<std::size_t> next(static_cast<std::size_t>(n), 0);
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    const auto& e = a.events[i];
+    if (i > 0 && e.t_s < a.events[i - 1].t_s) {
+      flag("merged log regresses at index " + std::to_string(i) + " (t=" +
+           std::to_string(e.t_s) + " after t=" +
+           std::to_string(a.events[i - 1].t_s) + ")");
+      break;
+    }
+    if (e.ue < 0 || e.ue >= n) {
+      flag("merged log event " + std::to_string(i) + " tagged unknown ue=" +
+           std::to_string(e.ue));
+      break;
+    }
+    const auto& own = r.per_ue[static_cast<std::size_t>(e.ue)].events;
+    auto& cursor = next[static_cast<std::size_t>(e.ue)];
+    if (cursor >= own.size()) {
+      flag("merged log has extra events for UE " + std::to_string(e.ue));
+      break;
+    }
+    const auto& want = own[cursor];
+    if (e.t_s != want.t_s || e.kind != want.kind ||
+        e.serving_cell != want.serving_cell ||
+        e.target_cell != want.target_cell ||
+        e.serving_snr_db != want.serving_snr_db) {
+      flag("merged log event " + std::to_string(i) + " for UE " +
+           std::to_string(e.ue) + " does not match that UE's log entry " +
+           std::to_string(cursor) + " — per-UE order not preserved");
+      break;
+    }
+    ++cursor;
+  }
+  return out;
 }
 
 }  // namespace rem::testkit

@@ -173,4 +173,23 @@ class InvariantChecker final : public sim::SimObserver {
   bool reestablished_this_tick_ = false;
 };
 
+/// Fleet-level invariants over a Simulator::run_fleet result, checked
+/// after the run (the per-UE InvariantChecker instances — one per UE via
+/// sim::UeObserverDemux — cover the within-UE FSM properties):
+///
+///  - per-UE handover conservation holds even under shared-BS contention
+///    (successes + execution expiries never exceed attempts; counters are
+///    non-negative);
+///  - every recorded per-UE event carries that UE's id and per-UE logs
+///    are time-sorted;
+///  - additive aggregate fields equal the sum over per-UE stats, global
+///    fields (bs_crashes, sim_time_s) equal the per-UE max, and
+///    bs_crashes agrees across all UEs (crash windows are global);
+///  - the merged event log has no cross-UE timestamp regression
+///    (non-decreasing t_s) and filtering it by UE id reproduces each
+///    per-UE log exactly, in order.
+///
+/// Returns one message per violation; empty means clean.
+std::vector<std::string> fleet_invariant_report(const sim::FleetResult& r);
+
 }  // namespace rem::testkit

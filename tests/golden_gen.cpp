@@ -15,26 +15,26 @@
 
 int main(int argc, char** argv) {
   const std::string out_dir = argc > 1 ? argv[1] : REM_GOLDEN_DIR;
-  const auto corpus = rem::testkit::golden_corpus();
-  std::vector<rem::testkit::TraceDigest> digests(corpus.size());
-  std::vector<std::string> errors(corpus.size());
+  const auto jobs = rem::testkit::golden_jobs();
+  std::vector<rem::testkit::TraceDigest> digests(jobs.size());
+  std::vector<std::string> errors(jobs.size());
   rem::common::parallel_for(
-      corpus.size(), rem::bench::bench_threads(), [&](std::size_t i) {
+      jobs.size(), rem::bench::bench_threads(), [&](std::size_t i) {
         try {
-          digests[i] = rem::testkit::run_golden_case(corpus[i]);
+          digests[i] = jobs[i].run();
         } catch (const std::exception& e) {
           errors[i] = e.what();
         }
       });
   int failures = 0;
-  for (std::size_t i = 0; i < corpus.size(); ++i) {
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
     if (!errors[i].empty()) {
-      std::fprintf(stderr, "FAIL %s: %s\n", corpus[i].name.c_str(),
+      std::fprintf(stderr, "FAIL %s: %s\n", jobs[i].name.c_str(),
                    errors[i].c_str());
       ++failures;
       continue;
     }
-    const std::string path = out_dir + "/" + corpus[i].name + ".json";
+    const std::string path = out_dir + "/" + jobs[i].name + ".json";
     try {
       rem::testkit::write_digest_json_file(digests[i], path);
       std::printf("wrote %s\n", path.c_str());

@@ -3,8 +3,11 @@
 // sides must agree byte-for-byte, so the logic lives in one place.
 #pragma once
 
+#include "fleet_runner.hpp"
 #include "scenario_runner.hpp"
 #include "testkit/golden.hpp"
+
+#include <functional>
 
 namespace rem::testkit {
 
@@ -27,6 +30,40 @@ inline TraceDigest run_golden_case(const GoldenCase& c) {
   const auto r = bench::run_seed(c.route, c.speed_kmh, c.duration_s, c.seed,
                                  /*run_rem=*/true, bler, opts);
   return make_digest(c, r.legacy, r.rem);
+}
+
+/// Run one fleet corpus case (a legacy fleet and a REM fleet, events
+/// recorded, one invariant checker per UE) and produce its digest.
+inline TraceDigest run_fleet_golden_case(const FleetGoldenCase& c) {
+  phy::LogisticBlerModel bler;
+  bench::FleetRunOptions opts;
+  opts.fleet_size = c.fleet_size;
+  opts.faults = golden_fault_preset(c.fault_preset, c.duration_s);
+  opts.record_events = true;
+  opts.use_rem = false;
+  const auto legacy = bench::run_fleet_seed(c.route, c.speed_kmh,
+                                            c.duration_s, c.seed, bler, opts);
+  opts.use_rem = true;
+  const auto rem = bench::run_fleet_seed(c.route, c.speed_kmh, c.duration_s,
+                                         c.seed, bler, opts);
+  return make_fleet_digest(c, legacy, rem);
+}
+
+/// One replayable unit of the committed corpus. The generator and the
+/// replay test both iterate golden_jobs(), so a case added to either
+/// corpus is automatically generated and regression-checked.
+struct GoldenJob {
+  std::string name;
+  std::function<TraceDigest()> run;
+};
+
+inline std::vector<GoldenJob> golden_jobs() {
+  std::vector<GoldenJob> jobs;
+  for (const auto& c : golden_corpus())
+    jobs.push_back({c.name, [c] { return run_golden_case(c); }});
+  for (const auto& c : fleet_golden_corpus())
+    jobs.push_back({c.name, [c] { return run_fleet_golden_case(c); }});
+  return jobs;
 }
 
 }  // namespace rem::testkit

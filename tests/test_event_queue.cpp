@@ -1,0 +1,270 @@
+// Property tests for sim::EventQueue, the ordering substrate under the
+// multi-UE fleet engine: strict (t_s, priority, seq) dispatch, stability
+// under randomized interleavings of push/pop, and the lazy
+// cancel/reschedule edges.
+#include "common/rng.hpp"
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+namespace rs = rem::sim;
+
+namespace {
+
+std::vector<rs::Event> drain(rs::EventQueue& q) {
+  std::vector<rs::Event> out;
+  while (auto e = q.pop()) out.push_back(*e);
+  return out;
+}
+
+}  // namespace
+
+TEST(EventQueue, PopsInTimeOrder) {
+  rs::EventQueue q;
+  q.push({3.0, 0, 0, 1, 0});
+  q.push({1.0, 0, 0, 2, 0});
+  q.push({2.0, 0, 0, 3, 0});
+  const auto got = drain(q);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].kind, 2);
+  EXPECT_EQ(got[1].kind, 3);
+  EXPECT_EQ(got[2].kind, 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SameTimestampDispatchesByPriorityThenSeq) {
+  rs::EventQueue q;
+  // Same time, mixed priorities, pushed out of priority order.
+  q.push({1.0, 2, 0, 10, 0});
+  q.push({1.0, 0, 0, 11, 0});
+  q.push({1.0, 1, 0, 12, 0});
+  // Same time AND priority: insertion order breaks the tie.
+  q.push({1.0, 1, 0, 13, 0});
+  const auto got = drain(q);
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0].kind, 11);  // priority 0
+  EXPECT_EQ(got[1].kind, 12);  // priority 1, pushed before 13
+  EXPECT_EQ(got[2].kind, 13);  // priority 1, pushed after 12
+  EXPECT_EQ(got[3].kind, 10);  // priority 2
+}
+
+TEST(EventQueue, PushAssignsStrictlyIncreasingSeqStartingAtOne) {
+  rs::EventQueue q;
+  const auto s1 = q.push({0.0, 0, 0, 0, 0});
+  const auto s2 = q.push({0.0, 0, 0, 0, 0});
+  const auto s3 = q.push({0.0, 0, 0, 0, 0});
+  EXPECT_EQ(s1, 1u);
+  EXPECT_EQ(s2, 2u);
+  EXPECT_EQ(s3, 3u);
+  // The caller-supplied seq field is ignored and overwritten.
+  rs::EventQueue q2;
+  const auto s = q2.push({0.0, 0, 999, 0, 0});
+  EXPECT_EQ(s, 1u);
+  EXPECT_EQ(q2.pop()->seq, 1u);
+}
+
+TEST(EventQueue, PeekMatchesPopWithoutRemoving) {
+  rs::EventQueue q;
+  q.push({2.0, 0, 0, 1, 0});
+  q.push({1.0, 0, 0, 2, 0});
+  const auto peeked = q.peek();
+  ASSERT_TRUE(peeked);
+  EXPECT_EQ(peeked->kind, 2);
+  EXPECT_EQ(q.size(), 2u);
+  const auto popped = q.pop();
+  ASSERT_TRUE(popped);
+  EXPECT_EQ(popped->kind, peeked->kind);
+  EXPECT_EQ(popped->seq, peeked->seq);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+// Randomized interleavings against a reference model: sort every pushed
+// event by (t_s, priority, seq) and the queue must pop exactly that trace,
+// whatever order the pushes arrived in.
+TEST(EventQueue, RandomizedPushPopMatchesReferenceSort) {
+  rem::common::Rng rng(0x5eedu);
+  for (int round = 0; round < 50; ++round) {
+    rs::EventQueue q;
+    std::vector<rs::Event> pushed;
+    const int n = static_cast<int>(1 + rng.uniform_int(0, 119));
+    for (int i = 0; i < n; ++i) {
+      rs::Event e;
+      // Coarse timestamp grid forces plenty of exact ties.
+      e.t_s = static_cast<double>(rng.uniform_int(0, 9)) * 0.5;
+      e.priority = static_cast<int>(rng.uniform_int(0, 3));
+      e.kind = i;
+      e.arg = round;
+      e.seq = q.push(e);
+      pushed.push_back(e);
+    }
+    std::vector<rs::Event> expected = pushed;
+    std::sort(expected.begin(), expected.end(),
+              [](const rs::Event& a, const rs::Event& b) {
+                return std::make_tuple(a.t_s, a.priority, a.seq) <
+                       std::make_tuple(b.t_s, b.priority, b.seq);
+              });
+    const auto got = drain(q);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].seq, expected[i].seq) << "round " << round;
+      EXPECT_EQ(got[i].kind, expected[i].kind) << "round " << round;
+      EXPECT_EQ(got[i].t_s, expected[i].t_s) << "round " << round;
+    }
+  }
+}
+
+// Same events, two different push orders: identical pop traces. This is
+// the platform-determinism property the fleet engine relies on.
+TEST(EventQueue, PopTraceIndependentOfHeapInternals) {
+  std::vector<rs::Event> evs;
+  for (int i = 0; i < 40; ++i)
+    evs.push_back({static_cast<double>(i % 5), i % 3, 0, i, 0});
+
+  rs::EventQueue fwd;
+  for (const auto& e : evs) fwd.push(e);
+  const auto a = drain(fwd);
+
+  // Reversed pushes get different seqs, so compare (t, priority, kind)
+  // traces after normalizing the seq tiebreak: within equal (t, priority)
+  // the reversed queue dispatches in its own insertion order.
+  rs::EventQueue rev;
+  for (auto it = evs.rbegin(); it != evs.rend(); ++it) rev.push(*it);
+  const auto b = drain(rev);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].t_s, b[i].t_s);
+    EXPECT_EQ(a[i].priority, b[i].priority);
+  }
+}
+
+TEST(EventQueue, CancelRemovesPendingEvent) {
+  rs::EventQueue q;
+  const auto keep = q.push({1.0, 0, 0, 1, 0});
+  const auto kill = q.push({2.0, 0, 0, 2, 0});
+  EXPECT_TRUE(q.cancel(kill));
+  EXPECT_EQ(q.size(), 1u);
+  const auto got = drain(q);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].seq, keep);
+}
+
+TEST(EventQueue, CancelEdges) {
+  rs::EventQueue q;
+  const auto s = q.push({1.0, 0, 0, 1, 0});
+  EXPECT_FALSE(q.cancel(s + 100));  // unknown handle
+  EXPECT_TRUE(q.cancel(s));
+  EXPECT_FALSE(q.cancel(s));  // double-cancel
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.pop().has_value());
+  // A dispatched event's handle is dead too.
+  const auto s2 = q.push({1.0, 0, 0, 2, 0});
+  ASSERT_TRUE(q.pop().has_value());
+  EXPECT_FALSE(q.cancel(s2));
+}
+
+TEST(EventQueue, CancelHeadThenPopSkipsDeadEntry) {
+  rs::EventQueue q;
+  const auto head = q.push({1.0, 0, 0, 1, 0});
+  q.push({2.0, 0, 0, 2, 0});
+  EXPECT_TRUE(q.cancel(head));
+  const auto got = q.pop();
+  ASSERT_TRUE(got);
+  EXPECT_EQ(got->kind, 2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RescheduleMovesEventAndIssuesFreshSeq) {
+  rs::EventQueue q;
+  const auto a = q.push({5.0, 0, 0, 1, 7});
+  const auto b = q.push({2.0, 0, 0, 2, 0});
+  const auto a2 = q.reschedule(a, 1.0);
+  ASSERT_NE(a2, 0u);
+  EXPECT_NE(a2, a);
+  EXPECT_FALSE(q.cancel(a));  // old handle superseded
+  const auto got = drain(q);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].seq, a2);
+  EXPECT_EQ(got[0].kind, 1);  // kind/arg preserved
+  EXPECT_EQ(got[0].arg, 7);
+  EXPECT_EQ(got[0].t_s, 1.0);
+  EXPECT_EQ(got[1].seq, b);
+}
+
+TEST(EventQueue, RescheduleReentersInsertionOrderAmongPeers) {
+  rs::EventQueue q;
+  const auto a = q.push({1.0, 0, 0, 1, 0});
+  q.push({1.0, 0, 0, 2, 0});
+  // Rescheduling `a` to the same instant demotes it behind its peer: the
+  // fresh seq puts it last among equal (t, priority).
+  ASSERT_NE(q.reschedule(a, 1.0), 0u);
+  const auto got = drain(q);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].kind, 2);
+  EXPECT_EQ(got[1].kind, 1);
+}
+
+TEST(EventQueue, RescheduleDeadHandleReturnsZero) {
+  rs::EventQueue q;
+  const auto s = q.push({1.0, 0, 0, 1, 0});
+  EXPECT_TRUE(q.cancel(s));
+  EXPECT_EQ(q.reschedule(s, 2.0), 0u);
+  EXPECT_EQ(q.reschedule(12345u, 2.0), 0u);  // never-issued handle
+  // A rescheduled-away handle is dead as well.
+  const auto x = q.push({1.0, 0, 0, 2, 0});
+  const auto x2 = q.reschedule(x, 3.0);
+  ASSERT_NE(x2, 0u);
+  EXPECT_EQ(q.reschedule(x, 4.0), 0u);
+  ASSERT_NE(q.reschedule(x2, 4.0), 0u);
+}
+
+// Randomized churn: interleave pushes, cancels, reschedules, and pops and
+// check the surviving trace against a reference model of live events.
+TEST(EventQueue, RandomizedChurnMatchesModel) {
+  rem::common::Rng rng(0xc0ffeeu);
+  for (int round = 0; round < 20; ++round) {
+    rs::EventQueue q;
+    std::vector<rs::Event> live;  // reference model, keyed by seq
+    const int ops = 200;
+    for (int i = 0; i < ops; ++i) {
+      const int op = static_cast<int>(rng.uniform_int(0, 9));
+      if (op < 6 || live.empty()) {
+        rs::Event e;
+        e.t_s = static_cast<double>(rng.uniform_int(0, 7));
+        e.priority = static_cast<int>(rng.uniform_int(0, 2));
+        e.kind = i;
+        e.seq = q.push(e);
+        live.push_back(e);
+      } else if (op < 8) {
+        const auto idx = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+        EXPECT_TRUE(q.cancel(live[idx].seq));
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+      } else {
+        const auto idx = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+        const double nt = static_cast<double>(rng.uniform_int(0, 7));
+        const auto ns = q.reschedule(live[idx].seq, nt);
+        ASSERT_NE(ns, 0u);
+        live[idx].t_s = nt;
+        live[idx].seq = ns;
+      }
+      ASSERT_EQ(q.size(), live.size());
+    }
+    std::sort(live.begin(), live.end(),
+              [](const rs::Event& a, const rs::Event& b) {
+                return std::make_tuple(a.t_s, a.priority, a.seq) <
+                       std::make_tuple(b.t_s, b.priority, b.seq);
+              });
+    const auto got = drain(q);
+    ASSERT_EQ(got.size(), live.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].seq, live[i].seq) << "round " << round;
+      EXPECT_EQ(got[i].kind, live[i].kind) << "round " << round;
+    }
+  }
+}

@@ -19,10 +19,6 @@ namespace {
 using rem::testkit::GoldenCase;
 using rem::testkit::TraceDigest;
 
-std::string golden_path(const GoldenCase& c) {
-  return std::string(REM_GOLDEN_DIR) + "/" + c.name + ".json";
-}
-
 TEST(GoldenTraces, CorpusCoversAllRoutesAndFaultPresets) {
   const auto corpus = rem::testkit::golden_corpus();
   ASSERT_GE(corpus.size(), 12u);
@@ -42,28 +38,42 @@ TEST(GoldenTraces, CorpusCoversAllRoutesAndFaultPresets) {
   EXPECT_TRUE(partition && loss_reorder);
 }
 
+TEST(GoldenTraces, FleetCorpusCoversContentionAndPartition) {
+  const auto fleet = rem::testkit::fleet_golden_corpus();
+  ASSERT_GE(fleet.size(), 2u);
+  bool overload = false, partition = false;
+  for (const auto& c : fleet) {
+    EXPECT_GE(c.fleet_size, 2) << c.name;
+    EXPECT_EQ(c.name.rfind("fleet_", 0), 0u) << c.name;
+    overload = overload || c.fault_preset == "bs_overload_shed";
+    partition = partition || c.fault_preset == "backhaul_partition";
+  }
+  EXPECT_TRUE(overload && partition);
+}
+
 // The replay: one corpus case per thread-pool job (REM_BENCH_THREADS
 // respected via bench_threads()), each diffed against its committed
 // digest. The runs are seed-deterministic, so this passes identically at
 // any thread count.
 TEST(GoldenTraces, ReplayMatchesCommittedDigests) {
-  const auto corpus = rem::testkit::golden_corpus();
-  std::vector<TraceDigest> actual(corpus.size());
-  std::vector<std::string> errors(corpus.size());
+  const auto jobs = rem::testkit::golden_jobs();
+  std::vector<TraceDigest> actual(jobs.size());
+  std::vector<std::string> errors(jobs.size());
   rem::common::parallel_for(
-      corpus.size(), rem::bench::bench_threads(), [&](std::size_t i) {
+      jobs.size(), rem::bench::bench_threads(), [&](std::size_t i) {
         try {
-          actual[i] = rem::testkit::run_golden_case(corpus[i]);
+          actual[i] = jobs[i].run();
         } catch (const std::exception& e) {
           errors[i] = e.what();
         }
       });
-  for (std::size_t i = 0; i < corpus.size(); ++i) {
-    SCOPED_TRACE("case " + corpus[i].name);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    SCOPED_TRACE("case " + jobs[i].name);
     ASSERT_TRUE(errors[i].empty()) << errors[i];
     TraceDigest expected;
     try {
-      expected = rem::testkit::read_digest_json_file(golden_path(corpus[i]));
+      expected = rem::testkit::read_digest_json_file(
+          std::string(REM_GOLDEN_DIR) + "/" + jobs[i].name + ".json");
     } catch (const std::exception& e) {
       FAIL() << "cannot load committed digest (run "
                 "scripts/update_goldens.sh?): "

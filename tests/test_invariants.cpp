@@ -6,12 +6,15 @@
 #include "testkit/seeds.hpp"
 
 #include "scenario_runner.hpp"
+#include "sim/fleet.hpp"
 #include "testkit/golden.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 namespace {
 
@@ -359,6 +362,104 @@ TEST_F(SeedEnvTest, InvariantKillSwitch) {
   EXPECT_FALSE(rem::testkit::invariants_enabled());
   ::setenv("REM_CHECK_INVARIANTS", "1", 1);
   EXPECT_TRUE(rem::testkit::invariants_enabled());
+}
+
+// ---- Fleet invariants (testkit::fleet_invariant_report) ----
+
+/// Minimal well-formed two-UE fleet result: per-UE logs time-sorted and
+/// ue-tagged, aggregate = documented fold.
+rem::sim::FleetResult small_fleet() {
+  rem::sim::FleetResult r;
+  r.per_ue.resize(2);
+  for (int k = 0; k < 2; ++k) {
+    auto& s = r.per_ue[static_cast<std::size_t>(k)];
+    s.sim_time_s = 10.0;
+    s.handovers = 3 + k;
+    s.successful_handovers = 2 + k;
+    s.t304_expiries = 1;
+    s.failures = k;
+    s.bs_crashes = 2;
+    s.events.push_back({1.0 + k, EventKind::kHandoverComplete, 0, 1, -3.0, k});
+    s.events.push_back({5.0, EventKind::kRadioLinkFailure, 1, -1, -9.0, k});
+  }
+  // UE 1's t=5.0 event ties UE 0's; keep UE order within the tie.
+  std::sort(r.per_ue[1].events.begin(), r.per_ue[1].events.end(),
+            [](const SignalingEvent& a, const SignalingEvent& b) {
+              return a.t_s < b.t_s;
+            });
+  r.aggregate = rem::sim::merge_fleet_stats(r.per_ue);
+  return r;
+}
+
+TEST(FleetInvariants, CleanResultProducesEmptyReport) {
+  EXPECT_TRUE(rem::testkit::fleet_invariant_report(small_fleet()).empty());
+}
+
+TEST(FleetInvariants, EmptyResultIsFlagged) {
+  EXPECT_FALSE(
+      rem::testkit::fleet_invariant_report(rem::sim::FleetResult{}).empty());
+}
+
+TEST(FleetInvariants, PerUeConservationViolationIsFlagged) {
+  auto r = small_fleet();
+  // Successes + T304 expiries must never exceed attempts, shared-BS
+  // contention or not.
+  r.per_ue[0].successful_handovers = r.per_ue[0].handovers + 1;
+  const auto report = rem::testkit::fleet_invariant_report(r);
+  ASSERT_FALSE(report.empty());
+  EXPECT_NE(report[0].find("exceed attempts"), std::string::npos);
+}
+
+TEST(FleetInvariants, AggregateSumDriftIsFlagged) {
+  auto r = small_fleet();
+  r.aggregate.handovers += 1;
+  bool found = false;
+  for (const auto& line : rem::testkit::fleet_invariant_report(r))
+    found = found || line.find("aggregate.handovers") != std::string::npos;
+  EXPECT_TRUE(found);
+}
+
+TEST(FleetInvariants, CrashWindowDisagreementIsFlagged) {
+  auto r = small_fleet();
+  // Crash windows are global: every UE must report the same count.
+  r.per_ue[1].bs_crashes += 1;
+  bool found = false;
+  for (const auto& line : rem::testkit::fleet_invariant_report(r))
+    found = found || line.find("bs_crashes disagree") != std::string::npos;
+  EXPECT_TRUE(found);
+}
+
+TEST(FleetInvariants, CrossUeTimestampRegressionIsFlagged) {
+  auto r = small_fleet();
+  // Swap the middle events (UE 1's t=2.0 behind UE 0's t=5.0): each UE's
+  // own order survives, but the merged timeline now runs backwards.
+  ASSERT_EQ(r.aggregate.events.size(), 4u);
+  std::swap(r.aggregate.events[1], r.aggregate.events[2]);
+  bool found = false;
+  for (const auto& line : rem::testkit::fleet_invariant_report(r))
+    found = found || line.find("regresses") != std::string::npos;
+  EXPECT_TRUE(found);
+}
+
+TEST(FleetInvariants, WrongUeTagIsFlagged) {
+  auto r = small_fleet();
+  r.per_ue[1].events[0].ue = 0;
+  bool found = false;
+  for (const auto& line : rem::testkit::fleet_invariant_report(r))
+    found = found || line.find("tagged ue=") != std::string::npos;
+  EXPECT_TRUE(found);
+}
+
+TEST(FleetInvariants, PerUeOrderLossInMergedLogIsFlagged) {
+  auto r = small_fleet();
+  // Same timestamps, but UE 0's entry mutates: the merged log no longer
+  // reproduces that UE's own log in order.
+  ASSERT_EQ(r.aggregate.events[0].ue, 0);
+  r.aggregate.events[0].serving_snr_db += 1.0;
+  bool found = false;
+  for (const auto& line : rem::testkit::fleet_invariant_report(r))
+    found = found || line.find("order not preserved") != std::string::npos;
+  EXPECT_TRUE(found);
 }
 
 }  // namespace

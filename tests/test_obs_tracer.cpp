@@ -13,8 +13,11 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -250,6 +253,73 @@ TEST(ScenarioRunnerMetrics, CollectionDoesNotPerturbStats) {
   EXPECT_EQ(with.rem.by_cause, without.rem.by_cause);
   EXPECT_TRUE(without.legacy_metrics.empty());
   EXPECT_FALSE(with.legacy_metrics.empty());
+}
+
+// ---- Fleet runs: per-UE tracing through sim::UeObserverDemux ----
+
+TEST(SpanTracer, RejectsInterleavedUes) {
+  // A tracer is a single-UE state machine; feeding it two UEs' streams
+  // would silently interleave their spans. Repeats of the same id are the
+  // demuxed-child protocol and must pass; a different id must throw.
+  rem::obs::SpanTracer tracer;
+  EXPECT_NO_THROW(tracer.on_ue(2));
+  EXPECT_NO_THROW(tracer.on_ue(2));
+  EXPECT_THROW(tracer.on_ue(3), std::logic_error);
+}
+
+TEST(SpanTracer, FleetDemuxedTracersReconcilePerUe) {
+  // One tracer per UE behind the demux: each must reconcile against its
+  // own UE's SimStats exactly, and every emitted trace line must carry
+  // that UE's id. Construction order matches bench/fleet_runner.hpp.
+  constexpr int kFleet = 3;
+  constexpr double kDur = 40.0;
+  auto sc = rem::trace::make_scenario(kRoute, kSpeed, kDur);
+  sc.sim.faults = rem::testkit::golden_fault_preset("mixed", kDur);
+  sc.sim.fleet_size = kFleet;
+  sc.sim.engine = rem::sim::SimEngine::kEventQueue;
+
+  rem::common::Rng rng(9);
+  auto cells = rem::sim::make_rail_deployment(sc.deployment, rng);
+  auto holes = rem::sim::make_hole_segments(sc.deployment, rng);
+  rem::sim::RadioEnv env(cells, sc.propagation, rng.fork(), holes);
+  (void)rem::trace::synthesize_policies(cells, sc.policy_mix, rng);
+  rem::common::Rng mgr_rng = rng.fork();
+
+  rem::sim::UeObserverDemux demux;
+  std::vector<std::unique_ptr<rem::obs::SpanTracer>> tracers;
+  for (int k = 0; k < kFleet; ++k) {
+    tracers.push_back(std::make_unique<rem::obs::SpanTracer>());
+    demux.add(tracers.back().get());
+  }
+  sc.sim.observer = &demux;
+
+  rem::sim::Simulator s(env, sc.sim, bler_model(), rng.fork());
+  const auto r =
+      s.run_fleet([&](int) -> std::unique_ptr<rem::sim::MobilityManager> {
+        return std::make_unique<rem::core::RemManager>(rem::core::RemConfig{},
+                                                       mgr_rng.fork());
+      });
+  ASSERT_EQ(r.per_ue.size(), static_cast<std::size_t>(kFleet));
+
+  std::size_t total_spans = 0;
+  for (int k = 0; k < kFleet; ++k) {
+    SCOPED_TRACE("ue " + std::to_string(k));
+    const auto& tracer = *tracers[static_cast<std::size_t>(k)];
+    const auto mismatches =
+        tracer.reconcile(r.per_ue[static_cast<std::size_t>(k)]);
+    for (const auto& line : mismatches) ADD_FAILURE() << line;
+    total_spans += tracer.spans().size();
+
+    std::ostringstream os;
+    tracer.write_trace_jsonl(os);
+    std::istringstream is(os.str());
+    std::string line;
+    while (std::getline(is, line))
+      EXPECT_NE(line.find("\"ue\": " + std::to_string(k) + ","),
+                std::string::npos)
+          << line;
+  }
+  EXPECT_GT(total_spans, 0u);  // the run actually produced spans to label
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 // sanitizers (scripts/check_soak.sh runs this binary in the ASan/UBSan
 // and TSan build trees), with the checker turning any protocol-state or
 // accounting violation into a test failure.
+#include "fleet_runner.hpp"
 #include "scenario_runner.hpp"
 #include "sim/fault_injector.hpp"
 
@@ -80,4 +81,52 @@ TEST(ChaosSoak, RandomizedScheduleReplaysBitIdentically) {
   EXPECT_EQ(a.rem.bs_crashes, b.rem.bs_crashes);
   EXPECT_EQ(a.rem.stale_context_responses, b.rem.stale_context_responses);
   EXPECT_EQ(a.rem.backhaul_sent, b.rem.backhaul_sent);
+}
+
+TEST(ChaosSoak, RandomizedAllFaultFleetHoldsInvariants) {
+  // The fleet engine under the same everything-at-once chaos: N UEs
+  // contending for BS slots and backhaul capacity while every fault kind
+  // fires from seeded random schedules. One InvariantChecker per UE plus
+  // the fleet-level report (run_fleet_seed throws on either), under the
+  // sanitizer builds via scripts/check_soak.sh.
+  rem::phy::LogisticBlerModel bler;
+  rem::bench::FleetRunOptions opts;
+  opts.fleet_size = 8;
+  opts.faults = random_everything();
+  for (const std::uint64_t seed : {44ULL, 55ULL}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    for (bool use_rem : {false, true}) {
+      SCOPED_TRACE(use_rem ? "rem" : "legacy");
+      opts.use_rem = use_rem;
+      const auto r =
+          rem::bench::run_fleet_seed(rem::trace::Route::kBeijingShanghai,
+                                     300.0, 40.0, seed, bler, opts);
+      ASSERT_EQ(r.per_ue.size(), 8u);
+      for (const auto& s : r.per_ue) EXPECT_EQ(s.sim_time_s, 40.0);
+      EXPECT_GT(r.aggregate.bs_jobs_submitted, 0);
+    }
+  }
+}
+
+TEST(ChaosSoak, RandomizedFleetReplaysBitIdentically) {
+  rem::phy::LogisticBlerModel bler;
+  rem::bench::FleetRunOptions opts;
+  opts.fleet_size = 6;
+  opts.faults = random_everything();
+  const auto a = rem::bench::run_fleet_seed(
+      rem::trace::Route::kBeijingTaiyuan, 250.0, 30.0, 7, bler, opts);
+  const auto b = rem::bench::run_fleet_seed(
+      rem::trace::Route::kBeijingTaiyuan, 250.0, 30.0, 7, bler, opts);
+  ASSERT_EQ(a.per_ue.size(), b.per_ue.size());
+  for (std::size_t k = 0; k < a.per_ue.size(); ++k) {
+    SCOPED_TRACE("ue " + std::to_string(k));
+    EXPECT_EQ(a.per_ue[k].handovers, b.per_ue[k].handovers);
+    EXPECT_EQ(a.per_ue[k].failures, b.per_ue[k].failures);
+    EXPECT_EQ(a.per_ue[k].mean_throughput_bps,
+              b.per_ue[k].mean_throughput_bps);
+  }
+  EXPECT_EQ(a.aggregate.bs_queue_shed, b.aggregate.bs_queue_shed);
+  EXPECT_EQ(a.aggregate.admission_rejects, b.aggregate.admission_rejects);
+  EXPECT_EQ(a.aggregate.bs_crashes, b.aggregate.bs_crashes);
+  EXPECT_EQ(a.aggregate.backhaul_sent, b.aggregate.backhaul_sent);
 }
