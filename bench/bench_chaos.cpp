@@ -38,6 +38,7 @@
 #include "fleet_runner.hpp"
 #include "obs/registry.hpp"
 #include "obs/tracer.hpp"
+#include "scenario/scenario.hpp"
 #include "scenario_runner.hpp"
 #include "sim/observer.hpp"
 #include "testkit/invariants.hpp"
@@ -463,29 +464,33 @@ int main(int argc, char** argv) {
   }
 
   // Fleet sweep: N UEs genuinely contending for BS slots and backhaul
-  // capacity under the same bs_overload schedule as the single-UE class.
-  // Each fleet runs with one InvariantChecker per UE (run_fleet_seed
+  // capacity under the library's rail_overload_fleet scenario (the same
+  // periodic bs_overload schedule as the single-UE class), compiled by
+  // rem::scenario with the sweep's duration and fleet size as overrides.
+  // Each fleet runs with one InvariantChecker per UE (run_fleet_scenario
   // throws on violations); per-seed aggregates fold in seed order, so the
   // section is deterministic at any thread count.
   const int fleet_size = smoke ? 6 : 12;
-  const auto fleet_faults = periodic(FaultKind::kBsOverload, 15.0, 60.0,
-                                     14.0, 1.0, duration_s);
+  const auto fleet_spec =
+      rem::scenario::load_scenario(REM_SCENARIO_DIR, "rail_overload_fleet");
+  rem::scenario::CompileOverrides fleet_ov;
+  fleet_ov.duration_s = duration_s;
+  fleet_ov.ue_count = fleet_size;
+  const auto fleet_compiled = rem::scenario::compile(fleet_spec, fleet_ov);
   ManagerMetrics fleet_legacy, fleet_rem;
   {
-    rem::bench::FleetRunOptions fopts;
-    fopts.fleet_size = fleet_size;
-    fopts.faults = fleet_faults;
     std::vector<rem::sim::SimStats> lg_runs, rm_runs;
     for (const auto seed : seeds) {
+      rem::bench::FleetScenarioRunOptions fopts;
+      fopts.context = "the chaos fleet scenario 'rail_overload_fleet' "
+                      "(seed " + std::to_string(seed) + ")";
       fopts.use_rem = false;
-      lg_runs.push_back(rem::bench::run_fleet_seed(route, speed_kmh,
-                                                   duration_s, seed, bler,
-                                                   fopts)
+      lg_runs.push_back(rem::bench::run_fleet_scenario(
+                            fleet_compiled.scenario, seed, bler, fopts)
                             .aggregate);
       fopts.use_rem = true;
-      rm_runs.push_back(rem::bench::run_fleet_seed(route, speed_kmh,
-                                                   duration_s, seed, bler,
-                                                   fopts)
+      rm_runs.push_back(rem::bench::run_fleet_scenario(
+                            fleet_compiled.scenario, seed, bler, fopts)
                             .aggregate);
     }
     fleet_legacy = fold(lg_runs, duration_s);
@@ -530,8 +535,10 @@ int main(int argc, char** argv) {
   }
   js << "  },\n";
   js << "  \"fleet\": {\n";
-  js << "    \"bs_overload\": {\"fleet_size\": " << fleet_size
-     << ", \"windows\": " << fleet_faults.windows.size() << ", \"legacy\": ";
+  js << "    \"bs_overload\": {\"scenario\": \"" << fleet_compiled.name
+     << "\", \"fleet_size\": " << fleet_size << ", \"windows\": "
+     << fleet_compiled.scenario.sim.faults.windows.size()
+     << ", \"legacy\": ";
   write_metrics_json(js, fleet_legacy, base_legacy);
   js << ", \"rem\": ";
   write_metrics_json(js, fleet_rem, base_rem);

@@ -16,9 +16,16 @@
 // this way is bit-identical to a single-UE Simulator::run over the same
 // streams, whatever fleet_size later runs use.
 //
-// Like run_seed, a fleet run is deterministic in (route, speed, duration,
-// seed, options): per-seed results merged in seed order are bit-identical
-// for any thread count (tests/test_fleet.cpp pins 1/2/8 threads).
+// Entry points:
+//   run_fleet_scenario — run a fully specified trace::Scenario (the
+//     sim config carries fleet size, faults, transports); this is what
+//     compiled rem::scenario worlds execute through.
+//   run_fleet_seed     — legacy convenience: assemble the scenario from
+//     (route, speed, duration) + option overrides, then delegate.
+//
+// Like run_seed, a fleet run is deterministic in (scenario, seed,
+// options): per-seed results merged in seed order are bit-identical for
+// any thread count (tests/test_fleet.cpp pins 1/2/8 threads).
 #pragma once
 
 #include "scenario_runner.hpp"
@@ -28,6 +35,94 @@
 #include <utility>
 
 namespace rem::bench {
+
+struct FleetScenarioRunOptions {
+  /// Manager family for every UE: REM (client-driven, cross-band) when
+  /// true, legacy 4G/5G policies otherwise.
+  bool use_rem = true;
+  bool record_events = false;
+  /// Attach one testkit::InvariantChecker per UE (via sim::UeObserverDemux)
+  /// plus the post-run fleet_invariant_report, throwing std::logic_error on
+  /// any violation. Honors the REM_CHECK_INVARIANTS=0 kill switch.
+  bool check_invariants = true;
+  /// Human context for violation messages, completing the sentence
+  /// "invariant violations in UE k of <context>".
+  std::string context = "a fleet run";
+};
+
+/// Run one fleet over a fully specified scenario: `sc.sim` already
+/// carries fleet_size, fleet derivation, faults, backhaul, and BS
+/// capacity (a compiled rem::scenario world, or hand assembly). Returns
+/// per-UE stats indexed by UE id plus the UE-order aggregate
+/// (sim/fleet.hpp).
+inline sim::FleetResult run_fleet_scenario(const trace::Scenario& sc,
+                                           std::uint64_t seed,
+                                           const phy::BlerModel& bler,
+                                           const FleetScenarioRunOptions& opts) {
+  common::Rng rng(seed);
+  auto cells = sim::make_rail_deployment(sc.deployment, rng);
+  auto holes = sim::make_hole_segments(sc.deployment, rng);
+  sim::RadioEnv env(cells, sc.propagation, rng.fork(), holes);
+  auto policies = trace::synthesize_policies(cells, sc.policy_mix, rng);
+
+  core::LegacyConfig lc;
+  lc.policies = policies;
+  lc.measurement.intra_ttt_s = sc.policy_mix.intra_ttt_s;
+  lc.measurement.inter_ttt_s = sc.policy_mix.inter_ttt_s;
+
+  common::Rng mgr_rng = rng.fork();  // manager master stream (see header)
+  common::Rng sim_rng = rng.fork();  // simulation stream
+
+  const int fleet_size = sc.sim.fleet_size;
+  const bool check = opts.check_invariants && testkit::invariants_enabled();
+  sim::UeObserverDemux demux;
+  std::vector<std::unique_ptr<testkit::InvariantChecker>> checkers;
+  sim::SimConfig run_cfg = sc.sim;
+  run_cfg.record_events = run_cfg.record_events || opts.record_events;
+  run_cfg.engine = sim::SimEngine::kEventQueue;
+  if (check) {
+    testkit::CheckerConfig ccfg;
+    ccfg.sim = run_cfg;
+    ccfg.num_cells = cells.size();
+    ccfg.faults_expected = !run_cfg.faults.empty();
+    if (opts.use_rem)
+      ccfg.staleness_bound_s = core::RemConfig{}.estimate_staleness_s;
+    else
+      ccfg.expect_no_degraded = true;  // legacy has no fallback mode
+    checkers.reserve(static_cast<std::size_t>(fleet_size));
+    for (int k = 0; k < fleet_size; ++k) {
+      checkers.push_back(std::make_unique<testkit::InvariantChecker>(ccfg));
+      demux.add(checkers.back().get());
+    }
+    run_cfg.observer = &demux;
+  }
+
+  sim::Simulator s(env, run_cfg, bler, std::move(sim_rng));
+  auto result = s.run_fleet([&](int) -> std::unique_ptr<sim::MobilityManager> {
+    if (opts.use_rem)
+      return std::make_unique<core::RemManager>(core::RemConfig{},
+                                                mgr_rng.fork());
+    return std::make_unique<core::LegacyManager>(lc);
+  });
+
+  if (check) {
+    for (int k = 0; k < fleet_size; ++k) {
+      const auto& checker = *checkers[static_cast<std::size_t>(k)];
+      if (checker.violation_count() > 0)
+        throw std::logic_error("invariant violations in UE " +
+                               std::to_string(k) + " of " + opts.context +
+                               ":\n" + checker.report());
+    }
+    const auto fleet_violations = testkit::fleet_invariant_report(result);
+    if (!fleet_violations.empty()) {
+      std::string msg =
+          "fleet invariant violations in the aggregate of " + opts.context;
+      for (const auto& line : fleet_violations) msg += "\n  " + line;
+      throw std::logic_error(msg);
+    }
+  }
+  return result;
+}
 
 struct FleetRunOptions {
   /// Number of UEs; UE 0 rides the scenario's exact single-UE parameters.
@@ -48,8 +143,8 @@ struct FleetRunOptions {
 };
 
 /// Run one fleet over the scenario named by (route, speed, duration) with
-/// deterministic per-UE RNG derivation from `seed`. Returns per-UE stats
-/// indexed by UE id plus the UE-order aggregate (sim/fleet.hpp).
+/// deterministic per-UE RNG derivation from `seed`. Assembles the
+/// trace::Scenario from the options and delegates to run_fleet_scenario.
 inline sim::FleetResult run_fleet_seed(trace::Route route, double speed_kmh,
                                        double duration_s, std::uint64_t seed,
                                        const phy::BlerModel& bler,
@@ -63,73 +158,15 @@ inline sim::FleetResult run_fleet_seed(trace::Route route, double speed_kmh,
   sc.sim.fleet_size = opts.fleet_size;
   sc.sim.engine = sim::SimEngine::kEventQueue;
 
-  common::Rng rng(seed);
-  auto cells = sim::make_rail_deployment(sc.deployment, rng);
-  auto holes = sim::make_hole_segments(sc.deployment, rng);
-  sim::RadioEnv env(cells, sc.propagation, rng.fork(), holes);
-  auto policies = trace::synthesize_policies(cells, sc.policy_mix, rng);
-
-  core::LegacyConfig lc;
-  lc.policies = policies;
-  lc.measurement.intra_ttt_s = sc.policy_mix.intra_ttt_s;
-  lc.measurement.inter_ttt_s = sc.policy_mix.inter_ttt_s;
-
-  common::Rng mgr_rng = rng.fork();  // manager master stream (see header)
-  common::Rng sim_rng = rng.fork();  // simulation stream
-
-  const bool check = opts.check_invariants && testkit::invariants_enabled();
-  sim::UeObserverDemux demux;
-  std::vector<std::unique_ptr<testkit::InvariantChecker>> checkers;
-  sim::SimConfig run_cfg = sc.sim;
-  if (check) {
-    testkit::CheckerConfig ccfg;
-    ccfg.sim = sc.sim;
-    ccfg.num_cells = cells.size();
-    ccfg.faults_expected = !opts.faults.empty();
-    if (opts.use_rem)
-      ccfg.staleness_bound_s = core::RemConfig{}.estimate_staleness_s;
-    else
-      ccfg.expect_no_degraded = true;  // legacy has no fallback mode
-    checkers.reserve(static_cast<std::size_t>(opts.fleet_size));
-    for (int k = 0; k < opts.fleet_size; ++k) {
-      checkers.push_back(std::make_unique<testkit::InvariantChecker>(ccfg));
-      demux.add(checkers.back().get());
-    }
-    run_cfg.observer = &demux;
-  }
-
-  sim::Simulator s(env, run_cfg, bler, std::move(sim_rng));
-  auto result = s.run_fleet([&](int) -> std::unique_ptr<sim::MobilityManager> {
-    if (opts.use_rem)
-      return std::make_unique<core::RemManager>(core::RemConfig{},
-                                                mgr_rng.fork());
-    return std::make_unique<core::LegacyManager>(lc);
-  });
-
-  if (check) {
-    const auto context = [&](const std::string& who) {
-      return who + " of a " + std::to_string(opts.fleet_size) +
-             "-UE fleet (route " + trace::route_name(route) + ", " +
-             std::to_string(speed_kmh) + " km/h, seed " +
-             std::to_string(seed) + ")";
-    };
-    for (int k = 0; k < opts.fleet_size; ++k) {
-      const auto& checker = *checkers[static_cast<std::size_t>(k)];
-      if (checker.violation_count() > 0)
-        throw std::logic_error(
-            "invariant violations in " + context("UE " + std::to_string(k)) +
-            ":\n" + checker.report());
-    }
-    const auto fleet_violations = testkit::fleet_invariant_report(result);
-    if (!fleet_violations.empty()) {
-      std::string msg =
-          "fleet invariant violations in " + context("the aggregate");
-      for (const auto& line : fleet_violations) msg += "\n  " + line;
-      throw std::logic_error(msg);
-    }
-  }
-  return result;
+  FleetScenarioRunOptions so;
+  so.use_rem = opts.use_rem;
+  so.record_events = opts.record_events;
+  so.check_invariants = opts.check_invariants;
+  so.context = "a " + std::to_string(opts.fleet_size) +
+               "-UE fleet (route " + trace::route_name(route) + ", " +
+               std::to_string(speed_kmh) + " km/h, seed " +
+               std::to_string(seed) + ")";
+  return run_fleet_scenario(sc, seed, bler, so);
 }
 
 }  // namespace rem::bench
-

@@ -35,7 +35,30 @@ $targets
 EOF
 done
 
-# --- 2. doc comments on src/obs public headers -----------------------------
+# --- 2. SCENARIOS.md <-> scenarios/*.json consistency ----------------------
+# The catalogue and the library must agree in both directions: every
+# shipped scenario file has a `### <name>` entry in SCENARIOS.md, and
+# every catalogue entry points at a file that exists. A scenario added
+# without docs (or docs for a deleted scenario) fails the docs label.
+if [ -d scenarios ] && [ -f SCENARIOS.md ]; then
+  for f in scenarios/*.json; do
+    name="$(basename "$f" .json)"
+    if ! grep -q "^### ${name}\$" SCENARIOS.md; then
+      echo "UNDOCUMENTED SCENARIO: $f has no '### ${name}' entry in SCENARIOS.md"
+      fail=1
+    fi
+  done
+  while IFS= read -r name; do
+    if [ ! -f "scenarios/${name}.json" ]; then
+      echo "STALE CATALOGUE ENTRY: SCENARIOS.md '### ${name}' has no scenarios/${name}.json"
+      fail=1
+    fi
+  done <<EOF
+$(grep '^### [a-z0-9_]*$' SCENARIOS.md | sed 's/^### //')
+EOF
+fi
+
+# --- 3. doc comments on src/obs public headers -----------------------------
 for hdr in src/obs/*.hpp; do
   if ! head -n 1 "$hdr" | grep -q '^//'; then
     echo "MISSING FILE COMMENT: $hdr must open with a // comment block"
@@ -59,4 +82,4 @@ if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED"
   exit 1
 fi
-echo "check_docs: ok (markdown links + src/obs header docs)"
+echo "check_docs: ok (markdown links + scenario catalogue + src/obs header docs)"

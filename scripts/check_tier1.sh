@@ -12,6 +12,11 @@
 #                                       # golden included)
 #   scripts/check_tier1.sh --full       # --all plus the sanitizer chaos
 #                                       # soak (scripts/check_soak.sh)
+#   scripts/check_tier1.sh --scenarios  # also smoke-compile every
+#                                       # scenarios/*.json and run the
+#                                       # shortest end to end under the
+#                                       # invariant checker
+#                                       # (bench_fleet --validate)
 #
 # Any further arguments are forwarded to ctest. Uses the default build/
 # tree; pass a different one via BUILD_DIR.
@@ -22,12 +27,16 @@ build="${BUILD_DIR:-build}"
 
 ctest_args=(-L 'tier1|docs|perf|fleet')
 soak=0
+scenarios=0
 if [ "${1:-}" = "--all" ]; then
   ctest_args=()
   shift
 elif [ "${1:-}" = "--full" ]; then
   ctest_args=()
   soak=1
+  shift
+elif [ "${1:-}" = "--scenarios" ]; then
+  scenarios=1
   shift
 fi
 ctest_args+=("$@")
@@ -39,4 +48,10 @@ ctest --test-dir "${build}" --output-on-failure -j"$(nproc)" \
 
 if [ "${soak}" = 1 ]; then
   scripts/check_soak.sh
+fi
+
+if [ "${scenarios}" = 1 ]; then
+  # Compile every library scenario at its authored parameters and run the
+  # shortest one end to end (invariant checkers attached, gates enforced).
+  "${build}/bench/bench_fleet" --validate
 fi

@@ -35,6 +35,10 @@ BackhaulNetwork::BackhaulNetwork(const BackhaulConfig& cfg, common::Rng rng)
   if (cfg_.queue_capacity < 1)
     throw std::invalid_argument(
         "BackhaulConfig: queue_capacity must be >= 1");
+  if (!(cfg_.reverse_latency_scale > 0.0))
+    throw std::invalid_argument("BackhaulConfig: reverse_latency_scale " +
+                                std::to_string(cfg_.reverse_latency_scale) +
+                                " must be > 0");
 }
 
 double BackhaulNetwork::draw_delay(double extra_delay_s) {
@@ -67,8 +71,15 @@ bool BackhaulNetwork::send(double now_s, const BackhaulMessage& msg,
     ++stats_.dropped_queue;
     return false;
   }
+  // Asymmetric provisioning: the reverse direction (toward the
+  // lower-indexed cell) pays the configured scale on its whole one-way
+  // delay. The scale multiplies *after* the draws, so symmetric and
+  // asymmetric links consume the identical random sequence.
+  const bool reverse =
+      msg.src_cell >= 0 && msg.dst_cell >= 0 && msg.dst_cell < msg.src_cell;
+  const double dir_scale = reverse ? cfg_.reverse_latency_scale : 1.0;
   InFlight f;
-  f.deliver_at_s = now_s + draw_delay(extra_delay_s);
+  f.deliver_at_s = now_s + dir_scale * draw_delay(extra_delay_s);
   f.order = next_order_++;
   f.sent_at_s = now_s;
   f.frame = encode_message(msg);
@@ -77,7 +88,7 @@ bool BackhaulNetwork::send(double now_s, const BackhaulMessage& msg,
       queue_.size() < cfg_.queue_capacity) {
     ++stats_.duplicated;
     InFlight dup;
-    dup.deliver_at_s = now_s + draw_delay(extra_delay_s);
+    dup.deliver_at_s = now_s + dir_scale * draw_delay(extra_delay_s);
     dup.order = next_order_++;
     dup.sent_at_s = now_s;
     dup.frame = encode_message(msg);

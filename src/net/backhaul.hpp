@@ -39,6 +39,15 @@ struct BackhaulConfig {
   double reorder_extra_s = 0.006; ///< uniform extra delay when reordered
   double duplicate_prob = 0.0;    ///< chance the frame is delivered twice
   std::size_t queue_capacity = 64; ///< in-flight cap; overload drops
+  /// Per-link asymmetry: messages flowing "down-corridor" (dst_cell <
+  /// src_cell — the return path of a prep handshake toward the serving BS)
+  /// have their whole one-way delay (base + jitter + spikes + reorder
+  /// extra) multiplied by this factor. Models forward/return backhaul
+  /// links provisioned differently along the deployment; 1.0 (the
+  /// default) is exactly symmetric and leaves the delivery timeline
+  /// bit-identical to the pre-asymmetry transport. Draw order is
+  /// unaffected either way. Must be > 0.
+  double reverse_latency_scale = 1.0;
 };
 
 /// Monotonic transport counters, mirrored into SimStats at end of run.

@@ -1425,6 +1425,27 @@ FleetResult Simulator::run_fleet(
     throw std::invalid_argument(
         "run_fleet: fleet start_spread_m must be >= 0, got " +
         std::to_string(cfg_.fleet.start_spread_m));
+  if (!cfg_.fleet.classes.empty()) {
+    int total = 0;
+    for (std::size_t i = 0; i < cfg_.fleet.classes.size(); ++i) {
+      const auto& c = cfg_.fleet.classes[i];
+      if (c.count < 0)
+        throw std::invalid_argument(
+            "run_fleet: fleet class " + std::to_string(i) + " ('" + c.name +
+            "') has negative count " + std::to_string(c.count));
+      if (c.speed_lo_kmh <= 0.0 || c.speed_hi_kmh < c.speed_lo_kmh)
+        throw std::invalid_argument(
+            "run_fleet: fleet class " + std::to_string(i) + " ('" + c.name +
+            "') speed band must satisfy 0 < lo <= hi, got [" +
+            std::to_string(c.speed_lo_kmh) + ", " +
+            std::to_string(c.speed_hi_kmh) + "]");
+      total += c.count;
+    }
+    if (total != cfg_.fleet_size)
+      throw std::invalid_argument(
+          "run_fleet: fleet class counts sum to " + std::to_string(total) +
+          " but fleet_size is " + std::to_string(cfg_.fleet_size));
+  }
 
   // The engine forks faults, then backhaul, from the base stream — the
   // same order as run() — before any per-UE derivation.
@@ -1440,11 +1461,28 @@ FleetResult Simulator::run_fleet(
   ue_rngs.reserve(n > 1 ? static_cast<std::size_t>(n - 1) : 0);
   std::vector<double> speeds(static_cast<std::size_t>(n), cfg_.speed_kmh);
   std::vector<double> starts(static_cast<std::size_t>(n), 0.0);
+  // Class lookup for mixed-speed populations: UE k belongs to the class
+  // whose cumulative count covers k (classes fill in declaration order).
+  const auto class_band = [&](int k) {
+    int cum = 0;
+    for (const auto& c : cfg_.fleet.classes) {
+      cum += c.count;
+      if (k < cum) return std::pair<double, double>{c.speed_lo_kmh,
+                                                    c.speed_hi_kmh};
+    }
+    // Unreachable: the counts were validated to sum to fleet_size.
+    return std::pair<double, double>{cfg_.fleet.speed_min_kmh,
+                                     cfg_.fleet.speed_max_kmh};
+  };
   for (int k = 1; k < n; ++k) {
     ue_rngs.push_back(rng_.fork());
     auto& r = ue_rngs.back();
-    speeds[static_cast<std::size_t>(k)] =
-        r.uniform(cfg_.fleet.speed_min_kmh, cfg_.fleet.speed_max_kmh);
+    const auto [lo, hi] =
+        cfg_.fleet.classes.empty()
+            ? std::pair<double, double>{cfg_.fleet.speed_min_kmh,
+                                        cfg_.fleet.speed_max_kmh}
+            : class_band(k);
+    speeds[static_cast<std::size_t>(k)] = r.uniform(lo, hi);
     starts[static_cast<std::size_t>(k)] =
         cfg_.fleet.start_spread_m > 0.0
             ? r.uniform(0.0, cfg_.fleet.start_spread_m)

@@ -109,12 +109,33 @@ enum class SimEngine {
 /// run(). Every further UE forks its own RNG stream from the simulation
 /// RNG (in UE-id order) and derives a mixed speed and start offset from
 /// that stream's first draws.
+/// One mobility class of a mixed-speed fleet population: `count` UEs
+/// drawing their speed uniformly from [speed_lo_kmh, speed_hi_kmh].
+/// Compiled scenarios (rem::scenario) map the paper's pedestrian /
+/// vehicular / HST-350 populations onto these bands.
+struct FleetSpeedClass {
+  std::string name;        ///< label for diagnostics ("pedestrian", ...)
+  int count = 0;           ///< UEs of this class (UE 0 fills the first slot)
+  double speed_lo_kmh = 200.0;
+  double speed_hi_kmh = 350.0;
+};
+
 struct FleetConfig {
-  /// Speed range (km/h) for UE 1..N-1, drawn uniformly per UE.
+  /// Speed range (km/h) for UE 1..N-1, drawn uniformly per UE. Ignored
+  /// when `classes` is non-empty.
   double speed_min_kmh = 200.0;
   double speed_max_kmh = 350.0;
   /// Start-position spread (m): UE 1..N-1 begin uniformly in [0, spread).
   double start_spread_m = 2000.0;
+  /// Mixed-speed population: when non-empty, the class counts must sum to
+  /// SimConfig::fleet_size and UE k takes the class whose cumulative count
+  /// covers k (classes fill in order). UE 0 still rides the scenario's
+  /// exact speed_kmh without drawing — its slot belongs to the first
+  /// class — and every other UE draws one uniform speed from its class
+  /// band, so the per-UE draw count (and therefore the RNG contract of
+  /// run_fleet) is identical to the single-band path. Empty (the default)
+  /// preserves the [speed_min_kmh, speed_max_kmh] behaviour bit-for-bit.
+  std::vector<FleetSpeedClass> classes;
 };
 
 enum class FailureCause {

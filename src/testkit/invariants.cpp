@@ -286,11 +286,16 @@ void InvariantChecker::check_event(const sim::SignalingEvent& e) {
       if (!prep_open_)
         violate(t, "prep ack without an outstanding HANDOVER REQUEST");
       // The event's SNR slot carries the request->ack round trip, which
-      // cannot beat two one-way base latencies.
+      // cannot beat the two one-way base latencies. On an asymmetric
+      // link (reverse_latency_scale != 1) the return leg pays the scale,
+      // so the floor is (1 + scale) x base latency.
       if (e.serving_snr_db <
-          2.0 * cfg_.sim.backhaul.base_latency_s - kTimeEps)
+          (1.0 + std::min(1.0, cfg_.sim.backhaul.reverse_latency_scale)) *
+                  cfg_.sim.backhaul.base_latency_s -
+              kTimeEps)
         violate(t, "prep RTT " + std::to_string(e.serving_snr_db) +
-                       "s below the physical floor of 2x base latency (" +
+                       "s below the physical floor of (1+reverse_scale)x "
+                       "base latency (" +
                        std::to_string(cfg_.sim.backhaul.base_latency_s) +
                        "s one-way)");
       prep_open_ = false;

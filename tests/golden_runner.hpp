@@ -4,6 +4,7 @@
 #pragma once
 
 #include "fleet_runner.hpp"
+#include "scenario/scenario.hpp"
 #include "scenario_runner.hpp"
 #include "testkit/golden.hpp"
 
@@ -57,12 +58,32 @@ struct GoldenJob {
   std::function<TraceDigest()> run;
 };
 
+/// Compile one library scenario and digest its *configuration* (no
+/// simulation): scenario compilation is a pure function of the JSON, so
+/// these digests pin the whole compiler — layout shaping, time
+/// compression, fault scaling, profile resolution — byte-for-byte.
+inline TraceDigest run_scenario_golden_case(const std::string& dir,
+                                            const std::string& name) {
+  const auto spec = rem::scenario::load_scenario(dir, name);
+  const auto compiled = rem::scenario::compile(spec);
+  TraceDigest d;
+  d.case_name = "scen_" + name;
+  d.fields = rem::scenario::digest_fields(compiled);
+  return d;
+}
+
 inline std::vector<GoldenJob> golden_jobs() {
   std::vector<GoldenJob> jobs;
   for (const auto& c : golden_corpus())
     jobs.push_back({c.name, [c] { return run_golden_case(c); }});
   for (const auto& c : fleet_golden_corpus())
     jobs.push_back({c.name, [c] { return run_fleet_golden_case(c); }});
+#ifdef REM_SCENARIO_DIR
+  for (const auto& name : rem::scenario::list_scenario_names(REM_SCENARIO_DIR))
+    jobs.push_back({"scen_" + name, [name] {
+                      return run_scenario_golden_case(REM_SCENARIO_DIR, name);
+                    }});
+#endif
   return jobs;
 }
 
