@@ -108,6 +108,25 @@ struct ManagerMetrics {
   /// re-establishment or completed handover (whichever comes first);
   /// covers the crash window itself plus post-restart re-attachment.
   double max_crash_recovery_s = 0.0;
+  // Correlated-fault / cascade-resilience accounting (zero unless the
+  // scenario schedules region_outage / cascade_overload or arms the
+  // resilience knobs).
+  int cascade_activations = 0;
+  int cascade_jobs_injected = 0;
+  int breaker_trips = 0;
+  int breaker_probes = 0;
+  int breaker_closes = 0;
+  int breaker_skips = 0;
+  int load_ads_received = 0;
+  int storm_jitter_applied = 0;
+  int loop_episodes = 0;
+  int loop_handovers = 0;
+  /// Worst RLF-to-re-establishment gap across every UE's own event stream
+  /// (an outage still open at the horizon counts the full remainder) —
+  /// the fleet-safe service-recovery bound, unlike max_crash_recovery_s
+  /// which pairs a crash with the *next* mobility event and so only means
+  /// something in single-UE logs.
+  double max_outage_s = 0.0;
 };
 
 struct ClassResult {
@@ -203,6 +222,27 @@ double worst_crash_recovery_s(const rem::sim::EventLog& events,
   return worst;
 }
 
+/// Worst radio-link-failure-to-re-establishment gap, per owning UE: for
+/// each kRadioLinkFailure the first later kReestablished *of the same UE*
+/// closes the gap, so the helper is exact on fleet-merged event logs too;
+/// an outage still open at the horizon counts the full remainder.
+double worst_outage_s(const rem::sim::EventLog& events, double horizon_s) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].kind != rem::sim::EventKind::kRadioLinkFailure) continue;
+    double recovered_at = horizon_s;
+    for (std::size_t j = i + 1; j < events.size(); ++j) {
+      if (events[j].ue != events[i].ue) continue;
+      if (events[j].kind == rem::sim::EventKind::kReestablished) {
+        recovered_at = events[j].t_s;
+        break;
+      }
+    }
+    worst = std::max(worst, recovered_at - events[i].t_s);
+  }
+  return worst;
+}
+
 ManagerMetrics fold(const std::vector<rem::sim::SimStats>& runs,
                     double horizon_s) {
   ManagerMetrics m;
@@ -243,6 +283,18 @@ ManagerMetrics fold(const std::vector<rem::sim::SimStats>& runs,
     m.mean_bs_queue_wait_s += s.bs_queue_wait_sum_s;  // normalized below
     m.max_crash_recovery_s = std::max(
         m.max_crash_recovery_s, worst_crash_recovery_s(s.events, horizon_s));
+    m.cascade_activations += s.cascade_activations;
+    m.cascade_jobs_injected += s.cascade_jobs_injected;
+    m.breaker_trips += s.breaker_trips;
+    m.breaker_probes += s.breaker_probes;
+    m.breaker_closes += s.breaker_closes;
+    m.breaker_skips += s.breaker_skips;
+    m.load_ads_received += s.load_ads_received;
+    m.storm_jitter_applied += s.storm_jitter_applied;
+    m.loop_episodes += s.loop_episodes;
+    m.loop_handovers += s.loop_handovers;
+    m.max_outage_s =
+        std::max(m.max_outage_s, worst_outage_s(s.events, horizon_s));
   }
   const int den = m.handovers + m.failures;
   m.failure_ratio = den > 0 ? static_cast<double>(m.failures) / den : 0.0;
@@ -285,6 +337,16 @@ void print_metrics(const char* label, const ManagerMetrics& m,
         1e3 * m.mean_bs_queue_wait_s, m.admission_rejects,
         m.admission_backoff_retries, m.bs_crashes, m.bs_crash_dropped_msgs,
         m.stale_context_responses, m.max_crash_recovery_s);
+  if (m.cascade_activations > 0 || m.breaker_trips > 0 ||
+      m.load_ads_received > 0 || m.storm_jitter_applied > 0)
+    std::printf(
+        "          cascade %3d inj (%4d jobs)  breaker %3d trip %3d probe "
+        "%3d close %4d skip  load-ads %5d  jitter %4d  loops %d ep / %d ho  "
+        "outage max %5.2f s\n",
+        m.cascade_activations, m.cascade_jobs_injected, m.breaker_trips,
+        m.breaker_probes, m.breaker_closes, m.breaker_skips,
+        m.load_ads_received, m.storm_jitter_applied, m.loop_episodes,
+        m.loop_handovers, m.max_outage_s);
 }
 
 void write_metrics_json(std::ofstream& js, const ManagerMetrics& m,
@@ -324,7 +386,18 @@ void write_metrics_json(std::ofstream& js, const ManagerMetrics& m,
      << ", \"bs_crashes\": " << m.bs_crashes
      << ", \"bs_crash_dropped_msgs\": " << m.bs_crash_dropped_msgs
      << ", \"stale_context_responses\": " << m.stale_context_responses
-     << ", \"max_crash_recovery_s\": " << m.max_crash_recovery_s << "}";
+     << ", \"max_crash_recovery_s\": " << m.max_crash_recovery_s
+     << ", \"cascade_activations\": " << m.cascade_activations
+     << ", \"cascade_jobs_injected\": " << m.cascade_jobs_injected
+     << ", \"breaker_trips\": " << m.breaker_trips
+     << ", \"breaker_probes\": " << m.breaker_probes
+     << ", \"breaker_closes\": " << m.breaker_closes
+     << ", \"breaker_skips\": " << m.breaker_skips
+     << ", \"load_ads_received\": " << m.load_ads_received
+     << ", \"storm_jitter_applied\": " << m.storm_jitter_applied
+     << ", \"loop_episodes\": " << m.loop_episodes
+     << ", \"loop_handovers\": " << m.loop_handovers
+     << ", \"max_outage_s\": " << m.max_outage_s << "}";
 }
 
 }  // namespace
@@ -500,6 +573,66 @@ int main(int argc, char** argv) {
   print_metrics("legacy", fleet_legacy, base_legacy);
   print_metrics("REM", fleet_rem, base_rem);
 
+  // Cascade section: the two correlated-fault library scenarios —
+  // rail_region_outage (staggered domain blackouts with load ads,
+  // breakers, and storm damping armed) and dense_cascade_storm (a crash
+  // whose load floods the surviving neighbors while breakers contain the
+  // retry stampede) — run as full fleets with per-UE invariant checkers
+  // (run_fleet_scenario throws on any breaker-legality or load-ad
+  // staleness violation, so those invariants are machine-checked on every
+  // bench run). Events stay recorded so the per-UE outage bound below is
+  // computable on the merged logs.
+  struct CascadeResult {
+    std::string name;
+    int fleet_size = 0;
+    std::size_t windows = 0;
+    bool region_outage = false;
+    bool cascade_overload = false;
+    ManagerMetrics legacy, rem;
+  };
+  std::vector<CascadeResult> cascade_results;
+  std::set<int> cascade_kinds;
+  for (const char* scen_cstr : {"rail_region_outage", "dense_cascade_storm"}) {
+    const std::string scen_name = scen_cstr;
+    const auto spec =
+        rem::scenario::load_scenario(REM_SCENARIO_DIR, scen_name);
+    rem::scenario::CompileOverrides ov;
+    if (smoke) ov.duration_s = duration_s;  // shrink to the smoke horizon
+    const auto compiled = rem::scenario::compile(spec, ov);
+    const double horizon = compiled.scenario.sim.duration_s;
+    CascadeResult r;
+    r.name = scen_name;
+    r.fleet_size = compiled.scenario.sim.fleet_size;
+    r.windows = compiled.scenario.sim.faults.windows.size();
+    for (const auto& w : compiled.scenario.sim.faults.windows) {
+      cascade_kinds.insert(static_cast<int>(w.kind));
+      if (w.kind == FaultKind::kRegionOutage) r.region_outage = true;
+      if (w.kind == FaultKind::kCascadeOverload) r.cascade_overload = true;
+    }
+    std::vector<rem::sim::SimStats> lg_runs, rm_runs;
+    for (const auto seed : seeds) {
+      rem::bench::FleetScenarioRunOptions fopts;
+      fopts.context = "the chaos cascade scenario '" + scen_name +
+                      "' (seed " + std::to_string(seed) + ")";
+      fopts.record_events = true;
+      fopts.use_rem = false;
+      lg_runs.push_back(rem::bench::run_fleet_scenario(
+                            compiled.scenario, seed, bler, fopts)
+                            .aggregate);
+      fopts.use_rem = true;
+      rm_runs.push_back(rem::bench::run_fleet_scenario(
+                            compiled.scenario, seed, bler, fopts)
+                            .aggregate);
+    }
+    r.legacy = fold(lg_runs, horizon);
+    r.rem = fold(rm_runs, horizon);
+    std::printf("cascade %s (%d UEs, %zu windows, %.0f s)\n",
+                r.name.c_str(), r.fleet_size, r.windows, horizon);
+    print_metrics("legacy", r.legacy, base_legacy);
+    print_metrics("REM", r.rem, base_rem);
+    cascade_results.push_back(std::move(r));
+  }
+
   std::ofstream js(out_path);
   js << "{\n";
   js << "  \"route\": \"" << rem::trace::route_name(route) << "\",\n";
@@ -543,6 +676,17 @@ int main(int argc, char** argv) {
   js << ", \"rem\": ";
   write_metrics_json(js, fleet_rem, base_rem);
   js << "}\n";
+  js << "  },\n";
+  js << "  \"cascade\": {\n";
+  for (std::size_t i = 0; i < cascade_results.size(); ++i) {
+    const auto& r = cascade_results[i];
+    js << "    \"" << r.name << "\": {\"fleet_size\": " << r.fleet_size
+       << ", \"windows\": " << r.windows << ", \"legacy\": ";
+    write_metrics_json(js, r.legacy, base_legacy);
+    js << ", \"rem\": ";
+    write_metrics_json(js, r.rem, base_rem);
+    js << "}" << (i + 1 < cascade_results.size() ? "," : "") << "\n";
+  }
   js << "  }\n";
   js << "}\n";
   rem::obs::write_metrics_json_file(metrics, metrics_path);
@@ -631,6 +775,7 @@ int main(int argc, char** argv) {
   for (const auto& c : classes) covered.insert(static_cast<int>(c.kind));
   for (const auto& c : backhaul_classes)
     covered.insert(static_cast<int>(c.kind));
+  covered.insert(cascade_kinds.begin(), cascade_kinds.end());
   if (covered.size() != rem::sim::kNumFaultKinds) {
     std::printf("FAIL: chaos sweep covers %zu of %zu FaultKinds\n",
                 covered.size(), rem::sim::kNumFaultKinds);
@@ -730,6 +875,67 @@ int main(int argc, char** argv) {
     std::printf("FAIL: legacy fleet never shed a BS job under overload "
                 "contention\n");
     ok = false;
+  }
+
+  // Cascade gates. Under correlated regional faults REM's fleet failure
+  // ratio must sit strictly below legacy's (load-aware steering + breakers
+  // must buy something real, not just not hurt); service recovery after
+  // the faults clear is bounded by the same explicit constant as crash
+  // recovery, measured as the worst per-UE RLF-to-re-establishment gap;
+  // storms must leave zero *persistent* ping-pong (a loop episode holding
+  // two or more loop handovers — a single flap back is transient, a
+  // sustained oscillation is a steering failure); and each scenario must
+  // actually provoke its machinery (region kills, cascade injections,
+  // breaker trips, load advertisements) — a cascade sweep that cannot
+  // trigger its faults is rot.
+  for (const auto& r : cascade_results) {
+    if (r.region_outage) {
+      if (r.legacy.bs_crashes == 0 || r.rem.bs_crashes == 0) {
+        std::printf("FAIL: %s never killed a BS (legacy %d, rem %d)\n",
+                    r.name.c_str(), r.legacy.bs_crashes, r.rem.bs_crashes);
+        ok = false;
+      }
+      if (!(r.rem.failure_ratio < r.legacy.failure_ratio)) {
+        std::printf("FAIL: %s REM fleet failure ratio %.2f%% not strictly "
+                    "below legacy %.2f%%\n",
+                    r.name.c_str(), 100.0 * r.rem.failure_ratio,
+                    100.0 * r.legacy.failure_ratio);
+        ok = false;
+      }
+      if (r.rem.load_ads_received == 0) {
+        std::printf("FAIL: %s REM fleet never applied a load "
+                    "advertisement\n",
+                    r.name.c_str());
+        ok = false;
+      }
+    }
+    if (r.cascade_overload) {
+      if (r.legacy.cascade_activations + r.rem.cascade_activations == 0 ||
+          r.legacy.cascade_jobs_injected + r.rem.cascade_jobs_injected ==
+              0) {
+        std::printf("FAIL: %s never injected a cascade job\n",
+                    r.name.c_str());
+        ok = false;
+      }
+      if (r.legacy.breaker_trips + r.rem.breaker_trips == 0) {
+        std::printf("FAIL: %s never tripped a circuit breaker\n",
+                    r.name.c_str());
+        ok = false;
+      }
+      if (r.rem.loop_handovers > r.rem.loop_episodes) {
+        std::printf("FAIL: %s REM shows persistent ping-pong (%d loop "
+                    "handovers over %d episodes)\n",
+                    r.name.c_str(), r.rem.loop_handovers,
+                    r.rem.loop_episodes);
+        ok = false;
+      }
+    }
+    if (r.rem.max_outage_s > kMaxCrashRecoveryS) {
+      std::printf("FAIL: %s REM worst outage %.1f s (recovery bound %.1f "
+                  "s)\n",
+                  r.name.c_str(), r.rem.max_outage_s, kMaxCrashRecoveryS);
+      ok = false;
+    }
   }
   return ok ? 0 : 1;
 }

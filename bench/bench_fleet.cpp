@@ -15,6 +15,9 @@
 //                shortest one end-to-end — extra-compressed, invariant
 //                checkers attached — as the check_tier1.sh --scenarios
 //                step. No JSON artifacts.
+//   --list       print the scenario catalogue — name, fleet size, horizon,
+//                fault kinds exercised, and acceptance gates — without
+//                running anything. Wired into ctest as bench_fleet_list.
 //   --dir <d>    read scenarios from <d> instead of the baked-in
 //                REM_SCENARIO_DIR.
 //
@@ -28,11 +31,13 @@
 #include "fleet_runner.hpp"
 #include "obs/registry.hpp"
 #include "scenario/scenario.hpp"
+#include "sim/fault_injector.hpp"
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -181,7 +186,7 @@ void write_manager_json(std::ostream& os, const FleetMetrics& m) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false, validate = false;
+  bool smoke = false, validate = false, list = false;
   std::string dir = REM_SCENARIO_DIR;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
@@ -190,6 +195,8 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (arg == "--validate") {
       validate = true;
+    } else if (arg == "--list") {
+      list = true;
     } else if (arg == "--dir" && i + 1 < argc) {
       dir = argv[++i];
     } else {
@@ -210,6 +217,40 @@ int main(int argc, char** argv) {
                 validate ? " [validate]" : "");
 
     rem::phy::LogisticBlerModel bler;
+
+    if (list) {
+      // Catalogue mode: name, world size, fault kinds exercised (scripted
+      // windows plus random specs, deduplicated in enum order), and the
+      // scenario's own acceptance gates. Compiling (rather than just
+      // parsing) keeps the listing honest: a scenario that no longer
+      // validates cannot appear in the catalogue.
+      for (const auto& name : names) {
+        const auto spec = rem::scenario::load_scenario(dir, name);
+        const auto c = rem::scenario::compile(spec);
+        std::set<rem::sim::FaultKind> kinds;
+        for (const auto& w : c.scenario.sim.faults.windows)
+          kinds.insert(w.kind);
+        for (const auto& rf : c.scenario.sim.faults.random)
+          kinds.insert(rf.kind);
+        std::string kind_list;
+        for (const auto k : kinds) {
+          if (!kind_list.empty()) kind_list += ", ";
+          kind_list += rem::sim::fault_kind_name(k);
+        }
+        if (kind_list.empty()) kind_list = "none";
+        std::printf("%-28s %2d UEs %6.1f s  faults: %s\n", name.c_str(),
+                    c.scenario.sim.fleet_size, c.scenario.sim.duration_s,
+                    kind_list.c_str());
+        std::printf("    %s\n", c.description.c_str());
+        std::printf("    gates: max_rem_failure_ratio %.2f, rem_le_legacy "
+                    "%s, min_legacy_handovers %d\n",
+                    c.gates.max_rem_failure_ratio,
+                    c.gates.rem_le_legacy ? "true" : "false",
+                    c.gates.min_legacy_handovers);
+      }
+      std::printf("PASS: %zu scenarios listed\n", names.size());
+      return 0;
+    }
 
     if (validate) {
       // Compile everything at authored parameters — this is the

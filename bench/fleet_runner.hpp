@@ -140,6 +140,12 @@ struct FleetRunOptions {
   std::optional<sim::BsCapacityConfig> bs_capacity;
   /// Per-UE speed/start derivation; scenario default when unset.
   std::optional<sim::FleetConfig> fleet;
+  /// Cascade-resilience knobs (defaults mirror sim::SimConfig: everything
+  /// off, so leaving them alone changes nothing).
+  double load_ad_staleness_s = 0.0;
+  int breaker_trip_k = 0;
+  double breaker_cooldown_s = 2.0;
+  double storm_jitter_frac = 0.0;
 };
 
 /// Run one fleet over the scenario named by (route, speed, duration) with
@@ -157,6 +163,10 @@ inline sim::FleetResult run_fleet_seed(trace::Route route, double speed_kmh,
   if (opts.fleet) sc.sim.fleet = *opts.fleet;
   sc.sim.fleet_size = opts.fleet_size;
   sc.sim.engine = sim::SimEngine::kEventQueue;
+  sc.sim.load_ad_staleness_s = opts.load_ad_staleness_s;
+  sc.sim.breaker_trip_k = opts.breaker_trip_k;
+  sc.sim.breaker_cooldown_s = opts.breaker_cooldown_s;
+  sc.sim.storm_jitter_frac = opts.storm_jitter_frac;
 
   FleetScenarioRunOptions so;
   so.use_rem = opts.use_rem;

@@ -58,7 +58,43 @@ $(grep '^### [a-z0-9_]*$' SCENARIOS.md | sed 's/^### //')
 EOF
 fi
 
-# --- 3. doc comments on src/obs public headers -----------------------------
+# --- 3. DESIGN.md fault-kind table <-> fault_kind_name() -------------------
+# The §6 fault table and the registered FaultKinds must agree in both
+# directions: every wire name returned by fault_kind_name() appears as a
+# `` `name` `` table row in DESIGN.md, and every fault-kind-looking row in
+# the table names a registered kind. A kind added without docs (or docs
+# for a deleted kind) fails the docs label.
+if [ -f DESIGN.md ] && [ -f src/sim/fault_injector.cpp ]; then
+  code_kinds=$(sed -n 's/.*case FaultKind::[A-Za-z]*: return "\([a-z0-9_]*\)";.*/\1/p' \
+    src/sim/fault_injector.cpp | sort -u)
+  if [ -z "$code_kinds" ]; then
+    echo "FAULT KIND LINT BROKEN: no names parsed from fault_kind_name()"
+    fail=1
+  fi
+  # Table rows look like `| `name` | ... |`; restrict to the documented
+  # wire-name alphabet so prose rows never false-positive.
+  doc_kinds=$(grep -o '^| `[a-z0-9_]*`' DESIGN.md | sed 's/^| `//; s/`$//' | sort -u)
+  for kind in $code_kinds; do
+    if ! printf '%s\n' "$doc_kinds" | grep -qx "$kind"; then
+      echo "UNDOCUMENTED FAULT KIND: fault_kind_name() returns '$kind' but DESIGN.md has no \`$kind\` table row"
+      fail=1
+    fi
+  done
+  for kind in $doc_kinds; do
+    case "$kind" in
+      # Non-fault tables in DESIGN.md also use `| `slug` |` rows; only
+      # lint rows whose slug collides with the fault-kind namespace.
+      signaling_*|pilot_*|processing_*|coverage_*|command_*|backhaul_*|bs_*|region_*|cascade_*)
+        if ! printf '%s\n' "$code_kinds" | grep -qx "$kind"; then
+          echo "STALE FAULT KIND ROW: DESIGN.md documents \`$kind\` but fault_kind_name() never returns it"
+          fail=1
+        fi
+        ;;
+    esac
+  done
+fi
+
+# --- 4. doc comments on src/obs public headers -----------------------------
 for hdr in src/obs/*.hpp; do
   if ! head -n 1 "$hdr" | grep -q '^//'; then
     echo "MISSING FILE COMMENT: $hdr must open with a // comment block"
@@ -82,4 +118,4 @@ if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED"
   exit 1
 fi
-echo "check_docs: ok (markdown links + scenario catalogue + src/obs header docs)"
+echo "check_docs: ok (markdown links + scenario catalogue + fault-kind table + src/obs header docs)"

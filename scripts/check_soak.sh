@@ -2,9 +2,13 @@
 # Randomized-schedule chaos soak under sanitizers: build the ASan+UBSan
 # and TSan trees (same presets and directories as check_sanitizers.sh)
 # and run the `soak` ctest label in each — test_soak drives every
-# registered FaultKind from seeded random schedules with the invariant
+# registered FaultKind (all twelve, including region_outage and
+# cascade_overload) from seeded random schedules with the invariant
 # checker attached, so memory bugs, UB, data races, and protocol-state
-# violations all fail the run.
+# violations all fail the run. The cascade-resilience suite
+# (tests/test_cascade.cpp: breaker FSM, cascade-storm fleets, engine
+# bit-identity, 1/2/8-thread determinism) runs in the same trees so the
+# correlated-fault paths soak under both sanitizers too.
 #
 #   scripts/check_soak.sh            # both presets
 #   scripts/check_soak.sh asan-ubsan # just address,undefined
@@ -21,8 +25,10 @@ run_preset() {
   local dir="build-${preset}"
   echo "== soak ${preset}: REM_SANITIZE=${sanitize} =="
   cmake -B "${dir}" -S . -DREM_SANITIZE="${sanitize}" >/dev/null
-  cmake --build "${dir}" -j"$(nproc)" --target test_soak
+  cmake --build "${dir}" -j"$(nproc)" --target test_soak test_cascade
   ctest --test-dir "${dir}" --output-on-failure -j"$(nproc)" -L soak
+  ctest --test-dir "${dir}" --output-on-failure -j"$(nproc)" \
+    -R '^(CircuitBreaker|CascadeSim)\.'
 }
 
 presets="${1:-all}"

@@ -1,5 +1,7 @@
 #include "core/legacy_manager.hpp"
 
+#include <cmath>
+
 namespace rem::core {
 
 namespace rm = rem::mobility;
@@ -61,6 +63,9 @@ std::optional<sim::HandoverDecision> LegacyManager::update(
   std::vector<std::pair<double, const sim::Observation*>> candidates;
   const auto stage_rules = policy.rules_in_stage(stage_);
   for (const auto& o : neighbors) {
+    // A breaker-open target is hidden from monitoring entirely until the
+    // breaker admits traffic again (never true unless breakers are on).
+    if (o.breaker_open) continue;
     for (const auto* rule : stage_rules) {
       if (rule->event.type == rm::EventType::kA1 ||
           rule->event.type == rm::EventType::kA2)
@@ -80,6 +85,13 @@ std::optional<sim::HandoverDecision> LegacyManager::update(
   }
 
   std::optional<sim::HandoverDecision> decision;
+  // Handover rules that fired this tick, for the load-aware tie-break.
+  struct Fired {
+    double metric;
+    std::size_t idx;
+    double load;
+  };
+  std::vector<Fired> fired;
   for (std::size_t r = 0; r < policy.rules.size(); ++r) {
     const auto& rule = policy.rules[r];
     if (rule.stage != stage_) continue;
@@ -93,11 +105,13 @@ std::optional<sim::HandoverDecision> LegacyManager::update(
       continue;
     // Evaluate against each applicable neighbor (or once for A1/A2).
     const auto eval_one = [&](int neighbor_cell, double neighbor_metric,
-                              std::size_t target_idx) {
+                              std::size_t target_idx, double adv_load) {
       const auto key = std::make_pair(static_cast<int>(r), neighbor_cell);
       auto [it, inserted] =
           monitors_.try_emplace(key, rm::EventMonitor(rule.event));
       if (!it->second.update(t, serving.rsrp_dbm, neighbor_metric)) return;
+      if (rule.action == rm::PolicyAction::kHandover)
+        fired.push_back({neighbor_metric, target_idx, adv_load});
       if (rule.action == rm::PolicyAction::kReconfigure) {
         if (rule.next_stage != stage_ && pending_stage_ < 0) {
           // Feedback + reconfiguration command round trip before the new
@@ -125,13 +139,50 @@ std::optional<sim::HandoverDecision> LegacyManager::update(
     };
 
     if (serving_only) {
-      eval_one(-1, 0.0, 0);
+      eval_one(-1, 0.0, 0, -1.0);
       continue;
     }
     for (const auto& o : neighbors) {
       if (visible_.count(o.cell_idx) == 0) continue;  // not monitored
       if (!rule_matches(rule, serving.id, o.id)) continue;
-      eval_one(o.id.cell, o.rsrp_dbm, o.cell_idx);
+      eval_one(o.id.cell, o.rsrp_dbm, o.cell_idx, o.advertised_load);
+    }
+  }
+
+  // Load-aware tie-breaking (cascade resilience): among this tick's fired
+  // handover candidates within load_tie_band_db RSRP of the chosen target,
+  // take the lowest advertised load; ties fall back to the stronger RSRP,
+  // then the lower cell index. Only a known ad in the band can move the
+  // choice, so runs without load advertisement keep the first-firing-rule
+  // winner bit-for-bit.
+  if (decision && !fired.empty() && cfg_.load_tie_band_db > 0.0) {
+    const double floor = fired.front().metric - cfg_.load_tie_band_db;
+    bool any_ad = false;
+    for (const auto& f : fired)
+      if (f.metric >= floor && f.load >= 0.0) any_ad = true;
+    if (any_ad) {
+      double sel_eff = 2.0;
+      double sel_metric = -1e9;
+      std::size_t sel_idx = decision->target_idx;
+      for (const auto& f : fired) {
+        if (f.metric < floor) continue;
+        const double eff = f.load >= 0.0 ? f.load : 0.5;
+        const bool better =
+            eff < sel_eff - 1e-9 ||
+            (std::abs(eff - sel_eff) <= 1e-9 &&
+             (f.metric > sel_metric ||
+              (f.metric == sel_metric && f.idx < sel_idx)));
+        if (better) {
+          sel_eff = eff;
+          sel_metric = f.metric;
+          sel_idx = f.idx;
+        }
+      }
+      if (sel_idx != decision->target_idx) {
+        if (decision->fallback_idx == static_cast<int>(sel_idx))
+          decision->fallback_idx = static_cast<int>(decision->target_idx);
+        decision->target_idx = sel_idx;
+      }
     }
   }
 

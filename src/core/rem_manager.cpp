@@ -3,6 +3,7 @@
 #include "common/units.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
 namespace rem::core {
@@ -82,7 +83,21 @@ std::optional<sim::HandoverDecision> RemManager::update(
   int second_target = -1;
   double second_metric = -1e9;
   std::map<int, int> site_direct;  // site -> cell idx measured directly
+  // TTT-qualified candidates this tick, for the load-aware tie-break.
+  struct Qualified {
+    double metric;
+    std::size_t idx;
+    double load;
+  };
+  std::vector<Qualified> qualified;
   for (const auto& o : neighbors) {
+    if (o.breaker_open) {
+      // The circuit breaker tripped on this target: hidden from selection
+      // entirely, and its TTT state resets so it must re-qualify from
+      // scratch once the breaker admits traffic again.
+      entered_.erase(o.id.cell);
+      continue;
+    }
     auto [it, inserted] =
         site_direct.try_emplace(o.id.base_station, static_cast<int>(o.cell_idx));
     // Degraded mode swaps the stale delay-Doppler estimate for the fresh
@@ -101,6 +116,7 @@ std::optional<sim::HandoverDecision> RemManager::update(
     if (metric > threshold) {
       auto [e_it, e_inserted] = entered_.try_emplace(o.id.cell, t);
       if (t - e_it->second + 1e-12 >= cfg_.time_to_trigger_s) {
+        qualified.push_back({metric, o.cell_idx, o.advertised_load});
         if (metric > best_metric) {
           if (best_target) {
             second_metric = best_metric;
@@ -121,6 +137,45 @@ std::optional<sim::HandoverDecision> RemManager::update(
   if (!best_target) return std::nullopt;
   if (t - last_decision_t_ < cfg_.refire_interval_s) return std::nullopt;
   last_decision_t_ = t;
+
+  // Load-aware tie-breaking (cascade resilience): among TTT-qualified
+  // candidates within load_tie_band_db of the winner's metric, take the
+  // lowest advertised control-plane load; ties fall back to the higher
+  // metric, then the lower cell index — all draw-free. Only a known ad in
+  // the band can move the choice, so runs without load advertisement keep
+  // the pure-metric winner bit-for-bit.
+  if (cfg_.load_tie_band_db > 0.0) {
+    const double floor = best_metric - cfg_.load_tie_band_db;
+    bool any_ad = false;
+    for (const auto& q : qualified)
+      if (q.metric >= floor && q.load >= 0.0) any_ad = true;
+    if (any_ad) {
+      double sel_eff = 2.0;  // above any real utilization
+      double sel_metric = -1e9;
+      std::size_t sel_idx = *best_target;
+      for (const auto& q : qualified) {
+        if (q.metric < floor) continue;
+        const double eff = q.load >= 0.0 ? q.load : 0.5;
+        const bool better =
+            eff < sel_eff - 1e-9 ||
+            (std::abs(eff - sel_eff) <= 1e-9 &&
+             (q.metric > sel_metric ||
+              (q.metric == sel_metric && q.idx < sel_idx)));
+        if (better) {
+          sel_eff = eff;
+          sel_metric = q.metric;
+          sel_idx = q.idx;
+        }
+      }
+      if (sel_idx != *best_target) {
+        // The displaced metric winner is still the best-qualified
+        // fallback; avoid a fallback equal to the new target.
+        if (second_target == static_cast<int>(sel_idx))
+          second_target = static_cast<int>(*best_target);
+        best_target = sel_idx;
+      }
+    }
+  }
 
   sim::HandoverDecision d;
   d.target_idx = *best_target;

@@ -33,6 +33,14 @@ struct RemConfig {
   /// Strongest sites measured per cycle (one pilot each; co-located cells
   /// come free via cross-band estimation).
   std::size_t max_measured_sites = 4;
+  /// Cascade resilience: when other TTT-qualified candidates sit within
+  /// this band (dB) of the best metric, steer toward the lowest advertised
+  /// control-plane load (Observation::advertised_load; unknown reads as a
+  /// neutral 0.5). Theorem-2-consistent — every in-band candidate already
+  /// cleared the coordinated A3 threshold, so the pairwise offset-sum
+  /// condition holds for whichever wins. Inert while nothing advertises
+  /// load (the simulator's default); 0 disables the tie-break entirely.
+  double load_tie_band_db = 1.5;
 
   // --- Ablation switches (bench_ablation) ---
   /// Carry signaling over OTFS (false = legacy OFDM signaling, keeping

@@ -78,6 +78,8 @@ std::vector<std::uint8_t> encode_message(const BackhaulMessage& m) {
   static_assert(sizeof(bits) == sizeof(m.payload));
   std::memcpy(&bits, &m.payload, sizeof(bits));
   put_u64(out, bits);
+  std::memcpy(&bits, &m.load, sizeof(bits));
+  put_u64(out, bits);
   put_u32(out, fnv1a32(out.data(), out.size()));
   return out;
 }
@@ -128,6 +130,11 @@ BackhaulMessage decode_message(const std::uint8_t* data, std::size_t len) {
     fail("invalid ue " + std::to_string(m.ue) + " (must be >= 0)");
   std::uint64_t bits = get_u64(data + 28);
   std::memcpy(&m.payload, &bits, sizeof(m.payload));
+  bits = get_u64(data + 36);
+  std::memcpy(&m.load, &bits, sizeof(m.load));
+  if (m.load > 1.0)
+    fail("invalid load advertisement " + std::to_string(m.load) +
+         " (must be <= 1; negative means none)");
   return m;
 }
 

@@ -54,16 +54,22 @@ struct BackhaulMessage {
   /// Always 0 in single-UE runs.
   std::int32_t ue = 0;
   double payload = 0.0;           ///< type-specific (e.g. admission RSRP)
+  /// Sender's control-plane load advertisement, piggybacked on every
+  /// frame: utilization of the sending BS in [0, 1], or -1 when the
+  /// sender does not advertise (load advertisement disabled, or the
+  /// sender is not a BS). Receivers treat anything < 0 as "no ad".
+  double load = -1.0;
 };
 
 /// Wire framing: magic(2) version(1) type(1) seq(8) src(4) dst(4)
-/// target(4) ue(4) payload(8) checksum(4), little-endian, 40 bytes total.
-/// The checksum is 32-bit FNV-1a over every preceding byte. Version 2
-/// added the ue field; version-1 frames are rejected like any other
+/// target(4) ue(4) payload(8) load(8) checksum(4), little-endian,
+/// 48 bytes total. The checksum is 32-bit FNV-1a over every preceding
+/// byte. Version 2 added the ue field; version 3 added the piggybacked
+/// load advertisement. Older versions are rejected like any other
 /// foreign version — the transport never mixes versions in flight.
-constexpr std::size_t kFrameSize = 40;
+constexpr std::size_t kFrameSize = 48;
 constexpr std::uint16_t kFrameMagic = 0x5242;  // "RB" (REM backhaul)
-constexpr std::uint8_t kFrameVersion = 2;
+constexpr std::uint8_t kFrameVersion = 3;
 
 /// Encode one message into its framed wire form (always kFrameSize bytes).
 std::vector<std::uint8_t> encode_message(const BackhaulMessage& m);

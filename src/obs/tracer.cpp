@@ -286,6 +286,21 @@ void SpanTracer::on_event(const sim::SignalingEvent& e) {
     case sim::EventKind::kContextStale:
       ++tally_.stale_ctx_responses;
       break;
+    case sim::EventKind::kCascadeInject:
+      // World-global broadcast; the payload (injected job count) rides the
+      // snr slot, mirroring SimStats::cascade_jobs_injected.
+      ++tally_.cascade_activations;
+      tally_.cascade_jobs += static_cast<std::uint64_t>(e.serving_snr_db);
+      break;
+    case sim::EventKind::kBreakerTrip:
+      ++tally_.breaker_trips;
+      break;
+    case sim::EventKind::kBreakerProbe:
+      ++tally_.breaker_probes;
+      break;
+    case sim::EventKind::kBreakerClose:
+      ++tally_.breaker_closes;
+      break;
   }
 }
 
@@ -345,6 +360,11 @@ void SpanTracer::on_run_end(sim::SimStats& stats) {
   put("sim.bs.crashes", tally_.bs_crashes);
   put("sim.bs.restarts", tally_.bs_restarts);
   put("sim.bs.stale_context", tally_.stale_ctx_responses);
+  put("sim.cascade.activations", tally_.cascade_activations);
+  put("sim.cascade.jobs_injected", tally_.cascade_jobs);
+  put("sim.breaker.trips", tally_.breaker_trips);
+  put("sim.breaker.probes", tally_.breaker_probes);
+  put("sim.breaker.closes", tally_.breaker_closes);
   // Failure causes exist only in SimStats (events do not carry the Table 2
   // classification); reconcile() checks the totals are consistent with the
   // event-derived failure count.
@@ -405,6 +425,13 @@ std::vector<std::string> SpanTracer::reconcile(
   check_u("BS crashes", tally_.bs_crashes, stats.bs_crashes);
   check_u("stale context responses", tally_.stale_ctx_responses,
           stats.stale_context_responses);
+  check_u("cascade activations", tally_.cascade_activations,
+          stats.cascade_activations);
+  check_u("cascade jobs injected", tally_.cascade_jobs,
+          stats.cascade_jobs_injected);
+  check_u("breaker trips", tally_.breaker_trips, stats.breaker_trips);
+  check_u("breaker probes", tally_.breaker_probes, stats.breaker_probes);
+  check_u("breaker closes", tally_.breaker_closes, stats.breaker_closes);
   // Queue waits accumulate the identical doubles in the identical event
   // order on both sides — bit-exact, like the RTT sum.
   if (tally_.bs_queue_wait_sum_s != stats.bs_queue_wait_sum_s)

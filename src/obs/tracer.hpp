@@ -140,6 +140,8 @@ class SpanTracer : public sim::SimObserver {
     std::uint64_t bs_jobs_done = 0, bs_queue_sheds = 0,
                   admission_rejects = 0, admission_retries = 0,
                   bs_crashes = 0, bs_restarts = 0, stale_ctx_responses = 0;
+    std::uint64_t cascade_activations = 0, cascade_jobs = 0,
+                  breaker_trips = 0, breaker_probes = 0, breaker_closes = 0;
     double bs_queue_wait_sum_s = 0.0;
     double prep_rtt_sum_s = 0.0;
     double outage_sum_s = 0.0;

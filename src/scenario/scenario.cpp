@@ -363,6 +363,15 @@ ScenarioSpec read_scenario_json(std::istream& is) {
     spec.rfaults.push_back(r);
   }
 
+  // --- correlated-fault domain + cascade-resilience knobs.
+  take_int("fault.domain_size", spec.fault_domain_size);
+  take_double("fault.region_stagger_s", spec.region_stagger_s);
+  take_int("fault.cascade_neighbor_radius", spec.cascade_neighbor_radius);
+  take_double("resilience.load_ad_staleness_s", spec.load_ad_staleness_s);
+  take_int("resilience.breaker_trip_k", spec.breaker_trip_k);
+  take_double("resilience.breaker_cooldown_s", spec.breaker_cooldown_s);
+  take_double("resilience.storm_jitter_frac", spec.storm_jitter_frac);
+
   // --- backhaul transport overrides.
   take_bool("backhaul.enabled", spec.backhaul.enabled);
   take_double("backhaul.base_latency_s", spec.backhaul.base_latency_s);
@@ -483,6 +492,25 @@ void write_scenario_json(const ScenarioSpec& spec, std::ostream& os) {
     add(p + "magnitude_lo", fmt_double(r.magnitude_lo));
     add(p + "magnitude_hi", fmt_double(r.magnitude_hi));
   }
+  // Domain / resilience knobs are emitted only off their defaults so
+  // pre-existing scenarios re-canonicalize byte-identically.
+  if (spec.fault_domain_size != 4)
+    add("fault.domain_size", std::to_string(spec.fault_domain_size));
+  if (spec.region_stagger_s != 0.5)
+    add("fault.region_stagger_s", fmt_double(spec.region_stagger_s));
+  if (spec.cascade_neighbor_radius != 2)
+    add("fault.cascade_neighbor_radius",
+        std::to_string(spec.cascade_neighbor_radius));
+  if (spec.load_ad_staleness_s != 0.0)
+    add("resilience.load_ad_staleness_s",
+        fmt_double(spec.load_ad_staleness_s));
+  if (spec.breaker_trip_k != 0)
+    add("resilience.breaker_trip_k", std::to_string(spec.breaker_trip_k));
+  if (spec.breaker_cooldown_s != 2.0)
+    add("resilience.breaker_cooldown_s",
+        fmt_double(spec.breaker_cooldown_s));
+  if (spec.storm_jitter_frac != 0.0)
+    add("resilience.storm_jitter_frac", fmt_double(spec.storm_jitter_frac));
   add("backhaul.enabled", fmt_bool(spec.backhaul.enabled));
   add("backhaul.base_latency_s", fmt_double(spec.backhaul.base_latency_s));
   add("backhaul.jitter_s", fmt_double(spec.backhaul.jitter_s));
@@ -698,6 +726,17 @@ CompiledScenario compile(const ScenarioSpec& spec,
     r.duration_hi_s /= tc;
     sc.faults.random.push_back(r);
   }
+  // Correlated-fault domain knobs: the onset stagger is a timeline
+  // position, so it compresses with the windows; domain size and the
+  // cascade radius are topology, never scaled.
+  if (spec.fault_domain_size < 1) reject("fault.domain_size must be >= 1");
+  if (!(spec.region_stagger_s >= 0.0))
+    reject("fault.region_stagger_s must be >= 0");
+  if (spec.cascade_neighbor_radius < 0)
+    reject("fault.cascade_neighbor_radius must be >= 0");
+  sc.faults.domain_size = spec.fault_domain_size;
+  sc.faults.region_stagger_s = spec.region_stagger_s / tc;
+  sc.faults.cascade_neighbor_radius = spec.cascade_neighbor_radius;
   if (!sc.faults.empty()) {
     // Reuse FaultInjector's reject-with-context validation (overlap,
     // bad magnitudes, ...) at compile time, with the scenario named. The
@@ -726,6 +765,23 @@ CompiledScenario compile(const ScenarioSpec& spec,
       reject(e.what());
     }
   }
+
+  // Cascade-resilience knobs. The staleness bound is an advertisement
+  // shelf life, not a timeline position — protocol-level, never scaled
+  // (like fault magnitudes); same for the breaker cool-down.
+  if (!(spec.load_ad_staleness_s >= 0.0))
+    reject("resilience.load_ad_staleness_s must be >= 0");
+  if (spec.breaker_trip_k < 0)
+    reject("resilience.breaker_trip_k must be >= 0");
+  if (spec.breaker_trip_k > 0 && !(spec.breaker_cooldown_s > 0.0))
+    reject("resilience.breaker_cooldown_s must be > 0 when breakers are "
+           "enabled");
+  if (!(spec.storm_jitter_frac >= 0.0))
+    reject("resilience.storm_jitter_frac must be >= 0");
+  sc.load_ad_staleness_s = spec.load_ad_staleness_s;
+  sc.breaker_trip_k = spec.breaker_trip_k;
+  sc.breaker_cooldown_s = spec.breaker_cooldown_s;
+  sc.storm_jitter_frac = spec.storm_jitter_frac;
   return out;
 }
 
@@ -856,6 +912,34 @@ std::vector<std::pair<std::string, std::string>> digest_fields(
     add_d(rp + ".magnitude_lo", r.magnitude_lo);
     add_d(rp + ".magnitude_hi", r.magnitude_hi);
   }
+
+  // Domain knobs only matter to (and are only digested for) schedules
+  // that fire a correlated fault; resilience knobs appear only off their
+  // defaults. Pre-existing scen_* goldens stay byte-identical.
+  {
+    const auto uses_kind = [&](sim::FaultKind k) {
+      for (const auto& w : s.faults.windows)
+        if (w.kind == k) return true;
+      for (const auto& r : s.faults.random)
+        if (r.kind == k) return true;
+      return false;
+    };
+    if (uses_kind(sim::FaultKind::kRegionOutage) ||
+        uses_kind(sim::FaultKind::kCascadeOverload)) {
+      add_i("fault.domain_size", s.faults.domain_size);
+      add_d("fault.region_stagger_s", s.faults.region_stagger_s);
+      add_i("fault.cascade_neighbor_radius",
+            s.faults.cascade_neighbor_radius);
+    }
+  }
+  if (s.load_ad_staleness_s != 0.0)
+    add_d("resilience.load_ad_staleness_s", s.load_ad_staleness_s);
+  if (s.breaker_trip_k != 0) {
+    add_i("resilience.breaker_trip_k", s.breaker_trip_k);
+    add_d("resilience.breaker_cooldown_s", s.breaker_cooldown_s);
+  }
+  if (s.storm_jitter_frac != 0.0)
+    add_d("resilience.storm_jitter_frac", s.storm_jitter_frac);
 
   const auto& b = s.backhaul;
   add("backhaul.enabled", fmt_bool(b.enabled));

@@ -4,10 +4,13 @@
 // A scenario is a flat-JSON description — one `"key": "value"` pair per
 // line, the same wire discipline as the rem-metrics-v1 codec — of one
 // complete evaluation world: route preset, BS deployment layout, a
-// mixed-speed UE population, a fault schedule over any of the ten
-// FaultKinds, backhaul transport parameters (including per-link
-// asymmetry), a per-BS capacity profile, time compression, and the
-// acceptance gates bench_fleet enforces when it sweeps the library.
+// mixed-speed UE population, a fault schedule over any of the twelve
+// FaultKinds (with correlated-fault domain knobs for region_outage /
+// cascade_overload), cascade-resilience knobs (load advertisement,
+// circuit breakers, storm damping), backhaul transport parameters
+// (including per-link asymmetry), a per-BS capacity profile, time
+// compression, and the acceptance gates bench_fleet enforces when it
+// sweeps the library.
 //
 // The compiler turns that description into a fully validated
 // trace::Scenario (DeploymentConfig + PropagationConfig + PolicyMix +
@@ -92,6 +95,19 @@ struct ScenarioSpec {
   // --- fault schedule (uncompressed timeline) ---
   std::vector<sim::FaultWindow> faults;
   std::vector<sim::RandomFaultSpec> rfaults;
+  /// Correlated-fault domain knobs (region_outage / cascade_overload);
+  /// defaults mirror sim::FaultConfig. The stagger lives on the
+  /// uncompressed timeline like the windows.
+  int fault_domain_size = 4;
+  double region_stagger_s = 0.5;
+  int cascade_neighbor_radius = 2;
+
+  // --- cascade-resilience knobs (defaults mirror sim::SimConfig:
+  // everything off, so omitting the keys changes nothing) ---
+  double load_ad_staleness_s = 0.0;
+  int breaker_trip_k = 0;
+  double breaker_cooldown_s = 2.0;
+  double storm_jitter_frac = 0.0;
 
   // --- transports / BS capacity ---
   net::BackhaulConfig backhaul;

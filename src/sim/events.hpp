@@ -42,6 +42,15 @@ enum class EventKind {
   kBsRestart,             ///< BS came back stateless (target_cell = victim)
   kContextStale,          ///< restarted BS answered a context fetch with a
                           ///< stale-context indication
+  kCascadeInject,         ///< cascade overload topped up a surviving
+                          ///< neighbor of a dead BS (target_cell = station,
+                          ///< serving_snr_db = jobs injected)
+  kBreakerTrip,           ///< per-target circuit breaker opened
+                          ///< (target_cell = tripped target)
+  kBreakerProbe,          ///< breaker cool-down elapsed: half-open probe
+                          ///< preparation allowed (target_cell = target)
+  kBreakerClose,          ///< half-open probe succeeded, breaker closed
+                          ///< (target_cell = target)
 };
 
 /// Stable identifier used in CSV logs. Throws std::invalid_argument on a

@@ -17,6 +17,8 @@ std::string fault_kind_name(FaultKind k) {
     case FaultKind::kBackhaulPartition: return "backhaul_partition";
     case FaultKind::kBsOverload: return "bs_overload";
     case FaultKind::kBsCrashRestart: return "bs_crash_restart";
+    case FaultKind::kRegionOutage: return "region_outage";
+    case FaultKind::kCascadeOverload: return "cascade_overload";
   }
   throw std::invalid_argument("fault_kind_name: invalid FaultKind value " +
                               std::to_string(static_cast<int>(k)));
@@ -34,13 +36,24 @@ FaultKind fault_kind_from_name(const std::string& name) {
 namespace {
 
 // Magnitudes of these kinds live on the unit interval (probabilities, or
-// the kBsOverload utilization fraction); anything above 1 is a scripting
-// mistake, not a stronger fault.
+// the kBsOverload/kCascadeOverload utilization fractions); anything above
+// 1 is a scripting mistake, not a stronger fault.
 bool probability_valued(FaultKind k) {
   return k == FaultKind::kSignalingLoss ||
          k == FaultKind::kCommandDuplication ||
          k == FaultKind::kBackhaulLoss ||
-         k == FaultKind::kBsOverload;
+         k == FaultKind::kBsOverload ||
+         k == FaultKind::kCascadeOverload;
+}
+
+// Two region_outage windows provably target different domains only when
+// both address a fixed domain (magnitude >= 2) and the indices differ; a
+// serving-relative window (magnitude < 2) can land anywhere, so it must
+// be treated as colliding with every other region window it overlaps.
+bool same_region_domain(const FaultWindow& a, const FaultWindow& b) {
+  if (a.magnitude < 2.0 || b.magnitude < 2.0) return true;
+  return static_cast<int>(a.magnitude) - 2 ==
+         static_cast<int>(b.magnitude) - 2;
 }
 
 void validate_scripted(const std::vector<FaultWindow>& windows) {
@@ -66,20 +79,58 @@ void validate_scripted(const std::vector<FaultWindow>& windows) {
                                   " exceeds 1 for a probability-valued kind");
   }
   // Same-kind overlap in a *scripted* schedule is almost always a typo;
-  // end_s is exclusive, so back-to-back windows do not collide.
+  // end_s is exclusive, so back-to-back windows do not collide. Region
+  // outages are the one sanctioned exception: two windows that provably
+  // hit *different* domains may overlap (independent regions can fail
+  // together — that is the point of the fault), but same-domain overlap
+  // is still rejected.
   for (std::size_t i = 0; i < windows.size(); ++i) {
     for (std::size_t j = i + 1; j < windows.size(); ++j) {
       const auto& a = windows[i];
       const auto& b = windows[j];
       if (a.kind != b.kind) continue;
-      if (a.start_s < b.end_s() && b.start_s < a.end_s())
-        throw std::invalid_argument(
-            "FaultConfig: scripted windows " + std::to_string(i) + " and " +
-            std::to_string(j) + " of kind " + fault_kind_name(a.kind) +
-            " overlap ([" + std::to_string(a.start_s) + ", " +
-            std::to_string(a.end_s()) + ") vs [" + std::to_string(b.start_s) +
-            ", " + std::to_string(b.end_s()) + "))");
+      if (!(a.start_s < b.end_s() && b.start_s < a.end_s())) continue;
+      if (a.kind == FaultKind::kRegionOutage && !same_region_domain(a, b))
+        continue;
+      const char* what = a.kind == FaultKind::kRegionOutage
+                             ? " target the same failure domain and overlap ("
+                             : " overlap (";
+      throw std::invalid_argument(
+          "FaultConfig: scripted windows " + std::to_string(i) + " and " +
+          std::to_string(j) + " of kind " + fault_kind_name(a.kind) + what +
+          "[" + std::to_string(a.start_s) + ", " + std::to_string(a.end_s()) +
+          ") vs [" + std::to_string(b.start_s) + ", " +
+          std::to_string(b.end_s()) + "))");
     }
+  }
+}
+
+// A cascade_overload window only does anything while some BS is dead, so
+// a schedule that can never kill one is a scripting mistake: reject it
+// naming the first offending cascade window.
+void validate_cascade_trigger(const FaultConfig& cfg) {
+  const auto is_trigger = [](FaultKind k) {
+    return k == FaultKind::kBsCrashRestart || k == FaultKind::kRegionOutage;
+  };
+  bool has_trigger = false;
+  for (const auto& w : cfg.windows) has_trigger |= is_trigger(w.kind);
+  for (const auto& s : cfg.random) has_trigger |= is_trigger(s.kind);
+  if (has_trigger) return;
+  for (std::size_t i = 0; i < cfg.windows.size(); ++i) {
+    const auto& w = cfg.windows[i];
+    if (w.kind != FaultKind::kCascadeOverload) continue;
+    throw std::invalid_argument(
+        "FaultWindow[" + std::to_string(i) + "](cascade_overload) at [" +
+        std::to_string(w.start_s) + ", " + std::to_string(w.end_s()) +
+        "): no bs_crash_restart or region_outage trigger anywhere in the "
+        "schedule, so the cascade can never fire");
+  }
+  for (const auto& s : cfg.random) {
+    if (s.kind != FaultKind::kCascadeOverload) continue;
+    throw std::invalid_argument(
+        "RandomFaultSpec(cascade_overload): no bs_crash_restart or "
+        "region_outage trigger anywhere in the schedule, so the cascade "
+        "can never fire");
   }
 }
 
@@ -87,7 +138,23 @@ void validate_scripted(const std::vector<FaultWindow>& windows) {
 
 FaultInjector::FaultInjector(const FaultConfig& cfg, double horizon_s,
                              common::Rng rng) {
+  if (cfg.domain_size < 1)
+    throw std::invalid_argument("FaultConfig: domain_size " +
+                                std::to_string(cfg.domain_size) +
+                                " must be >= 1");
+  if (cfg.region_stagger_s < 0.0)
+    throw std::invalid_argument("FaultConfig: region_stagger_s " +
+                                std::to_string(cfg.region_stagger_s) +
+                                " must be >= 0");
+  if (cfg.cascade_neighbor_radius < 1)
+    throw std::invalid_argument("FaultConfig: cascade_neighbor_radius " +
+                                std::to_string(cfg.cascade_neighbor_radius) +
+                                " must be >= 1");
+  domain_size_ = cfg.domain_size;
+  region_stagger_s_ = cfg.region_stagger_s;
+  cascade_neighbor_radius_ = cfg.cascade_neighbor_radius;
   validate_scripted(cfg.windows);
+  validate_cascade_trigger(cfg);
   windows_ = cfg.windows;
   for (const auto& spec : cfg.random) {
     if (spec.mean_gap_s <= 0.0)

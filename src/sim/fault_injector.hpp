@@ -16,9 +16,10 @@
 namespace rem::sim {
 
 /// The fault classes of the chaos harness (bench_chaos): five radio-leg
-/// classes, three backhaul classes targeting the inter-BS transport, and
-/// two base-station classes targeting the server side of the control
-/// plane (capacity squeeze and crash-restart).
+/// classes, three backhaul classes targeting the inter-BS transport, two
+/// base-station classes targeting the server side of the control plane
+/// (capacity squeeze and crash-restart), and two correlated-regional
+/// classes (domain-wide outage and the overload cascade it triggers).
 enum class FaultKind {
   kSignalingLoss,      ///< burst signaling loss overriding per-attempt BLER
   kPilotOutage,        ///< measurement pilots absent: stale/corrupt estimates
@@ -31,9 +32,13 @@ enum class FaultKind {
   kBsOverload,         ///< BS control-plane capacity squeeze (queueing/shed)
   kBsCrashRestart,     ///< a BS dies for the window, losing queued signaling
                        ///< and prepared UE contexts; restarts stateless
+  kRegionOutage,       ///< a whole failure domain of adjacent BSs crashes
+                       ///< with staggered onsets; all restart at window end
+  kCascadeOverload,    ///< dead BSs dump displaced load onto surviving
+                       ///< neighbors: load-proportional background jobs
 };
 
-constexpr std::size_t kNumFaultKinds = 10;
+constexpr std::size_t kNumFaultKinds = 12;
 
 /// Stable identifier used in logs/JSON. Throws std::invalid_argument on a
 /// value outside the enum (corrupted input), never returns a placeholder.
@@ -63,6 +68,18 @@ FaultKind fault_kind_from_name(const std::string& name);
 ///                       values >= 2 crash the fixed cell index
 ///                       floor(magnitude) - 2 (lets tests kill a prep
 ///                       target deterministically)
+///   kRegionOutage       values < 2 crash the failure domain containing
+///                       the serving BS at window open; values >= 2 crash
+///                       the fixed domain index floor(magnitude) - 2.
+///                       Members crash one `region_stagger_s` apart (in
+///                       cell-index order) and all restart at window end
+///   kCascadeOverload    displaced-load utilization in (0, 1]: while the
+///                       window is active, every surviving cell within
+///                       `cascade_neighbor_radius` of a crashed cell is
+///                       topped up with background jobs to this fraction
+///                       of its capacity (requires a crash trigger —
+///                       bs_crash_restart or region_outage — in the same
+///                       schedule)
 struct FaultWindow {
   FaultKind kind = FaultKind::kSignalingLoss;
   double start_s = 0.0;
@@ -90,8 +107,35 @@ struct FaultConfig {
   std::vector<FaultWindow> windows;     ///< scripted schedule
   std::vector<RandomFaultSpec> random;  ///< generated at construction
 
+  /// Correlated-fault geometry: adjacent cells are grouped into
+  /// index-contiguous failure domains of `domain_size` cells (cell c lives
+  /// in domain c / domain_size). kRegionOutage crashes a whole domain,
+  /// one member every `region_stagger_s` (0 = simultaneous); while
+  /// kCascadeOverload is active, surviving cells within
+  /// `cascade_neighbor_radius` index steps of any crashed cell absorb its
+  /// displaced load as background jobs.
+  int domain_size = 4;
+  double region_stagger_s = 0.5;
+  int cascade_neighbor_radius = 2;
+
   bool empty() const { return windows.empty() && random.empty(); }
+
+  /// True when the schedule can crash more than one BS at a time (a
+  /// region outage is scheduled); the invariant checker keys its
+  /// at-most-one-crash rule off this.
+  bool schedules_region_outage() const {
+    for (const auto& w : windows)
+      if (w.kind == FaultKind::kRegionOutage) return true;
+    for (const auto& s : random)
+      if (s.kind == FaultKind::kRegionOutage) return true;
+    return false;
+  }
 };
+
+/// Failure domain of a cell under index-contiguous grouping.
+inline int fault_domain_of(int cell, int domain_size) {
+  return domain_size > 0 ? cell / domain_size : 0;
+}
 
 class FaultInjector {
  public:
@@ -105,11 +149,22 @@ class FaultInjector {
   /// start, zero/negative duration, non-positive magnitude, a magnitude
   /// above 1 for probability-valued kinds, or two scripted windows of the
   /// same kind overlapping in time (end is exclusive, so touching windows
-  /// are fine). Generated windows are exempt from the overlap rule — the
-  /// documented "worst wins" contract of magnitude() covers them.
+  /// are fine). Two region_outage windows may overlap only when they
+  /// provably target *different* domains (both magnitudes >= 2, distinct
+  /// domain indices); a cascade_overload window without a crash trigger
+  /// (bs_crash_restart or region_outage) anywhere in the schedule is
+  /// rejected naming the window. Generated windows are exempt from the
+  /// overlap rule — the documented "worst wins" contract of magnitude()
+  /// covers them.
   FaultInjector(const FaultConfig& cfg, double horizon_s, common::Rng rng);
 
   bool any() const { return !windows_.empty(); }
+
+  /// Correlated-fault geometry, copied from the config (defaults when
+  /// default-constructed).
+  int domain_size() const { return domain_size_; }
+  double region_stagger_s() const { return region_stagger_s_; }
+  int cascade_neighbor_radius() const { return cascade_neighbor_radius_; }
 
   /// Strongest magnitude among windows of `kind` active at `t`; 0.0 when
   /// none is active (overlapping windows do not stack, the worst wins).
@@ -124,6 +179,9 @@ class FaultInjector {
 
  private:
   std::vector<FaultWindow> windows_;
+  int domain_size_ = 4;
+  double region_stagger_s_ = 0.5;
+  int cascade_neighbor_radius_ = 2;
 };
 
 }  // namespace rem::sim

@@ -87,6 +87,20 @@ SimStats merge_fleet_stats(const std::vector<SimStats>& per_ue) {
     agg.bs_crashes = std::max(agg.bs_crashes, s.bs_crashes);
     agg.bs_crash_dropped_msgs += s.bs_crash_dropped_msgs;
     agg.stale_context_responses += s.stale_context_responses;
+    // Cascade events are world-global like crashes (every UE counts the
+    // same injections); breaker/load-ad counters are genuinely per-UE.
+    agg.cascade_jobs_injected =
+        std::max(agg.cascade_jobs_injected, s.cascade_jobs_injected);
+    agg.cascade_activations =
+        std::max(agg.cascade_activations, s.cascade_activations);
+    agg.breaker_trips += s.breaker_trips;
+    agg.breaker_probes += s.breaker_probes;
+    agg.breaker_closes += s.breaker_closes;
+    agg.breaker_skips += s.breaker_skips;
+    agg.load_ads_received += s.load_ads_received;
+    agg.storm_jitter_applied += s.storm_jitter_applied;
+    agg.load_ad_age_max_s =
+        std::max(agg.load_ad_age_max_s, s.load_ad_age_max_s);
     agg.mean_throughput_bps += s.mean_throughput_bps;
     agg.downtime_fraction += s.downtime_fraction;
     agg.pre_failure_snrs_db.insert(agg.pre_failure_snrs_db.end(),

@@ -50,7 +50,12 @@ struct TickView {
   /// included) across all stations this tick; never exceeds
   /// slots + queue_capacity. Always 0 when the capacity model is off.
   int bs_queue_peak = 0;
-  int crashed_cells = 0;         ///< cells currently dead (kBsCrashRestart)
+  int crashed_cells = 0;         ///< cells currently dead (crash-restart
+                                 ///< windows and region-outage members)
+  /// This UE's per-target circuit breakers currently open (0 when the
+  /// breaker is disabled); the invariant checker mirrors it from the
+  /// kBreakerTrip/kBreakerProbe/kBreakerClose event stream.
+  int breakers_open = 0;
   /// Owning UE (fleet runs); always 0 in single-UE runs.
   int ue = 0;
 };

@@ -126,6 +126,21 @@ int RadioEnv::best_cell(double track_pos_m, double min_rsrp_dbm,
   return best;
 }
 
+int RadioEnv::best_cell(double track_pos_m, double min_rsrp_dbm,
+                        const std::vector<char>& excluded) const {
+  int best = -1;
+  double best_rsrp = min_rsrp_dbm;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (i < excluded.size() && excluded[i]) continue;
+    const double r = mean_rsrp_dbm(i, track_pos_m);
+    if (r > best_rsrp) {
+      best_rsrp = r;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
 std::vector<Cell> make_rail_deployment(const DeploymentConfig& cfg,
                                        common::Rng& rng) {
   std::vector<Cell> cells;

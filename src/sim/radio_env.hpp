@@ -81,6 +81,12 @@ class RadioEnv {
   int best_cell(double track_pos_m, double min_rsrp_dbm,
                 int exclude_idx = -1) const;
 
+  /// Multi-exclusion variant for correlated faults: `excluded[i] != 0`
+  /// skips cell i. Region outages kill a whole failure domain at once, so
+  /// the simulator passes its dead-cell mask instead of a single index.
+  int best_cell(double track_pos_m, double min_rsrp_dbm,
+                const std::vector<char>& excluded) const;
+
   /// True if no usable cell covers this position (coverage hole).
   bool in_coverage_hole(double track_pos_m, double min_rsrp_dbm) const {
     return best_cell(track_pos_m, min_rsrp_dbm) < 0;

@@ -3,6 +3,7 @@
 #include "common/logging.hpp"
 #include "common/units.hpp"
 #include "core/admission.hpp"
+#include "core/circuit_breaker.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/fleet.hpp"
 
@@ -121,6 +122,9 @@ struct UeContext {
   double ctx_deadline_s = 0.0;
   int ctx_target = -1;
   double ctx_failed_camp_s = 0.0;
+  /// Per-target circuit breakers (one per cell), empty when
+  /// SimConfig::breaker_trip_k == 0. Source-side state, so per-UE.
+  std::vector<core::CircuitBreaker> breakers;
 };
 
 class FleetEngine;
@@ -174,6 +178,11 @@ class FleetEngine {
                        BsStation(cfg_.bs_capacity.slots,
                                  cfg_.bs_capacity.queue_capacity));
     }
+    dead_.assign(env_.cells().size(), 0);
+    // Load advertisement needs both a wire to piggyback on and a capacity
+    // model to measure: silently inert otherwise.
+    load_ads_ = use_net_ && use_cap_ && cfg_.load_ad_staleness_s > 0.0;
+    if (load_ads_) load_ad_.assign(env_.cells().size(), {-1.0, -1.0});
   }
 
   /// Register the next UE (ids assigned in call order) and perform its
@@ -189,6 +198,10 @@ class FleetEngine {
     u.start_pos_m = start_pos_m;
     u.pos = start_pos_m;
     u.context_lost.assign(env_.cells().size(), false);
+    if (cfg_.breaker_trip_k > 0)
+      u.breakers.assign(env_.cells().size(),
+                        core::CircuitBreaker(cfg_.breaker_trip_k,
+                                             cfg_.breaker_cooldown_s));
     u.last_dd.assign(env_.cells().size(), kNaN);
     u.outage_reestablish_s = cfg_.reestablish_s;
     int serving = env_.best_cell(u.pos, cfg_.min_coverage_rsrp_dbm);
@@ -292,7 +305,9 @@ class FleetEngine {
       for (const auto& st : stations_)
         v.bs_queue_peak = std::max(v.bs_queue_peak, st.occupancy(t_now));
     }
-    v.crashed_cells = crashed_cell_ >= 0 ? 1 : 0;
+    v.crashed_cells = dead_count_;
+    for (const auto& br : u.breakers)
+      if (br.state() == core::BreakerState::kOpen) ++v.breakers_open;
     cfg_.observer->on_tick(v);
   }
 
@@ -341,11 +356,24 @@ class FleetEngine {
   }
 
   /// Attenuation making a crashed cell unconnectable and unmeasurable.
+  /// Covers both single-cell crash windows and region-outage members.
   double crash_db(std::size_t idx) const {
-    return static_cast<int>(idx) == crashed_cell_ ? kCrashPenaltyDb : 0.0;
+    return dead_[idx] != 0 ? kCrashPenaltyDb : 0.0;
+  }
+
+  bool is_dead(int cell) const {
+    return cell >= 0 && cell < static_cast<int>(dead_.size()) &&
+           dead_[static_cast<std::size_t>(cell)] != 0;
   }
 
   void record_failure(UeContext& u, double t, FailureCause cause) {
+    // An RLF abandons any in-flight preparation. A half-open probe that
+    // can no longer be answered must resolve as a failure here, or the
+    // breaker would wedge half-open with its probe slot taken forever.
+    if (!u.breakers.empty() && u.pending && u.pending->prep_requested &&
+        !u.pending->prep_acked && !u.pending->prep_failed &&
+        u.breakers[u.pending->target_idx].probe_in_flight())
+      breaker_fail(u, t, u.pending->target_idx);
     ++u.stats.failures;
     ++u.stats.failures_by_cause[cause];
     // Dump the pre-failure SNR window, decimated to ~10 samples.
@@ -384,8 +412,7 @@ class FleetEngine {
   /// overload window's target occupancy, right before a UE job is offered
   /// to it. Deterministic: occupancy targets and service times are fixed.
   void top_up(double t, std::size_t cell) {
-    if (overload_u_ <= 0.0 || static_cast<int>(cell) == crashed_cell_)
-      return;
+    if (overload_u_ <= 0.0 || dead_[cell] != 0) return;
     const double cap = static_cast<double>(cfg_.bs_capacity.slots) +
                        static_cast<double>(cfg_.bs_capacity.queue_capacity);
     const int target_occ = static_cast<int>(std::lround(overload_u_ * cap));
@@ -397,15 +424,49 @@ class FleetEngine {
     }
   }
 
-  void bh_send(double t, const net::BackhaulMessage& m) {
+  void bh_send(double t, net::BackhaulMessage m) {
     // A dead BS can neither send nor receive; like partitions, crash
     // drops consume no random draws.
-    if (crashed_cell_ >= 0 &&
-        (m.src_cell == crashed_cell_ || m.dst_cell == crashed_cell_)) {
+    if (dead_count_ > 0 && (is_dead(m.src_cell) || is_dead(m.dst_cell))) {
       ++ue_of(m.ue).stats.bs_crash_dropped_msgs;
       return;
     }
+    // Piggybacked load advertisement: every frame a BS originates carries
+    // its control-plane utilization at send time (stale-bounded at use).
+    if (load_ads_ && m.src_cell >= 0 &&
+        m.src_cell < static_cast<int>(stations_.size()))
+      m.load = stations_[static_cast<std::size_t>(m.src_cell)].load(t);
     netw_->send(t, m, bh_loss_, bh_delay_, bh_partition_);
+  }
+
+  /// One preparation failure / busy-reject toward `target` feeds that
+  /// target's circuit breaker; logs the trip when it opens.
+  void breaker_fail(UeContext& u, double t, std::size_t target) {
+    if (u.breakers.empty()) return;
+    if (u.breakers[target].record_failure(t)) {
+      ++u.stats.breaker_trips;
+      log_event(u, t, EventKind::kBreakerTrip, u.serving,
+                static_cast<int>(target), 0.0);
+    }
+  }
+
+  /// Breaker gate in front of every first send of a HANDOVER REQUEST
+  /// (retries of an in-flight request are the same logical preparation
+  /// and are never re-gated). Returns false while the target's breaker
+  /// refuses; the pending attempt simply waits, so the cool-down bounds
+  /// the stall. The first admission after the cool-down is the half-open
+  /// probe and is logged as such.
+  bool breaker_allows_prep(UeContext& u, double t) {
+    if (u.breakers.empty()) return true;
+    auto& br = u.breakers[u.pending->target_idx];
+    const bool was_open = br.state() == core::BreakerState::kOpen;
+    if (!br.allow(t)) return false;
+    if (was_open) {
+      ++u.stats.breaker_probes;
+      log_event(u, t, EventKind::kBreakerProbe, u.serving,
+                static_cast<int>(u.pending->target_idx), 0.0);
+    }
+    return true;
   }
 
   /// Preparation hit a terminal condition (reject / timeout exhaustion):
@@ -458,12 +519,16 @@ class FleetEngine {
     for (const auto& m : netw_->poll(t)) {
       // Frames addressed to (or claiming to come from) a dead BS are
       // dropped at delivery — defensive: crash open flushed the wire.
-      if (crashed_cell_ >= 0 &&
-          (m.dst_cell == crashed_cell_ || m.src_cell == crashed_cell_)) {
+      if (dead_count_ > 0 && (is_dead(m.dst_cell) || is_dead(m.src_cell))) {
         ++ue_of(m.ue).stats.bs_crash_dropped_msgs;
         continue;
       }
       UeContext& u = ue_of(m.ue);
+      if (load_ads_ && m.load >= 0.0 && m.src_cell >= 0 &&
+          m.src_cell < static_cast<int>(load_ad_.size())) {
+        load_ad_[static_cast<std::size_t>(m.src_cell)] = {m.load, t};
+        ++u.stats.load_ads_received;
+      }
       switch (m.type) {
         case net::MsgType::kHandoverRequest: {
           if (!use_cap_) {
@@ -514,6 +579,12 @@ class FleetEngine {
             u.pending->command_due_s = t + cfg_.retry_spacing_s;
             log_event(u, t, EventKind::kPrepAck, u.serving,
                       static_cast<int>(u.pending->target_idx), rtt);
+            if (!u.breakers.empty() &&
+                u.breakers[u.pending->target_idx].record_success()) {
+              ++u.stats.breaker_closes;
+              log_event(u, t, EventKind::kBreakerClose, u.serving,
+                        static_cast<int>(u.pending->target_idx), 0.0);
+            }
           }
           break;
         }
@@ -525,6 +596,7 @@ class FleetEngine {
             ++u.stats.prep_rejects;
             log_event(u, t, EventKind::kPrepReject, u.serving,
                       static_cast<int>(u.pending->target_idx), 0.0);
+            breaker_fail(u, t, u.pending->target_idx);
             prep_fallback_or_fail(u, t);
           }
           break;
@@ -543,6 +615,7 @@ class FleetEngine {
             const double hint = std::max(0.0, m.payload);
             log_event(u, t, EventKind::kAdmissionReject, u.serving,
                       static_cast<int>(u.pending->target_idx), hint);
+            breaker_fail(u, t, u.pending->target_idx);
             core::AdmissionBackoffFsm fsm(
                 cfg_.bs_capacity.admission_max_retries,
                 u.pending->admission_retries);
@@ -554,15 +627,26 @@ class FleetEngine {
               case core::AdmissionAction::kFallback:
                 prep_fallback_or_fail(u, t);
                 break;
-              case core::AdmissionAction::kBackoff:
+              case core::AdmissionAction::kBackoff: {
                 u.pending->admission_retries = fsm.retries();
                 ++u.stats.admission_backoff_retries;
                 u.pending->prep_requested = false;
                 u.pending->prep_retries = 0;
-                u.pending->prep_due_s = t + hint;
+                double wait = hint;
+                if (cfg_.storm_jitter_frac > 0.0) {
+                  // Storm damping: per-UE jitter (from the UE's own
+                  // stream) desynchronizes a displaced fleet's retries
+                  // instead of hammering the next BS in lockstep. Off by
+                  // default and draw-free when off.
+                  wait = hint *
+                         (1.0 + u.rng->uniform(0.0, cfg_.storm_jitter_frac));
+                  ++u.stats.storm_jitter_applied;
+                }
+                u.pending->prep_due_s = t + wait;
                 log_event(u, t, EventKind::kAdmissionRetry, u.serving,
-                          static_cast<int>(u.pending->target_idx), hint);
+                          static_cast<int>(u.pending->target_idx), wait);
                 break;
+              }
               case core::AdmissionAction::kFail:
                 prep_fallback_or_fail(u, t);  // no fallback: prep failed
                 break;
@@ -665,6 +749,38 @@ class FleetEngine {
     }
   }
 
+  /// Kill one BS: radio silent, queued signaling flushed, in-flight wire
+  /// traffic dropped, every UE's context there lost. Shared by the
+  /// single-cell crash window and region-outage members; returns false
+  /// when the cell was already dead (nothing happened).
+  bool kill_cell(double t, int cell, double mag) {
+    const auto ci = static_cast<std::size_t>(cell);
+    if (dead_[ci] != 0) return false;
+    dead_[ci] = 1;
+    ++dead_count_;
+    for (auto& u : ues_) {
+      ++u.stats.bs_crashes;
+      u.context_lost[ci] = true;
+    }
+    if (use_cap_) {
+      for (const auto& job : stations_[ci].flush_jobs())
+        ++ue_of(job.ue).stats.bs_jobs_flushed;
+    }
+    if (use_net_) netw_->drop_in_flight_for_cell(cell);
+    for (auto& u : ues_)
+      log_event(u, t, EventKind::kBsCrash, u.serving, cell, mag);
+    return true;
+  }
+
+  /// The BS rejoins stateless: prepared UE contexts stay lost until
+  /// re-established (context_lost drives stale-context replies).
+  void revive_cell(double t, int cell) {
+    for (auto& u : ues_)
+      log_event(u, t, EventKind::kBsRestart, u.serving, cell, 0.0);
+    dead_[static_cast<std::size_t>(cell)] = 0;
+    --dead_count_;
+  }
+
   /// World phase of one simulated instant: kinematics, fault-window
   /// edges, the crash window, overload/backhaul fault values, backhaul
   /// arrivals, and BS job completions — everything the seed's tick body
@@ -708,30 +824,57 @@ class FleetEngine {
       crashed_cell_ = victim;
       // The crash is a global window: every UE observes it (and loses its
       // context at the victim), so each per-UE checker sees the edge.
-      for (auto& u : ues_) {
-        ++u.stats.bs_crashes;
-        u.context_lost[static_cast<std::size_t>(victim)] = true;
-      }
-      // Everything queued inside the BS and on the wire to/from it dies,
-      // each flushed job attributed to its owning UE.
-      if (use_cap_) {
-        for (const auto& job :
-             stations_[static_cast<std::size_t>(victim)].flush_jobs())
-          ++ue_of(job.ue).stats.bs_jobs_flushed;
-      }
-      if (use_net_) netw_->drop_in_flight_for_cell(victim);
-      for (auto& u : ues_)
-        log_event(u, t, EventKind::kBsCrash, u.serving, victim, crash_mag);
+      // A victim a region outage already killed stays that window's: the
+      // crash window then owns nothing and restarts nothing.
+      crash_owns_cell_ = kill_cell(t, victim, crash_mag);
     } else if (crash_mag <= 0.0 && crashed_cell_ >= 0) {
       // Restart: the BS rejoins stateless — queue already flushed at
-      // crash, receive-side dedup gone (SequenceTracker reset), and its
-      // prepared UE contexts stay lost until re-established (context_lost
-      // drives stale-context replies to fetches).
-      for (auto& u : ues_)
-        log_event(u, t, EventKind::kBsRestart, u.serving, crashed_cell_, 0.0);
+      // crash, receive-side dedup gone (SequenceTracker reset).
+      if (crash_owns_cell_) revive_cell(t, crashed_cell_);
       ack_seen_.reset();
       ctx_seen_.reset();
       crashed_cell_ = -1;
+      crash_owns_cell_ = false;
+    }
+
+    // ---- Region outage: staggered failure-domain blackout ----
+    const double region_mag = faults_.magnitude(FaultKind::kRegionOutage, t);
+    if (region_mag > 0.0) {
+      const int ds = faults_.domain_size();
+      const int ncells = static_cast<int>(env_.cells().size());
+      if (!region_active_) {
+        region_active_ = true;
+        region_open_s_ = t;
+        region_next_ = 0;
+        // Victim domain: magnitudes below 2 take the reference UE's
+        // serving domain at window open; 2 + d targets domain d.
+        int dom = region_mag >= 2.0
+                      ? static_cast<int>(region_mag) - 2
+                      : fault_domain_of(ues_.front().serving, ds);
+        if (dom < 0 || dom > fault_domain_of(ncells - 1, ds))
+          dom = fault_domain_of(ues_.front().serving, ds);
+        region_domain_ = dom;
+      }
+      // Staggered onsets: member i (cell-index order within the domain)
+      // dies at open + i * region_stagger_s, clamped to the window.
+      const int first = region_domain_ * ds;
+      const int last = std::min(first + ds, ncells);
+      while (first + region_next_ < last &&
+             t >= region_open_s_ + static_cast<double>(region_next_) *
+                                       faults_.region_stagger_s()) {
+        const int cell = first + region_next_;
+        if (kill_cell(t, cell, region_mag)) region_killed_.push_back(cell);
+        ++region_next_;
+      }
+    } else if (region_active_) {
+      // Window closed: every member this window killed restarts together,
+      // stateless — the same recovery semantics as a single-BS restart.
+      for (const int cell : region_killed_) revive_cell(t, cell);
+      region_killed_.clear();
+      ack_seen_.reset();
+      ctx_seen_.reset();
+      region_active_ = false;
+      region_domain_ = -1;
     }
 
     // ---- BS overload window: background load + service inflation ----
@@ -740,6 +883,52 @@ class FleetEngine {
     svc_inflation_ = overload_u_ > 0.0
                          ? 1.0 / (1.0 - std::min(overload_u_, 0.95))
                          : 1.0;
+
+    // ---- Cascade overload: displaced load floods surviving neighbors ----
+    // While a cascade window overlaps at least one dead BS, every live
+    // cell within cascade_neighbor_radius (cell-index distance) of a dead
+    // one is topped up with background jobs to magnitude * capacity — the
+    // re-camping load of the displaced UEs. Deterministic: fixed targets,
+    // fixed service times, no RNG; world-global like the crash itself.
+    if (use_cap_ && dead_count_ > 0) {
+      const double cascade_u =
+          faults_.magnitude(FaultKind::kCascadeOverload, t);
+      if (cascade_u > 0.0) {
+        const double cap =
+            static_cast<double>(cfg_.bs_capacity.slots) +
+            static_cast<double>(cfg_.bs_capacity.queue_capacity);
+        const int target_occ = static_cast<int>(std::lround(cascade_u * cap));
+        const int radius = faults_.cascade_neighbor_radius();
+        const int ncells = static_cast<int>(env_.cells().size());
+        for (int c = 0; c < ncells; ++c) {
+          if (dead_[static_cast<std::size_t>(c)] != 0) continue;
+          bool near = false;
+          for (int d = std::max(0, c - radius);
+               d <= std::min(ncells - 1, c + radius); ++d) {
+            if (dead_[static_cast<std::size_t>(d)] != 0) {
+              near = true;
+              break;
+            }
+          }
+          if (!near) continue;
+          auto& st = stations_[static_cast<std::size_t>(c)];
+          int injected = 0;
+          while (st.occupancy(t) < target_occ) {
+            if (!st.submit(t, BsJobKind::kBackground,
+                           cfg_.bs_capacity.background_service_s))
+              break;
+            ++injected;
+          }
+          if (injected == 0) continue;
+          for (auto& u : ues_) {
+            ++u.stats.cascade_activations;
+            u.stats.cascade_jobs_injected += injected;
+            log_event(u, t, EventKind::kCascadeInject, u.serving, c,
+                      static_cast<double>(injected));
+          }
+        }
+      }
+    }
 
     // ---- Backhaul transport: this tick's fault overrides + arrivals ----
     bh_partition_ =
@@ -790,16 +979,14 @@ class FleetEngine {
           const double floor_rsrp =
               std::max(cfg_.min_coverage_rsrp_dbm, qin_rsrp);
           if (!use_net_) {
-            const int target =
-                env_.best_cell(u.pos, floor_rsrp, crashed_cell_);
+            const int target = env_.best_cell(u.pos, floor_rsrp, dead_);
             if (target >= 0) camp_on(u, t, target);
             // else: still in a hole; keep searching.
           } else if (u.ctx_failed) {
             // Context fetch exhausted (or came back stale): degraded
             // context-less re-establishment after the extra setup penalty.
             if (t >= u.ctx_failed_camp_s) {
-              const int target =
-                  env_.best_cell(u.pos, floor_rsrp, crashed_cell_);
+              const int target = env_.best_cell(u.pos, floor_rsrp, dead_);
               if (target >= 0) camp_on(u, t, target);
             }
           } else if (u.ctx_ready) {
@@ -818,8 +1005,7 @@ class FleetEngine {
             // Re-establishment found a cell, but camping needs the UE
             // context from the old serving BS — fetch it over the
             // backhaul before admitting the UE.
-            const int target =
-                env_.best_cell(u.pos, floor_rsrp, crashed_cell_);
+            const int target = env_.best_cell(u.pos, floor_rsrp, dead_);
             if (target >= 0) {
               u.ctx_pending = true;
               u.ctx_target = target;
@@ -998,7 +1184,7 @@ class FleetEngine {
         const int best =
             blackout_ ? -1
                       : env_.best_cell(u.pos, cfg_.min_coverage_rsrp_dbm,
-                                       crashed_cell_);
+                                       dead_);
         if (best < 0) {
           cause = FailureCause::kCoverageHole;
         } else if ((u.pending && u.pending->command_lost) ||
@@ -1104,7 +1290,7 @@ class FleetEngine {
           !u.pending->prep_failed && !u.pending->command_lost &&
           !u.pending->decision_shed) {
         if (!u.pending->prep_requested) {
-          if (t >= u.pending->prep_due_s) {
+          if (t >= u.pending->prep_due_s && breaker_allows_prep(u, t)) {
             // First send toward the current target (also re-entered after
             // a fallback switch, which resets prep_requested).
             u.pending->prep_requested = true;
@@ -1146,6 +1332,9 @@ class FleetEngine {
             log_event(u, t, EventKind::kPrepRetry, u.serving,
                       static_cast<int>(u.pending->target_idx), sv.snr_db);
           } else {
+            // Retries exhausted: a timed-out target counts against its
+            // breaker just like an explicit reject.
+            breaker_fail(u, t, u.pending->target_idx);
             prep_fallback_or_fail(u, t);
           }
         }
@@ -1213,6 +1402,18 @@ class FleetEngine {
           u.last_dd[i] = o.dd_snr_db + atten_db;
         }
         o.bandwidth_hz = env_.cells()[i].bandwidth_hz;
+        if (load_ads_) {
+          const auto& ad = load_ad_[i];
+          if (ad.second >= 0.0 && t - ad.second <= cfg_.load_ad_staleness_s) {
+            o.advertised_load = ad.first;
+            u.stats.load_ad_age_max_s =
+                std::max(u.stats.load_ad_age_max_s, t - ad.second);
+          }
+        }
+        if (!u.breakers.empty() && u.breakers[i].refuses(t)) {
+          o.breaker_open = true;
+          ++u.stats.breaker_skips;
+        }
         obs.push_back(o);
       }
       const auto decision = u.manager->update(t, sv, obs);
@@ -1308,10 +1509,27 @@ class FleetEngine {
   std::uint64_t next_seq_ = 1;  ///< transaction ids for all backhaul msgs
   net::SequenceTracker ack_seen_;  ///< at-most-once ack/reject processing
   net::SequenceTracker ctx_seen_;  ///< at-most-once context responses
-  // Crash-restart state: at most one dead BS at a time; a dead BS stays
-  // radio-silent, its signaling is dropped, and every UE's context there
-  // is lost until re-established.
-  int crashed_cell_ = -1;
+  // Crash state. A dead BS stays radio-silent, its signaling is dropped,
+  // and every UE's context there is lost until re-established. The
+  // single-cell crash-restart window keeps its dedicated slot; region
+  // outages kill whole failure domains, so liveness is tracked as a mask.
+  int crashed_cell_ = -1;        ///< kBsCrashRestart window's victim
+  bool crash_owns_cell_ = false; ///< the crash window actually killed it
+  std::vector<char> dead_;       ///< per-cell: any fault kind killed it
+  int dead_count_ = 0;           ///< number of set entries in dead_
+  // Region-outage window state: the chosen domain, how many members have
+  // had their staggered onset so far, and which cells this window killed
+  // (only those restart at window close).
+  bool region_active_ = false;
+  int region_domain_ = -1;
+  int region_next_ = 0;
+  double region_open_s_ = 0.0;
+  std::vector<int> region_killed_;
+  // Load advertisement: latest (utilization, stamped-at) per cell, shared
+  // by all UEs (the ad rides broadcast control frames). Stamp < 0 means
+  // never advertised. Empty when the feature is off.
+  bool load_ads_ = false;
+  std::vector<std::pair<double, double>> load_ad_;
   std::array<bool, kNumFaultKinds> fault_was_active_{};
   // This instant's shared fault values, computed once per shared_step.
   bool blackout_ = false;
@@ -1363,6 +1581,10 @@ std::string event_kind_name(EventKind k) {
     case EventKind::kBsCrash: return "bs_crash";
     case EventKind::kBsRestart: return "bs_restart";
     case EventKind::kContextStale: return "context_stale";
+    case EventKind::kCascadeInject: return "cascade_inject";
+    case EventKind::kBreakerTrip: return "breaker_trip";
+    case EventKind::kBreakerProbe: return "breaker_probe";
+    case EventKind::kBreakerClose: return "breaker_close";
   }
   throw std::invalid_argument("event_kind_name: invalid EventKind value " +
                               std::to_string(static_cast<int>(k)));

@@ -40,6 +40,15 @@ struct Observation {
   /// good value plus corruption. Managers use it to detect staleness.
   double estimate_age_s = 0.0;
   bool pilot_faulted = false; ///< a pilot-outage fault is active this tick
+  /// Last load advertisement heard from this cell over the backhaul
+  /// (utilization in [0, 1]); -1 while unknown or older than
+  /// SimConfig::load_ad_staleness_s. Managers may tie-break toward
+  /// less-loaded candidates but must never widen the candidate set on it.
+  double advertised_load = -1.0;
+  /// This UE's per-target circuit breaker is open for the cell: recent
+  /// consecutive preparation failures/busy-rejects, cool-down not yet
+  /// elapsed. Managers must not select it as a handover target.
+  bool breaker_open = false;
 };
 
 struct ServingState {
@@ -223,6 +232,28 @@ struct SimConfig {
   /// context lookups, and network-side RRC decisions. Disabled restores
   /// the infinite-capacity, always-alive BS model.
   BsCapacityConfig bs_capacity;
+  // --- Cascade resilience (all default-off: zero behavioural change and
+  // --- zero extra RNG draws unless a scenario opts in) ---
+  /// Staleness bound (s) for per-BS load advertisements piggybacked on
+  /// backhaul control frames. > 0 enables the feature: every frame a BS
+  /// sends carries its control-plane utilization, the UE keeps the latest
+  /// per-cell value, and Observation::advertised_load exposes it while it
+  /// is younger than this bound (stale values read as unknown). 0 (the
+  /// default) disables advertisement entirely.
+  double load_ad_staleness_s = 0.0;
+  /// Per-target circuit breaker: trip after this many *consecutive*
+  /// preparation failures/busy-rejects toward one target cell, then
+  /// refuse it (Observation::breaker_open) until `breaker_cooldown_s`
+  /// elapses, when one half-open probe preparation is allowed — success
+  /// closes the breaker, failure re-trips it. 0 (the default) disables.
+  int breaker_trip_k = 0;
+  double breaker_cooldown_s = 2.0;
+  /// Storm damping: scale every admission-backoff retry delay by a
+  /// deterministic per-UE jitter in [1, 1 + storm_jitter_frac), drawn
+  /// from the UE's own RNG stream, so a displaced fleet's retries
+  /// desynchronize instead of hammering the next BS in lockstep. 0 (the
+  /// default) draws nothing and keeps the legacy timing bit-for-bit.
+  double storm_jitter_frac = 0.0;
   /// Which driver executes run(). kTickLoop is the seed's loop; the event
   /// queue is bit-identical for single-UE runs (test_fleet pins this).
   SimEngine engine = SimEngine::kTickLoop;
@@ -291,9 +322,26 @@ struct SimStats {
   double bs_queue_wait_sum_s = 0.0;  ///< summed wait over served jobs
   int admission_rejects = 0;      ///< busy-rejects received by the source
   int admission_backoff_retries = 0;  ///< hint-honoring re-attempts
-  int bs_crashes = 0;             ///< kBsCrashRestart windows opened
+  int bs_crashes = 0;             ///< BS deaths (crash windows + region
+                                  ///< outage members); global in fleets
   int bs_crash_dropped_msgs = 0;  ///< signaling addressed to a dead BS
   int stale_context_responses = 0;  ///< context fetches answered stale
+  // --- Correlated faults / cascade resilience ---
+  // World-global like bs_crashes (every UE of a fleet counts the same
+  // cascade events; merge takes the max and the fleet report checks
+  // agreement): cascade_jobs_injected / cascade_activations. Genuinely
+  // per-UE (merge sums them): every breaker_* and load_ad_* counter.
+  int cascade_jobs_injected = 0;  ///< background jobs injected by cascade
+  int cascade_activations = 0;    ///< neighbor top-up events (kCascadeInject)
+  int breaker_trips = 0;          ///< per-target breakers opened
+  int breaker_probes = 0;         ///< half-open probe preparations allowed
+  int breaker_closes = 0;         ///< probes that closed a breaker
+  int breaker_skips = 0;          ///< candidate cells hidden while open
+  int load_ads_received = 0;      ///< load advertisements applied
+  int storm_jitter_applied = 0;   ///< backoff retries jittered
+  /// Oldest advertisement actually exposed to a manager (age at use, s);
+  /// the invariant checker asserts <= load_ad_staleness_s.
+  double load_ad_age_max_s = 0.0;
   /// Data-plane accounting (§8 "On data speed"): Shannon capacity of the
   /// serving link averaged over the whole run (zero while in outage) and
   /// the fraction of time without radio connectivity.

@@ -87,6 +87,24 @@ void append_stats_fields(const std::string& prefix, const sim::SimStats& s,
   put("bs_crashes", fmt_int(s.bs_crashes));
   put("bs_crash_dropped_msgs", fmt_int(s.bs_crash_dropped_msgs));
   put("stale_context_responses", fmt_int(s.stale_context_responses));
+  // Cascade-resilience counters are emitted only when non-zero so the
+  // pre-existing corpus stays byte-identical: a case that never schedules
+  // region_outage/cascade_overload or arms the resilience knobs digests
+  // exactly as it did before those counters existed.
+  if (s.cascade_jobs_injected != 0)
+    put("cascade_jobs_injected", fmt_int(s.cascade_jobs_injected));
+  if (s.cascade_activations != 0)
+    put("cascade_activations", fmt_int(s.cascade_activations));
+  if (s.breaker_trips != 0) put("breaker_trips", fmt_int(s.breaker_trips));
+  if (s.breaker_probes != 0) put("breaker_probes", fmt_int(s.breaker_probes));
+  if (s.breaker_closes != 0) put("breaker_closes", fmt_int(s.breaker_closes));
+  if (s.breaker_skips != 0) put("breaker_skips", fmt_int(s.breaker_skips));
+  if (s.load_ads_received != 0)
+    put("load_ads_received", fmt_int(s.load_ads_received));
+  if (s.storm_jitter_applied != 0)
+    put("storm_jitter_applied", fmt_int(s.storm_jitter_applied));
+  if (s.load_ad_age_max_s != 0.0)
+    put("load_ad_age_max_s", fmt_double(s.load_ad_age_max_s));
   put("degraded_enters", fmt_int(s.degraded_enters));
   put("degraded_time_s", fmt_double(s.degraded_time_s));
   put("avg_handover_interval_s", fmt_double(s.avg_handover_interval_s));
@@ -153,6 +171,10 @@ std::vector<FleetGoldenCase> fleet_golden_corpus() {
        60.0, 15, "bs_overload_shed", 6},
       {"fleet_bt_250_s16_backhaul_partition", Route::kBeijingTaiyuan, 250.0,
        60.0, 16, "backhaul_partition", 8},
+      {"fleet_bt_250_s17_region_outage", Route::kBeijingTaiyuan, 250.0,
+       60.0, 17, "region_outage", 8},
+      {"fleet_bs_300_s18_cascade_storm", Route::kBeijingShanghai, 300.0,
+       60.0, 18, "cascade_storm", 6},
   };
 }
 
@@ -236,6 +258,37 @@ sim::FaultConfig golden_fault_preset(const std::string& name,
         {sim::FaultKind::kBsCrashRestart, 0.25 * horizon_s,
          0.08 * horizon_s, 1.0},
         {sim::FaultKind::kBsCrashRestart, 0.65 * horizon_s, 1.5, 1.0},
+    };
+    return fc;
+  }
+  if (name == "region_outage") {
+    // Two correlated domain blackouts with staggered member onsets
+    // (magnitude < 2 picks the serving cell's whole failure domain at
+    // window open); the second window is shorter, exercising revive
+    // ordering while the fleet is still re-attaching.
+    sim::FaultConfig fc;
+    fc.domain_size = 3;
+    fc.region_stagger_s = 0.02 * horizon_s;
+    fc.windows = {
+        {sim::FaultKind::kRegionOutage, 0.25 * horizon_s, 0.12 * horizon_s,
+         1.0},
+        {sim::FaultKind::kRegionOutage, 0.65 * horizon_s, 0.08 * horizon_s,
+         1.0},
+    };
+    return fc;
+  }
+  if (name == "cascade_storm") {
+    // A serving-BS crash whose shed load floods the surviving neighbors:
+    // the cascade window brackets the crash (its trigger) so background
+    // jobs keep topping the neighbors up while the fleet steers around
+    // them; breakers and storm damping are armed by the golden runner.
+    sim::FaultConfig fc;
+    fc.cascade_neighbor_radius = 2;
+    fc.windows = {
+        {sim::FaultKind::kBsCrashRestart, 0.25 * horizon_s,
+         0.15 * horizon_s, 1.0},
+        {sim::FaultKind::kCascadeOverload, 0.25 * horizon_s,
+         0.40 * horizon_s, 0.9},
     };
     return fc;
   }

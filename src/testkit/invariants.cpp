@@ -390,9 +390,15 @@ void InvariantChecker::check_event(const sim::SignalingEvent& e) {
     case EventKind::kBsCrash:
       if (!cfg_.faults_expected)
         violate(t, "BS crash on a fault-free run");
-      if (!crashed_cells_.empty())
+      // Only a region_outage schedule may stack correlated blackouts;
+      // plain crash-restart keeps at most one BS down at a time.
+      if (!crashed_cells_.empty() &&
+          !cfg_.sim.faults.schedules_region_outage())
         violate(t, "BS crash with another BS already down (cell " +
                        std::to_string(*crashed_cells_.begin()) + ")");
+      if (crashed_cells_.count(e.target_cell) > 0)
+        violate(t, "BS crash for cell " + std::to_string(e.target_cell) +
+                       " that is already down");
       crashed_cells_.insert(e.target_cell);
       ++bs_crashes_;
       break;
@@ -414,6 +420,68 @@ void InvariantChecker::check_event(const sim::SignalingEvent& e) {
         violate(t, "stale-context response on a fault-free run");
       ++stale_ctx_responses_;
       break;
+
+    case EventKind::kCascadeInject:
+      // Displaced load flooding a surviving neighbor: capacity model on,
+      // faults scheduled, and the payload (jobs injected) is positive —
+      // zero-job top-ups are never logged.
+      if (!cfg_.sim.bs_capacity.enabled)
+        violate(t, "cascade injection with the capacity model disabled");
+      if (!cfg_.faults_expected)
+        violate(t, "cascade injection on a fault-free run");
+      if (e.serving_snr_db < 1.0)
+        violate(t, "cascade injection with non-positive job payload " +
+                       std::to_string(e.serving_snr_db));
+      if (crashed_cells_.count(e.target_cell) > 0)
+        violate(t, "cascade injection into dead BS " +
+                       std::to_string(e.target_cell));
+      ++cascade_injects_;
+      cascade_jobs_ += static_cast<long long>(e.serving_snr_db);
+      break;
+
+    case EventKind::kBreakerTrip: {
+      // Legal from closed (K-th consecutive failure) or half-open (the
+      // probe failed); an already-open breaker cannot trip again.
+      if (cfg_.sim.breaker_trip_k <= 0)
+        violate(t, "breaker trip with circuit breakers disabled");
+      int& st = breaker_state_[e.target_cell];
+      if (st == 1)
+        violate(t, "breaker trip for cell " + std::to_string(e.target_cell) +
+                       " that is already open");
+      st = 1;
+      ++breakers_open_mirror_;
+      ++breaker_trips_;
+      break;
+    }
+
+    case EventKind::kBreakerProbe: {
+      // The half-open probe admission: only an open breaker past its
+      // cool-down may admit one.
+      if (cfg_.sim.breaker_trip_k <= 0)
+        violate(t, "breaker probe with circuit breakers disabled");
+      int& st = breaker_state_[e.target_cell];
+      if (st != 1)
+        violate(t, "breaker probe for cell " + std::to_string(e.target_cell) +
+                       " that is not open");
+      else
+        --breakers_open_mirror_;
+      st = 2;
+      ++breaker_probes_;
+      break;
+    }
+
+    case EventKind::kBreakerClose: {
+      // Close only on a successful half-open probe.
+      if (cfg_.sim.breaker_trip_k <= 0)
+        violate(t, "breaker close with circuit breakers disabled");
+      int& st = breaker_state_[e.target_cell];
+      if (st != 2)
+        violate(t, "breaker close for cell " + std::to_string(e.target_cell) +
+                       " without a probe in flight");
+      st = 0;
+      ++breaker_closes_;
+      break;
+    }
   }
 
   if (events_this_tick_ == 0) {
@@ -505,6 +573,12 @@ void InvariantChecker::check_tick(const sim::TickView& v) {
                    std::to_string(crashed_cells_.size()) + ")");
   if (!cfg_.faults_expected && v.crashed_cells != 0)
     violate(t, "crashed BS on a fault-free run");
+  if (v.breakers_open != breakers_open_mirror_)
+    violate(t, "tick open-breaker count " + std::to_string(v.breakers_open) +
+                   " disagrees with the event stream (" +
+                   std::to_string(breakers_open_mirror_) + ")");
+  if (cfg_.sim.breaker_trip_k <= 0 && v.breakers_open != 0)
+    violate(t, "open breaker with circuit breakers disabled");
 
   // Cross-band staleness: ages only accumulate under a pilot fault.
   if (v.estimate_age_s < 0.0)
@@ -675,6 +749,39 @@ void InvariantChecker::on_run_end(sim::SimStats& stats) {
                 stats.bs_jobs_inflight_end,
             "BS job conservation (submitted = served + shed + flushed + "
             "in-flight)");
+  // --- Cascade / circuit-breaker conservation ---
+  expect_eq(stats.cascade_activations, cascade_injects_,
+            "SimStats::cascade_activations vs cascade-inject events");
+  expect_eq(stats.cascade_jobs_injected, cascade_jobs_,
+            "SimStats::cascade_jobs_injected vs injected-job payload sum");
+  expect_eq(stats.breaker_trips, breaker_trips_,
+            "SimStats::breaker_trips vs trip events");
+  expect_eq(stats.breaker_probes, breaker_probes_,
+            "SimStats::breaker_probes vs probe events");
+  expect_eq(stats.breaker_closes, breaker_closes_,
+            "SimStats::breaker_closes vs close events");
+  if (breaker_probes_ > breaker_trips_)
+    violate(t_end, "more breaker probes than trips");
+  if (breaker_closes_ > breaker_probes_)
+    violate(t_end, "more breaker closes than probes");
+  // Load-advertisement staleness contract: the simulator never surfaces
+  // an ad older than the configured bound, and the recorded maximum age
+  // proves it.
+  if (stats.load_ad_age_max_s < 0.0)
+    violate(t_end, "negative load-advertisement age " +
+                       std::to_string(stats.load_ad_age_max_s) + "s");
+  if (cfg_.sim.load_ad_staleness_s > 0.0 &&
+      stats.load_ad_age_max_s > cfg_.sim.load_ad_staleness_s + kTimeEps)
+    violate(t_end, "surfaced load advertisement aged " +
+                       std::to_string(stats.load_ad_age_max_s) +
+                       "s beyond the " +
+                       std::to_string(cfg_.sim.load_ad_staleness_s) +
+                       "s staleness bound");
+  if (cfg_.sim.load_ad_staleness_s <= 0.0 &&
+      (stats.load_ads_received != 0 || stats.load_ad_age_max_s != 0.0))
+    violate(t_end, "load-advertisement activity with advertisement "
+                   "disabled");
+
   // The wait total must reconcile bit-for-bit: the simulator sums waits
   // in completion order, the checker sums the same values from the same
   // events in the same order.
@@ -801,6 +908,18 @@ std::vector<std::string> fleet_invariant_report(const sim::FleetResult& r) {
              [](const sim::SimStats& s) { return s.admission_rejects; });
   expect_sum("invariant_violations", a.invariant_violations,
              [](const sim::SimStats& s) { return s.invariant_violations; });
+  expect_sum("breaker_trips", a.breaker_trips,
+             [](const sim::SimStats& s) { return s.breaker_trips; });
+  expect_sum("breaker_probes", a.breaker_probes,
+             [](const sim::SimStats& s) { return s.breaker_probes; });
+  expect_sum("breaker_closes", a.breaker_closes,
+             [](const sim::SimStats& s) { return s.breaker_closes; });
+  expect_sum("breaker_skips", a.breaker_skips,
+             [](const sim::SimStats& s) { return s.breaker_skips; });
+  expect_sum("load_ads_received", a.load_ads_received,
+             [](const sim::SimStats& s) { return s.load_ads_received; });
+  expect_sum("storm_jitter_applied", a.storm_jitter_applied,
+             [](const sim::SimStats& s) { return s.storm_jitter_applied; });
 
   double max_time = 0.0;
   for (const auto& s : r.per_ue) max_time = std::max(max_time, s.sim_time_s);
@@ -821,6 +940,29 @@ std::vector<std::string> fleet_invariant_report(const sim::FleetResult& r) {
   if (a.bs_crashes != r.per_ue[0].bs_crashes)
     flag("aggregate.bs_crashes = " + std::to_string(a.bs_crashes) +
          " but per-UE value = " + std::to_string(r.per_ue[0].bs_crashes));
+  // Cascade injections are world-global like crash windows: every UE
+  // observes the identical counts, and the aggregate carries that value.
+  for (int k = 1; k < n; ++k) {
+    const auto& s = r.per_ue[static_cast<std::size_t>(k)];
+    if (s.cascade_activations != r.per_ue[0].cascade_activations ||
+        s.cascade_jobs_injected != r.per_ue[0].cascade_jobs_injected) {
+      flag("cascade counters disagree across UEs: UE 0 saw " +
+           std::to_string(r.per_ue[0].cascade_activations) + "/" +
+           std::to_string(r.per_ue[0].cascade_jobs_injected) + ", UE " +
+           std::to_string(k) + " saw " +
+           std::to_string(s.cascade_activations) + "/" +
+           std::to_string(s.cascade_jobs_injected));
+      break;
+    }
+  }
+  if (a.cascade_activations != r.per_ue[0].cascade_activations ||
+      a.cascade_jobs_injected != r.per_ue[0].cascade_jobs_injected)
+    flag("aggregate cascade counters (" +
+         std::to_string(a.cascade_activations) + "/" +
+         std::to_string(a.cascade_jobs_injected) +
+         ") differ from the per-UE value (" +
+         std::to_string(r.per_ue[0].cascade_activations) + "/" +
+         std::to_string(r.per_ue[0].cascade_jobs_injected) + ")");
 
   // --- Merged event log: no cross-UE regression, exact per-UE recovery ---
   std::size_t total_events = 0;

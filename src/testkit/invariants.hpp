@@ -33,9 +33,17 @@
 //    (submitted = served + shed + flushed + in-flight), queue-wait totals
 //    reconcile bit-for-bit against the event stream, admission busy
 //    rejects answer an outstanding request, at most one BS is crashed at
-//    a time, no handover completes against a dead BS, and crash recovery
-//    respects the re-establishment search-time floors (crashes surface as
-//    RLFs, which the existing timer checks already bound);
+//    a time (unless a region_outage schedule legally stacks a correlated
+//    blackout), no handover completes against a dead BS, and crash
+//    recovery respects the re-establishment search-time floors (crashes
+//    surface as RLFs, which the existing timer checks already bound);
+//  - cascade/breaker legality (cascade-resilience runs): every
+//    kCascadeInject carries a positive job payload and reconciles against
+//    SimStats job conservation; the per-target circuit-breaker FSM
+//    replayed from trip/probe/close events stays legal (probe only from
+//    open, close only from half-open) and matches the per-tick
+//    breakers_open count; the run-end load-advertisement age never
+//    exceeds the configured staleness bound;
 //  - TCP sanity: every recorded outage maps to a TCP stall bounded by
 //    outage <= stall <= outage + max RTO + RTT + base RTO.
 //
@@ -48,6 +56,7 @@
 #include "sim/simulator.hpp"
 
 #include <cstddef>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -153,7 +162,20 @@ class InvariantChecker final : public sim::SimObserver {
   int bs_crashes_ = 0;
   int bs_restarts_ = 0;
   int stale_ctx_responses_ = 0;
-  std::set<int> crashed_cells_;   ///< currently-dead BSs (size <= 1)
+  /// Currently-dead BSs. At most one under plain crash-restart; a
+  /// region_outage schedule legally stacks several.
+  std::set<int> crashed_cells_;
+
+  // --- Cascade / circuit-breaker mirror ---
+  int cascade_injects_ = 0;       ///< kCascadeInject events
+  long long cascade_jobs_ = 0;    ///< sum of injected-job payloads
+  int breaker_trips_ = 0;
+  int breaker_probes_ = 0;
+  int breaker_closes_ = 0;
+  /// Per-target breaker FSM replayed from the event stream:
+  /// 0 = closed, 1 = open, 2 = half-open. Keyed by target cell.
+  std::map<int, int> breaker_state_;
+  int breakers_open_mirror_ = 0;  ///< cells currently in state 1
 
   // --- Loop bookkeeping mirror (simulator's recent-serving window) ---
   std::vector<std::pair<double, int>> recent_serving_;

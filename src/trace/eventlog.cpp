@@ -39,6 +39,10 @@ const std::map<std::string, sim::EventKind>& kind_by_name() {
       {"bs_crash", sim::EventKind::kBsCrash},
       {"bs_restart", sim::EventKind::kBsRestart},
       {"context_stale", sim::EventKind::kContextStale},
+      {"cascade_inject", sim::EventKind::kCascadeInject},
+      {"breaker_trip", sim::EventKind::kBreakerTrip},
+      {"breaker_probe", sim::EventKind::kBreakerProbe},
+      {"breaker_close", sim::EventKind::kBreakerClose},
   };
   return m;
 }

@@ -41,6 +41,24 @@ inline TraceDigest run_fleet_golden_case(const FleetGoldenCase& c) {
   opts.fleet_size = c.fleet_size;
   opts.faults = golden_fault_preset(c.fault_preset, c.duration_s);
   opts.record_events = true;
+  if (c.fault_preset == "region_outage" || c.fault_preset == "cascade_storm") {
+    // Correlated-fault cases run with the full resilience stack armed so
+    // load ads, breaker transitions, and storm jitter all land in the pin.
+    opts.load_ad_staleness_s = 1.0;
+    opts.breaker_trip_k = 2;
+    opts.breaker_cooldown_s = 1.5;
+    opts.storm_jitter_frac = 0.5;
+  }
+  if (c.fault_preset == "cascade_storm") {
+    // Single-slot stations with short queues: the cascade's background
+    // load forces admission busy-rejects, so the breaker trip/probe/close
+    // cycle is reliably exercised and pinned.
+    sim::BsCapacityConfig cap;
+    cap.slots = 1;
+    cap.queue_capacity = 4;
+    cap.admission_load_threshold = 0.5;
+    opts.bs_capacity = cap;
+  }
   opts.use_rem = false;
   const auto legacy = bench::run_fleet_seed(c.route, c.speed_kmh,
                                             c.duration_s, c.seed, bler, opts);

@@ -36,8 +36,22 @@ rs::FaultConfig random_everything() {
       {rs::FaultKind::kBackhaulPartition, 30.0, 1.0, 3.0, 1.0, 1.0},
       {rs::FaultKind::kBsOverload, 25.0, 2.0, 8.0, 0.5, 1.0},
       {rs::FaultKind::kBsCrashRestart, 30.0, 1.0, 4.0, 1.0, 1.0},
+      // Correlated-regional kinds: the random crash spec above doubles as
+      // the cascade's crash trigger, and staggered domain blackouts
+      // interleave with every other class.
+      {rs::FaultKind::kRegionOutage, 35.0, 1.0, 3.0, 1.0, 1.0},
+      {rs::FaultKind::kCascadeOverload, 30.0, 3.0, 8.0, 0.5, 0.9},
   };
   return cfg;
+}
+
+/// Arm the cascade-resilience stack (load ads, breakers, storm jitter) on
+/// a fleet soak so those code paths run under the sanitizers too.
+void arm_resilience(rem::bench::FleetRunOptions& opts) {
+  opts.load_ad_staleness_s = 1.0;
+  opts.breaker_trip_k = 2;
+  opts.breaker_cooldown_s = 1.5;
+  opts.storm_jitter_frac = 0.5;
 }
 
 }  // namespace
@@ -93,6 +107,7 @@ TEST(ChaosSoak, RandomizedAllFaultFleetHoldsInvariants) {
   rem::bench::FleetRunOptions opts;
   opts.fleet_size = 8;
   opts.faults = random_everything();
+  arm_resilience(opts);
   for (const std::uint64_t seed : {44ULL, 55ULL}) {
     SCOPED_TRACE("seed=" + std::to_string(seed));
     for (bool use_rem : {false, true}) {
@@ -113,6 +128,7 @@ TEST(ChaosSoak, RandomizedFleetReplaysBitIdentically) {
   rem::bench::FleetRunOptions opts;
   opts.fleet_size = 6;
   opts.faults = random_everything();
+  arm_resilience(opts);
   const auto a = rem::bench::run_fleet_seed(
       rem::trace::Route::kBeijingTaiyuan, 250.0, 30.0, 7, bler, opts);
   const auto b = rem::bench::run_fleet_seed(
@@ -129,4 +145,10 @@ TEST(ChaosSoak, RandomizedFleetReplaysBitIdentically) {
   EXPECT_EQ(a.aggregate.admission_rejects, b.aggregate.admission_rejects);
   EXPECT_EQ(a.aggregate.bs_crashes, b.aggregate.bs_crashes);
   EXPECT_EQ(a.aggregate.backhaul_sent, b.aggregate.backhaul_sent);
+  EXPECT_EQ(a.aggregate.cascade_jobs_injected,
+            b.aggregate.cascade_jobs_injected);
+  EXPECT_EQ(a.aggregate.breaker_trips, b.aggregate.breaker_trips);
+  EXPECT_EQ(a.aggregate.load_ads_received, b.aggregate.load_ads_received);
+  EXPECT_EQ(a.aggregate.storm_jitter_applied,
+            b.aggregate.storm_jitter_applied);
 }
